@@ -1,0 +1,343 @@
+//! Resolved security types `⟨τ, χ⟩` (Figure 4 of the paper).
+//!
+//! These are the types produced by the typechecker after typedef unfolding
+//! (`Δ ⊢ τ ⇝ τ'`) and label resolution: every label annotation has become a
+//! concrete [`Label`] in the active lattice, and every named type has been
+//! replaced by its structural definition.
+//!
+//! Following Figure 4, non-base structure (records, headers, stacks, tables,
+//! functions) carries security labels *inside* (on fields / elements /
+//! effect positions) and the outermost label of such types is `⊥`; base
+//! types (`bool`, `int`, `bit<n>`) carry their own label.
+
+use crate::surface::Direction;
+use p4bid_lattice::{Label, Lattice};
+use std::fmt;
+use std::rc::Rc;
+
+/// A function or action type
+/// `⟨d ⟨τᵢ, χᵢ⟩ ; ⟨τ_cᵢ, χ_cᵢ⟩ --pc_fn--> ⟨τ_ret, χ_ret⟩, ⊥⟩`.
+///
+/// `pc_fn` is the lower bound on the labels of everything the body writes:
+/// the function may only be invoked in contexts `pc ⊑ pc_fn` (T-Call).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnTy {
+    /// Parameters in declaration order.
+    pub params: Vec<FnParam>,
+    /// Write-effect bound inferred from the body (T-FuncDecl).
+    pub pc_fn: Label,
+    /// Return security type (`⟨unit, ⊥⟩` for actions).
+    pub ret: SecTy,
+    /// Whether this is an action (unit return, may have control-plane
+    /// parameters, eligible to appear in tables).
+    pub is_action: bool,
+}
+
+impl FnTy {
+    /// The directional (data-plane) parameter prefix — the arguments a
+    /// caller or a table declaration must supply.
+    pub fn data_params(&self) -> impl Iterator<Item = &FnParam> {
+        self.params.iter().filter(|p| !p.control_plane)
+    }
+
+    /// The directionless (control-plane) parameters, supplied by the
+    /// controller at table-install time.
+    pub fn control_params(&self) -> impl Iterator<Item = &FnParam> {
+        self.params.iter().filter(|p| p.control_plane)
+    }
+}
+
+/// One resolved function/action parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnParam {
+    /// Parameter name (kept for diagnostics and interpreter binding).
+    pub name: String,
+    /// Effective direction; control-plane parameters behave as `in`.
+    pub direction: Direction,
+    /// Resolved security type.
+    pub ty: SecTy,
+    /// Whether the argument comes from the control plane.
+    pub control_plane: bool,
+}
+
+/// The resolved Core P4 type structure `τ` (Figure 4, without the
+/// outermost label).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ty {
+    /// `bool`.
+    Bool,
+    /// Arbitrary-precision integer.
+    Int,
+    /// Unsigned bit-vector of the given width.
+    Bit(u16),
+    /// Unit (function returns).
+    Unit,
+    /// Record / struct `{ f : ⟨τ, χ⟩ }`.
+    Record(Rc<Vec<(String, SecTy)>>),
+    /// Header `header { f : ⟨τ, χ⟩ }` (always valid in this fragment).
+    Header(Rc<Vec<(String, SecTy)>>),
+    /// Header stack `⟨τ, χ⟩[n]`.
+    Stack(Rc<SecTy>, u32),
+    /// A match-kind constant (`exact`, `lpm`, `ternary`).
+    MatchKind,
+    /// A table closure; the label is `pc_tbl` (T-TblDecl).
+    Table(Label),
+    /// A function or action closure.
+    Function(Rc<FnTy>),
+}
+
+impl Ty {
+    /// Whether the type is a *base* type `ρ` in the sense of Figure 3/4
+    /// (allowed as header/record field, carries its own label).
+    #[must_use]
+    pub fn is_base_scalar(&self) -> bool {
+        matches!(self, Ty::Bool | Ty::Int | Ty::Bit(_))
+    }
+
+    /// The record/header field list, if any.
+    #[must_use]
+    pub fn fields(&self) -> Option<&[(String, SecTy)]> {
+        match self {
+            Ty::Record(fs) | Ty::Header(fs) => Some(fs),
+            _ => None,
+        }
+    }
+
+    /// Looks up a field's security type.
+    #[must_use]
+    pub fn field(&self, name: &str) -> Option<&SecTy> {
+        self.fields()?.iter().find(|(f, _)| f == name).map(|(_, t)| t)
+    }
+}
+
+impl fmt::Display for Ty {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ty::Bool => write!(f, "bool"),
+            Ty::Int => write!(f, "int"),
+            Ty::Bit(n) => write!(f, "bit<{n}>"),
+            Ty::Unit => write!(f, "unit"),
+            Ty::Record(fs) => {
+                write!(f, "struct {{ ")?;
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t:?}")?;
+                }
+                write!(f, " }}")
+            }
+            Ty::Header(fs) => {
+                write!(f, "header {{ ")?;
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {t:?}")?;
+                }
+                write!(f, " }}")
+            }
+            Ty::Stack(t, n) => write!(f, "{:?}[{n}]", t),
+            Ty::MatchKind => write!(f, "match_kind"),
+            Ty::Table(_) => write!(f, "table"),
+            Ty::Function(ft) => {
+                write!(f, "{}(…)", if ft.is_action { "action" } else { "function" })
+            }
+        }
+    }
+}
+
+/// A resolved security type `⟨τ, χ⟩`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SecTy {
+    /// The structural type.
+    pub ty: Ty,
+    /// The (outermost) security label.
+    pub label: Label,
+}
+
+impl SecTy {
+    /// Pairs a type with a label.
+    #[must_use]
+    pub fn new(ty: Ty, label: Label) -> Self {
+        SecTy { ty, label }
+    }
+
+    /// A `⊥`-labeled type.
+    #[must_use]
+    pub fn bottom(ty: Ty, lat: &Lattice) -> Self {
+        SecTy { ty, label: lat.bottom() }
+    }
+
+    /// `⟨unit, ⊥⟩`.
+    #[must_use]
+    pub fn unit(lat: &Lattice) -> Self {
+        SecTy::bottom(Ty::Unit, lat)
+    }
+
+    /// The same type with the label raised to `self.label ⊔ other`.
+    /// (T-SubType-In, applied algorithmically at `in`-positions.)
+    #[must_use]
+    pub fn raised(&self, lat: &Lattice, other: Label) -> SecTy {
+        SecTy { ty: self.ty.clone(), label: lat.join(self.label, other) }
+    }
+
+    /// Renders the type with lattice-resolved label names, e.g.
+    /// `⟨bit<8>, high⟩`.
+    #[must_use]
+    pub fn display<'a>(&'a self, lat: &'a Lattice) -> SecTyDisplay<'a> {
+        SecTyDisplay { ty: self, lat }
+    }
+
+    /// Whether two security types describe the same data layout and labels
+    /// up to implicit `int → bit<n>` literal coercion (P4's
+    /// arbitrary-precision literals). Outer labels are *not* compared; use
+    /// this for the `τ`-equality side conditions of T-Assign / T-Call.
+    #[must_use]
+    pub fn same_shape(&self, other: &SecTy) -> bool {
+        ty_compatible(&self.ty, &other.ty)
+    }
+}
+
+/// Structural compatibility for the τ-equality side conditions, admitting
+/// the `int` literal to `bit<n>` coercion in either direction.
+#[must_use]
+pub fn ty_compatible(a: &Ty, b: &Ty) -> bool {
+    match (a, b) {
+        (Ty::Int, Ty::Bit(_)) | (Ty::Bit(_), Ty::Int) => true,
+        (Ty::Record(x), Ty::Record(y)) | (Ty::Header(x), Ty::Header(y)) => {
+            x.len() == y.len()
+                && x.iter().zip(y.iter()).all(|((nx, tx), (ny, ty))| {
+                    nx == ny && tx.label == ty.label && ty_compatible(&tx.ty, &ty.ty)
+                })
+        }
+        (Ty::Stack(x, n), Ty::Stack(y, m)) => {
+            n == m && x.label == y.label && ty_compatible(&x.ty, &y.ty)
+        }
+        _ => a == b,
+    }
+}
+
+/// Helper for rendering a [`SecTy`] with human-readable label names.
+#[derive(Debug)]
+pub struct SecTyDisplay<'a> {
+    ty: &'a SecTy,
+    lat: &'a Lattice,
+}
+
+impl fmt::Display for SecTyDisplay<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{}, {}>", self.ty.ty, self.lat.name(self.ty.label))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lat() -> Lattice {
+        Lattice::two_point()
+    }
+
+    #[test]
+    fn base_scalars() {
+        assert!(Ty::Bool.is_base_scalar());
+        assert!(Ty::Bit(8).is_base_scalar());
+        assert!(!Ty::Unit.is_base_scalar());
+        assert!(!Ty::MatchKind.is_base_scalar());
+    }
+
+    #[test]
+    fn field_lookup() {
+        let l = lat();
+        let fields = Rc::new(vec![
+            ("ttl".to_string(), SecTy::bottom(Ty::Bit(8), &l)),
+            ("dst".to_string(), SecTy::new(Ty::Bit(32), l.top())),
+        ]);
+        let hdr = Ty::Header(fields);
+        assert_eq!(hdr.field("ttl").unwrap().ty, Ty::Bit(8));
+        assert_eq!(hdr.field("dst").unwrap().label, l.top());
+        assert!(hdr.field("nope").is_none());
+        assert!(Ty::Bool.field("x").is_none());
+    }
+
+    #[test]
+    fn raising_labels() {
+        let l = lat();
+        let t = SecTy::bottom(Ty::Bit(8), &l);
+        let raised = t.raised(&l, l.top());
+        assert_eq!(raised.label, l.top());
+        assert_eq!(raised.ty, Ty::Bit(8));
+        // Raising by bottom is the identity.
+        assert_eq!(t.raised(&l, l.bottom()), t);
+    }
+
+    #[test]
+    fn int_bit_compatibility() {
+        let l = lat();
+        let int = SecTy::bottom(Ty::Int, &l);
+        let bit = SecTy::bottom(Ty::Bit(32), &l);
+        assert!(int.same_shape(&bit));
+        assert!(bit.same_shape(&int));
+        assert!(!SecTy::bottom(Ty::Bool, &l).same_shape(&bit));
+    }
+
+    #[test]
+    fn nested_compatibility_checks_labels() {
+        let l = lat();
+        let mk = |label: Label| {
+            SecTy::bottom(
+                Ty::Record(Rc::new(vec![("f".into(), SecTy::new(Ty::Bit(8), label))])),
+                &l,
+            )
+        };
+        assert!(mk(l.bottom()).same_shape(&mk(l.bottom())));
+        // Field labels are part of the type (Figure 4): mismatch rejected.
+        assert!(!mk(l.bottom()).same_shape(&mk(l.top())));
+    }
+
+    #[test]
+    fn stack_compatibility() {
+        let l = lat();
+        let s8 = Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &l)), 4);
+        let s8b = Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &l)), 4);
+        let s5 = Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &l)), 5);
+        assert!(ty_compatible(&s8, &s8b));
+        assert!(!ty_compatible(&s8, &s5));
+    }
+
+    #[test]
+    fn display_with_labels() {
+        let l = lat();
+        let t = SecTy::new(Ty::Bit(8), l.top());
+        assert_eq!(t.display(&l).to_string(), "<bit<8>, high>");
+    }
+
+    #[test]
+    fn fn_param_partition() {
+        let l = lat();
+        let ft = FnTy {
+            params: vec![
+                FnParam {
+                    name: "x".into(),
+                    direction: Direction::In,
+                    ty: SecTy::bottom(Ty::Bit(8), &l),
+                    control_plane: false,
+                },
+                FnParam {
+                    name: "c".into(),
+                    direction: Direction::In,
+                    ty: SecTy::bottom(Ty::Bit(8), &l),
+                    control_plane: true,
+                },
+            ],
+            pc_fn: l.top(),
+            ret: SecTy::unit(&l),
+            is_action: true,
+        };
+        assert_eq!(ft.data_params().count(), 1);
+        assert_eq!(ft.control_params().count(), 1);
+        assert_eq!(ft.data_params().next().unwrap().name, "x");
+        assert_eq!(ft.control_params().next().unwrap().name, "c");
+    }
+}

@@ -1,0 +1,166 @@
+//! Byte-offset source spans and line/column rendering for diagnostics.
+
+use std::fmt;
+
+/// A half-open byte range `[start, end)` into a source buffer.
+///
+/// Spans are attached to every AST node so the typechecker can point
+/// diagnostics at the offending expression (e.g. the leaking assignment in
+/// Listing 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: u32,
+    /// Byte offset one past the last character.
+    pub end: u32,
+}
+
+impl Span {
+    /// A span covering `[start, end)`.
+    #[must_use]
+    pub fn new(start: u32, end: u32) -> Self {
+        Span { start, end }
+    }
+
+    /// The empty, unknown span. Used for synthesized nodes (prelude,
+    /// desugaring).
+    #[must_use]
+    pub fn dummy() -> Self {
+        Span { start: 0, end: 0 }
+    }
+
+    /// Smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// Whether this is the dummy span.
+    #[must_use]
+    pub fn is_dummy(self) -> bool {
+        self.start == 0 && self.end == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}..{}", self.start, self.end)
+    }
+}
+
+/// A value paired with the span it came from.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Spanned<T> {
+    /// The carried value.
+    pub node: T,
+    /// Where it appeared in the source.
+    pub span: Span,
+}
+
+impl<T> Spanned<T> {
+    /// Pairs a value with a span.
+    pub fn new(node: T, span: Span) -> Self {
+        Spanned { node, span }
+    }
+
+    /// Maps the carried value, keeping the span.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Spanned<U> {
+        Spanned { node: f(self.node), span: self.span }
+    }
+}
+
+/// 1-based line/column position, derived from a span start and the source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LineCol {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column (in bytes).
+    pub col: u32,
+}
+
+impl fmt::Display for LineCol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// Computes the 1-based line/column of a byte offset in `source`.
+///
+/// Offsets past the end clamp to the final position.
+#[must_use]
+pub fn line_col(source: &str, offset: u32) -> LineCol {
+    let offset = (offset as usize).min(source.len());
+    let mut line = 1u32;
+    let mut col = 1u32;
+    for (i, b) in source.bytes().enumerate() {
+        if i >= offset {
+            break;
+        }
+        if b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    LineCol { line, col }
+}
+
+/// Extracts the full source line containing `offset`, for diagnostic
+/// underlining.
+#[must_use]
+pub fn source_line(source: &str, offset: u32) -> &str {
+    let offset = (offset as usize).min(source.len());
+    let start = source[..offset].rfind('\n').map_or(0, |i| i + 1);
+    let end = source[offset..].find('\n').map_or(source.len(), |i| offset + i);
+    &source[start..end]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(3, 7);
+        let b = Span::new(5, 12);
+        assert_eq!(a.to(b), Span::new(3, 12));
+        assert_eq!(b.to(a), Span::new(3, 12));
+    }
+
+    #[test]
+    fn dummy_span() {
+        assert!(Span::dummy().is_dummy());
+        assert!(!Span::new(0, 1).is_dummy());
+    }
+
+    #[test]
+    fn line_col_basic() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), LineCol { line: 1, col: 1 });
+        assert_eq!(line_col(src, 1), LineCol { line: 1, col: 2 });
+        assert_eq!(line_col(src, 3), LineCol { line: 2, col: 1 });
+        assert_eq!(line_col(src, 7), LineCol { line: 3, col: 2 });
+    }
+
+    #[test]
+    fn line_col_clamps() {
+        let src = "x";
+        assert_eq!(line_col(src, 100), LineCol { line: 1, col: 2 });
+    }
+
+    #[test]
+    fn source_line_extraction() {
+        let src = "first\nsecond\nthird";
+        assert_eq!(source_line(src, 0), "first");
+        assert_eq!(source_line(src, 8), "second");
+        assert_eq!(source_line(src, 17), "third");
+    }
+
+    #[test]
+    fn spanned_map() {
+        let s = Spanned::new(2, Span::new(1, 3)).map(|x| x * 10);
+        assert_eq!(s.node, 20);
+        assert_eq!(s.span, Span::new(1, 3));
+    }
+}

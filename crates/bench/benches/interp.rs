@@ -1,0 +1,119 @@
+//! **Substrate benchmark F-extra-3** (DESIGN.md): interpreter and
+//! NI-harness throughput.
+//!
+//! Measures packets/second through the Topology forwarding pipeline and
+//! the D2R BFS pipeline (the two most table-heavy corpus programs), plus
+//! the cost of one paired non-interference trial. These numbers bound how
+//! many NI trials the soundness fuzzer can afford.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use p4bid::interp::{run_control, Value};
+use p4bid::ni::{check_non_interference, NiConfig};
+use p4bid::{check, CheckOptions, TypedProgram};
+
+fn b(width: u16, v: u128) -> Value {
+    Value::bit(width, v)
+}
+
+fn topology_packet() -> Vec<Value> {
+    let ipv4 = Value::Header {
+        valid: true,
+        fields: vec![
+            ("ttl".into(), b(8, 64)),
+            ("protocol".into(), b(8, 6)),
+            ("srcAddr".into(), b(32, 0xC0A8_0001)),
+            ("dstAddr".into(), b(32, 0x0A00_0001)),
+        ],
+    };
+    let eth = Value::Header {
+        valid: true,
+        fields: vec![("srcAddr".into(), b(48, 0x1111)), ("dstAddr".into(), b(48, 0x2222))],
+    };
+    let local = Value::Header {
+        valid: true,
+        fields: vec![
+            ("phys_dstAddr".into(), b(32, 0)),
+            ("phys_ttl".into(), b(8, 0)),
+            ("next_hop_MAC_addr".into(), b(48, 0)),
+        ],
+    };
+    let hdr = Value::Record(vec![
+        ("ipv4".into(), ipv4),
+        ("eth".into(), eth),
+        ("local_hdr".into(), local),
+    ]);
+    vec![hdr, std_meta()]
+}
+
+fn std_meta() -> Value {
+    Value::Record(vec![
+        ("ingress_port".into(), b(9, 1)),
+        ("egress_spec".into(), b(9, 0)),
+        ("egress_port".into(), b(9, 0)),
+        ("instance_type".into(), b(32, 0)),
+        ("packet_length".into(), b(32, 128)),
+        ("priority".into(), b(3, 0)),
+    ])
+}
+
+fn typed(src: &str) -> TypedProgram {
+    check(src, &CheckOptions::ifc()).expect("corpus typechecks")
+}
+
+fn bench_interp(c: &mut Criterion) {
+    let topo = typed(p4bid::corpus::TOPOLOGY.secure);
+    let topo_cp = p4bid::corpus::demo_control_plane("Topology");
+    let packet = topology_packet();
+
+    let mut group = c.benchmark_group("interp");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("topology_packet", |bch| {
+        bch.iter(|| {
+            run_control(&topo, &topo_cp, "Obfuscate_Ingress", packet.clone())
+                .expect("runs")
+        });
+    });
+
+    let d2r = typed(p4bid::corpus::D2R.secure);
+    let d2r_cp = p4bid::corpus::demo_control_plane("D2R");
+    let bfs = Value::Header {
+        valid: true,
+        fields: vec![
+            ("curr".into(), b(32, 1)),
+            ("next_node".into(), b(32, 3)),
+            ("tried_links".into(), b(32, 0)),
+            ("num_hops".into(), b(32, 0)),
+        ],
+    };
+    let ipv4 = Value::Header {
+        valid: true,
+        fields: vec![
+            ("priority".into(), b(3, 0)),
+            ("ttl".into(), b(8, 64)),
+            ("srcAddr".into(), b(32, 1)),
+            ("dstAddr".into(), b(32, 3)),
+        ],
+    };
+    let d2r_packet =
+        vec![Value::Record(vec![("bfs".into(), bfs), ("ipv4".into(), ipv4)]), std_meta()];
+    group.bench_function("d2r_bfs_packet", |bch| {
+        bch.iter(|| {
+            run_control(&d2r, &d2r_cp, "D2R_Ingress", d2r_packet.clone()).expect("runs")
+        });
+    });
+    group.finish();
+
+    let mut ni_group = c.benchmark_group("ni_harness");
+    ni_group.throughput(Throughput::Elements(10));
+    ni_group.bench_function("topology_10_pairs", |bch| {
+        let cfg = NiConfig::default().with_runs(10);
+        bch.iter(|| {
+            let out = check_non_interference(&topo, &topo_cp, "Obfuscate_Ingress", &cfg);
+            assert!(out.holds());
+        });
+    });
+    ni_group.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! **Ablation F-extra-2** (DESIGN.md): IFC checking time vs lattice size.
+//!
+//! The type system is parametric in the lattice (§4.2); the paper ships a
+//! 2-point and a 4-point lattice and conjectures richer per-tenant
+//! lattices (§5.4, "the same idea can be directly generalized to more
+//! parties"). This sweep checks the same program under chain lattices of
+//! 2..=64 levels and under growing diamond-like tenant lattices.
+//!
+//! Expected shape: near-flat — lattice operations are O(1) table lookups,
+//! so checking time should be insensitive to lattice size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4bid::lattice::Lattice;
+use p4bid::synth::synth_program;
+use p4bid::{check, CheckOptions};
+
+/// A tenant lattice: ⊥ < t0, …, t{k-1} < ⊤ (the §5.4 generalization).
+fn tenant_lattice(k: usize) -> Lattice {
+    let mut names = vec!["low".to_string(), "high".to_string()];
+    let mut order = Vec::new();
+    for i in 0..k {
+        let t = format!("t{i}");
+        order.push(("low".to_string(), t.clone()));
+        order.push((t.clone(), "high".to_string()));
+        names.push(t);
+    }
+    if k == 0 {
+        order.push(("low".to_string(), "high".to_string()));
+    }
+    Lattice::from_order(&names, &order).expect("tenant lattices are well-formed")
+}
+
+fn bench_lattice_size(c: &mut Criterion) {
+    // The program uses only `low`/`high`, so it checks under every lattice
+    // that contains those two names.
+    let program = synth_program(16, true);
+
+    let mut group = c.benchmark_group("lattice_size");
+    for k in [2usize, 4, 8, 16, 32, 64] {
+        let mut names = vec!["low".to_string()];
+        for i in 1..k - 1 {
+            names.push(format!("mid{i}"));
+        }
+        names.push("high".to_string());
+        let order: Vec<(String, String)> =
+            names.windows(2).map(|w| (w[0].clone(), w[1].clone())).collect();
+        let lattice = Lattice::from_order(&names, &order).expect("chains are lattices");
+        group.bench_with_input(BenchmarkId::new("chain", k), &lattice, |b, lat| {
+            let opts = CheckOptions::ifc().with_lattice(lat.clone());
+            b.iter(|| check(&program, &opts).expect("accepts"));
+        });
+    }
+    for tenants in [2usize, 8, 32] {
+        let lattice = tenant_lattice(tenants);
+        group.bench_with_input(
+            BenchmarkId::new("tenants", tenants),
+            &lattice,
+            |b, lat| {
+                let opts = CheckOptions::ifc().with_lattice(lat.clone());
+                b.iter(|| check(&program, &opts).expect("accepts"));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lattice_size);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! **Ablation F-extra-1** (DESIGN.md): typechecking time vs program size.
+//!
+//! Sweeps synthetic programs with `n ∈ {1, 4, 16, 64, 128}` match-action
+//! table/action pairs and measures the baseline checker on the
+//! unannotated form against the IFC checker on the annotated form.
+//!
+//! Expected shape: both checkers scale (near-)linearly in program size,
+//! with the IFC line a small constant factor above the baseline —
+//! consistent with Table 1's claim that the security extension is cheap.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p4bid::synth::synth_program;
+use p4bid::{check, CheckOptions};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    for n in [1usize, 4, 16, 64, 128] {
+        let annotated = synth_program(n, true);
+        let plain = synth_program(n, false);
+        group.throughput(Throughput::Bytes(annotated.len() as u64));
+        group.bench_with_input(BenchmarkId::new("base", n), &plain, |b, src| {
+            b.iter(|| check(src, &CheckOptions::base()).expect("accepts"));
+        });
+        group.bench_with_input(BenchmarkId::new("ifc", n), &annotated, |b, src| {
+            b.iter(|| check(src, &CheckOptions::ifc()).expect("accepts"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

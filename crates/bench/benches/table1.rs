@@ -1,0 +1,46 @@
+//! **Table 1** of the paper: typechecking time in milliseconds for the
+//! five case-study programs, comparing the unannotated program under the
+//! baseline (p4c-analog) checker with the annotated program under P4BID.
+//!
+//! The paper reports ~5 % (≈30 ms on p4c's ~550 ms) average overhead; the
+//! expected *shape* here is the same — IFC checking costs a small constant
+//! factor over the baseline — while absolute numbers differ because the
+//! substrate is this workspace's front end, not p4c.
+//!
+//! Run with `cargo bench -p p4bid-bench --bench table1`. A paper-style
+//! table is printed at the end of the run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use p4bid::report::{measure_table1, render_table1, unannotated_source};
+use p4bid::{check, CheckOptions};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1");
+    for cs in p4bid::corpus::case_studies() {
+        if cs.name == "NetChain" {
+            continue; // Table 1 has exactly the five paper rows.
+        }
+        let plain = unannotated_source(&cs);
+        group.bench_with_input(
+            BenchmarkId::new("unannotated_base", cs.name),
+            &plain,
+            |b, src| {
+                b.iter(|| check(src, &CheckOptions::base()).expect("baseline accepts"));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("annotated_p4bid", cs.name),
+            &cs.secure,
+            |b, src| {
+                b.iter(|| check(src, &CheckOptions::ifc()).expect("P4BID accepts"));
+            },
+        );
+    }
+    group.finish();
+
+    // Paper-style summary table.
+    println!("\n{}", render_table1(&measure_table1(30)));
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Benchmark-only crate: see the `benches/` directory.
+//!
+//! * `table1` — regenerates the paper's Table 1 (typechecking time,
+//!   baseline vs P4BID);
+//! * `scaling` — checking time vs program size (ablation);
+//! * `lattice_size` — checking time vs lattice size (ablation);
+//! * `interp` — interpreter and NI-harness throughput (substrate).
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,210 @@
+//! The `p4bid` command-line tool.
+//!
+//! ```text
+//! p4bid check FILE [--base|--permissive] [--pc LABEL]   typecheck a program
+//! p4bid matrix                                          §5 case-study accept/reject matrix
+//! p4bid table1 [ITERS]                                  regenerate Table 1 (default 20 iterations)
+//! p4bid ni FILE --control NAME [--runs N] [--observe L] empirical non-interference check
+//! p4bid corpus [NAME] [--insecure|--unannotated]        list or print corpus programs
+//! p4bid fuzz [N] [--safe-bias F]                        soundness fuzzing over N random programs
+//! ```
+
+use p4bid::ni::{check_non_interference, random_program, GenConfig, NiConfig, NiOutcome};
+use p4bid::report::{
+    case_study_matrix, measure_table1, render_matrix, render_table1, unannotated_source,
+};
+use p4bid::{check, render_diagnostics, CheckOptions};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => cmd_check(&args[1..]),
+        Some("matrix") => {
+            print!("{}", render_matrix(&case_study_matrix()));
+            ExitCode::SUCCESS
+        }
+        Some("table1") => {
+            let iters = args
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(20u32);
+            print!("{}", render_table1(&measure_table1(iters)));
+            ExitCode::SUCCESS
+        }
+        Some("ni") => cmd_ni(&args[1..]),
+        Some("corpus") => cmd_corpus(&args[1..]),
+        Some("fuzz") => cmd_fuzz(&args[1..]),
+        _ => {
+            eprintln!(
+                "usage:\n  p4bid check FILE [--base|--permissive] [--pc LABEL]\n  \
+                 p4bid matrix\n  p4bid table1 [ITERS]\n  \
+                 p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
+                 p4bid corpus [NAME] [--insecure|--unannotated]\n  \
+                 p4bid fuzz [N] [--safe-bias F]"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn read_source(path: &str) -> Result<String, ExitCode> {
+    std::fs::read_to_string(path).map_err(|e| {
+        eprintln!("error: cannot read `{path}`: {e}");
+        ExitCode::from(2)
+    })
+}
+
+fn cmd_check(args: &[String]) -> ExitCode {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("error: `p4bid check` needs a file");
+        return ExitCode::from(2);
+    };
+    let source = match read_source(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    let mut opts = if args.iter().any(|a| a == "--base") {
+        CheckOptions::base()
+    } else if args.iter().any(|a| a == "--permissive") {
+        CheckOptions::permissive()
+    } else {
+        CheckOptions::ifc()
+    };
+    if let Some(pc) = flag_value(args, "--pc") {
+        opts = opts.with_pc(pc);
+    }
+    match check(&source, &opts) {
+        Ok(typed) => {
+            println!(
+                "ok: {} control block(s) typecheck under lattice {}",
+                typed.controls.len(),
+                typed.lattice
+            );
+            ExitCode::SUCCESS
+        }
+        Err(diags) => {
+            eprint!("{}", render_diagnostics(&source, &diags));
+            eprintln!("{} error(s)", diags.len());
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_ni(args: &[String]) -> ExitCode {
+    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+        eprintln!("error: `p4bid ni` needs a file");
+        return ExitCode::from(2);
+    };
+    let source = match read_source(path) {
+        Ok(s) => s,
+        Err(code) => return code,
+    };
+    // Permissive so that leaky programs can be *run* and witnessed.
+    let typed = match check(&source, &CheckOptions::permissive()) {
+        Ok(t) => t,
+        Err(diags) => {
+            eprint!("{}", render_diagnostics(&source, &diags));
+            return ExitCode::FAILURE;
+        }
+    };
+    let control = match flag_value(args, "--control") {
+        Some(c) => c.to_string(),
+        None => match typed.controls.first() {
+            Some(c) => c.name.clone(),
+            None => {
+                eprintln!("error: the program declares no control block");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    let mut config = NiConfig::default();
+    if let Some(runs) = flag_value(args, "--runs").and_then(|s| s.parse().ok()) {
+        config = config.with_runs(runs);
+    }
+    if let Some(observe) = flag_value(args, "--observe") {
+        config = config.observing(observe);
+    }
+    let cp = p4bid::interp::ControlPlane::new();
+    match check_non_interference(&typed, &cp, &control, &config) {
+        NiOutcome::Holds { runs } => {
+            println!("non-interference held on {runs} random low-equivalent input pairs");
+            ExitCode::SUCCESS
+        }
+        NiOutcome::Leak(witness) => {
+            print!("{witness}");
+            ExitCode::FAILURE
+        }
+        NiOutcome::Error(e) => {
+            eprintln!("evaluation error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn cmd_corpus(args: &[String]) -> ExitCode {
+    let name = args.iter().find(|a| !a.starts_with("--"));
+    match name {
+        None => {
+            for cs in p4bid::corpus::case_studies() {
+                println!("{:<10} {:<28} {}", cs.name, cs.section, cs.description);
+            }
+            ExitCode::SUCCESS
+        }
+        Some(name) => match p4bid::corpus::case_study(name) {
+            Some(cs) => {
+                if args.iter().any(|a| a == "--insecure") {
+                    print!("{}", cs.insecure);
+                } else if args.iter().any(|a| a == "--unannotated") {
+                    print!("{}", unannotated_source(&cs));
+                } else {
+                    print!("{}", cs.secure);
+                }
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!("error: unknown case study `{name}`; try `p4bid corpus`");
+                ExitCode::from(2)
+            }
+        },
+    }
+}
+
+fn cmd_fuzz(args: &[String]) -> ExitCode {
+    let n: u64 = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200);
+    let mut cfg = GenConfig::default();
+    if let Some(bias) = flag_value(args, "--safe-bias").and_then(|s| s.parse().ok()) {
+        cfg = cfg.with_safe_bias(bias);
+    }
+    let ni_cfg = NiConfig::default().with_runs(30);
+    let (mut accepted, mut rejected) = (0u64, 0u64);
+    for seed in 0..n {
+        let gp = random_program(seed, &cfg);
+        match check(&gp.source, &CheckOptions::ifc()) {
+            Ok(typed) => {
+                accepted += 1;
+                let out = check_non_interference(&typed, &gp.control_plane, "Fuzz", &ni_cfg);
+                if let NiOutcome::Leak(w) = &out {
+                    eprintln!("SOUNDNESS VIOLATION at seed {seed}:\n{}\n{w}", gp.source);
+                    return ExitCode::FAILURE;
+                }
+            }
+            Err(_) => rejected += 1,
+        }
+    }
+    println!(
+        "fuzzed {n} programs: {accepted} accepted (all non-interfering), {rejected} rejected"
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,1029 @@
+//! The case-study corpus: the five programs of Table 1 plus the NetChain
+//! variant of §5.1, each in a *secure* (accepted) and an *insecure*
+//! (rejected) annotated form.
+//!
+//! | Name       | Paper section        | Property          | Seeded bug |
+//! |------------|----------------------|-------------------|------------|
+//! | `Topology` | §2, Listings 1–2     | confidentiality   | local TTL stored in the public `ipv4.ttl` |
+//! | `D2R`      | §5.1, Listing 3      | confidentiality   | packet priority derived from the secret failure count |
+//! | `NetChain` | §5.1 (end)           | confidentiality   | chain role (secret topology) selects reply behaviour |
+//! | `Cache`    | §5.2, Listing 4      | timing/conf.      | public `hit` flag keyed on the secret query |
+//! | `App`      | §5.3, Listing 5      | integrity         | untrusted `appID` sets the trusted priority |
+//! | `Lattice`  | §5.4, Listings 6–7   | isolation         | Alice writes Bob's field and keys on telemetry |
+//!
+//! The unannotated baseline form used for the "p4c" column of Table 1 is
+//! derived mechanically by [`crate::strip::strip_annotations`].
+
+use p4bid_interp::{ControlPlane, KeyPattern, TableEntry, Value};
+use p4bid_typeck::DiagCode;
+
+/// One corpus entry.
+#[derive(Debug, Clone, Copy)]
+pub struct CaseStudy {
+    /// Short name (the Table 1 row label).
+    pub name: &'static str,
+    /// Where in the paper the case study comes from.
+    pub section: &'static str,
+    /// One-line description of the property and the seeded bug.
+    pub description: &'static str,
+    /// Security-annotated source that the IFC checker accepts.
+    pub secure: &'static str,
+    /// Security-annotated source with the paper's seeded bug; rejected.
+    pub insecure: &'static str,
+    /// The control block to execute for demos/NI runs.
+    pub control: &'static str,
+    /// Diagnostic classes the insecure variant must trigger.
+    pub expected_codes: &'static [DiagCode],
+    /// Whether the seeded leak is input-dependent, i.e. whether the
+    /// paired-execution harness can exhibit a concrete witness. (The
+    /// Topology leak flows from control-plane data, which is identical
+    /// across the two runs of Definition 4.2, so it is caught by the type
+    /// system but not observable by input scrambling.)
+    pub leak_observable: bool,
+}
+
+/// All case studies, in Table 1 order (plus NetChain).
+#[must_use]
+pub fn case_studies() -> Vec<CaseStudy> {
+    vec![D2R, APP, LATTICE, TOPOLOGY, CACHE, NETCHAIN]
+}
+
+/// Looks up a case study by (case-insensitive) name.
+#[must_use]
+pub fn case_study(name: &str) -> Option<CaseStudy> {
+    case_studies().into_iter().find(|c| c.name.eq_ignore_ascii_case(name))
+}
+
+// =====================================================================
+// Topology — §2, Listings 1 and 2
+// =====================================================================
+
+/// Virtual-to-physical address translation at the edge of a private
+/// network. Local topology data (`local_hdr`) is `high`; the public
+/// `ipv4`/`eth` headers are `low`. The buggy version stores the *local*
+/// TTL into the public header, leaking topology information even after
+/// `local_hdr` is stripped at the network edge.
+pub const TOPOLOGY: CaseStudy = CaseStudy {
+    name: "Topology",
+    section: "§2, Listings 1–2",
+    description: "virtual→physical translation; local ttl leaks into the public ipv4 header",
+    secure: TOPOLOGY_SECURE,
+    insecure: TOPOLOGY_INSECURE,
+    control: "Obfuscate_Ingress",
+    expected_codes: &[DiagCode::ExplicitFlow],
+    leak_observable: false,
+};
+
+const TOPOLOGY_SECURE: &str = r#"
+// Translating virtual to physical addresses (Listing 1, fixed as in
+// Listing 2): all data specific to the local network is high.
+header local_hdr_t {
+    <bit<32>, high> phys_dstAddr;
+    <bit<8>,  high> phys_ttl;
+    <bit<48>, high> next_hop_MAC_addr;
+}
+
+header ipv4_t {
+    <bit<8>,  low> ttl;
+    <bit<8>,  low> protocol;
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;
+}
+
+header eth_t {
+    <bit<48>, low> srcAddr;
+    <bit<48>, low> dstAddr;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    eth_t eth;
+    local_hdr_t local_hdr;
+}
+
+control Obfuscate_Ingress(inout headers hdr,
+                          inout standard_metadata_t std_metadata) {
+    action update_to_phys(<bit<32>, high> phys_dstAddr,
+                          <bit<8>,  high> phys_ttl) {
+        hdr.local_hdr.phys_dstAddr = phys_dstAddr;
+        // *FIX*: high <- high (Listing 2, line 26)
+        hdr.local_hdr.phys_ttl = phys_ttl;
+    }
+    table virtual2phys_topology {
+        key = { hdr.ipv4.dstAddr: exact; }
+        actions = { update_to_phys; NoAction; }
+        default_action = NoAction;
+    }
+    action ipv4_forward(<bit<48>, low> dstAddr, <bit<9>, low> port) {
+        hdr.eth.dstAddr = dstAddr;
+        std_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table ipv4_lpm_forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { ipv4_forward; drop; }
+        default_action = drop;
+    }
+    apply {
+        virtual2phys_topology.apply();
+        ipv4_lpm_forward.apply();
+    }
+}
+"#;
+
+const TOPOLOGY_INSECURE: &str = r#"
+// Translating virtual to physical addresses (Listing 1): the local ttl is
+// incorrectly stored in the public ipv4 header.
+header local_hdr_t {
+    <bit<32>, high> phys_dstAddr;
+    <bit<8>,  high> phys_ttl;
+    <bit<48>, high> next_hop_MAC_addr;
+}
+
+header ipv4_t {
+    <bit<8>,  low> ttl;
+    <bit<8>,  low> protocol;
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;
+}
+
+header eth_t {
+    <bit<48>, low> srcAddr;
+    <bit<48>, low> dstAddr;
+}
+
+struct headers {
+    ipv4_t ipv4;
+    eth_t eth;
+    local_hdr_t local_hdr;
+}
+
+control Obfuscate_Ingress(inout headers hdr,
+                          inout standard_metadata_t std_metadata) {
+    action update_to_phys(<bit<32>, high> phys_dstAddr,
+                          <bit<8>,  high> phys_ttl) {
+        hdr.local_hdr.phys_dstAddr = phys_dstAddr;
+        // !BUG!: low <- high (Listing 1, line 34)
+        hdr.ipv4.ttl = phys_ttl;
+    }
+    table virtual2phys_topology {
+        key = { hdr.ipv4.dstAddr: exact; }
+        actions = { update_to_phys; NoAction; }
+        default_action = NoAction;
+    }
+    action ipv4_forward(<bit<48>, low> dstAddr, <bit<9>, low> port) {
+        hdr.eth.dstAddr = dstAddr;
+        std_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table ipv4_lpm_forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { ipv4_forward; drop; }
+        default_action = drop;
+    }
+    apply {
+        virtual2phys_topology.apply();
+        ipv4_lpm_forward.apply();
+    }
+}
+"#;
+
+// =====================================================================
+// D2R — §5.1, Listing 3
+// =====================================================================
+
+/// Dataplane routing with priorities. The BFS bookkeeping carried in the
+/// packet includes a secret hop count (`num_hops`); deriving the public
+/// packet priority from the failure count (an arithmetic function of the
+/// secret) is an indirect leak. The fix derives priority from the public
+/// tried-links bitmap only.
+pub const D2R: CaseStudy = CaseStudy {
+    name: "D2R",
+    section: "§5.1, Listing 3",
+    description: "dataplane BFS rerouting; failure count leaks into packet priority",
+    secure: D2R_SECURE,
+    insecure: D2R_INSECURE,
+    control: "D2R_Ingress",
+    expected_codes: &[DiagCode::ImplicitFlow],
+    leak_observable: true,
+};
+
+const D2R_SECURE: &str = r#"
+// D2R: policy-compliant fast reroute in the data plane (Subramanian et
+// al.), with link-failure-aware priorities computed from public data only.
+header bfs_t {
+    <bit<32>, low>  curr;
+    <bit<32>, low>  next_node;
+    <bit<32>, low>  tried_links;
+    <bit<32>, high> num_hops;
+}
+
+header ipv4_t {
+    <bit<3>,  low> priority;
+    <bit<8>,  low> ttl;
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;
+}
+
+struct headers {
+    bfs_t bfs;
+    ipv4_t ipv4;
+}
+
+control D2R_Ingress(inout headers hdr,
+                    inout standard_metadata_t std_metadata) {
+    // The number of links this packet tried is public; the hop count is
+    // not (it reveals link reliability in the transit network).
+    <bit<32>, low> attempts = num_bits_set(hdr.bfs.tried_links);
+
+    action bfs_advance(bit<32> next, bit<32> link_id) {
+        hdr.bfs.curr = next;
+        hdr.bfs.tried_links = hdr.bfs.tried_links | link_id;
+        hdr.bfs.num_hops = hdr.bfs.num_hops + 32w1;
+    }
+    table bfs_step {
+        key = { hdr.bfs.curr: exact; }
+        actions = { bfs_advance; NoAction; }
+        default_action = NoAction;
+    }
+    action forwarding(in <bit<32>, low> tried, bit<9> port) {
+        // *FIX*: priority from the public tried-links proxy only.
+        if (tried >= 32w4) {
+            hdr.ipv4.priority = 3w7;
+        } else {
+            hdr.ipv4.priority = 3w1;
+        }
+        std_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table forward {
+        key = { hdr.bfs.next_node: exact; }
+        actions = { forwarding(attempts); drop; }
+        default_action = drop;
+    }
+    apply {
+        // P4 has no loops: the BFS is unrolled (Listing 3, line 41).
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) { bfs_step.apply(); }
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) { bfs_step.apply(); }
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) { bfs_step.apply(); }
+        if (hdr.bfs.curr == hdr.ipv4.dstAddr) { forward.apply(); }
+    }
+}
+"#;
+
+const D2R_INSECURE: &str = r#"
+// D2R with failure-count priorities (Listing 3): the failure count is
+// derived from the secret hop count, and forwarding branches on it to set
+// the public priority — an indirect leak.
+header bfs_t {
+    <bit<32>, low>  curr;
+    <bit<32>, low>  next_node;
+    <bit<32>, low>  tried_links;
+    <bit<32>, high> num_hops;
+}
+
+header ipv4_t {
+    <bit<3>,  low> priority;
+    <bit<8>,  low> ttl;
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;
+}
+
+struct headers {
+    bfs_t bfs;
+    ipv4_t ipv4;
+}
+
+control D2R_Ingress(inout headers hdr,
+                    inout standard_metadata_t std_metadata) {
+    // Listing 3, line 19: failures = popcount(tried_links) - num_hops.
+    <bit<32>, high> failures
+        = num_bits_set(hdr.bfs.tried_links) - hdr.bfs.num_hops;
+
+    action bfs_advance(bit<32> next, bit<32> link_id) {
+        hdr.bfs.curr = next;
+        hdr.bfs.tried_links = hdr.bfs.tried_links | link_id;
+        hdr.bfs.num_hops = hdr.bfs.num_hops + 32w1;
+    }
+    table bfs_step {
+        key = { hdr.bfs.curr: exact; }
+        actions = { bfs_advance; NoAction; }
+        default_action = NoAction;
+    }
+    action forwarding(in <bit<32>, high> failures_in, bit<9> port) {
+        if (failures_in >= 32w4) {
+            hdr.ipv4.priority = 3w7;   // Leak (Listing 3, line 28)
+        } else {
+            hdr.ipv4.priority = 3w1;   // Leak (Listing 3, line 31)
+        }
+        std_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table forward {
+        key = { hdr.bfs.next_node: exact; }
+        actions = { forwarding(failures); drop; }
+        default_action = drop;
+    }
+    apply {
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) { bfs_step.apply(); }
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) { bfs_step.apply(); }
+        if (hdr.bfs.curr != hdr.ipv4.dstAddr) { bfs_step.apply(); }
+        if (hdr.bfs.curr == hdr.ipv4.dstAddr) { forward.apply(); }
+    }
+}
+"#;
+
+// =====================================================================
+// NetChain — §5.1 (final paragraph)
+// =====================================================================
+
+/// In-network chain replication (Jin et al.). Each switch's role in the
+/// chain (head / internal / tail) determines whether it emits a reply.
+/// Treating the role as secret topology information, keying the reply
+/// behaviour on it is the same indirect leak pattern as D2R.
+pub const NETCHAIN: CaseStudy = CaseStudy {
+    name: "NetChain",
+    section: "§5.1 (NetChain)",
+    description: "chain replication; the secret chain role determines the visible reply",
+    secure: NETCHAIN_SECURE,
+    insecure: NETCHAIN_INSECURE,
+    control: "NetChain_Ingress",
+    expected_codes: &[DiagCode::TableKeyFlow],
+    leak_observable: true,
+};
+
+const NETCHAIN_SECURE: &str = r#"
+// NetChain-style in-network chain replication over a switch-local
+// key-value store (Jin et al., NSDI'18). The chain role is public here:
+// the operator accepts that per-switch roles are visible.
+header netchain_t {
+    <bit<8>,  low> role;        // 0 = head, 1 = internal, 2 = tail
+    <bit<32>, low> seq;
+    <bit<1>,  low> op;          // 0 = read, 1 = write
+    <bit<32>, low> key_field;
+    <bit<32>, low> value_field;
+    <bit<8>,  low> reply;
+}
+
+header udp_t {
+    <bit<16>, low> srcPort;
+    <bit<16>, low> dstPort;
+}
+
+struct headers {
+    netchain_t nc;
+    udp_t udp;
+}
+
+control NetChain_Ingress(inout headers hdr,
+                         inout standard_metadata_t std_metadata) {
+    // The switch-local store: an 8-slot register file modeled as a stack.
+    bit<32>[8] kv_store;
+
+    action head_process(bit<9> next_hop) {
+        // Heads sequence writes and start the chain.
+        hdr.nc.seq = hdr.nc.seq + 32w1;
+        kv_store[hdr.nc.key_field & 32w7] = hdr.nc.value_field;
+        hdr.nc.reply = 8w0;
+        std_metadata.egress_spec = next_hop;
+    }
+    action internal_process(bit<9> next_hop) {
+        kv_store[hdr.nc.key_field & 32w7] = hdr.nc.value_field;
+        hdr.nc.reply = 8w0;
+        std_metadata.egress_spec = next_hop;
+    }
+    action tail_process(bit<9> client_port) {
+        // Tails commit, answer the client, and close the chain.
+        kv_store[hdr.nc.key_field & 32w7] = hdr.nc.value_field;
+        hdr.nc.reply = 8w1;
+        std_metadata.egress_spec = client_port;
+    }
+    action read_process(bit<9> client_port) {
+        // Reads are served by the tail alone.
+        hdr.nc.value_field = kv_store[hdr.nc.key_field & 32w7];
+        hdr.nc.reply = 8w1;
+        std_metadata.egress_spec = client_port;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table chain_role {
+        key = { hdr.nc.role: exact; hdr.nc.op: exact; }
+        actions = { head_process; internal_process; tail_process;
+                    read_process; drop; }
+        default_action = drop;
+    }
+    apply {
+        if (hdr.nc.seq != 32w0) {
+            chain_role.apply();
+        } else {
+            mark_to_drop(std_metadata);
+        }
+    }
+}
+"#;
+
+const NETCHAIN_INSECURE: &str = r#"
+// NetChain with the chain role marked secret: matching on it to decide
+// whether and how to reply gives away private topological information.
+header netchain_t {
+    <bit<8>,  high> role;       // secret: reveals chain topology
+    <bit<32>, low>  seq;
+    <bit<1>,  low>  op;
+    <bit<32>, low>  key_field;
+    <bit<32>, low>  value_field;
+    <bit<8>,  low>  reply;
+}
+
+header udp_t {
+    <bit<16>, low> srcPort;
+    <bit<16>, low> dstPort;
+}
+
+struct headers {
+    netchain_t nc;
+    udp_t udp;
+}
+
+control NetChain_Ingress(inout headers hdr,
+                         inout standard_metadata_t std_metadata) {
+    bit<32>[8] kv_store;
+
+    action head_process(bit<9> next_hop) {
+        hdr.nc.seq = hdr.nc.seq + 32w1;
+        kv_store[hdr.nc.key_field & 32w7] = hdr.nc.value_field;
+        hdr.nc.reply = 8w0;
+        std_metadata.egress_spec = next_hop;
+    }
+    action internal_process(bit<9> next_hop) {
+        kv_store[hdr.nc.key_field & 32w7] = hdr.nc.value_field;
+        hdr.nc.reply = 8w0;
+        std_metadata.egress_spec = next_hop;
+    }
+    action tail_process(bit<9> client_port) {
+        kv_store[hdr.nc.key_field & 32w7] = hdr.nc.value_field;
+        hdr.nc.reply = 8w1;
+        std_metadata.egress_spec = client_port;
+    }
+    action read_process(bit<9> client_port) {
+        hdr.nc.value_field = kv_store[hdr.nc.key_field & 32w7];
+        hdr.nc.reply = 8w1;
+        std_metadata.egress_spec = client_port;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table chain_role {
+        // Leak: the secret role selects actions that write public data.
+        key = { hdr.nc.role: exact; hdr.nc.op: exact; }
+        actions = { head_process; internal_process; tail_process;
+                    read_process; drop; }
+        default_action = drop;
+    }
+    apply {
+        if (hdr.nc.seq != 32w0) {
+            chain_role.apply();
+        } else {
+            mark_to_drop(std_metadata);
+        }
+    }
+}
+"#;
+
+// =====================================================================
+// Cache — §5.2, Listing 4
+// =====================================================================
+
+/// An in-network key-value cache. Whether a request hits the switch cache
+/// or has to go to the controller is visible to a timing adversary; the
+/// paper models it with an explicit low `hit` flag. Keying the cache on a
+/// secret query makes the actions' writes to `hit` an indirect leak.
+pub const CACHE: CaseStudy = CaseStudy {
+    name: "Cache",
+    section: "§5.2, Listing 4",
+    description: "in-network cache; the public hit flag leaks the secret query (timing model)",
+    secure: CACHE_SECURE,
+    insecure: CACHE_INSECURE,
+    control: "Cache_Ingress",
+    expected_codes: &[DiagCode::TableKeyFlow],
+    leak_observable: true,
+};
+
+const CACHE_SECURE: &str = r#"
+// In-network cache with a secret query: the observable response fields
+// must then be secret too, closing the timing channel the hit flag models.
+header request_t {
+    <bit<8>, high> query;
+}
+
+header response_t {
+    <bool,   high> hit;
+    <bit<32>, high> value_field;
+}
+
+header eth_t {
+    <bit<48>, low> srcAddr;
+    <bit<48>, low> dstAddr;
+}
+
+struct headers {
+    request_t req;
+    response_t resp;
+    eth_t eth;
+}
+
+control Cache_Ingress(inout headers hdr,
+                      inout standard_metadata_t std_metadata) {
+    action cache_hit(<bit<32>, high> value_arg) {
+        hdr.resp.value_field = value_arg;
+        hdr.resp.hit = true;
+    }
+    action cache_miss() {
+        hdr.resp.hit = false;
+        // ... escalate to the controller ...
+    }
+    table fetch_from_cache {
+        key = { hdr.req.query: exact; }
+        actions = { cache_hit; cache_miss; }
+        default_action = cache_miss;
+    }
+    apply {
+        fetch_from_cache.apply();
+    }
+}
+"#;
+
+const CACHE_INSECURE: &str = r#"
+// In-network cache (Listing 4): the query is secret but the hit flag is
+// public — a timing side channel an adversary can observe.
+header request_t {
+    <bit<8>, high> query;
+}
+
+header response_t {
+    <bool,   low> hit;
+    <bit<32>, low> value_field;
+}
+
+header eth_t {
+    <bit<48>, low> srcAddr;
+    <bit<48>, low> dstAddr;
+}
+
+struct headers {
+    request_t req;
+    response_t resp;
+    eth_t eth;
+}
+
+control Cache_Ingress(inout headers hdr,
+                      inout standard_metadata_t std_metadata) {
+    action cache_hit(<bit<32>, low> value_arg) {
+        hdr.resp.value_field = value_arg;
+        hdr.resp.hit = true;            // Leak (Listing 4, line 8)
+    }
+    action cache_miss() {
+        hdr.resp.hit = false;           // Leak (Listing 4, line 10)
+    }
+    table fetch_from_cache {
+        key = { hdr.req.query: exact; } // secret key selects the actions
+        actions = { cache_hit; cache_miss; }
+        default_action = cache_miss;
+    }
+    apply {
+        fetch_from_cache.apply();
+    }
+}
+"#;
+
+// =====================================================================
+// App — §5.3, Listing 5
+// =====================================================================
+
+/// Gateway resource allocation. Read the labels with the integrity
+/// interpretation: `high` = untrusted, `low` = trusted. Deriving the
+/// trusted packet priority from the client-controlled `appID` lets a
+/// malicious client inflate its own priority; deriving it from the
+/// destination address (which clients cannot lie about without losing
+/// their traffic) is accepted.
+pub const APP: CaseStudy = CaseStudy {
+    name: "App",
+    section: "§5.3, Listing 5",
+    description: "gateway resource allocation; untrusted appID must not set the trusted priority",
+    secure: APP_SECURE,
+    insecure: APP_INSECURE,
+    control: "App_Ingress",
+    expected_codes: &[DiagCode::TableKeyFlow],
+    leak_observable: true,
+};
+
+const APP_SECURE: &str = r#"
+// Resource allocation keyed on trusted data (the fix of §5.3): priority
+// comes from the destination subnetwork, not the client-claimed app id.
+header app_t {
+    <bit<8>, high> appID;       // untrusted, client-controlled
+}
+
+header ipv4_t {
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;     // trusted: lying reroutes your own traffic
+    <bit<3>,  low> priority;    // trusted output
+    <bit<8>,  low> ttl;
+}
+
+struct headers {
+    app_t app;
+    ipv4_t ipv4;
+}
+
+control App_Ingress(inout headers hdr,
+                    inout standard_metadata_t std_metadata) {
+    action set_priority(<bit<3>, low> prio) {
+        hdr.ipv4.priority = prio;
+    }
+    table app_resources {
+        key = { hdr.ipv4.dstAddr: lpm; }   // *FIX*: trusted key
+        actions = { set_priority; NoAction; }
+        default_action = NoAction;
+    }
+    action ipv4_forward(<bit<9>, low> port) {
+        std_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { ipv4_forward; drop; }
+        default_action = drop;
+    }
+    apply {
+        app_resources.apply();
+        forward.apply();
+    }
+}
+"#;
+
+const APP_INSECURE: &str = r#"
+// Resource allocation keyed on the client-claimed app id (Listing 5): a
+// malicious client reports a latency-sensitive appID to inflate its
+// priority — an integrity violation (untrusted -> trusted).
+header app_t {
+    <bit<8>, high> appID;       // untrusted, client-controlled
+}
+
+header ipv4_t {
+    <bit<32>, low> srcAddr;
+    <bit<32>, low> dstAddr;
+    <bit<3>,  low> priority;    // trusted output
+    <bit<8>,  low> ttl;
+}
+
+struct headers {
+    app_t app;
+    ipv4_t ipv4;
+}
+
+control App_Ingress(inout headers hdr,
+                    inout standard_metadata_t std_metadata) {
+    action set_priority(<bit<3>, low> prio) {
+        hdr.ipv4.priority = prio;       // trusted write...
+    }
+    table app_resources {
+        key = { hdr.app.appID: exact; } // ...selected by untrusted data
+        actions = { set_priority; NoAction; }
+        default_action = NoAction;
+    }
+    action ipv4_forward(<bit<9>, low> port) {
+        std_metadata.egress_spec = port;
+        hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+    }
+    action drop() { mark_to_drop(std_metadata); }
+    table forward {
+        key = { hdr.ipv4.dstAddr: lpm; }
+        actions = { ipv4_forward; drop; }
+        default_action = drop;
+    }
+    apply {
+        app_resources.apply();
+        forward.apply();
+    }
+}
+"#;
+
+// =====================================================================
+// Lattice — §5.4, Listings 6 and 7, Figure 8
+// =====================================================================
+
+/// Network isolation over the diamond lattice of Figure 8b: Alice's and
+/// Bob's switches share packet headers; telemetry (`top`) may be written
+/// by anyone but read by no tenant; routing data (`bot`) is readable by
+/// everyone and writable by no tenant. Alice's control is checked at
+/// `pc = A` and Bob's at `pc = B`.
+pub const LATTICE: CaseStudy = CaseStudy {
+    name: "Lattice",
+    section: "§5.4, Listings 6–7, Fig. 8",
+    description: "two-tenant isolation on the diamond lattice; Alice touches Bob's data",
+    secure: LATTICE_SECURE,
+    insecure: LATTICE_INSECURE,
+    control: "Alice_Ingress",
+    expected_codes: &[DiagCode::ExplicitFlow, DiagCode::TableKeyFlow],
+    leak_observable: true,
+};
+
+const LATTICE_SECURE: &str = r#"
+// Isolation-respecting tenant switches (Listing 7) on the Figure 8b
+// diamond lattice.
+lattice { bot < A; bot < B; A < top; B < top; }
+
+header alice_t {
+    <bit<32>, A> data;
+    <bit<32>, A> counter;
+}
+
+header bob_t {
+    <bit<32>, B> data;
+    <bit<32>, B> counter;
+}
+
+header telem_t {
+    <bit<32>, top> hops;
+    <bit<32>, top> queue_depth;
+}
+
+header eth_t {
+    <bit<48>, bot> srcAddr;
+    <bit<48>, bot> dstAddr;
+}
+
+struct headers {
+    alice_t alice_data;
+    bob_t bob_data;
+    telem_t telem;
+    eth_t eth;
+}
+
+@pc(A) control Alice_Ingress(inout headers hdr,
+                             inout standard_metadata_t std_metadata) {
+    action set_by_alice(<bit<32>, A> value) {
+        hdr.alice_data.data = value;
+        hdr.alice_data.counter = hdr.alice_data.counter + 32w1;
+    }
+    action note_in_telemetry() {
+        // Allowed: anyone may accumulate into top-labeled telemetry.
+        hdr.telem.hops = hdr.telem.hops + 32w1;
+    }
+    table update_by_alice {
+        key = { hdr.alice_data.data: exact; }
+        actions = { set_by_alice; note_in_telemetry; NoAction; }
+        default_action = NoAction;
+    }
+    apply { update_by_alice.apply(); }
+}
+
+@pc(B) control Bob_Ingress(inout headers hdr,
+                           inout standard_metadata_t std_metadata) {
+    action set_by_bob() {
+        // Allowed: modify telemetry using telemetry information.
+        hdr.telem.hops = hdr.telem.hops + 32w1;
+    }
+    table update_by_bob {
+        key = { hdr.eth.dstAddr: exact; }
+        actions = { set_by_bob; NoAction; }
+        default_action = NoAction;
+    }
+    apply { update_by_bob.apply(); }
+}
+"#;
+
+const LATTICE_INSECURE: &str = r#"
+// Isolation-violating Alice switch (Listing 6): writes Bob's field and
+// keys a table on the telemetry it must not read.
+lattice { bot < A; bot < B; A < top; B < top; }
+
+header alice_t {
+    <bit<32>, A> data;
+    <bit<32>, A> counter;
+}
+
+header bob_t {
+    <bit<32>, B> data;
+    <bit<32>, B> counter;
+}
+
+header telem_t {
+    <bit<32>, top> hops;
+    <bit<32>, top> queue_depth;
+}
+
+header eth_t {
+    <bit<48>, bot> srcAddr;
+    <bit<48>, bot> dstAddr;
+}
+
+struct headers {
+    alice_t alice_data;
+    bob_t bob_data;
+    telem_t telem;
+    eth_t eth;
+}
+
+@pc(A) control Alice_Ingress(inout headers hdr,
+                             inout standard_metadata_t std_metadata) {
+    action set_by_alice(<bit<32>, A> value) {
+        // Error: should not have written to Bob's field (Listing 6, l.12)
+        hdr.bob_data.data = hdr.alice_data.data + value;
+    }
+    table update_by_alice {
+        // Error: should not have used the telemetry field (Listing 6, l.16)
+        key = { hdr.telem.hops: exact; }
+        actions = { set_by_alice; NoAction; }
+        default_action = NoAction;
+    }
+    apply { update_by_alice.apply(); }
+}
+
+@pc(B) control Bob_Ingress(inout headers hdr,
+                           inout standard_metadata_t std_metadata) {
+    action set_by_bob() {
+        hdr.telem.hops = hdr.telem.hops + 32w1;
+    }
+    table update_by_bob {
+        key = { hdr.eth.dstAddr: exact; }
+        actions = { set_by_bob; NoAction; }
+        default_action = NoAction;
+    }
+    apply { update_by_bob.apply(); }
+}
+"#;
+
+// =====================================================================
+// Demo control planes
+// =====================================================================
+
+/// A small, sensible control-plane configuration for each case study's
+/// tables, used by the examples and the NI demonstrations.
+#[must_use]
+pub fn demo_control_plane(name: &str) -> ControlPlane {
+    let mut cp = ControlPlane::new();
+    let b = Value::bit;
+    match name {
+        "Topology" => {
+            for i in 0..4u128 {
+                cp.add_entry(
+                    "virtual2phys_topology",
+                    TableEntry::new(
+                        vec![KeyPattern::Exact(b(32, 0x0A00_0000 + i))],
+                        "update_to_phys",
+                        vec![b(32, 0xC0A8_0000 + i), b(8, 16 + i)],
+                    ),
+                );
+                cp.add_entry(
+                    "ipv4_lpm_forward",
+                    TableEntry::new(
+                        vec![KeyPattern::Lpm { value: b(32, 0x0A00_0000 + i), prefix_len: 32 }],
+                        "ipv4_forward",
+                        vec![b(48, 0xAABB_0000 + i), b(9, 1 + i)],
+                    ),
+                );
+            }
+        }
+        "D2R" => {
+            // A small topology: nodes 1→2→3, destination 3.
+            for (node, next, link) in [(1u128, 2u128, 1u128), (2, 3, 2), (4, 3, 4)] {
+                cp.add_entry(
+                    "bfs_step",
+                    TableEntry::new(
+                        vec![KeyPattern::Exact(b(32, node))],
+                        "bfs_advance",
+                        vec![b(32, next), b(32, link)],
+                    ),
+                );
+            }
+            for node in 1..=4u128 {
+                cp.add_entry(
+                    "forward",
+                    TableEntry::new(
+                        vec![KeyPattern::Exact(b(32, node))],
+                        "forwarding",
+                        vec![b(9, node)],
+                    ),
+                );
+            }
+        }
+        "NetChain" => {
+            // Writes walk the chain head -> internal -> tail; reads go to
+            // the tail only.
+            for (role, action, port) in [
+                (0u128, "head_process", 2u128),
+                (1, "internal_process", 3),
+                (2, "tail_process", 9),
+            ] {
+                cp.add_entry(
+                    "chain_role",
+                    TableEntry::new(
+                        vec![KeyPattern::Exact(b(8, role)), KeyPattern::Exact(b(1, 1))],
+                        action,
+                        vec![b(9, port)],
+                    ),
+                );
+            }
+            cp.add_entry(
+                "chain_role",
+                TableEntry::new(
+                    vec![KeyPattern::Exact(b(8, 2)), KeyPattern::Exact(b(1, 0))],
+                    "read_process",
+                    vec![b(9, 9)],
+                ),
+            );
+        }
+        "Cache" => {
+            // Half the key space is cached.
+            for q in 0..128u128 {
+                cp.add_entry(
+                    "fetch_from_cache",
+                    TableEntry::new(
+                        vec![KeyPattern::Exact(b(8, q))],
+                        "cache_hit",
+                        vec![b(32, 0xCAFE_0000 + q)],
+                    ),
+                );
+            }
+        }
+        "App" => {
+            for (ix, prio) in [(0u128, 7u128), (1, 4), (2, 1)] {
+                cp.add_entry(
+                    "app_resources",
+                    TableEntry::new(
+                        vec![KeyPattern::Exact(b(8, ix))],
+                        "set_priority",
+                        vec![b(3, prio)],
+                    ),
+                );
+                // The secure variant keys app_resources on dstAddr/lpm:
+                // give it matching lpm entries too.
+                cp.add_entry(
+                    "app_resources",
+                    TableEntry::new(
+                        vec![KeyPattern::Lpm {
+                            value: b(32, (10 + ix) << 24),
+                            prefix_len: 8,
+                        }],
+                        "set_priority",
+                        vec![b(3, prio)],
+                    ),
+                );
+                cp.add_entry(
+                    "forward",
+                    TableEntry::new(
+                        vec![KeyPattern::Lpm {
+                            value: b(32, (10 + ix) << 24),
+                            prefix_len: 8,
+                        }],
+                        "ipv4_forward",
+                        vec![b(9, ix + 1)],
+                    ),
+                );
+            }
+        }
+        "Lattice" => {
+            cp.add_entry(
+                "update_by_alice",
+                TableEntry::new(vec![KeyPattern::Any], "set_by_alice", vec![b(32, 0xA11C_E000)]),
+            );
+            cp.add_entry(
+                "update_by_bob",
+                TableEntry::new(vec![KeyPattern::Any], "set_by_bob", vec![]),
+            );
+        }
+        _ => {}
+    }
+    cp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_complete() {
+        let all = case_studies();
+        assert_eq!(all.len(), 6);
+        let names: Vec<&str> = all.iter().map(|c| c.name).collect();
+        assert_eq!(names, ["D2R", "App", "Lattice", "Topology", "Cache", "NetChain"]);
+    }
+
+    #[test]
+    fn lookup_is_case_insensitive() {
+        assert!(case_study("cache").is_some());
+        assert!(case_study("CACHE").is_some());
+        assert!(case_study("nothere").is_none());
+    }
+
+    #[test]
+    fn every_study_has_a_demo_control_plane() {
+        for cs in case_studies() {
+            let cp = demo_control_plane(cs.name);
+            assert_ne!(cp, ControlPlane::new(), "{} has no demo entries", cs.name);
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Convenience helpers for building packets (control-parameter values)
+//! in examples and tests.
+
+use p4bid_interp::Value;
+use p4bid_typeck::TypedProgram;
+
+/// Zero-initialized argument values for every parameter of a control, in
+/// declaration order (headers valid, scalars zero). Returns `None` for an
+/// unknown control.
+///
+/// # Examples
+///
+/// ```
+/// use p4bid::{check, CheckOptions};
+/// use p4bid::packet::init_args;
+///
+/// let typed = check(
+///     "header h_t { bit<8> v; } control C(inout h_t h) { apply { } }",
+///     &CheckOptions::ifc(),
+/// ).unwrap();
+/// let args = init_args(&typed, "C").unwrap();
+/// assert_eq!(args.len(), 1);
+/// ```
+#[must_use]
+pub fn init_args(typed: &TypedProgram, control: &str) -> Option<Vec<Value>> {
+    let ctrl = typed.control(control)?;
+    Some(ctrl.params.iter().map(|p| Value::init(&p.ty)).collect())
+}
+
+/// Writes `new` at a dotted/indexed `path` (e.g. `"ipv4.ttl"`,
+/// `"stack[2].v"`) inside `value`, coercing `int` literals to the target's
+/// bit width. Returns `false` if the path does not exist.
+///
+/// # Examples
+///
+/// ```
+/// use p4bid::interp::Value;
+/// use p4bid::packet::set_path;
+///
+/// let mut hdr = Value::Header {
+///     valid: true,
+///     fields: vec![("ttl".into(), Value::bit(8, 0))],
+/// };
+/// assert!(set_path(&mut hdr, "ttl", Value::Int(64)));
+/// assert_eq!(hdr.field("ttl"), Some(&Value::bit(8, 64)));
+/// ```
+#[must_use]
+pub fn set_path(value: &mut Value, path: &str, new: Value) -> bool {
+    match parse_segment(path) {
+        None => {
+            let coerced = new.coerce_to_shape(value);
+            *value = coerced;
+            true
+        }
+        Some((Segment::Field(name), rest)) => match value.field_mut(&name) {
+            Some(inner) => set_path(inner, rest, new),
+            None => false,
+        },
+        Some((Segment::Index(ix), rest)) => match value {
+            Value::Stack(elems) => match elems.get_mut(ix) {
+                Some(inner) => set_path(inner, rest, new),
+                None => false,
+            },
+            _ => false,
+        },
+    }
+}
+
+/// Reads the value at a dotted/indexed `path`.
+#[must_use]
+pub fn get_path<'v>(value: &'v Value, path: &str) -> Option<&'v Value> {
+    match parse_segment(path) {
+        None => Some(value),
+        Some((Segment::Field(name), rest)) => get_path(value.field(&name)?, rest),
+        Some((Segment::Index(ix), rest)) => match value {
+            Value::Stack(elems) => get_path(elems.get(ix)?, rest),
+            _ => None,
+        },
+    }
+}
+
+enum Segment {
+    Field(String),
+    Index(usize),
+}
+
+/// Splits the first path segment off; `None` when the path is empty.
+fn parse_segment(path: &str) -> Option<(Segment, &str)> {
+    let path = path.trim_start_matches('.');
+    if path.is_empty() {
+        return None;
+    }
+    if let Some(rest) = path.strip_prefix('[') {
+        let close = rest.find(']')?;
+        let ix: usize = rest[..close].parse().ok()?;
+        return Some((Segment::Index(ix), &rest[close + 1..]));
+    }
+    let end = path.find(['.', '[']).unwrap_or(path.len());
+    Some((Segment::Field(path[..end].to_string()), &path[end..]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check, CheckOptions};
+
+    #[test]
+    fn init_args_shapes() {
+        let typed = check(
+            r#"header h_t { bit<8> a; bool b; }
+            struct s_t { h_t h; bit<16>[2] arr; }
+            control C(inout s_t s, in bit<32> x) { apply { } }"#,
+            &CheckOptions::ifc(),
+        )
+        .unwrap();
+        let args = init_args(&typed, "C").unwrap();
+        assert_eq!(args.len(), 2);
+        assert_eq!(get_path(&args[0], "h.a"), Some(&Value::bit(8, 0)));
+        assert_eq!(get_path(&args[0], "h.b"), Some(&Value::Bool(false)));
+        assert_eq!(get_path(&args[0], "arr[1]"), Some(&Value::bit(16, 0)));
+        assert_eq!(args[1], Value::bit(32, 0));
+        assert!(init_args(&typed, "Nope").is_none());
+    }
+
+    #[test]
+    fn set_and_get_paths() {
+        let typed = check(
+            r#"header h_t { bit<8> a; }
+            struct s_t { h_t h; bit<16>[2] arr; }
+            control C(inout s_t s) { apply { } }"#,
+            &CheckOptions::ifc(),
+        )
+        .unwrap();
+        let mut v = init_args(&typed, "C").unwrap().remove(0);
+        assert!(set_path(&mut v, "h.a", Value::Int(200)));
+        assert_eq!(get_path(&v, "h.a"), Some(&Value::bit(8, 200)));
+        assert!(set_path(&mut v, "arr[0]", Value::Int(7)));
+        assert_eq!(get_path(&v, "arr[0]"), Some(&Value::bit(16, 7)));
+        // Bad paths fail cleanly.
+        assert!(!set_path(&mut v, "nope", Value::Int(1)));
+        assert!(!set_path(&mut v, "arr[9]", Value::Int(1)));
+        assert!(get_path(&v, "h.zzz").is_none());
+        assert!(get_path(&v, "arr[9]").is_none());
+    }
+}

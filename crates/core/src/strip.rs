@@ -1,0 +1,175 @@
+//! Mechanical removal of security annotations.
+//!
+//! Produces the *unannotated* form of a program — the input to the paper's
+//! "p4c" baseline column in Table 1 — from the annotated form: every
+//! `<T, label>` becomes `T`, `@pc(...)` attributes disappear, and
+//! `lattice { … }` declarations are dropped.
+
+use p4bid_ast::surface::*;
+
+/// Strips all security annotations from a parsed program.
+#[must_use]
+pub fn strip_annotations(program: &Program) -> Program {
+    let items = program
+        .items
+        .iter()
+        .filter_map(|item| match item {
+            Item::Lattice(_) => None,
+            Item::Type(t) => Some(Item::Type(strip_type_decl(t))),
+            Item::Function(f) => Some(Item::Function(strip_function(f))),
+            Item::Action(a) => Some(Item::Action(strip_action(a))),
+            Item::Control(c) => Some(Item::Control(strip_control(c))),
+        })
+        .collect();
+    Program { items }
+}
+
+/// Strips annotations and renders the result back to source text.
+#[must_use]
+pub fn strip_annotations_source(program: &Program) -> String {
+    p4bid_ast::pretty::program(&strip_annotations(program))
+}
+
+fn strip_ann_type(t: &AnnType) -> AnnType {
+    let ty = match &t.ty {
+        TypeExpr::Stack(elem, n) => TypeExpr::Stack(Box::new(strip_ann_type(elem)), *n),
+        other => other.clone(),
+    };
+    AnnType { ty, label: None, span: t.span }
+}
+
+fn strip_type_decl(t: &TypeDecl) -> TypeDecl {
+    match t {
+        TypeDecl::Typedef { ty, name } => {
+            TypeDecl::Typedef { ty: strip_ann_type(ty), name: name.clone() }
+        }
+        TypeDecl::Header { name, fields } => TypeDecl::Header {
+            name: name.clone(),
+            fields: fields.iter().map(|(n, t)| (n.clone(), strip_ann_type(t))).collect(),
+        },
+        TypeDecl::Struct { name, fields } => TypeDecl::Struct {
+            name: name.clone(),
+            fields: fields.iter().map(|(n, t)| (n.clone(), strip_ann_type(t))).collect(),
+        },
+        TypeDecl::MatchKind { kinds } => TypeDecl::MatchKind { kinds: kinds.clone() },
+    }
+}
+
+fn strip_params(params: &[Param]) -> Vec<Param> {
+    params
+        .iter()
+        .map(|p| Param {
+            direction: p.direction,
+            name: p.name.clone(),
+            ty: strip_ann_type(&p.ty),
+        })
+        .collect()
+}
+
+fn strip_var(v: &VarDecl) -> VarDecl {
+    VarDecl {
+        ty: strip_ann_type(&v.ty),
+        name: v.name.clone(),
+        init: v.init.clone(),
+        span: v.span,
+    }
+}
+
+fn strip_stmt(s: &Stmt) -> Stmt {
+    let kind = match &s.kind {
+        StmtKind::VarDecl(v) => StmtKind::VarDecl(strip_var(v)),
+        StmtKind::Block(ss) => StmtKind::Block(ss.iter().map(strip_stmt).collect()),
+        StmtKind::If(c, t, e) => StmtKind::If(
+            c.clone(),
+            Box::new(strip_stmt(t)),
+            e.as_ref().map(|e| Box::new(strip_stmt(e))),
+        ),
+        other => other.clone(),
+    };
+    Stmt { kind, span: s.span }
+}
+
+fn strip_action(a: &ActionDecl) -> ActionDecl {
+    ActionDecl {
+        name: a.name.clone(),
+        params: strip_params(&a.params),
+        body: a.body.iter().map(strip_stmt).collect(),
+        span: a.span,
+    }
+}
+
+fn strip_function(f: &FunctionDecl) -> FunctionDecl {
+    FunctionDecl {
+        name: f.name.clone(),
+        ret: strip_ann_type(&f.ret),
+        params: strip_params(&f.params),
+        body: f.body.iter().map(strip_stmt).collect(),
+        span: f.span,
+    }
+}
+
+fn strip_control(c: &ControlDecl) -> ControlDecl {
+    ControlDecl {
+        name: c.name.clone(),
+        params: strip_params(&c.params),
+        decls: c
+            .decls
+            .iter()
+            .map(|d| match d {
+                CtrlDecl::Var(v) => CtrlDecl::Var(strip_var(v)),
+                CtrlDecl::Action(a) => CtrlDecl::Action(strip_action(a)),
+                CtrlDecl::Function(f) => CtrlDecl::Function(strip_function(f)),
+                CtrlDecl::Table(t) => CtrlDecl::Table(t.clone()),
+            })
+            .collect(),
+        apply: c.apply.iter().map(strip_stmt).collect(),
+        pc: None,
+        span: c.span,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4bid_typeck::{check_source, CheckOptions};
+
+    const ANNOTATED: &str = r#"
+        lattice { bot < A; bot < B; A < top; B < top; }
+        header h_t { <bit<8>, A> s; bit<8> p; }
+        @pc(A) control C(inout h_t h) {
+            <bit<8>, A> local = h.s;
+            action a(in <bit<8>, A> v) { h.s = v; }
+            apply {
+                if (h.p == 8w0) { <bit<8>, top>[2] arr; arr[0] = 8w1; }
+                a(local);
+            }
+        }
+    "#;
+
+    #[test]
+    fn stripped_program_has_no_annotations() {
+        let p = p4bid_syntax::parse(ANNOTATED).unwrap();
+        let stripped = strip_annotations(&p);
+        let src = p4bid_ast::pretty::program(&stripped);
+        assert!(!src.contains("lattice"), "{src}");
+        assert!(!src.contains("@pc"), "{src}");
+        assert!(!src.contains(", A>"), "{src}");
+        assert!(!src.contains(", top>"), "{src}");
+    }
+
+    #[test]
+    fn stripped_program_base_checks() {
+        let p = p4bid_syntax::parse(ANNOTATED).unwrap();
+        let src = strip_annotations_source(&p);
+        check_source(&src, &CheckOptions::base())
+            .unwrap_or_else(|e| panic!("stripped program fails: {e:?}\n{src}"));
+    }
+
+    #[test]
+    fn stripping_is_idempotent() {
+        let p = p4bid_syntax::parse(ANNOTATED).unwrap();
+        let once = strip_annotations(&p);
+        let twice = strip_annotations(&once);
+        assert_eq!(once, twice);
+    }
+}

@@ -1,0 +1,137 @@
+//! Integration tests for the `p4bid` command-line tool: exit codes,
+//! diagnostics on stderr, and the subcommand surface.
+
+use std::io::Write as _;
+use std::process::{Command, Output};
+
+fn p4bid(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_p4bid"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
+    let path = std::env::temp_dir().join(format!("p4bid-cli-{name}-{}.p4", std::process::id()));
+    let mut f = std::fs::File::create(&path).expect("temp file");
+    f.write_all(contents.as_bytes()).expect("write temp file");
+    path
+}
+
+#[test]
+fn no_args_prints_usage() {
+    let out = p4bid(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}
+
+#[test]
+fn check_accepts_secure_program() {
+    let path = write_temp("secure", p4bid::corpus::CACHE.secure);
+    let out = p4bid(&["check", path.to_str().unwrap()]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ok:"));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_rejects_insecure_program_with_diagnostics() {
+    let path = write_temp("insecure", p4bid::corpus::CACHE.insecure);
+    let out = p4bid(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E-TABLE-KEY-FLOW"), "{stderr}");
+    assert!(stderr.contains('^'), "caret rendering expected: {stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_base_mode_accepts_the_leak() {
+    let path = write_temp("base", p4bid::corpus::CACHE.insecure);
+    let out = p4bid(&["check", path.to_str().unwrap(), "--base"]);
+    assert!(out.status.success());
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_with_pc_flag() {
+    let src = r#"
+        lattice { bot < A; bot < B; A < top; B < top; }
+        control Alice(inout <bit<32>, B> bob) { apply { bob = 32w1; } }
+    "#;
+    let path = write_temp("pc", src);
+    let ok = p4bid(&["check", path.to_str().unwrap()]);
+    assert!(ok.status.success(), "fine at the default pc = bot");
+    let bad = p4bid(&["check", path.to_str().unwrap(), "--pc", "A"]);
+    assert_eq!(bad.status.code(), Some(1), "rejected at pc = A");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_missing_file_is_usage_error() {
+    let out = p4bid(&["check", "/nonexistent/ghost.p4"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn matrix_reports_all_six_studies() {
+    let out = p4bid(&["matrix"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for name in ["D2R", "App", "Lattice", "Topology", "Cache", "NetChain"] {
+        assert!(stdout.contains(name), "{stdout}");
+    }
+    let rejected_rows =
+        stdout.lines().filter(|l| l.contains("  rejected  ")).count();
+    assert_eq!(rejected_rows, 6, "{stdout}");
+    assert!(!stdout.contains("MISSED"));
+    assert!(!stdout.contains("FAIL"));
+}
+
+#[test]
+fn corpus_listing_and_variants() {
+    let list = p4bid(&["corpus"]);
+    assert!(list.status.success());
+    assert!(String::from_utf8_lossy(&list.stdout).contains("Cache"));
+
+    let secure = p4bid(&["corpus", "cache"]);
+    assert!(String::from_utf8_lossy(&secure.stdout).contains("high> hit")
+        || String::from_utf8_lossy(&secure.stdout).contains("high> query"));
+
+    let plain = p4bid(&["corpus", "cache", "--unannotated"]);
+    assert!(!String::from_utf8_lossy(&plain.stdout).contains("high"));
+
+    let unknown = p4bid(&["corpus", "nothere"]);
+    assert_eq!(unknown.status.code(), Some(2));
+}
+
+#[test]
+fn ni_finds_leak_and_clean_bill() {
+    // A self-contained leaky program (no table, so the empty control
+    // plane in `p4bid ni` is fine).
+    let leaky = write_temp(
+        "ni-leak",
+        "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+    );
+    let out = p4bid(&["ni", leaky.to_str().unwrap(), "--runs", "50"]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("non-interference violated"));
+    let _ = std::fs::remove_file(leaky);
+
+    let clean = write_temp(
+        "ni-clean",
+        "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { h = l; } }",
+    );
+    let out = p4bid(&["ni", clean.to_str().unwrap(), "--runs", "50"]);
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("held"));
+    let _ = std::fs::remove_file(clean);
+}
+
+#[test]
+fn fuzz_subcommand_reports_counts() {
+    let out = p4bid(&["fuzz", "30"]);
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("fuzzed 30 programs"), "{stdout}");
+}

@@ -1,0 +1,881 @@
+//! The big-step evaluator for the Core P4 fragment (§3.2 and Appendices
+//! F–H of the paper).
+//!
+//! Implements the judgements
+//!
+//! ```text
+//! ⟨C, Δ, μ, ε, exp⟩  ⇓ ⟨μ', val⟩
+//! ⟨C, Δ, μ, ε, stmt⟩ ⇓ ⟨μ', ε', sig⟩
+//! ⟨C, Δ, μ, ε, decl⟩ ⇓ ⟨Δ', μ', ε', sig⟩
+//! ```
+//!
+//! including l-value evaluation/writing (Appendix F/G), the
+//! copy-in/copy-out calling convention (Appendix H), table matching
+//! against the control plane, and the three control-flow signals
+//! `cont` / `return val` / `exit`.
+//!
+//! Out-of-bounds stack reads produce the deterministic `havoc(τ)` (a
+//! zeroed value of the element shape) and out-of-bounds writes are no-ops,
+//! matching the `Eval 1 error` rules in Appendix I case 8 and keeping the
+//! evaluator total.
+
+use crate::control_plane::ControlPlane;
+use crate::store::{Env, Loc, Store};
+use crate::value::{eval_binop, eval_unop, Closure, TableValue, Value};
+use p4bid_ast::sectype::{FnParam, SecTy};
+use p4bid_ast::surface::*;
+use p4bid_typeck::TypedProgram;
+use std::error::Error;
+use std::fmt;
+use std::rc::Rc;
+
+/// Default execution fuel. Core P4 has no recursion or loops, so on
+/// typechecked programs this is pure defense in depth.
+pub const DEFAULT_FUEL: u64 = 10_000_000;
+
+/// Evaluation errors. On typechecked programs only control-plane
+/// misconfigurations and fuel exhaustion are reachable; the `Internal`
+/// variants would indicate interpreter bugs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The requested control block does not exist.
+    UnknownControl(String),
+    /// `run_control` was given the wrong number of arguments.
+    ArgCount {
+        /// Parameters the control declares.
+        expected: usize,
+        /// Arguments supplied.
+        got: usize,
+    },
+    /// A control-plane entry names an action the table does not list.
+    UnknownEntryAction {
+        /// Table name.
+        table: String,
+        /// Offending action name.
+        action: String,
+    },
+    /// A control-plane entry's arguments do not fit the action's
+    /// control-plane parameters.
+    EntryArgMismatch {
+        /// Table name.
+        table: String,
+        /// Action name.
+        action: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The evaluator ran out of fuel.
+    FuelExhausted,
+    /// An internal invariant failed (a bug: typechecked programs should
+    /// never reach this).
+    Internal(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnknownControl(n) => write!(f, "unknown control `{n}`"),
+            EvalError::ArgCount { expected, got } => {
+                write!(f, "control takes {expected} argument(s), {got} supplied")
+            }
+            EvalError::UnknownEntryAction { table, action } => {
+                write!(f, "control-plane entry for `{table}` names unknown action `{action}`")
+            }
+            EvalError::EntryArgMismatch { table, action, detail } => {
+                write!(
+                    f,
+                    "control-plane arguments for `{action}` in table `{table}`: {detail}"
+                )
+            }
+            EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
+            EvalError::Internal(m) => write!(f, "internal interpreter error: {m}"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// Control-flow signals (`sig`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Signal {
+    /// Fall through to the next statement.
+    Cont,
+    /// Return from the enclosing function with a value (`Unit` for bare
+    /// `return;`).
+    Return(Value),
+    /// Abort the whole control block.
+    Exit,
+}
+
+/// Result of running a control on a packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlOutcome {
+    /// Final values of all control parameters, in declaration order
+    /// (`inout` parameters reflect the writes; `in` parameters are
+    /// returned as passed).
+    pub params: Vec<(String, Value)>,
+    /// Whether the control terminated via `exit`.
+    pub exited: bool,
+}
+
+impl ControlOutcome {
+    /// Looks up a final parameter value by name.
+    #[must_use]
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+/// Runs a control block of a typechecked program on the given parameter
+/// values, under the given control plane.
+///
+/// # Errors
+///
+/// See [`EvalError`]. On typechecked programs only control-plane
+/// misconfiguration (bad action names/arguments in entries) is reachable.
+///
+/// # Examples
+///
+/// ```
+/// use p4bid_typeck::{check_source, CheckOptions};
+/// use p4bid_interp::{run_control, ControlPlane, Value};
+///
+/// let typed = check_source(
+///     "control Inc(inout bit<8> x) { apply { x = x + 8w1; } }",
+///     &CheckOptions::ifc(),
+/// ).unwrap();
+/// let out = run_control(&typed, &ControlPlane::new(), "Inc", vec![Value::bit(8, 41)])
+///     .unwrap();
+/// assert_eq!(out.param("x"), Some(&Value::bit(8, 42)));
+/// ```
+pub fn run_control(
+    typed: &TypedProgram,
+    cp: &ControlPlane,
+    control: &str,
+    args: Vec<Value>,
+) -> Result<ControlOutcome, EvalError> {
+    Interp::new(typed, cp).run_control(control, args)
+}
+
+/// An l-value: a base location plus a path of field/index steps
+/// (Appendix F: `lval ::= x | lval.f | lval[n]`, with
+/// `lval_base(lval) ∈ dom(ε)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LValueRef {
+    base: Loc,
+    path: Vec<PathSeg>,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum PathSeg {
+    Field(String),
+    Index(usize),
+}
+
+/// Control-flow interrupts threaded through expression evaluation: an
+/// `exit` raised inside a callee aborts the whole control block.
+#[derive(Debug)]
+enum Interrupt {
+    Exit,
+    Fail(EvalError),
+}
+
+impl From<EvalError> for Interrupt {
+    fn from(e: EvalError) -> Self {
+        Interrupt::Fail(e)
+    }
+}
+
+type EResult<T> = Result<T, Interrupt>;
+
+/// An argument prepared for copy-in.
+enum PreArg {
+    /// Already-evaluated value (`in` and control-plane positions).
+    Val(Value),
+    /// L-value plus its current value (`inout` positions; the l-value is
+    /// written back at copy-out).
+    Lv(LValueRef, Value),
+}
+
+/// The interpreter state: the store μ plus the ambient `C` and Δ.
+pub struct Interp<'a> {
+    typed: &'a TypedProgram,
+    cp: &'a ControlPlane,
+    store: Store,
+    fuel: u64,
+}
+
+impl<'a> Interp<'a> {
+    /// Creates an interpreter with [`DEFAULT_FUEL`].
+    #[must_use]
+    pub fn new(typed: &'a TypedProgram, cp: &'a ControlPlane) -> Self {
+        Interp { typed, cp, store: Store::new(), fuel: DEFAULT_FUEL }
+    }
+
+    /// Replaces the fuel budget.
+    #[must_use]
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    fn burn(&mut self) -> Result<(), EvalError> {
+        if self.fuel == 0 {
+            return Err(EvalError::FuelExhausted);
+        }
+        self.fuel -= 1;
+        Ok(())
+    }
+
+    fn internal<T>(&self, msg: impl Into<String>) -> EResult<T> {
+        Err(Interrupt::Fail(EvalError::Internal(msg.into())))
+    }
+
+    /// Resolves a surface annotation through Δ. Infallible on typechecked
+    /// programs.
+    fn resolve(&self, ann: &AnnType) -> Result<SecTy, EvalError> {
+        self.typed
+            .defs
+            .resolve(ann, &self.typed.lattice)
+            .map_err(|d| EvalError::Internal(format!("type resolution at runtime: {d}")))
+    }
+
+    fn resolve_fn_params(
+        &self,
+        params: &[Param],
+        is_action: bool,
+    ) -> Result<Vec<FnParam>, EvalError> {
+        params
+            .iter()
+            .map(|p| {
+                Ok(FnParam {
+                    name: p.name.node.clone(),
+                    direction: p.direction.unwrap_or(Direction::In),
+                    ty: self.resolve(&p.ty)?,
+                    control_plane: is_action && p.direction.is_none(),
+                })
+            })
+            .collect()
+    }
+
+    /// Runs a control block; see [`run_control`].
+    pub fn run_control(
+        &mut self,
+        control: &str,
+        args: Vec<Value>,
+    ) -> Result<ControlOutcome, EvalError> {
+        let decl = self
+            .typed
+            .program
+            .controls()
+            .find(|c| c.name.node == control)
+            .ok_or_else(|| EvalError::UnknownControl(control.to_string()))?;
+        let typed_ctrl = self
+            .typed
+            .control(control)
+            .ok_or_else(|| EvalError::UnknownControl(control.to_string()))?;
+        if args.len() != typed_ctrl.params.len() {
+            return Err(EvalError::ArgCount {
+                expected: typed_ctrl.params.len(),
+                got: args.len(),
+            });
+        }
+
+        // Global scope: prelude and top-level functions/actions.
+        let mut env = Env::new();
+        for item in &self.typed.program.items {
+            match item {
+                Item::Function(f) => self.declare_function(&mut env, f)?,
+                Item::Action(a) => self.declare_action(&mut env, a)?,
+                _ => {}
+            }
+        }
+
+        // Copy the packet into the parameter locations.
+        let mut param_locs = Vec::with_capacity(args.len());
+        for (param, arg) in typed_ctrl.params.iter().zip(args) {
+            let v = arg.coerce_to_type(&param.ty);
+            let loc = self.store.alloc(v);
+            env.bind(&param.name, loc);
+            param_locs.push((param.name.clone(), loc));
+        }
+
+        // Control-body declarations, in order.
+        for d in &decl.decls {
+            match d {
+                CtrlDecl::Var(v) => self.declare_var(&mut env, v)?,
+                CtrlDecl::Action(a) => self.declare_action(&mut env, a)?,
+                CtrlDecl::Function(f) => self.declare_function(&mut env, f)?,
+                CtrlDecl::Table(t) => self.declare_table(&mut env, t)?,
+            }
+        }
+
+        // The apply block.
+        let mut exited = false;
+        let mut apply_env = env.clone();
+        for s in &decl.apply {
+            match self.eval_stmt(&mut apply_env, s) {
+                Ok(Signal::Cont) => {}
+                Ok(Signal::Exit) => {
+                    exited = true;
+                    break;
+                }
+                Ok(Signal::Return(_)) => {
+                    return Err(EvalError::Internal(
+                        "`return` escaped to the control level".into(),
+                    ));
+                }
+                Err(Interrupt::Exit) => {
+                    exited = true;
+                    break;
+                }
+                Err(Interrupt::Fail(e)) => return Err(e),
+            }
+        }
+
+        let params = param_locs
+            .into_iter()
+            .map(|(name, loc)| (name, self.store.read(loc).clone()))
+            .collect();
+        Ok(ControlOutcome { params, exited })
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations
+    // ------------------------------------------------------------------
+
+    fn declare_var(&mut self, env: &mut Env, v: &VarDecl) -> Result<(), EvalError> {
+        let ty = self.resolve(&v.ty)?;
+        let value = match &v.init {
+            None => Value::init(&ty),
+            Some(init) => {
+                let val = match self.eval_expr(env, init) {
+                    Ok(v) => v,
+                    Err(Interrupt::Fail(e)) => return Err(e),
+                    Err(Interrupt::Exit) => {
+                        return Err(EvalError::Internal(
+                            "`exit` during variable initialization".into(),
+                        ));
+                    }
+                };
+                val.coerce_to_type(&ty)
+            }
+        };
+        let loc = self.store.alloc(value);
+        env.bind(&v.name.node, loc);
+        Ok(())
+    }
+
+    fn declare_action(&mut self, env: &mut Env, a: &ActionDecl) -> Result<(), EvalError> {
+        let params = self.resolve_fn_params(&a.params, true)?;
+        let clos = Closure {
+            name: a.name.node.clone(),
+            env: env.clone(),
+            params,
+            ret: SecTy::unit(&self.typed.lattice),
+            body: Rc::new(a.body.clone()),
+            is_action: true,
+        };
+        let loc = self.store.alloc(Value::Closure(Rc::new(clos)));
+        env.bind(&a.name.node, loc);
+        Ok(())
+    }
+
+    fn declare_function(&mut self, env: &mut Env, f: &FunctionDecl) -> Result<(), EvalError> {
+        let params = self.resolve_fn_params(&f.params, false)?;
+        let ret = self.resolve(&f.ret)?;
+        let clos = Closure {
+            name: f.name.node.clone(),
+            env: env.clone(),
+            params,
+            ret,
+            body: Rc::new(f.body.clone()),
+            is_action: false,
+        };
+        let loc = self.store.alloc(Value::Closure(Rc::new(clos)));
+        env.bind(&f.name.node, loc);
+        Ok(())
+    }
+
+    fn declare_table(&mut self, env: &mut Env, t: &TableDecl) -> Result<(), EvalError> {
+        let tv = TableValue {
+            name: t.name.node.clone(),
+            env: env.clone(),
+            keys: t
+                .keys
+                .iter()
+                .map(|k| (k.expr.clone(), k.match_kind.node.clone()))
+                .collect(),
+            actions: t
+                .actions
+                .iter()
+                .map(|a| (a.name.node.clone(), a.args.clone()))
+                .collect(),
+            default_action: t.default_action.as_ref().map(|d| d.node.clone()),
+        };
+        let loc = self.store.alloc(Value::Table(Rc::new(tv)));
+        env.bind(&t.name.node, loc);
+        Ok(())
+    }
+
+    // ------------------------------------------------------------------
+    // Statements
+    // ------------------------------------------------------------------
+
+    fn eval_stmt(&mut self, env: &mut Env, s: &Stmt) -> EResult<Signal> {
+        self.burn()?;
+        match &s.kind {
+            StmtKind::VarDecl(v) => {
+                self.declare_var(env, v)?;
+                Ok(Signal::Cont)
+            }
+            StmtKind::Block(stmts) => {
+                // Lexical scoping: declarations inside the block do not
+                // escape (ε is restored, only μ persists).
+                let mut inner = env.clone();
+                for st in stmts {
+                    match self.eval_stmt(&mut inner, st)? {
+                        Signal::Cont => {}
+                        sig => return Ok(sig),
+                    }
+                }
+                Ok(Signal::Cont)
+            }
+            StmtKind::If(cond, then_branch, else_branch) => {
+                let c = self.eval_expr(env, cond)?;
+                let taken = match c {
+                    Value::Bool(b) => b,
+                    other => return self.internal(format!("non-bool guard `{other}`")),
+                };
+                let mut inner = env.clone();
+                if taken {
+                    self.eval_stmt(&mut inner, then_branch)
+                } else if let Some(els) = else_branch {
+                    self.eval_stmt(&mut inner, els)
+                } else {
+                    Ok(Signal::Cont)
+                }
+            }
+            StmtKind::Assign(lhs, rhs) => {
+                let lv = self.eval_lvalue(env, lhs)?;
+                let v = self.eval_expr(env, rhs)?;
+                self.write_lvalue(&lv, v);
+                Ok(Signal::Cont)
+            }
+            StmtKind::Exit => Ok(Signal::Exit),
+            StmtKind::Return(value) => {
+                let v = match value {
+                    None => Value::Unit,
+                    Some(e) => self.eval_expr(env, e)?,
+                };
+                Ok(Signal::Return(v))
+            }
+            StmtKind::Call(e) => {
+                let ExprKind::Call(callee, args) = &e.kind else {
+                    return self.internal("malformed call statement");
+                };
+                let cv = self.eval_expr(env, callee)?;
+                match cv {
+                    Value::Table(tv) => {
+                        self.apply_table(&tv)?;
+                        Ok(Signal::Cont)
+                    }
+                    Value::Closure(clos) => {
+                        self.call_closure(&clos, env, args, &[])?;
+                        Ok(Signal::Cont)
+                    }
+                    other => self.internal(format!("`{other}` is not callable")),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions
+    // ------------------------------------------------------------------
+
+    fn eval_expr(&mut self, env: &Env, e: &Expr) -> EResult<Value> {
+        self.burn()?;
+        match &e.kind {
+            ExprKind::Bool(b) => Ok(Value::Bool(*b)),
+            ExprKind::Int { value, width } => Ok(match width {
+                Some(w) => Value::bit(*w, *value),
+                None => Value::Int(*value as i128),
+            }),
+            ExprKind::Var(name) => match env.lookup(name) {
+                Some(loc) => Ok(self.store.read(loc).clone()),
+                None => self.internal(format!("unbound variable `{name}`")),
+            },
+            ExprKind::Field(recv, field) => {
+                let r = self.eval_expr(env, recv)?;
+                match r.field(&field.node) {
+                    Some(v) => Ok(v.clone()),
+                    None => self.internal(format!("missing field `{}`", field.node)),
+                }
+            }
+            ExprKind::Index(recv, index) => {
+                let r = self.eval_expr(env, recv)?;
+                let i = self.eval_expr(env, index)?;
+                let Value::Stack(elems) = &r else {
+                    return self.internal("indexing a non-stack value");
+                };
+                let ix = i.as_u128().unwrap_or(u128::MAX);
+                match elems.get(usize::try_from(ix).unwrap_or(usize::MAX)) {
+                    Some(v) => Ok(v.clone()),
+                    // havoc(τ): deterministic zero of the element shape.
+                    None => match elems.first() {
+                        Some(proto) => Ok(zeroed(proto)),
+                        None => self.internal("indexing an empty stack"),
+                    },
+                }
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let l = self.eval_expr(env, lhs)?;
+                let r = self.eval_expr(env, rhs)?;
+                eval_binop(*op, l, r)
+                    .map_err(|e| Interrupt::Fail(EvalError::Internal(e.to_string())))
+            }
+            ExprKind::Unary(op, inner) => {
+                let v = self.eval_expr(env, inner)?;
+                eval_unop(*op, v)
+                    .map_err(|e| Interrupt::Fail(EvalError::Internal(e.to_string())))
+            }
+            ExprKind::Record(fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for (name, value) in fields {
+                    out.push((name.node.clone(), self.eval_expr(env, value)?));
+                }
+                Ok(Value::Record(out))
+            }
+            ExprKind::Call(callee, args) => {
+                let cv = self.eval_expr(env, callee)?;
+                match cv {
+                    Value::Closure(clos) => self.call_closure(&clos, env, args, &[]),
+                    other => self.internal(format!("`{other}` is not callable")),
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // L-values (Appendices F and G)
+    // ------------------------------------------------------------------
+
+    fn eval_lvalue(&mut self, env: &Env, e: &Expr) -> EResult<LValueRef> {
+        match &e.kind {
+            ExprKind::Var(name) => match env.lookup(name) {
+                Some(loc) => Ok(LValueRef { base: loc, path: Vec::new() }),
+                None => self.internal(format!("unbound l-value `{name}`")),
+            },
+            ExprKind::Field(recv, field) => {
+                let mut lv = self.eval_lvalue(env, recv)?;
+                lv.path.push(PathSeg::Field(field.node.clone()));
+                Ok(lv)
+            }
+            ExprKind::Index(recv, index) => {
+                let mut lv = self.eval_lvalue(env, recv)?;
+                // The index expression is evaluated eagerly (it may have
+                // side effects through calls).
+                let i = self.eval_expr(env, index)?;
+                let ix = usize::try_from(i.as_u128().unwrap_or(u128::MAX))
+                    .unwrap_or(usize::MAX);
+                lv.path.push(PathSeg::Index(ix));
+                Ok(lv)
+            }
+            _ => self.internal("expression is not an l-value"),
+        }
+    }
+
+    /// Reads through an l-value path; out-of-bounds indices read as the
+    /// deterministic havoc value.
+    fn read_lvalue(&self, lv: &LValueRef) -> Value {
+        let mut cur = self.store.read(lv.base).clone();
+        for seg in &lv.path {
+            cur = match seg {
+                PathSeg::Field(f) => match cur.field(f) {
+                    Some(v) => v.clone(),
+                    None => return Value::Unit,
+                },
+                PathSeg::Index(ix) => match &cur {
+                    Value::Stack(elems) => match elems.get(*ix) {
+                        Some(v) => v.clone(),
+                        None => match elems.first() {
+                            Some(proto) => zeroed(proto),
+                            None => Value::Unit,
+                        },
+                    },
+                    _ => return Value::Unit,
+                },
+            };
+        }
+        cur
+    }
+
+    /// Writes through an l-value path (`⇓write`, Appendix G): reads the
+    /// base value, updates the nested slot, and writes the base back.
+    /// Out-of-bounds indices make the whole write a no-op.
+    fn write_lvalue(&mut self, lv: &LValueRef, value: Value) {
+        let mut base = self.store.read(lv.base).clone();
+        if write_path(&mut base, &lv.path, value) {
+            self.store.write(lv.base, base);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Calls (Appendix H: copy-in / copy-out)
+    // ------------------------------------------------------------------
+
+    /// Calls a closure. `args` are the data-plane argument expressions
+    /// (evaluated in `caller_env`); `extra_values` are pre-evaluated
+    /// values for the remaining parameters (the control-plane arguments a
+    /// table match supplies).
+    fn call_closure(
+        &mut self,
+        clos: &Closure,
+        caller_env: &Env,
+        args: &[Expr],
+        extra_values: &[Value],
+    ) -> EResult<Value> {
+        self.burn()?;
+        let supplied = args.len() + extra_values.len();
+        if supplied != clos.params.len() {
+            return self.internal(format!(
+                "call of `{}` with {supplied} argument(s), expected {}",
+                clos.name,
+                clos.params.len()
+            ));
+        }
+
+        // Copy-in: evaluate arguments left to right.
+        let mut preargs = Vec::with_capacity(clos.params.len());
+        for (param, arg) in clos.params.iter().zip(args) {
+            match param.direction {
+                Direction::In => {
+                    let v = self.eval_expr(caller_env, arg)?;
+                    preargs.push(PreArg::Val(v));
+                }
+                Direction::InOut => {
+                    let lv = self.eval_lvalue(caller_env, arg)?;
+                    let v = self.read_lvalue(&lv);
+                    preargs.push(PreArg::Lv(lv, v));
+                }
+            }
+        }
+        for v in extra_values {
+            preargs.push(PreArg::Val(v.clone()));
+        }
+
+        // Bind parameters to fresh locations in the closure environment.
+        let mut callee_env = clos.env.clone();
+        let mut copy_outs: Vec<(LValueRef, Loc)> = Vec::new();
+        for (param, prearg) in clos.params.iter().zip(preargs) {
+            let (value, lv) = match prearg {
+                PreArg::Val(v) => (v, None),
+                PreArg::Lv(lv, v) => (v, Some(lv)),
+            };
+            let loc = self.store.alloc(value.coerce_to_type(&param.ty));
+            callee_env.bind(&param.name, loc);
+            if let Some(lv) = lv {
+                copy_outs.push((lv, loc));
+            }
+        }
+
+        // Run the body.
+        let mut signal = Signal::Cont;
+        for s in clos.body.iter() {
+            match self.eval_stmt(&mut callee_env, s) {
+                Ok(Signal::Cont) => {}
+                Ok(sig) => {
+                    signal = sig;
+                    break;
+                }
+                Err(Interrupt::Exit) => {
+                    signal = Signal::Exit;
+                    break;
+                }
+                Err(fail) => return Err(fail),
+            }
+        }
+
+        // Copy-out happens regardless of how the body finished (P4 spec
+        // §6.8; exits still flush inout parameters).
+        for (lv, loc) in copy_outs {
+            let v = self.store.read(loc).clone();
+            self.write_lvalue(&lv, v);
+        }
+
+        match signal {
+            Signal::Return(v) => Ok(v.coerce_to_type(&clos.ret)),
+            Signal::Cont => Ok(Value::Unit),
+            Signal::Exit => Err(Interrupt::Exit),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Table application
+    // ------------------------------------------------------------------
+
+    fn apply_table(&mut self, tv: &TableValue) -> EResult<()> {
+        // Evaluate the keys in the table's captured environment.
+        let mut keys = Vec::with_capacity(tv.keys.len());
+        for (expr, _kind) in &tv.keys {
+            keys.push(self.eval_expr(&tv.env.clone(), expr)?);
+        }
+
+        // Ask the control plane; fall back to the declared default.
+        let matched = self.cp.lookup(&tv.name, &keys);
+        let (action_name, cp_args, from_controller) = match matched {
+            Some((name, args)) => (name, args, true),
+            None => match &tv.default_action {
+                Some(name) => (name.clone(), Vec::new(), false),
+                None => return Ok(()), // no entry, no default: no-op
+            },
+        };
+
+        // The invoked action must be one the table declared.
+        let Some((_, bound_args)) =
+            tv.actions.iter().find(|(n, _)| n == &action_name)
+        else {
+            return Err(Interrupt::Fail(EvalError::UnknownEntryAction {
+                table: tv.name.clone(),
+                action: action_name,
+            }));
+        };
+
+        let clos = match tv.env.lookup(&action_name) {
+            Some(loc) => match self.store.read(loc) {
+                Value::Closure(c) => Rc::clone(c),
+                other => {
+                    return self.internal(format!(
+                        "table action `{action_name}` is `{other}`, not a closure"
+                    ));
+                }
+            },
+            None => {
+                return self.internal(format!("table action `{action_name}` not in scope"));
+            }
+        };
+
+        // Control-plane arguments fill the directionless parameter suffix;
+        // validate and coerce them (the paper assumes the controller
+        // installs well-typed arguments — we enforce it).
+        let ctrl_params: Vec<&FnParam> =
+            clos.params.iter().filter(|p| p.control_plane).collect();
+        let cp_args = if from_controller || !cp_args.is_empty() {
+            if cp_args.len() != ctrl_params.len() {
+                return Err(Interrupt::Fail(EvalError::EntryArgMismatch {
+                    table: tv.name.clone(),
+                    action: action_name,
+                    detail: format!(
+                        "expected {} control-plane argument(s), got {}",
+                        ctrl_params.len(),
+                        cp_args.len()
+                    ),
+                }));
+            }
+            let mut coerced = Vec::with_capacity(cp_args.len());
+            for (param, value) in ctrl_params.iter().zip(cp_args) {
+                let v = value.coerce_to_type(&param.ty);
+                if std::mem::discriminant(&v) != std::mem::discriminant(&Value::init(&param.ty)) {
+                    return Err(Interrupt::Fail(EvalError::EntryArgMismatch {
+                        table: tv.name.clone(),
+                        action: action_name,
+                        detail: format!(
+                            "argument `{v}` does not fit parameter `{}`",
+                            param.name
+                        ),
+                    }));
+                }
+                coerced.push(v);
+            }
+            coerced
+        } else {
+            // Declared default action run with zero-initialized
+            // control-plane arguments.
+            ctrl_params.iter().map(|p| Value::init(&p.ty)).collect()
+        };
+
+        let table_env = tv.env.clone();
+        self.call_closure(&clos, &table_env, bound_args, &cp_args)?;
+        Ok(())
+    }
+}
+
+/// Deterministic `havoc(τ)`: the same shape with all scalars zeroed.
+fn zeroed(proto: &Value) -> Value {
+    match proto {
+        Value::Bool(_) => Value::Bool(false),
+        Value::Int(_) => Value::Int(0),
+        Value::Bit { width, .. } => Value::bit(*width, 0),
+        Value::Unit => Value::Unit,
+        Value::Record(fs) => {
+            Value::Record(fs.iter().map(|(n, v)| (n.clone(), zeroed(v))).collect())
+        }
+        Value::Header { fields, .. } => Value::Header {
+            valid: true,
+            fields: fields.iter().map(|(n, v)| (n.clone(), zeroed(v))).collect(),
+        },
+        Value::Stack(vs) => Value::Stack(vs.iter().map(zeroed).collect()),
+        Value::MatchKind(k) => Value::MatchKind(k.clone()),
+        Value::Closure(_) | Value::Table(_) => proto.clone(),
+    }
+}
+
+/// Writes `value` into the slot addressed by `path` inside `slot`.
+/// Returns `false` (no-op) when an index is out of bounds.
+fn write_path(slot: &mut Value, path: &[PathSeg], value: Value) -> bool {
+    match path.split_first() {
+        None => {
+            let coerced = value.coerce_to_shape(slot);
+            *slot = coerced;
+            true
+        }
+        Some((PathSeg::Field(f), rest)) => match slot.field_mut(f) {
+            Some(inner) => write_path(inner, rest, value),
+            None => false,
+        },
+        Some((PathSeg::Index(ix), rest)) => match slot {
+            Value::Stack(elems) => match elems.get_mut(*ix) {
+                Some(inner) => write_path(inner, rest, value),
+                None => false, // OOB write: no-op
+            },
+            _ => false,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_preserves_shape() {
+        let v = Value::Record(vec![
+            ("a".into(), Value::bit(8, 99)),
+            ("b".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(
+            zeroed(&v),
+            Value::Record(vec![
+                ("a".into(), Value::bit(8, 0)),
+                ("b".into(), Value::Bool(false)),
+            ])
+        );
+    }
+
+    #[test]
+    fn write_path_oob_is_noop() {
+        let mut v = Value::Stack(vec![Value::bit(8, 1), Value::bit(8, 2)]);
+        assert!(!write_path(&mut v, &[PathSeg::Index(5)], Value::bit(8, 9)));
+        assert_eq!(v, Value::Stack(vec![Value::bit(8, 1), Value::bit(8, 2)]));
+        assert!(write_path(&mut v, &[PathSeg::Index(1)], Value::bit(8, 9)));
+        assert_eq!(v, Value::Stack(vec![Value::bit(8, 1), Value::bit(8, 9)]));
+    }
+
+    #[test]
+    fn write_path_coerces_at_leaf() {
+        let mut v = Value::bit(8, 0);
+        assert!(write_path(&mut v, &[], Value::Int(300)));
+        assert_eq!(v, Value::bit(8, 44));
+    }
+}

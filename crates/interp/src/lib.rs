@@ -1,0 +1,52 @@
+//! Big-step operational semantics for the Core P4 fragment of P4BID
+//! (§3.2 and Appendices F–H of the paper).
+//!
+//! The paper's non-interference theorem is a statement about the petr4
+//! evaluation judgements; this crate implements those judgements so the
+//! theorem can be *tested*: run a typechecked program twice on
+//! low-equivalent inputs and compare the observable outputs (see the
+//! `p4bid-ni` crate).
+//!
+//! * [`Value`] — runtime values (masked bit-vectors, records, valid
+//!   headers, stacks, closures, tables) with the deterministic evaluation
+//!   oracle for operators;
+//! * [`Store`]/[`Env`] — the memory store μ and environment ε;
+//! * [`ControlPlane`] — installed table entries (`C`), with `exact`,
+//!   `lpm`, and `ternary` matching;
+//! * [`run_control`] — evaluates one control block on a packet
+//!   (copy-in/copy-out of the control parameters, signals, table
+//!   application).
+//!
+//! # Examples
+//!
+//! ```
+//! use p4bid_typeck::{check_source, CheckOptions};
+//! use p4bid_interp::{run_control, ControlPlane, ControlOutcome, Value};
+//!
+//! let typed = check_source(r#"
+//!     control Swap(inout bit<8> a, inout bit<8> b) {
+//!         apply { bit<8> t = a; a = b; b = t; }
+//!     }
+//! "#, &CheckOptions::ifc()).unwrap();
+//! let out = run_control(
+//!     &typed,
+//!     &ControlPlane::new(),
+//!     "Swap",
+//!     vec![Value::bit(8, 1), Value::bit(8, 2)],
+//! ).unwrap();
+//! assert_eq!(out.param("a"), Some(&Value::bit(8, 2)));
+//! assert_eq!(out.param("b"), Some(&Value::bit(8, 1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod control_plane;
+pub mod eval;
+pub mod store;
+pub mod value;
+
+pub use control_plane::{ControlPlane, KeyPattern, TableConfig, TableEntry};
+pub use eval::{run_control, ControlOutcome, EvalError, Interp, Signal, DEFAULT_FUEL};
+pub use store::{Env, Loc, Store};
+pub use value::{Closure, TableValue, Value};

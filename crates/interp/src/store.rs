@@ -1,0 +1,155 @@
+//! The memory store μ and environment ε of the Core P4 semantics (§3.2).
+//!
+//! μ maps locations to values; ε maps variable names to locations. Closures
+//! capture ε by value (cheap clone), exactly like the `clos(ε, …)` and
+//! `table_l(ε, …)` values of the petr4 semantics.
+
+use crate::value::Value;
+use std::collections::HashMap;
+
+/// A store location.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Loc(usize);
+
+impl Loc {
+    /// The raw index (for debugging and the NI harness's store typing Ξ).
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// The memory store μ: an append-only arena of values. Locations are never
+/// freed (the semantics only ever extends `dom(μ)` — see clause 8 of
+/// Definition 4.2).
+#[derive(Debug, Clone, Default)]
+pub struct Store {
+    cells: Vec<Value>,
+}
+
+impl Store {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Store::default()
+    }
+
+    /// Allocates a fresh location holding `value`.
+    pub fn alloc(&mut self, value: Value) -> Loc {
+        self.cells.push(value);
+        Loc(self.cells.len() - 1)
+    }
+
+    /// Reads a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling location (interpreter bug: locations are never
+    /// freed).
+    #[must_use]
+    pub fn read(&self, loc: Loc) -> &Value {
+        &self.cells[loc.0]
+    }
+
+    /// Overwrites a location.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dangling location.
+    pub fn write(&mut self, loc: Loc, value: Value) {
+        self.cells[loc.0] = value;
+    }
+
+    /// Number of allocated locations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether nothing is allocated yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// The environment ε: variable names to locations. Cloning is cheap enough
+/// for the paper-scale programs we interpret; closures clone it at
+/// declaration time.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Env {
+    map: HashMap<String, Loc>,
+}
+
+impl Env {
+    /// An empty environment.
+    #[must_use]
+    pub fn new() -> Self {
+        Env::default()
+    }
+
+    /// Binds (or shadows) a name.
+    pub fn bind(&mut self, name: &str, loc: Loc) {
+        self.map.insert(name.to_string(), loc);
+    }
+
+    /// Looks a name up.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Loc> {
+        self.map.get(name).copied()
+    }
+
+    /// Iterates over the bindings (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Loc)> {
+        self.map.iter().map(|(n, l)| (n.as_str(), *l))
+    }
+
+    /// Number of bindings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether there are no bindings.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write() {
+        let mut store = Store::new();
+        let a = store.alloc(Value::Int(1));
+        let b = store.alloc(Value::Bool(true));
+        assert_ne!(a, b);
+        assert_eq!(store.read(a), &Value::Int(1));
+        store.write(a, Value::Int(42));
+        assert_eq!(store.read(a), &Value::Int(42));
+        assert_eq!(store.read(b), &Value::Bool(true));
+        assert_eq!(store.len(), 2);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn env_binding_and_shadowing() {
+        let mut store = Store::new();
+        let l1 = store.alloc(Value::Int(1));
+        let l2 = store.alloc(Value::Int(2));
+        let mut env = Env::new();
+        env.bind("x", l1);
+        assert_eq!(env.lookup("x"), Some(l1));
+        // Closures capture the env by value: later rebinding does not
+        // affect the captured copy.
+        let captured = env.clone();
+        env.bind("x", l2);
+        assert_eq!(env.lookup("x"), Some(l2));
+        assert_eq!(captured.lookup("x"), Some(l1));
+        assert_eq!(env.lookup("y"), None);
+        assert_eq!(env.len(), 1);
+    }
+}

@@ -1,0 +1,457 @@
+//! End-to-end evaluator tests: whole programs parsed, typechecked, and run
+//! against configured control planes.
+
+use p4bid_interp::{
+    run_control, ControlPlane, EvalError, KeyPattern, TableEntry, Value,
+};
+use p4bid_typeck::{check_source, CheckOptions, TypedProgram};
+
+fn typed(src: &str) -> TypedProgram {
+    match check_source(src, &CheckOptions::ifc()) {
+        Ok(t) => t,
+        Err(e) => panic!("typecheck failed: {e:?}\n{src}"),
+    }
+}
+
+fn b(width: u16, v: u128) -> Value {
+    Value::bit(width, v)
+}
+
+#[test]
+fn arithmetic_and_locals() {
+    let t = typed(
+        r#"control C(inout bit<16> x) {
+            apply {
+                bit<16> a = x * 2;
+                bit<16> c = a + 5;
+                x = c - 1;
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(16, 10)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(16, 24)));
+    assert!(!out.exited);
+}
+
+#[test]
+fn conditionals_and_blocks() {
+    let t = typed(
+        r#"control C(inout bit<8> x, inout bit<8> y) {
+            apply {
+                if (x < y) { x = y; } else { y = x; }
+                { bit<8> t = 8w1; x = x + t; }
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 3), b(8, 9)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 10)));
+    assert_eq!(out.param("y"), Some(&b(8, 9)));
+}
+
+#[test]
+fn block_scoping_restores_bindings() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            bit<8> v = 8w1;
+            apply {
+                { bit<8> v = 8w100; x = v; }
+                x = x + v;
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 101)));
+}
+
+#[test]
+fn function_call_with_return() {
+    let t = typed(
+        r#"function bit<8> double(in bit<8> v) { return v * 2; }
+        control C(inout bit<8> x) {
+            apply { x = double(double(x)); }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 3)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 12)));
+}
+
+#[test]
+fn inout_copy_in_copy_out() {
+    let t = typed(
+        r#"header h_t { bit<8> v; }
+        struct hs { h_t h; }
+        control C(inout hs s) {
+            action bump(inout bit<8> target) { target = target + 8w1; }
+            apply { bump(s.h.v); bump(s.h.v); }
+        }"#,
+    );
+    let hdr = Value::Header { valid: true, fields: vec![("v".into(), b(8, 5))] };
+    let s = Value::Record(vec![("h".into(), hdr)]);
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![s]).unwrap();
+    let v = out.param("s").unwrap().field("h").unwrap().field("v").unwrap();
+    assert_eq!(v, &b(8, 7));
+}
+
+#[test]
+fn in_params_do_not_write_back() {
+    let t = typed(
+        r#"control C(inout bit<8> x, inout bit<8> y) {
+            action observe(in bit<8> v) { y = v + 8w1; }
+            apply { observe(x); }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 9), b(8, 0)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 9)), "in-arg unchanged");
+    assert_eq!(out.param("y"), Some(&b(8, 10)));
+}
+
+#[test]
+fn closures_capture_declaration_env() {
+    // The action reads `v` from its declaration environment even though the
+    // apply block later shadows nothing — Core P4 closures capture ε.
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            bit<8> v = 8w40;
+            action addv() { x = x + v; }
+            apply { addv(); }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 2)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 42)));
+}
+
+#[test]
+fn exit_aborts_control_and_still_copies_out() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            action boom(inout bit<8> v) { v = 8w7; exit; }
+            apply {
+                boom(x);
+                x = 8w99; // unreachable
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0)]).unwrap();
+    assert!(out.exited);
+    assert_eq!(out.param("x"), Some(&b(8, 7)), "copy-out happens despite exit");
+}
+
+#[test]
+fn exit_in_expression_position_propagates() {
+    let t = typed(
+        r#"function bit<8> f(in bit<8> v) {
+            if (v == 8w0) { exit; }
+            return v;
+        }
+        control C(inout bit<8> x, inout bit<8> y) {
+            apply { y = f(x); y = y + 8w1; }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0), b(8, 50)]).unwrap();
+    assert!(out.exited);
+    assert_eq!(out.param("y"), Some(&b(8, 50)), "assignment aborted by exit");
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 3), b(8, 50)]).unwrap();
+    assert!(!out.exited);
+    assert_eq!(out.param("y"), Some(&b(8, 4)));
+}
+
+#[test]
+fn stacks_index_read_write() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            bit<8>[4] arr;
+            apply {
+                arr[0] = 8w10;
+                arr[1] = arr[0] + 8w1;
+                x = arr[1];
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 11)));
+}
+
+#[test]
+fn out_of_bounds_read_is_deterministic_havoc() {
+    let t = typed(
+        r#"control C(inout bit<8> x, inout bit<8> ix) {
+            bit<8>[2] arr;
+            apply {
+                arr[0] = 8w77;
+                x = arr[ix];
+            }
+        }"#,
+    );
+    // In-bounds.
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0), b(8, 0)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 77)));
+    // Out of bounds: havoc = zero, and the same on every run.
+    for _ in 0..3 {
+        let out =
+            run_control(&t, &ControlPlane::new(), "C", vec![b(8, 1), b(8, 200)]).unwrap();
+        assert_eq!(out.param("x"), Some(&b(8, 0)));
+    }
+}
+
+#[test]
+fn out_of_bounds_write_is_noop() {
+    let t = typed(
+        r#"control C(inout bit<8> x, inout bit<8> ix) {
+            bit<8>[2] arr;
+            apply {
+                arr[ix] = 8w9;
+                x = arr[0] + arr[1];
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0), b(8, 5)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 0)), "oob write dropped");
+}
+
+const FORWARD: &str = r#"
+    header ipv4_t { bit<32> dstAddr; bit<8> ttl; }
+    struct headers { ipv4_t ipv4; }
+    control Fwd(inout headers hdr, inout standard_metadata_t meta) {
+        action ipv4_forward(bit<9> port) {
+            meta.egress_spec = port;
+            hdr.ipv4.ttl = hdr.ipv4.ttl - 8w1;
+        }
+        action drop() { mark_to_drop(meta); }
+        table ipv4_lpm {
+            key = { hdr.ipv4.dstAddr: lpm; }
+            actions = { ipv4_forward; drop; }
+            default_action = drop;
+        }
+        apply { ipv4_lpm.apply(); }
+    }
+"#;
+
+fn packet(dst: u128, ttl: u128) -> Vec<Value> {
+    let ipv4 = Value::Header {
+        valid: true,
+        fields: vec![("dstAddr".into(), b(32, dst)), ("ttl".into(), b(8, ttl))],
+    };
+    let hdr = Value::Record(vec![("ipv4".into(), ipv4)]);
+    let meta = Value::Record(vec![
+        ("ingress_port".into(), b(9, 0)),
+        ("egress_spec".into(), b(9, 0)),
+        ("egress_port".into(), b(9, 0)),
+        ("instance_type".into(), b(32, 0)),
+        ("packet_length".into(), b(32, 64)),
+        ("priority".into(), b(3, 0)),
+    ]);
+    vec![hdr, meta]
+}
+
+#[test]
+fn lpm_table_forwarding_pipeline() {
+    let t = typed(FORWARD);
+    let mut cp = ControlPlane::new();
+    // 10.0.0.0/8 → port 1; 10.1.0.0/16 → port 2.
+    cp.add_entry(
+        "ipv4_lpm",
+        TableEntry::new(
+            vec![KeyPattern::Lpm { value: b(32, 10 << 24), prefix_len: 8 }],
+            "ipv4_forward",
+            vec![b(9, 1)],
+        ),
+    );
+    cp.add_entry(
+        "ipv4_lpm",
+        TableEntry::new(
+            vec![KeyPattern::Lpm {
+                value: b(32, (10 << 24) | (1 << 16)),
+                prefix_len: 16,
+            }],
+            "ipv4_forward",
+            vec![b(9, 2)],
+        ),
+    );
+
+    // Longest prefix wins.
+    let out =
+        run_control(&t, &cp, "Fwd", packet(((10 << 24) | (1 << 16)) + 5, 64)).unwrap();
+    let spec = out.param("meta").unwrap().field("egress_spec").unwrap();
+    assert_eq!(spec, &b(9, 2));
+    let ttl = out.param("hdr").unwrap().field("ipv4").unwrap().field("ttl").unwrap();
+    assert_eq!(ttl, &b(8, 63), "forwarding decrements the ttl");
+
+    // /8-only match.
+    let out = run_control(&t, &cp, "Fwd", packet((10 << 24) + 7, 64)).unwrap();
+    assert_eq!(out.param("meta").unwrap().field("egress_spec").unwrap(), &b(9, 1));
+
+    // Miss → declared default (drop → egress_spec = 511).
+    let out = run_control(&t, &cp, "Fwd", packet(192 << 24, 64)).unwrap();
+    assert_eq!(out.param("meta").unwrap().field("egress_spec").unwrap(), &b(9, 511));
+}
+
+#[test]
+fn table_with_bound_dataplane_args() {
+    // Listing 3 style: the table binds an expression to the action's
+    // directional parameter at declaration time.
+    let t = typed(
+        r#"control C(inout bit<32> key, inout bit<32> out) {
+            bit<32> bound = 32w1000;
+            action take(in bit<32> v) { out = v; }
+            table tb {
+                key = { key: exact; }
+                actions = { take(bound + 32w1); }
+            }
+            apply { tb.apply(); }
+        }"#,
+    );
+    let mut cp = ControlPlane::new();
+    cp.add_entry(
+        "tb",
+        TableEntry::new(vec![KeyPattern::Exact(b(32, 5))], "take", vec![]),
+    );
+    let out = run_control(&t, &cp, "C", vec![b(32, 5), b(32, 0)]).unwrap();
+    assert_eq!(out.param("out"), Some(&b(32, 1001)));
+    // Miss with no declared default: no-op.
+    let out = run_control(&t, &cp, "C", vec![b(32, 6), b(32, 0)]).unwrap();
+    assert_eq!(out.param("out"), Some(&b(32, 0)));
+}
+
+#[test]
+fn control_plane_default_action_override() {
+    let t = typed(
+        r#"control C(inout bit<8> k, inout bit<8> out) {
+            action set(bit<8> v) { out = v; }
+            table tb {
+                key = { k: exact; }
+                actions = { set; NoAction; }
+                default_action = NoAction;
+            }
+            apply { tb.apply(); }
+        }"#,
+    );
+    let mut cp = ControlPlane::new();
+    cp.set_default_action("tb", "set", vec![b(8, 42)]);
+    let out = run_control(&t, &cp, "C", vec![b(8, 1), b(8, 0)]).unwrap();
+    assert_eq!(out.param("out"), Some(&b(8, 42)));
+}
+
+#[test]
+fn declared_default_action_with_control_params_gets_zeros() {
+    let t = typed(
+        r#"control C(inout bit<8> k, inout bit<8> out) {
+            action set(bit<8> v) { out = v + 8w1; }
+            table tb {
+                key = { k: exact; }
+                actions = { set; }
+                default_action = set;
+            }
+            apply { tb.apply(); }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 1), b(8, 9)]).unwrap();
+    assert_eq!(out.param("out"), Some(&b(8, 1)), "zero-init control-plane arg");
+}
+
+#[test]
+fn bad_entry_action_is_reported() {
+    let t = typed(
+        r#"control C(inout bit<8> k) {
+            action a() { }
+            table tb { key = { k: exact; } actions = { a; } }
+            apply { tb.apply(); }
+        }"#,
+    );
+    let mut cp = ControlPlane::new();
+    cp.add_entry("tb", TableEntry::new(vec![KeyPattern::Any], "ghost", vec![]));
+    let err = run_control(&t, &cp, "C", vec![b(8, 0)]).unwrap_err();
+    assert!(matches!(err, EvalError::UnknownEntryAction { .. }), "{err}");
+}
+
+#[test]
+fn bad_entry_arity_is_reported() {
+    let t = typed(
+        r#"control C(inout bit<8> k, inout bit<8> out) {
+            action set(bit<8> v) { out = v; }
+            table tb { key = { k: exact; } actions = { set; } }
+            apply { tb.apply(); }
+        }"#,
+    );
+    let mut cp = ControlPlane::new();
+    cp.add_entry("tb", TableEntry::new(vec![KeyPattern::Any], "set", vec![]));
+    let err = run_control(&t, &cp, "C", vec![b(8, 0), b(8, 0)]).unwrap_err();
+    assert!(matches!(err, EvalError::EntryArgMismatch { .. }), "{err}");
+}
+
+#[test]
+fn unknown_control_is_reported() {
+    let t = typed("control C(inout bit<8> x) { apply { } }");
+    let err = run_control(&t, &ControlPlane::new(), "Ghost", vec![b(8, 0)]).unwrap_err();
+    assert!(matches!(err, EvalError::UnknownControl(_)));
+}
+
+#[test]
+fn wrong_arg_count_is_reported() {
+    let t = typed("control C(inout bit<8> x) { apply { } }");
+    let err = run_control(&t, &ControlPlane::new(), "C", vec![]).unwrap_err();
+    assert_eq!(err, EvalError::ArgCount { expected: 1, got: 0 });
+}
+
+#[test]
+fn prelude_num_bits_set_is_popcount() {
+    let t = typed(
+        r#"control C(inout bit<32> x) {
+            apply { x = num_bits_set(x); }
+        }"#,
+    );
+    for (input, expected) in [
+        (0u128, 0u128),
+        (1, 1),
+        (0b1011, 3),
+        (0xFFFF_FFFF, 32),
+        (0x8000_0001, 2),
+        (0xDEAD_BEEF, 24),
+    ] {
+        let out = run_control(&t, &ControlPlane::new(), "C", vec![b(32, input)]).unwrap();
+        assert_eq!(
+            out.param("x"),
+            Some(&b(32, expected)),
+            "popcount({input:#x})"
+        );
+    }
+}
+
+#[test]
+fn determinism_same_inputs_same_outputs() {
+    let t = typed(FORWARD);
+    let mut cp = ControlPlane::new();
+    cp.add_entry(
+        "ipv4_lpm",
+        TableEntry::new(
+            vec![KeyPattern::Lpm { value: b(32, 10 << 24), prefix_len: 8 }],
+            "ipv4_forward",
+            vec![b(9, 3)],
+        ),
+    );
+    let a = run_control(&t, &cp, "Fwd", packet((10 << 24) + 1, 7)).unwrap();
+    let bb = run_control(&t, &cp, "Fwd", packet((10 << 24) + 1, 7)).unwrap();
+    assert_eq!(a, bb);
+}
+
+#[test]
+fn multiple_controls_run_independently() {
+    let t = typed(
+        r#"control A(inout bit<8> x) { apply { x = x + 8w1; } }
+        control B(inout bit<8> x) { apply { x = x * 8w2; } }"#,
+    );
+    let a = run_control(&t, &ControlPlane::new(), "A", vec![b(8, 10)]).unwrap();
+    let bb = run_control(&t, &ControlPlane::new(), "B", vec![b(8, 10)]).unwrap();
+    assert_eq!(a.param("x"), Some(&b(8, 11)));
+    assert_eq!(bb.param("x"), Some(&b(8, 20)));
+}
+
+#[test]
+fn int_literals_adapt_to_bit_targets() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            apply { x = 300; }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 44)), "300 mod 256");
+}

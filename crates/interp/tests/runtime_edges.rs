@@ -1,0 +1,223 @@
+//! Runtime edge cases: fuel, ternary matching, records at runtime,
+//! typedef-ed storage, and signal plumbing.
+
+use p4bid_interp::{
+    run_control, ControlPlane, EvalError, Interp, KeyPattern, TableEntry, Value,
+};
+use p4bid_typeck::{check_source, CheckOptions, TypedProgram};
+
+fn typed(src: &str) -> TypedProgram {
+    check_source(src, &CheckOptions::ifc()).expect("typechecks")
+}
+
+fn b(w: u16, v: u128) -> Value {
+    Value::bit(w, v)
+}
+
+#[test]
+fn fuel_exhaustion_is_an_error_not_a_hang() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            apply { x = x + 8w1; x = x + 8w1; x = x + 8w1; }
+        }"#,
+    );
+    let err = Interp::new(&t, &ControlPlane::new())
+        .with_fuel(3)
+        .run_control("C", vec![b(8, 0)])
+        .unwrap_err();
+    assert_eq!(err, EvalError::FuelExhausted);
+    // With enough fuel the same program runs.
+    let out = Interp::new(&t, &ControlPlane::new())
+        .with_fuel(1000)
+        .run_control("C", vec![b(8, 0)])
+        .unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 3)));
+}
+
+#[test]
+fn ternary_matching_in_a_pipeline() {
+    let t = typed(
+        r#"control Acl(inout bit<32> addr, inout bit<8> verdict) {
+            action allow() { verdict = 8w1; }
+            action deny() { verdict = 8w0; }
+            table acl {
+                key = { addr: ternary; }
+                actions = { allow; deny; }
+                default_action = deny;
+            }
+            apply { acl.apply(); }
+        }"#,
+    );
+    let mut cp = ControlPlane::new();
+    // Allow 10.x.x.x with the odd last bit, priority over a broad deny.
+    cp.add_entry(
+        "acl",
+        TableEntry::new(
+            vec![KeyPattern::Ternary {
+                value: b(32, (10 << 24) | 1),
+                mask: b(32, 0xFF00_0001),
+            }],
+            "allow",
+            vec![],
+        )
+        .with_priority(10),
+    );
+    cp.add_entry(
+        "acl",
+        TableEntry::new(vec![KeyPattern::Any], "deny", vec![]).with_priority(1),
+    );
+    let out = run_control(&t, &cp, "Acl", vec![b(32, (10 << 24) | 0x0012_3401), b(8, 9)]);
+    assert_eq!(out.unwrap().param("verdict"), Some(&b(8, 1)));
+    let out = run_control(&t, &cp, "Acl", vec![b(32, (10 << 24) | 0x0012_3400), b(8, 9)]);
+    assert_eq!(out.unwrap().param("verdict"), Some(&b(8, 0)));
+    let out = run_control(&t, &cp, "Acl", vec![b(32, 11 << 24), b(8, 9)]);
+    assert_eq!(out.unwrap().param("verdict"), Some(&b(8, 0)));
+}
+
+#[test]
+fn record_literals_evaluate_and_project() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            apply {
+                x = { lo = x, hi = x * 8w2 }.hi;
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 21)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 42)));
+}
+
+#[test]
+fn typedefed_storage_behaves_like_base() {
+    let t = typed(
+        r#"typedef bit<16> port_t;
+        control C(inout port_t p) {
+            port_t next = p + 1;
+            apply { p = next; }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(16, 80)]).unwrap();
+    assert_eq!(out.param("p"), Some(&b(16, 81)));
+}
+
+#[test]
+fn return_value_coerced_to_declared_width() {
+    let t = typed(
+        r#"function bit<8> low_byte(in bit<8> x) {
+            return x + 300;
+        }
+        control C(inout bit<8> y) { apply { y = low_byte(y); } }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 1)]).unwrap();
+    assert_eq!(out.param("y"), Some(&b(8, 45)), "301 mod 256");
+}
+
+#[test]
+fn bool_fields_round_trip() {
+    let t = typed(
+        r#"header f_t { bool flag; bit<8> v; }
+        control C(inout f_t h) {
+            apply {
+                if (h.flag) { h.v = 8w1; } else { h.v = 8w2; }
+                h.flag = !h.flag;
+            }
+        }"#,
+    );
+    let hdr = Value::Header {
+        valid: true,
+        fields: vec![("flag".into(), Value::Bool(true)), ("v".into(), b(8, 0))],
+    };
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![hdr]).unwrap();
+    let h = out.param("h").unwrap();
+    assert_eq!(h.field("v"), Some(&b(8, 1)));
+    assert_eq!(h.field("flag"), Some(&Value::Bool(false)));
+}
+
+#[test]
+fn nested_table_applications_thread_state() {
+    // Table A's action flips the key that table B matches on.
+    let t = typed(
+        r#"control C(inout bit<8> k, inout bit<8> out) {
+            action first() { k = k + 8w1; }
+            action second(bit<8> v) { out = v; }
+            table ta { key = { k: exact; } actions = { first; NoAction; } }
+            table tb { key = { k: exact; } actions = { second; NoAction; } }
+            apply { ta.apply(); tb.apply(); }
+        }"#,
+    );
+    let mut cp = ControlPlane::new();
+    cp.add_entry("ta", TableEntry::new(vec![KeyPattern::Exact(b(8, 1))], "first", vec![]));
+    cp.add_entry(
+        "tb",
+        TableEntry::new(vec![KeyPattern::Exact(b(8, 2))], "second", vec![b(8, 0xAA)]),
+    );
+    let out = run_control(&t, &cp, "C", vec![b(8, 1), b(8, 0)]).unwrap();
+    assert_eq!(out.param("k"), Some(&b(8, 2)), "ta bumped the key");
+    assert_eq!(out.param("out"), Some(&b(8, 0xAA)), "tb matched the bumped key");
+}
+
+#[test]
+fn exit_from_table_action_stops_the_pipeline() {
+    let t = typed(
+        r#"control C(inout bit<8> k, inout bit<8> out) {
+            action stop() { exit; }
+            table t1 { key = { k: exact; } actions = { stop; NoAction; }
+                       default_action = NoAction; }
+            apply { t1.apply(); out = 8w99; }
+        }"#,
+    );
+    let mut cp = ControlPlane::new();
+    cp.add_entry("t1", TableEntry::new(vec![KeyPattern::Exact(b(8, 1))], "stop", vec![]));
+    let hit = run_control(&t, &cp, "C", vec![b(8, 1), b(8, 0)]).unwrap();
+    assert!(hit.exited);
+    assert_eq!(hit.param("out"), Some(&b(8, 0)), "pipeline aborted");
+    let miss = run_control(&t, &cp, "C", vec![b(8, 2), b(8, 0)]).unwrap();
+    assert!(!miss.exited);
+    assert_eq!(miss.param("out"), Some(&b(8, 99)));
+}
+
+#[test]
+fn stacks_of_headers() {
+    let t = typed(
+        r#"header seg_t { bit<8> label_field; }
+        struct hs { seg_t[3] segs; }
+        control C(inout hs h, inout bit<8> x) {
+            apply {
+                h.segs[0].label_field = 8w5;
+                h.segs[2].label_field = h.segs[0].label_field + 8w1;
+                x = h.segs[2].label_field;
+            }
+        }"#,
+    );
+    let seg = |v: u128| Value::Header {
+        valid: true,
+        fields: vec![("label_field".into(), b(8, v))],
+    };
+    let h = Value::Record(vec![("segs".into(), Value::Stack(vec![seg(0), seg(0), seg(0)]))]);
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![h, b(8, 0)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 6)));
+}
+
+#[test]
+fn shift_semantics_match_the_checker_widths() {
+    let t = typed(
+        r#"control C(inout bit<8> x, inout bit<32> y) {
+            apply {
+                x = x << 2;
+                y = y >> 4;
+                x = x >> 200;
+            }
+        }"#,
+    );
+    let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 0b11), b(32, 0xF0)]).unwrap();
+    assert_eq!(out.param("x"), Some(&b(8, 0)), "over-shift zeroes");
+    assert_eq!(out.param("y"), Some(&b(32, 0xF)));
+}
+
+#[test]
+fn same_value_different_widths_do_not_unify() {
+    // bit<8> 5 and bit<16> 5 are different runtime values.
+    assert_ne!(b(8, 5), b(16, 5));
+    // But coercion adapts shape deliberately.
+    assert_eq!(Value::Int(5).coerce_to_shape(&b(16, 0)), b(16, 5));
+}

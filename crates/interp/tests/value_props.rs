@@ -1,0 +1,131 @@
+//! Property-based tests on the runtime value algebra: the evaluation
+//! oracle `E(⊕, …)` must be total, deterministic, width-preserving, and
+//! algebraically sane on the shapes the typing oracle admits — the
+//! assumptions Appendix I's Equation (8) makes about `E`.
+
+use p4bid_ast::surface::{BinOp, UnOp};
+use p4bid_interp::value::{eval_binop, eval_unop, mask};
+use p4bid_interp::Value;
+use proptest::prelude::*;
+
+fn arb_width() -> impl Strategy<Value = u16> {
+    prop_oneof![Just(1u16), Just(8), Just(9), Just(16), Just(32), Just(48), Just(64), Just(128)]
+}
+
+fn arb_bit_pair() -> impl Strategy<Value = (u16, u128, u128)> {
+    (arb_width(), any::<u128>(), any::<u128>())
+}
+
+const ARITH: [BinOp; 6] =
+    [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor];
+
+proptest! {
+    /// Every arithmetic/bitwise result is masked to the operand width.
+    #[test]
+    fn results_stay_masked((w, a, b) in arb_bit_pair(), op_ix in 0usize..6) {
+        let op = ARITH[op_ix];
+        let r = eval_binop(op, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        let Value::Bit { width, value } = r else { panic!("non-bit result {r}") };
+        prop_assert_eq!(width, w);
+        prop_assert_eq!(value, mask(w, value), "unmasked payload");
+    }
+
+    /// The oracle is a function: equal inputs, equal outputs.
+    #[test]
+    fn oracle_is_deterministic((w, a, b) in arb_bit_pair(), op_ix in 0usize..6) {
+        let op = ARITH[op_ix];
+        let r1 = eval_binop(op, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        let r2 = eval_binop(op, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        prop_assert_eq!(r1, r2);
+    }
+
+    /// Add/Mul/And/Or/Xor are commutative on bit-vectors.
+    #[test]
+    fn commutative_ops((w, a, b) in arb_bit_pair(), op_ix in 0usize..5) {
+        let op = [BinOp::Add, BinOp::Mul, BinOp::BitAnd, BinOp::BitOr, BinOp::BitXor][op_ix];
+        let ab = eval_binop(op, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        let ba = eval_binop(op, Value::bit(w, b), Value::bit(w, a)).unwrap();
+        prop_assert_eq!(ab, ba);
+    }
+
+    /// Subtraction inverts addition (wrapping).
+    #[test]
+    fn sub_inverts_add((w, a, b) in arb_bit_pair()) {
+        let sum = eval_binop(BinOp::Add, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        let back = eval_binop(BinOp::Sub, sum, Value::bit(w, b)).unwrap();
+        prop_assert_eq!(back, Value::bit(w, a));
+    }
+
+    /// Double negation and double complement are identities.
+    #[test]
+    fn involutions(w in arb_width(), a in any::<u128>()) {
+        let v = Value::bit(w, a);
+        let neg2 = eval_unop(UnOp::Neg, eval_unop(UnOp::Neg, v.clone()).unwrap()).unwrap();
+        prop_assert_eq!(&neg2, &v);
+        let not2 = eval_unop(UnOp::BitNot, eval_unop(UnOp::BitNot, v.clone()).unwrap()).unwrap();
+        prop_assert_eq!(&not2, &v);
+    }
+
+    /// `x ^ x = 0`, `x & x = x`, `x | x = x`.
+    #[test]
+    fn idempotents_and_annihilators(w in arb_width(), a in any::<u128>()) {
+        let v = Value::bit(w, a);
+        prop_assert_eq!(
+            eval_binop(BinOp::BitXor, v.clone(), v.clone()).unwrap(),
+            Value::bit(w, 0)
+        );
+        prop_assert_eq!(eval_binop(BinOp::BitAnd, v.clone(), v.clone()).unwrap(), v.clone());
+        prop_assert_eq!(eval_binop(BinOp::BitOr, v.clone(), v.clone()).unwrap(), v);
+    }
+
+    /// Comparisons agree with the unsigned order on the masked payloads.
+    #[test]
+    fn comparisons_match_unsigned_order((w, a, b) in arb_bit_pair()) {
+        let (ma, mb) = (mask(w, a), mask(w, b));
+        let lt = eval_binop(BinOp::Lt, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        prop_assert_eq!(lt, Value::Bool(ma < mb));
+        let ge = eval_binop(BinOp::Ge, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        prop_assert_eq!(ge, Value::Bool(ma >= mb));
+        let eq = eval_binop(BinOp::Eq, Value::bit(w, a), Value::bit(w, b)).unwrap();
+        prop_assert_eq!(eq, Value::Bool(ma == mb));
+    }
+
+    /// Shifting by the width or more gives zero; shifting in two steps
+    /// equals shifting once by the sum (within range).
+    #[test]
+    fn shift_laws(w in arb_width(), a in any::<u128>(), s1 in 0u32..16, s2 in 0u32..16) {
+        let v = Value::bit(w, a);
+        let over = eval_binop(BinOp::Shl, v.clone(), Value::Int(i128::from(w))).unwrap();
+        prop_assert_eq!(over, Value::bit(w, 0));
+        let two_step = eval_binop(
+            BinOp::Shr,
+            eval_binop(BinOp::Shr, v.clone(), Value::Int(i128::from(s1))).unwrap(),
+            Value::Int(i128::from(s2)),
+        )
+        .unwrap();
+        let one_step =
+            eval_binop(BinOp::Shr, v, Value::Int(i128::from(s1 + s2))).unwrap();
+        prop_assert_eq!(two_step, one_step);
+    }
+
+    /// Int operands adapt to the bit side without changing the result
+    /// versus pre-coercing.
+    #[test]
+    fn int_coercion_is_transparent(w in arb_width(), a in any::<u128>(), b in 0i128..1000) {
+        for op in ARITH {
+            let mixed = eval_binop(op, Value::bit(w, a), Value::Int(b)).unwrap();
+            let coerced =
+                eval_binop(op, Value::bit(w, a), Value::bit(w, b as u128)).unwrap();
+            prop_assert_eq!(mixed, coerced);
+        }
+    }
+
+    /// `coerce_to_shape` round-trips small values through `int`.
+    #[test]
+    fn coercion_roundtrip(w in arb_width(), a in 0u128..128) {
+        let bit = Value::bit(w, a);
+        let as_int = bit.clone().coerce_to_shape(&Value::Int(0));
+        let back = as_int.coerce_to_shape(&bit);
+        prop_assert_eq!(back, bit);
+    }
+}

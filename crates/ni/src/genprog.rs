@@ -1,0 +1,362 @@
+//! Random program generation for soundness fuzzing.
+//!
+//! Samples programs from the paper's fragment over a fixed set of labeled
+//! variables — assignments, arithmetic, conditionals, actions, calls,
+//! exits, and match-action tables — together with a matching random
+//! control plane.
+//!
+//! The generator interpolates between two regimes via
+//! [`GenConfig::safe_bias`]:
+//!
+//! * `0.0` — fully arbitrary programs, most of which leak and are
+//!   rejected (good for measuring how often rejection corresponds to an
+//!   observable leak);
+//! * `1.0` — label-respecting programs (secret data only flows upward,
+//!   secret contexts only write secret state), almost all of which the
+//!   checker accepts (good for fuzzing the soundness theorem on *deep*
+//!   programs).
+//!
+//! The soundness property test then checks: *whenever the IFC checker
+//! accepts a generated program, the paired-execution harness finds no
+//! leak* (Theorem 4.3).
+
+use p4bid_interp::{ControlPlane, KeyPattern, TableEntry, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::fmt::Write as _;
+
+/// Knobs for the generator.
+#[derive(Debug, Clone)]
+pub struct GenConfig {
+    /// Maximum nesting depth of conditionals.
+    pub max_depth: usize,
+    /// Number of statements per block.
+    pub stmts_per_block: usize,
+    /// Number of actions to declare.
+    pub actions: usize,
+    /// Whether to declare a table over the actions.
+    pub table: bool,
+    /// Number of random table entries to install.
+    pub entries: usize,
+    /// Probability (0.0..=1.0) that each generated construct respects the
+    /// security labels.
+    pub safe_bias: f64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        GenConfig {
+            max_depth: 2,
+            stmts_per_block: 4,
+            actions: 2,
+            table: true,
+            entries: 3,
+            safe_bias: 0.5,
+        }
+    }
+}
+
+impl GenConfig {
+    /// Sets the safe bias, builder-style.
+    #[must_use]
+    pub fn with_safe_bias(mut self, bias: f64) -> Self {
+        self.safe_bias = bias;
+        self
+    }
+}
+
+/// A generated program plus the control plane it should run under.
+#[derive(Debug, Clone)]
+pub struct GeneratedProgram {
+    /// Annotated source text. The control is named `Fuzz` and has four
+    /// `inout` parameters: `l0`, `l1` (low) and `h0`, `h1` (high), all
+    /// `bit<8>`.
+    pub source: String,
+    /// Entries for the table (if any).
+    pub control_plane: ControlPlane,
+    /// The seed it was generated from.
+    pub seed: u64,
+}
+
+/// The variables every generated program manipulates: `(name, is_high)`.
+const VARS: [(&str, bool); 4] = [("l0", false), ("l1", false), ("h0", true), ("h1", true)];
+const LOW_VARS: [&str; 2] = ["l0", "l1"];
+const HIGH_VARS: [&str; 2] = ["h0", "h1"];
+
+#[derive(Debug, Clone, Copy)]
+struct ActionInfo {
+    /// Whether the body was generated in forced-high mode (writes only
+    /// secret state, hence callable from any context).
+    #[allow(dead_code)] // recorded for debugging generated corpora
+    high_only: bool,
+}
+
+/// Generates a random program from `seed`.
+#[must_use]
+pub fn random_program(seed: u64, cfg: &GenConfig) -> GeneratedProgram {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = Gen { rng: &mut rng, cfg };
+    let mut src = String::new();
+    src.push_str(
+        "control Fuzz(inout <bit<8>, low> l0, inout <bit<8>, low> l1,\n\
+         \x20            inout <bit<8>, high> h0, inout <bit<8>, high> h1) {\n",
+    );
+
+    let mut actions: Vec<(String, ActionInfo)> = Vec::new();
+    for i in 0..g.cfg.actions {
+        let name = format!("act{i}");
+        // Safe actions write only high state, so they never constrain the
+        // table key and are callable anywhere.
+        let high_only = g.safe();
+        let _ = writeln!(src, "    action {name}(bit<8> cparg) {{");
+        let n = g.rng.gen_range(1..=g.cfg.stmts_per_block);
+        for _ in 0..n {
+            let stmt = g.stmt(0, high_only, true);
+            let _ = writeln!(src, "        {stmt}");
+        }
+        src.push_str("    }\n");
+        actions.push((name, ActionInfo { high_only }));
+    }
+
+    let has_table = g.cfg.table && !actions.is_empty();
+    if has_table {
+        // A low key is always below every action's write bound; an
+        // arbitrary key may leak through low-writing actions.
+        let key = if g.safe() { g.low_var() } else { g.any_var() };
+        let _ = writeln!(src, "    table tbl {{");
+        let _ = writeln!(src, "        key = {{ {key}: exact; }}");
+        let list = actions.iter().map(|(a, _)| format!("{a};")).collect::<Vec<_>>().join(" ");
+        let _ = writeln!(src, "        actions = {{ {list} NoAction; }}");
+        let _ = writeln!(src, "        default_action = NoAction;");
+        src.push_str("    }\n");
+    }
+
+    src.push_str("    apply {\n");
+    let n = g.rng.gen_range(1..=g.cfg.stmts_per_block + 2);
+    for _ in 0..n {
+        let choice = g.rng.gen_range(0..10);
+        let line = if choice < 6 || actions.is_empty() {
+            g.stmt(0, false, false)
+        } else if choice < 8 && has_table {
+            "tbl.apply();".to_string()
+        } else {
+            let (a, _) = &actions[g.rng.gen_range(0..actions.len())];
+            let lit = g.rng.gen_range(0..=255);
+            format!("{a}(8w{lit});")
+        };
+        let _ = writeln!(src, "        {line}");
+    }
+    src.push_str("    }\n}\n");
+
+    // Random control plane for the table.
+    let mut cp = ControlPlane::new();
+    if has_table {
+        for _ in 0..g.cfg.entries {
+            let key = Value::bit(8, g.rng.gen_range(0..=255u32) as u128);
+            let (action, _) = &actions[g.rng.gen_range(0..actions.len())];
+            let arg = Value::bit(8, g.rng.gen_range(0..=255u32) as u128);
+            cp.add_entry(
+                "tbl",
+                TableEntry::new(vec![KeyPattern::Exact(key)], action.clone(), vec![arg]),
+            );
+        }
+    }
+
+    GeneratedProgram { source: src, control_plane: cp, seed }
+}
+
+struct Gen<'r> {
+    rng: &'r mut StdRng,
+    cfg: &'r GenConfig,
+}
+
+impl Gen<'_> {
+    /// Whether the next construct should respect the labels.
+    fn safe(&mut self) -> bool {
+        self.rng.gen_bool(self.cfg.safe_bias)
+    }
+
+    fn any_var(&mut self) -> &'static str {
+        VARS[self.rng.gen_range(0..VARS.len())].0
+    }
+
+    fn low_var(&mut self) -> &'static str {
+        LOW_VARS[self.rng.gen_range(0..LOW_VARS.len())]
+    }
+
+    fn high_var(&mut self) -> &'static str {
+        HIGH_VARS[self.rng.gen_range(0..HIGH_VARS.len())]
+    }
+
+    /// A random expression; returns `(text, touches_high)`.
+    fn expr(&mut self, depth: usize, in_action: bool) -> (String, bool) {
+        if depth >= 2 || self.rng.gen_bool(0.4) {
+            return match self.rng.gen_range(0..4) {
+                0 => (format!("8w{}", self.rng.gen_range(0..=255)), false),
+                1 if in_action => ("cparg".to_string(), false),
+                _ => {
+                    let (name, high) = VARS[self.rng.gen_range(0..VARS.len())];
+                    (name.to_string(), high)
+                }
+            };
+        }
+        let op = ["+", "-", "*", "&", "|", "^"][self.rng.gen_range(0..6)];
+        let (lhs, lh) = self.expr(depth + 1, in_action);
+        let (rhs, rh) = self.expr(depth + 1, in_action);
+        (format!("({lhs} {op} {rhs})"), lh || rh)
+    }
+
+    /// A low-only expression (for label-respecting writes to low state).
+    fn low_expr(&mut self, depth: usize, in_action: bool) -> String {
+        if depth >= 2 || self.rng.gen_bool(0.4) {
+            return match self.rng.gen_range(0..3) {
+                0 => format!("8w{}", self.rng.gen_range(0..=255)),
+                1 if in_action => "cparg".to_string(),
+                _ => self.low_var().to_string(),
+            };
+        }
+        let op = ["+", "-", "*", "&", "|", "^"][self.rng.gen_range(0..6)];
+        let lhs = self.low_expr(depth + 1, in_action);
+        let rhs = self.low_expr(depth + 1, in_action);
+        format!("({lhs} {op} {rhs})")
+    }
+
+    fn guard(&mut self, depth: usize, in_action: bool) -> (String, bool) {
+        let op = ["==", "!=", "<", ">", "<=", ">="][self.rng.gen_range(0..6)];
+        let (lhs, lh) = self.expr(depth + 1, in_action);
+        let (rhs, rh) = self.expr(depth + 1, in_action);
+        (format!("{lhs} {op} {rhs}"), lh || rh)
+    }
+
+    /// A low guard for label-respecting conditionals in low contexts.
+    fn low_guard(&mut self, depth: usize, in_action: bool) -> String {
+        let op = ["==", "!=", "<", ">", "<=", ">="][self.rng.gen_range(0..6)];
+        let lhs = self.low_expr(depth + 1, in_action);
+        let rhs = self.low_expr(depth + 1, in_action);
+        format!("{lhs} {op} {rhs}")
+    }
+
+    fn stmt(&mut self, depth: usize, ctx_high: bool, in_action: bool) -> String {
+        let roll = self.rng.gen_range(0..10);
+        if roll < 6 || depth >= self.cfg.max_depth {
+            return self.assignment(ctx_high, in_action);
+        }
+        if roll < 9 {
+            // Conditionals. In safe mode a high context keeps a high
+            // context; a low context may still open a high region (legal
+            // as long as the branches only write high — enforced by
+            // passing ctx_high downwards).
+            let (guard, guard_high) = if self.safe() && !ctx_high && self.rng.gen_bool(0.6) {
+                (self.low_guard(1, in_action), false)
+            } else {
+                self.guard(1, in_action)
+            };
+            let inner_ctx = ctx_high || guard_high;
+            let then = self.stmt(depth + 1, inner_ctx, in_action);
+            return if self.rng.gen_bool(0.5) {
+                let els = self.stmt(depth + 1, inner_ctx, in_action);
+                format!("if ({guard}) {{ {then} }} else {{ {els} }}")
+            } else {
+                format!("if ({guard}) {{ {then} }}")
+            };
+        }
+        // Exits leak the context through the signal unless at ⊥.
+        if ctx_high && self.safe() {
+            return self.assignment(ctx_high, in_action);
+        }
+        "exit;".to_string()
+    }
+
+    fn assignment(&mut self, ctx_high: bool, in_action: bool) -> String {
+        if self.safe() {
+            if ctx_high {
+                // Only secret state may change in a secret context.
+                let target = self.high_var();
+                let (value, _) = self.expr(0, in_action);
+                format!("{target} = {value};")
+            } else if self.rng.gen_bool(0.5) {
+                // Low target needs a low source.
+                let target = self.low_var();
+                let value = self.low_expr(0, in_action);
+                format!("{target} = {value};")
+            } else {
+                // High targets accept anything.
+                let target = self.high_var();
+                let (value, _) = self.expr(0, in_action);
+                format!("{target} = {value};")
+            }
+        } else {
+            let target = self.any_var();
+            let (value, _) = self.expr(0, in_action);
+            format!("{target} = {value};")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4bid_typeck::{check_source, CheckOptions};
+
+    #[test]
+    fn generated_programs_parse_and_base_check() {
+        let cfg = GenConfig::default();
+        for seed in 0..50 {
+            let gp = random_program(seed, &cfg);
+            check_source(&gp.source, &CheckOptions::base()).unwrap_or_else(|e| {
+                panic!("seed {seed} failed the base checker: {e:?}\n{}", gp.source)
+            });
+        }
+    }
+
+    #[test]
+    fn generator_is_deterministic() {
+        let cfg = GenConfig::default();
+        let a = random_program(7, &cfg);
+        let b = random_program(7, &cfg);
+        assert_eq!(a.source, b.source);
+        assert_eq!(a.control_plane, b.control_plane);
+    }
+
+    #[test]
+    fn generator_produces_both_accepted_and_rejected_programs() {
+        let cfg = GenConfig::default();
+        let mut accepted = 0;
+        let mut rejected = 0;
+        for seed in 0..200 {
+            let gp = random_program(seed, &cfg);
+            match check_source(&gp.source, &CheckOptions::ifc()) {
+                Ok(_) => accepted += 1,
+                Err(_) => rejected += 1,
+            }
+        }
+        assert!(accepted >= 5, "generator too leaky: only {accepted}/200 accepted");
+        assert!(rejected >= 5, "generator too tame: only {rejected}/200 rejected");
+    }
+
+    #[test]
+    fn high_safe_bias_mostly_accepts() {
+        let cfg = GenConfig::default().with_safe_bias(1.0);
+        let mut accepted = 0;
+        for seed in 0..100 {
+            let gp = random_program(seed, &cfg);
+            if check_source(&gp.source, &CheckOptions::ifc()).is_ok() {
+                accepted += 1;
+            }
+        }
+        assert!(accepted >= 80, "safe_bias=1.0 accepted only {accepted}/100");
+    }
+
+    #[test]
+    fn zero_safe_bias_mostly_rejects() {
+        let cfg = GenConfig::default().with_safe_bias(0.0);
+        let mut rejected = 0;
+        for seed in 0..100 {
+            let gp = random_program(seed, &cfg);
+            if check_source(&gp.source, &CheckOptions::ifc()).is_err() {
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 80, "safe_bias=0.0 rejected only {rejected}/100");
+    }
+}

@@ -1,0 +1,299 @@
+//! Low-equivalence of values (Definition 4.1 / C.4 of the paper).
+//!
+//! Two stores are *below-pc equivalent* at observation level `l` when every
+//! location whose label is `⊑ l` holds equal values. Here we implement the
+//! value-level version: walk a resolved security type together with two
+//! values and compare exactly the scalar leaves labeled `⊑ l`
+//! (Definition C.6 clauses 2–3).
+
+use p4bid_ast::sectype::{SecTy, Ty};
+use p4bid_interp::Value;
+use p4bid_lattice::{Label, Lattice};
+use rand::Rng;
+
+/// A difference found between two values at an observable (`⊑ l`) leaf.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Difference {
+    /// Dotted path from the root (e.g. `hdr.ipv4.ttl` or `arr[2]`).
+    pub path: String,
+    /// The value in run A.
+    pub left: Value,
+    /// The value in run B.
+    pub right: Value,
+}
+
+impl std::fmt::Display for Difference {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}: {} ≠ {}", self.path, self.left, self.right)
+    }
+}
+
+/// Collects all differences between `a` and `b` at leaves observable at
+/// level `l` (label `⊑ l`). An empty result means the values are
+/// low-equivalent.
+#[must_use]
+pub fn observable_differences(
+    lat: &Lattice,
+    l: Label,
+    ty: &SecTy,
+    a: &Value,
+    b: &Value,
+) -> Vec<Difference> {
+    let mut out = Vec::new();
+    walk(lat, l, ty, a, b, String::new(), &mut out);
+    out
+}
+
+/// Whether `a` and `b` agree on everything observable at level `l`.
+#[must_use]
+pub fn low_equal(lat: &Lattice, l: Label, ty: &SecTy, a: &Value, b: &Value) -> bool {
+    observable_differences(lat, l, ty, a, b).is_empty()
+}
+
+fn walk(
+    lat: &Lattice,
+    l: Label,
+    ty: &SecTy,
+    a: &Value,
+    b: &Value,
+    path: String,
+    out: &mut Vec<Difference>,
+) {
+    match &ty.ty {
+        Ty::Bool | Ty::Int | Ty::Bit(_) => {
+            if lat.leq(ty.label, l) && a != b {
+                out.push(Difference { path, left: a.clone(), right: b.clone() });
+            }
+        }
+        Ty::Record(fields) | Ty::Header(fields) => {
+            for (name, fty) in fields.iter() {
+                let (Some(av), Some(bv)) = (a.field(name), b.field(name)) else {
+                    out.push(Difference {
+                        path: format!("{path}.{name}"),
+                        left: a.clone(),
+                        right: b.clone(),
+                    });
+                    continue;
+                };
+                let sub = if path.is_empty() { name.clone() } else { format!("{path}.{name}") };
+                walk(lat, l, fty, av, bv, sub, out);
+            }
+        }
+        Ty::Stack(elem, n) => {
+            let (Value::Stack(av), Value::Stack(bv)) = (a, b) else {
+                out.push(Difference { path, left: a.clone(), right: b.clone() });
+                return;
+            };
+            for i in 0..(*n as usize).min(av.len()).min(bv.len()) {
+                walk(lat, l, elem, &av[i], &bv[i], format!("{path}[{i}]"), out);
+            }
+        }
+        // Unit / match kinds / closures carry no observable data.
+        Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => {}
+    }
+}
+
+/// Generates a uniformly random value of a resolved type (headers valid,
+/// ints kept small so arithmetic stays readable in witnesses).
+pub fn random_value<R: Rng>(rng: &mut R, ty: &SecTy) -> Value {
+    match &ty.ty {
+        Ty::Bool => Value::Bool(rng.gen()),
+        Ty::Int => Value::Int(rng.gen_range(0..=255)),
+        Ty::Bit(w) => {
+            let raw: u128 = rng.gen();
+            Value::bit(*w, raw)
+        }
+        Ty::Unit => Value::Unit,
+        Ty::Record(fields) => Value::Record(
+            fields.iter().map(|(n, t)| (n.clone(), random_value(rng, t))).collect(),
+        ),
+        Ty::Header(fields) => Value::Header {
+            valid: true,
+            fields: fields.iter().map(|(n, t)| (n.clone(), random_value(rng, t))).collect(),
+        },
+        Ty::Stack(elem, n) => {
+            Value::Stack((0..*n).map(|_| random_value(rng, elem)).collect())
+        }
+        Ty::MatchKind => Value::MatchKind(String::new()),
+        Ty::Table(_) | Ty::Function(_) => Value::Unit,
+    }
+}
+
+/// Returns a copy of `value` with every scalar leaf whose label is *not*
+/// `⊑ l` re-randomized. The result is low-equivalent to the input by
+/// construction — exactly the paired initial stores of Definition 4.2.
+pub fn scramble_unobservable<R: Rng>(
+    rng: &mut R,
+    lat: &Lattice,
+    l: Label,
+    ty: &SecTy,
+    value: &Value,
+) -> Value {
+    match &ty.ty {
+        Ty::Bool | Ty::Int | Ty::Bit(_) => {
+            if lat.leq(ty.label, l) {
+                value.clone()
+            } else {
+                random_value(rng, ty)
+            }
+        }
+        Ty::Record(fields) => Value::Record(
+            fields
+                .iter()
+                .map(|(n, t)| {
+                    let v = value.field(n).cloned().unwrap_or_else(|| Value::init(t));
+                    (n.clone(), scramble_unobservable(rng, lat, l, t, &v))
+                })
+                .collect(),
+        ),
+        Ty::Header(fields) => Value::Header {
+            valid: true,
+            fields: fields
+                .iter()
+                .map(|(n, t)| {
+                    let v = value.field(n).cloned().unwrap_or_else(|| Value::init(t));
+                    (n.clone(), scramble_unobservable(rng, lat, l, t, &v))
+                })
+                .collect(),
+        },
+        Ty::Stack(elem, n) => {
+            let elems = match value {
+                Value::Stack(vs) => vs.clone(),
+                _ => (0..*n).map(|_| Value::init(elem)).collect(),
+            };
+            Value::Stack(
+                elems
+                    .iter()
+                    .map(|v| scramble_unobservable(rng, lat, l, elem, v))
+                    .collect(),
+            )
+        }
+        Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => value.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::rc::Rc;
+
+    fn hdr_ty(lat: &Lattice) -> SecTy {
+        SecTy::bottom(
+            Ty::Header(Rc::new(vec![
+                ("pub".into(), SecTy::bottom(Ty::Bit(8), lat)),
+                ("sec".into(), SecTy::new(Ty::Bit(8), lat.top())),
+            ])),
+            lat,
+        )
+    }
+
+    fn hdr(p: u128, s: u128) -> Value {
+        Value::Header {
+            valid: true,
+            fields: vec![("pub".into(), Value::bit(8, p)), ("sec".into(), Value::bit(8, s))],
+        }
+    }
+
+    #[test]
+    fn differences_only_at_observable_leaves() {
+        let lat = Lattice::two_point();
+        let ty = hdr_ty(&lat);
+        // Secret fields may differ freely.
+        assert!(low_equal(&lat, lat.bottom(), &ty, &hdr(1, 10), &hdr(1, 20)));
+        // Public fields may not.
+        let diffs = observable_differences(&lat, lat.bottom(), &ty, &hdr(1, 10), &hdr(2, 10));
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].path, "pub");
+        // A top observer sees everything.
+        assert!(!low_equal(&lat, lat.top(), &ty, &hdr(1, 10), &hdr(1, 20)));
+    }
+
+    #[test]
+    fn diamond_observers() {
+        let lat = Lattice::diamond();
+        let a = lat.label("A").unwrap();
+        let b = lat.label("B").unwrap();
+        let ty = SecTy::bottom(
+            Ty::Record(Rc::new(vec![
+                ("fa".into(), SecTy::new(Ty::Bit(8), a)),
+                ("fb".into(), SecTy::new(Ty::Bit(8), b)),
+            ])),
+            &lat,
+        );
+        let mk = |x: u128, y: u128| {
+            Value::Record(vec![
+                ("fa".into(), Value::bit(8, x)),
+                ("fb".into(), Value::bit(8, y)),
+            ])
+        };
+        // An A-observer sees fa but not fb.
+        assert!(low_equal(&lat, a, &ty, &mk(1, 5), &mk(1, 9)));
+        assert!(!low_equal(&lat, a, &ty, &mk(1, 5), &mk(2, 5)));
+        // And symmetrically for B.
+        assert!(low_equal(&lat, b, &ty, &mk(3, 5), &mk(4, 5)));
+    }
+
+    #[test]
+    fn stack_differences_have_indexed_paths() {
+        let lat = Lattice::two_point();
+        let ty = SecTy::bottom(
+            Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &lat)), 3),
+            &lat,
+        );
+        let a = Value::Stack(vec![Value::bit(8, 0), Value::bit(8, 1), Value::bit(8, 2)]);
+        let b = Value::Stack(vec![Value::bit(8, 0), Value::bit(8, 9), Value::bit(8, 2)]);
+        let diffs = observable_differences(&lat, lat.bottom(), &ty, &a, &b);
+        assert_eq!(diffs.len(), 1);
+        assert_eq!(diffs[0].path, "[1]");
+    }
+
+    #[test]
+    fn scramble_preserves_low_parts() {
+        let lat = Lattice::two_point();
+        let ty = hdr_ty(&lat);
+        let mut rng = StdRng::seed_from_u64(7);
+        let orig = hdr(42, 13);
+        for _ in 0..50 {
+            let scrambled = scramble_unobservable(&mut rng, &lat, lat.bottom(), &ty, &orig);
+            assert!(low_equal(&lat, lat.bottom(), &ty, &orig, &scrambled));
+            assert_eq!(scrambled.field("pub"), Some(&Value::bit(8, 42)));
+        }
+    }
+
+    #[test]
+    fn scramble_eventually_changes_high_parts() {
+        let lat = Lattice::two_point();
+        let ty = hdr_ty(&lat);
+        let mut rng = StdRng::seed_from_u64(7);
+        let orig = hdr(42, 13);
+        let changed = (0..50).any(|_| {
+            let s = scramble_unobservable(&mut rng, &lat, lat.bottom(), &ty, &orig);
+            s.field("sec") != Some(&Value::bit(8, 13))
+        });
+        assert!(changed, "a 50-sample scramble should perturb an 8-bit secret");
+    }
+
+    #[test]
+    fn random_values_have_the_right_shape() {
+        let lat = Lattice::two_point();
+        let ty = hdr_ty(&lat);
+        let mut rng = StdRng::seed_from_u64(0);
+        let v = random_value(&mut rng, &ty);
+        let Value::Header { valid, fields } = &v else { panic!() };
+        assert!(valid);
+        assert_eq!(fields.len(), 2);
+        assert!(matches!(fields[0].1, Value::Bit { width: 8, .. }));
+    }
+
+    #[test]
+    fn difference_display() {
+        let d = Difference {
+            path: "hdr.ttl".into(),
+            left: Value::bit(8, 1),
+            right: Value::bit(8, 2),
+        };
+        assert_eq!(d.to_string(), "hdr.ttl: 8w1 ≠ 8w2");
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the lexer and parser: totality (no panics on
+//! arbitrary input), span sanity, and number-literal round trips.
+
+use p4bid_ast::span::Span;
+use p4bid_syntax::lexer::{lex, TokenKind};
+use p4bid_syntax::parse;
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer never panics and either errors cleanly or terminates
+    /// with EOF; token spans are in-bounds and non-decreasing.
+    #[test]
+    fn lexer_is_total(input in ".{0,200}") {
+        if let Ok(tokens) = lex(&input) {
+            prop_assert!(matches!(tokens.last().map(|t| &t.kind), Some(TokenKind::Eof)));
+            let mut prev = 0u32;
+            for t in &tokens {
+                prop_assert!(t.span.start <= t.span.end);
+                prop_assert!((t.span.end as usize) <= input.len());
+                prop_assert!(t.span.start >= prev, "tokens in order");
+                prev = t.span.start;
+            }
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_is_total(input in ".{0,200}") {
+        let _ = parse(&input);
+    }
+
+    /// The parser never panics on token-soup built from valid fragments —
+    /// more likely to get deep into the grammar than raw bytes.
+    #[test]
+    fn parser_is_total_on_fragment_soup(
+        pieces in proptest::collection::vec(0usize..20, 0..40)
+    ) {
+        const FRAGMENTS: [&str; 20] = [
+            "control", "C", "(", ")", "{", "}", "inout", "bit<8>", "x", ";",
+            "apply", "=", "if", "else", "8w3", "table", "key", "actions",
+            "<bit<8>, high>", "exit",
+        ];
+        let soup: String = pieces
+            .iter()
+            .map(|&i| FRAGMENTS[i])
+            .collect::<Vec<_>>()
+            .join(" ");
+        let _ = parse(&soup);
+    }
+
+    /// Decimal literals round-trip through the lexer.
+    #[test]
+    fn decimal_literals_roundtrip(v in any::<u128>()) {
+        let tokens = lex(&v.to_string()).unwrap();
+        prop_assert_eq!(&tokens[0].kind, &TokenKind::Int { value: v, width: None });
+    }
+
+    /// Width-annotated literals are masked to the width.
+    #[test]
+    fn width_literals_masked(w in 1u16..=128, v in any::<u128>()) {
+        let text = format!("{w}w{v}");
+        let tokens = lex(&text).unwrap();
+        let expected = if w == 128 { v } else { v & ((1u128 << w) - 1) };
+        prop_assert_eq!(&tokens[0].kind, &TokenKind::Int { value: expected, width: Some(w) });
+    }
+
+    /// Hex and decimal agree.
+    #[test]
+    fn hex_equals_decimal(v in any::<u64>()) {
+        let dec = lex(&format!("{v}")).unwrap();
+        let hex = lex(&format!("{v:#x}")).unwrap();
+        prop_assert_eq!(&dec[0].kind, &hex[0].kind);
+    }
+
+    /// Error spans point inside the input.
+    #[test]
+    fn error_spans_in_bounds(input in "[ -~]{1,80}") {
+        if let Err(e) = parse(&input) {
+            let span: Span = e.span();
+            prop_assert!((span.start as usize) <= input.len());
+            prop_assert!((span.end as usize) <= input.len() + 1);
+        }
+    }
+}

@@ -1,0 +1,1205 @@
+//! The Core P4 typechecker, in three modes:
+//!
+//! * **base** — the plain Core P4 typing judgements of §3.3 (the paper's
+//!   "unannotated, p4c" baseline in Table 1): security annotations are
+//!   stripped and no flow checks run;
+//! * **ifc** — the P4BID security type system of §4.2 (Figures 5, 6, 7),
+//!   which additionally enforces the lattice constraints;
+//! * **permissive** — labels are resolved but flows are not enforced, so
+//!   the non-interference harness can *run* buggy programs and exhibit
+//!   their leaks.
+//!
+//! The declarative rules are implemented algorithmically:
+//!
+//! * expression checking *synthesizes* the principal type
+//!   `⟨τ, χ⟩ goes d` (smallest label, most permissive direction);
+//!   T-SubType-In is applied at every `in`-position use site;
+//! * T-Subtype-PC is realized by threading the exact current context label
+//!   `pc` downwards (`if` joins the guard label into it);
+//! * `pc_fn` (T-FuncDecl) is inferred by checking the body once in
+//!   *bound-collection* mode: every write/call/return contributes an upper
+//!   bound, and `pc_fn` is the meet of the bounds (see DESIGN.md §4 for why
+//!   the admissible set is a principal down-set);
+//! * `pc_tbl` (T-TblDecl) is `⊓ⱼ pc_fnⱼ` over the table's actions, valid
+//!   iff every key label is below it.
+
+use crate::diag::{DiagCode, Diagnostic};
+use crate::env::{ScopedEnv, TypeDefs, VarInfo};
+use crate::oracle;
+use p4bid_ast::sectype::{FnParam, FnTy, SecTy, Ty};
+use p4bid_ast::span::Span;
+use p4bid_ast::surface::*;
+use p4bid_lattice::{Label, Lattice};
+use std::rc::Rc;
+
+/// Which judgement set to enforce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Plain Core P4 typing (the p4c baseline): annotations ignored.
+    Base,
+    /// The P4BID information-flow control type system.
+    #[default]
+    Ifc,
+    /// Labels are resolved (so downstream tools like the NI harness know
+    /// them) but no flow constraint is enforced. Used to *run* the
+    /// seeded-buggy case-study programs and demonstrate their leaks.
+    Permissive,
+}
+
+/// Options controlling a check run.
+#[derive(Debug, Clone, Default)]
+pub struct CheckOptions {
+    /// Baseline or IFC mode.
+    pub mode: Mode,
+    /// Lattice override. When `None`, a `lattice { … }` declaration in the
+    /// program is used, falling back to [`Lattice::two_point`].
+    pub lattice: Option<Lattice>,
+    /// Ambient security context for controls without a `@pc(...)`
+    /// annotation (label name, resolved against the active lattice).
+    /// Defaults to `⊥`.
+    pub pc: Option<String>,
+}
+
+impl CheckOptions {
+    /// IFC mode with defaults.
+    #[must_use]
+    pub fn ifc() -> Self {
+        CheckOptions { mode: Mode::Ifc, ..Default::default() }
+    }
+
+    /// Baseline mode with defaults.
+    #[must_use]
+    pub fn base() -> Self {
+        CheckOptions { mode: Mode::Base, ..Default::default() }
+    }
+
+    /// Permissive mode (labels resolved, flows not enforced) with
+    /// defaults.
+    #[must_use]
+    pub fn permissive() -> Self {
+        CheckOptions { mode: Mode::Permissive, ..Default::default() }
+    }
+
+    /// Sets the ambient `pc` label by name, builder-style.
+    #[must_use]
+    pub fn with_pc(mut self, pc: impl Into<String>) -> Self {
+        self.pc = Some(pc.into());
+        self
+    }
+
+    /// Sets the lattice, builder-style.
+    #[must_use]
+    pub fn with_lattice(mut self, lattice: Lattice) -> Self {
+        self.lattice = Some(lattice);
+        self
+    }
+}
+
+/// A resolved control-block parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedParam {
+    /// Parameter name.
+    pub name: String,
+    /// Direction (`in` or `inout`; directionless defaults to `in`).
+    pub direction: Direction,
+    /// Resolved security type.
+    pub ty: SecTy,
+}
+
+/// A checked control block, with resolved parameter types, the ambient
+/// `pc` it was checked under, and the inferred signatures of its
+/// declarations (the `pc_fn` write bounds of T-FuncDecl and the `pc_tbl`
+/// application bounds of T-TblDecl).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypedControl {
+    /// Control name.
+    pub name: String,
+    /// Resolved parameters.
+    pub params: Vec<TypedParam>,
+    /// Ambient security context.
+    pub pc: Label,
+    /// Inferred function/action types, in declaration order (includes
+    /// globals visible to this control).
+    pub functions: Vec<(String, Rc<FnTy>)>,
+    /// Inferred table bounds `pc_tbl`, in declaration order.
+    pub tables: Vec<(String, Label)>,
+}
+
+impl TypedControl {
+    /// The inferred type of a function or action declared in (or visible
+    /// to) this control.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&FnTy> {
+        self.functions.iter().rev().find(|(n, _)| n == name).map(|(_, f)| &**f)
+    }
+
+    /// The inferred `pc_tbl` of a table declared in this control.
+    #[must_use]
+    pub fn table_pc(&self, name: &str) -> Option<Label> {
+        self.tables.iter().find(|(n, _)| n == name).map(|(_, l)| *l)
+    }
+}
+
+/// The result of a successful check: the program, the active lattice, the
+/// resolved type definitions, and per-control parameter signatures. This is
+/// everything the interpreter and the non-interference harness need.
+#[derive(Debug, Clone)]
+pub struct TypedProgram {
+    /// The checked program (prelude items first if a prelude was included).
+    pub program: Program,
+    /// The active security lattice.
+    pub lattice: Lattice,
+    /// The resolved type-definition context Δ.
+    pub defs: TypeDefs,
+    /// Checked control blocks, in source order.
+    pub controls: Vec<TypedControl>,
+}
+
+impl TypedProgram {
+    /// Finds a checked control by name.
+    #[must_use]
+    pub fn control(&self, name: &str) -> Option<&TypedControl> {
+        self.controls.iter().find(|c| c.name == name)
+    }
+}
+
+/// Typechecks an already-parsed program.
+///
+/// # Errors
+///
+/// Returns all diagnostics if the program is ill-typed (or, in IFC mode,
+/// leaky). The diagnostic list is never empty on `Err`.
+pub fn check_program(
+    program: Program,
+    opts: &CheckOptions,
+) -> Result<TypedProgram, Vec<Diagnostic>> {
+    // Resolve the active lattice.
+    let lattice = match &opts.lattice {
+        Some(l) => l.clone(),
+        None => match program.lattice_decl() {
+            Some(decl) => {
+                let names = decl.element_names();
+                let order: Vec<(String, String)> = decl
+                    .order
+                    .iter()
+                    .map(|(lo, hi)| (lo.node.clone(), hi.node.clone()))
+                    .collect();
+                match Lattice::from_order(&names, &order) {
+                    Ok(l) => l,
+                    Err(e) => {
+                        return Err(vec![Diagnostic::new(
+                            DiagCode::Malformed,
+                            format!("invalid lattice declaration: {e}"),
+                            decl.span,
+                        )]);
+                    }
+                }
+            }
+            None => Lattice::two_point(),
+        },
+    };
+
+    let mut checker = Checker {
+        lat: &lattice,
+        resolve_labels: opts.mode != Mode::Base,
+        enforce: opts.mode == Mode::Ifc,
+        defs: TypeDefs::new(),
+        env: ScopedEnv::new(),
+        diags: Vec::new(),
+        sig_functions: Vec::new(),
+        sig_tables: Vec::new(),
+        pc_bounds: None,
+        return_ty: None,
+    };
+
+    let default_pc = match &opts.pc {
+        None => lattice.bottom(),
+        Some(name) => match lattice.label(name) {
+            Some(l) => l,
+            None => {
+                return Err(vec![Diagnostic::new(
+                    DiagCode::UnknownLabel,
+                    format!("ambient pc label `{name}` is not in the lattice {lattice}"),
+                    Span::dummy(),
+                )]);
+            }
+        },
+    };
+
+    let mut controls = Vec::new();
+    for item in &program.items {
+        match item {
+            Item::Lattice(_) => {}
+            Item::Type(t) => checker.type_decl(t),
+            Item::Function(f) => checker.function_decl(f),
+            Item::Action(a) => checker.action_decl(a),
+            Item::Control(c) => {
+                if let Some(tc) = checker.control_decl(c, default_pc) {
+                    controls.push(tc);
+                }
+            }
+        }
+    }
+
+    if checker.diags.is_empty() {
+        Ok(TypedProgram { lattice: lattice.clone(), defs: checker.defs, controls, program })
+    } else {
+        Err(checker.diags)
+    }
+}
+
+struct Checker<'a> {
+    lat: &'a Lattice,
+    /// Whether annotations are resolved against the lattice (Ifc and
+    /// Permissive modes) or stripped (Base).
+    resolve_labels: bool,
+    /// Whether flow constraints are enforced (Ifc mode only).
+    enforce: bool,
+    defs: TypeDefs,
+    env: ScopedEnv,
+    diags: Vec<Diagnostic>,
+    /// Inferred signatures, recorded as declarations are checked.
+    sig_functions: Vec<(String, Rc<FnTy>)>,
+    sig_tables: Vec<(String, Label)>,
+    /// `Some(bounds)` while checking a function body whose `pc_fn` is being
+    /// inferred; every pc constraint records its bound here.
+    pc_bounds: Option<Vec<Label>>,
+    /// `Γ(return)` inside a function body.
+    return_ty: Option<SecTy>,
+}
+
+impl Checker<'_> {
+    fn error(&mut self, code: DiagCode, message: impl Into<String>, span: Span) {
+        self.diags.push(Diagnostic::new(code, message, span));
+    }
+
+    fn name(&self, l: Label) -> &str {
+        self.lat.name(l)
+    }
+
+    // ------------------------------------------------------------------
+    // pc constraints
+    // ------------------------------------------------------------------
+
+    /// Enforces `pc ⊑ bound` (the write-effect side conditions of T-Assign,
+    /// T-Call, T-TblCall, T-Exit, T-Return).
+    ///
+    /// In bound-collection mode the ambient function `pc_fn` is symbolic:
+    /// `bound` is recorded as an upper bound for it, and only the
+    /// guard-context part of `pc` (which is what `pc` holds in that mode)
+    /// is checked against `bound`.
+    fn require_pc(&mut self, pc: Label, bound: Label, code: DiagCode, what: &str, span: Span) {
+        if !self.enforce {
+            return;
+        }
+        if let Some(bounds) = &mut self.pc_bounds {
+            bounds.push(bound);
+        }
+        if !self.lat.leq(pc, bound) {
+            let msg = format!(
+                "{what} in a `{}` security context, but only contexts up to `{}` may do this",
+                self.name(pc),
+                self.name(bound),
+            );
+            self.error(code, msg, span);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Types
+    // ------------------------------------------------------------------
+
+    /// Resolves a surface type. In base mode all annotations are stripped
+    /// first (the baseline checker never consults the lattice).
+    fn resolve(&mut self, ann: &AnnType) -> Option<SecTy> {
+        let resolved = if self.resolve_labels {
+            self.defs.resolve(ann, self.lat)
+        } else {
+            self.defs.resolve(&strip_labels(ann), self.lat)
+        };
+        match resolved {
+            Ok(t) => Some(t),
+            Err(d) => {
+                self.diags.push(d);
+                None
+            }
+        }
+    }
+
+    fn type_decl(&mut self, t: &TypeDecl) {
+        match t {
+            TypeDecl::MatchKind { kinds } => {
+                for k in kinds {
+                    self.defs.add_match_kind(&k.node);
+                }
+            }
+            TypeDecl::Typedef { ty, name } => {
+                if let Some(resolved) = self.resolve(ty) {
+                    if !self.defs.define(&name.node, resolved) {
+                        self.error(
+                            DiagCode::DuplicateDef,
+                            format!("type `{}` is already defined", name.node),
+                            name.span,
+                        );
+                    }
+                }
+            }
+            TypeDecl::Header { name, fields } | TypeDecl::Struct { name, fields } => {
+                let is_header = matches!(t, TypeDecl::Header { .. });
+                let mut resolved_fields = Vec::with_capacity(fields.len());
+                for (fname, fty) in fields {
+                    if resolved_fields.iter().any(|(n, _): &(String, SecTy)| n == &fname.node) {
+                        self.error(
+                            DiagCode::DuplicateDef,
+                            format!("duplicate field `{}` in `{}`", fname.node, name.node),
+                            fname.span,
+                        );
+                        continue;
+                    }
+                    if let Some(rt) = self.resolve(fty) {
+                        if is_header && !rt.ty.is_base_scalar() {
+                            // "The fields of headers … must be base types"
+                            // (§3.3). Structs may nest headers.
+                            self.error(
+                                DiagCode::TypeMismatch,
+                                format!(
+                                    "header field `{}` must have a base type, found `{}`",
+                                    fname.node, rt.ty
+                                ),
+                                fname.span,
+                            );
+                            continue;
+                        }
+                        resolved_fields.push((fname.node.clone(), rt));
+                    }
+                }
+                let fields = Rc::new(resolved_fields);
+                let ty = if is_header { Ty::Header(fields) } else { Ty::Record(fields) };
+                if !self.defs.define(&name.node, SecTy::bottom(ty, self.lat)) {
+                    self.error(
+                        DiagCode::DuplicateDef,
+                        format!("type `{}` is already defined", name.node),
+                        name.span,
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Expressions (Figure 5)
+    // ------------------------------------------------------------------
+
+    /// Synthesizes `⟨τ, χ⟩ goes d` for an expression. The returned `bool`
+    /// is `true` iff the expression `goes inout` *and* is writable (T-Var
+    /// on a writable binding, propagated through fields and indices).
+    ///
+    /// Returns `None` after recording a diagnostic, to stop error cascades.
+    fn expr(&mut self, e: &Expr, pc: Label) -> Option<(SecTy, bool)> {
+        match &e.kind {
+            ExprKind::Bool(_) => Some((SecTy::bottom(Ty::Bool, self.lat), false)),
+            ExprKind::Int { width, .. } => {
+                let ty = match width {
+                    Some(w) => Ty::Bit(*w),
+                    None => Ty::Int,
+                };
+                Some((SecTy::bottom(ty, self.lat), false))
+            }
+            ExprKind::Var(name) => match self.env.lookup(name) {
+                Some(info) => Some((info.ty.clone(), info.writable)),
+                None => {
+                    self.error(
+                        DiagCode::UnknownVar,
+                        format!("unknown variable `{name}`"),
+                        e.span,
+                    );
+                    None
+                }
+            },
+            ExprKind::Field(recv, field) => {
+                let (rt, writable) = self.expr(recv, pc)?;
+                match rt.ty.field(&field.node) {
+                    Some(ft) => Some((ft.clone(), writable)),
+                    None => {
+                        self.error(
+                            DiagCode::UnknownField,
+                            format!("type `{}` has no field `{}`", rt.ty, field.node),
+                            field.span,
+                        );
+                        None
+                    }
+                }
+            }
+            ExprKind::Index(recv, index) => {
+                let (rt, writable) = self.expr(recv, pc)?;
+                let Ty::Stack(elem, _) = &rt.ty else {
+                    self.error(
+                        DiagCode::TypeMismatch,
+                        format!("cannot index into `{}`", rt.ty),
+                        e.span,
+                    );
+                    return None;
+                };
+                let elem = (**elem).clone();
+                let (it, _) = self.expr(index, pc)?;
+                if !matches!(it.ty, Ty::Bit(_) | Ty::Int) {
+                    self.error(
+                        DiagCode::TypeMismatch,
+                        format!("stack index must be numeric, found `{}`", it.ty),
+                        index.span,
+                    );
+                    return None;
+                }
+                // T-Index: χ₂ ⊑ χ₁ — the index may not be more secret than
+                // the elements, or which element is touched leaks it.
+                if self.enforce && !self.lat.leq(it.label, elem.label) {
+                    self.error(
+                        DiagCode::IndexLeak,
+                        format!(
+                            "index has label `{}` but the stack elements are `{}`; \
+                             the element access would leak the index",
+                            self.name(it.label),
+                            self.name(elem.label)
+                        ),
+                        index.span,
+                    );
+                }
+                Some((elem, writable))
+            }
+            ExprKind::Binary(op, lhs, rhs) => {
+                let (lt, _) = self.expr(lhs, pc)?;
+                let (rt, _) = self.expr(rhs, pc)?;
+                match oracle::binop_result(*op, &lt.ty, &rt.ty) {
+                    Some(ty) => {
+                        // T-BinOp: result label is the join of the operands.
+                        let label = self.lat.join(lt.label, rt.label);
+                        Some((SecTy::new(ty, label), false))
+                    }
+                    None => {
+                        self.error(
+                            DiagCode::InvalidOperands,
+                            format!(
+                                "operator `{op}` cannot be applied to `{}` and `{}`",
+                                lt.ty, rt.ty
+                            ),
+                            e.span,
+                        );
+                        None
+                    }
+                }
+            }
+            ExprKind::Unary(op, inner) => {
+                let (it, _) = self.expr(inner, pc)?;
+                match oracle::unop_result(*op, &it.ty) {
+                    Some(ty) => Some((SecTy::new(ty, it.label), false)),
+                    None => {
+                        self.error(
+                            DiagCode::InvalidOperands,
+                            format!("operator `{op}` cannot be applied to `{}`", it.ty),
+                            e.span,
+                        );
+                        None
+                    }
+                }
+            }
+            ExprKind::Record(fields) => {
+                let mut rfields = Vec::with_capacity(fields.len());
+                for (name, value) in fields {
+                    if rfields.iter().any(|(n, _): &(String, SecTy)| n == &name.node) {
+                        self.error(
+                            DiagCode::DuplicateDef,
+                            format!("duplicate record field `{}`", name.node),
+                            name.span,
+                        );
+                        continue;
+                    }
+                    let (vt, _) = self.expr(value, pc)?;
+                    rfields.push((name.node.clone(), vt));
+                }
+                Some((SecTy::bottom(Ty::Record(Rc::new(rfields)), self.lat), false))
+            }
+            ExprKind::Call(callee, args) => {
+                let ret = self.check_call(callee, args, pc, e.span, false)?;
+                Some((ret, false))
+            }
+        }
+    }
+
+    /// T-Call / T-TblCall. `as_stmt` permits table application, which has
+    /// no value and is only legal in statement position.
+    fn check_call(
+        &mut self,
+        callee: &Expr,
+        args: &[Expr],
+        pc: Label,
+        span: Span,
+        as_stmt: bool,
+    ) -> Option<SecTy> {
+        let (ct, _) = self.expr(callee, pc)?;
+        match &ct.ty {
+            Ty::Function(fnty) => {
+                let fnty = Rc::clone(fnty);
+                if args.len() != fnty.params.len() {
+                    self.error(
+                        DiagCode::ArityMismatch,
+                        format!(
+                            "call supplies {} argument(s) but the callee takes {}",
+                            args.len(),
+                            fnty.params.len()
+                        ),
+                        span,
+                    );
+                    return None;
+                }
+                for (param, arg) in fnty.params.iter().zip(args) {
+                    self.check_arg(param, arg, pc);
+                }
+                // T-Call: pc ⊑ pc_fn — calling in a higher context would
+                // leak the context through the callee's writes.
+                self.require_pc(
+                    pc,
+                    fnty.pc_fn,
+                    DiagCode::CallPcViolation,
+                    "this call occurs",
+                    span,
+                );
+                Some(fnty.ret.clone())
+            }
+            Ty::Table(pc_tbl) => {
+                let pc_tbl = *pc_tbl;
+                if !as_stmt {
+                    self.error(
+                        DiagCode::NotCallable,
+                        "tables can only be applied as statements",
+                        span,
+                    );
+                    return None;
+                }
+                if !args.is_empty() {
+                    self.error(
+                        DiagCode::ArityMismatch,
+                        "table application takes no arguments",
+                        span,
+                    );
+                    return None;
+                }
+                // T-TblCall: pc ⊑ pc_tbl.
+                self.require_pc(
+                    pc,
+                    pc_tbl,
+                    DiagCode::TableApplyPcViolation,
+                    "this table is applied",
+                    span,
+                );
+                Some(SecTy::unit(self.lat))
+            }
+            other => {
+                self.error(
+                    DiagCode::NotCallable,
+                    format!("`{other}` is not callable"),
+                    callee.span,
+                );
+                None
+            }
+        }
+    }
+
+    /// Checks one argument against a parameter, honoring directions:
+    /// `in` positions admit label subtyping (T-SubType-In); `inout`
+    /// positions require a writable l-value with the *exact* security type
+    /// (no subtyping — see the `write_to_high` example in §4.2).
+    fn check_arg(&mut self, param: &FnParam, arg: &Expr, pc: Label) {
+        let Some((at, writable)) = self.expr(arg, pc) else { return };
+        if !at.same_shape(&param.ty) {
+            self.error(
+                DiagCode::TypeMismatch,
+                format!(
+                    "argument for `{}` has type `{}` but the parameter expects `{}`",
+                    param.name, at.ty, param.ty.ty
+                ),
+                arg.span,
+            );
+            return;
+        }
+        match param.direction {
+            Direction::In => {
+                if self.enforce && !self.lat.leq(at.label, param.ty.label) {
+                    self.error(
+                        DiagCode::ExplicitFlow,
+                        format!(
+                            "argument labeled `{}` flows into `in` parameter `{}` \
+                             labeled `{}`",
+                            self.name(at.label),
+                            param.name,
+                            self.name(param.ty.label)
+                        ),
+                        arg.span,
+                    );
+                }
+            }
+            Direction::InOut => {
+                if !arg.is_lvalue_shaped() || !writable {
+                    self.error(
+                        DiagCode::NotAssignable,
+                        format!(
+                            "`inout` argument for `{}` must be a writable l-value",
+                            param.name
+                        ),
+                        arg.span,
+                    );
+                    return;
+                }
+                if self.enforce && at.label != param.ty.label {
+                    self.error(
+                        DiagCode::InoutLabelMismatch,
+                        format!(
+                            "`inout` argument labeled `{}` does not match parameter \
+                             `{}` labeled `{}`; `inout` positions admit no label \
+                             subtyping",
+                            self.name(at.label),
+                            param.name,
+                            self.name(param.ty.label)
+                        ),
+                        arg.span,
+                    );
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Statements (Figure 6)
+    // ------------------------------------------------------------------
+
+    fn stmt(&mut self, s: &Stmt, pc: Label) {
+        match &s.kind {
+            StmtKind::Call(e) => {
+                let ExprKind::Call(callee, args) = &e.kind else {
+                    self.error(
+                        DiagCode::Malformed,
+                        "expected a call statement",
+                        s.span,
+                    );
+                    return;
+                };
+                self.check_call(callee, args, pc, s.span, true);
+            }
+            StmtKind::Assign(lhs, rhs) => self.assign(lhs, rhs, pc, s.span),
+            StmtKind::If(cond, then_branch, else_branch) => {
+                let guard_label = match self.expr(cond, pc) {
+                    Some((ct, _)) => {
+                        if ct.ty != Ty::Bool {
+                            self.error(
+                                DiagCode::TypeMismatch,
+                                format!("`if` guard must be `bool`, found `{}`", ct.ty),
+                                cond.span,
+                            );
+                        }
+                        ct.label
+                    }
+                    None => self.lat.bottom(),
+                };
+                // T-Cond: the branches are checked at χ₂ ⊒ pc ⊔ χ₁; the
+                // principal choice is exactly pc ⊔ χ₁.
+                let branch_pc = self.lat.join(pc, guard_label);
+                self.env.push_scope();
+                self.stmt(then_branch, branch_pc);
+                self.env.pop_scope();
+                if let Some(els) = else_branch {
+                    self.env.push_scope();
+                    self.stmt(els, branch_pc);
+                    self.env.pop_scope();
+                }
+            }
+            StmtKind::Block(stmts) => {
+                self.env.push_scope();
+                for st in stmts {
+                    self.stmt(st, pc);
+                }
+                self.env.pop_scope();
+            }
+            StmtKind::Exit => {
+                // T-Exit types only at ⊥: an `exit` in a secret context
+                // would leak through the control-flow signal.
+                self.require_pc(
+                    pc,
+                    self.lat.bottom(),
+                    DiagCode::ImplicitFlow,
+                    "`exit` occurs",
+                    s.span,
+                );
+            }
+            StmtKind::Return(value) => self.return_stmt(value.as_ref(), pc, s.span),
+            StmtKind::VarDecl(v) => self.var_decl(v, pc),
+        }
+    }
+
+    /// T-Assign: `lhs goes inout : ⟨τ, χ₁⟩`, `rhs : ⟨τ, χ₂⟩`, `χ₂ ⊑ χ₁`,
+    /// `pc ⊑ χ₁`.
+    fn assign(&mut self, lhs: &Expr, rhs: &Expr, pc: Label, span: Span) {
+        if !lhs.is_lvalue_shaped() {
+            self.error(
+                DiagCode::NotAssignable,
+                "assignment target is not an l-value",
+                lhs.span,
+            );
+            return;
+        }
+        let Some((lt, writable)) = self.expr(lhs, pc) else { return };
+        if !writable {
+            self.error(
+                DiagCode::NotAssignable,
+                "assignment target is read-only (declared `in`)",
+                lhs.span,
+            );
+            return;
+        }
+        let Some((rt, _)) = self.expr(rhs, pc) else { return };
+        if !rt.same_shape(&lt) {
+            self.error(
+                DiagCode::TypeMismatch,
+                format!("cannot assign `{}` to a location of type `{}`", rt.ty, lt.ty),
+                span,
+            );
+            return;
+        }
+        if self.enforce && !self.lat.leq(rt.label, lt.label) {
+            self.error(
+                DiagCode::ExplicitFlow,
+                format!(
+                    "explicit flow: `{}` data assigned to a `{}` location",
+                    self.name(rt.label),
+                    self.name(lt.label)
+                ),
+                span,
+            );
+        }
+        self.require_pc(pc, lt.label, DiagCode::ImplicitFlow, "this write occurs", span);
+    }
+
+    /// T-Return: types only at ⊥; the value must match `Γ(return)`.
+    fn return_stmt(&mut self, value: Option<&Expr>, pc: Label, span: Span) {
+        let Some(ret) = self.return_ty.clone() else {
+            self.error(DiagCode::BadReturn, "`return` outside a function body", span);
+            return;
+        };
+        match (value, &ret.ty) {
+            (None, Ty::Unit) => {}
+            (None, other) => {
+                self.error(
+                    DiagCode::BadReturn,
+                    format!("this function must return a value of type `{other}`"),
+                    span,
+                );
+            }
+            (Some(e), _) => {
+                if ret.ty == Ty::Unit {
+                    self.error(
+                        DiagCode::BadReturn,
+                        "this function does not return a value",
+                        span,
+                    );
+                    return;
+                }
+                let Some((vt, _)) = self.expr(e, pc) else { return };
+                if !vt.same_shape(&ret) {
+                    self.error(
+                        DiagCode::BadReturn,
+                        format!(
+                            "returned value has type `{}` but the function returns `{}`",
+                            vt.ty, ret.ty
+                        ),
+                        e.span,
+                    );
+                } else if self.enforce && !self.lat.leq(vt.label, ret.label) {
+                    self.error(
+                        DiagCode::ExplicitFlow,
+                        format!(
+                            "returned value labeled `{}` exceeds the declared return \
+                             label `{}`",
+                            self.name(vt.label),
+                            self.name(ret.label)
+                        ),
+                        e.span,
+                    );
+                }
+            }
+        }
+        self.require_pc(
+            pc,
+            self.lat.bottom(),
+            DiagCode::ImplicitFlow,
+            "`return` occurs",
+            span,
+        );
+    }
+
+    /// T-VarDecl / T-VarInit. Declarations carry no `pc` side condition
+    /// (fresh locations cannot leak), but the initializer label must be
+    /// below the declared label.
+    fn var_decl(&mut self, v: &VarDecl, pc: Label) {
+        let Some(declared) = self.resolve(&v.ty) else { return };
+        if let Some(init) = &v.init {
+            if let Some((it, _)) = self.expr(init, pc) {
+                if !it.same_shape(&declared) {
+                    self.error(
+                        DiagCode::TypeMismatch,
+                        format!(
+                            "initializer has type `{}` but `{}` is declared `{}`",
+                            it.ty, v.name.node, declared.ty
+                        ),
+                        init.span,
+                    );
+                } else if self.enforce && !self.lat.leq(it.label, declared.label) {
+                    self.error(
+                        DiagCode::ExplicitFlow,
+                        format!(
+                            "initializer labeled `{}` flows into `{}` declared `{}`",
+                            self.name(it.label),
+                            v.name.node,
+                            self.name(declared.label)
+                        ),
+                        init.span,
+                    );
+                }
+            }
+        }
+        if !self.env.declare(&v.name.node, VarInfo { ty: declared, writable: true }) {
+            self.error(
+                DiagCode::DuplicateDef,
+                format!("`{}` is already declared in this scope", v.name.node),
+                v.name.span,
+            );
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Declarations (Figure 7)
+    // ------------------------------------------------------------------
+
+    fn resolve_params(&mut self, params: &[Param], is_action: bool) -> Vec<FnParam> {
+        let mut out = Vec::with_capacity(params.len());
+        for p in params {
+            let Some(ty) = self.resolve(&p.ty) else { continue };
+            let control_plane = is_action && p.direction.is_none();
+            out.push(FnParam {
+                name: p.name.node.clone(),
+                direction: p.direction.unwrap_or(Direction::In),
+                ty,
+                control_plane,
+            });
+        }
+        out
+    }
+
+    /// T-FuncDecl, shared by actions and functions. Checks the body in
+    /// bound-collection mode and infers `pc_fn` as the meet of the
+    /// collected write bounds.
+    fn function_like(
+        &mut self,
+        name: &p4bid_ast::Spanned<String>,
+        params: &[Param],
+        ret: Option<&AnnType>,
+        body: &[Stmt],
+        is_action: bool,
+        span: Span,
+    ) {
+        let fn_params = self.resolve_params(params, is_action);
+        if fn_params.len() != params.len() {
+            // Some parameter type failed to resolve; diagnostics were
+            // already recorded. Do not bind a bogus signature.
+            return;
+        }
+        let ret_ty = match ret {
+            None => SecTy::unit(self.lat),
+            Some(ann) => match self.resolve(ann) {
+                Some(t) => t,
+                None => return,
+            },
+        };
+
+        // Γ₁ = Γ[xᵢ : ⟨τᵢ, χᵢ⟩, return : ⟨τ_ret, χ_ret⟩], body at pc_fn.
+        self.env.push_scope();
+        for p in &fn_params {
+            let writable = p.direction == Direction::InOut;
+            self.env.declare(&p.name, VarInfo { ty: p.ty.clone(), writable });
+        }
+        let saved_bounds = self.pc_bounds.replace(Vec::new());
+        let saved_ret = self.return_ty.replace(ret_ty.clone());
+        for s in body {
+            self.stmt(s, self.lat.bottom());
+        }
+        let bounds = self.pc_bounds.take().unwrap_or_default();
+        self.pc_bounds = saved_bounds;
+        self.return_ty = saved_ret;
+        self.env.pop_scope();
+
+        // pc_fn is the meet of every upper bound the body generated; with
+        // no writes at all the function may be called anywhere (⊤).
+        let pc_fn = if self.enforce { self.lat.meet_all(bounds) } else { self.lat.top() };
+
+        if ret_ty.ty != Ty::Unit && !always_returns(body) {
+            self.error(
+                DiagCode::MissingReturn,
+                format!(
+                    "function `{}` may finish without returning a `{}`",
+                    name.node, ret_ty.ty
+                ),
+                span,
+            );
+        }
+
+        let fnty = Rc::new(FnTy { params: fn_params, pc_fn, ret: ret_ty, is_action });
+        self.sig_functions.push((name.node.clone(), Rc::clone(&fnty)));
+        let info = VarInfo {
+            ty: SecTy::bottom(Ty::Function(fnty), self.lat),
+            writable: false,
+        };
+        if !self.env.declare(&name.node, info) {
+            self.error(
+                DiagCode::DuplicateDef,
+                format!("`{}` is already declared in this scope", name.node),
+                name.span,
+            );
+        }
+    }
+
+    fn action_decl(&mut self, a: &ActionDecl) {
+        self.function_like(&a.name, &a.params, None, &a.body, true, a.span);
+    }
+
+    fn function_decl(&mut self, f: &FunctionDecl) {
+        self.function_like(&f.name, &f.params, Some(&f.ret), &f.body, false, f.span);
+    }
+
+    /// T-TblDecl: computes `pc_tbl = ⊓ⱼ pc_fnⱼ`, checks every key label is
+    /// below every action's write bound, and typechecks the bound argument
+    /// prefixes.
+    fn table_decl(&mut self, t: &TableDecl) {
+        // Gather the action signatures first: pc_tbl depends on them.
+        let mut action_tys: Vec<(Rc<FnTy>, &ActionRef)> = Vec::new();
+        for aref in &t.actions {
+            match self.env.lookup(&aref.name.node) {
+                Some(info) => match &info.ty.ty {
+                    Ty::Function(f) if f.is_action => {
+                        action_tys.push((Rc::clone(f), aref));
+                    }
+                    Ty::Function(_) => {
+                        self.error(
+                            DiagCode::UnknownAction,
+                            format!(
+                                "`{}` is a function; only actions may appear in a table",
+                                aref.name.node
+                            ),
+                            aref.name.span,
+                        );
+                    }
+                    other => {
+                        self.error(
+                            DiagCode::UnknownAction,
+                            format!("`{}` is `{other}`, not an action", aref.name.node),
+                            aref.name.span,
+                        );
+                    }
+                },
+                None => {
+                    self.error(
+                        DiagCode::UnknownAction,
+                        format!("unknown action `{}`", aref.name.node),
+                        aref.name.span,
+                    );
+                }
+            }
+        }
+
+        let pc_tbl = if self.enforce {
+            self.lat.meet_all(action_tys.iter().map(|(f, _)| f.pc_fn))
+        } else {
+            self.lat.top()
+        };
+
+        // Keys: known match kinds, scalar key expressions, and
+        // χ_k ⊑ pc_fnⱼ for every action j (T-TblDecl).
+        for key in &t.keys {
+            if !self.defs.is_match_kind(&key.match_kind.node) {
+                self.error(
+                    DiagCode::UnknownMatchKind,
+                    format!("unknown match kind `{}`", key.match_kind.node),
+                    key.match_kind.span,
+                );
+            }
+            let Some((kt, _)) = self.expr(&key.expr, pc_tbl) else { continue };
+            if !kt.ty.is_base_scalar() {
+                self.error(
+                    DiagCode::TypeMismatch,
+                    format!("table keys must be scalars, found `{}`", kt.ty),
+                    key.expr.span,
+                );
+                continue;
+            }
+            if self.enforce {
+                for (fnty, aref) in &action_tys {
+                    if !self.lat.leq(kt.label, fnty.pc_fn) {
+                        self.error(
+                            DiagCode::TableKeyFlow,
+                            format!(
+                                "table key labeled `{}` selects action `{}` which \
+                                 writes at level `{}`; matching on the key would \
+                                 leak it",
+                                self.name(kt.label),
+                                aref.name.node,
+                                self.name(fnty.pc_fn)
+                            ),
+                            key.expr.span,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Bound argument prefixes: the directional parameters of each
+        // action are bound at declaration time; the directionless
+        // (control-plane) suffix is installed by the controller.
+        for (fnty, aref) in &action_tys {
+            let data_params: Vec<&FnParam> = fnty.data_params().collect();
+            if aref.args.len() != data_params.len() {
+                self.error(
+                    DiagCode::ArityMismatch,
+                    format!(
+                        "action `{}` takes {} data-plane argument(s), {} supplied",
+                        aref.name.node,
+                        data_params.len(),
+                        aref.args.len()
+                    ),
+                    aref.span,
+                );
+                continue;
+            }
+            for (param, arg) in data_params.iter().zip(&aref.args) {
+                self.check_arg(param, arg, pc_tbl);
+            }
+        }
+
+        // Default action, if named, must be one of the listed actions.
+        if let Some(d) = &t.default_action {
+            if !t.actions.iter().any(|a| a.name.node == d.node) {
+                self.error(
+                    DiagCode::UnknownAction,
+                    format!(
+                        "default action `{}` is not in the table's action list",
+                        d.node
+                    ),
+                    d.span,
+                );
+            }
+        }
+
+        self.sig_tables.push((t.name.node.clone(), pc_tbl));
+        let info = VarInfo {
+            ty: SecTy::bottom(Ty::Table(pc_tbl), self.lat),
+            writable: false,
+        };
+        if !self.env.declare(&t.name.node, info) {
+            self.error(
+                DiagCode::DuplicateDef,
+                format!("`{}` is already declared in this scope", t.name.node),
+                t.name.span,
+            );
+        }
+    }
+
+    /// Checks one control block under its ambient `pc` (the `@pc(...)`
+    /// annotation, or the run-wide default).
+    fn control_decl(&mut self, c: &ControlDecl, default_pc: Label) -> Option<TypedControl> {
+        // Control-local declarations are visible only inside this control:
+        // roll the signature log back to the globals afterwards.
+        let fn_mark = self.sig_functions.len();
+        let pc = match (&c.pc, self.resolve_labels) {
+            (Some(name), true) => match self.lat.label(&name.node) {
+                Some(l) => l,
+                None => {
+                    self.error(
+                        DiagCode::UnknownLabel,
+                        format!("unknown pc label `{}`", name.node),
+                        name.span,
+                    );
+                    default_pc
+                }
+            },
+            _ => {
+                if self.resolve_labels {
+                    default_pc
+                } else {
+                    self.lat.bottom()
+                }
+            }
+        };
+
+        self.env.push_scope();
+        let mut typed_params = Vec::new();
+        for p in &c.params {
+            let Some(ty) = self.resolve(&p.ty) else { continue };
+            let direction = p.direction.unwrap_or(Direction::In);
+            let writable = direction == Direction::InOut;
+            if !self.env.declare(&p.name.node, VarInfo { ty: ty.clone(), writable }) {
+                self.error(
+                    DiagCode::DuplicateDef,
+                    format!("duplicate parameter `{}`", p.name.node),
+                    p.name.span,
+                );
+            }
+            typed_params.push(TypedParam { name: p.name.node.clone(), direction, ty });
+        }
+        let params_ok = typed_params.len() == c.params.len();
+
+        for d in &c.decls {
+            match d {
+                CtrlDecl::Var(v) => self.var_decl(v, pc),
+                CtrlDecl::Action(a) => self.action_decl(a),
+                CtrlDecl::Function(f) => self.function_decl(f),
+                CtrlDecl::Table(t) => self.table_decl(t),
+            }
+        }
+
+        self.env.push_scope();
+        for s in &c.apply {
+            self.stmt(s, pc);
+        }
+        self.env.pop_scope();
+        self.env.pop_scope();
+
+        let functions = self.sig_functions.clone();
+        self.sig_functions.truncate(fn_mark);
+        params_ok.then(|| TypedControl {
+            name: c.name.node.clone(),
+            params: typed_params,
+            pc,
+            functions,
+            tables: std::mem::take(&mut self.sig_tables),
+        })
+    }
+}
+
+/// Whether a statement sequence is guaranteed to return or exit on every
+/// path (used for the missing-return check on non-void functions).
+fn always_returns(stmts: &[Stmt]) -> bool {
+    stmts.iter().any(stmt_always_returns)
+}
+
+fn stmt_always_returns(s: &Stmt) -> bool {
+    match &s.kind {
+        StmtKind::Return(_) | StmtKind::Exit => true,
+        StmtKind::If(_, t, Some(e)) => stmt_always_returns(t) && stmt_always_returns(e),
+        StmtKind::Block(ss) => always_returns(ss),
+        _ => false,
+    }
+}
+
+/// Recursively removes every security annotation (base mode).
+fn strip_labels(ann: &AnnType) -> AnnType {
+    let ty = match &ann.ty {
+        TypeExpr::Stack(elem, n) => TypeExpr::Stack(Box::new(strip_labels(elem)), *n),
+        other => other.clone(),
+    };
+    AnnType { ty, label: None, span: ann.span }
+}

@@ -1,0 +1,197 @@
+//! Typechecker diagnostics.
+//!
+//! Every rejected program gets one or more [`Diagnostic`]s pointing at the
+//! offending source span, with a machine-readable [`DiagCode`] so tests and
+//! tools can assert on the *class* of violation (explicit flow, implicit
+//! flow, table-key flow, …) rather than on message text.
+
+use p4bid_ast::span::Span;
+use std::fmt;
+
+/// Machine-readable diagnostic classes.
+///
+/// The `*Flow` codes are the information-flow violations the paper's case
+/// studies exercise; the remaining codes are ordinary (base) type errors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum DiagCode {
+    // --- base type errors -------------------------------------------------
+    /// Reference to an unknown type name.
+    UnknownType,
+    /// Reference to an unknown variable.
+    UnknownVar,
+    /// Reference to an unknown field.
+    UnknownField,
+    /// Reference to an unknown match kind.
+    UnknownMatchKind,
+    /// Reference to an unknown action in a table.
+    UnknownAction,
+    /// A name declared twice in the same scope.
+    DuplicateDef,
+    /// Operand or assignment type mismatch.
+    TypeMismatch,
+    /// Called something that is not a function or action.
+    NotCallable,
+    /// Applied something that is not a table.
+    NotATable,
+    /// Wrong number of arguments.
+    ArityMismatch,
+    /// Assignment target is not an l-value, or is read-only.
+    NotAssignable,
+    /// `return` outside a function, or with the wrong type.
+    BadReturn,
+    /// A non-void function body may fall through without returning.
+    MissingReturn,
+    /// Binary/unary operator applied to unsupported operand types.
+    InvalidOperands,
+    /// Malformed program structure (e.g. no control block).
+    Malformed,
+
+    // --- security (IFC) errors --------------------------------------------
+    /// Reference to a label that is not in the active lattice.
+    UnknownLabel,
+    /// Explicit flow: assignment of higher-labeled data into a
+    /// lower-labeled location (`χ₂ ⋢ χ₁` in T-Assign).
+    ExplicitFlow,
+    /// Implicit flow: write below the current security context
+    /// (`pc ⋢ χ₁` in T-Assign, or an `exit`/`return` above ⊥).
+    ImplicitFlow,
+    /// A call in a context higher than the callee's write bound
+    /// (`pc ⋢ pc_fn` in T-Call).
+    CallPcViolation,
+    /// A table whose key is more secret than some action's writes
+    /// (`χ_k ⋢ pc_fn_j` in T-TblDecl).
+    TableKeyFlow,
+    /// A table applied in a context above its `pc_tbl` (T-TblCall).
+    TableApplyPcViolation,
+    /// An `inout` argument whose security type differs from the parameter
+    /// (no subtyping on `inout`, §4.2).
+    InoutLabelMismatch,
+    /// Indexing with an index more secret than the stack elements
+    /// (`χ₂ ⋢ χ₁` in T-Index).
+    IndexLeak,
+}
+
+impl DiagCode {
+    /// Whether the code is one of the information-flow violations (as
+    /// opposed to a plain type error a non-security P4 compiler would also
+    /// report).
+    #[must_use]
+    pub fn is_security(self) -> bool {
+        matches!(
+            self,
+            DiagCode::UnknownLabel
+                | DiagCode::ExplicitFlow
+                | DiagCode::ImplicitFlow
+                | DiagCode::CallPcViolation
+                | DiagCode::TableKeyFlow
+                | DiagCode::TableApplyPcViolation
+                | DiagCode::InoutLabelMismatch
+                | DiagCode::IndexLeak
+        )
+    }
+
+    /// Short stable identifier, e.g. `E-EXPLICIT-FLOW`.
+    #[must_use]
+    pub fn ident(self) -> &'static str {
+        match self {
+            DiagCode::UnknownType => "E-UNKNOWN-TYPE",
+            DiagCode::UnknownVar => "E-UNKNOWN-VAR",
+            DiagCode::UnknownField => "E-UNKNOWN-FIELD",
+            DiagCode::UnknownMatchKind => "E-UNKNOWN-MATCH-KIND",
+            DiagCode::UnknownAction => "E-UNKNOWN-ACTION",
+            DiagCode::DuplicateDef => "E-DUPLICATE-DEF",
+            DiagCode::TypeMismatch => "E-TYPE-MISMATCH",
+            DiagCode::NotCallable => "E-NOT-CALLABLE",
+            DiagCode::NotATable => "E-NOT-A-TABLE",
+            DiagCode::ArityMismatch => "E-ARITY-MISMATCH",
+            DiagCode::NotAssignable => "E-NOT-ASSIGNABLE",
+            DiagCode::BadReturn => "E-BAD-RETURN",
+            DiagCode::MissingReturn => "E-MISSING-RETURN",
+            DiagCode::InvalidOperands => "E-INVALID-OPERANDS",
+            DiagCode::Malformed => "E-MALFORMED",
+            DiagCode::UnknownLabel => "E-UNKNOWN-LABEL",
+            DiagCode::ExplicitFlow => "E-EXPLICIT-FLOW",
+            DiagCode::ImplicitFlow => "E-IMPLICIT-FLOW",
+            DiagCode::CallPcViolation => "E-CALL-PC",
+            DiagCode::TableKeyFlow => "E-TABLE-KEY-FLOW",
+            DiagCode::TableApplyPcViolation => "E-TABLE-APPLY-PC",
+            DiagCode::InoutLabelMismatch => "E-INOUT-LABEL",
+            DiagCode::IndexLeak => "E-INDEX-LEAK",
+        }
+    }
+}
+
+impl fmt::Display for DiagCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.ident())
+    }
+}
+
+/// A single typechecker diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Machine-readable class.
+    pub code: DiagCode,
+    /// Human-readable message (lowercase, no trailing punctuation).
+    pub message: String,
+    /// Primary source span.
+    pub span: Span,
+    /// Optional extra notes (e.g. "the fix in Listing 2 writes to
+    /// local_hdr.phys_ttl instead").
+    pub notes: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic.
+    #[must_use]
+    pub fn new(code: DiagCode, message: impl Into<String>, span: Span) -> Self {
+        Diagnostic { code, message: message.into(), span, notes: Vec::new() }
+    }
+
+    /// Adds a note, builder-style.
+    #[must_use]
+    pub fn with_note(mut self, note: impl Into<String>) -> Self {
+        self.notes.push(note.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "error[{}]: {}", self.code.ident(), self.message)?;
+        for note in &self.notes {
+            write!(f, "\n  note: {note}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn security_classification() {
+        assert!(DiagCode::ExplicitFlow.is_security());
+        assert!(DiagCode::TableKeyFlow.is_security());
+        assert!(!DiagCode::TypeMismatch.is_security());
+        assert!(!DiagCode::UnknownVar.is_security());
+    }
+
+    #[test]
+    fn display_includes_code_and_notes() {
+        let d = Diagnostic::new(DiagCode::ExplicitFlow, "high flows to low", Span::new(1, 2))
+            .with_note("label the target high");
+        let s = d.to_string();
+        assert!(s.contains("E-EXPLICIT-FLOW"));
+        assert!(s.contains("high flows to low"));
+        assert!(s.contains("note: label the target high"));
+    }
+
+    #[test]
+    fn idents_are_stable() {
+        assert_eq!(DiagCode::ImplicitFlow.ident(), "E-IMPLICIT-FLOW");
+        assert_eq!(DiagCode::TableApplyPcViolation.ident(), "E-TABLE-APPLY-PC");
+    }
+}

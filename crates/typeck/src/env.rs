@@ -1,0 +1,343 @@
+//! Typing contexts: the type-definition context Δ and the typing context Γ.
+//!
+//! Δ ([`TypeDefs`]) maps type names (typedefs, headers, structs) to resolved
+//! security types and implements the unfolding judgement `Δ ⊢ τ ⇝ τ'`
+//! together with label resolution. Γ ([`ScopedEnv`]) maps variables to their
+//! security types plus a writability flag (the algorithmic residue of the
+//! `goes in / goes inout` direction annotation on T-Var).
+
+use crate::diag::{DiagCode, Diagnostic};
+use p4bid_ast::sectype::{SecTy, Ty};
+use p4bid_ast::span::Span;
+use p4bid_ast::surface::{AnnType, TypeExpr};
+use p4bid_lattice::{Label, Lattice};
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// The type-definition context Δ plus the declared match kinds.
+#[derive(Debug, Clone, Default)]
+pub struct TypeDefs {
+    types: HashMap<String, SecTy>,
+    match_kinds: Vec<String>,
+}
+
+impl TypeDefs {
+    /// An empty context.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a named type (typedef / header / struct).
+    ///
+    /// Returns `false` (and leaves the old definition) if the name was
+    /// already defined.
+    pub fn define(&mut self, name: &str, ty: SecTy) -> bool {
+        if self.types.contains_key(name) {
+            return false;
+        }
+        self.types.insert(name.to_string(), ty);
+        true
+    }
+
+    /// Looks up a named type.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&SecTy> {
+        self.types.get(name)
+    }
+
+    /// Registers a match kind (from a `match_kind { … }` declaration).
+    pub fn add_match_kind(&mut self, kind: &str) {
+        if !self.match_kinds.iter().any(|k| k == kind) {
+            self.match_kinds.push(kind.to_string());
+        }
+    }
+
+    /// Whether `kind` is a declared match kind.
+    #[must_use]
+    pub fn is_match_kind(&self, kind: &str) -> bool {
+        self.match_kinds.iter().any(|k| k == kind)
+    }
+
+    /// Resolves a surface type annotation to a security type:
+    /// `Δ ⊢ τ ⇝ τ'` plus label-name resolution.
+    ///
+    /// Labels on *base* types become the outer label. A label on a
+    /// compound type (e.g. `<alice_t, A>` in Listing 6, where `alice_t` is
+    /// a header) is *pushed down*: it is joined onto every nested base-field
+    /// label, and the compound keeps its `⊥` outer label as required by
+    /// Figure 4.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] on unknown type names or labels.
+    pub fn resolve(&self, ann: &AnnType, lat: &Lattice) -> Result<SecTy, Diagnostic> {
+        let label = match &ann.label {
+            None => lat.bottom(),
+            Some(name) => lat.label(&name.node).ok_or_else(|| {
+                Diagnostic::new(
+                    DiagCode::UnknownLabel,
+                    format!(
+                        "unknown security label `{}`; the active lattice is {lat}",
+                        name.node
+                    ),
+                    name.span,
+                )
+            })?,
+        };
+        let base = self.resolve_unlabeled(&ann.ty, ann.span, lat)?;
+        Ok(push_label(&base, label, lat))
+    }
+
+    /// Resolves the structural part, with `⊥` everywhere an annotation is
+    /// absent.
+    fn resolve_unlabeled(
+        &self,
+        ty: &TypeExpr,
+        span: Span,
+        lat: &Lattice,
+    ) -> Result<SecTy, Diagnostic> {
+        let t = match ty {
+            TypeExpr::Bool => SecTy::bottom(Ty::Bool, lat),
+            TypeExpr::Int => SecTy::bottom(Ty::Int, lat),
+            TypeExpr::Bit(n) => SecTy::bottom(Ty::Bit(*n), lat),
+            TypeExpr::Void => SecTy::bottom(Ty::Unit, lat),
+            TypeExpr::Named(name) => self
+                .lookup(name)
+                .cloned()
+                .ok_or_else(|| {
+                    Diagnostic::new(
+                        DiagCode::UnknownType,
+                        format!("unknown type `{name}`"),
+                        span,
+                    )
+                })?,
+            TypeExpr::Stack(elem, n) => {
+                let elem = self.resolve(elem, lat)?;
+                SecTy::bottom(Ty::Stack(Rc::new(elem), *n), lat)
+            }
+        };
+        Ok(t)
+    }
+}
+
+/// Joins `label` onto a resolved type: onto the outer label for base
+/// scalars, recursively onto fields/elements for compounds (whose outer
+/// label stays `⊥`, Figure 4).
+#[must_use]
+pub fn push_label(ty: &SecTy, label: Label, lat: &Lattice) -> SecTy {
+    if lat.is_bottom(label) {
+        return ty.clone();
+    }
+    match &ty.ty {
+        Ty::Bool | Ty::Int | Ty::Bit(_) => {
+            SecTy::new(ty.ty.clone(), lat.join(ty.label, label))
+        }
+        Ty::Record(fields) => SecTy::new(
+            Ty::Record(Rc::new(
+                fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), push_label(t, label, lat)))
+                    .collect(),
+            )),
+            ty.label,
+        ),
+        Ty::Header(fields) => SecTy::new(
+            Ty::Header(Rc::new(
+                fields
+                    .iter()
+                    .map(|(n, t)| (n.clone(), push_label(t, label, lat)))
+                    .collect(),
+            )),
+            ty.label,
+        ),
+        Ty::Stack(elem, n) => SecTy::new(
+            Ty::Stack(Rc::new(push_label(elem, label, lat)), *n),
+            ty.label,
+        ),
+        // Unit, match kinds, tables, functions are unaffected by pushing.
+        Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => ty.clone(),
+    }
+}
+
+/// One Γ entry: the variable's security type plus whether it may be
+/// written (`goes inout`) or only read (`in` parameters, closures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VarInfo {
+    /// Resolved security type.
+    pub ty: SecTy,
+    /// Whether assignment to (any part of) the variable is allowed.
+    pub writable: bool,
+}
+
+/// The typing context Γ, as a stack of lexical scopes.
+#[derive(Debug, Clone, Default)]
+pub struct ScopedEnv {
+    scopes: Vec<HashMap<String, VarInfo>>,
+}
+
+impl ScopedEnv {
+    /// An environment with a single (global) scope.
+    #[must_use]
+    pub fn new() -> Self {
+        ScopedEnv { scopes: vec![HashMap::new()] }
+    }
+
+    /// Opens a nested scope.
+    pub fn push_scope(&mut self) {
+        self.scopes.push(HashMap::new());
+    }
+
+    /// Closes the innermost scope.
+    ///
+    /// # Panics
+    ///
+    /// Panics if only the global scope remains (checker bug).
+    pub fn pop_scope(&mut self) {
+        assert!(self.scopes.len() > 1, "cannot pop the global scope");
+        self.scopes.pop();
+    }
+
+    /// Declares a variable in the innermost scope. Shadowing an outer
+    /// binding is allowed (Core P4 declarations extend ε); redeclaring
+    /// within the *same* scope returns `false`.
+    pub fn declare(&mut self, name: &str, info: VarInfo) -> bool {
+        let scope = self.scopes.last_mut().expect("at least the global scope");
+        if scope.contains_key(name) {
+            return false;
+        }
+        scope.insert(name.to_string(), info);
+        true
+    }
+
+    /// Looks a name up through the scope stack, innermost first.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<&VarInfo> {
+        self.scopes.iter().rev().find_map(|s| s.get(name))
+    }
+
+    /// Runs `f` inside a fresh scope.
+    pub fn scoped<R>(&mut self, f: impl FnOnce(&mut Self) -> R) -> R {
+        self.push_scope();
+        let r = f(self);
+        self.pop_scope();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4bid_ast::span::Spanned;
+
+    fn ann(ty: TypeExpr, label: Option<&str>) -> AnnType {
+        AnnType {
+            ty,
+            label: label.map(|l| Spanned::new(l.to_string(), Span::dummy())),
+            span: Span::dummy(),
+        }
+    }
+
+    #[test]
+    fn resolve_base_types() {
+        let lat = Lattice::two_point();
+        let defs = TypeDefs::new();
+        let t = defs.resolve(&ann(TypeExpr::Bit(8), Some("high")), &lat).unwrap();
+        assert_eq!(t, SecTy::new(Ty::Bit(8), lat.top()));
+        let t = defs.resolve(&ann(TypeExpr::Bool, None), &lat).unwrap();
+        assert_eq!(t, SecTy::bottom(Ty::Bool, &lat));
+    }
+
+    #[test]
+    fn resolve_unknown_label() {
+        let lat = Lattice::two_point();
+        let defs = TypeDefs::new();
+        let err = defs.resolve(&ann(TypeExpr::Bit(8), Some("secret")), &lat).unwrap_err();
+        assert_eq!(err.code, DiagCode::UnknownLabel);
+        assert!(err.message.contains("secret"));
+    }
+
+    #[test]
+    fn resolve_unknown_type() {
+        let lat = Lattice::two_point();
+        let defs = TypeDefs::new();
+        let err = defs
+            .resolve(&ann(TypeExpr::Named("ipv4_t".into()), None), &lat)
+            .unwrap_err();
+        assert_eq!(err.code, DiagCode::UnknownType);
+    }
+
+    #[test]
+    fn labels_push_into_compounds() {
+        let lat = Lattice::diamond();
+        let a = lat.label("A").unwrap();
+        let mut defs = TypeDefs::new();
+        let hdr = SecTy::bottom(
+            Ty::Header(Rc::new(vec![
+                ("x".into(), SecTy::bottom(Ty::Bit(8), &lat)),
+                ("y".into(), SecTy::new(Ty::Bit(8), lat.label("B").unwrap())),
+            ])),
+            &lat,
+        );
+        defs.define("alice_t", hdr);
+        let t = defs
+            .resolve(&ann(TypeExpr::Named("alice_t".into()), Some("A")), &lat)
+            .unwrap();
+        // Outer label stays ⊥, fields get joined with A.
+        assert_eq!(t.label, lat.bottom());
+        let Ty::Header(fields) = &t.ty else { panic!() };
+        assert_eq!(fields[0].1.label, a);
+        assert_eq!(fields[1].1.label, lat.top(), "B ⊔ A = ⊤");
+    }
+
+    #[test]
+    fn stack_resolution() {
+        let lat = Lattice::two_point();
+        let defs = TypeDefs::new();
+        let elem = ann(TypeExpr::Bit(8), Some("high"));
+        let stack = AnnType {
+            ty: TypeExpr::Stack(Box::new(elem), 4),
+            label: None,
+            span: Span::dummy(),
+        };
+        let t = defs.resolve(&stack, &lat).unwrap();
+        let Ty::Stack(e, 4) = &t.ty else { panic!("{t:?}") };
+        assert_eq!(e.label, lat.top());
+        assert_eq!(t.label, lat.bottom());
+    }
+
+    #[test]
+    fn define_rejects_duplicates() {
+        let lat = Lattice::two_point();
+        let mut defs = TypeDefs::new();
+        assert!(defs.define("t", SecTy::bottom(Ty::Bool, &lat)));
+        assert!(!defs.define("t", SecTy::bottom(Ty::Int, &lat)));
+        assert_eq!(defs.lookup("t").unwrap().ty, Ty::Bool);
+    }
+
+    #[test]
+    fn match_kinds() {
+        let mut defs = TypeDefs::new();
+        assert!(!defs.is_match_kind("exact"));
+        defs.add_match_kind("exact");
+        defs.add_match_kind("exact");
+        assert!(defs.is_match_kind("exact"));
+        assert!(!defs.is_match_kind("lpm"));
+    }
+
+    #[test]
+    fn scoped_env_shadowing() {
+        let lat = Lattice::two_point();
+        let mut env = ScopedEnv::new();
+        let low = VarInfo { ty: SecTy::bottom(Ty::Bool, &lat), writable: true };
+        let high = VarInfo { ty: SecTy::new(Ty::Bool, lat.top()), writable: false };
+        assert!(env.declare("x", low.clone()));
+        assert!(!env.declare("x", high.clone()), "same-scope redeclaration rejected");
+        env.scoped(|env| {
+            assert!(env.declare("x", high.clone()), "shadowing in inner scope allowed");
+            assert_eq!(env.lookup("x").unwrap().ty.label, lat.top());
+        });
+        assert_eq!(env.lookup("x").unwrap().ty.label, lat.bottom());
+        assert!(env.lookup("y").is_none());
+    }
+}

@@ -1,0 +1,122 @@
+//! The binary-operation typing oracle `T(Δ; ⊕; ρ₁; ρ₂) = ρ₃` (T-BinOp).
+//!
+//! The paper leaves the meaning of binary operations to an oracle; we
+//! implement the P4₁₆ operator set the case studies need, including P4's
+//! implicit coercion of arbitrary-precision `int` literals to `bit<n>`
+//! operands.
+
+use p4bid_ast::sectype::Ty;
+use p4bid_ast::surface::{BinOp, UnOp};
+
+/// Result type of `ρ₁ ⊕ ρ₂`, or `None` if the operands are unsupported.
+///
+/// Rules (mirroring P4₁₆ §8):
+///
+/// * arithmetic / bitwise ops: `bit<n> ⊕ bit<n> → bit<n>`, with `int`
+///   coercing to the other operand's width; `int ⊕ int → int`;
+/// * shifts: left operand sets the result type; the right operand may be
+///   any numeric type;
+/// * comparisons: numeric or boolean (for `==`/`!=`) operands → `bool`;
+/// * `&&`/`||`: `bool × bool → bool`.
+#[must_use]
+pub fn binop_result(op: BinOp, lhs: &Ty, rhs: &Ty) -> Option<Ty> {
+    use BinOp::*;
+    match op {
+        Add | Sub | Mul | BitAnd | BitOr | BitXor => numeric_join(lhs, rhs),
+        Shl | Shr => match (lhs, rhs) {
+            (Ty::Bit(n), Ty::Bit(_)) | (Ty::Bit(n), Ty::Int) => Some(Ty::Bit(*n)),
+            (Ty::Int, Ty::Int) | (Ty::Int, Ty::Bit(_)) => Some(Ty::Int),
+            _ => None,
+        },
+        Eq | Ne => {
+            if numeric_join(lhs, rhs).is_some() || (lhs == &Ty::Bool && rhs == &Ty::Bool) {
+                Some(Ty::Bool)
+            } else {
+                None
+            }
+        }
+        Lt | Le | Gt | Ge => numeric_join(lhs, rhs).map(|_| Ty::Bool),
+        And | Or => {
+            if lhs == &Ty::Bool && rhs == &Ty::Bool {
+                Some(Ty::Bool)
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Result type of a unary operation.
+#[must_use]
+pub fn unop_result(op: UnOp, operand: &Ty) -> Option<Ty> {
+    match op {
+        UnOp::Not => (operand == &Ty::Bool).then_some(Ty::Bool),
+        UnOp::Neg => match operand {
+            Ty::Bit(n) => Some(Ty::Bit(*n)),
+            Ty::Int => Some(Ty::Int),
+            _ => None,
+        },
+        UnOp::BitNot => match operand {
+            Ty::Bit(n) => Some(Ty::Bit(*n)),
+            _ => None,
+        },
+    }
+}
+
+/// Common numeric type of two operands, if any: equal-width bit-vectors
+/// stay put, `int` adapts to the other side's width.
+fn numeric_join(lhs: &Ty, rhs: &Ty) -> Option<Ty> {
+    match (lhs, rhs) {
+        (Ty::Bit(n), Ty::Bit(m)) if n == m => Some(Ty::Bit(*n)),
+        (Ty::Bit(n), Ty::Int) | (Ty::Int, Ty::Bit(n)) => Some(Ty::Bit(*n)),
+        (Ty::Int, Ty::Int) => Some(Ty::Int),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(binop_result(BinOp::Add, &Ty::Bit(8), &Ty::Bit(8)), Some(Ty::Bit(8)));
+        assert_eq!(binop_result(BinOp::Add, &Ty::Bit(8), &Ty::Int), Some(Ty::Bit(8)));
+        assert_eq!(binop_result(BinOp::Mul, &Ty::Int, &Ty::Int), Some(Ty::Int));
+        assert_eq!(binop_result(BinOp::Add, &Ty::Bit(8), &Ty::Bit(16)), None);
+        assert_eq!(binop_result(BinOp::Add, &Ty::Bool, &Ty::Bool), None);
+    }
+
+    #[test]
+    fn shifts_keep_left_width() {
+        assert_eq!(binop_result(BinOp::Shl, &Ty::Bit(32), &Ty::Bit(8)), Some(Ty::Bit(32)));
+        assert_eq!(binop_result(BinOp::Shr, &Ty::Bit(32), &Ty::Int), Some(Ty::Bit(32)));
+        assert_eq!(binop_result(BinOp::Shr, &Ty::Int, &Ty::Int), Some(Ty::Int));
+        assert_eq!(binop_result(BinOp::Shl, &Ty::Bool, &Ty::Int), None);
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(binop_result(BinOp::Eq, &Ty::Bit(8), &Ty::Bit(8)), Some(Ty::Bool));
+        assert_eq!(binop_result(BinOp::Eq, &Ty::Bool, &Ty::Bool), Some(Ty::Bool));
+        assert_eq!(binop_result(BinOp::Lt, &Ty::Bit(8), &Ty::Int), Some(Ty::Bool));
+        assert_eq!(binop_result(BinOp::Lt, &Ty::Bool, &Ty::Bool), None);
+        assert_eq!(binop_result(BinOp::Eq, &Ty::Bit(8), &Ty::Bit(9)), None);
+    }
+
+    #[test]
+    fn logical() {
+        assert_eq!(binop_result(BinOp::And, &Ty::Bool, &Ty::Bool), Some(Ty::Bool));
+        assert_eq!(binop_result(BinOp::Or, &Ty::Bit(1), &Ty::Bool), None);
+    }
+
+    #[test]
+    fn unary() {
+        assert_eq!(unop_result(UnOp::Not, &Ty::Bool), Some(Ty::Bool));
+        assert_eq!(unop_result(UnOp::Not, &Ty::Bit(1)), None);
+        assert_eq!(unop_result(UnOp::Neg, &Ty::Bit(8)), Some(Ty::Bit(8)));
+        assert_eq!(unop_result(UnOp::Neg, &Ty::Int), Some(Ty::Int));
+        assert_eq!(unop_result(UnOp::BitNot, &Ty::Bit(8)), Some(Ty::Bit(8)));
+        assert_eq!(unop_result(UnOp::BitNot, &Ty::Int), None);
+    }
+}

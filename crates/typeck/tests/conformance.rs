@@ -1,0 +1,123 @@
+//! Conformance suite: every `.p4` file under `testdata/accept` must
+//! typecheck and every file under `testdata/reject` must be rejected with
+//! the diagnostic class named in its `// expect: E-…` directive.
+//!
+//! Directives (leading comment lines):
+//!
+//! * `// expect: E-CODE [E-CODE…]` — required diagnostic idents (reject
+//!   files only);
+//! * `// pc: LABEL` — ambient pc for the check;
+//! * `// mode: base` — run the baseline checker instead of IFC.
+
+use p4bid_typeck::{check_source, CheckOptions, Mode};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+struct Directives {
+    expect: Vec<String>,
+    pc: Option<String>,
+    mode: Mode,
+}
+
+fn parse_directives(source: &str) -> Directives {
+    let mut d = Directives { expect: Vec::new(), pc: None, mode: Mode::Ifc };
+    for line in source.lines() {
+        let Some(comment) = line.trim().strip_prefix("//") else { continue };
+        let comment = comment.trim();
+        if let Some(codes) = comment.strip_prefix("expect:") {
+            d.expect.extend(codes.split_whitespace().map(str::to_string));
+        } else if let Some(pc) = comment.strip_prefix("pc:") {
+            d.pc = Some(pc.trim().to_string());
+        } else if let Some(mode) = comment.strip_prefix("mode:") {
+            if mode.trim() == "base" {
+                d.mode = Mode::Base;
+            }
+        }
+    }
+    d
+}
+
+fn testdata(sub: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata").join(sub);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "p4"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .p4 files in {}", dir.display());
+    files
+}
+
+fn options_for(d: &Directives) -> CheckOptions {
+    let mut opts = CheckOptions { mode: d.mode, ..Default::default() };
+    if let Some(pc) = &d.pc {
+        opts = opts.with_pc(pc.clone());
+    }
+    opts
+}
+
+#[test]
+fn accept_corpus_typechecks() {
+    for path in testdata("accept") {
+        let source = fs::read_to_string(&path).expect("readable file");
+        let d = parse_directives(&source);
+        assert!(
+            d.expect.is_empty(),
+            "{}: accept files must not carry expect directives",
+            path.display()
+        );
+        if let Err(errs) = check_source(&source, &options_for(&d)) {
+            panic!("{} rejected: {errs:?}", path.display());
+        }
+    }
+}
+
+#[test]
+fn reject_corpus_fails_with_expected_codes() {
+    for path in testdata("reject") {
+        let source = fs::read_to_string(&path).expect("readable file");
+        let d = parse_directives(&source);
+        assert!(
+            !d.expect.is_empty(),
+            "{}: reject files need an `// expect:` directive",
+            path.display()
+        );
+        let errs = check_source(&source, &options_for(&d))
+            .err()
+            .unwrap_or_else(|| panic!("{} unexpectedly accepted", path.display()));
+        let idents: Vec<&str> = errs.iter().map(|e| e.code.ident()).collect();
+        for code in &d.expect {
+            assert!(
+                idents.contains(&code.as_str()),
+                "{}: expected {code}, got {idents:?}",
+                path.display()
+            );
+        }
+    }
+}
+
+#[test]
+fn reject_corpus_is_clean_apart_from_the_seeded_bug() {
+    // Reject files must be *well-typed* programs with pure security bugs:
+    // in permissive mode they all pass (so the interpreter could run
+    // them), with the sole exception of plain type errors marked
+    // E-TYPE-MISMATCH and friends.
+    for path in testdata("reject") {
+        let source = fs::read_to_string(&path).expect("readable file");
+        let d = parse_directives(&source);
+        let security_only = d.expect.iter().all(|c| {
+            !matches!(c.as_str(), "E-TYPE-MISMATCH" | "E-MALFORMED" | "E-UNKNOWN-VAR")
+        });
+        if !security_only {
+            continue;
+        }
+        let mut opts = CheckOptions::permissive();
+        if let Some(pc) = &d.pc {
+            opts = opts.with_pc(pc.clone());
+        }
+        if let Err(errs) = check_source(&source, &opts) {
+            panic!("{} has non-security errors: {errs:?}", path.display());
+        }
+    }
+}

@@ -1,0 +1,483 @@
+//! Edge-case and regression tests for the checker: corner constructs of
+//! the fragment, error recovery, and behaviors the main rule suite does
+//! not pin down.
+
+use p4bid_typeck::{check_source, CheckOptions, DiagCode, Diagnostic};
+
+fn ifc(src: &str) -> Result<(), Vec<Diagnostic>> {
+    check_source(src, &CheckOptions::ifc()).map(|_| ())
+}
+
+fn assert_code(src: &str, code: DiagCode) {
+    let errs = ifc(src).expect_err("program should be rejected");
+    assert!(errs.iter().any(|d| d.code == code), "expected {code:?}, got {errs:?}");
+}
+
+// ---------------------------------------------------------------------
+// Tables
+// ---------------------------------------------------------------------
+
+#[test]
+fn keyless_table_is_legal() {
+    // A table with no keys always takes the default/configured action.
+    assert!(ifc(
+        r#"control C(inout bit<8> x) {
+            action bump() { x = x + 8w1; }
+            table t { actions = { bump; NoAction; } default_action = bump; }
+            apply { t.apply(); }
+        }"#
+    )
+    .is_ok());
+}
+
+#[test]
+fn table_with_many_keys_joins_labels() {
+    // key join = high because of the second key; action writes low.
+    assert_code(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action set() { l = 8w1; }
+            table t {
+                key = { l: exact; h: exact; }
+                actions = { set; }
+            }
+            apply { t.apply(); }
+        }"#,
+        DiagCode::TableKeyFlow,
+    );
+}
+
+#[test]
+fn bool_keys_are_allowed() {
+    assert!(ifc(
+        r#"control C(inout bool flag, inout bit<8> x) {
+            action set() { x = 8w1; }
+            table t { key = { flag: exact; } actions = { set; NoAction; } }
+            apply { t.apply(); }
+        }"#
+    )
+    .is_ok());
+}
+
+#[test]
+fn compound_keys_rejected() {
+    assert_code(
+        r#"header h_t { bit<8> v; }
+        control C(inout h_t h, inout bit<8> x) {
+            action set() { x = 8w1; }
+            table t { key = { h: exact; } actions = { set; } }
+            apply { t.apply(); }
+        }"#,
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn table_names_shadowing_rejected_in_same_scope() {
+    assert_code(
+        r#"control C(inout bit<8> x) {
+            action a() { }
+            table t { key = { x: exact; } actions = { a; } }
+            table t { key = { x: exact; } actions = { a; } }
+            apply { }
+        }"#,
+        DiagCode::DuplicateDef,
+    );
+}
+
+#[test]
+fn inout_args_bound_in_tables_are_checked() {
+    // Binding an inout arg at table declaration: needs writable lvalue
+    // with exact label.
+    assert!(ifc(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, low> k) {
+            action bump(inout <bit<8>, low> target) { target = target + 8w1; }
+            table t {
+                key = { k: exact; }
+                actions = { bump(l); }
+            }
+            apply { t.apply(); }
+        }"#
+    )
+    .is_ok());
+    assert_code(
+        r#"control C(inout <bit<8>, high> h, inout <bit<8>, low> k) {
+            action bump(inout <bit<8>, low> target) { target = target + 8w1; }
+            table t {
+                key = { k: exact; }
+                actions = { bump(h); }
+            }
+            apply { t.apply(); }
+        }"#,
+        DiagCode::InoutLabelMismatch,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Types and declarations
+// ---------------------------------------------------------------------
+
+#[test]
+fn typedef_chains_unfold() {
+    assert!(ifc(
+        r#"typedef bit<32> addr_t;
+        typedef addr_t ip_t;
+        control C(inout ip_t a, inout addr_t b) {
+            apply { a = b; }
+        }"#
+    )
+    .is_ok());
+}
+
+#[test]
+fn typedef_with_label_raises_base() {
+    assert_code(
+        r#"typedef <bit<32>, high> secret_t;
+        control C(inout secret_t s, inout <bit<32>, low> l) {
+            apply { l = s; }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn record_types_are_structural() {
+    // Two distinct struct names with identical shapes are interchangeable
+    // (Core P4 record typing is structural).
+    assert!(ifc(
+        r#"struct a_t { bit<8> x; }
+        struct b_t { bit<8> x; }
+        control C(inout a_t a, inout b_t b) {
+            apply { a = b; }
+        }"#
+    )
+    .is_ok());
+    // Different field labels are a different type.
+    assert_code(
+        r#"struct a_t { <bit<8>, low> x; }
+        struct b_t { <bit<8>, high> x; }
+        control C(inout a_t a, inout b_t b) {
+            apply { a = b; }
+        }"#,
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn whole_struct_assignment_requires_bottom_pc() {
+    // Compound types carry the ⊥ outer label (Fig. 4), so whole-struct
+    // writes need pc ⊑ ⊥.
+    assert_code(
+        r#"struct s_t { <bit<8>, high> x; }
+        control C(inout s_t a, inout s_t b, inout <bool, high> g) {
+            apply { if (g) { a = b; } }
+        }"#,
+        DiagCode::ImplicitFlow,
+    );
+}
+
+#[test]
+fn match_kind_declarations_extend_the_set() {
+    assert!(ifc(
+        r#"match_kind { range }
+        control C(inout bit<8> x) {
+            action a() { }
+            table t { key = { x: range; } actions = { a; } }
+            apply { t.apply(); }
+        }"#
+    )
+    .is_ok());
+}
+
+#[test]
+fn user_lattice_requires_wellformedness() {
+    let errs = ifc(
+        r#"lattice { a < b; b < a; }
+        control C(inout bit<8> x) { apply { } }"#,
+    )
+    .unwrap_err();
+    assert_eq!(errs[0].code, DiagCode::Malformed);
+    assert!(errs[0].message.contains("antisymmetric"), "{errs:?}");
+}
+
+#[test]
+fn user_lattice_without_meet_rejected() {
+    // Two maximal elements: join(a, b) missing.
+    let errs = ifc(
+        r#"lattice { bot < a; bot < b; }
+        control C(inout bit<8> x) { apply { } }"#,
+    )
+    .unwrap_err();
+    assert_eq!(errs[0].code, DiagCode::Malformed);
+}
+
+#[test]
+fn unknown_pc_annotation_rejected() {
+    assert_code(
+        r#"@pc(wizard) control C(inout bit<8> x) { apply { } }"#,
+        DiagCode::UnknownLabel,
+    );
+}
+
+#[test]
+fn unknown_ambient_pc_rejected() {
+    let errs = check_source(
+        "control C(inout bit<8> x) { apply { } }",
+        &CheckOptions::ifc().with_pc("wizard"),
+    )
+    .unwrap_err();
+    assert_eq!(errs[0].code, DiagCode::UnknownLabel);
+}
+
+#[test]
+fn zero_size_stack_rejected_by_parser() {
+    let errs = ifc("control C(inout bit<8> x) { bit<8>[0] arr; apply { } }").unwrap_err();
+    assert_eq!(errs[0].code, DiagCode::Malformed);
+    assert!(errs[0].message.contains("stack size"), "{errs:?}");
+}
+
+// ---------------------------------------------------------------------
+// Functions
+// ---------------------------------------------------------------------
+
+#[test]
+fn void_function_with_bare_return() {
+    assert!(ifc(
+        r#"function void f(inout bit<8> x) {
+            x = x + 8w1;
+            return;
+        }
+        control C(inout bit<8> y) { apply { f(y); } }"#
+    )
+    .is_ok());
+}
+
+#[test]
+fn void_function_returning_value_rejected() {
+    assert_code(
+        r#"function void f(in bit<8> x) { return x; }
+        control C(inout bit<8> y) { apply { f(y); } }"#,
+        DiagCode::BadReturn,
+    );
+}
+
+#[test]
+fn value_function_bare_return_rejected() {
+    assert_code(
+        r#"function bit<8> f(in bit<8> x) { return; }
+        control C(inout bit<8> y) { apply { y = f(y); } }"#,
+        DiagCode::BadReturn,
+    );
+}
+
+#[test]
+fn return_label_subtyping_upward_only() {
+    assert!(ifc(
+        r#"function <bit<8>, high> up(in <bit<8>, low> x) { return x; }
+        control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { h = up(l); }
+        }"#
+    )
+    .is_ok());
+    assert_code(
+        r#"function <bit<8>, low> down(in <bit<8>, high> x) { return x; }
+        control C(inout <bit<8>, high> h, inout <bit<8>, low> l) {
+            apply { l = down(h); }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn exit_inside_function_pins_pc_fn_to_bottom() {
+    assert_code(
+        r#"control C(inout <bit<8>, high> h) {
+            action a() { exit; }
+            apply { if (h == 8w1) { a(); } }
+        }"#,
+        DiagCode::CallPcViolation,
+    );
+}
+
+#[test]
+fn actions_may_call_functions_and_inherit_bounds() {
+    // mark_to_drop writes the ⊥-labeled metadata ⇒ its pc_fn is ⊥ ⇒ an
+    // action calling it has pc_fn ⊥ ⇒ unusable under a high guard.
+    assert_code(
+        r#"control C(inout standard_metadata_t meta, inout <bit<8>, high> h) {
+            action drop() { mark_to_drop(meta); }
+            apply { if (h == 8w1) { drop(); } }
+        }"#,
+        DiagCode::CallPcViolation,
+    );
+}
+
+#[test]
+fn recursion_is_impossible_by_scoping() {
+    // A function cannot see itself (Core P4 closures capture the env at
+    // declaration, which excludes the name being declared).
+    assert_code(
+        r#"function bit<8> f(in bit<8> x) { return f(x); }
+        control C(inout bit<8> y) { apply { y = f(y); } }"#,
+        DiagCode::UnknownVar,
+    );
+}
+
+#[test]
+fn mutual_recursion_is_impossible() {
+    assert_code(
+        r#"function bit<8> f(in bit<8> x) { return g(x); }
+        function bit<8> g(in bit<8> x) { return f(x); }
+        control C(inout bit<8> y) { apply { y = f(y); } }"#,
+        DiagCode::UnknownVar,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Statements and expressions
+// ---------------------------------------------------------------------
+
+#[test]
+fn control_in_params_are_read_only() {
+    assert_code(
+        "control C(in bit<8> x) { apply { x = 8w1; } }",
+        DiagCode::NotAssignable,
+    );
+}
+
+#[test]
+fn assigning_to_literal_rejected() {
+    assert_code(
+        "control C(inout bit<8> x) { apply { 8w1 = x; } }",
+        DiagCode::NotAssignable,
+    );
+}
+
+#[test]
+fn assigning_to_call_result_rejected() {
+    assert_code(
+        r#"function bit<8> f(in bit<8> x) { return x; }
+        control C(inout bit<8> y) { apply { f(y) = 8w1; } }"#,
+        DiagCode::NotAssignable,
+    );
+}
+
+#[test]
+fn record_literals_check_fieldwise() {
+    assert!(ifc(
+        r#"struct pair_t { bit<8> a; bit<8> b; }
+        control C(inout pair_t p) {
+            apply { p = { a = 8w1, b = 8w2 }; }
+        }"#
+    )
+    .is_ok());
+    assert_code(
+        r#"struct pair_t { bit<8> a; bit<8> b; }
+        control C(inout pair_t p) {
+            apply { p = { a = 8w1 }; }
+        }"#,
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn duplicate_record_literal_fields_rejected() {
+    assert_code(
+        r#"struct one_t { bit<8> a; }
+        control C(inout one_t p) {
+            apply { p = { a = 8w1, a = 8w2 }; }
+        }"#,
+        DiagCode::DuplicateDef,
+    );
+}
+
+#[test]
+fn indexing_non_stacks_rejected() {
+    assert_code(
+        "control C(inout bit<8> x) { apply { x = x[0]; } }",
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn non_numeric_index_rejected() {
+    assert_code(
+        r#"control C(inout bool b, inout bit<8> x) {
+            bit<8>[2] arr;
+            apply { x = arr[b]; }
+        }"#,
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn guard_label_flows_into_nested_calls() {
+    // A table applied inside a conditional inside an action body: every
+    // layer must respect the guard label.
+    assert_code(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action set_low() { l = 8w1; }
+            table t { key = { l: exact; } actions = { set_low; } }
+            action outer() {
+                if (h == 8w1) { t.apply(); }
+            }
+            apply { outer(); }
+        }"#,
+        DiagCode::TableApplyPcViolation,
+    );
+}
+
+#[test]
+fn logical_operators_require_bools() {
+    assert_code(
+        "control C(inout bit<8> x) { apply { if (x && x) { } } }",
+        DiagCode::InvalidOperands,
+    );
+}
+
+#[test]
+fn width_mismatched_comparison_rejected() {
+    assert_code(
+        r#"control C(inout bit<8> x, inout bit<16> y) {
+            apply { if (x == y) { } }
+        }"#,
+        DiagCode::InvalidOperands,
+    );
+}
+
+#[test]
+fn error_recovery_reports_independent_errors() {
+    // Unknown variable in one statement must not suppress the flow error
+    // in the next.
+    let errs = ifc(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply {
+                l = ghost;
+                l = h;
+            }
+        }"#,
+    )
+    .unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::UnknownVar), "{errs:?}");
+    assert!(errs.iter().any(|d| d.code == DiagCode::ExplicitFlow), "{errs:?}");
+}
+
+#[test]
+fn permissive_mode_still_rejects_type_errors() {
+    // Permissive turns off *flow* checks, not type checks.
+    let errs = check_source(
+        "control C(inout bit<8> x) { apply { x = ghost; } }",
+        &CheckOptions::permissive(),
+    )
+    .unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::UnknownVar));
+}
+
+#[test]
+fn base_mode_rejects_type_errors_too() {
+    let errs = check_source(
+        "control C(inout bit<8> x, inout bit<16> y) { apply { x = y; } }",
+        &CheckOptions::base(),
+    )
+    .unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::TypeMismatch));
+}

@@ -1,0 +1,863 @@
+//! Rule-by-rule tests for the IFC type system (Figures 5–7 of the paper).
+//!
+//! Each test exercises one judgement: an accepting program and the minimal
+//! mutation that violates the rule, asserting on the diagnostic class.
+
+use p4bid_lattice::Lattice;
+use p4bid_typeck::{check_source, CheckOptions, DiagCode, Diagnostic};
+
+fn ifc(src: &str) -> Result<(), Vec<Diagnostic>> {
+    check_source(src, &CheckOptions::ifc()).map(|_| ())
+}
+
+fn ifc_at(src: &str, pc: &str) -> Result<(), Vec<Diagnostic>> {
+    check_source(src, &CheckOptions::ifc().with_pc(pc)).map(|_| ())
+}
+
+fn base(src: &str) -> Result<(), Vec<Diagnostic>> {
+    check_source(src, &CheckOptions::base()).map(|_| ())
+}
+
+fn assert_rejects(src: &str, code: DiagCode) {
+    match ifc(src) {
+        Ok(()) => panic!("expected {code:?}, but the program was accepted:\n{src}"),
+        Err(diags) => assert!(
+            diags.iter().any(|d| d.code == code),
+            "expected {code:?}, got {diags:?}\n{src}"
+        ),
+    }
+}
+
+fn assert_accepts(src: &str) {
+    if let Err(diags) = ifc(src) {
+        panic!("expected acceptance, got {diags:?}\n{src}");
+    }
+}
+
+// ---------------------------------------------------------------------
+// T-Assign: explicit flows
+// ---------------------------------------------------------------------
+
+#[test]
+fn assign_high_to_low_rejected() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { l = h; }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn assign_low_to_high_accepted() {
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { h = l; }
+        }"#,
+    );
+}
+
+#[test]
+fn assign_join_of_labels() {
+    // low ⊔ high = high may flow into high but not low.
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { h = h + l; }
+        }"#,
+    );
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { l = h + l; }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn base_mode_ignores_explicit_flows() {
+    base(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { l = h; }
+        }"#,
+    )
+    .expect("the baseline checker does not know about labels");
+}
+
+// ---------------------------------------------------------------------
+// T-Cond: implicit flows through guards
+// ---------------------------------------------------------------------
+
+#[test]
+fn branch_on_high_writing_low_rejected() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { if (h == 8w0) { l = 8w1; } }
+        }"#,
+        DiagCode::ImplicitFlow,
+    );
+}
+
+#[test]
+fn branch_on_high_writing_high_accepted() {
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { if (h == 8w0) { h = 8w1; } else { h = 8w2; } }
+        }"#,
+    );
+}
+
+#[test]
+fn nested_guards_join() {
+    // Inner write is under low ⊔ high = high context.
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply { if (l == 8w0) { if (h == 8w0) { l = 8w1; } } }
+        }"#,
+        DiagCode::ImplicitFlow,
+    );
+}
+
+#[test]
+fn exit_under_high_guard_rejected() {
+    // T-Exit types at ⊥ only: the signal would leak the guard.
+    assert_rejects(
+        r#"control C(inout <bit<8>, high> h) {
+            apply { if (h == 8w0) { exit; } }
+        }"#,
+        DiagCode::ImplicitFlow,
+    );
+}
+
+#[test]
+fn exit_at_bottom_accepted() {
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> l) {
+            apply { if (l == 8w0) { exit; } }
+        }"#,
+    );
+}
+
+#[test]
+fn return_under_high_guard_rejected() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, high> h) {
+            action a(in <bit<8>, high> v) {
+                if (v == 8w0) { return; }
+            }
+            apply { a(h); }
+        }"#,
+        DiagCode::ImplicitFlow,
+    );
+}
+
+// ---------------------------------------------------------------------
+// T-Call / T-FuncDecl: pc_fn inference and call contexts
+// ---------------------------------------------------------------------
+
+#[test]
+fn call_low_writer_under_high_guard_rejected() {
+    // set_low writes a low location ⇒ pc_fn = low; calling it under a
+    // high guard is the paper's §4.1 example.
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action set_low() { l = 8w1; }
+            apply { if (h == 8w1) { set_low(); } }
+        }"#,
+        DiagCode::CallPcViolation,
+    );
+}
+
+#[test]
+fn call_high_writer_under_high_guard_accepted() {
+    // set_high writes only high ⇒ pc_fn = high ⊒ guard.
+    assert_accepts(
+        r#"control C(inout <bit<8>, high> h) {
+            action set_high() { h = 8w1; }
+            apply { if (h == 8w0) { set_high(); } }
+        }"#,
+    );
+}
+
+#[test]
+fn pc_fn_is_meet_of_write_bounds() {
+    // Writes both low and high ⇒ pc_fn = low; high guard rejected.
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action both() { h = 8w1; l = 8w1; }
+            apply { if (h == 8w0) { both(); } }
+        }"#,
+        DiagCode::CallPcViolation,
+    );
+}
+
+#[test]
+fn pure_function_callable_anywhere() {
+    // No writes ⇒ pc_fn = ⊤.
+    assert_accepts(
+        r#"control C(inout <bit<8>, high> h) {
+            action nop() { }
+            apply { if (h == 8w0) { nop(); } }
+        }"#,
+    );
+}
+
+#[test]
+fn callee_write_bounds_propagate_to_caller() {
+    // outer calls inner; inner writes low ⇒ pc_fn(outer) ⊑ low, so
+    // calling outer under a high guard must be rejected.
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action inner() { l = 8w1; }
+            action outer() { inner(); }
+            apply { if (h == 8w0) { outer(); } }
+        }"#,
+        DiagCode::CallPcViolation,
+    );
+}
+
+#[test]
+fn guard_inside_function_body_checked() {
+    // Inside the body, a high guard around a low write is an implicit
+    // flow regardless of pc_fn.
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action a() { if (h == 8w0) { l = 8w1; } }
+            apply { a(); }
+        }"#,
+        DiagCode::ImplicitFlow,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Argument passing: T-SubType-In and the inout restriction
+// ---------------------------------------------------------------------
+
+#[test]
+fn in_argument_label_raising_allowed() {
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action a(in <bit<8>, high> v) { h = v; }
+            apply { a(l); }
+        }"#,
+    );
+}
+
+#[test]
+fn in_argument_label_lowering_rejected() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action a(in <bit<8>, low> v) { l = v; }
+            apply { a(h); }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn inout_argument_exact_label_required() {
+    // The §4.2 `write_to_high(l)` example: passing a low variable to an
+    // inout high parameter would launder a write.
+    assert_rejects(
+        r#"control C(inout <bool, low> l) {
+            action write_to_high(inout <bool, high> h) { h = true; }
+            apply { write_to_high(l); }
+        }"#,
+        DiagCode::InoutLabelMismatch,
+    );
+}
+
+#[test]
+fn inout_argument_matching_label_accepted() {
+    assert_accepts(
+        r#"control C(inout <bool, high> g) {
+            action write_to_high(inout <bool, high> h) { h = true; }
+            apply { write_to_high(g); }
+        }"#,
+    );
+}
+
+#[test]
+fn inout_argument_must_be_lvalue() {
+    let errs = ifc(
+        r#"control C(inout <bit<8>, low> l) {
+            action a(inout <bit<8>, low> v) { v = 8w1; }
+            apply { a(l + 8w1); }
+        }"#,
+    )
+    .unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::NotAssignable), "{errs:?}");
+}
+
+#[test]
+fn in_parameter_is_read_only_in_body() {
+    let errs = ifc(
+        r#"control C(inout <bit<8>, low> l) {
+            action a(in <bit<8>, low> v) { v = 8w1; }
+            apply { a(l); }
+        }"#,
+    )
+    .unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::NotAssignable), "{errs:?}");
+}
+
+// ---------------------------------------------------------------------
+// T-Index
+// ---------------------------------------------------------------------
+
+#[test]
+fn high_index_into_low_stack_rejected() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, high> h) {
+            <bit<8>, low>[4] arr;
+            apply { h = arr[h]; }
+        }"#,
+        DiagCode::IndexLeak,
+    );
+}
+
+#[test]
+fn low_index_into_high_stack_accepted() {
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            <bit<8>, high>[4] arr;
+            apply { h = arr[l]; }
+        }"#,
+    );
+}
+
+#[test]
+fn writing_through_high_index_requires_high_elements() {
+    // arr[h] = … writes a high element: fine if pc ⊑ high.
+    assert_accepts(
+        r#"control C(inout <bit<8>, high> h) {
+            <bit<8>, high>[4] arr;
+            apply { arr[h] = h; }
+        }"#,
+    );
+}
+
+// ---------------------------------------------------------------------
+// T-TblDecl / T-TblCall
+// ---------------------------------------------------------------------
+
+#[test]
+fn high_key_with_low_writing_action_rejected() {
+    // The §5.2 cache pattern: secret query key, actions write the public
+    // hit flag.
+    assert_rejects(
+        r#"control C(inout <bit<8>, high> query, inout <bool, low> hit) {
+            action cache_hit() { hit = true; }
+            table fetch {
+                key = { query: exact; }
+                actions = { cache_hit; }
+            }
+            apply { fetch.apply(); }
+        }"#,
+        DiagCode::TableKeyFlow,
+    );
+}
+
+#[test]
+fn low_key_with_low_writing_action_accepted() {
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> addr, inout <bool, low> hit) {
+            action cache_hit() { hit = true; }
+            table fetch {
+                key = { addr: exact; }
+                actions = { cache_hit; }
+            }
+            apply { fetch.apply(); }
+        }"#,
+    );
+}
+
+#[test]
+fn high_key_with_high_writing_action_accepted() {
+    assert_accepts(
+        r#"control C(inout <bit<8>, high> query, inout <bit<8>, high> out) {
+            action set(<bit<8>, high> v) { out = v; }
+            table fetch {
+                key = { query: exact; }
+                actions = { set; }
+            }
+            apply { fetch.apply(); }
+        }"#,
+    );
+}
+
+#[test]
+fn table_apply_under_high_guard_rejected_when_pc_tbl_low() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action set_low() { l = 8w1; }
+            table t {
+                key = { l: exact; }
+                actions = { set_low; }
+            }
+            apply { if (h == 8w0) { t.apply(); } }
+        }"#,
+        DiagCode::TableApplyPcViolation,
+    );
+}
+
+#[test]
+fn bound_table_arguments_are_checked() {
+    // Listing 3 style: binding a high expression to a high in-param — ok.
+    assert_accepts(
+        r#"control C(inout <bit<32>, high> failures, inout <bit<8>, low> k,
+                     inout <bit<32>, high> out) {
+            action forwarding(in <bit<32>, high> f) { out = f; }
+            table forward {
+                key = { k: exact; }
+                actions = { forwarding(failures); }
+            }
+            apply { forward.apply(); }
+        }"#,
+    );
+    // Binding a high expression to a *low* in-param is an explicit flow.
+    assert_rejects(
+        r#"control C(inout <bit<32>, high> failures, inout <bit<8>, low> k,
+                     inout <bit<32>, low> out) {
+            action forwarding(in <bit<32>, low> f) { out = f; }
+            table forward {
+                key = { k: exact; }
+                actions = { forwarding(failures); }
+            }
+            apply { forward.apply(); }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn table_with_unknown_action_rejected() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> k) {
+            table t {
+                key = { k: exact; }
+                actions = { ghost; }
+            }
+            apply { t.apply(); }
+        }"#,
+        DiagCode::UnknownAction,
+    );
+}
+
+#[test]
+fn table_with_unknown_match_kind_rejected() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> k) {
+            action a() { }
+            table t {
+                key = { k: fuzzy; }
+                actions = { a; }
+            }
+            apply { t.apply(); }
+        }"#,
+        DiagCode::UnknownMatchKind,
+    );
+}
+
+#[test]
+fn functions_cannot_appear_in_tables() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> k) {
+            function void f() { return; }
+            table t {
+                key = { k: exact; }
+                actions = { f; }
+            }
+            apply { t.apply(); }
+        }"#,
+        DiagCode::UnknownAction,
+    );
+}
+
+#[test]
+fn default_action_must_be_listed() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, low> k) {
+            action a() { }
+            action b() { }
+            table t {
+                key = { k: exact; }
+                actions = { a; }
+                default_action = b;
+            }
+            apply { t.apply(); }
+        }"#,
+        DiagCode::UnknownAction,
+    );
+}
+
+#[test]
+fn control_plane_params_are_not_bound_at_declaration() {
+    // `cache_hit(<bit<32>, low> value)` — directionless parameter is
+    // control-plane supplied, so the table lists the action bare.
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> q, inout <bit<32>, low> value_out) {
+            action cache_hit(<bit<32>, low> value) { value_out = value; }
+            table fetch {
+                key = { q: exact; }
+                actions = { cache_hit; }
+            }
+            apply { fetch.apply(); }
+        }"#,
+    );
+}
+
+// ---------------------------------------------------------------------
+// The diamond lattice and @pc (§5.4, Figure 8)
+// ---------------------------------------------------------------------
+
+const DIAMOND_HEADERS: &str = r#"
+    lattice { bot < A; bot < B; A < top; B < top; }
+    header data_t {
+        <bit<32>, A> alice_data;
+        <bit<32>, B> bob_data;
+        <bit<32>, top> telem;
+        <bit<32>, bot> eth_dst;
+    }
+"#;
+
+#[test]
+fn alice_writing_own_field_accepted_at_pc_a() {
+    assert_accepts(&format!(
+        r#"{DIAMOND_HEADERS}
+        @pc(A) control Alice(inout data_t hdr) {{
+            action set_by_alice(<bit<32>, A> value) {{ hdr.alice_data = value; }}
+            table update {{
+                key = {{ hdr.alice_data: exact; }}
+                actions = {{ set_by_alice; }}
+            }}
+            apply {{ update.apply(); }}
+        }}"#
+    ));
+}
+
+#[test]
+fn alice_writing_bobs_field_rejected() {
+    // Listing 6 line 12: Alice must not write Bob's field.
+    assert_rejects(
+        &format!(
+            r#"{DIAMOND_HEADERS}
+        @pc(A) control Alice(inout data_t hdr) {{
+            action set_by_alice(<bit<32>, A> value) {{ hdr.bob_data = value; }}
+            apply {{ }}
+        }}"#
+        ),
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn alice_reading_telemetry_key_rejected() {
+    // Listing 6 line 16: telemetry (⊤) used as a table key for an action
+    // writing at A.
+    assert_rejects(
+        &format!(
+            r#"{DIAMOND_HEADERS}
+        @pc(A) control Alice(inout data_t hdr) {{
+            action set_by_alice(<bit<32>, A> value) {{ hdr.alice_data = value; }}
+            table update {{
+                key = {{ hdr.telem: exact; }}
+                actions = {{ set_by_alice; }}
+            }}
+            apply {{ update.apply(); }}
+        }}"#
+        ),
+        DiagCode::TableKeyFlow,
+    );
+}
+
+#[test]
+fn bob_incrementing_telemetry_accepted_at_pc_b() {
+    // Listing 6's Bob_Ingress: telemetry += 1 keyed on the ⊥ eth field.
+    assert_accepts(&format!(
+        r#"{DIAMOND_HEADERS}
+        @pc(B) control Bob(inout data_t hdr) {{
+            action set_by_bob() {{ hdr.telem = hdr.telem + 32w1; }}
+            table update {{
+                key = {{ hdr.eth_dst: exact; }}
+                actions = {{ set_by_bob; NoAction; }}
+            }}
+            apply {{ update.apply(); }}
+        }}"#
+    ));
+}
+
+#[test]
+fn alice_writing_bottom_field_rejected_at_pc_a() {
+    // pc = A forbids writes to ⊥-labeled routing data (§5.4: "Alice can
+    // only write to fields labeled A or ⊤").
+    assert_rejects(
+        &format!(
+            r#"{DIAMOND_HEADERS}
+        @pc(A) control Alice(inout data_t hdr) {{
+            apply {{ hdr.eth_dst = 32w1; }}
+        }}"#
+        ),
+        DiagCode::ImplicitFlow,
+    );
+}
+
+#[test]
+fn ambient_pc_option_behaves_like_annotation() {
+    let src = r#"
+        lattice { bot < A; bot < B; A < top; B < top; }
+        control Alice(inout <bit<32>, B> bob) {
+            apply { bob = 32w1; }
+        }
+    "#;
+    // At pc = A, writing a B field is an implicit-flow violation.
+    let errs = ifc_at(src, "A").unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::ImplicitFlow), "{errs:?}");
+    // At the default ⊥ it is fine.
+    assert!(ifc(src).is_ok());
+}
+
+#[test]
+fn lattice_override_option() {
+    let src = r#"
+        control C(inout <bit<8>, A> a, inout <bit<8>, B> b) {
+            apply { a = b; }
+        }
+    "#;
+    // A and B are incomparable in the diamond: explicit flow.
+    let errs = check_source(
+        src,
+        &CheckOptions::ifc().with_lattice(Lattice::diamond()),
+    )
+    .unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::ExplicitFlow), "{errs:?}");
+}
+
+// ---------------------------------------------------------------------
+// Variable declarations
+// ---------------------------------------------------------------------
+
+#[test]
+fn var_init_flow_checked() {
+    assert_rejects(
+        r#"control C(inout <bit<8>, high> h) {
+            apply { <bit<8>, low> l = h; }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+    assert_accepts(
+        r#"control C(inout <bit<8>, low> l) {
+            apply { <bit<8>, high> h = l; }
+        }"#,
+    );
+}
+
+#[test]
+fn typedefs_unfold_with_labels() {
+    assert_rejects(
+        r#"typedef bit<32> ip_t;
+        control C(inout <ip_t, low> l, inout <ip_t, high> h) {
+            apply { l = h; }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+#[test]
+fn compound_annotation_pushes_to_fields() {
+    // Annotating a whole header with A labels its fields (Listing 6's
+    // `<alice_t, A> alice_data`).
+    assert_rejects(
+        r#"lattice { bot < A; bot < B; A < top; B < top; }
+        header payload_t { bit<32> v; }
+        struct wrap { <payload_t, A> alice; <payload_t, B> bob; }
+        control C(inout wrap w) {
+            apply { w.bob.v = w.alice.v; }
+        }"#,
+        DiagCode::ExplicitFlow,
+    );
+}
+
+// ---------------------------------------------------------------------
+// Plain type errors (base judgements, both modes)
+// ---------------------------------------------------------------------
+
+#[test]
+fn unknown_variable() {
+    assert_rejects(
+        "control C(inout bit<8> x) { apply { x = ghost; } }",
+        DiagCode::UnknownVar,
+    );
+}
+
+#[test]
+fn unknown_field() {
+    assert_rejects(
+        r#"header h_t { bit<8> a; }
+        control C(inout h_t h) { apply { h.b = 8w1; } }"#,
+        DiagCode::UnknownField,
+    );
+}
+
+#[test]
+fn width_mismatch() {
+    assert_rejects(
+        "control C(inout bit<8> x, inout bit<16> y) { apply { x = y; } }",
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn int_literals_coerce_to_bits() {
+    assert_accepts("control C(inout bit<8> x) { apply { x = 255; x = x + 1; } }");
+}
+
+#[test]
+fn arity_mismatch() {
+    assert_rejects(
+        r#"control C(inout bit<8> x) {
+            action a(in bit<8> v) { }
+            apply { a(x, x); }
+        }"#,
+        DiagCode::ArityMismatch,
+    );
+}
+
+#[test]
+fn calling_a_variable_rejected() {
+    assert_rejects(
+        "control C(inout bit<8> x) { apply { x(); } }",
+        DiagCode::NotCallable,
+    );
+}
+
+#[test]
+fn table_apply_in_expression_rejected() {
+    assert_rejects(
+        r#"control C(inout bit<8> x) {
+            action a() { }
+            table t { key = { x: exact; } actions = { a; } }
+            apply { x = t(); }
+        }"#,
+        DiagCode::NotCallable,
+    );
+}
+
+#[test]
+fn missing_return_detected() {
+    assert_rejects(
+        r#"function bit<8> f(in bit<8> x) {
+            if (x == 8w0) { return 8w1; }
+        }
+        control C(inout bit<8> y) { apply { y = f(y); } }"#,
+        DiagCode::MissingReturn,
+    );
+}
+
+#[test]
+fn return_on_all_paths_accepted() {
+    assert_accepts(
+        r#"function bit<8> f(in bit<8> x) {
+            if (x == 8w0) { return 8w1; } else { return 8w2; }
+        }
+        control C(inout bit<8> y) { apply { y = f(y); } }"#,
+    );
+}
+
+#[test]
+fn duplicate_declaration_rejected() {
+    assert_rejects(
+        r#"control C(inout bit<8> x) {
+            bit<8> v = 8w0;
+            bit<8> v = 8w1;
+            apply { }
+        }"#,
+        DiagCode::DuplicateDef,
+    );
+}
+
+#[test]
+fn shadowing_in_nested_scope_allowed() {
+    assert_accepts(
+        r#"control C(inout bit<8> x) {
+            bit<8> v = 8w0;
+            apply { { bit<8> v = 8w1; x = v; } x = v; }
+        }"#,
+    );
+}
+
+#[test]
+fn if_guard_must_be_bool() {
+    assert_rejects(
+        "control C(inout bit<8> x) { apply { if (x) { x = 8w1; } } }",
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn header_fields_must_be_base_types() {
+    assert_rejects(
+        r#"header inner_t { bit<8> v; }
+        header outer_t { inner_t nested; }
+        control C(inout outer_t o) { apply { } }"#,
+        DiagCode::TypeMismatch,
+    );
+}
+
+#[test]
+fn structs_may_nest_headers() {
+    assert_accepts(
+        r#"header inner_t { bit<8> v; }
+        struct outer_t { inner_t nested; }
+        control C(inout outer_t o) { apply { o.nested.v = 8w1; } }"#,
+    );
+}
+
+#[test]
+fn unknown_label_reported() {
+    assert_rejects(
+        "control C(inout <bit<8>, secret> x) { apply { } }",
+        DiagCode::UnknownLabel,
+    );
+}
+
+#[test]
+fn base_mode_ignores_unknown_labels() {
+    base("control C(inout <bit<8>, secret> x) { apply { } }")
+        .expect("annotations are stripped in base mode");
+}
+
+#[test]
+fn prelude_helpers_available() {
+    assert_accepts(
+        r#"control C(inout standard_metadata_t meta, inout bit<32> x) {
+            apply {
+                x = num_bits_set(x);
+                mark_to_drop(meta);
+                NoAction();
+            }
+        }"#,
+    );
+}
+
+#[test]
+fn diagnostics_carry_spans() {
+    let src = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }";
+    let errs = ifc(src).unwrap_err();
+    let d = &errs[0];
+    let snippet = &src[d.span.start as usize..d.span.end as usize];
+    assert!(snippet.contains("l = h"), "span points at the leak: {snippet:?}");
+}
+
+#[test]
+fn multiple_errors_reported_together() {
+    let errs = ifc(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            apply {
+                l = h;
+                if (h == 8w0) { l = 8w1; }
+            }
+        }"#,
+    )
+    .unwrap_err();
+    assert!(errs.len() >= 2, "both leaks reported: {errs:?}");
+}

@@ -1,0 +1,168 @@
+//! White-box tests of the `pc_fn` / `pc_tbl` inference (T-FuncDecl and
+//! T-TblDecl): the inferred bounds exposed through
+//! [`p4bid_typeck::TypedControl`] must be exactly the principal (largest
+//! admissible) choices described in DESIGN.md §4.
+
+use p4bid_lattice::Lattice;
+use p4bid_typeck::{check_source, CheckOptions, TypedProgram};
+
+fn typed(src: &str) -> TypedProgram {
+    check_source(src, &CheckOptions::ifc()).expect("typechecks")
+}
+
+fn typed_with(src: &str, lattice: Lattice) -> TypedProgram {
+    check_source(src, &CheckOptions::ifc().with_lattice(lattice)).expect("typechecks")
+}
+
+#[test]
+fn pc_fn_is_the_written_level() {
+    let t = typed(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action writes_low() { l = 8w1; }
+            action writes_high() { h = 8w1; }
+            action writes_both() { l = 8w1; h = 8w2; }
+            action writes_nothing() { }
+            apply { writes_low(); writes_high(); writes_both(); writes_nothing(); }
+        }"#,
+    );
+    let c = t.control("C").unwrap();
+    let lat = &t.lattice;
+    assert_eq!(c.function("writes_low").unwrap().pc_fn, lat.bottom());
+    assert_eq!(c.function("writes_high").unwrap().pc_fn, lat.top());
+    assert_eq!(c.function("writes_both").unwrap().pc_fn, lat.bottom(), "meet of bounds");
+    assert_eq!(c.function("writes_nothing").unwrap().pc_fn, lat.top(), "no constraints");
+}
+
+#[test]
+fn return_and_exit_pin_pc_fn_to_bottom() {
+    let t = typed(
+        r#"control C(inout <bit<8>, high> h) {
+            function <bit<8>, high> f(in <bit<8>, high> x) { return x; }
+            action quits() { exit; }
+            apply { h = f(h); }
+        }"#,
+    );
+    let c = t.control("C").unwrap();
+    assert_eq!(c.function("f").unwrap().pc_fn, t.lattice.bottom());
+    assert_eq!(c.function("quits").unwrap().pc_fn, t.lattice.bottom());
+}
+
+#[test]
+fn pc_fn_propagates_through_calls() {
+    let t = typed(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action inner_low() { l = 8w1; }
+            action inner_high() { h = 8w1; }
+            action calls_low() { inner_low(); }
+            action calls_high() { inner_high(); }
+            apply { calls_low(); calls_high(); }
+        }"#,
+    );
+    let c = t.control("C").unwrap();
+    assert_eq!(c.function("calls_low").unwrap().pc_fn, t.lattice.bottom());
+    assert_eq!(c.function("calls_high").unwrap().pc_fn, t.lattice.top());
+}
+
+#[test]
+fn pc_fn_in_the_diamond_is_the_meet() {
+    let lat = Lattice::diamond();
+    let t = typed_with(
+        r#"control C(inout <bit<8>, A> a, inout <bit<8>, B> b, inout <bit<8>, top> t) {
+            action writes_a() { a = 8w1; }
+            action writes_a_and_b() { a = 8w1; b = 8w1; }
+            action writes_top() { t = 8w1; }
+            apply { writes_a(); writes_a_and_b(); writes_top(); }
+        }"#,
+        lat.clone(),
+    );
+    let c = t.control("C").unwrap();
+    assert_eq!(c.function("writes_a").unwrap().pc_fn, lat.label("A").unwrap());
+    assert_eq!(
+        c.function("writes_a_and_b").unwrap().pc_fn,
+        lat.bottom(),
+        "A ⊓ B = ⊥ in the diamond"
+    );
+    assert_eq!(c.function("writes_top").unwrap().pc_fn, lat.top());
+}
+
+#[test]
+fn pc_tbl_is_the_meet_of_action_bounds() {
+    let t = typed(
+        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+            action wl() { l = 8w1; }
+            action wh() { h = 8w1; }
+            table only_high { key = { l: exact; } actions = { wh; } }
+            table mixed { key = { l: exact; } actions = { wl; wh; } }
+            apply { only_high.apply(); mixed.apply(); }
+        }"#,
+    );
+    let c = t.control("C").unwrap();
+    assert_eq!(c.table_pc("only_high").unwrap(), t.lattice.top());
+    assert_eq!(c.table_pc("mixed").unwrap(), t.lattice.bottom());
+    assert!(c.table_pc("nope").is_none());
+}
+
+#[test]
+fn empty_action_table_has_top_pc_tbl() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            action nop() { }
+            table t { key = { x: exact; } actions = { nop; } }
+            apply { t.apply(); }
+        }"#,
+    );
+    let c = t.control("C").unwrap();
+    assert_eq!(c.table_pc("t").unwrap(), t.lattice.top());
+}
+
+#[test]
+fn globals_are_visible_in_every_control_signature_list() {
+    let t = typed(
+        r#"function void noop(inout bit<8> x) { x = x; }
+        control A(inout bit<8> x) { apply { noop(x); } }
+        control B(inout bit<8> x) {
+            action local_b() { x = 8w1; }
+            apply { local_b(); }
+        }"#,
+    );
+    let a = t.control("A").unwrap();
+    let b = t.control("B").unwrap();
+    assert!(a.function("noop").is_some());
+    assert!(b.function("noop").is_some());
+    // Control-local declarations do not leak across controls.
+    assert!(a.function("local_b").is_none());
+    assert!(b.function("local_b").is_some());
+}
+
+#[test]
+fn prelude_signatures_are_inferred() {
+    let t = typed("control C(inout bit<8> x) { apply { } }");
+    let c = t.control("C").unwrap();
+    // num_bits_set returns ⇒ pc_fn = ⊥; it is a function, not an action.
+    let nbs = c.function("num_bits_set").unwrap();
+    assert!(!nbs.is_action);
+    assert_eq!(nbs.pc_fn, t.lattice.bottom());
+    // NoAction writes nothing ⇒ pc_fn = ⊤; it is an action.
+    let na = c.function("NoAction").unwrap();
+    assert!(na.is_action);
+    assert_eq!(na.pc_fn, t.lattice.top());
+    // mark_to_drop writes ⊥-labeled metadata ⇒ pc_fn = ⊥.
+    assert_eq!(c.function("mark_to_drop").unwrap().pc_fn, t.lattice.bottom());
+}
+
+#[test]
+fn control_plane_params_are_flagged() {
+    let t = typed(
+        r#"control C(inout bit<8> x) {
+            action a(in bit<8> data, bit<8> cp) { x = data + cp; }
+            apply { }
+        }"#,
+    );
+    let c = t.control("C").unwrap();
+    let a = c.function("a").unwrap();
+    let params: Vec<(&str, bool)> =
+        a.params.iter().map(|p| (p.name.as_str(), p.control_plane)).collect();
+    assert_eq!(params, [("data", false), ("cp", true)]);
+    assert_eq!(a.data_params().count(), 1);
+    assert_eq!(a.control_params().count(), 1);
+}

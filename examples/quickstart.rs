@@ -1,0 +1,85 @@
+//! Quickstart: catch the paper's opening bug (Listings 1–2).
+//!
+//! A switch at the edge of a private network rewrites virtual addresses to
+//! physical ones. Everything specific to the local topology is labeled
+//! `high`; the externally visible `ipv4`/`eth` headers are `low`. Listing 1
+//! accidentally stores the *local* TTL into the public header — P4BID
+//! rejects it, and accepts the Listing 2 fix.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use p4bid::interp::{run_control, Value};
+use p4bid::{check, render_diagnostics, CheckOptions};
+
+fn main() {
+    let insecure = p4bid::corpus::TOPOLOGY.insecure;
+    let secure = p4bid::corpus::TOPOLOGY.secure;
+
+    println!("== Checking the buggy program (Listing 1) ==");
+    match check(insecure, &CheckOptions::ifc()) {
+        Ok(_) => unreachable!("the buggy program must be rejected"),
+        Err(diags) => {
+            print!("{}", render_diagnostics(insecure, &diags));
+        }
+    }
+
+    println!("\n== Checking the fixed program (Listing 2) ==");
+    let typed = check(secure, &CheckOptions::ifc()).expect("the fix typechecks");
+    println!(
+        "accepted: {} control block(s) under lattice {}",
+        typed.controls.len(),
+        typed.lattice
+    );
+
+    println!("\n== Forwarding one packet through the fixed pipeline ==");
+    let cp = p4bid::corpus::demo_control_plane("Topology");
+    let b = Value::bit;
+    let ipv4 = Value::Header {
+        valid: true,
+        fields: vec![
+            ("ttl".into(), b(8, 64)),
+            ("protocol".into(), b(8, 6)),
+            ("srcAddr".into(), b(32, 0xC0A8_0001)),
+            ("dstAddr".into(), b(32, 0x0A00_0001)),
+        ],
+    };
+    let eth = Value::Header {
+        valid: true,
+        fields: vec![("srcAddr".into(), b(48, 0x1111)), ("dstAddr".into(), b(48, 0))],
+    };
+    let local = Value::Header {
+        valid: true,
+        fields: vec![
+            ("phys_dstAddr".into(), b(32, 0)),
+            ("phys_ttl".into(), b(8, 0)),
+            ("next_hop_MAC_addr".into(), b(48, 0)),
+        ],
+    };
+    let hdr = Value::Record(vec![
+        ("ipv4".into(), ipv4),
+        ("eth".into(), eth),
+        ("local_hdr".into(), local),
+    ]);
+    let meta = Value::Record(vec![
+        ("ingress_port".into(), b(9, 1)),
+        ("egress_spec".into(), b(9, 0)),
+        ("egress_port".into(), b(9, 0)),
+        ("instance_type".into(), b(32, 0)),
+        ("packet_length".into(), b(32, 128)),
+        ("priority".into(), b(3, 0)),
+    ]);
+
+    let out = run_control(&typed, &cp, "Obfuscate_Ingress", vec![hdr, meta])
+        .expect("the packet runs");
+    let hdr_out = out.param("hdr").expect("hdr parameter");
+    let meta_out = out.param("std_metadata").expect("std_metadata parameter");
+    println!(
+        "  local_hdr.phys_dstAddr = {}",
+        hdr_out.field("local_hdr").unwrap().field("phys_dstAddr").unwrap()
+    );
+    println!(
+        "  ipv4.ttl               = {} (public ttl only decremented, not overwritten)",
+        hdr_out.field("ipv4").unwrap().field("ttl").unwrap()
+    );
+    println!("  egress_spec            = {}", meta_out.field("egress_spec").unwrap());
+}

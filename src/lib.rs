@@ -1,0 +1,10 @@
+//! Workspace facade for the P4BID reproduction.
+//!
+//! This package exists to host the cross-crate integration tests
+//! (`tests/`) and the runnable examples (`examples/`); the library API
+//! lives in the [`p4bid`] crate and its sub-crates. See the repository
+//! README for the tour.
+
+#![forbid(unsafe_code)]
+
+pub use p4bid;

@@ -1,0 +1,136 @@
+//! Property-based tests (proptest) on cross-crate invariants.
+
+use p4bid::ast::pretty;
+use p4bid::lattice::{laws, Lattice};
+use p4bid::ni::{random_program, GenConfig};
+use p4bid::syntax::parse;
+use p4bid::{check, CheckOptions};
+use proptest::prelude::*;
+
+proptest! {
+    /// Chains of any length are lattices and satisfy every algebraic law.
+    #[test]
+    fn chain_lattices_satisfy_laws(k in 1usize..24) {
+        let lat = Lattice::chain(k);
+        prop_assert!(laws::check_laws(&lat).is_empty());
+        prop_assert_eq!(lat.len(), k);
+    }
+
+    /// Powerset lattices over up to 5 atoms satisfy the laws.
+    #[test]
+    fn powerset_lattices_satisfy_laws(n in 0usize..6) {
+        let atoms: Vec<String> = (0..n).map(|i| format!("a{i}")).collect();
+        let refs: Vec<&str> = atoms.iter().map(String::as_str).collect();
+        let lat = Lattice::powerset(&refs);
+        prop_assert!(laws::check_laws(&lat).is_empty());
+        prop_assert_eq!(lat.len(), 1 << n);
+    }
+
+    /// `from_order` over a random "layered" poset either fails cleanly or
+    /// yields a structure satisfying all lattice laws.
+    #[test]
+    fn from_order_output_is_always_a_lattice(
+        widths in proptest::collection::vec(1usize..4, 1..4),
+        seed in 0u64..1000,
+    ) {
+        // Layered construction: bottom, then layers of `widths[i]` nodes,
+        // then top, with pseudo-random edges between adjacent layers.
+        let mut names = vec!["bot".to_string()];
+        let mut layers: Vec<Vec<String>> = vec![vec!["bot".into()]];
+        for (i, w) in widths.iter().enumerate() {
+            let layer: Vec<String> = (0..*w).map(|j| format!("n{i}_{j}")).collect();
+            names.extend(layer.iter().cloned());
+            layers.push(layer);
+        }
+        names.push("top".to_string());
+        layers.push(vec!["top".into()]);
+
+        let mut order = Vec::new();
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        for w in layers.windows(2) {
+            for lo in &w[0] {
+                for hi in &w[1] {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                    if state % 3 != 0 || w[1].len() == 1 || w[0].len() == 1 {
+                        order.push((lo.clone(), hi.clone()));
+                    }
+                }
+            }
+        }
+        if let Ok(lat) = Lattice::from_order(&names, &order) {
+            prop_assert!(laws::check_laws(&lat).is_empty());
+        }
+    }
+
+    /// Pretty-printing is a right inverse of parsing on generated
+    /// programs: `pretty ∘ parse` is idempotent.
+    #[test]
+    fn pretty_parse_roundtrip(seed in 0u64..300) {
+        let gp = random_program(seed, &GenConfig::default());
+        let p1 = parse(&gp.source).expect("generated programs parse");
+        let printed = pretty::program(&p1);
+        let p2 = parse(&printed).expect("pretty output parses");
+        prop_assert_eq!(printed, pretty::program(&p2));
+    }
+
+    /// The checkers are deterministic: same source, same verdict and same
+    /// diagnostic sequence.
+    #[test]
+    fn checking_is_deterministic(seed in 0u64..150) {
+        let gp = random_program(seed, &GenConfig::default());
+        let a = check(&gp.source, &CheckOptions::ifc());
+        let b = check(&gp.source, &CheckOptions::ifc());
+        match (a, b) {
+            (Ok(_), Ok(_)) => {}
+            (Err(da), Err(db)) => {
+                let ca: Vec<_> = da.iter().map(|d| (d.code, d.span)).collect();
+                let cb: Vec<_> = db.iter().map(|d| (d.code, d.span)).collect();
+                prop_assert_eq!(ca, cb);
+            }
+            (a, b) => prop_assert!(false, "nondeterministic verdict: {:?} vs {:?}",
+                                   a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// IFC acceptance implies baseline and permissive acceptance: the flow
+    /// rules only ever *remove* programs.
+    #[test]
+    fn ifc_is_a_refinement_of_base(seed in 0u64..200) {
+        let gp = random_program(seed, &GenConfig::default());
+        if check(&gp.source, &CheckOptions::ifc()).is_ok() {
+            prop_assert!(check(&gp.source, &CheckOptions::base()).is_ok());
+            prop_assert!(check(&gp.source, &CheckOptions::permissive()).is_ok());
+        }
+    }
+
+    /// In IFC rejections of generated programs (well-formed modulo labels),
+    /// every diagnostic is a security diagnostic.
+    #[test]
+    fn generated_rejections_are_security_only(seed in 0u64..200) {
+        let gp = random_program(seed, &GenConfig::default());
+        if let Err(diags) = check(&gp.source, &CheckOptions::ifc()) {
+            prop_assert!(diags.iter().all(|d| d.code.is_security()),
+                         "non-security diagnostics: {:?}", diags);
+        }
+    }
+
+    /// The interpreter is deterministic on generated programs: running the
+    /// same packet twice gives identical outcomes.
+    #[test]
+    fn evaluation_is_deterministic(seed in 0u64..100) {
+        use p4bid::interp::{run_control, Value};
+        let gp = random_program(seed, &GenConfig::default());
+        let Ok(typed) = check(&gp.source, &CheckOptions::permissive()) else {
+            return Ok(());
+        };
+        let args = vec![
+            Value::bit(8, seed as u128 % 256),
+            Value::bit(8, (seed as u128 * 7) % 256),
+            Value::bit(8, (seed as u128 * 13) % 256),
+            Value::bit(8, (seed as u128 * 31) % 256),
+        ];
+        let a = run_control(&typed, &gp.control_plane, "Fuzz", args.clone()).unwrap();
+        let b = run_control(&typed, &gp.control_plane, "Fuzz", args).unwrap();
+        prop_assert_eq!(a, b);
+    }
+}

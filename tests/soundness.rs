@@ -1,0 +1,76 @@
+//! Fuzzing the soundness theorem (Theorem 4.3): every random program the
+//! IFC checker accepts must behave non-interferently under paired
+//! execution. One counterexample here falsifies the reproduction.
+
+use p4bid::ni::{check_non_interference, random_program, GenConfig, NiConfig, NiOutcome};
+use p4bid::{check, CheckOptions};
+
+#[test]
+fn accepted_random_programs_are_non_interfering() {
+    let cfg = GenConfig::default();
+    let ni_cfg = NiConfig::default().with_runs(30).with_seed(0xF00D);
+    let mut accepted = 0;
+    for seed in 0..400 {
+        let gp = random_program(seed, &cfg);
+        let Ok(typed) = check(&gp.source, &CheckOptions::ifc()) else { continue };
+        accepted += 1;
+        let out = check_non_interference(&typed, &gp.control_plane, "Fuzz", &ni_cfg);
+        if let NiOutcome::Leak(w) = &out {
+            panic!("soundness violated at seed {seed}:\n{}\n{w}", gp.source);
+        }
+        assert!(out.holds(), "seed {seed}: {out:?}");
+    }
+    assert!(accepted >= 5, "only {accepted}/400 accepted; generator degenerated");
+}
+
+#[test]
+fn deeper_programs_also_sound() {
+    let cfg = GenConfig {
+        max_depth: 3,
+        stmts_per_block: 6,
+        actions: 3,
+        table: true,
+        entries: 6,
+        safe_bias: 0.9,
+    };
+    let ni_cfg = NiConfig::default().with_runs(25).with_seed(0xBEEF);
+    let mut accepted = 0;
+    for seed in 1000..1250 {
+        let gp = random_program(seed, &cfg);
+        let Ok(typed) = check(&gp.source, &CheckOptions::ifc()) else { continue };
+        accepted += 1;
+        let out = check_non_interference(&typed, &gp.control_plane, "Fuzz", &ni_cfg);
+        assert!(out.holds(), "seed {seed}: {out:?}\n{}", gp.source);
+    }
+    assert!(accepted >= 25, "only {accepted}/250 deep programs accepted");
+}
+
+#[test]
+fn rejected_programs_frequently_leak_for_real() {
+    // Not a soundness property but a sanity check on the whole tool chain:
+    // a decent fraction of rejections corresponds to observable leaks, so
+    // the checker is not rejecting for spurious reasons.
+    let cfg = GenConfig::default().with_safe_bias(0.0);
+    let ni_cfg = NiConfig::default().with_runs(40).with_seed(0xCAFE);
+    let mut rejected = 0;
+    let mut leaky = 0;
+    for seed in 0..150 {
+        let gp = random_program(seed, &cfg);
+        if check(&gp.source, &CheckOptions::ifc()).is_ok() {
+            continue;
+        }
+        rejected += 1;
+        let typed = check(&gp.source, &CheckOptions::permissive())
+            .expect("generated programs are well-formed modulo labels");
+        if let NiOutcome::Leak(_) =
+            check_non_interference(&typed, &gp.control_plane, "Fuzz", &ni_cfg)
+        {
+            leaky += 1;
+        }
+    }
+    assert!(rejected >= 50, "generator should produce many leaky programs");
+    assert!(
+        leaky * 3 >= rejected,
+        "at least a third of rejections should be observably leaky; got {leaky}/{rejected}"
+    );
+}
