@@ -435,10 +435,7 @@ mod tests {
     fn stmt_printing() {
         let st = Stmt::new(
             StmtKind::Assign(
-                Expr::new(
-                    ExprKind::Field(Box::new(Expr::var("hdr", sp())), s("ttl")),
-                    sp(),
-                ),
+                Expr::new(ExprKind::Field(Box::new(Expr::var("hdr", sp())), s("ttl")), sp()),
                 Expr::new(ExprKind::Int { value: 64, width: None }, sp()),
             ),
             sp(),
@@ -453,11 +450,7 @@ mod tests {
             name: s("ipv4_t"),
             fields: vec![(
                 s("ttl"),
-                AnnType {
-                    ty: TypeExpr::Bit(8),
-                    label: Some(s("high")),
-                    span: sp(),
-                },
+                AnnType { ty: TypeExpr::Bit(8), label: Some(s("high")), span: sp() },
             )],
         }));
         let out = program(&p);

@@ -164,10 +164,7 @@ impl BinOp {
     /// Whether the operator produces a `bool` regardless of operand type.
     #[must_use]
     pub fn is_comparison(self) -> bool {
-        matches!(
-            self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
-        )
+        matches!(self, BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge)
     }
 
     /// Whether the operator is the boolean connective `&&`/`||`.
@@ -599,13 +596,14 @@ mod tests {
     fn lvalue_shapes() {
         let x = Expr::var("x", sp());
         assert!(x.is_lvalue_shaped());
-        let xf = Expr::new(
-            ExprKind::Field(Box::new(x.clone()), Spanned::new("f".into(), sp())),
-            sp(),
-        );
+        let xf =
+            Expr::new(ExprKind::Field(Box::new(x.clone()), Spanned::new("f".into(), sp())), sp());
         assert!(xf.is_lvalue_shaped());
         let idx = Expr::new(
-            ExprKind::Index(Box::new(xf), Box::new(Expr::new(ExprKind::Int { value: 0, width: None }, sp()))),
+            ExprKind::Index(
+                Box::new(xf),
+                Box::new(Expr::new(ExprKind::Int { value: 0, width: None }, sp())),
+            ),
             sp(),
         );
         assert!(idx.is_lvalue_shaped());

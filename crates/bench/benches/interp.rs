@@ -69,8 +69,7 @@ fn bench_interp(c: &mut Criterion) {
     group.throughput(Throughput::Elements(1));
     group.bench_function("topology_packet", |bch| {
         bch.iter(|| {
-            run_control(&topo, &topo_cp, "Obfuscate_Ingress", packet.clone())
-                .expect("runs")
+            run_control(&topo, &topo_cp, "Obfuscate_Ingress", packet.clone()).expect("runs")
         });
     });
 
@@ -97,9 +96,7 @@ fn bench_interp(c: &mut Criterion) {
     let d2r_packet =
         vec![Value::Record(vec![("bfs".into(), bfs), ("ipv4".into(), ipv4)]), std_meta()];
     group.bench_function("d2r_bfs_packet", |bch| {
-        bch.iter(|| {
-            run_control(&d2r, &d2r_cp, "D2R_Ingress", d2r_packet.clone()).expect("runs")
-        });
+        bch.iter(|| run_control(&d2r, &d2r_cp, "D2R_Ingress", d2r_packet.clone()).expect("runs"));
     });
     group.finish();
 

@@ -52,14 +52,10 @@ fn bench_lattice_size(c: &mut Criterion) {
     }
     for tenants in [2usize, 8, 32] {
         let lattice = tenant_lattice(tenants);
-        group.bench_with_input(
-            BenchmarkId::new("tenants", tenants),
-            &lattice,
-            |b, lat| {
-                let opts = CheckOptions::ifc().with_lattice(lat.clone());
-                b.iter(|| check(&program, &opts).expect("accepts"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("tenants", tenants), &lattice, |b, lat| {
+            let opts = CheckOptions::ifc().with_lattice(lat.clone());
+            b.iter(|| check(&program, &opts).expect("accepts"));
+        });
     }
     group.finish();
 }

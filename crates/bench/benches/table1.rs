@@ -21,13 +21,9 @@ fn bench_table1(c: &mut Criterion) {
             continue; // Table 1 has exactly the five paper rows.
         }
         let plain = unannotated_source(&cs);
-        group.bench_with_input(
-            BenchmarkId::new("unannotated_base", cs.name),
-            &plain,
-            |b, src| {
-                b.iter(|| check(src, &CheckOptions::base()).expect("baseline accepts"));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("unannotated_base", cs.name), &plain, |b, src| {
+            b.iter(|| check(src, &CheckOptions::base()).expect("baseline accepts"));
+        });
         group.bench_with_input(
             BenchmarkId::new("annotated_p4bid", cs.name),
             &cs.secure,

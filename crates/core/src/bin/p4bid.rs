@@ -25,10 +25,7 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("table1") => {
-            let iters = args
-                .get(1)
-                .and_then(|s| s.parse().ok())
-                .unwrap_or(20u32);
+            let iters = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(20u32);
             print!("{}", render_table1(&measure_table1(iters)));
             ExitCode::SUCCESS
         }
@@ -49,10 +46,7 @@ fn main() -> ExitCode {
 }
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == flag)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
 fn read_source(path: &str) -> Result<String, ExitCode> {
@@ -178,11 +172,8 @@ fn cmd_corpus(args: &[String]) -> ExitCode {
 }
 
 fn cmd_fuzz(args: &[String]) -> ExitCode {
-    let n: u64 = args
-        .iter()
-        .find(|a| !a.starts_with("--"))
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(200);
+    let n: u64 =
+        args.iter().find(|a| !a.starts_with("--")).and_then(|s| s.parse().ok()).unwrap_or(200);
     let mut cfg = GenConfig::default();
     if let Some(bias) = flag_value(args, "--safe-bias").and_then(|s| s.parse().ok()) {
         cfg = cfg.with_safe_bias(bias);
@@ -203,8 +194,6 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
             Err(_) => rejected += 1,
         }
     }
-    println!(
-        "fuzzed {n} programs: {accepted} accepted (all non-interfering), {rejected} rejected"
-    );
+    println!("fuzzed {n} programs: {accepted} accepted (all non-interfering), {rejected} rejected");
     ExitCode::SUCCESS
 }

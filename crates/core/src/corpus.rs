@@ -913,11 +913,9 @@ pub fn demo_control_plane(name: &str) -> ControlPlane {
         "NetChain" => {
             // Writes walk the chain head -> internal -> tail; reads go to
             // the tail only.
-            for (role, action, port) in [
-                (0u128, "head_process", 2u128),
-                (1, "internal_process", 3),
-                (2, "tail_process", 9),
-            ] {
+            for (role, action, port) in
+                [(0u128, "head_process", 2u128), (1, "internal_process", 3), (2, "tail_process", 9)]
+            {
                 cp.add_entry(
                     "chain_role",
                     TableEntry::new(
@@ -964,10 +962,7 @@ pub fn demo_control_plane(name: &str) -> ControlPlane {
                 cp.add_entry(
                     "app_resources",
                     TableEntry::new(
-                        vec![KeyPattern::Lpm {
-                            value: b(32, (10 + ix) << 24),
-                            prefix_len: 8,
-                        }],
+                        vec![KeyPattern::Lpm { value: b(32, (10 + ix) << 24), prefix_len: 8 }],
                         "set_priority",
                         vec![b(3, prio)],
                     ),
@@ -975,10 +970,7 @@ pub fn demo_control_plane(name: &str) -> ControlPlane {
                 cp.add_entry(
                     "forward",
                     TableEntry::new(
-                        vec![KeyPattern::Lpm {
-                            value: b(32, (10 + ix) << 24),
-                            prefix_len: 8,
-                        }],
+                        vec![KeyPattern::Lpm { value: b(32, (10 + ix) << 24), prefix_len: 8 }],
                         "ipv4_forward",
                         vec![b(9, ix + 1)],
                     ),

@@ -52,8 +52,8 @@ pub mod strip;
 pub mod synth;
 
 pub use p4bid_typeck::{
-    check_source as check, CheckOptions, DiagCode, Diagnostic, Mode, TypedControl,
-    TypedProgram, PRELUDE,
+    check_source as check, CheckOptions, DiagCode, Diagnostic, Mode, TypedControl, TypedProgram,
+    PRELUDE,
 };
 
 /// The security-lattice substrate.
@@ -77,17 +77,17 @@ pub mod syntax {
 /// The Core P4 interpreter and control plane.
 pub mod interp {
     pub use p4bid_interp::{
-        run_control, Closure, ControlOutcome, ControlPlane, EvalError, Interp,
-        KeyPattern, Signal, TableConfig, TableEntry, TableValue, Value,
+        run_control, Closure, ControlOutcome, ControlPlane, EvalError, Interp, KeyPattern, Signal,
+        TableConfig, TableEntry, TableValue, Value,
     };
 }
 
 /// The empirical non-interference harness.
 pub mod ni {
     pub use p4bid_ni::{
-        check_non_interference, check_sequence_non_interference, low_equal,
-        observable_differences, random_program, run_pair, Difference, GenConfig,
-        GeneratedProgram, LeakWitness, NiConfig, NiOutcome, SequenceConfig,
+        check_non_interference, check_sequence_non_interference, low_equal, observable_differences,
+        random_program, run_pair, Difference, GenConfig, GeneratedProgram, LeakWitness, NiConfig,
+        NiOutcome, SequenceConfig,
     };
 }
 
@@ -136,7 +136,8 @@ mod tests {
 
     #[test]
     fn render_points_at_the_leak() {
-        let src = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {\n    apply { l = h; }\n}\n";
+        let src =
+            "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {\n    apply { l = h; }\n}\n";
         let errs = check(src, &CheckOptions::ifc()).unwrap_err();
         let report = render_diagnostics(src, &errs);
         assert!(report.contains("l = h"), "{report}");

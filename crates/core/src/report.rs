@@ -176,8 +176,7 @@ pub fn case_study_matrix() -> Vec<MatrixRow> {
                 }
             };
             let insecure_rejected = !codes.is_empty();
-            let codes_match =
-                cs.expected_codes.iter().all(|c| codes.contains(c));
+            let codes_match = cs.expected_codes.iter().all(|c| codes.contains(c));
             MatrixRow {
                 name: cs.name.to_string(),
                 section: cs.section.to_string(),
@@ -200,8 +199,7 @@ pub fn render_matrix(rows: &[MatrixRow]) -> String {
         "Program", "Section", "Secure", "Insecure", "Diagnostics"
     ));
     for r in rows {
-        let codes =
-            r.codes.iter().map(|c| c.ident().to_string()).collect::<Vec<_>>().join(", ");
+        let codes = r.codes.iter().map(|c| c.ident().to_string()).collect::<Vec<_>>().join(", ");
         out.push_str(&format!(
             "{:<10} {:<28} {:>8} {:>9}  {}\n",
             r.name,

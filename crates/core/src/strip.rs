@@ -58,21 +58,12 @@ fn strip_type_decl(t: &TypeDecl) -> TypeDecl {
 fn strip_params(params: &[Param]) -> Vec<Param> {
     params
         .iter()
-        .map(|p| Param {
-            direction: p.direction,
-            name: p.name.clone(),
-            ty: strip_ann_type(&p.ty),
-        })
+        .map(|p| Param { direction: p.direction, name: p.name.clone(), ty: strip_ann_type(&p.ty) })
         .collect()
 }
 
 fn strip_var(v: &VarDecl) -> VarDecl {
-    VarDecl {
-        ty: strip_ann_type(&v.ty),
-        name: v.name.clone(),
-        init: v.init.clone(),
-        span: v.span,
-    }
+    VarDecl { ty: strip_ann_type(&v.ty), name: v.name.clone(), init: v.init.clone(), span: v.span }
 }
 
 fn strip_stmt(s: &Stmt) -> Stmt {

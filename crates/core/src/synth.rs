@@ -13,7 +13,8 @@ use std::fmt::Write as _;
 #[must_use]
 pub fn synth_program(n: usize, annotated: bool) -> String {
     let mut src = String::new();
-    let (lo, hi) = if annotated { ("<bit<32>, low> ", "<bit<32>, high> ") } else { ("bit<32> ", "bit<32> ") };
+    let (lo, hi) =
+        if annotated { ("<bit<32>, low> ", "<bit<32>, high> ") } else { ("bit<32> ", "bit<32> ") };
 
     src.push_str("header state_t {\n");
     let _ = writeln!(src, "    {lo}pub0;");
@@ -22,9 +23,7 @@ pub fn synth_program(n: usize, annotated: bool) -> String {
     let _ = writeln!(src, "    {hi}sec1;");
     src.push_str("}\nstruct headers { state_t st; }\n");
 
-    src.push_str(
-        "control Synth(inout headers hdr, inout standard_metadata_t meta) {\n",
-    );
+    src.push_str("control Synth(inout headers hdr, inout standard_metadata_t meta) {\n");
     for i in 0..n {
         // Even actions shuffle public state; odd actions fold public data
         // into secret state (always legal: low ⊑ high).
@@ -51,10 +50,7 @@ pub fn synth_program(n: usize, annotated: bool) -> String {
         if i % 3 == 0 {
             let _ = writeln!(src, "        tbl{i}.apply();");
         } else {
-            let _ = writeln!(
-                src,
-                "        if (hdr.st.pub1 == 32w{i}) {{ tbl{i}.apply(); }}"
-            );
+            let _ = writeln!(src, "        if (hdr.st.pub1 == 32w{i}) {{ tbl{i}.apply(); }}");
         }
     }
     src.push_str("    }\n}\n");

@@ -5,10 +5,7 @@ use std::io::Write as _;
 use std::process::{Command, Output};
 
 fn p4bid(args: &[&str]) -> Output {
-    Command::new(env!("CARGO_BIN_EXE_p4bid"))
-        .args(args)
-        .output()
-        .expect("binary runs")
+    Command::new(env!("CARGO_BIN_EXE_p4bid")).args(args).output().expect("binary runs")
 }
 
 fn write_temp(name: &str, contents: &str) -> std::path::PathBuf {
@@ -81,8 +78,7 @@ fn matrix_reports_all_six_studies() {
     for name in ["D2R", "App", "Lattice", "Topology", "Cache", "NetChain"] {
         assert!(stdout.contains(name), "{stdout}");
     }
-    let rejected_rows =
-        stdout.lines().filter(|l| l.contains("  rejected  ")).count();
+    let rejected_rows = stdout.lines().filter(|l| l.contains("  rejected  ")).count();
     assert_eq!(rejected_rows, 6, "{stdout}");
     assert!(!stdout.contains("MISSED"));
     assert!(!stdout.contains("FAIL"));
@@ -95,8 +91,10 @@ fn corpus_listing_and_variants() {
     assert!(String::from_utf8_lossy(&list.stdout).contains("Cache"));
 
     let secure = p4bid(&["corpus", "cache"]);
-    assert!(String::from_utf8_lossy(&secure.stdout).contains("high> hit")
-        || String::from_utf8_lossy(&secure.stdout).contains("high> query"));
+    assert!(
+        String::from_utf8_lossy(&secure.stdout).contains("high> hit")
+            || String::from_utf8_lossy(&secure.stdout).contains("high> query")
+    );
 
     let plain = p4bid(&["corpus", "cache", "--unannotated"]);
     assert!(!String::from_utf8_lossy(&plain.stdout).contains("high"));
@@ -134,4 +132,66 @@ fn fuzz_subcommand_reports_counts() {
     assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("fuzzed 30 programs"), "{stdout}");
+}
+
+// ---------------------------------------------------------------------
+// End-to-end corpus coverage: the paper's Topology case study (Listings
+// 1 and 2) through the real binary — exit codes and diagnostic output.
+// ---------------------------------------------------------------------
+
+#[test]
+fn check_accepts_topology_listing2_fix() {
+    let path = write_temp("topology-secure", p4bid::corpus::TOPOLOGY.secure);
+    let out = p4bid(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok:"), "{stdout}");
+    assert!(stdout.contains("low < high"), "reports the active lattice: {stdout}");
+    assert!(out.stderr.is_empty(), "no diagnostics on success");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_rejects_topology_listing1_bug_with_located_diagnostics() {
+    let path = write_temp("topology-insecure", p4bid::corpus::TOPOLOGY.insecure);
+    let out = p4bid(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    assert!(out.stdout.is_empty(), "diagnostics go to stderr");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("E-EXPLICIT-FLOW"), "the Listing 1 leak class: {stderr}");
+    // Rendered diagnostics carry a line:col location, the offending
+    // source line, a caret, and a final error count.
+    let has_location = stderr.lines().any(|l| {
+        let mut parts = l.splitn(3, ':');
+        matches!((parts.next(), parts.next()), (Some(line), Some(col))
+            if !line.is_empty() && line.chars().all(|c| c.is_ascii_digit())
+                && !col.is_empty() && col.chars().all(|c| c.is_ascii_digit()))
+    });
+    assert!(has_location, "diagnostics carry a line:col location: {stderr}");
+    assert!(stderr.contains('^'), "caret rendering: {stderr}");
+    assert!(stderr.contains("error(s)"), "summary count: {stderr}");
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn check_permissive_mode_accepts_the_topology_bug() {
+    // Permissive resolves labels but does not enforce flows, so the
+    // interpreter (and `p4bid ni`) can run the buggy program.
+    let path = write_temp("topology-permissive", p4bid::corpus::TOPOLOGY.insecure);
+    let out = p4bid(&["check", path.to_str().unwrap(), "--permissive"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(path);
+}
+
+#[test]
+fn corpus_output_round_trips_through_check() {
+    // `p4bid corpus NAME` output is itself a checkable program: feed the
+    // printed secure variant back through `p4bid check`.
+    let listing = p4bid(&["corpus", "topology"]);
+    assert!(listing.status.success());
+    let source = String::from_utf8(listing.stdout).expect("utf-8 corpus source");
+    let path = write_temp("corpus-roundtrip", &source);
+    let out = p4bid(&["check", path.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_file(path);
 }

@@ -41,8 +41,7 @@ impl KeyPattern {
     pub fn matches(&self, key: &Value) -> bool {
         match self {
             KeyPattern::Exact(v) => {
-                key.clone().coerce_to_shape(v) == *v
-                    || v.clone().coerce_to_shape(key) == *key
+                key.clone().coerce_to_shape(v) == *v || v.clone().coerce_to_shape(key) == *key
             }
             KeyPattern::Lpm { value, prefix_len } => {
                 let (Some(k), Some(v)) = (key.as_u128(), value.as_u128()) else {
@@ -60,8 +59,7 @@ impl KeyPattern {
                 (k >> shift) == (v >> shift)
             }
             KeyPattern::Ternary { value, mask } => {
-                let (Some(k), Some(v), Some(m)) =
-                    (key.as_u128(), value.as_u128(), mask.as_u128())
+                let (Some(k), Some(v), Some(m)) = (key.as_u128(), value.as_u128(), mask.as_u128())
                 else {
                     return false;
                 };
@@ -290,10 +288,7 @@ mod tests {
     #[test]
     fn miss_falls_back_to_default() {
         let mut cp = ControlPlane::new();
-        cp.add_entry(
-            "t",
-            TableEntry::new(vec![KeyPattern::Exact(b32(1))], "hit", vec![b32(99)]),
-        );
+        cp.add_entry("t", TableEntry::new(vec![KeyPattern::Exact(b32(1))], "hit", vec![b32(99)]));
         cp.set_default_action("t", "miss", vec![]);
         assert_eq!(cp.lookup("t", &[b32(1)]).unwrap().0, "hit");
         assert_eq!(cp.lookup("t", &[b32(2)]).unwrap().0, "miss");
@@ -304,10 +299,7 @@ mod tests {
     #[test]
     fn arity_mismatched_entries_are_skipped() {
         let mut cp = ControlPlane::new();
-        cp.add_entry(
-            "t",
-            TableEntry::new(vec![KeyPattern::Any, KeyPattern::Any], "two", vec![]),
-        );
+        cp.add_entry("t", TableEntry::new(vec![KeyPattern::Any, KeyPattern::Any], "two", vec![]));
         assert_eq!(cp.lookup("t", &[b32(0)]), None);
     }
 }

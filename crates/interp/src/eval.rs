@@ -82,10 +82,7 @@ impl fmt::Display for EvalError {
                 write!(f, "control-plane entry for `{table}` names unknown action `{action}`")
             }
             EvalError::EntryArgMismatch { table, action, detail } => {
-                write!(
-                    f,
-                    "control-plane arguments for `{action}` in table `{table}`: {detail}"
-                )
+                write!(f, "control-plane arguments for `{action}` in table `{table}`: {detail}")
             }
             EvalError::FuelExhausted => write!(f, "evaluation fuel exhausted"),
             EvalError::Internal(m) => write!(f, "internal interpreter error: {m}"),
@@ -275,10 +272,7 @@ impl<'a> Interp<'a> {
             .control(control)
             .ok_or_else(|| EvalError::UnknownControl(control.to_string()))?;
         if args.len() != typed_ctrl.params.len() {
-            return Err(EvalError::ArgCount {
-                expected: typed_ctrl.params.len(),
-                got: args.len(),
-            });
+            return Err(EvalError::ArgCount { expected: typed_ctrl.params.len(), got: args.len() });
         }
 
         // Global scope: prelude and top-level functions/actions.
@@ -401,16 +395,8 @@ impl<'a> Interp<'a> {
         let tv = TableValue {
             name: t.name.node.clone(),
             env: env.clone(),
-            keys: t
-                .keys
-                .iter()
-                .map(|k| (k.expr.clone(), k.match_kind.node.clone()))
-                .collect(),
-            actions: t
-                .actions
-                .iter()
-                .map(|a| (a.name.node.clone(), a.args.clone()))
-                .collect(),
+            keys: t.keys.iter().map(|k| (k.expr.clone(), k.match_kind.node.clone())).collect(),
+            actions: t.actions.iter().map(|a| (a.name.node.clone(), a.args.clone())).collect(),
             default_action: t.default_action.as_ref().map(|d| d.node.clone()),
         };
         let loc = self.store.alloc(Value::Table(Rc::new(tv)));
@@ -537,8 +523,7 @@ impl<'a> Interp<'a> {
             }
             ExprKind::Unary(op, inner) => {
                 let v = self.eval_expr(env, inner)?;
-                eval_unop(*op, v)
-                    .map_err(|e| Interrupt::Fail(EvalError::Internal(e.to_string())))
+                eval_unop(*op, v).map_err(|e| Interrupt::Fail(EvalError::Internal(e.to_string())))
             }
             ExprKind::Record(fields) => {
                 let mut out = Vec::with_capacity(fields.len());
@@ -577,8 +562,7 @@ impl<'a> Interp<'a> {
                 // The index expression is evaluated eagerly (it may have
                 // side effects through calls).
                 let i = self.eval_expr(env, index)?;
-                let ix = usize::try_from(i.as_u128().unwrap_or(u128::MAX))
-                    .unwrap_or(usize::MAX);
+                let ix = usize::try_from(i.as_u128().unwrap_or(u128::MAX)).unwrap_or(usize::MAX);
                 lv.path.push(PathSeg::Index(ix));
                 Ok(lv)
             }
@@ -733,9 +717,7 @@ impl<'a> Interp<'a> {
         };
 
         // The invoked action must be one the table declared.
-        let Some((_, bound_args)) =
-            tv.actions.iter().find(|(n, _)| n == &action_name)
-        else {
+        let Some((_, bound_args)) = tv.actions.iter().find(|(n, _)| n == &action_name) else {
             return Err(Interrupt::Fail(EvalError::UnknownEntryAction {
                 table: tv.name.clone(),
                 action: action_name,
@@ -759,8 +741,7 @@ impl<'a> Interp<'a> {
         // Control-plane arguments fill the directionless parameter suffix;
         // validate and coerce them (the paper assumes the controller
         // installs well-typed arguments — we enforce it).
-        let ctrl_params: Vec<&FnParam> =
-            clos.params.iter().filter(|p| p.control_plane).collect();
+        let ctrl_params: Vec<&FnParam> = clos.params.iter().filter(|p| p.control_plane).collect();
         let cp_args = if from_controller || !cp_args.is_empty() {
             if cp_args.len() != ctrl_params.len() {
                 return Err(Interrupt::Fail(EvalError::EntryArgMismatch {
@@ -780,10 +761,7 @@ impl<'a> Interp<'a> {
                     return Err(Interrupt::Fail(EvalError::EntryArgMismatch {
                         table: tv.name.clone(),
                         action: action_name,
-                        detail: format!(
-                            "argument `{v}` does not fit parameter `{}`",
-                            param.name
-                        ),
+                        detail: format!("argument `{v}` does not fit parameter `{}`", param.name),
                     }));
                 }
                 coerced.push(v);
@@ -850,16 +828,11 @@ mod tests {
 
     #[test]
     fn zeroed_preserves_shape() {
-        let v = Value::Record(vec![
-            ("a".into(), Value::bit(8, 99)),
-            ("b".into(), Value::Bool(true)),
-        ]);
+        let v =
+            Value::Record(vec![("a".into(), Value::bit(8, 99)), ("b".into(), Value::Bool(true))]);
         assert_eq!(
             zeroed(&v),
-            Value::Record(vec![
-                ("a".into(), Value::bit(8, 0)),
-                ("b".into(), Value::Bool(false)),
-            ])
+            Value::Record(vec![("a".into(), Value::bit(8, 0)), ("b".into(), Value::Bool(false)),])
         );
     }
 

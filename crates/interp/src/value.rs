@@ -107,16 +107,14 @@ impl Value {
             Ty::Int => Value::Int(0),
             Ty::Bit(w) => Value::bit(*w, 0),
             Ty::Unit => Value::Unit,
-            Ty::Record(fields) => Value::Record(
-                fields.iter().map(|(n, t)| (n.clone(), Value::init(t))).collect(),
-            ),
+            Ty::Record(fields) => {
+                Value::Record(fields.iter().map(|(n, t)| (n.clone(), Value::init(t))).collect())
+            }
             Ty::Header(fields) => Value::Header {
                 valid: true,
                 fields: fields.iter().map(|(n, t)| (n.clone(), Value::init(t))).collect(),
             },
-            Ty::Stack(elem, n) => {
-                Value::Stack((0..*n).map(|_| Value::init(elem)).collect())
-            }
+            Ty::Stack(elem, n) => Value::Stack((0..*n).map(|_| Value::init(elem)).collect()),
             Ty::MatchKind => Value::MatchKind(String::new()),
             // Closure types have no default; these cases are unreachable on
             // typechecked programs (locations of closure type are always
@@ -342,9 +340,7 @@ pub fn eval_binop(op: BinOp, lhs: Value, rhs: Value) -> Result<Value, OpError> {
 pub fn eval_unop(op: UnOp, operand: Value) -> Result<Value, OpError> {
     match (op, &operand) {
         (UnOp::Not, Value::Bool(b)) => Ok(Value::Bool(!b)),
-        (UnOp::Neg, Value::Bit { width, value }) => {
-            Ok(Value::bit(*width, value.wrapping_neg()))
-        }
+        (UnOp::Neg, Value::Bit { width, value }) => Ok(Value::bit(*width, value.wrapping_neg())),
         (UnOp::Neg, Value::Int(i)) => Ok(Value::Int(i.wrapping_neg())),
         (UnOp::BitNot, Value::Bit { width, value }) => Ok(Value::bit(*width, !value)),
         (op, v) => Err(OpError(format!("cannot evaluate `{op}{v}`"))),
@@ -383,14 +379,8 @@ mod tests {
         let lat = Lattice::two_point();
         assert_eq!(Value::init(&SecTy::bottom(Ty::Bool, &lat)), Value::Bool(false));
         assert_eq!(Value::init(&SecTy::bottom(Ty::Bit(9), &lat)), Value::bit(9, 0));
-        let st = SecTy::bottom(
-            Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &lat)), 3),
-            &lat,
-        );
-        assert_eq!(
-            Value::init(&st),
-            Value::Stack(vec![Value::bit(8, 0); 3])
-        );
+        let st = SecTy::bottom(Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &lat)), 3), &lat);
+        assert_eq!(Value::init(&st), Value::Stack(vec![Value::bit(8, 0); 3]));
     }
 
     #[test]
@@ -418,21 +408,21 @@ mod tests {
     #[test]
     fn int_coerces_to_bit_operand() {
         let x = Value::bit(8, 7);
-        assert_eq!(
-            eval_binop(BinOp::Add, x.clone(), Value::Int(1)).unwrap(),
-            Value::bit(8, 8)
-        );
-        assert_eq!(
-            eval_binop(BinOp::Eq, Value::Int(7), x).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(eval_binop(BinOp::Add, x.clone(), Value::Int(1)).unwrap(), Value::bit(8, 8));
+        assert_eq!(eval_binop(BinOp::Eq, Value::Int(7), x).unwrap(), Value::Bool(true));
     }
 
     #[test]
     fn shifts() {
         let x = Value::bit(8, 0b1010_1010);
-        assert_eq!(eval_binop(BinOp::Shr, x.clone(), Value::Int(1)).unwrap(), Value::bit(8, 0b0101_0101));
-        assert_eq!(eval_binop(BinOp::Shl, x.clone(), Value::Int(1)).unwrap(), Value::bit(8, 0b0101_0100));
+        assert_eq!(
+            eval_binop(BinOp::Shr, x.clone(), Value::Int(1)).unwrap(),
+            Value::bit(8, 0b0101_0101)
+        );
+        assert_eq!(
+            eval_binop(BinOp::Shl, x.clone(), Value::Int(1)).unwrap(),
+            Value::bit(8, 0b0101_0100)
+        );
         // Over-shifting yields zero, deterministically.
         assert_eq!(eval_binop(BinOp::Shr, x, Value::Int(64)).unwrap(), Value::bit(8, 0));
     }
@@ -476,10 +466,7 @@ mod tests {
     fn coercions() {
         let shape = Value::bit(8, 0);
         assert_eq!(Value::Int(300).coerce_to_shape(&shape), Value::bit(8, 44));
-        assert_eq!(
-            Value::bit(8, 9).coerce_to_shape(&Value::Int(0)),
-            Value::Int(9)
-        );
+        assert_eq!(Value::bit(8, 9).coerce_to_shape(&Value::Int(0)), Value::Int(9));
         // No-op on matching shapes.
         assert_eq!(Value::Bool(true).coerce_to_shape(&Value::Bool(false)), Value::Bool(true));
     }

@@ -1,9 +1,7 @@
 //! End-to-end evaluator tests: whole programs parsed, typechecked, and run
 //! against configured control planes.
 
-use p4bid_interp::{
-    run_control, ControlPlane, EvalError, KeyPattern, TableEntry, Value,
-};
+use p4bid_interp::{run_control, ControlPlane, EvalError, KeyPattern, TableEntry, Value};
 use p4bid_typeck::{check_source, CheckOptions, TypedProgram};
 
 fn typed(src: &str) -> TypedProgram {
@@ -187,8 +185,7 @@ fn out_of_bounds_read_is_deterministic_havoc() {
     assert_eq!(out.param("x"), Some(&b(8, 77)));
     // Out of bounds: havoc = zero, and the same on every run.
     for _ in 0..3 {
-        let out =
-            run_control(&t, &ControlPlane::new(), "C", vec![b(8, 1), b(8, 200)]).unwrap();
+        let out = run_control(&t, &ControlPlane::new(), "C", vec![b(8, 1), b(8, 200)]).unwrap();
         assert_eq!(out.param("x"), Some(&b(8, 0)));
     }
 }
@@ -259,18 +256,14 @@ fn lpm_table_forwarding_pipeline() {
     cp.add_entry(
         "ipv4_lpm",
         TableEntry::new(
-            vec![KeyPattern::Lpm {
-                value: b(32, (10 << 24) | (1 << 16)),
-                prefix_len: 16,
-            }],
+            vec![KeyPattern::Lpm { value: b(32, (10 << 24) | (1 << 16)), prefix_len: 16 }],
             "ipv4_forward",
             vec![b(9, 2)],
         ),
     );
 
     // Longest prefix wins.
-    let out =
-        run_control(&t, &cp, "Fwd", packet(((10 << 24) | (1 << 16)) + 5, 64)).unwrap();
+    let out = run_control(&t, &cp, "Fwd", packet(((10 << 24) | (1 << 16)) + 5, 64)).unwrap();
     let spec = out.param("meta").unwrap().field("egress_spec").unwrap();
     assert_eq!(spec, &b(9, 2));
     let ttl = out.param("hdr").unwrap().field("ipv4").unwrap().field("ttl").unwrap();
@@ -301,10 +294,7 @@ fn table_with_bound_dataplane_args() {
         }"#,
     );
     let mut cp = ControlPlane::new();
-    cp.add_entry(
-        "tb",
-        TableEntry::new(vec![KeyPattern::Exact(b(32, 5))], "take", vec![]),
-    );
+    cp.add_entry("tb", TableEntry::new(vec![KeyPattern::Exact(b(32, 5))], "take", vec![]));
     let out = run_control(&t, &cp, "C", vec![b(32, 5), b(32, 0)]).unwrap();
     assert_eq!(out.param("out"), Some(&b(32, 1001)));
     // Miss with no declared default: no-op.
@@ -408,11 +398,7 @@ fn prelude_num_bits_set_is_popcount() {
         (0xDEAD_BEEF, 24),
     ] {
         let out = run_control(&t, &ControlPlane::new(), "C", vec![b(32, input)]).unwrap();
-        assert_eq!(
-            out.param("x"),
-            Some(&b(32, expected)),
-            "popcount({input:#x})"
-        );
+        assert_eq!(out.param("x"), Some(&b(32, expected)), "popcount({input:#x})");
     }
 }
 

@@ -1,9 +1,7 @@
 //! Runtime edge cases: fuel, ternary matching, records at runtime,
 //! typedef-ed storage, and signal plumbing.
 
-use p4bid_interp::{
-    run_control, ControlPlane, EvalError, Interp, KeyPattern, TableEntry, Value,
-};
+use p4bid_interp::{run_control, ControlPlane, EvalError, Interp, KeyPattern, TableEntry, Value};
 use p4bid_typeck::{check_source, CheckOptions, TypedProgram};
 
 fn typed(src: &str) -> TypedProgram {
@@ -53,19 +51,13 @@ fn ternary_matching_in_a_pipeline() {
     cp.add_entry(
         "acl",
         TableEntry::new(
-            vec![KeyPattern::Ternary {
-                value: b(32, (10 << 24) | 1),
-                mask: b(32, 0xFF00_0001),
-            }],
+            vec![KeyPattern::Ternary { value: b(32, (10 << 24) | 1), mask: b(32, 0xFF00_0001) }],
             "allow",
             vec![],
         )
         .with_priority(10),
     );
-    cp.add_entry(
-        "acl",
-        TableEntry::new(vec![KeyPattern::Any], "deny", vec![]).with_priority(1),
-    );
+    cp.add_entry("acl", TableEntry::new(vec![KeyPattern::Any], "deny", vec![]).with_priority(1));
     let out = run_control(&t, &cp, "Acl", vec![b(32, (10 << 24) | 0x0012_3401), b(8, 9)]);
     assert_eq!(out.unwrap().param("verdict"), Some(&b(8, 1)));
     let out = run_control(&t, &cp, "Acl", vec![b(32, (10 << 24) | 0x0012_3400), b(8, 9)]);
@@ -189,10 +181,8 @@ fn stacks_of_headers() {
             }
         }"#,
     );
-    let seg = |v: u128| Value::Header {
-        valid: true,
-        fields: vec![("label_field".into(), b(8, v))],
-    };
+    let seg =
+        |v: u128| Value::Header { valid: true, fields: vec![("label_field".into(), b(8, v))] };
     let h = Value::Record(vec![("segs".into(), Value::Stack(vec![seg(0), seg(0), seg(0)]))]);
     let out = run_control(&t, &ControlPlane::new(), "C", vec![h, b(8, 0)]).unwrap();
     assert_eq!(out.param("x"), Some(&b(8, 6)));

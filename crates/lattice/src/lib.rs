@@ -210,10 +210,7 @@ impl Lattice {
         for i in 0..n {
             for j in (i + 1)..n {
                 if leq[i * n + j] && leq[j * n + i] {
-                    return Err(LatticeError::NotAntisymmetric(
-                        names[i].clone(),
-                        names[j].clone(),
-                    ));
+                    return Err(LatticeError::NotAntisymmetric(names[i].clone(), names[j].clone()));
                 }
             }
         }
@@ -225,27 +222,17 @@ impl Lattice {
             for b in 0..n {
                 let ubs: Vec<usize> =
                     (0..n).filter(|&u| leq[a * n + u] && leq[b * n + u]).collect();
-                let least = ubs
-                    .iter()
-                    .copied()
-                    .find(|&u| ubs.iter().all(|&v| leq[u * n + v]));
+                let least = ubs.iter().copied().find(|&u| ubs.iter().all(|&v| leq[u * n + v]));
                 match least {
                     Some(u) => join[a * n + b] = Label(u as u32),
-                    None => {
-                        return Err(LatticeError::NoJoin(names[a].clone(), names[b].clone()))
-                    }
+                    None => return Err(LatticeError::NoJoin(names[a].clone(), names[b].clone())),
                 }
                 let lbs: Vec<usize> =
                     (0..n).filter(|&l| leq[l * n + a] && leq[l * n + b]).collect();
-                let greatest = lbs
-                    .iter()
-                    .copied()
-                    .find(|&l| lbs.iter().all(|&m| leq[m * n + l]));
+                let greatest = lbs.iter().copied().find(|&l| lbs.iter().all(|&m| leq[m * n + l]));
                 match greatest {
                     Some(l) => meet[a * n + b] = Label(l as u32),
-                    None => {
-                        return Err(LatticeError::NoMeet(names[a].clone(), names[b].clone()))
-                    }
+                    None => return Err(LatticeError::NoMeet(names[a].clone(), names[b].clone())),
                 }
             }
         }
@@ -296,9 +283,8 @@ impl Lattice {
     pub fn chain(k: usize) -> Self {
         assert!(k >= 1, "a chain needs at least one level");
         let names: Vec<String> = (0..k).map(|i| format!("l{i}")).collect();
-        let order: Vec<(String, String)> = (1..k)
-            .map(|i| (format!("l{}", i - 1), format!("l{i}")))
-            .collect();
+        let order: Vec<(String, String)> =
+            (1..k).map(|i| (format!("l{}", i - 1), format!("l{i}"))).collect();
         Self::from_order(&names, &order).expect("chains are well-formed lattices")
     }
 
@@ -383,8 +369,7 @@ impl Lattice {
                 }
             }
         }
-        Lattice::from_order(&names, &order)
-            .expect("the product of two lattices is a lattice")
+        Lattice::from_order(&names, &order).expect("the product of two lattices is a lattice")
     }
 
     /// Number of elements.
@@ -487,9 +472,8 @@ impl fmt::Display for Lattice {
             for b in self.labels() {
                 if a != b && self.leq(a, b) {
                     // Only print covering edges to keep the output readable.
-                    let covered = self
-                        .labels()
-                        .any(|c| c != a && c != b && self.leq(a, c) && self.leq(c, b));
+                    let covered =
+                        self.labels().any(|c| c != a && c != b && self.leq(a, c) && self.leq(c, b));
                     if !covered {
                         if !first {
                             write!(f, "; ")?;
@@ -573,8 +557,8 @@ mod tests {
     #[test]
     fn transitive_closure_is_taken() {
         // Only covering edges given; closure must infer bot ⊑ top.
-        let lat = Lattice::from_order(&["bot", "mid", "top"], &[("bot", "mid"), ("mid", "top")])
-            .unwrap();
+        let lat =
+            Lattice::from_order(&["bot", "mid", "top"], &[("bot", "mid"), ("mid", "top")]).unwrap();
         assert!(lat.leq(lat.label("bot").unwrap(), lat.label("top").unwrap()));
     }
 
@@ -600,8 +584,8 @@ mod tests {
     fn rejects_non_lattices() {
         // Two incomparable maximal elements: {a, b} with no top. a ⊔ b
         // does not exist.
-        let err = Lattice::from_order(&["bot", "a", "b"], &[("bot", "a"), ("bot", "b")])
-            .unwrap_err();
+        let err =
+            Lattice::from_order(&["bot", "a", "b"], &[("bot", "a"), ("bot", "b")]).unwrap_err();
         assert!(matches!(err, LatticeError::NoJoin(_, _)));
     }
 
@@ -626,8 +610,7 @@ mod tests {
     fn product_is_a_lattice_with_pointwise_order() {
         let conf = Lattice::two_point();
         let integ =
-            Lattice::from_order(&["trusted", "untrusted"], &[("trusted", "untrusted")])
-                .unwrap();
+            Lattice::from_order(&["trusted", "untrusted"], &[("trusted", "untrusted")]).unwrap();
         let both = conf.product(&integ);
         crate::laws::assert_laws(&both);
         assert_eq!(both.len(), 4);

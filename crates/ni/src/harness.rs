@@ -156,23 +156,16 @@ pub fn run_pair(
     args_a: Vec<Value>,
     args_b: Vec<Value>,
 ) -> Result<PairResult, EvalError> {
-    let ctrl = typed
-        .control(control)
-        .ok_or_else(|| EvalError::UnknownControl(control.to_string()))?;
+    let ctrl =
+        typed.control(control).ok_or_else(|| EvalError::UnknownControl(control.to_string()))?;
     let out_a = run_control(typed, cp, control, args_a)?;
     let out_b = run_control(typed, cp, control, args_b)?;
     let mut diffs = Vec::new();
     for (param, ((name, va), (_, vb))) in
         ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
     {
-        for mut d in
-            observable_differences(&typed.lattice, observe, &param.ty, va, vb)
-        {
-            d.path = if d.path.is_empty() {
-                name.clone()
-            } else {
-                format!("{name}.{}", d.path)
-            };
+        for mut d in observable_differences(&typed.lattice, observe, &param.ty, va, vb) {
+            d.path = if d.path.is_empty() { name.clone() } else { format!("{name}.{}", d.path) };
             diffs.push(d);
         }
     }
@@ -232,11 +225,8 @@ pub fn check_non_interference(
             ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
         {
             for mut d in observable_differences(lat, observe, &param.ty, va, vb) {
-                d.path = if d.path.is_empty() {
-                    name.clone()
-                } else {
-                    format!("{name}.{}", d.path)
-                };
+                d.path =
+                    if d.path.is_empty() { name.clone() } else { format!("{name}.{}", d.path) };
                 diffs.push(d);
             }
         }
@@ -335,8 +325,9 @@ mod tests {
         let cfg = NiConfig::default().observing("high");
         assert!(check_non_interference(&t, &ControlPlane::new(), "C", &cfg).holds());
         // Observing at low: the leak appears.
-        assert!(!check_non_interference(&t, &ControlPlane::new(), "C", &NiConfig::default())
-            .holds());
+        assert!(
+            !check_non_interference(&t, &ControlPlane::new(), "C", &NiConfig::default()).holds()
+        );
     }
 
     #[test]
@@ -361,8 +352,7 @@ mod tests {
     #[test]
     fn unknown_control_reported() {
         let t = typed_ifc("control C(inout bit<8> x) { apply { } }");
-        let out =
-            check_non_interference(&t, &ControlPlane::new(), "Nope", &NiConfig::default());
+        let out = check_non_interference(&t, &ControlPlane::new(), "Nope", &NiConfig::default());
         assert!(matches!(out, NiOutcome::Error(EvalError::UnknownControl(_))));
     }
 

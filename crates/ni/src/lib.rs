@@ -42,7 +42,7 @@ pub mod sequence;
 
 pub use genprog::{random_program, GenConfig, GeneratedProgram};
 pub use harness::{check_non_interference, run_pair, LeakWitness, NiConfig, NiOutcome};
-pub use sequence::{check_sequence_non_interference, SequenceConfig};
 pub use lowequiv::{
     low_equal, observable_differences, random_value, scramble_unobservable, Difference,
 };
+pub use sequence::{check_sequence_non_interference, SequenceConfig};

@@ -104,16 +104,14 @@ pub fn random_value<R: Rng>(rng: &mut R, ty: &SecTy) -> Value {
             Value::bit(*w, raw)
         }
         Ty::Unit => Value::Unit,
-        Ty::Record(fields) => Value::Record(
-            fields.iter().map(|(n, t)| (n.clone(), random_value(rng, t))).collect(),
-        ),
+        Ty::Record(fields) => {
+            Value::Record(fields.iter().map(|(n, t)| (n.clone(), random_value(rng, t))).collect())
+        }
         Ty::Header(fields) => Value::Header {
             valid: true,
             fields: fields.iter().map(|(n, t)| (n.clone(), random_value(rng, t))).collect(),
         },
-        Ty::Stack(elem, n) => {
-            Value::Stack((0..*n).map(|_| random_value(rng, elem)).collect())
-        }
+        Ty::Stack(elem, n) => Value::Stack((0..*n).map(|_| random_value(rng, elem)).collect()),
         Ty::MatchKind => Value::MatchKind(String::new()),
         Ty::Table(_) | Ty::Function(_) => Value::Unit,
     }
@@ -162,10 +160,7 @@ pub fn scramble_unobservable<R: Rng>(
                 _ => (0..*n).map(|_| Value::init(elem)).collect(),
             };
             Value::Stack(
-                elems
-                    .iter()
-                    .map(|v| scramble_unobservable(rng, lat, l, elem, v))
-                    .collect(),
+                elems.iter().map(|v| scramble_unobservable(rng, lat, l, elem, v)).collect(),
             )
         }
         Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => value.clone(),
@@ -223,10 +218,7 @@ mod tests {
             &lat,
         );
         let mk = |x: u128, y: u128| {
-            Value::Record(vec![
-                ("fa".into(), Value::bit(8, x)),
-                ("fb".into(), Value::bit(8, y)),
-            ])
+            Value::Record(vec![("fa".into(), Value::bit(8, x)), ("fb".into(), Value::bit(8, y))])
         };
         // An A-observer sees fa but not fb.
         assert!(low_equal(&lat, a, &ty, &mk(1, 5), &mk(1, 9)));
@@ -238,10 +230,7 @@ mod tests {
     #[test]
     fn stack_differences_have_indexed_paths() {
         let lat = Lattice::two_point();
-        let ty = SecTy::bottom(
-            Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &lat)), 3),
-            &lat,
-        );
+        let ty = SecTy::bottom(Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &lat)), 3), &lat);
         let a = Value::Stack(vec![Value::bit(8, 0), Value::bit(8, 1), Value::bit(8, 2)]);
         let b = Value::Stack(vec![Value::bit(8, 0), Value::bit(8, 9), Value::bit(8, 2)]);
         let diffs = observable_differences(&lat, lat.bottom(), &ty, &a, &b);
@@ -289,11 +278,8 @@ mod tests {
 
     #[test]
     fn difference_display() {
-        let d = Difference {
-            path: "hdr.ttl".into(),
-            left: Value::bit(8, 1),
-            right: Value::bit(8, 2),
-        };
+        let d =
+            Difference { path: "hdr.ttl".into(), left: Value::bit(8, 1), right: Value::bit(8, 2) };
         assert_eq!(d.to_string(), "hdr.ttl: 8w1 ≠ 8w2");
     }
 }

@@ -153,11 +153,8 @@ pub fn check_sequence_non_interference(
                 ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
             {
                 for mut d in observable_differences(lat, observe, &param.ty, va, vb) {
-                    d.path = if d.path.is_empty() {
-                        name.clone()
-                    } else {
-                        format!("{name}.{}", d.path)
-                    };
+                    d.path =
+                        if d.path.is_empty() { name.clone() } else { format!("{name}.{}", d.path) };
                     diffs.push(d);
                 }
             }
@@ -180,17 +177,13 @@ pub fn check_sequence_non_interference(
                     .params
                     .iter()
                     .zip(out_a.params)
-                    .map(|(p, (_, v))| {
-                        scramble_unobservable(&mut rng, lat, observe, &p.ty, &v)
-                    })
+                    .map(|(p, (_, v))| scramble_unobservable(&mut rng, lat, observe, &p.ty, &v))
                     .collect();
                 args_b = ctrl
                     .params
                     .iter()
                     .zip(out_b.params)
-                    .map(|(p, (_, v))| {
-                        scramble_unobservable(&mut rng, lat, observe, &p.ty, &v)
-                    })
+                    .map(|(p, (_, v))| scramble_unobservable(&mut rng, lat, observe, &p.ty, &v))
                     .collect();
             } else {
                 args_a = out_a.params.into_iter().map(|(_, v)| v).collect();
@@ -304,11 +297,8 @@ mod tests {
 
     #[test]
     fn unknown_control_is_an_error() {
-        let typed = check_source(
-            "control C(inout bit<8> x) { apply { } }",
-            &CheckOptions::ifc(),
-        )
-        .unwrap();
+        let typed =
+            check_source("control C(inout bit<8> x) { apply { } }", &CheckOptions::ifc()).unwrap();
         let out = check_sequence_non_interference(
             &typed,
             &ControlPlane::new(),

@@ -167,10 +167,7 @@ impl Lexer<'_> {
             self.skip_trivia()?;
             let start = self.pos as u32;
             let Some(&c) = self.src.get(self.pos) else {
-                tokens.push(Token {
-                    kind: TokenKind::Eof,
-                    span: Span::new(start, start),
-                });
+                tokens.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
                 return Ok(tokens);
             };
             let kind = match c {
@@ -213,10 +210,7 @@ impl Lexer<'_> {
                     ));
                 }
             };
-            tokens.push(Token {
-                kind,
-                span: Span::new(start, self.pos as u32),
-            });
+            tokens.push(Token { kind, span: Span::new(start, self.pos as u32) });
         }
     }
 
@@ -295,9 +289,7 @@ impl Lexer<'_> {
         let start = self.pos;
         let first = self.read_uint()?;
         // A width prefix: digits 'w' digits.
-        if self.peek(0) == Some(b'w')
-            && self.peek(1).is_some_and(|c| c.is_ascii_digit())
-        {
+        if self.peek(0) == Some(b'w') && self.peek(1).is_some_and(|c| c.is_ascii_digit()) {
             self.pos += 1; // consume 'w'
             let value = self.read_uint()?;
             let width = u16::try_from(first).ok().filter(|&w| (1..=128).contains(&w));
@@ -315,8 +307,7 @@ impl Lexer<'_> {
 
     fn read_uint(&mut self) -> Result<u128, ParseError> {
         let start = self.pos;
-        let radix = if self.peek(0) == Some(b'0')
-            && matches!(self.peek(1), Some(b'x') | Some(b'X'))
+        let radix = if self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x') | Some(b'X'))
         {
             self.pos += 2;
             16
@@ -392,10 +383,7 @@ mod tests {
     #[test]
     fn width_masks_value() {
         assert_eq!(kinds("4w255")[0], TokenKind::Int { value: 15, width: Some(4) });
-        assert_eq!(
-            kinds("128w1")[0],
-            TokenKind::Int { value: 1, width: Some(128) }
-        );
+        assert_eq!(kinds("128w1")[0], TokenKind::Int { value: 1, width: Some(128) });
     }
 
     #[test]

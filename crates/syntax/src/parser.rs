@@ -395,25 +395,18 @@ impl Parser {
             let size = match self.peek().clone() {
                 TokenKind::Int { value, width: None } => {
                     self.bump();
-                    u32::try_from(value)
-                        .ok()
-                        .filter(|&n| n >= 1)
-                        .ok_or_else(|| {
-                            ParseError::new(
-                                "stack size must be between 1 and 2^32-1".into(),
-                                self.prev_span(),
-                            )
-                        })?
+                    u32::try_from(value).ok().filter(|&n| n >= 1).ok_or_else(|| {
+                        ParseError::new(
+                            "stack size must be between 1 and 2^32-1".into(),
+                            self.prev_span(),
+                        )
+                    })?
                 }
                 _ => return Err(self.unexpected("a stack size literal")),
             };
             let end = self.expect(&TokenKind::RBracket)?;
             let span = start.to(end);
-            ann = AnnType {
-                ty: TypeExpr::Stack(Box::new(ann), size),
-                label: None,
-                span,
-            };
+            ann = AnnType { ty: TypeExpr::Stack(Box::new(ann), size), label: None, span };
         }
         Ok(ann)
     }
@@ -434,15 +427,14 @@ impl Parser {
             let width = match self.peek().clone() {
                 TokenKind::Int { value, width: None } => {
                     self.bump();
-                    u16::try_from(value)
-                        .ok()
-                        .filter(|&w| (1..=128).contains(&w))
-                        .ok_or_else(|| {
+                    u16::try_from(value).ok().filter(|&w| (1..=128).contains(&w)).ok_or_else(
+                        || {
                             ParseError::new(
                                 format!("bit width {value} out of range 1..=128"),
                                 self.prev_span(),
                             )
-                        })?
+                        },
+                    )?
                 }
                 _ => return Err(self.unexpected("a bit width")),
             };
@@ -892,10 +884,7 @@ mod tests {
 
     #[test]
     fn error_on_bare_expression_statement() {
-        let err = parse(
-            "control C(inout bit<8> x) { apply { x; } }",
-        )
-        .unwrap_err();
+        let err = parse("control C(inout bit<8> x) { apply { x; } }").unwrap_err();
         assert!(err.to_string().contains("call or an assignment"), "{err}");
     }
 

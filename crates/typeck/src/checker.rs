@@ -179,11 +179,8 @@ pub fn check_program(
         None => match program.lattice_decl() {
             Some(decl) => {
                 let names = decl.element_names();
-                let order: Vec<(String, String)> = decl
-                    .order
-                    .iter()
-                    .map(|(lo, hi)| (lo.node.clone(), hi.node.clone()))
-                    .collect();
+                let order: Vec<(String, String)> =
+                    decl.order.iter().map(|(lo, hi)| (lo.node.clone(), hi.node.clone())).collect();
                 match Lattice::from_order(&names, &order) {
                     Ok(l) => l,
                     Err(e) => {
@@ -408,11 +405,7 @@ impl Checker<'_> {
             ExprKind::Var(name) => match self.env.lookup(name) {
                 Some(info) => Some((info.ty.clone(), info.writable)),
                 None => {
-                    self.error(
-                        DiagCode::UnknownVar,
-                        format!("unknown variable `{name}`"),
-                        e.span,
-                    );
+                    self.error(DiagCode::UnknownVar, format!("unknown variable `{name}`"), e.span);
                     None
                 }
             },
@@ -641,10 +634,7 @@ impl Checker<'_> {
                 if !arg.is_lvalue_shaped() || !writable {
                     self.error(
                         DiagCode::NotAssignable,
-                        format!(
-                            "`inout` argument for `{}` must be a writable l-value",
-                            param.name
-                        ),
+                        format!("`inout` argument for `{}` must be a writable l-value", param.name),
                         arg.span,
                     );
                     return;
@@ -675,11 +665,7 @@ impl Checker<'_> {
         match &s.kind {
             StmtKind::Call(e) => {
                 let ExprKind::Call(callee, args) = &e.kind else {
-                    self.error(
-                        DiagCode::Malformed,
-                        "expected a call statement",
-                        s.span,
-                    );
+                    self.error(DiagCode::Malformed, "expected a call statement", s.span);
                     return;
                 };
                 self.check_call(callee, args, pc, s.span, true);
@@ -738,11 +724,7 @@ impl Checker<'_> {
     /// `pc ⊑ χ₁`.
     fn assign(&mut self, lhs: &Expr, rhs: &Expr, pc: Label, span: Span) {
         if !lhs.is_lvalue_shaped() {
-            self.error(
-                DiagCode::NotAssignable,
-                "assignment target is not an l-value",
-                lhs.span,
-            );
+            self.error(DiagCode::NotAssignable, "assignment target is not an l-value", lhs.span);
             return;
         }
         let Some((lt, writable)) = self.expr(lhs, pc) else { return };
@@ -794,11 +776,7 @@ impl Checker<'_> {
             }
             (Some(e), _) => {
                 if ret.ty == Ty::Unit {
-                    self.error(
-                        DiagCode::BadReturn,
-                        "this function does not return a value",
-                        span,
-                    );
+                    self.error(DiagCode::BadReturn, "this function does not return a value", span);
                     return;
                 }
                 let Some((vt, _)) = self.expr(e, pc) else { return };
@@ -825,13 +803,7 @@ impl Checker<'_> {
                 }
             }
         }
-        self.require_pc(
-            pc,
-            self.lat.bottom(),
-            DiagCode::ImplicitFlow,
-            "`return` occurs",
-            span,
-        );
+        self.require_pc(pc, self.lat.bottom(), DiagCode::ImplicitFlow, "`return` occurs", span);
     }
 
     /// T-VarDecl / T-VarInit. Declarations carry no `pc` side condition
@@ -941,20 +913,14 @@ impl Checker<'_> {
         if ret_ty.ty != Ty::Unit && !always_returns(body) {
             self.error(
                 DiagCode::MissingReturn,
-                format!(
-                    "function `{}` may finish without returning a `{}`",
-                    name.node, ret_ty.ty
-                ),
+                format!("function `{}` may finish without returning a `{}`", name.node, ret_ty.ty),
                 span,
             );
         }
 
         let fnty = Rc::new(FnTy { params: fn_params, pc_fn, ret: ret_ty, is_action });
         self.sig_functions.push((name.node.clone(), Rc::clone(&fnty)));
-        let info = VarInfo {
-            ty: SecTy::bottom(Ty::Function(fnty), self.lat),
-            writable: false,
-        };
+        let info = VarInfo { ty: SecTy::bottom(Ty::Function(fnty), self.lat), writable: false };
         if !self.env.declare(&name.node, info) {
             self.error(
                 DiagCode::DuplicateDef,
@@ -1085,20 +1051,14 @@ impl Checker<'_> {
             if !t.actions.iter().any(|a| a.name.node == d.node) {
                 self.error(
                     DiagCode::UnknownAction,
-                    format!(
-                        "default action `{}` is not in the table's action list",
-                        d.node
-                    ),
+                    format!("default action `{}` is not in the table's action list", d.node),
                     d.span,
                 );
             }
         }
 
         self.sig_tables.push((t.name.node.clone(), pc_tbl));
-        let info = VarInfo {
-            ty: SecTy::bottom(Ty::Table(pc_tbl), self.lat),
-            writable: false,
-        };
+        let info = VarInfo { ty: SecTy::bottom(Ty::Table(pc_tbl), self.lat), writable: false };
         if !self.env.declare(&t.name.node, info) {
             self.error(
                 DiagCode::DuplicateDef,

@@ -77,10 +77,7 @@ impl TypeDefs {
             Some(name) => lat.label(&name.node).ok_or_else(|| {
                 Diagnostic::new(
                     DiagCode::UnknownLabel,
-                    format!(
-                        "unknown security label `{}`; the active lattice is {lat}",
-                        name.node
-                    ),
+                    format!("unknown security label `{}`; the active lattice is {lat}", name.node),
                     name.span,
                 )
             })?,
@@ -102,16 +99,9 @@ impl TypeDefs {
             TypeExpr::Int => SecTy::bottom(Ty::Int, lat),
             TypeExpr::Bit(n) => SecTy::bottom(Ty::Bit(*n), lat),
             TypeExpr::Void => SecTy::bottom(Ty::Unit, lat),
-            TypeExpr::Named(name) => self
-                .lookup(name)
-                .cloned()
-                .ok_or_else(|| {
-                    Diagnostic::new(
-                        DiagCode::UnknownType,
-                        format!("unknown type `{name}`"),
-                        span,
-                    )
-                })?,
+            TypeExpr::Named(name) => self.lookup(name).cloned().ok_or_else(|| {
+                Diagnostic::new(DiagCode::UnknownType, format!("unknown type `{name}`"), span)
+            })?,
             TypeExpr::Stack(elem, n) => {
                 let elem = self.resolve(elem, lat)?;
                 SecTy::bottom(Ty::Stack(Rc::new(elem), *n), lat)
@@ -130,31 +120,22 @@ pub fn push_label(ty: &SecTy, label: Label, lat: &Lattice) -> SecTy {
         return ty.clone();
     }
     match &ty.ty {
-        Ty::Bool | Ty::Int | Ty::Bit(_) => {
-            SecTy::new(ty.ty.clone(), lat.join(ty.label, label))
-        }
+        Ty::Bool | Ty::Int | Ty::Bit(_) => SecTy::new(ty.ty.clone(), lat.join(ty.label, label)),
         Ty::Record(fields) => SecTy::new(
             Ty::Record(Rc::new(
-                fields
-                    .iter()
-                    .map(|(n, t)| (n.clone(), push_label(t, label, lat)))
-                    .collect(),
+                fields.iter().map(|(n, t)| (n.clone(), push_label(t, label, lat))).collect(),
             )),
             ty.label,
         ),
         Ty::Header(fields) => SecTy::new(
             Ty::Header(Rc::new(
-                fields
-                    .iter()
-                    .map(|(n, t)| (n.clone(), push_label(t, label, lat)))
-                    .collect(),
+                fields.iter().map(|(n, t)| (n.clone(), push_label(t, label, lat))).collect(),
             )),
             ty.label,
         ),
-        Ty::Stack(elem, n) => SecTy::new(
-            Ty::Stack(Rc::new(push_label(elem, label, lat)), *n),
-            ty.label,
-        ),
+        Ty::Stack(elem, n) => {
+            SecTy::new(Ty::Stack(Rc::new(push_label(elem, label, lat)), *n), ty.label)
+        }
         // Unit, match kinds, tables, functions are unaffected by pushing.
         Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => ty.clone(),
     }
@@ -261,9 +242,7 @@ mod tests {
     fn resolve_unknown_type() {
         let lat = Lattice::two_point();
         let defs = TypeDefs::new();
-        let err = defs
-            .resolve(&ann(TypeExpr::Named("ipv4_t".into()), None), &lat)
-            .unwrap_err();
+        let err = defs.resolve(&ann(TypeExpr::Named("ipv4_t".into()), None), &lat).unwrap_err();
         assert_eq!(err.code, DiagCode::UnknownType);
     }
 
@@ -280,9 +259,7 @@ mod tests {
             &lat,
         );
         defs.define("alice_t", hdr);
-        let t = defs
-            .resolve(&ann(TypeExpr::Named("alice_t".into()), Some("A")), &lat)
-            .unwrap();
+        let t = defs.resolve(&ann(TypeExpr::Named("alice_t".into()), Some("A")), &lat).unwrap();
         // Outer label stays ⊥, fields get joined with A.
         assert_eq!(t.label, lat.bottom());
         let Ty::Header(fields) = &t.ty else { panic!() };
@@ -295,11 +272,8 @@ mod tests {
         let lat = Lattice::two_point();
         let defs = TypeDefs::new();
         let elem = ann(TypeExpr::Bit(8), Some("high"));
-        let stack = AnnType {
-            ty: TypeExpr::Stack(Box::new(elem), 4),
-            label: None,
-            span: Span::dummy(),
-        };
+        let stack =
+            AnnType { ty: TypeExpr::Stack(Box::new(elem), 4), label: None, span: Span::dummy() };
         let t = defs.resolve(&stack, &lat).unwrap();
         let Ty::Stack(e, 4) = &t.ty else { panic!("{t:?}") };
         assert_eq!(e.label, lat.top());

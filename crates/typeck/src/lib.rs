@@ -41,9 +41,7 @@ pub mod diag;
 pub mod env;
 pub mod oracle;
 
-pub use checker::{
-    check_program, CheckOptions, Mode, TypedControl, TypedParam, TypedProgram,
-};
+pub use checker::{check_program, CheckOptions, Mode, TypedControl, TypedParam, TypedProgram};
 pub use diag::{DiagCode, Diagnostic};
 pub use env::{ScopedEnv, TypeDefs, VarInfo};
 
@@ -95,10 +93,7 @@ fn prelude_items() -> Program {
 ///
 /// Returns parser errors (as a single [`Diagnostic`] with code
 /// [`DiagCode::Malformed`]) or the full list of type/flow errors.
-pub fn check_source(
-    source: &str,
-    opts: &CheckOptions,
-) -> Result<TypedProgram, Vec<Diagnostic>> {
+pub fn check_source(source: &str, opts: &CheckOptions) -> Result<TypedProgram, Vec<Diagnostic>> {
     let user = p4bid_syntax::parse(source).map_err(|e| {
         vec![Diagnostic::new(DiagCode::Malformed, e.message().to_string(), e.span())]
     })?;
@@ -121,8 +116,8 @@ mod tests {
 
     #[test]
     fn empty_program_with_prelude_checks() {
-        let t = check_source("control C(inout bit<8> x) { apply { } }", &CheckOptions::ifc())
-            .unwrap();
+        let t =
+            check_source("control C(inout bit<8> x) { apply { } }", &CheckOptions::ifc()).unwrap();
         assert_eq!(t.controls.len(), 1);
         assert_eq!(t.controls[0].name, "C");
     }

@@ -1,0 +1,8 @@
+// Upward flows are always fine: low data may be stored in high
+// locations (T-Assign with χ₂ ⊑ χ₁).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    apply {
+        h = l;
+        h = h + l;
+    }
+}

@@ -1,0 +1,19 @@
+// Listing 6's Bob_Ingress on the Figure 8b diamond: Bob increments the
+// shared ⊤ telemetry counter, keyed on ⊥ routing data.
+lattice { bot < A; bot < B; A < top; B < top; }
+header data_t {
+    <bit<32>, A> alice_data;
+    <bit<32>, B> bob_data;
+    <bit<32>, top> telem;
+    <bit<32>, bot> eth_dst;
+}
+@pc(B) control Bob(inout data_t hdr) {
+    action set_by_bob() { hdr.telem = hdr.telem + 32w1; }
+    table update {
+        key = { hdr.eth_dst: exact; }
+        actions = { set_by_bob; NoAction; }
+    }
+    apply {
+        update.apply();
+    }
+}

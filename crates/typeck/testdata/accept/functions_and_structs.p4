@@ -1,0 +1,18 @@
+// Base-typing features together: typedefs, structs nesting headers,
+// functions with returns on every path, and int-literal coercion.
+typedef bit<32> ip_t;
+header inner_t { bit<8> v; }
+struct outer_t { inner_t nested; }
+function bit<8> clampv(in bit<8> x) {
+    if (x == 8w255) {
+        return 8w254;
+    } else {
+        return x;
+    }
+}
+control C(inout outer_t o, inout <ip_t, high> secret_ip) {
+    apply {
+        o.nested.v = clampv(o.nested.v + 1);
+        secret_ip = secret_ip + 1;
+    }
+}

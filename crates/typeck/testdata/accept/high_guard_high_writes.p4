@@ -1,0 +1,11 @@
+// Branching on a secret is fine as long as both arms only write secret
+// locations (T-Cond raises the pc to high inside the arms).
+control C(inout <bit<8>, high> h) {
+    apply {
+        if (h == 8w0) {
+            h = 8w1;
+        } else {
+            h = 8w2;
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// `in` arguments are covariant: a low value may be passed where a high
+// parameter is expected (T-SubType-In).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    action stash(in <bit<8>, high> v) { h = v; }
+    apply {
+        stash(l);
+        stash(h);
+    }
+}

@@ -1,0 +1,9 @@
+// Indexing a high-element stack with a public index is fine: the read
+// joins element and index labels, high ⊔ low = high (T-Index).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    <bit<8>, high>[4] arr;
+    apply {
+        h = arr[l];
+        arr[l] = h;
+    }
+}

@@ -1,0 +1,10 @@
+// pc: A
+// At ambient pc = A (set by the harness directive above), writes to
+// fields at A and above are allowed.
+lattice { bot < A; bot < B; A < top; B < top; }
+control Alice(inout <bit<32>, A> own, inout <bit<32>, top> telem) {
+    apply {
+        own = own + 32w1;
+        telem = telem + 32w1;
+    }
+}

@@ -1,0 +1,9 @@
+// The implicit prelude: standard_metadata_t, num_bits_set, mark_to_drop
+// and NoAction are available without declaration.
+control C(inout standard_metadata_t meta, inout bit<32> x) {
+    apply {
+        x = num_bits_set(x);
+        mark_to_drop(meta);
+        NoAction();
+    }
+}

@@ -1,0 +1,10 @@
+// An action with no writes has pc_fn = ⊤ and may be called from any
+// security context (T-Call).
+control C(inout <bit<8>, high> h) {
+    action nop() { }
+    apply {
+        if (h == 8w0) {
+            nop();
+        }
+    }
+}

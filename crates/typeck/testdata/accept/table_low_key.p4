@@ -1,0 +1,14 @@
+// The §5.2 cache, fixed: a public address may key a table whose actions
+// write public state (T-TblDecl).
+control C(inout <bit<8>, low> addr, inout <bool, low> hit) {
+    action cache_hit() { hit = true; }
+    action cache_miss() { hit = false; }
+    table fetch {
+        key = { addr: exact; }
+        actions = { cache_hit; cache_miss; }
+        default_action = cache_miss;
+    }
+    apply {
+        fetch.apply();
+    }
+}

@@ -1,0 +1,11 @@
+// expect: E-CALL-PC
+// §4.1's laundering attempt: an action that writes low state has
+// pc_fn = low and may not be called under a high guard (T-Call).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    action set_low() { l = 8w1; }
+    apply {
+        if (h == 8w1) {
+            set_low();
+        }
+    }
+}

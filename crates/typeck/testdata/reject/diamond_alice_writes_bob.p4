@@ -1,0 +1,12 @@
+// expect: E-EXPLICIT-FLOW
+// Listing 6 line 12 on the Figure 8b diamond: Alice's control must not
+// write Bob's field — A and B are incomparable.
+lattice { bot < A; bot < B; A < top; B < top; }
+header data_t {
+    <bit<32>, A> alice_data;
+    <bit<32>, B> bob_data;
+}
+@pc(A) control Alice(inout data_t hdr) {
+    action set_by_alice(<bit<32>, A> value) { hdr.bob_data = value; }
+    apply { }
+}

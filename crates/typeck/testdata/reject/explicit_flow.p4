@@ -1,0 +1,8 @@
+// expect: E-EXPLICIT-FLOW
+// The canonical downward assignment: secret data stored in a public
+// location (T-Assign with χ₂ ⋢ χ₁).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    apply {
+        l = h;
+    }
+}

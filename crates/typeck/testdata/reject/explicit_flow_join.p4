@@ -1,0 +1,8 @@
+// expect: E-EXPLICIT-FLOW
+// The label of an expression is the join of its operands: low ⊔ high =
+// high may not land in a low location.
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    apply {
+        l = h + l;
+    }
+}

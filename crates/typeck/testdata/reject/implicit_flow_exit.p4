@@ -1,0 +1,10 @@
+// expect: E-IMPLICIT-FLOW
+// `exit` types at ⊥ only (T-Exit): the presence of the signal would
+// leak the secret guard.
+control C(inout <bit<8>, high> h) {
+    apply {
+        if (h == 8w0) {
+            exit;
+        }
+    }
+}

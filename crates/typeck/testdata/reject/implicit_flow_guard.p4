@@ -1,0 +1,10 @@
+// expect: E-IMPLICIT-FLOW
+// Listing 1's bug shape: a public write under a secret guard leaks one
+// bit of the guard (T-Cond/T-Assign with pc ⋢ χ₁).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    apply {
+        if (h == 8w0) {
+            l = 8w1;
+        }
+    }
+}

@@ -1,0 +1,9 @@
+// expect: E-INDEX-LEAK
+// Indexing public elements with a secret index leaks the index through
+// which element is observed (T-Index: χ₂ ⋢ χ₁).
+control C(inout <bit<8>, high> h) {
+    <bit<8>, low>[4] arr;
+    apply {
+        h = arr[h];
+    }
+}

@@ -1,0 +1,9 @@
+// expect: E-INOUT-LABEL
+// No subtyping on `inout` (§4.2): passing a low variable to an inout
+// high parameter would let the callee write at the wrong label.
+control C(inout <bool, low> l) {
+    action write_to_high(inout <bool, high> h) { h = true; }
+    apply {
+        write_to_high(l);
+    }
+}

@@ -1,0 +1,10 @@
+// pc: A
+// expect: E-IMPLICIT-FLOW
+// At ambient pc = A (harness directive above), writes to ⊥-labeled
+// routing data are forbidden: Alice may only write at A and above.
+lattice { bot < A; bot < B; A < top; B < top; }
+control Alice(inout <bit<32>, bot> routing) {
+    apply {
+        routing = 32w1;
+    }
+}

@@ -1,0 +1,15 @@
+// expect: E-TABLE-APPLY-PC
+// A table over public state (pc_tbl = low) applied under a secret
+// guard (T-TblCall: pc ⋢ pc_tbl).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    action set_low() { l = 8w1; }
+    table t {
+        key = { l: exact; }
+        actions = { set_low; }
+    }
+    apply {
+        if (h == 8w0) {
+            t.apply();
+        }
+    }
+}

@@ -1,0 +1,13 @@
+// expect: E-TABLE-KEY-FLOW
+// The §5.2 cache bug: a secret query keys a table whose actions write
+// the public hit flag, leaking lookups (T-TblDecl: χ_k ⋢ pc_fn).
+control C(inout <bit<8>, high> query, inout <bool, low> hit) {
+    action cache_hit() { hit = true; }
+    table fetch {
+        key = { query: exact; }
+        actions = { cache_hit; }
+    }
+    apply {
+        fetch.apply();
+    }
+}

@@ -1,0 +1,8 @@
+// expect: E-TYPE-MISMATCH
+// A plain (base) type error, reported in both modes: bit widths must
+// match in assignments.
+control C(inout bit<8> x, inout bit<16> y) {
+    apply {
+        x = y;
+    }
+}

@@ -106,9 +106,10 @@ fn reject_corpus_is_clean_apart_from_the_seeded_bug() {
     for path in testdata("reject") {
         let source = fs::read_to_string(&path).expect("readable file");
         let d = parse_directives(&source);
-        let security_only = d.expect.iter().all(|c| {
-            !matches!(c.as_str(), "E-TYPE-MISMATCH" | "E-MALFORMED" | "E-UNKNOWN-VAR")
-        });
+        let security_only = d
+            .expect
+            .iter()
+            .all(|c| !matches!(c.as_str(), "E-TYPE-MISMATCH" | "E-MALFORMED" | "E-UNKNOWN-VAR"));
         if !security_only {
             continue;
         }

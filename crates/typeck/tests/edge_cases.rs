@@ -20,13 +20,11 @@ fn assert_code(src: &str, code: DiagCode) {
 #[test]
 fn keyless_table_is_legal() {
     // A table with no keys always takes the default/configured action.
-    assert!(ifc(
-        r#"control C(inout bit<8> x) {
+    assert!(ifc(r#"control C(inout bit<8> x) {
             action bump() { x = x + 8w1; }
             table t { actions = { bump; NoAction; } default_action = bump; }
             apply { t.apply(); }
-        }"#
-    )
+        }"#)
     .is_ok());
 }
 
@@ -48,13 +46,11 @@ fn table_with_many_keys_joins_labels() {
 
 #[test]
 fn bool_keys_are_allowed() {
-    assert!(ifc(
-        r#"control C(inout bool flag, inout bit<8> x) {
+    assert!(ifc(r#"control C(inout bool flag, inout bit<8> x) {
             action set() { x = 8w1; }
             table t { key = { flag: exact; } actions = { set; NoAction; } }
             apply { t.apply(); }
-        }"#
-    )
+        }"#)
     .is_ok());
 }
 
@@ -88,16 +84,14 @@ fn table_names_shadowing_rejected_in_same_scope() {
 fn inout_args_bound_in_tables_are_checked() {
     // Binding an inout arg at table declaration: needs writable lvalue
     // with exact label.
-    assert!(ifc(
-        r#"control C(inout <bit<8>, low> l, inout <bit<8>, low> k) {
+    assert!(ifc(r#"control C(inout <bit<8>, low> l, inout <bit<8>, low> k) {
             action bump(inout <bit<8>, low> target) { target = target + 8w1; }
             table t {
                 key = { k: exact; }
                 actions = { bump(l); }
             }
             apply { t.apply(); }
-        }"#
-    )
+        }"#)
     .is_ok());
     assert_code(
         r#"control C(inout <bit<8>, high> h, inout <bit<8>, low> k) {
@@ -118,13 +112,11 @@ fn inout_args_bound_in_tables_are_checked() {
 
 #[test]
 fn typedef_chains_unfold() {
-    assert!(ifc(
-        r#"typedef bit<32> addr_t;
+    assert!(ifc(r#"typedef bit<32> addr_t;
         typedef addr_t ip_t;
         control C(inout ip_t a, inout addr_t b) {
             apply { a = b; }
-        }"#
-    )
+        }"#)
     .is_ok());
 }
 
@@ -143,13 +135,11 @@ fn typedef_with_label_raises_base() {
 fn record_types_are_structural() {
     // Two distinct struct names with identical shapes are interchangeable
     // (Core P4 record typing is structural).
-    assert!(ifc(
-        r#"struct a_t { bit<8> x; }
+    assert!(ifc(r#"struct a_t { bit<8> x; }
         struct b_t { bit<8> x; }
         control C(inout a_t a, inout b_t b) {
             apply { a = b; }
-        }"#
-    )
+        }"#)
     .is_ok());
     // Different field labels are a different type.
     assert_code(
@@ -177,23 +167,19 @@ fn whole_struct_assignment_requires_bottom_pc() {
 
 #[test]
 fn match_kind_declarations_extend_the_set() {
-    assert!(ifc(
-        r#"match_kind { range }
+    assert!(ifc(r#"match_kind { range }
         control C(inout bit<8> x) {
             action a() { }
             table t { key = { x: range; } actions = { a; } }
             apply { t.apply(); }
-        }"#
-    )
+        }"#)
     .is_ok());
 }
 
 #[test]
 fn user_lattice_requires_wellformedness() {
-    let errs = ifc(
-        r#"lattice { a < b; b < a; }
-        control C(inout bit<8> x) { apply { } }"#,
-    )
+    let errs = ifc(r#"lattice { a < b; b < a; }
+        control C(inout bit<8> x) { apply { } }"#)
     .unwrap_err();
     assert_eq!(errs[0].code, DiagCode::Malformed);
     assert!(errs[0].message.contains("antisymmetric"), "{errs:?}");
@@ -202,20 +188,15 @@ fn user_lattice_requires_wellformedness() {
 #[test]
 fn user_lattice_without_meet_rejected() {
     // Two maximal elements: join(a, b) missing.
-    let errs = ifc(
-        r#"lattice { bot < a; bot < b; }
-        control C(inout bit<8> x) { apply { } }"#,
-    )
+    let errs = ifc(r#"lattice { bot < a; bot < b; }
+        control C(inout bit<8> x) { apply { } }"#)
     .unwrap_err();
     assert_eq!(errs[0].code, DiagCode::Malformed);
 }
 
 #[test]
 fn unknown_pc_annotation_rejected() {
-    assert_code(
-        r#"@pc(wizard) control C(inout bit<8> x) { apply { } }"#,
-        DiagCode::UnknownLabel,
-    );
+    assert_code(r#"@pc(wizard) control C(inout bit<8> x) { apply { } }"#, DiagCode::UnknownLabel);
 }
 
 #[test]
@@ -241,13 +222,11 @@ fn zero_size_stack_rejected_by_parser() {
 
 #[test]
 fn void_function_with_bare_return() {
-    assert!(ifc(
-        r#"function void f(inout bit<8> x) {
+    assert!(ifc(r#"function void f(inout bit<8> x) {
             x = x + 8w1;
             return;
         }
-        control C(inout bit<8> y) { apply { f(y); } }"#
-    )
+        control C(inout bit<8> y) { apply { f(y); } }"#)
     .is_ok());
 }
 
@@ -271,12 +250,10 @@ fn value_function_bare_return_rejected() {
 
 #[test]
 fn return_label_subtyping_upward_only() {
-    assert!(ifc(
-        r#"function <bit<8>, high> up(in <bit<8>, low> x) { return x; }
+    assert!(ifc(r#"function <bit<8>, high> up(in <bit<8>, low> x) { return x; }
         control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
             apply { h = up(l); }
-        }"#
-    )
+        }"#)
     .is_ok());
     assert_code(
         r#"function <bit<8>, low> down(in <bit<8>, high> x) { return x; }
@@ -338,18 +315,12 @@ fn mutual_recursion_is_impossible() {
 
 #[test]
 fn control_in_params_are_read_only() {
-    assert_code(
-        "control C(in bit<8> x) { apply { x = 8w1; } }",
-        DiagCode::NotAssignable,
-    );
+    assert_code("control C(in bit<8> x) { apply { x = 8w1; } }", DiagCode::NotAssignable);
 }
 
 #[test]
 fn assigning_to_literal_rejected() {
-    assert_code(
-        "control C(inout bit<8> x) { apply { 8w1 = x; } }",
-        DiagCode::NotAssignable,
-    );
+    assert_code("control C(inout bit<8> x) { apply { 8w1 = x; } }", DiagCode::NotAssignable);
 }
 
 #[test]
@@ -363,12 +334,10 @@ fn assigning_to_call_result_rejected() {
 
 #[test]
 fn record_literals_check_fieldwise() {
-    assert!(ifc(
-        r#"struct pair_t { bit<8> a; bit<8> b; }
+    assert!(ifc(r#"struct pair_t { bit<8> a; bit<8> b; }
         control C(inout pair_t p) {
             apply { p = { a = 8w1, b = 8w2 }; }
-        }"#
-    )
+        }"#)
     .is_ok());
     assert_code(
         r#"struct pair_t { bit<8> a; bit<8> b; }
@@ -392,10 +361,7 @@ fn duplicate_record_literal_fields_rejected() {
 
 #[test]
 fn indexing_non_stacks_rejected() {
-    assert_code(
-        "control C(inout bit<8> x) { apply { x = x[0]; } }",
-        DiagCode::TypeMismatch,
-    );
+    assert_code("control C(inout bit<8> x) { apply { x = x[0]; } }", DiagCode::TypeMismatch);
 }
 
 #[test]
@@ -448,14 +414,12 @@ fn width_mismatched_comparison_rejected() {
 fn error_recovery_reports_independent_errors() {
     // Unknown variable in one statement must not suppress the flow error
     // in the next.
-    let errs = ifc(
-        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    let errs = ifc(r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
             apply {
                 l = ghost;
                 l = h;
             }
-        }"#,
-    )
+        }"#)
     .unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::UnknownVar), "{errs:?}");
     assert!(errs.iter().any(|d| d.code == DiagCode::ExplicitFlow), "{errs:?}");

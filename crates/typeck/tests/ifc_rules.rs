@@ -21,10 +21,9 @@ fn base(src: &str) -> Result<(), Vec<Diagnostic>> {
 fn assert_rejects(src: &str, code: DiagCode) {
     match ifc(src) {
         Ok(()) => panic!("expected {code:?}, but the program was accepted:\n{src}"),
-        Err(diags) => assert!(
-            diags.iter().any(|d| d.code == code),
-            "expected {code:?}, got {diags:?}\n{src}"
-        ),
+        Err(diags) => {
+            assert!(diags.iter().any(|d| d.code == code), "expected {code:?}, got {diags:?}\n{src}")
+        }
     }
 }
 
@@ -278,24 +277,20 @@ fn inout_argument_matching_label_accepted() {
 
 #[test]
 fn inout_argument_must_be_lvalue() {
-    let errs = ifc(
-        r#"control C(inout <bit<8>, low> l) {
+    let errs = ifc(r#"control C(inout <bit<8>, low> l) {
             action a(inout <bit<8>, low> v) { v = 8w1; }
             apply { a(l + 8w1); }
-        }"#,
-    )
+        }"#)
     .unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::NotAssignable), "{errs:?}");
 }
 
 #[test]
 fn in_parameter_is_read_only_in_body() {
-    let errs = ifc(
-        r#"control C(inout <bit<8>, low> l) {
+    let errs = ifc(r#"control C(inout <bit<8>, low> l) {
             action a(in <bit<8>, low> v) { v = 8w1; }
             apply { a(l); }
-        }"#,
-    )
+        }"#)
     .unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::NotAssignable), "{errs:?}");
 }
@@ -624,11 +619,8 @@ fn lattice_override_option() {
         }
     "#;
     // A and B are incomparable in the diamond: explicit flow.
-    let errs = check_source(
-        src,
-        &CheckOptions::ifc().with_lattice(Lattice::diamond()),
-    )
-    .unwrap_err();
+    let errs =
+        check_source(src, &CheckOptions::ifc().with_lattice(Lattice::diamond())).unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::ExplicitFlow), "{errs:?}");
 }
 
@@ -683,10 +675,7 @@ fn compound_annotation_pushes_to_fields() {
 
 #[test]
 fn unknown_variable() {
-    assert_rejects(
-        "control C(inout bit<8> x) { apply { x = ghost; } }",
-        DiagCode::UnknownVar,
-    );
+    assert_rejects("control C(inout bit<8> x) { apply { x = ghost; } }", DiagCode::UnknownVar);
 }
 
 #[test]
@@ -724,10 +713,7 @@ fn arity_mismatch() {
 
 #[test]
 fn calling_a_variable_rejected() {
-    assert_rejects(
-        "control C(inout bit<8> x) { apply { x(); } }",
-        DiagCode::NotCallable,
-    );
+    assert_rejects("control C(inout bit<8> x) { apply { x(); } }", DiagCode::NotCallable);
 }
 
 #[test]
@@ -814,10 +800,7 @@ fn structs_may_nest_headers() {
 
 #[test]
 fn unknown_label_reported() {
-    assert_rejects(
-        "control C(inout <bit<8>, secret> x) { apply { } }",
-        DiagCode::UnknownLabel,
-    );
+    assert_rejects("control C(inout <bit<8>, secret> x) { apply { } }", DiagCode::UnknownLabel);
 }
 
 #[test]
@@ -850,14 +833,12 @@ fn diagnostics_carry_spans() {
 
 #[test]
 fn multiple_errors_reported_together() {
-    let errs = ifc(
-        r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    let errs = ifc(r#"control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
             apply {
                 l = h;
                 if (h == 8w0) { l = 8w1; }
             }
-        }"#,
-    )
+        }"#)
     .unwrap_err();
     assert!(errs.len() >= 2, "both leaks reported: {errs:?}");
 }

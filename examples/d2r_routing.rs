@@ -35,7 +35,10 @@ fn main() {
 
     let out = run_control(&typed, &cp, "D2R_Ingress", args).expect("runs");
     let hdr_out = out.param("hdr").unwrap();
-    println!("  bfs.curr      = {} (reached the destination)", get_path(hdr_out, "bfs.curr").unwrap());
+    println!(
+        "  bfs.curr      = {} (reached the destination)",
+        get_path(hdr_out, "bfs.curr").unwrap()
+    );
     println!("  bfs.num_hops  = {}", get_path(hdr_out, "bfs.num_hops").unwrap());
     println!("  tried_links   = {}", get_path(hdr_out, "bfs.tried_links").unwrap());
     println!("  ipv4.priority = {}", get_path(hdr_out, "ipv4.priority").unwrap());
@@ -60,15 +63,8 @@ fn main() {
     let mut unlucky = at_dest.clone();
     assert!(set_path(&mut unlucky[0], "bfs.num_hops", Value::Int(255))); // secret differs
 
-    let (diffs, _) = run_pair(
-        &leaky,
-        &cp,
-        "D2R_Ingress",
-        leaky.lattice.bottom(),
-        at_dest,
-        unlucky,
-    )
-    .expect("both packets run");
+    let (diffs, _) = run_pair(&leaky, &cp, "D2R_Ingress", leaky.lattice.bottom(), at_dest, unlucky)
+        .expect("both packets run");
     assert!(!diffs.is_empty(), "the insecure D2R must leak on this pair");
     for d in &diffs {
         println!("  observable output differs at {d}");

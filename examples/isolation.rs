@@ -37,11 +37,7 @@ fn main() {
     println!("== Listing 7: the isolation-respecting programs are accepted ==");
     let typed = check(cs.secure, &CheckOptions::ifc()).expect("accepted");
     for ctrl in &typed.controls {
-        println!(
-            "  control {:<16} checked at pc = {}",
-            ctrl.name,
-            typed.lattice.name(ctrl.pc)
-        );
+        println!("  control {:<16} checked at pc = {}", ctrl.name, typed.lattice.name(ctrl.pc));
     }
 
     println!("\n== What does Bob observe of the buggy Alice? ==");

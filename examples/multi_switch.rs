@@ -39,14 +39,14 @@ fn main() {
 
     // Hop 1: Alice's switch.
     let out = run_control(&typed, &cp, "Alice_Ingress", args).expect("alice runs");
-    let mut args = vec![out.param("hdr").unwrap().clone(), out.param("std_metadata").unwrap().clone()];
+    let mut args =
+        vec![out.param("hdr").unwrap().clone(), out.param("std_metadata").unwrap().clone()];
     snapshot("after Alice    ", &args[0]);
     let bob_before = get_path(&args[0], "bob_data.data").unwrap().clone();
 
     // Hop 2: Bob's switch (increments telemetry, keyed on eth).
     // The demo control plane matches any eth key.
-    let out = run_control(&typed, &cp, "Bob_Ingress", std::mem::take(&mut args))
-        .expect("bob runs");
+    let out = run_control(&typed, &cp, "Bob_Ingress", std::mem::take(&mut args)).expect("bob runs");
     let hdr = out.param("hdr").unwrap();
     snapshot("after Bob      ", hdr);
 

@@ -25,11 +25,7 @@ fn main() {
 
     println!("\n== Checking the fixed program (Listing 2) ==");
     let typed = check(secure, &CheckOptions::ifc()).expect("the fix typechecks");
-    println!(
-        "accepted: {} control block(s) under lattice {}",
-        typed.controls.len(),
-        typed.lattice
-    );
+    println!("accepted: {} control block(s) under lattice {}", typed.controls.len(), typed.lattice);
 
     println!("\n== Forwarding one packet through the fixed pipeline ==");
     let cp = p4bid::corpus::demo_control_plane("Topology");
@@ -69,8 +65,8 @@ fn main() {
         ("priority".into(), b(3, 0)),
     ]);
 
-    let out = run_control(&typed, &cp, "Obfuscate_Ingress", vec![hdr, meta])
-        .expect("the packet runs");
+    let out =
+        run_control(&typed, &cp, "Obfuscate_Ingress", vec![hdr, meta]).expect("the packet runs");
     let hdr_out = out.param("hdr").expect("hdr parameter");
     let meta_out = out.param("std_metadata").expect("std_metadata parameter");
     println!(

@@ -30,8 +30,7 @@ fn main() {
         match check(&gp.source, &CheckOptions::ifc()) {
             Ok(typed) => {
                 accepted += 1;
-                let out =
-                    check_non_interference(&typed, &gp.control_plane, "Fuzz", &ni_cfg);
+                let out = check_non_interference(&typed, &gp.control_plane, "Fuzz", &ni_cfg);
                 if let NiOutcome::Leak(w) = &out {
                     eprintln!("SOUNDNESS VIOLATION at seed {seed}:\n{}\n{w}", gp.source);
                     std::process::exit(1);

@@ -24,13 +24,7 @@ fn main() {
         "Program", "Unannotated, p4c", "Annotated, P4BID", "Overhead"
     );
     for (name, base, ifc) in PAPER_TABLE1 {
-        println!(
-            "{:<10} {:>18.0} {:>18.0} {:>9.1}%",
-            name,
-            base,
-            ifc,
-            (ifc - base) / base * 100.0
-        );
+        println!("{:<10} {:>18.0} {:>18.0} {:>9.1}%", name, base, ifc, (ifc - base) / base * 100.0);
     }
 
     println!("\nMeasured on this substrate (median of 50 parse+check runs):");

@@ -99,11 +99,7 @@ fn input_dependent_leaks_have_witnesses() {
             cfg = cfg.observing(l);
         }
         let out = check_non_interference(&typed, &cp, cs.control, &cfg);
-        assert!(
-            out.witness().is_some(),
-            "{}: expected a leak witness, got {out:?}",
-            cs.name
-        );
+        assert!(out.witness().is_some(), "{}: expected a leak witness, got {out:?}", cs.name);
     }
 }
 
@@ -134,8 +130,7 @@ fn d2r_leak_witnessed_on_a_crafted_pair() {
 
     // The secure variant on the *same* crafted pair shows no difference.
     let fixed = check(cs.secure, &CheckOptions::ifc()).expect("accepted");
-    let (diffs, _) =
-        run_pair(&fixed, &cp, cs.control, fixed.lattice.bottom(), a, b).expect("runs");
+    let (diffs, _) = run_pair(&fixed, &cp, cs.control, fixed.lattice.bottom(), a, b).expect("runs");
     assert!(diffs.is_empty(), "secure D2R must not leak: {diffs:?}");
 }
 
@@ -160,10 +155,7 @@ fn topology_secure_pipeline_translates_and_forwards() {
         p4bid::packet::get_path(hdr, "local_hdr.phys_dstAddr"),
         Some(&Value::bit(32, 0xC0A8_0002))
     );
-    assert_eq!(
-        p4bid::packet::get_path(hdr, "local_hdr.phys_ttl"),
-        Some(&Value::bit(8, 18))
-    );
+    assert_eq!(p4bid::packet::get_path(hdr, "local_hdr.phys_ttl"), Some(&Value::bit(8, 18)));
     // ...while the public ttl only saw the ordinary decrement.
     assert_eq!(p4bid::packet::get_path(hdr, "ipv4.ttl"), Some(&Value::bit(8, 63)));
 }

@@ -1,0 +1,38 @@
+//! Smoke test: every example in `examples/` must build and run to
+//! completion. Examples are discovered from the directory listing, so a
+//! newly added example is covered automatically and cannot silently rot.
+
+use std::path::Path;
+use std::process::Command;
+
+#[test]
+fn every_example_builds_and_runs() {
+    let manifest_dir = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let examples_dir = manifest_dir.join("examples");
+    let mut names: Vec<String> = std::fs::read_dir(&examples_dir)
+        .expect("examples/ directory exists")
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .map(|p| p.file_stem().expect("file stem").to_string_lossy().into_owned())
+        .collect();
+    names.sort();
+    assert!(!names.is_empty(), "no examples found in {}", examples_dir.display());
+    assert!(names.iter().any(|n| n == "quickstart"), "quickstart example present: {names:?}");
+
+    // Sequential on purpose: parallel `cargo run` invocations would just
+    // contend on the build lock.
+    for name in &names {
+        let out = Command::new(env!("CARGO"))
+            .args(["run", "--quiet", "--example", name])
+            .current_dir(manifest_dir)
+            .output()
+            .unwrap_or_else(|e| panic!("spawning cargo for example `{name}`: {e}"));
+        assert!(
+            out.status.success(),
+            "example `{name}` failed with {:?}:\n--- stdout\n{}\n--- stderr\n{}",
+            out.status.code(),
+            String::from_utf8_lossy(&out.stdout),
+            String::from_utf8_lossy(&out.stderr),
+        );
+    }
+}

@@ -84,30 +84,22 @@ fn well_behaved_tenants_typecheck() {
 #[test]
 fn cross_tenant_writes_rejected() {
     // Tenant A touching C's data.
-    let bad = THREE_TENANTS.replace(
-        "hdr.a_data = hdr.a_data + v;",
-        "hdr.c_data = hdr.a_data + v;",
-    );
+    let bad = THREE_TENANTS.replace("hdr.a_data = hdr.a_data + v;", "hdr.c_data = hdr.a_data + v;");
     let errs = check(&bad, &CheckOptions::ifc()).unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::ExplicitFlow), "{errs:?}");
 }
 
 #[test]
 fn tenant_reading_telemetry_rejected() {
-    let bad = THREE_TENANTS.replace(
-        "hdr.c_data = hdr.c_data + hdr.route;",
-        "hdr.c_data = hdr.c_data + hdr.telem;",
-    );
+    let bad = THREE_TENANTS
+        .replace("hdr.c_data = hdr.c_data + hdr.route;", "hdr.c_data = hdr.c_data + hdr.telem;");
     let errs = check(&bad, &CheckOptions::ifc()).unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::ExplicitFlow), "{errs:?}");
 }
 
 #[test]
 fn tenant_writing_routing_data_rejected() {
-    let bad = THREE_TENANTS.replace(
-        "hdr.c_data = hdr.c_data + hdr.route;",
-        "hdr.route = 32w99;",
-    );
+    let bad = THREE_TENANTS.replace("hdr.c_data = hdr.c_data + hdr.route;", "hdr.route = 32w99;");
     let errs = check(&bad, &CheckOptions::ifc()).unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::ImplicitFlow), "{errs:?}");
 }
@@ -119,11 +111,9 @@ fn tenants_cannot_observe_each_other() {
     // switch, and so on.
     let typed = check(THREE_TENANTS, &CheckOptions::ifc()).expect("accepted");
     let cp = p4bid::interp::ControlPlane::new();
-    for (control, observers) in [
-        ("TenantA", ["B", "C"]),
-        ("TenantB", ["A", "C"]),
-        ("TenantC", ["A", "B"]),
-    ] {
+    for (control, observers) in
+        [("TenantA", ["B", "C"]), ("TenantB", ["A", "C"]), ("TenantC", ["A", "B"])]
+    {
         for observer in observers {
             let out = check_non_interference(
                 &typed,
@@ -164,10 +154,7 @@ control C(inout h_t hdr) {
     check(src, &CheckOptions::ifc()).expect("joins land in the shared level");
 
     // But the shared level must not flow back down to a single tenant.
-    let bad = src.replace(
-        "hdr.only_a = hdr.only_a + hdr.public;",
-        "hdr.only_a = hdr.shared_ab;",
-    );
+    let bad = src.replace("hdr.only_a = hdr.only_a + hdr.public;", "hdr.only_a = hdr.shared_ab;");
     let errs = check(&bad, &CheckOptions::ifc()).unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::ExplicitFlow), "{errs:?}");
 }

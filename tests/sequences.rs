@@ -21,10 +21,8 @@ fn secure_case_studies_hold_with_persistent_secrets() {
     for cs in p4bid::corpus::case_studies() {
         let typed = check(cs.secure, &CheckOptions::ifc()).expect("typechecks");
         let cp = demo_control_plane(cs.name);
-        let cfg = SequenceConfig::default()
-            .with_rounds(4)
-            .with_trials(25)
-            .with_refresh_secrets(false);
+        let cfg =
+            SequenceConfig::default().with_rounds(4).with_trials(25).with_refresh_secrets(false);
         let out = check_sequence_non_interference(&typed, &cp, cs.control, &cfg);
         assert!(out.holds(), "{}: {out:?}", cs.name);
     }

@@ -1,0 +1,237 @@
+//! Offline stand-in for the subset of `criterion` 0.5 this workspace
+//! uses.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the benchmark-harness surface the `p4bid-bench` targets compile
+//! against: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], [`Throughput`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Measurement is simple wall-clock timing: one warm-up call sizes the
+//! iteration count to roughly `CRITERION_MEASURE_MS` milliseconds
+//! (default 100) and the mean ns/iteration is printed, with derived
+//! element/byte throughput when configured. There is no statistical
+//! analysis, no HTML report, and no saved baselines.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark, in milliseconds.
+fn measure_ms() -> u64 {
+    std::env::var("CRITERION_MEASURE_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&ms| ms > 0)
+        .unwrap_or(100)
+}
+
+/// Units processed per iteration, for derived throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Iterations process this many logical elements.
+    Elements(u64),
+    /// Iterations process this many bytes.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus an optional parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id like `function/parameter`.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing driver handed to benchmark closures.
+pub struct Bencher {
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the mean wall-clock time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up call doubles as the iteration-count estimate.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+
+        let budget = Duration::from_millis(measure_ms());
+        let iters = (budget.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        self.mean_ns = total.as_nanos() as f64 / iters as f64;
+    }
+}
+
+fn human_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(name: &str, mean_ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{name:<50} time: {:>12}/iter", human_ns(mean_ns));
+    match throughput {
+        Some(Throughput::Elements(n)) if mean_ns > 0.0 => {
+            let rate = n as f64 / (mean_ns / 1e9);
+            line.push_str(&format!("  thrpt: {rate:.0} elem/s"));
+        }
+        Some(Throughput::Bytes(n)) if mean_ns > 0.0 => {
+            let rate = n as f64 / (mean_ns / 1e9) / (1024.0 * 1024.0);
+            line.push_str(&format!("  thrpt: {rate:.2} MiB/s"));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the throughput used for derived rate reporting.
+    pub fn throughput(&mut self, throughput: Throughput) {
+        self.throughput = Some(throughput);
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id.into()), b.mean_ns, self.throughput);
+    }
+
+    /// Runs one benchmark parameterized by a borrowed input.
+    pub fn bench_with_input<I, F>(&mut self, id: impl Into<BenchmarkId>, input: &I, mut f: F)
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.into()), b.mean_ns, self.throughput);
+    }
+
+    /// Finishes the group (reporting is per-benchmark; nothing to do).
+    pub fn finish(self) {}
+}
+
+/// The benchmark driver passed to `criterion_group!` targets.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), throughput: None, _criterion: self }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { mean_ns: 0.0 };
+        f(&mut b);
+        report(&id.into().to_string(), b.mean_ns, None);
+        self
+    }
+}
+
+/// Declares a group function running the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups (ignores harness args).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher { mean_ns: 0.0 };
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        b.iter(|| black_box(2u64 + 2));
+        assert!(b.mean_ns > 0.0);
+    }
+
+    #[test]
+    fn group_api_compiles_and_runs() {
+        std::env::set_var("CRITERION_MEASURE_MS", "1");
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.throughput(Throughput::Elements(1));
+        g.bench_function("f", |b| b.iter(|| black_box(1)));
+        g.bench_with_input(BenchmarkId::new("p", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n * 2));
+        });
+        g.finish();
+    }
+
+    #[test]
+    fn id_formats() {
+        assert_eq!(BenchmarkId::new("base", 16).to_string(), "base/16");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,609 @@
+//! Offline stand-in for the subset of `proptest` 1.x this workspace uses.
+//!
+//! The build environment has no registry access, so this crate provides
+//! the `proptest!` test macro, the `Strategy` trait, and the strategies
+//! the workspace's property tests actually exercise: integer ranges,
+//! tuples, `Just`, `any::<T>()`, `prop_oneof!`, `collection::vec`, and
+//! regex-like string patterns (a supported subset: `.`, `[a-z]` classes,
+//! literal atoms, with `{a,b}` / `{a}` / `*` / `+` / `?` quantifiers).
+//!
+//! Semantics match upstream where it matters for these tests:
+//! deterministic per-test seeding, a configurable number of cases via
+//! `PROPTEST_CASES` (default 64 here), `PROPTEST_SEED` to perturb the
+//! seed, and `prop_assert*` macros that fail the case with a rendered
+//! message. **No shrinking** is performed: a failing case reports its
+//! case index and seed so it can be replayed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Test-runner plumbing used by the expansion of [`proptest!`].
+pub mod test_runner {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// A failed property-test case (carries the rendered message).
+    #[derive(Debug)]
+    pub struct TestCaseError(String);
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError(msg.into())
+        }
+
+        /// Alias of [`TestCaseError::fail`], mirroring upstream.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            Self::fail(msg)
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for TestCaseError {}
+
+    /// Result type of one property-test case body.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Number of cases to run per property (from `PROPTEST_CASES`,
+    /// default 64).
+    #[must_use]
+    pub fn cases() -> usize {
+        std::env::var("PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(64)
+    }
+
+    /// Deterministic per-test RNG: a stable hash of the test path, mixed
+    /// with `PROPTEST_SEED` when set. Returns the seed too so failures
+    /// can report it.
+    #[must_use]
+    pub fn rng_for(test_path: &str) -> (StdRng, u64) {
+        let base: u64 = std::env::var("PROPTEST_SEED")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0x5EED_CAFE_F00D_0001);
+        // FNV-1a over the test path keeps distinct tests on distinct
+        // streams even with the same PROPTEST_SEED.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_path.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let seed = base ^ h;
+        (StdRng::seed_from_u64(seed), seed)
+    }
+}
+
+/// The [`Strategy`] trait and the concrete strategies.
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A generator of test-case values.
+    ///
+    /// Unlike upstream there is no value tree / shrinking; `generate`
+    /// draws one value directly.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+    }
+
+    /// A strategy that always yields a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Marker trait for `any::<T>()`: types with a canonical uniform
+    /// strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws a uniform value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize, bool);
+
+    /// The canonical strategy for a type (see [`any`]).
+    #[derive(Debug)]
+    pub struct Any<T>(PhantomData<T>);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// The canonical uniform strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any(PhantomData)
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, i128, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($(($($n:ident),+))*) => {$(
+            #[allow(non_snake_case)]
+            impl<$($n: Strategy),+> Strategy for ($($n,)+) {
+                type Value = ($($n::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($n,)+) = self;
+                    ($($n.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    impl_tuple_strategy! {
+        (A)
+        (A, B)
+        (A, B, C)
+        (A, B, C, D)
+        (A, B, C, D, E)
+        (A, B, C, D, E, F)
+    }
+
+    /// Uniform choice among boxed strategies (the expansion of
+    /// [`prop_oneof!`](crate::prop_oneof)).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union; panics if `options` is empty.
+        #[must_use]
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+            Union { options }
+        }
+
+        /// A one-option union (the seed of a [`prop_oneof!`] chain).
+        ///
+        /// The generic-parameter form keeps integer-literal inference
+        /// flowing from the first option to the rest, which plain
+        /// `Box<dyn …>` casts would not.
+        #[must_use]
+        pub fn single<S: Strategy<Value = T> + 'static>(option: S) -> Self {
+            Union { options: vec![Box::new(option)] }
+        }
+
+        /// Adds one more option.
+        #[must_use]
+        pub fn or<S: Strategy<Value = T> + 'static>(mut self, option: S) -> Self {
+            self.options.push(Box::new(option));
+            self
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut StdRng) -> T {
+            let ix = rng.gen_range(0..self.options.len());
+            self.options[ix].generate(rng)
+        }
+    }
+
+    // ---- regex-subset string strategies ------------------------------
+
+    /// One atom of the supported regex subset with its repetition range.
+    #[derive(Debug, Clone)]
+    struct Part {
+        set: CharSet,
+        min: usize,
+        max: usize,
+    }
+
+    #[derive(Debug, Clone)]
+    enum CharSet {
+        /// `.` — any char except `\n`.
+        Any,
+        /// `[...]` or a literal — inclusive char ranges.
+        Ranges(Vec<(char, char)>),
+    }
+
+    impl CharSet {
+        fn sample(&self, rng: &mut StdRng) -> char {
+            match self {
+                CharSet::Any => loop {
+                    // A mix of mostly-printable ASCII with occasional
+                    // control and non-ASCII scalars, to exercise byte- vs
+                    // char-index handling in lexers.
+                    let c = match rng.gen_range(0u32..10) {
+                        0..=5 => char::from(rng.gen_range(0x20u8..0x7F)),
+                        6 | 7 => char::from(rng.gen_range(0x00u8..0x80)),
+                        8 => char::from_u32(rng.gen_range(0x80u32..0x3000)).unwrap_or('¿'),
+                        _ => match char::from_u32(rng.gen_range(0u32..0x11_0000)) {
+                            Some(c) => c,
+                            None => continue, // surrogate gap; redraw
+                        },
+                    };
+                    if c != '\n' {
+                        return c;
+                    }
+                },
+                CharSet::Ranges(ranges) => {
+                    let total: u32 = ranges.iter().map(|&(lo, hi)| hi as u32 - lo as u32 + 1).sum();
+                    let mut k = rng.gen_range(0..total);
+                    for &(lo, hi) in ranges {
+                        let n = hi as u32 - lo as u32 + 1;
+                        if k < n {
+                            // Skip the surrogate gap if a wide range
+                            // crosses it (none of our patterns do).
+                            return char::from_u32(lo as u32 + k).unwrap_or(lo);
+                        }
+                        k -= n;
+                    }
+                    unreachable!("sample index within total")
+                }
+            }
+        }
+    }
+
+    fn parse_pattern(pattern: &str) -> Vec<Part> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut parts = Vec::new();
+        let mut i = 0;
+        while i < chars.len() {
+            let set = match chars[i] {
+                '.' => {
+                    i += 1;
+                    CharSet::Any
+                }
+                '[' => {
+                    i += 1;
+                    let mut ranges = Vec::new();
+                    while i < chars.len() && chars[i] != ']' {
+                        let lo = if chars[i] == '\\' {
+                            i += 1;
+                            chars[i]
+                        } else {
+                            chars[i]
+                        };
+                        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                            let hi = chars[i + 2];
+                            assert!(lo <= hi, "bad char class range {lo}-{hi}");
+                            ranges.push((lo, hi));
+                            i += 3;
+                        } else {
+                            ranges.push((lo, lo));
+                            i += 1;
+                        }
+                    }
+                    assert!(i < chars.len(), "unterminated char class in {pattern:?}");
+                    i += 1; // consume ']'
+                    CharSet::Ranges(ranges)
+                }
+                '\\' => {
+                    i += 1;
+                    let c = chars[i];
+                    i += 1;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+                c => {
+                    i += 1;
+                    CharSet::Ranges(vec![(c, c)])
+                }
+            };
+            let (min, max) = if i < chars.len() {
+                match chars[i] {
+                    '{' => {
+                        let close = chars[i..]
+                            .iter()
+                            .position(|&c| c == '}')
+                            .expect("unterminated {} quantifier")
+                            + i;
+                        let body: String = chars[i + 1..close].iter().collect();
+                        i = close + 1;
+                        match body.split_once(',') {
+                            Some((a, b)) => (
+                                a.trim().parse().expect("quantifier lower bound"),
+                                b.trim().parse().expect("quantifier upper bound"),
+                            ),
+                            None => {
+                                let n = body.trim().parse().expect("quantifier count");
+                                (n, n)
+                            }
+                        }
+                    }
+                    '*' => {
+                        i += 1;
+                        (0, 32)
+                    }
+                    '+' => {
+                        i += 1;
+                        (1, 32)
+                    }
+                    '?' => {
+                        i += 1;
+                        (0, 1)
+                    }
+                    _ => (1, 1),
+                }
+            } else {
+                (1, 1)
+            };
+            assert!(min <= max, "bad quantifier {{{min},{max}}} in {pattern:?}");
+            parts.push(Part { set, min, max });
+        }
+        parts
+    }
+
+    impl Strategy for &str {
+        type Value = String;
+        fn generate(&self, rng: &mut StdRng) -> String {
+            let mut out = String::new();
+            for part in parse_pattern(self) {
+                let n = rng.gen_range(part.min..=part.max);
+                for _ in 0..n {
+                    out.push(part.set.sample(rng));
+                }
+            }
+            out
+        }
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec<S::Value>` with a length drawn from `size`.
+    pub struct VecStrategy<S: Strategy> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Vectors of `element` values with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "empty size range for collection::vec");
+        VecStrategy { element, size }
+    }
+}
+
+/// The usual glob import for property tests.
+pub mod prelude {
+    pub use crate::strategy::{any, Any, Arbitrary, Just, Strategy, Union};
+    pub use crate::test_runner::{TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests: each `fn name(bindings) { body }` becomes a
+/// `#[test]` running [`test_runner::cases`] cases with fresh inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let (mut rng, seed) = $crate::test_runner::rng_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            let cases = $crate::test_runner::cases();
+            for case in 0..cases {
+                $(let $pat = $crate::strategy::Strategy::generate(&$strat, &mut rng);)+
+                #[allow(clippy::redundant_closure_call)]
+                let result: $crate::test_runner::TestCaseResult = (|| {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = result {
+                    panic!(
+                        "property `{}` failed at case {case}/{cases} (seed {seed}):\n{e}",
+                        stringify!($name)
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless the condition holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {}: {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Fails the current case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left,
+                right
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        if !(*left == *right) {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                left,
+                right
+            )));
+        }
+    }};
+}
+
+/// Fails the current case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        if *left == *right {
+            return Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                stringify!($left),
+                stringify!($right),
+                left
+            )));
+        }
+    }};
+}
+
+/// Uniform choice among strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($first:expr $(, $rest:expr)* $(,)?) => {
+        $crate::strategy::Union::single($first)$(.or($rest))*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let (mut rng, _) = rng_for("ranges_stay_in_bounds");
+        for _ in 0..500 {
+            let v = (3usize..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let w = (1u16..=128).generate(&mut rng);
+            assert!((1..=128).contains(&w));
+        }
+    }
+
+    #[test]
+    fn dot_pattern_respects_length_and_excludes_newline() {
+        let (mut rng, _) = rng_for("dot_pattern");
+        for _ in 0..200 {
+            let s = ".{0,200}".generate(&mut rng);
+            assert!(s.chars().count() <= 200);
+            assert!(!s.contains('\n'));
+        }
+    }
+
+    #[test]
+    fn char_class_pattern_is_printable_ascii() {
+        let (mut rng, _) = rng_for("char_class");
+        for _ in 0..200 {
+            let s = "[ -~]{1,80}".generate(&mut rng);
+            let n = s.chars().count();
+            assert!((1..=80).contains(&n));
+            assert!(s.chars().all(|c| (' '..='~').contains(&c)), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn literal_and_quantifier_forms() {
+        let (mut rng, _) = rng_for("literal_quant");
+        let s = "ab{3}c?".generate(&mut rng);
+        assert!(s.starts_with("abbb"));
+        assert!(s.len() == 4 || s.len() == 5);
+    }
+
+    #[test]
+    fn oneof_only_yields_listed_values() {
+        let s = prop_oneof![Just(1u16), Just(8), Just(64)];
+        let (mut rng, _) = rng_for("oneof");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!([1, 8, 64].contains(&v));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_obeys_size() {
+        let s = crate::collection::vec(0usize..20, 0..40);
+        let (mut rng, _) = rng_for("vec");
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() < 40);
+            assert!(v.iter().all(|&x| x < 20));
+        }
+    }
+
+    proptest! {
+        /// The macro itself: bindings, tuple patterns, early return.
+        #[test]
+        fn macro_smoke((a, b) in (0u8..10, 0u8..10), c in any::<bool>()) {
+            if c {
+                return Ok(());
+            }
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a as u16 + b as u16, b as u16 + a as u16);
+        }
+    }
+}
