@@ -1,0 +1,173 @@
+//! String interning for the checker hot path.
+//!
+//! Every identifier the typechecker touches — variable, action, table, and
+//! type names, plus security-label names — is mapped once to a dense
+//! [`Symbol`] id. Downstream tables ([`p4bid_typeck`]'s Γ and Δ) are then
+//! plain `Vec`s indexed by the symbol, so the per-occurrence cost of a name
+//! is one hash of the string on first sight and an array index ever after,
+//! instead of a `String`-keyed hash-map probe (hash + allocation + full
+//! string compare) at every lookup.
+//!
+//! An [`Interner`] is intentionally *not* shared across threads: a batch
+//! driver gives each worker its own checker session (and thus its own
+//! interner), which keeps the structure lock-free.
+//!
+//! # Examples
+//!
+//! ```
+//! use p4bid_ast::intern::Interner;
+//!
+//! let mut syms = Interner::new();
+//! let a = syms.intern("hdr");
+//! let b = syms.intern("meta");
+//! assert_ne!(a, b);
+//! assert_eq!(syms.intern("hdr"), a, "interning is idempotent");
+//! assert_eq!(syms.resolve(a), "hdr");
+//! assert_eq!(syms.lookup("meta"), Some(b));
+//! assert_eq!(syms.lookup("ghost"), None, "probing never allocates");
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+
+/// An interned string: a dense index into an [`Interner`].
+///
+/// Symbols are plain `u32` indices and only meaningful relative to the
+/// interner that produced them; they are `Copy`, comparable, and usable as
+/// direct indices into `Vec`-backed side tables.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Symbol(u32);
+
+impl Symbol {
+    /// The raw index of this symbol inside its interner.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Symbol {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "sym#{}", self.0)
+    }
+}
+
+/// A string interner: deduplicates strings into dense [`Symbol`] ids.
+///
+/// The `Rc<str>` backing lets the name live once while being reachable both
+/// from the id-ordered table (for [`resolve`](Interner::resolve)) and from
+/// the lookup map, without unsafe code.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    strings: Vec<Rc<str>>,
+    map: HashMap<Rc<str>, Symbol>,
+}
+
+impl Interner {
+    /// An empty interner.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning its symbol. Idempotent: the same string
+    /// always maps to the same symbol.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct strings are interned
+    /// (unreachable for real programs).
+    pub fn intern(&mut self, name: &str) -> Symbol {
+        if let Some(&sym) = self.map.get(name) {
+            return sym;
+        }
+        let id = u32::try_from(self.strings.len()).expect("interner overflow");
+        let rc: Rc<str> = Rc::from(name);
+        self.strings.push(Rc::clone(&rc));
+        let sym = Symbol(id);
+        self.map.insert(rc, sym);
+        sym
+    }
+
+    /// Read-only probe: the symbol of `name` if it was ever interned.
+    ///
+    /// Used for occurrences that must not grow the table (e.g. a variable
+    /// *use*: if the name was never interned, it was never declared).
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The string a symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` came from a different interner and is out of range.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of distinct interned strings.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn symbols_are_dense_and_stable() {
+        let mut syms = Interner::new();
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let c = syms.intern("c");
+        assert_eq!((a.index(), b.index(), c.index()), (0, 1, 2));
+        assert_eq!(syms.intern("b"), b);
+        assert_eq!(syms.len(), 3);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut syms = Interner::new();
+        for name in ["hdr", "meta", "tbl0", "NoAction"] {
+            let s = syms.intern(name);
+            assert_eq!(syms.resolve(s), name);
+        }
+    }
+
+    #[test]
+    fn lookup_does_not_intern() {
+        let mut syms = Interner::new();
+        assert_eq!(syms.lookup("x"), None);
+        assert!(syms.is_empty());
+        let x = syms.intern("x");
+        assert_eq!(syms.lookup("x"), Some(x));
+        assert_eq!(syms.len(), 1);
+    }
+
+    #[test]
+    fn empty_string_is_a_valid_symbol() {
+        let mut syms = Interner::new();
+        let e = syms.intern("");
+        assert_eq!(syms.resolve(e), "");
+        assert_eq!(syms.lookup(""), Some(e));
+    }
+
+    #[test]
+    fn display_shows_the_index() {
+        let mut syms = Interner::new();
+        let s = syms.intern("x");
+        assert_eq!(s.to_string(), "sym#0");
+    }
+}

@@ -12,7 +12,9 @@
 //!   interpreter, with annotations resolved to [`p4bid_lattice::Label`]s and
 //!   typedefs unfolded;
 //! * [`span`] — source spans and line/column rendering for diagnostics;
-//! * [`pretty`] — a pretty-printer inverse to the parser.
+//! * [`pretty`] — a pretty-printer inverse to the parser;
+//! * [`intern`] — string interning ([`intern::Symbol`]/[`intern::Interner`])
+//!   backing the typechecker's `Vec`-indexed environments.
 //!
 //! # Examples
 //!
@@ -32,9 +34,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod intern;
 pub mod pretty;
 pub mod sectype;
 pub mod span;
 pub mod surface;
 
+pub use intern::{Interner, Symbol};
 pub use span::{Span, Spanned};

@@ -106,6 +106,21 @@ pub fn line_col(source: &str, offset: u32) -> LineCol {
     LineCol { line, col }
 }
 
+/// The 1-based line/column of a span's start, when the span actually
+/// falls inside `source`.
+///
+/// Returns `None` for dummy spans and spans extending past the end of
+/// `source` — i.e. diagnostics produced against a *different* buffer, such
+/// as the implicit prelude. Every renderer (CLI diagnostics, batch
+/// reports, golden sidecars) shares this gate so positions agree.
+#[must_use]
+pub fn span_line_col(source: &str, span: Span) -> Option<LineCol> {
+    if span.is_dummy() || (span.end as usize) > source.len() {
+        return None;
+    }
+    Some(line_col(source, span.start))
+}
+
 /// Extracts the full source line containing `offset`, for diagnostic
 /// underlining.
 #[must_use]

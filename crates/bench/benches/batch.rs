@@ -1,0 +1,108 @@
+//! Batch-throughput bench: the `p4bid batch` hot path.
+//!
+//! Measures (a) one-shot [`check`] against a reused [`CheckerSession`] on
+//! the same program — the string-interning + prelude-caching win — and
+//! (b) whole-corpus batch checking at one worker vs one worker per core —
+//! the thread-pool win (flat on single-core CI runners).
+//!
+//! Run with `cargo bench -p p4bid-bench --bench batch`. Set
+//! `P4BID_BENCH_JSON=path` to also write a machine-readable summary (the
+//! `BENCH_batch.json` baseline in the repo root; CI uploads it as an
+//! artifact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p4bid::batch::{check_batch, synthetic_corpus};
+use p4bid::synth::synth_program;
+use p4bid::{check, CheckOptions, CheckerSession};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const CORPUS: usize = 200;
+
+fn bench_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batch");
+
+    let program = synth_program(8, true);
+    group.bench_with_input(BenchmarkId::new("one_shot", "synth-8"), &program, |b, src| {
+        b.iter(|| check(src, &CheckOptions::ifc()).expect("accepts"));
+    });
+    group.bench_with_input(BenchmarkId::new("session_reuse", "synth-8"), &program, |b, src| {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        b.iter(|| session.check(src).expect("accepts"));
+    });
+
+    let corpus = synthetic_corpus(CORPUS);
+    group.throughput(Throughput::Elements(CORPUS as u64));
+    group.bench_with_input(BenchmarkId::new("corpus", "jobs-1"), &corpus, |b, inputs| {
+        b.iter(|| check_batch(inputs, &CheckOptions::ifc(), 1));
+    });
+    group.bench_with_input(BenchmarkId::new("corpus", "jobs-max"), &corpus, |b, inputs| {
+        b.iter(|| check_batch(inputs, &CheckOptions::ifc(), 0));
+    });
+    group.finish();
+
+    summary_json(&corpus);
+}
+
+/// Self-timed summary for the JSON artifact: programs/second for the
+/// serial and parallel batch paths plus the session-reuse speedup.
+fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
+    let time_ms = |f: &mut dyn FnMut()| {
+        f(); // warm-up
+        let iters = 3;
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        start.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
+    };
+
+    let opts = CheckOptions::ifc();
+    let jobs_1_ms = time_ms(&mut || {
+        let _ = check_batch(corpus, &opts, 1);
+    });
+    let jobs_max_ms = time_ms(&mut || {
+        let _ = check_batch(corpus, &opts, 0);
+    });
+    let program = synth_program(8, true);
+    let one_shot_ms = time_ms(&mut || {
+        check(&program, &opts).expect("accepts");
+    });
+    let mut session = CheckerSession::new(opts.clone());
+    let session_ms = time_ms(&mut || {
+        session.check(&program).expect("accepts");
+    });
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-batch/1\",");
+    let _ = writeln!(json, "  \"corpus_programs\": {},", corpus.len());
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"batch_jobs_1_ms\": {jobs_1_ms:.3},");
+    let _ = writeln!(json, "  \"batch_jobs_max_ms\": {jobs_max_ms:.3},");
+    let _ = writeln!(
+        json,
+        "  \"programs_per_sec_jobs_1\": {:.0},",
+        corpus.len() as f64 / (jobs_1_ms / 1e3)
+    );
+    let _ = writeln!(
+        json,
+        "  \"programs_per_sec_jobs_max\": {:.0},",
+        corpus.len() as f64 / (jobs_max_ms / 1e3)
+    );
+    let _ = writeln!(json, "  \"one_shot_check_ms\": {one_shot_ms:.4},");
+    let _ = writeln!(json, "  \"session_check_ms\": {session_ms:.4},");
+    let _ = writeln!(json, "  \"session_speedup\": {:.2}", one_shot_ms / session_ms.max(1e-9));
+    json.push_str("}\n");
+
+    match std::env::var("P4BID_BENCH_JSON") {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            println!("wrote batch bench summary to {path}");
+        }
+        _ => println!("\n{json}"),
+    }
+}
+
+criterion_group!(benches, bench_batch);
+criterion_main!(benches);

@@ -1,0 +1,423 @@
+//! Parallel batch checking: fan a corpus of programs out across cores,
+//! collect per-program diagnostics deterministically, and render reports.
+//!
+//! The driver pairs the reusable [`CheckerSession`] (prelude, interner, and
+//! lattice tables built once per worker) with a small dependency-free
+//! work-stealing thread pool: every worker owns a deque of program indices,
+//! pops from its own front, and steals from the back of its neighbours when
+//! it runs dry. Results are collected per worker and merged **by input
+//! index**, never by completion order, so the rendered reports are
+//! byte-identical run over run and across `--jobs` settings — the contract
+//! the determinism regression suite pins down.
+//!
+//! # Examples
+//!
+//! ```
+//! use p4bid::batch::{check_batch, BatchInput};
+//! use p4bid::CheckOptions;
+//!
+//! let inputs = vec![
+//!     BatchInput::new("ok", "control C(inout bit<8> x) { apply { x = x + 8w1; } }"),
+//!     BatchInput::new(
+//!         "leak",
+//!         "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+//!     ),
+//! ];
+//! let report = check_batch(&inputs, &CheckOptions::ifc(), 2);
+//! assert_eq!(report.accepted(), 1);
+//! assert_eq!(report.rejected(), 1);
+//! assert_eq!(report.programs[1].diagnostics[0].code, "E-EXPLICIT-FLOW");
+//! ```
+
+use crate::synth::synth_program;
+use p4bid_ast::span::span_line_col;
+use p4bid_typeck::{CheckOptions, CheckerSession, Diagnostic};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// One program in a batch: a display name plus its source text.
+#[derive(Debug, Clone)]
+pub struct BatchInput {
+    /// Display name (file name, or `synth-NNNN` for generated corpora).
+    pub name: String,
+    /// P4 source text.
+    pub source: String,
+}
+
+impl BatchInput {
+    /// Builds an input.
+    pub fn new(name: impl Into<String>, source: impl Into<String>) -> Self {
+        BatchInput { name: name.into(), source: source.into() }
+    }
+}
+
+/// A diagnostic flattened for reporting: stable code, 1-based position in
+/// the program's own source (`0:0` when the span does not fall inside it),
+/// and the human message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchDiagnostic {
+    /// Stable diagnostic ident, e.g. `E-EXPLICIT-FLOW`.
+    pub code: String,
+    /// 1-based line, or 0 for spans outside the source (prelude/dummy).
+    pub line: u32,
+    /// 1-based column, or 0 for spans outside the source.
+    pub col: u32,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl BatchDiagnostic {
+    fn from_diagnostic(d: &Diagnostic, source: &str) -> Self {
+        let (line, col) = span_line_col(source, d.span).map_or((0, 0), |lc| (lc.line, lc.col));
+        BatchDiagnostic { code: d.code.ident().to_string(), line, col, message: d.message.clone() }
+    }
+}
+
+/// The verdict for one program of the batch.
+#[derive(Debug, Clone)]
+pub struct ProgramReport {
+    /// Position in the input list (reports are always sorted by this).
+    pub index: usize,
+    /// Input name.
+    pub name: String,
+    /// Whether the checker accepted the program.
+    pub accepted: bool,
+    /// Diagnostics for rejected programs (empty on accept).
+    pub diagnostics: Vec<BatchDiagnostic>,
+}
+
+/// A whole-batch report, ordered by input index.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Per-program verdicts, sorted by input index.
+    pub programs: Vec<ProgramReport>,
+    /// Worker count the batch ran with (reporting only; excluded from the
+    /// JSON form so reports are identical across `--jobs` settings).
+    pub jobs: usize,
+}
+
+impl BatchReport {
+    /// Number of accepted programs.
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.programs.iter().filter(|p| p.accepted).count()
+    }
+
+    /// Number of rejected programs.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.programs.len() - self.accepted()
+    }
+
+    /// Whether every program was accepted.
+    #[must_use]
+    pub fn all_accepted(&self) -> bool {
+        self.rejected() == 0
+    }
+
+    /// Machine-readable JSON form (schema `p4bid-batch-report/1`).
+    ///
+    /// Deliberately timing-free: two runs over the same inputs produce
+    /// byte-identical JSON regardless of scheduling or worker count.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"p4bid-batch-report/1\",\n");
+        out.push_str("  \"programs\": [\n");
+        for (i, p) in self.programs.iter().enumerate() {
+            let status = if p.accepted { "accept" } else { "reject" };
+            let _ = write!(
+                out,
+                "    {{\"index\": {}, \"name\": {}, \"status\": \"{status}\", \"diagnostics\": [",
+                p.index,
+                json_string(&p.name),
+            );
+            for (j, d) in p.diagnostics.iter().enumerate() {
+                let _ = write!(
+                    out,
+                    "{}{{\"code\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+                    if j == 0 { "" } else { ", " },
+                    json_string(&d.code),
+                    d.line,
+                    d.col,
+                    json_string(&d.message),
+                );
+            }
+            out.push_str(if i + 1 == self.programs.len() { "]}\n" } else { "]},\n" });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"total\": {}, \"accepted\": {}, \"rejected\": {}}}",
+            self.programs.len(),
+            self.accepted(),
+            self.rejected(),
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable table, one row per program plus a summary line.
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let name_w = self.programs.iter().map(|p| p.name.len()).max().unwrap_or(4).clamp(4, 40);
+        let mut out = String::new();
+        let _ = writeln!(out, "{:>5}  {:<name_w$}  {:<8}  diagnostics", "#", "name", "status");
+        for p in &self.programs {
+            let diag = match p.diagnostics.first() {
+                None => String::new(),
+                Some(d) => {
+                    let more = p.diagnostics.len() - 1;
+                    let suffix = if more > 0 { format!(" (+{more} more)") } else { String::new() };
+                    format!("{} @ {}:{}{suffix}", d.code, d.line, d.col)
+                }
+            };
+            let status = if p.accepted { "accept" } else { "REJECT" };
+            let _ = writeln!(out, "{:>5}  {:<name_w$}  {:<8}  {diag}", p.index, p.name, status);
+        }
+        let _ = writeln!(
+            out,
+            "{} program(s): {} accepted, {} rejected",
+            self.programs.len(),
+            self.accepted(),
+            self.rejected(),
+        );
+        out
+    }
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A work-stealing queue of task indices: one deque per worker, owners pop
+/// from the front, thieves steal from the back.
+///
+/// Tasks never spawn tasks here, so termination is simple: a worker exits
+/// once every deque (its own and all victims') is empty.
+#[derive(Debug)]
+pub struct StealQueue {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl StealQueue {
+    /// Distributes `tasks` task indices round-robin over `workers` deques.
+    #[must_use]
+    pub fn new(tasks: usize, workers: usize) -> Self {
+        let workers = workers.max(1);
+        let mut deques: Vec<VecDeque<usize>> = (0..workers).map(|_| VecDeque::new()).collect();
+        for t in 0..tasks {
+            deques[t % workers].push_back(t);
+        }
+        StealQueue { deques: deques.into_iter().map(Mutex::new).collect() }
+    }
+
+    /// Number of worker deques.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.deques.len()
+    }
+
+    /// The next task for `worker`: its own front, else a steal from the
+    /// back of the first non-empty victim. `None` means global exhaustion.
+    #[must_use]
+    pub fn next_task(&self, worker: usize) -> Option<usize> {
+        if let Some(t) = self.deques[worker].lock().expect("queue lock").pop_front() {
+            return Some(t);
+        }
+        let n = self.deques.len();
+        for off in 1..n {
+            let victim = (worker + off) % n;
+            if let Some(t) = self.deques[victim].lock().expect("queue lock").pop_back() {
+                return Some(t);
+            }
+        }
+        None
+    }
+}
+
+/// Checks every input and returns the ordered report.
+///
+/// `jobs == 0` means "one worker per available core". Each worker owns a
+/// private [`CheckerSession`]; verdicts are merged by input index so the
+/// report (and its JSON/table renderings) is deterministic.
+#[must_use]
+pub fn check_batch(inputs: &[BatchInput], opts: &CheckOptions, jobs: usize) -> BatchReport {
+    let jobs = match jobs {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    };
+    let jobs = jobs.min(inputs.len()).max(1);
+
+    let mut programs = if jobs == 1 {
+        let mut session = CheckerSession::new(opts.clone());
+        inputs.iter().enumerate().map(|(i, inp)| check_one(&mut session, i, inp)).collect()
+    } else {
+        let queue = StealQueue::new(inputs.len(), jobs);
+        let mut collected: Vec<ProgramReport> = Vec::with_capacity(inputs.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let queue = &queue;
+                    scope.spawn(move || {
+                        // Sessions hold `Rc`-backed tables, so each worker
+                        // builds its own instead of sharing behind a lock.
+                        let mut session = CheckerSession::new(opts.clone());
+                        let mut out = Vec::new();
+                        while let Some(i) = queue.next_task(w) {
+                            out.push(check_one(&mut session, i, &inputs[i]));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.extend(h.join().expect("batch worker panicked"));
+            }
+        });
+        collected
+    };
+    // Deterministic contract: order by input index, not completion.
+    programs.sort_by_key(|p| p.index);
+    BatchReport { programs, jobs }
+}
+
+fn check_one(session: &mut CheckerSession, index: usize, input: &BatchInput) -> ProgramReport {
+    match session.check(&input.source) {
+        Ok(_) => ProgramReport {
+            index,
+            name: input.name.clone(),
+            accepted: true,
+            diagnostics: Vec::new(),
+        },
+        Err(diags) => ProgramReport {
+            index,
+            name: input.name.clone(),
+            accepted: false,
+            diagnostics: diags
+                .iter()
+                .map(|d| BatchDiagnostic::from_diagnostic(d, &input.source))
+                .collect(),
+        },
+    }
+}
+
+/// A deterministic synthetic corpus of `n` well-typed annotated programs
+/// (sizes cycling over 1–8 table/action pairs), for scale testing and the
+/// `batch` bench. Every program is accepted by the IFC checker.
+#[must_use]
+pub fn synthetic_corpus(n: usize) -> Vec<BatchInput> {
+    (0..n)
+        .map(|i| BatchInput::new(format!("synth-{i:04}"), synth_program(i % 8 + 1, true)))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mixed_inputs() -> Vec<BatchInput> {
+        let mut inputs = synthetic_corpus(6);
+        inputs.insert(
+            2,
+            BatchInput::new(
+                "leak",
+                "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+            ),
+        );
+        inputs.insert(5, BatchInput::new("syntax-error", "control {"));
+        inputs
+    }
+
+    #[test]
+    fn verdicts_are_input_ordered_and_correct() {
+        let report = check_batch(&mixed_inputs(), &CheckOptions::ifc(), 4);
+        assert_eq!(report.programs.len(), 8);
+        for (i, p) in report.programs.iter().enumerate() {
+            assert_eq!(p.index, i);
+        }
+        assert_eq!(report.rejected(), 2);
+        assert!(!report.programs[2].accepted);
+        assert_eq!(report.programs[2].diagnostics[0].code, "E-EXPLICIT-FLOW");
+        assert!(!report.programs[5].accepted);
+        assert_eq!(report.programs[5].diagnostics[0].code, "E-MALFORMED");
+    }
+
+    #[test]
+    fn reports_identical_across_job_counts() {
+        let inputs = mixed_inputs();
+        let opts = CheckOptions::ifc();
+        let one = check_batch(&inputs, &opts, 1);
+        for jobs in [2, 3, 8] {
+            let par = check_batch(&inputs, &opts, jobs);
+            assert_eq!(one.to_json(), par.to_json(), "jobs={jobs}");
+            assert_eq!(one.render_table(), par.render_table(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn json_is_schema_tagged_and_escaped() {
+        let inputs = vec![BatchInput::new("we\"ird\nname", "control {")];
+        let report = check_batch(&inputs, &CheckOptions::ifc(), 1);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"p4bid-batch-report/1\""), "{json}");
+        assert!(json.contains("we\\\"ird\\nname"), "{json}");
+        assert!(json.contains("\"summary\": {\"total\": 1, \"accepted\": 0, \"rejected\": 1}"));
+    }
+
+    #[test]
+    fn diagnostics_carry_positions_in_their_own_source() {
+        let src =
+            "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {\n    apply { l = h; }\n}\n";
+        let report = check_batch(&[BatchInput::new("leak", src)], &CheckOptions::ifc(), 1);
+        let d = &report.programs[0].diagnostics[0];
+        assert_eq!((d.line, d.col), (2, 13), "{d:?}");
+    }
+
+    #[test]
+    fn empty_batch_is_all_accepted() {
+        let report = check_batch(&[], &CheckOptions::ifc(), 0);
+        assert!(report.all_accepted());
+        assert_eq!(report.programs.len(), 0);
+        assert!(report.to_json().contains("\"total\": 0"));
+    }
+
+    #[test]
+    fn steal_queue_drains_exactly_once() {
+        let q = StealQueue::new(100, 3);
+        let mut seen = [false; 100];
+        // Worker 1 never pops its own; everything still drains via steals.
+        while let Some(t) = q.next_task(1) {
+            assert!(!seen[t], "task {t} handed out twice");
+            seen[t] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all tasks drained");
+        for w in 0..q.workers() {
+            assert_eq!(q.next_task(w), None);
+        }
+    }
+
+    #[test]
+    fn synthetic_corpus_is_accepted_at_scale() {
+        let inputs = synthetic_corpus(64);
+        let report = check_batch(&inputs, &CheckOptions::ifc(), 0);
+        assert!(report.all_accepted(), "{}", report.render_table());
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! p4bid check FILE [--base|--permissive] [--pc LABEL]   typecheck a program
+//! p4bid batch DIR|--synthetic N [--jobs J] [--json]     check a whole corpus in parallel
 //! p4bid matrix                                          §5 case-study accept/reject matrix
 //! p4bid table1 [ITERS]                                  regenerate Table 1 (default 20 iterations)
 //! p4bid ni FILE --control NAME [--runs N] [--observe L] empirical non-interference check
@@ -9,6 +10,7 @@
 //! p4bid fuzz [N] [--safe-bias F]                        soundness fuzzing over N random programs
 //! ```
 
+use p4bid::batch::{check_batch, synthetic_corpus, BatchInput};
 use p4bid::ni::{check_non_interference, random_program, GenConfig, NiConfig, NiOutcome};
 use p4bid::report::{
     case_study_matrix, measure_table1, render_matrix, render_table1, unannotated_source,
@@ -20,6 +22,7 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
+        Some("batch") => cmd_batch(&args[1..]),
         Some("matrix") => {
             print!("{}", render_matrix(&case_study_matrix()));
             ExitCode::SUCCESS
@@ -35,6 +38,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  p4bid check FILE [--base|--permissive] [--pc LABEL]\n  \
+                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--base|--permissive] [--pc LABEL]\n  \
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
@@ -49,6 +53,29 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1)).map(String::as_str)
 }
 
+/// Every flag that consumes the following argument as its value, across
+/// all subcommands. Needed to tell a positional argument apart from a
+/// flag value (`p4bid batch --jobs 2 DIR` must find `DIR`, not `2`).
+const VALUE_FLAGS: [&str; 7] =
+    ["--pc", "--jobs", "--synthetic", "--runs", "--observe", "--control", "--safe-bias"];
+
+/// The first positional (non-flag, non-flag-value) argument.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a.starts_with("--") {
+            skip_next = VALUE_FLAGS.contains(&a.as_str());
+            continue;
+        }
+        return Some(a);
+    }
+    None
+}
+
 fn read_source(path: &str) -> Result<String, ExitCode> {
     std::fs::read_to_string(path).map_err(|e| {
         eprintln!("error: cannot read `{path}`: {e}");
@@ -57,7 +84,7 @@ fn read_source(path: &str) -> Result<String, ExitCode> {
 }
 
 fn cmd_check(args: &[String]) -> ExitCode {
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+    let Some(path) = positional(args) else {
         eprintln!("error: `p4bid check` needs a file");
         return ExitCode::from(2);
     };
@@ -65,16 +92,7 @@ fn cmd_check(args: &[String]) -> ExitCode {
         Ok(s) => s,
         Err(code) => return code,
     };
-    let mut opts = if args.iter().any(|a| a == "--base") {
-        CheckOptions::base()
-    } else if args.iter().any(|a| a == "--permissive") {
-        CheckOptions::permissive()
-    } else {
-        CheckOptions::ifc()
-    };
-    if let Some(pc) = flag_value(args, "--pc") {
-        opts = opts.with_pc(pc);
-    }
+    let opts = check_options(args);
     match check(&source, &opts) {
         Ok(typed) => {
             println!(
@@ -92,8 +110,102 @@ fn cmd_check(args: &[String]) -> ExitCode {
     }
 }
 
+/// Mode/pc flags shared by `check` and `batch`.
+fn check_options(args: &[String]) -> CheckOptions {
+    let mut opts = if args.iter().any(|a| a == "--base") {
+        CheckOptions::base()
+    } else if args.iter().any(|a| a == "--permissive") {
+        CheckOptions::permissive()
+    } else {
+        CheckOptions::ifc()
+    };
+    if let Some(pc) = flag_value(args, "--pc") {
+        opts = opts.with_pc(pc);
+    }
+    opts
+}
+
+fn cmd_batch(args: &[String]) -> ExitCode {
+    let inputs = if let Some(n) = flag_value(args, "--synthetic") {
+        let Ok(n) = n.parse::<usize>() else {
+            eprintln!("error: `--synthetic` needs a program count, got `{n}`");
+            return ExitCode::from(2);
+        };
+        synthetic_corpus(n)
+    } else {
+        let Some(dir) = positional(args) else {
+            eprintln!("error: `p4bid batch` needs a directory or `--synthetic N`");
+            return ExitCode::from(2);
+        };
+        let entries = match std::fs::read_dir(dir) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("error: cannot read directory `{dir}`: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let mut paths: Vec<std::path::PathBuf> = entries
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|e| e == "p4"))
+            .collect();
+        paths.sort();
+        if paths.is_empty() {
+            eprintln!("error: no .p4 files in `{dir}`");
+            return ExitCode::from(2);
+        }
+        let mut inputs = Vec::with_capacity(paths.len());
+        for path in paths {
+            let name = path
+                .file_name()
+                .map_or_else(|| path.display().to_string(), |n| n.to_string_lossy().into_owned());
+            match std::fs::read_to_string(&path) {
+                Ok(source) => inputs.push(BatchInput::new(name, source)),
+                Err(e) => {
+                    eprintln!("error: cannot read `{}`: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        inputs
+    };
+
+    let jobs = match flag_value(args, "--jobs") {
+        None => 0, // one worker per core
+        Some(j) => match j.parse::<usize>() {
+            Ok(j) if j >= 1 => j,
+            _ => {
+                eprintln!("error: `--jobs` needs a positive worker count, got `{j}`");
+                return ExitCode::from(2);
+            }
+        },
+    };
+
+    let opts = check_options(args);
+    let start = std::time::Instant::now();
+    let report = check_batch(&inputs, &opts, jobs);
+    let elapsed = start.elapsed();
+    if args.iter().any(|a| a == "--json") {
+        print!("{}", report.to_json());
+    } else {
+        print!("{}", report.render_table());
+    }
+    // Timing goes to stderr so stdout stays byte-identical across runs.
+    eprintln!(
+        "checked {} program(s) in {:.1} ms on {} worker(s)",
+        report.programs.len(),
+        elapsed.as_secs_f64() * 1e3,
+        report.jobs,
+    );
+    if report.all_accepted() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn cmd_ni(args: &[String]) -> ExitCode {
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
+    let Some(path) = positional(args) else {
         eprintln!("error: `p4bid ni` needs a file");
         return ExitCode::from(2);
     };
@@ -144,7 +256,7 @@ fn cmd_ni(args: &[String]) -> ExitCode {
 }
 
 fn cmd_corpus(args: &[String]) -> ExitCode {
-    let name = args.iter().find(|a| !a.starts_with("--"));
+    let name = positional(args);
     match name {
         None => {
             for cs in p4bid::corpus::case_studies() {
@@ -172,8 +284,7 @@ fn cmd_corpus(args: &[String]) -> ExitCode {
 }
 
 fn cmd_fuzz(args: &[String]) -> ExitCode {
-    let n: u64 =
-        args.iter().find(|a| !a.starts_with("--")).and_then(|s| s.parse().ok()).unwrap_or(200);
+    let n: u64 = positional(args).and_then(|s| s.parse().ok()).unwrap_or(200);
     let mut cfg = GenConfig::default();
     if let Some(bias) = flag_value(args, "--safe-bias").and_then(|s| s.parse().ok()) {
         cfg = cfg.with_safe_bias(bias);

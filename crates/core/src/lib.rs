@@ -8,9 +8,10 @@
 //!
 //! This crate is the facade: it re-exports the pieces, ships the
 //! [`corpus`] of case studies, derives the unannotated baselines
-//! ([`strip`]), generates scaling workloads ([`synth`]), renders
-//! diagnostics ([`render_diagnostics`]), and produces the evaluation
-//! reports ([`report`]).
+//! ([`strip`]), generates scaling workloads ([`synth`]), checks whole
+//! corpora in parallel ([`batch`]), renders diagnostics
+//! ([`render_diagnostics`]), and produces the evaluation reports
+//! ([`report`]).
 //!
 //! ## Quickstart
 //!
@@ -45,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod corpus;
 pub mod packet;
 pub mod report;
@@ -52,8 +54,8 @@ pub mod strip;
 pub mod synth;
 
 pub use p4bid_typeck::{
-    check_source as check, CheckOptions, DiagCode, Diagnostic, Mode, TypedControl, TypedProgram,
-    PRELUDE,
+    check_source as check, CheckOptions, CheckerSession, DiagCode, Diagnostic, Mode, TypedControl,
+    TypedProgram, PRELUDE,
 };
 
 /// The security-lattice substrate.
@@ -65,7 +67,7 @@ pub mod lattice {
 pub mod ast {
     pub use p4bid_ast::pretty;
     pub use p4bid_ast::sectype::{FnParam, FnTy, SecTy, Ty};
-    pub use p4bid_ast::span::{line_col, source_line, LineCol, Span, Spanned};
+    pub use p4bid_ast::span::{line_col, source_line, span_line_col, LineCol, Span, Spanned};
     pub use p4bid_ast::surface::*;
 }
 
@@ -91,7 +93,7 @@ pub mod ni {
     };
 }
 
-use p4bid_ast::span::{line_col, source_line};
+use p4bid_ast::span::{source_line, span_line_col};
 
 /// Renders diagnostics against the source text they were produced from,
 /// with `line:col` positions and a caret under the offending span.
@@ -113,9 +115,7 @@ use p4bid_ast::span::{line_col, source_line};
 pub fn render_diagnostics(source: &str, diags: &[Diagnostic]) -> String {
     let mut out = String::new();
     for d in diags {
-        let in_range = (d.span.end as usize) <= source.len() && !d.span.is_dummy();
-        if in_range {
-            let lc = line_col(source, d.span.start);
+        if let Some(lc) = span_line_col(source, d.span) {
             out.push_str(&format!("{lc}: {d}\n"));
             let line = source_line(source, d.span.start);
             out.push_str(&format!("    | {line}\n"));

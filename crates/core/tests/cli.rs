@@ -135,6 +135,128 @@ fn fuzz_subcommand_reports_counts() {
 }
 
 // ---------------------------------------------------------------------
+// `p4bid batch`: exit codes, report shapes, and error handling.
+// ---------------------------------------------------------------------
+
+/// A scratch directory seeded with the given (name, source) programs.
+fn batch_dir(tag: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("p4bid-batch-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create batch dir");
+    for (name, source) in files {
+        std::fs::write(dir.join(name), source).expect("write corpus file");
+    }
+    dir
+}
+
+const BATCH_OK: &str = "control C(inout bit<8> x) { apply { x = x + 8w1; } }";
+const BATCH_LEAK: &str =
+    "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }";
+
+#[test]
+fn batch_all_accept_exits_zero() {
+    let dir = batch_dir("ok", &[("a.p4", BATCH_OK), ("b.p4", BATCH_OK)]);
+    let out = p4bid(&["batch", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("2 program(s): 2 accepted, 0 rejected"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("checked 2 program(s)"), "timing on stderr: {stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_any_reject_exits_one_with_located_diagnostics() {
+    let dir = batch_dir("mixed", &[("a.p4", BATCH_OK), ("z-leak.p4", BATCH_LEAK)]);
+    let out = p4bid(&["batch", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("REJECT"), "{stdout}");
+    assert!(stdout.contains("E-EXPLICIT-FLOW @ 1:68"), "{stdout}");
+    assert!(stdout.contains("1 accepted, 1 rejected"), "{stdout}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_json_report_schema() {
+    let dir = batch_dir("json", &[("a.p4", BATCH_OK), ("z-leak.p4", BATCH_LEAK)]);
+    let out = p4bid(&["batch", dir.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(1));
+    let json = String::from_utf8(out.stdout).expect("utf-8 JSON");
+    // Schema snapshot: stable tag, per-program rows keyed by input index,
+    // diagnostics with code/position/message, and the summary object.
+    assert!(json.contains("\"schema\": \"p4bid-batch-report/1\""), "{json}");
+    assert!(
+        json.contains(
+            "{\"index\": 0, \"name\": \"a.p4\", \"status\": \"accept\", \"diagnostics\": []}"
+        ),
+        "{json}"
+    );
+    assert!(
+        json.contains("\"index\": 1, \"name\": \"z-leak.p4\", \"status\": \"reject\""),
+        "{json}"
+    );
+    assert!(json.contains("\"code\": \"E-EXPLICIT-FLOW\", \"line\": 1, \"col\": 68"), "{json}");
+    assert!(
+        json.contains("\"summary\": {\"total\": 2, \"accepted\": 1, \"rejected\": 1}"),
+        "{json}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_base_mode_accepts_the_leak() {
+    let dir = batch_dir("base", &[("leak.p4", BATCH_LEAK)]);
+    let out = p4bid(&["batch", dir.to_str().unwrap(), "--base"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_empty_dir_is_usage_error() {
+    let dir = batch_dir("empty", &[]);
+    let out = p4bid(&["batch", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no .p4 files"));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_invalid_dir_is_usage_error() {
+    let out = p4bid(&["batch", "/nonexistent/ghost-dir"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read directory"));
+}
+
+#[test]
+fn batch_accepts_flags_before_the_directory() {
+    // Flag values must not be mistaken for the positional argument.
+    let dir = batch_dir("flags-first", &[("a.p4", BATCH_OK)]);
+    let out = p4bid(&["batch", "--jobs", "1", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_rejects_bad_flag_values() {
+    let no_input = p4bid(&["batch"]);
+    assert_eq!(no_input.status.code(), Some(2));
+    let bad_jobs = p4bid(&["batch", "--synthetic", "4", "--jobs", "0"]);
+    assert_eq!(bad_jobs.status.code(), Some(2));
+    let bad_synth = p4bid(&["batch", "--synthetic", "many"]);
+    assert_eq!(bad_synth.status.code(), Some(2));
+}
+
+#[test]
+fn batch_checks_a_thousand_synthetic_programs() {
+    let out = p4bid(&["batch", "--synthetic", "1000", "--json"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"summary\": {\"total\": 1000, \"accepted\": 1000, \"rejected\": 0}"));
+    assert!(json.contains("\"name\": \"synth-0999\""), "input-ordered to the last program");
+}
+
+// ---------------------------------------------------------------------
 // End-to-end corpus coverage: the paper's Topology case study (Listings
 // 1 and 2) through the real binary — exit codes and diagnostic output.
 // ---------------------------------------------------------------------

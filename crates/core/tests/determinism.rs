@@ -1,0 +1,42 @@
+//! Determinism regressions: given the same seed/inputs, the soundness
+//! fuzzer and the parallel `batch` driver must produce **byte-identical**
+//! reports run over run — and, for `batch`, across worker counts. This
+//! pins the thread pool's ordered-collection contract: results are merged
+//! by input index, never by completion order.
+
+use std::process::{Command, Output};
+
+fn p4bid(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_p4bid")).args(args).output().expect("binary runs")
+}
+
+#[test]
+fn fuzz_reports_are_byte_identical_across_runs() {
+    let a = p4bid(&["fuzz", "25"]);
+    let b = p4bid(&["fuzz", "25"]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.status.code(), b.status.code());
+    assert_eq!(a.stdout, b.stdout, "fuzz stdout differs between identical runs");
+    assert_eq!(a.stderr, b.stderr, "fuzz stderr differs between identical runs");
+}
+
+#[test]
+fn batch_json_is_byte_identical_across_runs() {
+    let a = p4bid(&["batch", "--synthetic", "60", "--json", "--jobs", "3"]);
+    let b = p4bid(&["batch", "--synthetic", "60", "--json", "--jobs", "3"]);
+    assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "batch JSON differs between identical runs");
+}
+
+#[test]
+fn batch_reports_are_identical_across_job_counts() {
+    // stdout (table and JSON alike) must not depend on scheduling; only
+    // the stderr timing line may mention the worker count.
+    let serial_json = p4bid(&["batch", "--synthetic", "40", "--json", "--jobs", "1"]);
+    let parallel_json = p4bid(&["batch", "--synthetic", "40", "--json", "--jobs", "4"]);
+    assert_eq!(serial_json.stdout, parallel_json.stdout);
+
+    let serial_table = p4bid(&["batch", "--synthetic", "40", "--jobs", "1"]);
+    let parallel_table = p4bid(&["batch", "--synthetic", "40", "--jobs", "4"]);
+    assert_eq!(serial_table.stdout, parallel_table.stdout);
+}

@@ -24,8 +24,9 @@
 //!   iff every key label is below it.
 
 use crate::diag::{DiagCode, Diagnostic};
-use crate::env::{ScopedEnv, TypeDefs, VarInfo};
+use crate::env::{LabelTable, ScopedEnv, TypeDefs, VarInfo};
 use crate::oracle;
+use p4bid_ast::intern::Interner;
 use p4bid_ast::sectype::{FnParam, FnTy, SecTy, Ty};
 use p4bid_ast::span::Span;
 use p4bid_ast::surface::*;
@@ -173,58 +174,106 @@ pub fn check_program(
     program: Program,
     opts: &CheckOptions,
 ) -> Result<TypedProgram, Vec<Diagnostic>> {
-    // Resolve the active lattice.
-    let lattice = match &opts.lattice {
-        Some(l) => l.clone(),
-        None => match program.lattice_decl() {
-            Some(decl) => {
-                let names = decl.element_names();
-                let order: Vec<(String, String)> =
-                    decl.order.iter().map(|(lo, hi)| (lo.node.clone(), hi.node.clone())).collect();
-                match Lattice::from_order(&names, &order) {
-                    Ok(l) => l,
-                    Err(e) => {
-                        return Err(vec![Diagnostic::new(
-                            DiagCode::Malformed,
-                            format!("invalid lattice declaration: {e}"),
-                            decl.span,
-                        )]);
-                    }
-                }
-            }
-            None => Lattice::two_point(),
-        },
-    };
+    let lattice = resolve_lattice(&program, opts)?;
+    let default_pc = resolve_default_pc(&lattice, opts)?;
+    let mut syms = Interner::new();
+    let (controls, state) =
+        check_items(&program.items, &lattice, opts, default_pc, &mut syms, CheckerState::empty())?;
+    Ok(TypedProgram { lattice, defs: state.defs, controls, program })
+}
 
+/// Resolves the active lattice: the override in `opts`, else the program's
+/// `lattice { … }` declaration, else the two-point default.
+pub(crate) fn resolve_lattice(
+    program: &Program,
+    opts: &CheckOptions,
+) -> Result<Lattice, Vec<Diagnostic>> {
+    if let Some(l) = &opts.lattice {
+        return Ok(l.clone());
+    }
+    match program.lattice_decl() {
+        Some(decl) => {
+            let names = decl.element_names();
+            let order: Vec<(String, String)> =
+                decl.order.iter().map(|(lo, hi)| (lo.node.clone(), hi.node.clone())).collect();
+            Lattice::from_order(&names, &order).map_err(|e| {
+                vec![Diagnostic::new(
+                    DiagCode::Malformed,
+                    format!("invalid lattice declaration: {e}"),
+                    decl.span,
+                )]
+            })
+        }
+        None => Ok(Lattice::two_point()),
+    }
+}
+
+/// Resolves the ambient `pc` override against the active lattice.
+pub(crate) fn resolve_default_pc(
+    lattice: &Lattice,
+    opts: &CheckOptions,
+) -> Result<Label, Vec<Diagnostic>> {
+    match &opts.pc {
+        None => Ok(lattice.bottom()),
+        Some(name) => lattice.label(name).ok_or_else(|| {
+            vec![Diagnostic::new(
+                DiagCode::UnknownLabel,
+                format!("ambient pc label `{name}` is not in the lattice {lattice}"),
+                Span::dummy(),
+            )]
+        }),
+    }
+}
+
+/// The carried checker context: Δ, the global Γ bindings, and the inferred
+/// global function signatures. A [`CheckerSession`](crate::CheckerSession)
+/// snapshots this after checking the prelude so later programs start from
+/// the snapshot instead of re-checking it.
+#[derive(Debug, Clone)]
+pub(crate) struct CheckerState {
+    pub(crate) defs: TypeDefs,
+    pub(crate) env: ScopedEnv,
+    pub(crate) sig_functions: Vec<(String, Rc<FnTy>)>,
+}
+
+impl CheckerState {
+    pub(crate) fn empty() -> Self {
+        CheckerState { defs: TypeDefs::new(), env: ScopedEnv::new(), sig_functions: Vec::new() }
+    }
+}
+
+/// Checks a run of top-level items under an initial state, returning the
+/// checked controls and the final state (for prelude snapshotting).
+///
+/// # Errors
+///
+/// Returns all diagnostics if any item is ill-typed.
+pub(crate) fn check_items(
+    items: &[Item],
+    lattice: &Lattice,
+    opts: &CheckOptions,
+    default_pc: Label,
+    syms: &mut Interner,
+    state: CheckerState,
+) -> Result<(Vec<TypedControl>, CheckerState), Vec<Diagnostic>> {
+    let labels = LabelTable::new(lattice, syms);
     let mut checker = Checker {
-        lat: &lattice,
+        lat: lattice,
+        labels,
+        syms,
         resolve_labels: opts.mode != Mode::Base,
         enforce: opts.mode == Mode::Ifc,
-        defs: TypeDefs::new(),
-        env: ScopedEnv::new(),
+        defs: state.defs,
+        env: state.env,
         diags: Vec::new(),
-        sig_functions: Vec::new(),
+        sig_functions: state.sig_functions,
         sig_tables: Vec::new(),
         pc_bounds: None,
         return_ty: None,
     };
 
-    let default_pc = match &opts.pc {
-        None => lattice.bottom(),
-        Some(name) => match lattice.label(name) {
-            Some(l) => l,
-            None => {
-                return Err(vec![Diagnostic::new(
-                    DiagCode::UnknownLabel,
-                    format!("ambient pc label `{name}` is not in the lattice {lattice}"),
-                    Span::dummy(),
-                )]);
-            }
-        },
-    };
-
     let mut controls = Vec::new();
-    for item in &program.items {
+    for item in items {
         match item {
             Item::Lattice(_) => {}
             Item::Type(t) => checker.type_decl(t),
@@ -239,7 +288,12 @@ pub fn check_program(
     }
 
     if checker.diags.is_empty() {
-        Ok(TypedProgram { lattice: lattice.clone(), defs: checker.defs, controls, program })
+        let state = CheckerState {
+            defs: checker.defs,
+            env: checker.env,
+            sig_functions: checker.sig_functions,
+        };
+        Ok((controls, state))
     } else {
         Err(checker.diags)
     }
@@ -247,6 +301,11 @@ pub fn check_program(
 
 struct Checker<'a> {
     lat: &'a Lattice,
+    /// Interned lattice element names (`Vec`-indexed by symbol).
+    labels: LabelTable,
+    /// The session's interner; names are interned at declaration sites and
+    /// probed (never grown) at use sites.
+    syms: &'a mut Interner,
     /// Whether annotations are resolved against the lattice (Ifc and
     /// Permissive modes) or stripped (Base).
     resolve_labels: bool,
@@ -310,9 +369,9 @@ impl Checker<'_> {
     /// first (the baseline checker never consults the lattice).
     fn resolve(&mut self, ann: &AnnType) -> Option<SecTy> {
         let resolved = if self.resolve_labels {
-            self.defs.resolve(ann, self.lat)
+            self.defs.resolve_interned(ann, self.lat, &self.labels, self.syms)
         } else {
-            self.defs.resolve(&strip_labels(ann), self.lat)
+            self.defs.resolve_interned(&strip_labels(ann), self.lat, &self.labels, self.syms)
         };
         match resolved {
             Ok(t) => Some(t),
@@ -327,12 +386,14 @@ impl Checker<'_> {
         match t {
             TypeDecl::MatchKind { kinds } => {
                 for k in kinds {
-                    self.defs.add_match_kind(&k.node);
+                    let sym = self.syms.intern(&k.node);
+                    self.defs.add_match_kind(sym, &k.node);
                 }
             }
             TypeDecl::Typedef { ty, name } => {
                 if let Some(resolved) = self.resolve(ty) {
-                    if !self.defs.define(&name.node, resolved) {
+                    let sym = self.syms.intern(&name.node);
+                    if !self.defs.define(sym, &name.node, resolved) {
                         self.error(
                             DiagCode::DuplicateDef,
                             format!("type `{}` is already defined", name.node),
@@ -372,7 +433,8 @@ impl Checker<'_> {
                 }
                 let fields = Rc::new(resolved_fields);
                 let ty = if is_header { Ty::Header(fields) } else { Ty::Record(fields) };
-                if !self.defs.define(&name.node, SecTy::bottom(ty, self.lat)) {
+                let sym = self.syms.intern(&name.node);
+                if !self.defs.define(sym, &name.node, SecTy::bottom(ty, self.lat)) {
                     self.error(
                         DiagCode::DuplicateDef,
                         format!("type `{}` is already defined", name.node),
@@ -402,13 +464,21 @@ impl Checker<'_> {
                 };
                 Some((SecTy::bottom(ty, self.lat), false))
             }
-            ExprKind::Var(name) => match self.env.lookup(name) {
-                Some(info) => Some((info.ty.clone(), info.writable)),
-                None => {
-                    self.error(DiagCode::UnknownVar, format!("unknown variable `{name}`"), e.span);
-                    None
+            ExprKind::Var(name) => {
+                // Use sites probe the interner: a name that was never
+                // interned was never declared.
+                match self.syms.lookup(name).and_then(|sym| self.env.lookup(sym)) {
+                    Some(info) => Some((info.ty.clone(), info.writable)),
+                    None => {
+                        self.error(
+                            DiagCode::UnknownVar,
+                            format!("unknown variable `{name}`"),
+                            e.span,
+                        );
+                        None
+                    }
                 }
-            },
+            }
             ExprKind::Field(recv, field) => {
                 let (rt, writable) = self.expr(recv, pc)?;
                 match rt.ty.field(&field.node) {
@@ -836,7 +906,8 @@ impl Checker<'_> {
                 }
             }
         }
-        if !self.env.declare(&v.name.node, VarInfo { ty: declared, writable: true }) {
+        let sym = self.syms.intern(&v.name.node);
+        if !self.env.declare(sym, VarInfo { ty: declared, writable: true }) {
             self.error(
                 DiagCode::DuplicateDef,
                 format!("`{}` is already declared in this scope", v.name.node),
@@ -894,7 +965,8 @@ impl Checker<'_> {
         self.env.push_scope();
         for p in &fn_params {
             let writable = p.direction == Direction::InOut;
-            self.env.declare(&p.name, VarInfo { ty: p.ty.clone(), writable });
+            let sym = self.syms.intern(&p.name);
+            self.env.declare(sym, VarInfo { ty: p.ty.clone(), writable });
         }
         let saved_bounds = self.pc_bounds.replace(Vec::new());
         let saved_ret = self.return_ty.replace(ret_ty.clone());
@@ -921,7 +993,8 @@ impl Checker<'_> {
         let fnty = Rc::new(FnTy { params: fn_params, pc_fn, ret: ret_ty, is_action });
         self.sig_functions.push((name.node.clone(), Rc::clone(&fnty)));
         let info = VarInfo { ty: SecTy::bottom(Ty::Function(fnty), self.lat), writable: false };
-        if !self.env.declare(&name.node, info) {
+        let sym = self.syms.intern(&name.node);
+        if !self.env.declare(sym, info) {
             self.error(
                 DiagCode::DuplicateDef,
                 format!("`{}` is already declared in this scope", name.node),
@@ -945,7 +1018,7 @@ impl Checker<'_> {
         // Gather the action signatures first: pc_tbl depends on them.
         let mut action_tys: Vec<(Rc<FnTy>, &ActionRef)> = Vec::new();
         for aref in &t.actions {
-            match self.env.lookup(&aref.name.node) {
+            match self.syms.lookup(&aref.name.node).and_then(|sym| self.env.lookup(sym)) {
                 Some(info) => match &info.ty.ty {
                     Ty::Function(f) if f.is_action => {
                         action_tys.push((Rc::clone(f), aref));
@@ -987,7 +1060,11 @@ impl Checker<'_> {
         // Keys: known match kinds, scalar key expressions, and
         // χ_k ⊑ pc_fnⱼ for every action j (T-TblDecl).
         for key in &t.keys {
-            if !self.defs.is_match_kind(&key.match_kind.node) {
+            let kind_known = self
+                .syms
+                .lookup(&key.match_kind.node)
+                .is_some_and(|sym| self.defs.is_match_kind(sym));
+            if !kind_known {
                 self.error(
                     DiagCode::UnknownMatchKind,
                     format!("unknown match kind `{}`", key.match_kind.node),
@@ -1059,7 +1136,8 @@ impl Checker<'_> {
 
         self.sig_tables.push((t.name.node.clone(), pc_tbl));
         let info = VarInfo { ty: SecTy::bottom(Ty::Table(pc_tbl), self.lat), writable: false };
-        if !self.env.declare(&t.name.node, info) {
+        let sym = self.syms.intern(&t.name.node);
+        if !self.env.declare(sym, info) {
             self.error(
                 DiagCode::DuplicateDef,
                 format!("`{}` is already declared in this scope", t.name.node),
@@ -1075,7 +1153,7 @@ impl Checker<'_> {
         // roll the signature log back to the globals afterwards.
         let fn_mark = self.sig_functions.len();
         let pc = match (&c.pc, self.resolve_labels) {
-            (Some(name), true) => match self.lat.label(&name.node) {
+            (Some(name), true) => match self.labels.resolve(&name.node, self.syms) {
                 Some(l) => l,
                 None => {
                     self.error(
@@ -1101,7 +1179,8 @@ impl Checker<'_> {
             let Some(ty) = self.resolve(&p.ty) else { continue };
             let direction = p.direction.unwrap_or(Direction::In);
             let writable = direction == Direction::InOut;
-            if !self.env.declare(&p.name.node, VarInfo { ty: ty.clone(), writable }) {
+            let sym = self.syms.intern(&p.name.node);
+            if !self.env.declare(sym, VarInfo { ty: ty.clone(), writable }) {
                 self.error(
                     DiagCode::DuplicateDef,
                     format!("duplicate parameter `{}`", p.name.node),

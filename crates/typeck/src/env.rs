@@ -5,20 +5,72 @@
 //! together with label resolution. Γ ([`ScopedEnv`]) maps variables to their
 //! security types plus a writability flag (the algorithmic residue of the
 //! `goes in / goes inout` direction annotation on T-Var).
+//!
+//! Both contexts are keyed by interned [`Symbol`]s and backed by
+//! `Vec`-indexed tables, so the hot path of the checker (declare/lookup on
+//! every expression) costs an array index instead of a `String`-keyed
+//! hash-map probe. Name-based entry points remain for cold callers (the
+//! interpreter resolves the occasional annotation at runtime) and resolve
+//! through a linear scan over the — always small — definition list.
 
 use crate::diag::{DiagCode, Diagnostic};
+use p4bid_ast::intern::{Interner, Symbol};
 use p4bid_ast::sectype::{SecTy, Ty};
 use p4bid_ast::span::Span;
 use p4bid_ast::surface::{AnnType, TypeExpr};
 use p4bid_lattice::{Label, Lattice};
-use std::collections::HashMap;
 use std::rc::Rc;
+
+/// Memoized security-label resolution: lattice element names interned once,
+/// then resolved by symbol index.
+///
+/// [`Lattice::label`] is a linear scan over the element names; inside the
+/// checker that scan would run once per annotation. This table interns every
+/// element name up front so a label occurrence costs one interner probe and
+/// one `Vec` index.
+#[derive(Debug, Clone, Default)]
+pub struct LabelTable {
+    by_sym: Vec<Option<Label>>,
+}
+
+impl LabelTable {
+    /// Builds the table for a lattice, interning every element name.
+    #[must_use]
+    pub fn new(lat: &Lattice, syms: &mut Interner) -> Self {
+        let mut by_sym = Vec::new();
+        for label in lat.labels() {
+            let sym = syms.intern(lat.name(label));
+            if by_sym.len() <= sym.index() {
+                by_sym.resize(sym.index() + 1, None);
+            }
+            by_sym[sym.index()] = Some(label);
+        }
+        LabelTable { by_sym }
+    }
+
+    /// The label an interned symbol names, if any.
+    #[must_use]
+    pub fn get(&self, sym: Symbol) -> Option<Label> {
+        self.by_sym.get(sym.index()).copied().flatten()
+    }
+
+    /// Resolves a label by name via an interner probe (never allocates:
+    /// a name that was never interned cannot be a lattice element).
+    #[must_use]
+    pub fn resolve(&self, name: &str, syms: &Interner) -> Option<Label> {
+        syms.lookup(name).and_then(|s| self.get(s))
+    }
+}
 
 /// The type-definition context Δ plus the declared match kinds.
 #[derive(Debug, Clone, Default)]
 pub struct TypeDefs {
-    types: HashMap<String, SecTy>,
-    match_kinds: Vec<String>,
+    /// Definitions in declaration order; names kept for the name-based
+    /// (cold) lookup path and for diagnostics.
+    entries: Vec<(String, SecTy)>,
+    /// `by_sym[sym] = index into entries`.
+    by_sym: Vec<Option<u32>>,
+    match_kinds: Vec<(Symbol, String)>,
 }
 
 impl TypeDefs {
@@ -28,35 +80,53 @@ impl TypeDefs {
         Self::default()
     }
 
-    /// Registers a named type (typedef / header / struct).
+    /// Registers a named type (typedef / header / struct) under its
+    /// interned symbol.
     ///
     /// Returns `false` (and leaves the old definition) if the name was
     /// already defined.
-    pub fn define(&mut self, name: &str, ty: SecTy) -> bool {
-        if self.types.contains_key(name) {
+    pub fn define(&mut self, sym: Symbol, name: &str, ty: SecTy) -> bool {
+        if self.by_sym.len() <= sym.index() {
+            self.by_sym.resize(sym.index() + 1, None);
+        }
+        if self.by_sym[sym.index()].is_some() {
             return false;
         }
-        self.types.insert(name.to_string(), ty);
+        self.by_sym[sym.index()] = Some(self.entries.len() as u32);
+        self.entries.push((name.to_string(), ty));
         true
     }
 
-    /// Looks up a named type.
+    /// Looks up a named type by symbol (the checker's fast path).
     #[must_use]
-    pub fn lookup(&self, name: &str) -> Option<&SecTy> {
-        self.types.get(name)
+    pub fn lookup(&self, sym: Symbol) -> Option<&SecTy> {
+        let ix = self.by_sym.get(sym.index()).copied().flatten()?;
+        Some(&self.entries[ix as usize].1)
+    }
+
+    /// Looks up a named type by name (cold path: linear scan).
+    #[must_use]
+    pub fn lookup_name(&self, name: &str) -> Option<&SecTy> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
     }
 
     /// Registers a match kind (from a `match_kind { … }` declaration).
-    pub fn add_match_kind(&mut self, kind: &str) {
-        if !self.match_kinds.iter().any(|k| k == kind) {
-            self.match_kinds.push(kind.to_string());
+    pub fn add_match_kind(&mut self, sym: Symbol, kind: &str) {
+        if !self.match_kinds.iter().any(|(s, _)| *s == sym) {
+            self.match_kinds.push((sym, kind.to_string()));
         }
     }
 
-    /// Whether `kind` is a declared match kind.
+    /// Whether `sym` names a declared match kind.
     #[must_use]
-    pub fn is_match_kind(&self, kind: &str) -> bool {
-        self.match_kinds.iter().any(|k| k == kind)
+    pub fn is_match_kind(&self, sym: Symbol) -> bool {
+        self.match_kinds.iter().any(|(s, _)| *s == sym)
+    }
+
+    /// Whether `kind` is a declared match kind (name-based cold path).
+    #[must_use]
+    pub fn is_match_kind_name(&self, kind: &str) -> bool {
+        self.match_kinds.iter().any(|(_, k)| k == kind)
     }
 
     /// Resolves a surface type annotation to a security type:
@@ -68,13 +138,46 @@ impl TypeDefs {
     /// label, and the compound keeps its `⊥` outer label as required by
     /// Figure 4.
     ///
+    /// This is the name-based entry point (used by the interpreter for the
+    /// occasional runtime annotation); the checker goes through
+    /// [`resolve_interned`](Self::resolve_interned).
+    ///
     /// # Errors
     ///
     /// Returns a [`Diagnostic`] on unknown type names or labels.
     pub fn resolve(&self, ann: &AnnType, lat: &Lattice) -> Result<SecTy, Diagnostic> {
+        self.resolve_via(ann, lat, &|name| lat.label(name), &|defs, name| defs.lookup_name(name))
+    }
+
+    /// Resolves a surface type annotation through the interner: labels via
+    /// the [`LabelTable`], type names via symbol probes. Semantics are
+    /// identical to [`resolve`](Self::resolve).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`Diagnostic`] on unknown type names or labels.
+    pub fn resolve_interned(
+        &self,
+        ann: &AnnType,
+        lat: &Lattice,
+        labels: &LabelTable,
+        syms: &Interner,
+    ) -> Result<SecTy, Diagnostic> {
+        self.resolve_via(ann, lat, &|name| labels.resolve(name, syms), &|defs, name| {
+            syms.lookup(name).and_then(|s| defs.lookup(s))
+        })
+    }
+
+    fn resolve_via(
+        &self,
+        ann: &AnnType,
+        lat: &Lattice,
+        label_of: &dyn Fn(&str) -> Option<Label>,
+        type_of: &dyn for<'d> Fn(&'d Self, &str) -> Option<&'d SecTy>,
+    ) -> Result<SecTy, Diagnostic> {
         let label = match &ann.label {
             None => lat.bottom(),
-            Some(name) => lat.label(&name.node).ok_or_else(|| {
+            Some(name) => label_of(&name.node).ok_or_else(|| {
                 Diagnostic::new(
                     DiagCode::UnknownLabel,
                     format!("unknown security label `{}`; the active lattice is {lat}", name.node),
@@ -82,7 +185,7 @@ impl TypeDefs {
                 )
             })?,
         };
-        let base = self.resolve_unlabeled(&ann.ty, ann.span, lat)?;
+        let base = self.resolve_unlabeled(&ann.ty, ann.span, lat, label_of, type_of)?;
         Ok(push_label(&base, label, lat))
     }
 
@@ -93,17 +196,19 @@ impl TypeDefs {
         ty: &TypeExpr,
         span: Span,
         lat: &Lattice,
+        label_of: &dyn Fn(&str) -> Option<Label>,
+        type_of: &dyn for<'d> Fn(&'d Self, &str) -> Option<&'d SecTy>,
     ) -> Result<SecTy, Diagnostic> {
         let t = match ty {
             TypeExpr::Bool => SecTy::bottom(Ty::Bool, lat),
             TypeExpr::Int => SecTy::bottom(Ty::Int, lat),
             TypeExpr::Bit(n) => SecTy::bottom(Ty::Bit(*n), lat),
             TypeExpr::Void => SecTy::bottom(Ty::Unit, lat),
-            TypeExpr::Named(name) => self.lookup(name).cloned().ok_or_else(|| {
+            TypeExpr::Named(name) => type_of(self, name).cloned().ok_or_else(|| {
                 Diagnostic::new(DiagCode::UnknownType, format!("unknown type `{name}`"), span)
             })?,
             TypeExpr::Stack(elem, n) => {
-                let elem = self.resolve(elem, lat)?;
+                let elem = self.resolve_via(elem, lat, label_of, type_of)?;
                 SecTy::bottom(Ty::Stack(Rc::new(elem), *n), lat)
             }
         };
@@ -152,49 +257,72 @@ pub struct VarInfo {
 }
 
 /// The typing context Γ, as a stack of lexical scopes.
-#[derive(Debug, Clone, Default)]
+///
+/// Bindings live in `slots`, a `Vec` indexed by [`Symbol`]: each slot holds
+/// the stack of live bindings for that name (outermost first), tagged with
+/// the scope depth that introduced them. Lookup is an array index plus a
+/// `last()`; opening a scope is a `Vec` push; closing one pops exactly the
+/// symbols that scope declared.
+#[derive(Debug, Clone)]
 pub struct ScopedEnv {
-    scopes: Vec<HashMap<String, VarInfo>>,
+    /// `slots[sym] = [(scope_depth, binding), …]`, innermost last.
+    slots: Vec<Vec<(u32, VarInfo)>>,
+    /// Per-scope undo log: the symbols each open scope declared.
+    scopes: Vec<Vec<Symbol>>,
+}
+
+impl Default for ScopedEnv {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 impl ScopedEnv {
     /// An environment with a single (global) scope.
     #[must_use]
     pub fn new() -> Self {
-        ScopedEnv { scopes: vec![HashMap::new()] }
+        ScopedEnv { slots: Vec::new(), scopes: vec![Vec::new()] }
     }
 
     /// Opens a nested scope.
     pub fn push_scope(&mut self) {
-        self.scopes.push(HashMap::new());
+        self.scopes.push(Vec::new());
     }
 
-    /// Closes the innermost scope.
+    /// Closes the innermost scope, dropping its bindings.
     ///
     /// # Panics
     ///
     /// Panics if only the global scope remains (checker bug).
     pub fn pop_scope(&mut self) {
         assert!(self.scopes.len() > 1, "cannot pop the global scope");
-        self.scopes.pop();
+        let declared = self.scopes.pop().expect("non-empty scope stack");
+        for sym in declared {
+            self.slots[sym.index()].pop();
+        }
     }
 
     /// Declares a variable in the innermost scope. Shadowing an outer
     /// binding is allowed (Core P4 declarations extend ε); redeclaring
     /// within the *same* scope returns `false`.
-    pub fn declare(&mut self, name: &str, info: VarInfo) -> bool {
-        let scope = self.scopes.last_mut().expect("at least the global scope");
-        if scope.contains_key(name) {
+    pub fn declare(&mut self, sym: Symbol, info: VarInfo) -> bool {
+        if self.slots.len() <= sym.index() {
+            self.slots.resize_with(sym.index() + 1, Vec::new);
+        }
+        let depth = (self.scopes.len() - 1) as u32;
+        let stack = &mut self.slots[sym.index()];
+        if stack.last().is_some_and(|(d, _)| *d == depth) {
             return false;
         }
-        scope.insert(name.to_string(), info);
+        stack.push((depth, info));
+        self.scopes.last_mut().expect("at least the global scope").push(sym);
         true
     }
 
-    /// Looks a name up through the scope stack, innermost first.
+    /// Looks a symbol up: the innermost live binding, if any.
     #[must_use]
-    pub fn lookup(&self, name: &str) -> Option<&VarInfo> {
-        self.scopes.iter().rev().find_map(|s| s.get(name))
+    pub fn lookup(&self, sym: Symbol) -> Option<&VarInfo> {
+        self.slots.get(sym.index())?.last().map(|(_, info)| info)
     }
 
     /// Runs `f` inside a fresh scope.
@@ -230,12 +358,36 @@ mod tests {
     }
 
     #[test]
+    fn resolve_interned_matches_name_based() {
+        let lat = Lattice::diamond();
+        let mut syms = Interner::new();
+        let labels = LabelTable::new(&lat, &mut syms);
+        let mut defs = TypeDefs::new();
+        let h = syms.intern("h_t");
+        defs.define(h, "h_t", SecTy::bottom(Ty::Bit(16), &lat));
+        for a in [
+            ann(TypeExpr::Bit(8), Some("A")),
+            ann(TypeExpr::Named("h_t".into()), Some("B")),
+            ann(TypeExpr::Bool, None),
+        ] {
+            let by_name = defs.resolve(&a, &lat).unwrap();
+            let by_sym = defs.resolve_interned(&a, &lat, &labels, &syms).unwrap();
+            assert_eq!(by_name, by_sym);
+        }
+    }
+
+    #[test]
     fn resolve_unknown_label() {
         let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let labels = LabelTable::new(&lat, &mut syms);
         let defs = TypeDefs::new();
-        let err = defs.resolve(&ann(TypeExpr::Bit(8), Some("secret")), &lat).unwrap_err();
+        let a = ann(TypeExpr::Bit(8), Some("secret"));
+        let err = defs.resolve(&a, &lat).unwrap_err();
         assert_eq!(err.code, DiagCode::UnknownLabel);
         assert!(err.message.contains("secret"));
+        let err = defs.resolve_interned(&a, &lat, &labels, &syms).unwrap_err();
+        assert_eq!(err.code, DiagCode::UnknownLabel);
     }
 
     #[test]
@@ -250,6 +402,7 @@ mod tests {
     fn labels_push_into_compounds() {
         let lat = Lattice::diamond();
         let a = lat.label("A").unwrap();
+        let mut syms = Interner::new();
         let mut defs = TypeDefs::new();
         let hdr = SecTy::bottom(
             Ty::Header(Rc::new(vec![
@@ -258,7 +411,8 @@ mod tests {
             ])),
             &lat,
         );
-        defs.define("alice_t", hdr);
+        let alice = syms.intern("alice_t");
+        defs.define(alice, "alice_t", hdr);
         let t = defs.resolve(&ann(TypeExpr::Named("alice_t".into()), Some("A")), &lat).unwrap();
         // Outer label stays ⊥, fields get joined with A.
         assert_eq!(t.label, lat.bottom());
@@ -283,35 +437,76 @@ mod tests {
     #[test]
     fn define_rejects_duplicates() {
         let lat = Lattice::two_point();
+        let mut syms = Interner::new();
         let mut defs = TypeDefs::new();
-        assert!(defs.define("t", SecTy::bottom(Ty::Bool, &lat)));
-        assert!(!defs.define("t", SecTy::bottom(Ty::Int, &lat)));
-        assert_eq!(defs.lookup("t").unwrap().ty, Ty::Bool);
+        let t = syms.intern("t");
+        assert!(defs.define(t, "t", SecTy::bottom(Ty::Bool, &lat)));
+        assert!(!defs.define(t, "t", SecTy::bottom(Ty::Int, &lat)));
+        assert_eq!(defs.lookup(t).unwrap().ty, Ty::Bool);
+        assert_eq!(defs.lookup_name("t").unwrap().ty, Ty::Bool);
     }
 
     #[test]
     fn match_kinds() {
+        let mut syms = Interner::new();
         let mut defs = TypeDefs::new();
-        assert!(!defs.is_match_kind("exact"));
-        defs.add_match_kind("exact");
-        defs.add_match_kind("exact");
-        assert!(defs.is_match_kind("exact"));
-        assert!(!defs.is_match_kind("lpm"));
+        let exact = syms.intern("exact");
+        assert!(!defs.is_match_kind(exact));
+        defs.add_match_kind(exact, "exact");
+        defs.add_match_kind(exact, "exact");
+        assert!(defs.is_match_kind(exact));
+        assert!(defs.is_match_kind_name("exact"));
+        assert!(!defs.is_match_kind_name("lpm"));
+    }
+
+    #[test]
+    fn label_table_resolves_every_element() {
+        let lat = Lattice::diamond();
+        let mut syms = Interner::new();
+        let labels = LabelTable::new(&lat, &mut syms);
+        for l in lat.labels() {
+            assert_eq!(labels.resolve(lat.name(l), &syms), Some(l));
+        }
+        assert_eq!(labels.resolve("nosuch", &syms), None);
     }
 
     #[test]
     fn scoped_env_shadowing() {
         let lat = Lattice::two_point();
+        let mut syms = Interner::new();
         let mut env = ScopedEnv::new();
+        let x = syms.intern("x");
+        let y = syms.intern("y");
         let low = VarInfo { ty: SecTy::bottom(Ty::Bool, &lat), writable: true };
         let high = VarInfo { ty: SecTy::new(Ty::Bool, lat.top()), writable: false };
-        assert!(env.declare("x", low.clone()));
-        assert!(!env.declare("x", high.clone()), "same-scope redeclaration rejected");
+        assert!(env.declare(x, low.clone()));
+        assert!(!env.declare(x, high.clone()), "same-scope redeclaration rejected");
         env.scoped(|env| {
-            assert!(env.declare("x", high.clone()), "shadowing in inner scope allowed");
-            assert_eq!(env.lookup("x").unwrap().ty.label, lat.top());
+            assert!(env.declare(x, high.clone()), "shadowing in inner scope allowed");
+            assert_eq!(env.lookup(x).unwrap().ty.label, lat.top());
         });
-        assert_eq!(env.lookup("x").unwrap().ty.label, lat.bottom());
-        assert!(env.lookup("y").is_none());
+        assert_eq!(env.lookup(x).unwrap().ty.label, lat.bottom());
+        assert!(env.lookup(y).is_none());
+    }
+
+    #[test]
+    fn pop_scope_only_drops_that_scopes_bindings() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut env = ScopedEnv::new();
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let info = VarInfo { ty: SecTy::bottom(Ty::Bool, &lat), writable: true };
+        env.declare(a, info.clone());
+        env.push_scope();
+        env.declare(b, info.clone());
+        env.push_scope();
+        env.declare(a, VarInfo { ty: SecTy::new(Ty::Bool, lat.top()), writable: false });
+        assert!(!env.lookup(a).unwrap().writable);
+        env.pop_scope();
+        assert!(env.lookup(a).unwrap().writable, "outer binding restored");
+        assert!(env.lookup(b).is_some());
+        env.pop_scope();
+        assert!(env.lookup(b).is_none());
     }
 }

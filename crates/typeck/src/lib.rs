@@ -40,10 +40,12 @@ pub mod checker;
 pub mod diag;
 pub mod env;
 pub mod oracle;
+pub mod session;
 
 pub use checker::{check_program, CheckOptions, Mode, TypedControl, TypedParam, TypedProgram};
 pub use diag::{DiagCode, Diagnostic};
-pub use env::{ScopedEnv, TypeDefs, VarInfo};
+pub use env::{LabelTable, ScopedEnv, TypeDefs, VarInfo};
+pub use session::CheckerSession;
 
 use p4bid_ast::surface::Program;
 

@@ -1,0 +1,215 @@
+//! Reusable checker sessions for throughput-oriented workloads.
+//!
+//! [`check_source`](crate::check_source) is convenient but pays fixed costs
+//! on every call: the standard prelude is re-lexed, re-parsed, and
+//! re-checked, a fresh interner is grown from nothing, and the lattice
+//! label table is rebuilt. A [`CheckerSession`] pays those costs once and
+//! then checks any number of programs against the shared state — the shape
+//! the `p4bid batch` driver and any long-running checking service want.
+//!
+//! A session is deliberately *not* `Sync`: parallel drivers give each
+//! worker thread its own session, which keeps every structure lock-free.
+//! Results are identical to the one-shot entry points (the conformance
+//! suite asserts this).
+//!
+//! # Examples
+//!
+//! ```
+//! use p4bid_typeck::{CheckerSession, CheckOptions, DiagCode};
+//!
+//! let mut session = CheckerSession::new(CheckOptions::ifc());
+//! for _ in 0..3 {
+//!     let ok = session.check("control C(inout bit<8> x) { apply { x = x + 8w1; } }");
+//!     assert!(ok.is_ok());
+//!     let leak = session.check(
+//!         "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+//!     );
+//!     assert!(leak.unwrap_err().iter().any(|d| d.code == DiagCode::ExplicitFlow));
+//! }
+//! ```
+
+use crate::checker::{
+    check_items, resolve_default_pc, resolve_lattice, CheckOptions, CheckerState, TypedProgram,
+};
+use crate::diag::{DiagCode, Diagnostic};
+use crate::prelude_items;
+use p4bid_ast::intern::Interner;
+use p4bid_ast::surface::Program;
+use p4bid_lattice::Lattice;
+
+/// A reusable checking session: prelude, interner, and per-lattice checked
+/// prelude state are built once and shared across [`check`] calls.
+///
+/// The session is pinned to one [`CheckOptions`] (mode, lattice override,
+/// ambient pc); programs may still bring their own `lattice { … }`
+/// declarations — the session caches one checked-prelude snapshot per
+/// distinct lattice it encounters.
+///
+/// [`check`]: CheckerSession::check
+#[derive(Debug)]
+pub struct CheckerSession {
+    opts: CheckOptions,
+    syms: Interner,
+    /// The prelude, parsed once per session.
+    prelude: Program,
+    /// Checked-prelude snapshots, keyed by the lattice they were checked
+    /// under. Real workloads use one lattice (or a handful), so a linear
+    /// scan over `Lattice` equality is fine.
+    states: Vec<(Lattice, CheckerState)>,
+}
+
+impl CheckerSession {
+    /// Builds a session: parses the prelude once.
+    #[must_use]
+    pub fn new(opts: CheckOptions) -> Self {
+        CheckerSession { opts, syms: Interner::new(), prelude: prelude_items(), states: Vec::new() }
+    }
+
+    /// The options this session checks under.
+    #[must_use]
+    pub fn options(&self) -> &CheckOptions {
+        &self.opts
+    }
+
+    /// Parses and checks one program, with the prelude available — the
+    /// session-reuse equivalent of [`check_source`](crate::check_source).
+    ///
+    /// # Errors
+    ///
+    /// Returns parser errors (as a single [`DiagCode::Malformed`]
+    /// diagnostic) or the full list of type/flow errors.
+    pub fn check(&mut self, source: &str) -> Result<TypedProgram, Vec<Diagnostic>> {
+        let user = p4bid_syntax::parse(source).map_err(|e| {
+            vec![Diagnostic::new(DiagCode::Malformed, e.message().to_string(), e.span())]
+        })?;
+        self.check_parsed(user)
+    }
+
+    /// Checks an already-parsed user program against the session prelude.
+    ///
+    /// # Errors
+    ///
+    /// Returns the full list of type/flow errors.
+    pub fn check_parsed(&mut self, user: Program) -> Result<TypedProgram, Vec<Diagnostic>> {
+        let lattice = resolve_lattice(&user, &self.opts)?;
+        let default_pc = resolve_default_pc(&lattice, &self.opts)?;
+        let state = self.prelude_state(&lattice)?.clone();
+
+        let (controls, state) =
+            check_items(&user.items, &lattice, &self.opts, default_pc, &mut self.syms, state)?;
+
+        // The interpreter needs the prelude definitions in the program
+        // body, exactly as `check_source` includes them.
+        let mut program = self.prelude.clone();
+        program.items.extend(user.items);
+        Ok(TypedProgram { lattice, defs: state.defs, controls, program })
+    }
+
+    /// The checked-prelude snapshot for a lattice, built on first use.
+    fn prelude_state(&mut self, lattice: &Lattice) -> Result<&CheckerState, Vec<Diagnostic>> {
+        if let Some(ix) = self.states.iter().position(|(l, _)| l == lattice) {
+            return Ok(&self.states[ix].1);
+        }
+        let default_pc = resolve_default_pc(lattice, &self.opts)?;
+        let (_, state) = check_items(
+            &self.prelude.items,
+            lattice,
+            &self.opts,
+            default_pc,
+            &mut self.syms,
+            CheckerState::empty(),
+        )
+        .map_err(|diags| {
+            // Unreachable for the shipped prelude (it is unannotated and
+            // well-typed under every lattice); surfaced defensively.
+            debug_assert!(false, "prelude failed to check: {diags:?}");
+            diags
+        })?;
+        self.states.push((lattice.clone(), state));
+        Ok(&self.states.last().expect("just pushed").1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{check_source, Mode, PRELUDE};
+
+    #[test]
+    fn session_matches_one_shot_results() {
+        let sources = [
+            "control C(inout bit<8> x) { apply { x = x + 8w1; } }",
+            "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+            "lattice { bot < A; bot < B; A < top; B < top; }\n\
+             control C(inout <bit<8>, A> a, inout <bit<8>, B> b) { apply { a = b; } }",
+            "control C(inout bit<8> x) { apply { mark_to_drop_missing(); } }",
+        ];
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        for _ in 0..2 {
+            for src in sources {
+                let one_shot = check_source(src, &CheckOptions::ifc());
+                let via_session = session.check(src);
+                match (one_shot, via_session) {
+                    (Ok(a), Ok(b)) => {
+                        assert_eq!(a.controls.len(), b.controls.len());
+                        assert_eq!(a.lattice, b.lattice);
+                        assert_eq!(a.program, b.program);
+                    }
+                    (Err(a), Err(b)) => {
+                        let codes =
+                            |ds: &[Diagnostic]| ds.iter().map(|d| d.code).collect::<Vec<_>>();
+                        assert_eq!(codes(&a), codes(&b), "{src}");
+                        let spans =
+                            |ds: &[Diagnostic]| ds.iter().map(|d| d.span).collect::<Vec<_>>();
+                        assert_eq!(spans(&a), spans(&b), "{src}");
+                    }
+                    (a, b) => panic!("verdicts diverge on {src}: {a:?} vs {b:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_caches_one_state_per_lattice() {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        let two_point = "control C(inout <bit<8>, high> h) { apply { h = 8w1; } }";
+        let diamond = "lattice { bot < A; bot < B; A < top; B < top; }\n\
+                       control C(inout <bit<8>, A> a) { apply { a = 8w1; } }";
+        for _ in 0..3 {
+            session.check(two_point).expect("accepts");
+            session.check(diamond).expect("accepts");
+        }
+        assert_eq!(session.states.len(), 2, "one snapshot per distinct lattice");
+    }
+
+    #[test]
+    fn session_parse_errors_are_malformed_diags() {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        let errs = session.check("control {").unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].code, DiagCode::Malformed);
+        // The session survives a parse error and keeps checking.
+        assert!(session.check("control C(inout bit<8> x) { apply { } }").is_ok());
+    }
+
+    #[test]
+    fn base_mode_session_accepts_leaks() {
+        let mut session = CheckerSession::new(CheckOptions::base());
+        assert_eq!(session.options().mode, Mode::Base);
+        let leak = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }";
+        session.check(leak).expect("base mode ignores labels");
+    }
+
+    #[test]
+    fn session_respects_ambient_pc() {
+        let mut session = CheckerSession::new(CheckOptions::ifc().with_pc("high"));
+        let errs =
+            session.check("control C(inout <bit<8>, low> l) { apply { l = 8w1; } }").unwrap_err();
+        assert!(errs.iter().any(|d| d.code == DiagCode::ImplicitFlow), "{errs:?}");
+    }
+
+    #[test]
+    fn prelude_text_is_nonempty() {
+        assert!(PRELUDE.contains("standard_metadata_t"));
+    }
+}

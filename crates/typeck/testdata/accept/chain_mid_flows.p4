@@ -1,0 +1,19 @@
+// A three-level chain l0 < l1 < l2: each level may flow upward, and a
+// guard at l1 may drive writes at l1 and l2 (T-Cond raises the branch
+// pc to l1, which is below both write bounds).
+lattice { l0 < l1; l1 < l2; }
+header tiers_t {
+    <bit<8>, l0> public;
+    <bit<8>, l1> internal;
+    <bit<8>, l2> secret;
+}
+control Tiers(inout tiers_t hdr) {
+    apply {
+        hdr.internal = hdr.public;
+        hdr.secret = hdr.internal + hdr.public;
+        if (hdr.internal == 8w3) {
+            hdr.internal = 8w0;
+            hdr.secret = hdr.secret + 8w1;
+        }
+    }
+}

@@ -1,0 +1,13 @@
+// Diamond-lattice joins flow upward: A ⊔ B = top may be stored in the
+// telemetry slot labeled top (Listing 6's legal aggregation direction).
+lattice { bot < A; bot < B; A < top; B < top; }
+header data_t {
+    <bit<32>, A>   alice_data;
+    <bit<32>, B>   bob_data;
+    <bit<32>, top> telemetry;
+}
+control Aggregate(inout data_t hdr) {
+    apply {
+        hdr.telemetry = hdr.alice_data + hdr.bob_data;
+    }
+}

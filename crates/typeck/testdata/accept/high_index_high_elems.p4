@@ -1,0 +1,9 @@
+// Indexing a stack of secret elements with a secret index is fine:
+// T-Index only forbids the index being *above* the elements.
+control C(inout <bit<8>, high> h) {
+    <bit<8>, high>[4] table_mem;
+    apply {
+        table_mem[h] = h;
+        h = table_mem[8w2];
+    }
+}

@@ -1,0 +1,22 @@
+// The confidentiality × integrity product lattice, legal direction:
+// public-trusted data may flow into every other point (it is ⊥), and
+// each component may be raised independently.
+lattice {
+    pub_trust < pub_untrust;
+    pub_trust < sec_trust;
+    pub_untrust < sec_untrust;
+    sec_trust < sec_untrust;
+}
+header creds_t {
+    <bit<32>, pub_trust>   announced;
+    <bit<32>, pub_untrust> external;
+    <bit<32>, sec_trust>   session_key;
+    <bit<32>, sec_untrust> scratch;
+}
+control Raise(inout creds_t hdr) {
+    apply {
+        hdr.session_key = hdr.session_key + hdr.announced;
+        hdr.external = hdr.announced;
+        hdr.scratch = hdr.external + hdr.session_key;
+    }
+}

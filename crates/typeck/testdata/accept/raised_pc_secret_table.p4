@@ -1,0 +1,19 @@
+// A control running entirely in a secret context (@pc(high)) may still
+// apply a table whose actions only write secret state: pc_tbl = high,
+// and the secret key is below every action's write bound (T-TblDecl,
+// T-TblCall).
+header flow_t {
+    <bit<16>, high> id;
+    <bit<16>, high> count;
+}
+@pc(high) control Track(inout flow_t hdr) {
+    action bump(<bit<16>, high> step) { hdr.count = hdr.count + step; }
+    table counters {
+        key = { hdr.id: exact; }
+        actions = { bump; NoAction; }
+        default_action = NoAction;
+    }
+    apply {
+        counters.apply();
+    }
+}

@@ -1,0 +1,11 @@
+// expect: E-INDEX-LEAK
+// Indexing Bob's stack with Alice's index on the diamond: A and B are
+// incomparable, so which element is touched would reveal Alice's data
+// to Bob (T-Index: χ₂ ⋢ χ₁).
+lattice { bot < A; bot < B; A < top; B < top; }
+control C(inout <bit<8>, A> alice_cursor) {
+    <bit<8>, B>[8] bob_slots;
+    apply {
+        bob_slots[alice_cursor] = 8w0;
+    }
+}

@@ -1,0 +1,14 @@
+// expect: E-EXPLICIT-FLOW
+// A diamond-lattice join: A ⊔ B = top, which must not flow back into an
+// A-labeled location (T-BinOp joins the operand labels, T-Assign
+// rejects top ⋢ A).
+lattice { bot < A; bot < B; A < top; B < top; }
+header data_t {
+    <bit<32>, A> alice_data;
+    <bit<32>, B> bob_data;
+}
+control Mix(inout data_t hdr) {
+    apply {
+        hdr.alice_data = hdr.alice_data + hdr.bob_data;
+    }
+}

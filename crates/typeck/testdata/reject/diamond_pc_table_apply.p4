@@ -1,0 +1,19 @@
+// expect: E-TABLE-APPLY-PC
+// Implicit flow through a table action under a raised pc: Alice's
+// control (@pc(A)) applies a table whose action writes Bob's field, so
+// pc_tbl = B and A ⋢ B on the Figure 8b diamond (T-TblCall).
+lattice { bot < A; bot < B; A < top; B < top; }
+header data_t {
+    <bit<32>, bot> shared;
+    <bit<32>, B>   bob_data;
+}
+@pc(A) control Alice(inout data_t hdr) {
+    action set_bob() { hdr.bob_data = 32w1; }
+    table route_bob {
+        key = { hdr.shared: exact; }
+        actions = { set_bob; }
+    }
+    apply {
+        route_bob.apply();
+    }
+}

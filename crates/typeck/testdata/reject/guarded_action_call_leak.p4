@@ -1,0 +1,11 @@
+// expect: E-CALL-PC
+// Calling a low-writing action inside a secret guard leaks the guard
+// through the callee's writes (T-Call: pc ⋢ pc_fn).
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    action bump_public() { l = l + 8w1; }
+    apply {
+        if (h == 8w7) {
+            bump_public();
+        }
+    }
+}

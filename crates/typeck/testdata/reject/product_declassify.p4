@@ -1,0 +1,20 @@
+// expect: E-EXPLICIT-FLOW
+// A hand-declared confidentiality × integrity product lattice
+// (pub/sec × trust/untrust, ordered pointwise). Declassification —
+// writing secret-but-trusted data into the public-trusted slot — drops
+// the confidentiality component and must be rejected.
+lattice {
+    pub_trust < pub_untrust;
+    pub_trust < sec_trust;
+    pub_untrust < sec_untrust;
+    sec_trust < sec_untrust;
+}
+header creds_t {
+    <bit<32>, pub_trust> announced;
+    <bit<32>, sec_trust> session_key;
+}
+control Declassify(inout creds_t hdr) {
+    apply {
+        hdr.announced = hdr.session_key;
+    }
+}

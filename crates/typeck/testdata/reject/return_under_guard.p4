@@ -1,0 +1,14 @@
+// expect: E-IMPLICIT-FLOW
+// T-Return types only at ⊥: returning early under a secret guard turns
+// the function's control flow into a covert channel.
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    function bit<8> probe(in <bit<8>, high> secret) {
+        if (secret == 8w0) {
+            return 8w1;
+        }
+        return 8w0;
+    }
+    apply {
+        h = probe(h);
+    }
+}

@@ -1,0 +1,60 @@
+//! Shared support for the conformance and golden-diagnostics suites:
+//! testdata discovery and the `// expect:` / `// pc:` / `// mode:`
+//! directive comments carried by the corpus files.
+
+#![allow(dead_code)] // each test binary uses a subset
+
+use p4bid_typeck::{CheckOptions, Mode};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Directives parsed from a corpus file's leading comments.
+pub struct Directives {
+    /// Required diagnostic idents (reject files only).
+    pub expect: Vec<String>,
+    /// Ambient pc for the check.
+    pub pc: Option<String>,
+    /// Checker mode (defaults to IFC).
+    pub mode: Mode,
+}
+
+/// Parses the `//`-comment directives of a corpus file.
+pub fn parse_directives(source: &str) -> Directives {
+    let mut d = Directives { expect: Vec::new(), pc: None, mode: Mode::Ifc };
+    for line in source.lines() {
+        let Some(comment) = line.trim().strip_prefix("//") else { continue };
+        let comment = comment.trim();
+        if let Some(codes) = comment.strip_prefix("expect:") {
+            d.expect.extend(codes.split_whitespace().map(str::to_string));
+        } else if let Some(pc) = comment.strip_prefix("pc:") {
+            d.pc = Some(pc.trim().to_string());
+        } else if let Some(mode) = comment.strip_prefix("mode:") {
+            if mode.trim() == "base" {
+                d.mode = Mode::Base;
+            }
+        }
+    }
+    d
+}
+
+/// The `.p4` files under `testdata/<sub>`, sorted for determinism.
+pub fn testdata(sub: &str) -> Vec<PathBuf> {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata").join(sub);
+    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
+        .map(|entry| entry.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "p4"))
+        .collect();
+    files.sort();
+    assert!(!files.is_empty(), "no .p4 files in {}", dir.display());
+    files
+}
+
+/// Check options honoring a file's directives.
+pub fn options_for(d: &Directives) -> CheckOptions {
+    let mut opts = CheckOptions { mode: d.mode, ..Default::default() };
+    if let Some(pc) = &d.pc {
+        opts = opts.with_pc(pc.clone());
+    }
+    opts
+}

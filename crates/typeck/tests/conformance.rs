@@ -9,53 +9,11 @@
 //! * `// pc: LABEL` — ambient pc for the check;
 //! * `// mode: base` — run the baseline checker instead of IFC.
 
-use p4bid_typeck::{check_source, CheckOptions, Mode};
+mod common;
+
+use common::{options_for, parse_directives, testdata};
+use p4bid_typeck::{check_source, CheckOptions};
 use std::fs;
-use std::path::{Path, PathBuf};
-
-struct Directives {
-    expect: Vec<String>,
-    pc: Option<String>,
-    mode: Mode,
-}
-
-fn parse_directives(source: &str) -> Directives {
-    let mut d = Directives { expect: Vec::new(), pc: None, mode: Mode::Ifc };
-    for line in source.lines() {
-        let Some(comment) = line.trim().strip_prefix("//") else { continue };
-        let comment = comment.trim();
-        if let Some(codes) = comment.strip_prefix("expect:") {
-            d.expect.extend(codes.split_whitespace().map(str::to_string));
-        } else if let Some(pc) = comment.strip_prefix("pc:") {
-            d.pc = Some(pc.trim().to_string());
-        } else if let Some(mode) = comment.strip_prefix("mode:") {
-            if mode.trim() == "base" {
-                d.mode = Mode::Base;
-            }
-        }
-    }
-    d
-}
-
-fn testdata(sub: &str) -> Vec<PathBuf> {
-    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata").join(sub);
-    let mut files: Vec<PathBuf> = fs::read_dir(&dir)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", dir.display()))
-        .map(|entry| entry.expect("readable dir entry").path())
-        .filter(|p| p.extension().is_some_and(|e| e == "p4"))
-        .collect();
-    files.sort();
-    assert!(!files.is_empty(), "no .p4 files in {}", dir.display());
-    files
-}
-
-fn options_for(d: &Directives) -> CheckOptions {
-    let mut opts = CheckOptions { mode: d.mode, ..Default::default() };
-    if let Some(pc) = &d.pc {
-        opts = opts.with_pc(pc.clone());
-    }
-    opts
-}
 
 #[test]
 fn accept_corpus_typechecks() {

@@ -1,0 +1,136 @@
+//! Golden-diagnostics conformance harness.
+//!
+//! Every reject-corpus file has an `.expected` sidecar recording the exact
+//! diagnostics the checker must produce, one per line:
+//!
+//! ```text
+//! E-CODE @ line:col message text
+//! ```
+//!
+//! (`0:0` marks spans that fall outside the file, e.g. prelude or dummy
+//! spans.) The test diffs the checker's actual output against the sidecar:
+//! codes and positions must match exactly and the recorded message must be
+//! a substring of the actual message, so messages may gain detail without
+//! churning every sidecar.
+//!
+//! Regenerate the sidecars after an intentional diagnostics change with:
+//!
+//! ```console
+//! $ P4BID_BLESS=1 cargo test -p p4bid_typeck --test golden
+//! ```
+
+mod common;
+
+use common::{options_for, parse_directives, testdata};
+use p4bid_ast::span::span_line_col;
+use p4bid_typeck::{check_source, Diagnostic};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+fn expected_path(p4: &Path) -> PathBuf {
+    p4.with_extension("expected")
+}
+
+/// Renders one diagnostic as a golden line.
+fn golden_line(d: &Diagnostic, source: &str) -> String {
+    let (line, col) = span_line_col(source, d.span).map_or((0, 0), |lc| (lc.line, lc.col));
+    format!("{} @ {line}:{col} {}", d.code.ident(), d.message)
+}
+
+/// One parsed golden line: code, position, message substring.
+fn parse_golden_line(line: &str, path: &Path) -> (String, String, String) {
+    let (code, rest) = line
+        .split_once(" @ ")
+        .unwrap_or_else(|| panic!("{}: malformed golden line `{line}`", path.display()));
+    let (pos, message) = rest.split_once(' ').unwrap_or((rest, ""));
+    (code.to_string(), pos.to_string(), message.to_string())
+}
+
+#[test]
+fn reject_corpus_matches_golden_diagnostics() {
+    let bless = std::env::var("P4BID_BLESS").is_ok_and(|v| !v.is_empty() && v != "0");
+    let mut failures = Vec::new();
+
+    for path in testdata("reject") {
+        let source = fs::read_to_string(&path).expect("readable file");
+        let d = parse_directives(&source);
+        let errs = check_source(&source, &options_for(&d))
+            .err()
+            .unwrap_or_else(|| panic!("{} unexpectedly accepted", path.display()));
+        let actual: Vec<String> = errs.iter().map(|e| golden_line(e, &source)).collect();
+
+        let sidecar = expected_path(&path);
+        if bless {
+            let mut contents = actual.join("\n");
+            contents.push('\n');
+            fs::write(&sidecar, contents).expect("write golden sidecar");
+            continue;
+        }
+
+        let Ok(expected) = fs::read_to_string(&sidecar) else {
+            failures.push(format!(
+                "{}: missing golden sidecar {} (run with P4BID_BLESS=1 to create it)",
+                path.display(),
+                sidecar.display()
+            ));
+            continue;
+        };
+        let expected: Vec<&str> = expected.lines().filter(|l| !l.trim().is_empty()).collect();
+
+        if expected.len() != actual.len() {
+            failures.push(format!(
+                "{}: {} diagnostic(s) recorded but {} produced\n  recorded: {expected:#?}\n  actual:   {actual:#?}",
+                path.display(),
+                expected.len(),
+                actual.len()
+            ));
+            continue;
+        }
+        for (exp, act) in expected.iter().zip(&actual) {
+            let (ecode, epos, emsg) = parse_golden_line(exp, &path);
+            let (acode, apos, amsg) = parse_golden_line(act, &path);
+            if ecode != acode || epos != apos || !amsg.contains(&emsg) {
+                failures.push(format!(
+                    "{}: golden mismatch\n  recorded: {exp}\n  actual:   {act}",
+                    path.display()
+                ));
+            }
+        }
+    }
+
+    assert!(
+        failures.is_empty(),
+        "{} golden failure(s):\n{}\n(if the change is intentional, re-bless with \
+         P4BID_BLESS=1 cargo test -p p4bid_typeck --test golden)",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+#[test]
+fn every_sidecar_has_a_program() {
+    // Orphaned .expected files are stale corpus state: fail loudly.
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata").join("reject");
+    for entry in fs::read_dir(&dir).expect("readable reject dir") {
+        let p = entry.expect("dir entry").path();
+        if p.extension().is_some_and(|e| e == "expected") {
+            let p4 = p.with_extension("p4");
+            assert!(p4.exists(), "orphaned golden sidecar {}", p.display());
+        }
+    }
+}
+
+#[test]
+fn golden_lines_are_well_formed() {
+    for path in testdata("reject") {
+        let sidecar = expected_path(&path);
+        let Ok(contents) = fs::read_to_string(&sidecar) else { continue };
+        for line in contents.lines().filter(|l| !l.trim().is_empty()) {
+            let (code, pos, _msg) = parse_golden_line(line, &sidecar);
+            assert!(code.starts_with("E-"), "{}: bad code in `{line}`", sidecar.display());
+            let (l, c) = pos.split_once(':').expect("line:col position");
+            l.parse::<u32>().expect("numeric line");
+            c.parse::<u32>().expect("numeric column");
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Differential property test: security annotations are *ghost state*.
+//!
+//! P4BID's type system refines Core P4 without changing its dynamics —
+//! labels steer the static judgements only (§4: the operational semantics
+//! never consults χ). So for any well-typed program, mechanically stripping
+//! every annotation (`core::strip`) and re-checking under the baseline
+//! checker must yield a program with *identical* interpreter behavior on
+//! identical inputs and control-plane state.
+//!
+//! The property is exercised over the soundness fuzzer's generated
+//! programs (biased toward well-typed ones) on proptest-chosen inputs.
+
+use p4bid::interp::{run_control, ControlOutcome, Value};
+use p4bid::ni::{random_program, GenConfig};
+use p4bid::strip::strip_annotations_source;
+use p4bid::syntax::parse;
+use p4bid::{check, CheckOptions};
+use proptest::prelude::*;
+
+/// Runs the `Fuzz` control of a generated program on four byte inputs.
+fn run_fuzz(
+    source: &str,
+    opts: &CheckOptions,
+    cp: &p4bid::interp::ControlPlane,
+    inputs: [u8; 4],
+) -> Option<ControlOutcome> {
+    let typed = check(source, opts).ok()?;
+    let args = inputs.iter().map(|&v| Value::bit(8, u128::from(v))).collect();
+    run_control(&typed, cp, "Fuzz", args).ok()
+}
+
+proptest! {
+    /// Stripping annotations never changes what the program computes.
+    #[test]
+    fn stripping_preserves_interpreter_results(
+        seed in 0u64..500,
+        raw in (any::<u8>(), any::<u8>(), any::<u8>(), any::<u8>()),
+    ) {
+        let inputs = [raw.0, raw.1, raw.2, raw.3];
+        let gp = random_program(seed, &GenConfig::default().with_safe_bias(0.9));
+        // The property quantifies over *well-typed* programs.
+        if check(&gp.source, &CheckOptions::ifc()).is_err() {
+            return Ok(());
+        }
+
+        let stripped = strip_annotations_source(&parse(&gp.source).expect("generated programs parse"));
+        prop_assert!(!stripped.contains("high"), "labels survived stripping:\n{stripped}");
+
+        let annotated_out = run_fuzz(&gp.source, &CheckOptions::ifc(), &gp.control_plane, inputs);
+        let stripped_out = run_fuzz(&stripped, &CheckOptions::base(), &gp.control_plane, inputs);
+        prop_assert_eq!(
+            &annotated_out,
+            &stripped_out,
+            "seed {} diverged on {:?}\nannotated:\n{}\nstripped:\n{}",
+            seed,
+            inputs,
+            gp.source,
+            stripped
+        );
+        // The harness only proves something when programs actually ran.
+        prop_assert!(annotated_out.is_some(), "well-typed program failed to run");
+    }
+}
+
+/// The same differential, pinned on the paper's scaling workload: the
+/// synthetic programs must base-check and behave identically after
+/// stripping (they have tables, actions, and guards, but take a struct
+/// parameter, so we compare the checkers' verdicts rather than runs).
+#[test]
+fn synthetic_programs_strip_to_base_accepted_forms() {
+    for n in [1usize, 3, 9] {
+        let annotated = p4bid::synth::synth_program(n, true);
+        let stripped = strip_annotations_source(&parse(&annotated).expect("synth parses"));
+        check(&stripped, &CheckOptions::base())
+            .unwrap_or_else(|e| panic!("stripped synth n={n} fails base check: {e:?}"));
+        assert!(!stripped.contains("high"), "n={n}:\n{stripped}");
+    }
+}
