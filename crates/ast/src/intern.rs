@@ -45,6 +45,14 @@ impl Symbol {
     pub fn index(self) -> usize {
         self.0 as usize
     }
+
+    /// Builds a symbol from a raw index. Intended for serialization round
+    /// trips and sentinel values; resolving a fabricated symbol against an
+    /// interner that never produced it panics.
+    #[must_use]
+    pub fn from_raw(ix: u32) -> Self {
+        Symbol(ix)
+    }
 }
 
 impl fmt::Display for Symbol {

@@ -10,7 +10,10 @@
 //!   (`<bit<32>, high>`) exactly as written in the paper's listings;
 //! * [`sectype`] — the resolved security types used by the typechecker and
 //!   interpreter, with annotations resolved to [`p4bid_lattice::Label`]s and
-//!   typedefs unfolded;
+//!   typedefs unfolded; types are hash-consed into a [`pool::TyPool`] and
+//!   handled by copyable [`sectype::TyId`]s;
+//! * [`pool`] — the hash-consing type pool and the shared
+//!   interner-plus-pool context ([`pool::TyCtx`]);
 //! * [`span`] — source spans and line/column rendering for diagnostics;
 //! * [`pretty`] — a pretty-printer inverse to the parser;
 //! * [`intern`] — string interning ([`intern::Symbol`]/[`intern::Interner`])
@@ -35,10 +38,13 @@
 #![warn(missing_docs)]
 
 pub mod intern;
+pub mod pool;
 pub mod pretty;
 pub mod sectype;
 pub mod span;
 pub mod surface;
 
 pub use intern::{Interner, Symbol};
+pub use pool::{SharedTyCtx, TyCtx, TyPool};
+pub use sectype::{SecTy, TyId};
 pub use span::{Span, Spanned};

@@ -1,0 +1,434 @@
+//! The hash-consing type pool: structurally equal security types are
+//! allocated once and compared by id.
+//!
+//! Every resolved structural type [`Ty`] the checker or interpreter
+//! constructs goes through [`TyPool::intern`], which returns a copyable
+//! [`TyId`] handle. Children of compound types are themselves pooled
+//! (`Record`/`Header` fields and `Stack` elements hold `SecTy = (TyId,
+//! Label)` pairs), so interning is bottom-up and the pool maintains the
+//! invariant:
+//!
+//! > within one pool, `a == b` (as [`TyId`]s) **iff** the denoted types are
+//! > structurally equal.
+//!
+//! That turns the τ-equality side conditions of T-Assign / T-Call — deep
+//! recursive walks in the naive representation — into id comparisons on the
+//! hot path, with a slow path only for the `int` ↔ `bit<n>` literal
+//! coercion (which genuinely relates *distinct* types).
+//!
+//! A [`TyCtx`] bundles the pool with the string [`Interner`] whose
+//! [`Symbol`]s key record/header fields; checker sessions share one
+//! `TyCtx` across every program they check (via [`SharedTyCtx`]), so
+//! prelude types are pooled exactly once per session.
+//!
+//! # Examples
+//!
+//! ```
+//! use p4bid_ast::pool::TyPool;
+//! use p4bid_ast::sectype::{FieldList, SecTy, TyId};
+//! use p4bid_lattice::Lattice;
+//!
+//! let lat = Lattice::two_point();
+//! let mut pool = TyPool::new();
+//! let bit8 = pool.bit(8);
+//! let mut syms = p4bid_ast::intern::Interner::new();
+//! let ttl = syms.intern("ttl");
+//! let h1 = pool.header(FieldList::new(vec![(ttl, SecTy::bottom(bit8, &lat))]));
+//! let h2 = pool.header(FieldList::new(vec![(ttl, SecTy::bottom(bit8, &lat))]));
+//! assert_eq!(h1, h2, "hash-consed: one allocation, O(1) equality");
+//! assert_ne!(h1, TyId::BOOL);
+//! ```
+
+use crate::intern::{Interner, Symbol};
+use crate::sectype::{FieldList, FnTy, SecTy, Ty, TyId};
+use p4bid_lattice::Label;
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::rc::Rc;
+
+/// A hash-consing pool of structural type nodes.
+///
+/// Append-only: ids stay valid for the lifetime of the pool, so snapshots
+/// (e.g. a checker session's per-lattice prelude state) can hold plain
+/// [`TyId`]s across later interning.
+#[derive(Debug, Clone)]
+pub struct TyPool {
+    nodes: Vec<Ty>,
+    map: HashMap<Ty, TyId>,
+}
+
+impl Default for TyPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TyPool {
+    /// A pool with the label-free primitives pre-interned at their fixed
+    /// ids ([`TyId::BOOL`], [`TyId::INT`], [`TyId::UNIT`],
+    /// [`TyId::MATCH_KIND`]).
+    #[must_use]
+    pub fn new() -> Self {
+        let mut pool = TyPool { nodes: Vec::new(), map: HashMap::new() };
+        assert_eq!(pool.intern(Ty::Bool), TyId::BOOL);
+        assert_eq!(pool.intern(Ty::Int), TyId::INT);
+        assert_eq!(pool.intern(Ty::Unit), TyId::UNIT);
+        assert_eq!(pool.intern(Ty::MatchKind), TyId::MATCH_KIND);
+        pool
+    }
+
+    /// Interns a structural node, returning its id. Idempotent: equal
+    /// nodes (whose children were interned in this pool) share one id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct types are interned
+    /// (unreachable for real programs).
+    pub fn intern(&mut self, ty: Ty) -> TyId {
+        if let Some(&id) = self.map.get(&ty) {
+            return id;
+        }
+        let id = TyId(u32::try_from(self.nodes.len()).expect("type pool overflow"));
+        self.nodes.push(ty.clone());
+        self.map.insert(ty, id);
+        id
+    }
+
+    /// The structural node an id stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` came from a different pool and is out of range.
+    #[must_use]
+    pub fn kind(&self, id: TyId) -> &Ty {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of distinct pooled types.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether only the primitives are pooled. Never true in practice
+    /// (`new` pre-interns four nodes); provided for API symmetry.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    // ------------------------------------------------------------------
+    // Construction shorthands
+    // ------------------------------------------------------------------
+
+    /// Interns `bit<width>`.
+    pub fn bit(&mut self, width: u16) -> TyId {
+        self.intern(Ty::Bit(width))
+    }
+
+    /// Interns a record (struct) type.
+    pub fn record(&mut self, fields: FieldList) -> TyId {
+        self.intern(Ty::Record(Rc::new(fields)))
+    }
+
+    /// Interns a header type.
+    pub fn header(&mut self, fields: FieldList) -> TyId {
+        self.intern(Ty::Header(Rc::new(fields)))
+    }
+
+    /// Interns a stack type.
+    pub fn stack(&mut self, elem: SecTy, len: u32) -> TyId {
+        self.intern(Ty::Stack(elem, len))
+    }
+
+    /// Interns a table type with application bound `pc_tbl`.
+    pub fn table(&mut self, pc_tbl: Label) -> TyId {
+        self.intern(Ty::Table(pc_tbl))
+    }
+
+    /// Interns a function/action type.
+    pub fn function(&mut self, fnty: FnTy) -> TyId {
+        self.intern(Ty::Function(Rc::new(fnty)))
+    }
+
+    // ------------------------------------------------------------------
+    // Inspection
+    // ------------------------------------------------------------------
+
+    /// Whether `id` is a base scalar (`bool`, `int`, `bit<n>`).
+    #[must_use]
+    pub fn is_base_scalar(&self, id: TyId) -> bool {
+        self.kind(id).is_base_scalar()
+    }
+
+    /// The record/header field list of `id`, if any.
+    #[must_use]
+    pub fn fields(&self, id: TyId) -> Option<&FieldList> {
+        self.kind(id).fields()
+    }
+
+    /// Looks a record/header field up by symbol.
+    #[must_use]
+    pub fn field(&self, id: TyId, name: Symbol) -> Option<SecTy> {
+        self.kind(id).field(name)
+    }
+
+    // ------------------------------------------------------------------
+    // Equality / compatibility
+    // ------------------------------------------------------------------
+
+    /// Structural compatibility for the τ-equality side conditions,
+    /// admitting the `int` literal ↔ `bit<n>` coercion in either
+    /// direction (recursively through record/header fields and stack
+    /// elements, whose labels must agree exactly).
+    ///
+    /// Fast path: hash-consing makes `a == b` equivalent to structural
+    /// equality, so the recursion only runs when a coercion could relate
+    /// two *distinct* types.
+    #[must_use]
+    pub fn compatible(&self, a: TyId, b: TyId) -> bool {
+        if a == b {
+            return true;
+        }
+        match (self.kind(a), self.kind(b)) {
+            (Ty::Int, Ty::Bit(_)) | (Ty::Bit(_), Ty::Int) => true,
+            (Ty::Record(x), Ty::Record(y)) | (Ty::Header(x), Ty::Header(y)) => {
+                x.len() == y.len()
+                    && x.iter().zip(y.iter()).all(|((nx, tx), (ny, ty))| {
+                        nx == ny && tx.label == ty.label && self.compatible(tx.ty, ty.ty)
+                    })
+            }
+            (Ty::Stack(x, n), Ty::Stack(y, m)) => {
+                n == m && x.label == y.label && self.compatible(x.ty, y.ty)
+            }
+            // Distinct ids of any other shape are structurally different
+            // by the hash-consing invariant.
+            _ => false,
+        }
+    }
+
+    /// Whether two security types describe the same data layout and labels
+    /// up to implicit `int → bit<n>` literal coercion. Outer labels are
+    /// *not* compared; use this for the τ-equality side conditions of
+    /// T-Assign / T-Call.
+    #[must_use]
+    pub fn same_shape(&self, a: SecTy, b: SecTy) -> bool {
+        self.compatible(a.ty, b.ty)
+    }
+
+    // ------------------------------------------------------------------
+    // Rendering (diagnostics boundary)
+    // ------------------------------------------------------------------
+
+    /// Renders the structural type for diagnostics (`bit<8>`,
+    /// `struct { f: … }`, …). Field names resolve through `syms`.
+    #[must_use]
+    pub fn display(&self, id: TyId, syms: &Interner) -> String {
+        let mut out = String::new();
+        self.write_ty(&mut out, id, syms);
+        out
+    }
+
+    fn write_ty(&self, out: &mut String, id: TyId, syms: &Interner) {
+        match self.kind(id) {
+            Ty::Bool => out.push_str("bool"),
+            Ty::Int => out.push_str("int"),
+            Ty::Bit(n) => {
+                let _ = write!(out, "bit<{n}>");
+            }
+            Ty::Unit => out.push_str("unit"),
+            Ty::Record(fs) | Ty::Header(fs) => {
+                out.push_str(if matches!(self.kind(id), Ty::Record(_)) {
+                    "struct { "
+                } else {
+                    "header { "
+                });
+                for (i, (n, t)) in fs.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(out, "{}: ", syms.resolve(*n));
+                    self.write_ty(out, t.ty, syms);
+                }
+                out.push_str(" }");
+            }
+            Ty::Stack(t, n) => {
+                self.write_ty(out, t.ty, syms);
+                let _ = write!(out, "[{n}]");
+            }
+            Ty::MatchKind => out.push_str("match_kind"),
+            Ty::Table(_) => out.push_str("table"),
+            Ty::Function(ft) => {
+                let _ = write!(out, "{}(…)", if ft.is_action { "action" } else { "function" });
+            }
+        }
+    }
+}
+
+/// The shared naming/typing context: the string interner plus the type
+/// pool. One per checker session; handed to every [`TypedProgram`] the
+/// session produces (via [`SharedTyCtx`]) so the interpreter and the NI
+/// harness can resolve symbols and type ids without copying tables.
+///
+/// [`TypedProgram`]: ../../p4bid_typeck/struct.TypedProgram.html
+#[derive(Debug, Clone)]
+pub struct TyCtx {
+    /// Interned names (variables, fields, actions, labels, …); symbol 0
+    /// is always the reserved empty-string sentinel.
+    pub syms: Interner,
+    /// Hash-consed structural types.
+    pub types: TyPool,
+}
+
+impl Default for TyCtx {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TyCtx {
+    /// A fresh context with a primitives-only pool. The interner starts
+    /// with the empty string reserved at symbol 0 — the sentinel
+    /// match-kind symbol `Value::init`-style zero values use — so slot 0
+    /// never aliases a real name.
+    #[must_use]
+    pub fn new() -> Self {
+        let mut syms = Interner::new();
+        let sentinel = syms.intern("");
+        debug_assert_eq!(sentinel.index(), 0);
+        TyCtx { syms, types: TyPool::new() }
+    }
+
+    /// Wraps a fresh context for sharing.
+    #[must_use]
+    pub fn shared() -> SharedTyCtx {
+        Rc::new(RefCell::new(TyCtx::new()))
+    }
+}
+
+/// A shareable, interiorly mutable [`TyCtx`].
+///
+/// Both structures inside are append-only, so `Symbol`s and `TyId`s handed
+/// out earlier stay valid while later programs grow the tables. Borrows are
+/// taken once per coarse operation (one `check`, one interpreter step
+/// group), never held across them.
+pub type SharedTyCtx = Rc<RefCell<TyCtx>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4bid_lattice::Lattice;
+
+    #[test]
+    fn primitives_have_fixed_ids() {
+        let pool = TyPool::new();
+        assert_eq!(pool.kind(TyId::BOOL), &Ty::Bool);
+        assert_eq!(pool.kind(TyId::INT), &Ty::Int);
+        assert_eq!(pool.kind(TyId::UNIT), &Ty::Unit);
+        assert_eq!(pool.kind(TyId::MATCH_KIND), &Ty::MatchKind);
+        assert_eq!(pool.len(), 4);
+    }
+
+    #[test]
+    fn interning_is_idempotent() {
+        let mut pool = TyPool::new();
+        let a = pool.bit(8);
+        let b = pool.bit(8);
+        let c = pool.bit(9);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(pool.len(), 6);
+    }
+
+    #[test]
+    fn nested_types_cons_to_one_id() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let f = syms.intern("f");
+        let g = syms.intern("g");
+        let bit8 = pool.bit(8);
+        let mk = |pool: &mut TyPool| {
+            let inner = pool.record(FieldList::new(vec![(f, SecTy::new(bit8, lat.top()))]));
+            pool.record(FieldList::new(vec![(g, SecTy::bottom(inner, &lat))]))
+        };
+        let a = mk(&mut pool);
+        let before = pool.len();
+        let b = mk(&mut pool);
+        assert_eq!(a, b);
+        assert_eq!(pool.len(), before, "re-interning allocates nothing");
+    }
+
+    #[test]
+    fn compatible_is_reflexive_and_coercive() {
+        let lat = Lattice::two_point();
+        let mut pool = TyPool::new();
+        let bit8 = pool.bit(8);
+        let bit16 = pool.bit(16);
+        assert!(pool.compatible(bit8, bit8));
+        assert!(pool.compatible(bit8, TyId::INT));
+        assert!(pool.compatible(TyId::INT, bit16));
+        assert!(!pool.compatible(bit8, bit16));
+        assert!(!pool.compatible(TyId::BOOL, bit8));
+        let _ = lat;
+    }
+
+    #[test]
+    fn nested_int_coercion_recurses() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = pool.bit(8);
+        let rec_bit = pool.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        let rec_int = pool.record(FieldList::new(vec![(f, SecTy::bottom(TyId::INT, &lat))]));
+        assert_ne!(rec_bit, rec_int);
+        assert!(pool.compatible(rec_bit, rec_int), "int field coerces to bit field");
+    }
+
+    #[test]
+    fn table_types_distinct_by_label() {
+        let lat = Lattice::two_point();
+        let mut pool = TyPool::new();
+        let lo = pool.table(lat.bottom());
+        let hi = pool.table(lat.top());
+        assert_ne!(lo, hi);
+        assert!(!pool.compatible(lo, hi));
+        assert_eq!(pool.table(lat.bottom()), lo);
+    }
+
+    #[test]
+    fn display_matches_surface_syntax() {
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let lat = Lattice::two_point();
+        let bit8 = pool.bit(8);
+        assert_eq!(pool.display(bit8, &syms), "bit<8>");
+        assert_eq!(pool.display(TyId::BOOL, &syms), "bool");
+        let f = syms.intern("f");
+        let rec = pool.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        assert_eq!(pool.display(rec, &syms), "struct { f: bit<8> }");
+        let stack = pool.stack(SecTy::bottom(bit8, &lat), 4);
+        assert_eq!(pool.display(stack, &syms), "bit<8>[4]");
+    }
+
+    #[test]
+    fn shared_ctx_is_append_only_across_borrows() {
+        let ctx = TyCtx::shared();
+        let (a, bit8) = {
+            let mut c = ctx.borrow_mut();
+            let a = c.syms.intern("a");
+            let bit8 = c.types.bit(8);
+            (a, bit8)
+        };
+        {
+            let mut c = ctx.borrow_mut();
+            c.syms.intern("b");
+            c.types.bit(16);
+        }
+        let c = ctx.borrow();
+        assert_eq!(c.syms.resolve(a), "a");
+        assert_eq!(c.types.kind(bit8), &Ty::Bit(8));
+    }
+}

@@ -1,4 +1,4 @@
-//! Resolved security types `⟨τ, χ⟩` (Figure 4 of the paper).
+//! Resolved security types `⟨τ, χ⟩` (Figure 4 of the paper), hash-consed.
 //!
 //! These are the types produced by the typechecker after typedef unfolding
 //! (`Δ ⊢ τ ⇝ τ'`) and label resolution: every label annotation has become a
@@ -9,18 +9,190 @@
 //! functions) carries security labels *inside* (on fields / elements /
 //! effect positions) and the outermost label of such types is `⊥`; base
 //! types (`bool`, `int`, `bit<n>`) carry their own label.
+//!
+//! Structural nodes ([`Ty`]) live in a hash-consing [`TyPool`]
+//! (`crate::pool`) and are referred to by copyable [`TyId`] handles; a
+//! [`SecTy`] is then just `(TyId, Label)` — a 8-byte `Copy` value — so the
+//! typechecker's hot path moves security types around for free and
+//! structural equality of pooled types is an id comparison instead of a
+//! deep recursive walk. Record and header fields are keyed by interned
+//! [`Symbol`]s; wide field lists additionally carry a sorted-by-symbol
+//! layout so lookup is a binary search instead of a linear scan.
 
+use crate::intern::{Interner, Symbol};
 use crate::surface::Direction;
 use p4bid_lattice::{Label, Lattice};
-use std::fmt;
 use std::rc::Rc;
+
+/// A handle to a structural type node inside a [`TyPool`](crate::pool::TyPool).
+///
+/// Ids are dense indices, only meaningful relative to the pool that produced
+/// them. The pool hash-conses nodes, so within one pool two ids are equal
+/// **iff** the types they denote are structurally equal — the O(1) equality
+/// the checker's hot path relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TyId(pub(crate) u32);
+
+impl TyId {
+    /// `bool` (pre-interned by every pool).
+    pub const BOOL: TyId = TyId(0);
+    /// Arbitrary-precision `int` (pre-interned by every pool).
+    pub const INT: TyId = TyId(1);
+    /// `unit` (pre-interned by every pool).
+    pub const UNIT: TyId = TyId(2);
+    /// `match_kind` (pre-interned by every pool).
+    pub const MATCH_KIND: TyId = TyId(3);
+
+    /// The raw index of this id inside its pool.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// A resolved security type `⟨τ, χ⟩`: a pooled structural type plus the
+/// outermost security label. `Copy` — 8 bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SecTy {
+    /// The structural type (a handle into the active [`TyPool`](crate::pool::TyPool)).
+    pub ty: TyId,
+    /// The (outermost) security label.
+    pub label: Label,
+}
+
+impl SecTy {
+    /// Pairs a pooled type with a label.
+    #[must_use]
+    pub fn new(ty: TyId, label: Label) -> Self {
+        SecTy { ty, label }
+    }
+
+    /// A `⊥`-labeled type.
+    #[must_use]
+    pub fn bottom(ty: TyId, lat: &Lattice) -> Self {
+        SecTy { ty, label: lat.bottom() }
+    }
+
+    /// `⟨unit, ⊥⟩`.
+    #[must_use]
+    pub fn unit(lat: &Lattice) -> Self {
+        SecTy { ty: TyId::UNIT, label: lat.bottom() }
+    }
+
+    /// The same type with the label raised to `self.label ⊔ other`.
+    /// (T-SubType-In, applied algorithmically at `in`-positions.)
+    #[must_use]
+    pub fn raised(&self, lat: &Lattice, other: Label) -> SecTy {
+        SecTy { ty: self.ty, label: lat.join(self.label, other) }
+    }
+}
+
+/// Field count above which a [`FieldList`] builds the sorted-by-symbol
+/// lookup layout (below it, a linear scan over `Copy` pairs wins).
+pub const SORTED_FIELDS_THRESHOLD: usize = 8;
+
+/// The fields of a record or header, keyed by interned symbols and kept in
+/// declaration order.
+///
+/// Lists wider than [`SORTED_FIELDS_THRESHOLD`] carry an extra
+/// sorted-by-symbol index built at construction time, so
+/// [`get`](FieldList::get) on wide headers is a binary search instead of a
+/// linear scan.
+#[derive(Debug, Clone, Eq)]
+pub struct FieldList {
+    /// `(name, type)` pairs in declaration order.
+    fields: Vec<(Symbol, SecTy)>,
+    /// Indices into `fields`, sorted by symbol; empty for narrow lists.
+    sorted: Vec<u32>,
+}
+
+impl FieldList {
+    /// Builds a field list, constructing the sorted layout when the list is
+    /// wider than [`SORTED_FIELDS_THRESHOLD`].
+    #[must_use]
+    pub fn new(fields: Vec<(Symbol, SecTy)>) -> Self {
+        let sorted = if fields.len() > SORTED_FIELDS_THRESHOLD {
+            let mut ix: Vec<u32> = (0..fields.len() as u32).collect();
+            ix.sort_by_key(|&i| fields[i as usize].0);
+            ix
+        } else {
+            Vec::new()
+        };
+        FieldList { fields, sorted }
+    }
+
+    /// Looks a field up by symbol: binary search on wide lists, linear scan
+    /// of `Copy` pairs on narrow ones.
+    #[must_use]
+    pub fn get(&self, name: Symbol) -> Option<SecTy> {
+        if self.sorted.is_empty() {
+            self.fields.iter().find(|(f, _)| *f == name).map(|(_, t)| *t)
+        } else {
+            self.sorted
+                .binary_search_by_key(&name, |&i| self.fields[i as usize].0)
+                .ok()
+                .map(|pos| self.fields[self.sorted[pos] as usize].1)
+        }
+    }
+
+    /// Whether the sorted lookup layout was built (wide lists only).
+    #[must_use]
+    pub fn has_sorted_layout(&self) -> bool {
+        !self.sorted.is_empty()
+    }
+
+    /// The fields in declaration order.
+    #[must_use]
+    pub fn as_slice(&self) -> &[(Symbol, SecTy)] {
+        &self.fields
+    }
+
+    /// Iterates the fields in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = &(Symbol, SecTy)> {
+        self.fields.iter()
+    }
+
+    /// Number of fields.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// Whether there are no fields.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+}
+
+// `sorted` is a pure function of `fields`; equality and hashing consider
+// the declaration-order fields only (consistent by construction).
+impl PartialEq for FieldList {
+    fn eq(&self, other: &Self) -> bool {
+        self.fields == other.fields
+    }
+}
+
+impl std::hash::Hash for FieldList {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.fields.hash(state);
+    }
+}
+
+impl<'a> IntoIterator for &'a FieldList {
+    type Item = &'a (Symbol, SecTy);
+    type IntoIter = std::slice::Iter<'a, (Symbol, SecTy)>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.fields.iter()
+    }
+}
 
 /// A function or action type
 /// `⟨d ⟨τᵢ, χᵢ⟩ ; ⟨τ_cᵢ, χ_cᵢ⟩ --pc_fn--> ⟨τ_ret, χ_ret⟩, ⊥⟩`.
 ///
 /// `pc_fn` is the lower bound on the labels of everything the body writes:
 /// the function may only be invoked in contexts `pc ⊑ pc_fn` (T-Call).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct FnTy {
     /// Parameters in declaration order.
     pub params: Vec<FnParam>,
@@ -48,10 +220,11 @@ impl FnTy {
 }
 
 /// One resolved function/action parameter.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct FnParam {
-    /// Parameter name (kept for diagnostics and interpreter binding).
-    pub name: String,
+    /// Interned parameter name (resolved at diagnostics boundaries; bound
+    /// directly by symbol in the interpreter).
+    pub name: Symbol,
     /// Effective direction; control-plane parameters behave as `in`.
     pub direction: Direction,
     /// Resolved security type.
@@ -62,7 +235,11 @@ pub struct FnParam {
 
 /// The resolved Core P4 type structure `τ` (Figure 4, without the
 /// outermost label).
-#[derive(Debug, Clone, PartialEq, Eq)]
+///
+/// Recursive positions hold `Copy` [`SecTy`] children (pooled ids), so a
+/// `Ty` node is cheap to clone and cheap to hash — the cost the hash-consing
+/// pool pays exactly once per distinct type.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub enum Ty {
     /// `bool`.
     Bool,
@@ -73,11 +250,11 @@ pub enum Ty {
     /// Unit (function returns).
     Unit,
     /// Record / struct `{ f : ⟨τ, χ⟩ }`.
-    Record(Rc<Vec<(String, SecTy)>>),
+    Record(Rc<FieldList>),
     /// Header `header { f : ⟨τ, χ⟩ }` (always valid in this fragment).
-    Header(Rc<Vec<(String, SecTy)>>),
+    Header(Rc<FieldList>),
     /// Header stack `⟨τ, χ⟩[n]`.
-    Stack(Rc<SecTy>, u32),
+    Stack(SecTy, u32),
     /// A match-kind constant (`exact`, `lpm`, `ternary`).
     MatchKind,
     /// A table closure; the label is `pc_tbl` (T-TblDecl).
@@ -96,144 +273,36 @@ impl Ty {
 
     /// The record/header field list, if any.
     #[must_use]
-    pub fn fields(&self) -> Option<&[(String, SecTy)]> {
+    pub fn fields(&self) -> Option<&FieldList> {
         match self {
             Ty::Record(fs) | Ty::Header(fs) => Some(fs),
             _ => None,
         }
     }
 
-    /// Looks up a field's security type.
+    /// Looks up a field's security type by interned name.
     #[must_use]
-    pub fn field(&self, name: &str) -> Option<&SecTy> {
-        self.fields()?.iter().find(|(f, _)| f == name).map(|(_, t)| t)
+    pub fn field(&self, name: Symbol) -> Option<SecTy> {
+        self.fields()?.get(name)
     }
 }
 
-impl fmt::Display for Ty {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Ty::Bool => write!(f, "bool"),
-            Ty::Int => write!(f, "int"),
-            Ty::Bit(n) => write!(f, "bit<{n}>"),
-            Ty::Unit => write!(f, "unit"),
-            Ty::Record(fs) => {
-                write!(f, "struct {{ ")?;
-                for (i, (n, t)) in fs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{n}: {t:?}")?;
-                }
-                write!(f, " }}")
-            }
-            Ty::Header(fs) => {
-                write!(f, "header {{ ")?;
-                for (i, (n, t)) in fs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{n}: {t:?}")?;
-                }
-                write!(f, " }}")
-            }
-            Ty::Stack(t, n) => write!(f, "{:?}[{n}]", t),
-            Ty::MatchKind => write!(f, "match_kind"),
-            Ty::Table(_) => write!(f, "table"),
-            Ty::Function(ft) => {
-                write!(f, "{}(…)", if ft.is_action { "action" } else { "function" })
-            }
-        }
-    }
-}
-
-/// A resolved security type `⟨τ, χ⟩`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct SecTy {
-    /// The structural type.
-    pub ty: Ty,
-    /// The (outermost) security label.
-    pub label: Label,
-}
-
-impl SecTy {
-    /// Pairs a type with a label.
-    #[must_use]
-    pub fn new(ty: Ty, label: Label) -> Self {
-        SecTy { ty, label }
-    }
-
-    /// A `⊥`-labeled type.
-    #[must_use]
-    pub fn bottom(ty: Ty, lat: &Lattice) -> Self {
-        SecTy { ty, label: lat.bottom() }
-    }
-
-    /// `⟨unit, ⊥⟩`.
-    #[must_use]
-    pub fn unit(lat: &Lattice) -> Self {
-        SecTy::bottom(Ty::Unit, lat)
-    }
-
-    /// The same type with the label raised to `self.label ⊔ other`.
-    /// (T-SubType-In, applied algorithmically at `in`-positions.)
-    #[must_use]
-    pub fn raised(&self, lat: &Lattice, other: Label) -> SecTy {
-        SecTy { ty: self.ty.clone(), label: lat.join(self.label, other) }
-    }
-
-    /// Renders the type with lattice-resolved label names, e.g.
-    /// `⟨bit<8>, high⟩`.
-    #[must_use]
-    pub fn display<'a>(&'a self, lat: &'a Lattice) -> SecTyDisplay<'a> {
-        SecTyDisplay { ty: self, lat }
-    }
-
-    /// Whether two security types describe the same data layout and labels
-    /// up to implicit `int → bit<n>` literal coercion (P4's
-    /// arbitrary-precision literals). Outer labels are *not* compared; use
-    /// this for the `τ`-equality side conditions of T-Assign / T-Call.
-    #[must_use]
-    pub fn same_shape(&self, other: &SecTy) -> bool {
-        ty_compatible(&self.ty, &other.ty)
-    }
-}
-
-/// Structural compatibility for the τ-equality side conditions, admitting
-/// the `int` literal to `bit<n>` coercion in either direction.
+/// Renders a [`SecTy`] as `<τ, χ-name>` with lattice-resolved label names
+/// (diagnostics boundary).
 #[must_use]
-pub fn ty_compatible(a: &Ty, b: &Ty) -> bool {
-    match (a, b) {
-        (Ty::Int, Ty::Bit(_)) | (Ty::Bit(_), Ty::Int) => true,
-        (Ty::Record(x), Ty::Record(y)) | (Ty::Header(x), Ty::Header(y)) => {
-            x.len() == y.len()
-                && x.iter().zip(y.iter()).all(|((nx, tx), (ny, ty))| {
-                    nx == ny && tx.label == ty.label && ty_compatible(&tx.ty, &ty.ty)
-                })
-        }
-        (Ty::Stack(x, n), Ty::Stack(y, m)) => {
-            n == m && x.label == y.label && ty_compatible(&x.ty, &y.ty)
-        }
-        _ => a == b,
-    }
-}
-
-/// Helper for rendering a [`SecTy`] with human-readable label names.
-#[derive(Debug)]
-pub struct SecTyDisplay<'a> {
-    ty: &'a SecTy,
-    lat: &'a Lattice,
-}
-
-impl fmt::Display for SecTyDisplay<'_> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "<{}, {}>", self.ty.ty, self.lat.name(self.ty.label))
-    }
+pub fn display_secty(
+    pool: &crate::pool::TyPool,
+    syms: &Interner,
+    lat: &Lattice,
+    t: SecTy,
+) -> String {
+    format!("<{}, {}>", pool.display(t.ty, syms), lat.name(t.label))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pool::TyPool;
 
     fn lat() -> Lattice {
         Lattice::two_point()
@@ -250,24 +319,52 @@ mod tests {
     #[test]
     fn field_lookup() {
         let l = lat();
-        let fields = Rc::new(vec![
-            ("ttl".to_string(), SecTy::bottom(Ty::Bit(8), &l)),
-            ("dst".to_string(), SecTy::new(Ty::Bit(32), l.top())),
-        ]);
-        let hdr = Ty::Header(fields);
-        assert_eq!(hdr.field("ttl").unwrap().ty, Ty::Bit(8));
-        assert_eq!(hdr.field("dst").unwrap().label, l.top());
-        assert!(hdr.field("nope").is_none());
-        assert!(Ty::Bool.field("x").is_none());
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let ttl = syms.intern("ttl");
+        let dst = syms.intern("dst");
+        let nope = syms.intern("nope");
+        let bit8 = pool.bit(8);
+        let bit32 = pool.bit(32);
+        let hdr = pool.header(FieldList::new(vec![
+            (ttl, SecTy::bottom(bit8, &l)),
+            (dst, SecTy::new(bit32, l.top())),
+        ]));
+        assert_eq!(pool.field(hdr, ttl).unwrap().ty, bit8);
+        assert_eq!(pool.field(hdr, dst).unwrap().label, l.top());
+        assert!(pool.field(hdr, nope).is_none());
+        assert!(pool.field(TyId::BOOL, ttl).is_none());
+    }
+
+    #[test]
+    fn wide_field_lists_use_binary_search() {
+        let l = lat();
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let bit8 = pool.bit(8);
+        // Intern names in an order that differs from the sorted order.
+        let names: Vec<Symbol> = (0..20).rev().map(|i| syms.intern(&format!("f{i:02}"))).collect();
+        let fl = FieldList::new(names.iter().map(|&n| (n, SecTy::bottom(bit8, &l))).collect());
+        assert!(fl.has_sorted_layout());
+        for &n in &names {
+            assert_eq!(fl.get(n), Some(SecTy::bottom(bit8, &l)));
+        }
+        assert_eq!(fl.get(syms.intern("ghost")), None);
+        // Narrow lists stay linear.
+        let narrow = FieldList::new(vec![(names[0], SecTy::bottom(bit8, &l))]);
+        assert!(!narrow.has_sorted_layout());
+        assert_eq!(narrow.get(names[0]), Some(SecTy::bottom(bit8, &l)));
     }
 
     #[test]
     fn raising_labels() {
         let l = lat();
-        let t = SecTy::bottom(Ty::Bit(8), &l);
+        let mut pool = TyPool::new();
+        let bit8 = pool.bit(8);
+        let t = SecTy::bottom(bit8, &l);
         let raised = t.raised(&l, l.top());
         assert_eq!(raised.label, l.top());
-        assert_eq!(raised.ty, Ty::Bit(8));
+        assert_eq!(raised.ty, bit8);
         // Raising by bottom is the identity.
         assert_eq!(t.raised(&l, l.bottom()), t);
     }
@@ -275,59 +372,78 @@ mod tests {
     #[test]
     fn int_bit_compatibility() {
         let l = lat();
-        let int = SecTy::bottom(Ty::Int, &l);
-        let bit = SecTy::bottom(Ty::Bit(32), &l);
-        assert!(int.same_shape(&bit));
-        assert!(bit.same_shape(&int));
-        assert!(!SecTy::bottom(Ty::Bool, &l).same_shape(&bit));
+        let mut pool = TyPool::new();
+        let bit32 = pool.bit(32);
+        let int = SecTy::bottom(TyId::INT, &l);
+        let bit = SecTy::bottom(bit32, &l);
+        assert!(pool.same_shape(int, bit));
+        assert!(pool.same_shape(bit, int));
+        assert!(!pool.same_shape(SecTy::bottom(TyId::BOOL, &l), bit));
     }
 
     #[test]
     fn nested_compatibility_checks_labels() {
         let l = lat();
-        let mk = |label: Label| {
-            SecTy::bottom(
-                Ty::Record(Rc::new(vec![("f".into(), SecTy::new(Ty::Bit(8), label))])),
-                &l,
-            )
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = pool.bit(8);
+        let mk = |pool: &mut TyPool, label: Label| {
+            let rec = pool.record(FieldList::new(vec![(f, SecTy::new(bit8, label))]));
+            SecTy::bottom(rec, &l)
         };
-        assert!(mk(l.bottom()).same_shape(&mk(l.bottom())));
+        let low = mk(&mut pool, l.bottom());
+        let low2 = mk(&mut pool, l.bottom());
+        let high = mk(&mut pool, l.top());
+        assert_eq!(low, low2, "hash-consing: equal structure, equal id");
+        assert!(pool.same_shape(low, low2));
         // Field labels are part of the type (Figure 4): mismatch rejected.
-        assert!(!mk(l.bottom()).same_shape(&mk(l.top())));
+        assert!(!pool.same_shape(low, high));
     }
 
     #[test]
     fn stack_compatibility() {
         let l = lat();
-        let s8 = Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &l)), 4);
-        let s8b = Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &l)), 4);
-        let s5 = Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &l)), 5);
-        assert!(ty_compatible(&s8, &s8b));
-        assert!(!ty_compatible(&s8, &s5));
+        let mut pool = TyPool::new();
+        let bit8 = pool.bit(8);
+        let s8 = pool.stack(SecTy::bottom(bit8, &l), 4);
+        let s8b = pool.stack(SecTy::bottom(bit8, &l), 4);
+        let s5 = pool.stack(SecTy::bottom(bit8, &l), 5);
+        assert_eq!(s8, s8b, "hash-consing");
+        assert!(pool.compatible(s8, s8b));
+        assert!(!pool.compatible(s8, s5));
     }
 
     #[test]
     fn display_with_labels() {
         let l = lat();
-        let t = SecTy::new(Ty::Bit(8), l.top());
-        assert_eq!(t.display(&l).to_string(), "<bit<8>, high>");
+        let syms = Interner::new();
+        let mut pool = TyPool::new();
+        let bit8 = pool.bit(8);
+        let t = SecTy::new(bit8, l.top());
+        assert_eq!(display_secty(&pool, &syms, &l, t), "<bit<8>, high>");
     }
 
     #[test]
     fn fn_param_partition() {
         let l = lat();
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let bit8 = pool.bit(8);
+        let x = syms.intern("x");
+        let c = syms.intern("c");
         let ft = FnTy {
             params: vec![
                 FnParam {
-                    name: "x".into(),
+                    name: x,
                     direction: Direction::In,
-                    ty: SecTy::bottom(Ty::Bit(8), &l),
+                    ty: SecTy::bottom(bit8, &l),
                     control_plane: false,
                 },
                 FnParam {
-                    name: "c".into(),
+                    name: c,
                     direction: Direction::In,
-                    ty: SecTy::bottom(Ty::Bit(8), &l),
+                    ty: SecTy::bottom(bit8, &l),
                     control_plane: true,
                 },
             ],
@@ -337,7 +453,7 @@ mod tests {
         };
         assert_eq!(ft.data_params().count(), 1);
         assert_eq!(ft.control_params().count(), 1);
-        assert_eq!(ft.data_params().next().unwrap().name, "x");
-        assert_eq!(ft.control_params().next().unwrap().name, "c");
+        assert_eq!(ft.data_params().next().unwrap().name, x);
+        assert_eq!(ft.control_params().next().unwrap().name, c);
     }
 }

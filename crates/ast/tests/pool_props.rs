@@ -1,0 +1,175 @@
+//! Property tests for the hash-consing type pool: within one pool,
+//! structural equality of security types is *equivalent* to id equality —
+//! `ty_eq(a, b) ⟺ pool.intern(a) == pool.intern(b)` — over randomly
+//! generated type trees, including product-lattice labels.
+//!
+//! The generator builds plain `Spec` trees (an independent, pool-free
+//! model of the type structure) so the equivalence is checked against a
+//! representation the pool cannot influence.
+
+use p4bid_ast::intern::{Interner, Symbol};
+use p4bid_ast::pool::TyPool;
+use p4bid_ast::sectype::{FieldList, SecTy, TyId};
+use p4bid_lattice::{Label, Lattice};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A pool-free model of a resolved security type: structural shape plus
+/// label indices. Derived `Eq` on this model is the "ground truth"
+/// structural equality the pool must reproduce via ids.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Spec {
+    Bool,
+    Int,
+    Bit(u16),
+    Unit,
+    Record(Vec<(u8, LabeledSpec)>),
+    Header(Vec<(u8, LabeledSpec)>),
+    Stack(Box<LabeledSpec>, u32),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct LabeledSpec {
+    spec: Spec,
+    label: u8,
+}
+
+/// The product lattice `{⊥, L, R, ⊤}` = 2-point × 2-point (as a powerset
+/// of two atoms), exercising non-chain label structure.
+fn product_lattice() -> Lattice {
+    Lattice::powerset(&["L", "R"])
+}
+
+fn gen_spec(rng: &mut StdRng, depth: usize, n_labels: u8) -> LabeledSpec {
+    let label = rng.gen_range(0..n_labels);
+    let choices = if depth == 0 { 4 } else { 7 };
+    let spec = match rng.gen_range(0..choices) {
+        0 => Spec::Bool,
+        1 => Spec::Int,
+        2 => Spec::Bit(rng.gen_range(1..=16)),
+        3 => Spec::Unit,
+        4 | 5 => {
+            // Field names drawn from a pool of 12 so that wide (>8 field)
+            // records exercise the sorted layout too.
+            let n = rng.gen_range(0..=10usize);
+            let mut names: Vec<u8> = (0..12).collect();
+            // Deterministic shuffle-by-swaps.
+            for i in (1..names.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                names.swap(i, j);
+            }
+            let fields = names
+                .into_iter()
+                .take(n)
+                .map(|name| (name, gen_spec(rng, depth - 1, n_labels)))
+                .collect();
+            if rng.gen() {
+                Spec::Record(fields)
+            } else {
+                Spec::Header(fields)
+            }
+        }
+        _ => Spec::Stack(Box::new(gen_spec(rng, depth - 1, n_labels)), rng.gen_range(1..=4)),
+    };
+    LabeledSpec { spec, label }
+}
+
+/// Interns a spec tree bottom-up, exactly as the checker constructs types.
+fn build(pool: &mut TyPool, syms: &mut Interner, lat: &Lattice, t: &LabeledSpec) -> SecTy {
+    let labels: Vec<Label> = lat.labels().collect();
+    let label = labels[t.label as usize % labels.len()];
+    let ty = match &t.spec {
+        Spec::Bool => TyId::BOOL,
+        Spec::Int => TyId::INT,
+        Spec::Bit(w) => pool.bit(*w),
+        Spec::Unit => TyId::UNIT,
+        Spec::Record(fields) | Spec::Header(fields) => {
+            let built: Vec<(Symbol, SecTy)> = fields
+                .iter()
+                .map(|(name, sub)| {
+                    (syms.intern(&format!("f{name:02}")), build(pool, syms, lat, sub))
+                })
+                .collect();
+            if matches!(&t.spec, Spec::Record(_)) {
+                pool.record(FieldList::new(built))
+            } else {
+                pool.header(FieldList::new(built))
+            }
+        }
+        Spec::Stack(elem, n) => {
+            let elem = build(pool, syms, lat, elem);
+            pool.stack(elem, *n)
+        }
+    };
+    SecTy::new(ty, label)
+}
+
+fn spec_from_seed(seed: u64, n_labels: u8) -> LabeledSpec {
+    let mut rng = StdRng::seed_from_u64(seed);
+    gen_spec(&mut rng, 3, n_labels)
+}
+
+proptest! {
+    /// `ty_eq(a, b) ⟺ intern(a) == intern(b)`: equal trees cons to equal
+    /// ids, and (injectivity) distinct trees never collide.
+    #[test]
+    fn hash_consing_is_sound_and_injective(seed_a in any::<u64>(), seed_b in any::<u64>(), same in any::<bool>()) {
+        let lat = product_lattice();
+        let n_labels = u8::try_from(lat.len()).unwrap();
+        let spec_a = spec_from_seed(seed_a, n_labels);
+        let spec_b = if same { spec_a.clone() } else { spec_from_seed(seed_b, n_labels) };
+
+        let mut pool = TyPool::new();
+        let mut syms = Interner::new();
+        let ta = build(&mut pool, &mut syms, &lat, &spec_a);
+        let tb = build(&mut pool, &mut syms, &lat, &spec_b);
+
+        prop_assert_eq!(
+            spec_a == spec_b,
+            ta == tb,
+            "spec equality and pooled-id equality must agree:\n a = {:?}\n b = {:?}",
+            spec_a,
+            spec_b
+        );
+        // And `compatible` must at least contain pooled equality.
+        if ta == tb {
+            prop_assert!(pool.same_shape(ta, tb));
+        }
+    }
+
+    /// Re-interning the same tree into the same pool allocates nothing.
+    #[test]
+    fn reinterning_is_free(seed in any::<u64>()) {
+        let lat = product_lattice();
+        let n_labels = u8::try_from(lat.len()).unwrap();
+        let spec = spec_from_seed(seed, n_labels);
+        let mut pool = TyPool::new();
+        let mut syms = Interner::new();
+        let first = build(&mut pool, &mut syms, &lat, &spec);
+        let size = pool.len();
+        let second = build(&mut pool, &mut syms, &lat, &spec);
+        prop_assert_eq!(first, second);
+        prop_assert_eq!(pool.len(), size, "second build must not grow the pool");
+    }
+
+    /// Interning order does not matter: building b-then-a in a fresh pool
+    /// yields the same equality verdict as a-then-b.
+    #[test]
+    fn interning_order_is_irrelevant(seed_a in any::<u64>(), seed_b in any::<u64>()) {
+        let lat = product_lattice();
+        let n_labels = u8::try_from(lat.len()).unwrap();
+        let spec_a = spec_from_seed(seed_a, n_labels);
+        let spec_b = spec_from_seed(seed_b, n_labels);
+
+        let (mut pool_ab, mut syms_ab) = (TyPool::new(), Interner::new());
+        let a1 = build(&mut pool_ab, &mut syms_ab, &lat, &spec_a);
+        let b1 = build(&mut pool_ab, &mut syms_ab, &lat, &spec_b);
+
+        let (mut pool_ba, mut syms_ba) = (TyPool::new(), Interner::new());
+        let b2 = build(&mut pool_ba, &mut syms_ba, &lat, &spec_b);
+        let a2 = build(&mut pool_ba, &mut syms_ba, &lat, &spec_a);
+
+        prop_assert_eq!(a1 == b1, a2 == b2);
+    }
+}

@@ -15,7 +15,6 @@ use p4bid::batch::{check_batch, synthetic_corpus};
 use p4bid::synth::synth_program;
 use p4bid::{check, CheckOptions, CheckerSession};
 use std::fmt::Write as _;
-use std::time::Instant;
 
 const CORPUS: usize = 200;
 
@@ -47,15 +46,7 @@ fn bench_batch(c: &mut Criterion) {
 /// Self-timed summary for the JSON artifact: programs/second for the
 /// serial and parallel batch paths plus the session-reuse speedup.
 fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
-    let time_ms = |f: &mut dyn FnMut()| {
-        f(); // warm-up
-        let iters = 3;
-        let start = Instant::now();
-        for _ in 0..iters {
-            f();
-        }
-        start.elapsed().as_secs_f64() * 1e3 / f64::from(iters)
-    };
+    let time_ms = |f: &mut dyn FnMut()| p4bid_bench::time_ms_best_of(3, 5, f);
 
     let opts = CheckOptions::ifc();
     let jobs_1_ms = time_ms(&mut || {

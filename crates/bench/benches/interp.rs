@@ -15,44 +15,42 @@ fn b(width: u16, v: u128) -> Value {
     Value::bit(width, v)
 }
 
-fn topology_packet() -> Vec<Value> {
+fn topology_packet(t: &TypedProgram) -> Vec<Value> {
+    let sy = |n: &str| t.intern(n);
     let ipv4 = Value::Header {
         valid: true,
         fields: vec![
-            ("ttl".into(), b(8, 64)),
-            ("protocol".into(), b(8, 6)),
-            ("srcAddr".into(), b(32, 0xC0A8_0001)),
-            ("dstAddr".into(), b(32, 0x0A00_0001)),
+            (sy("ttl"), b(8, 64)),
+            (sy("protocol"), b(8, 6)),
+            (sy("srcAddr"), b(32, 0xC0A8_0001)),
+            (sy("dstAddr"), b(32, 0x0A00_0001)),
         ],
     };
     let eth = Value::Header {
         valid: true,
-        fields: vec![("srcAddr".into(), b(48, 0x1111)), ("dstAddr".into(), b(48, 0x2222))],
+        fields: vec![(sy("srcAddr"), b(48, 0x1111)), (sy("dstAddr"), b(48, 0x2222))],
     };
     let local = Value::Header {
         valid: true,
         fields: vec![
-            ("phys_dstAddr".into(), b(32, 0)),
-            ("phys_ttl".into(), b(8, 0)),
-            ("next_hop_MAC_addr".into(), b(48, 0)),
+            (sy("phys_dstAddr"), b(32, 0)),
+            (sy("phys_ttl"), b(8, 0)),
+            (sy("next_hop_MAC_addr"), b(48, 0)),
         ],
     };
-    let hdr = Value::Record(vec![
-        ("ipv4".into(), ipv4),
-        ("eth".into(), eth),
-        ("local_hdr".into(), local),
-    ]);
-    vec![hdr, std_meta()]
+    let hdr = Value::Record(vec![(sy("ipv4"), ipv4), (sy("eth"), eth), (sy("local_hdr"), local)]);
+    vec![hdr, std_meta(t)]
 }
 
-fn std_meta() -> Value {
+fn std_meta(t: &TypedProgram) -> Value {
+    let sy = |n: &str| t.intern(n);
     Value::Record(vec![
-        ("ingress_port".into(), b(9, 1)),
-        ("egress_spec".into(), b(9, 0)),
-        ("egress_port".into(), b(9, 0)),
-        ("instance_type".into(), b(32, 0)),
-        ("packet_length".into(), b(32, 128)),
-        ("priority".into(), b(3, 0)),
+        (sy("ingress_port"), b(9, 1)),
+        (sy("egress_spec"), b(9, 0)),
+        (sy("egress_port"), b(9, 0)),
+        (sy("instance_type"), b(32, 0)),
+        (sy("packet_length"), b(32, 128)),
+        (sy("priority"), b(3, 0)),
     ])
 }
 
@@ -63,7 +61,7 @@ fn typed(src: &str) -> TypedProgram {
 fn bench_interp(c: &mut Criterion) {
     let topo = typed(p4bid::corpus::TOPOLOGY.secure);
     let topo_cp = p4bid::corpus::demo_control_plane("Topology");
-    let packet = topology_packet();
+    let packet = topology_packet(&topo);
 
     let mut group = c.benchmark_group("interp");
     group.throughput(Throughput::Elements(1));
@@ -74,27 +72,28 @@ fn bench_interp(c: &mut Criterion) {
     });
 
     let d2r = typed(p4bid::corpus::D2R.secure);
+    let sy = |n: &str| d2r.intern(n);
     let d2r_cp = p4bid::corpus::demo_control_plane("D2R");
     let bfs = Value::Header {
         valid: true,
         fields: vec![
-            ("curr".into(), b(32, 1)),
-            ("next_node".into(), b(32, 3)),
-            ("tried_links".into(), b(32, 0)),
-            ("num_hops".into(), b(32, 0)),
+            (sy("curr"), b(32, 1)),
+            (sy("next_node"), b(32, 3)),
+            (sy("tried_links"), b(32, 0)),
+            (sy("num_hops"), b(32, 0)),
         ],
     };
     let ipv4 = Value::Header {
         valid: true,
         fields: vec![
-            ("priority".into(), b(3, 0)),
-            ("ttl".into(), b(8, 64)),
-            ("srcAddr".into(), b(32, 1)),
-            ("dstAddr".into(), b(32, 3)),
+            (sy("priority"), b(3, 0)),
+            (sy("ttl"), b(8, 64)),
+            (sy("srcAddr"), b(32, 1)),
+            (sy("dstAddr"), b(32, 3)),
         ],
     };
     let d2r_packet =
-        vec![Value::Record(vec![("bfs".into(), bfs), ("ipv4".into(), ipv4)]), std_meta()];
+        vec![Value::Record(vec![(sy("bfs"), bfs), (sy("ipv4"), ipv4)]), std_meta(&d2r)];
     group.bench_function("d2r_bfs_packet", |bch| {
         bch.iter(|| run_control(&d2r, &d2r_cp, "D2R_Ingress", d2r_packet.clone()).expect("runs"));
     });

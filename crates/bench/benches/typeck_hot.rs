@@ -1,0 +1,142 @@
+//! Checker hot-path bench: the costs the hash-consed type pool targets.
+//!
+//! Measures (a) one-shot [`check`] vs a pooled [`CheckerSession`] on the
+//! synthetic batch program (every session since the `TyPool` refactor
+//! shares one interner + type pool across checks), (b) checking a
+//! wide-header program whose field lookups go through the sorted-by-symbol
+//! layout, and (c) the raw τ-equality check (`same_shape`) on deep pooled
+//! types — an id comparison on the fast path.
+//!
+//! Run with `cargo bench -p p4bid-bench --bench typeck_hot`. Set
+//! `P4BID_BENCH_JSON=path` to also write a machine-readable summary (the
+//! `BENCH_typeck.json` baseline in the repo root; CI uploads it as an
+//! artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4bid::ast::{FieldList, SecTy, TyCtx};
+use p4bid::lattice::Lattice;
+use p4bid::synth::synth_program;
+use p4bid::{check, CheckOptions, CheckerSession};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// A program with one wide (32-field) header and a body that reads and
+/// writes every field — the field-lookup stress case.
+fn wide_header_program() -> String {
+    let mut src = String::from("header wide_t {\n");
+    for i in 0..32 {
+        let _ = writeln!(src, "    bit<16> f{i:02};");
+    }
+    src.push_str("}\ncontrol C(inout wide_t w) {\n    apply {\n");
+    for i in 0..32 {
+        let _ = writeln!(src, "        w.f{i:02} = w.f{:02} + 16w1;", (i + 13) % 32);
+    }
+    src.push_str("    }\n}\n");
+    src
+}
+
+/// Builds a deep nested record type in a fresh pool, twice, and returns
+/// the context plus both (hash-consed, thus equal) handles.
+fn deep_types() -> (TyCtx, SecTy, SecTy, SecTy) {
+    let lat = Lattice::diamond();
+    let mut ctx = TyCtx::new();
+    let build = |ctx: &mut TyCtx, widths: &[u16]| {
+        let mut cur = SecTy::bottom(ctx.types.bit(widths[0]), &lat);
+        for (depth, &w) in widths.iter().enumerate().skip(1) {
+            let fields: Vec<_> = (0..6)
+                .map(|i| {
+                    let name = ctx.syms.intern(&format!("d{depth}_f{i}"));
+                    let leaf = SecTy::bottom(ctx.types.bit(w), &lat);
+                    (name, if i == 0 { cur } else { leaf })
+                })
+                .collect();
+            cur = SecTy::bottom(ctx.types.record(FieldList::new(fields)), &lat);
+        }
+        cur
+    };
+    let a = build(&mut ctx, &[8, 16, 32, 48, 64]);
+    let b = build(&mut ctx, &[8, 16, 32, 48, 64]);
+    let c = build(&mut ctx, &[8, 16, 32, 48, 9]);
+    (ctx, a, b, c)
+}
+
+fn bench_typeck_hot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typeck_hot");
+
+    let program = synth_program(8, true);
+    group.bench_function("one_shot", |b| {
+        b.iter(|| check(&program, &CheckOptions::ifc()).expect("accepts"));
+    });
+    group.bench_function("session", |b| {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        b.iter(|| session.check(&program).expect("accepts"));
+    });
+
+    let wide = wide_header_program();
+    group.bench_function("wide_header_session", |b| {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        b.iter(|| session.check(&wide).expect("accepts"));
+    });
+
+    let (ctx, a, b_ty, c_ty) = deep_types();
+    assert_eq!(a, b_ty, "hash-consing: equal deep types share an id");
+    assert_ne!(a, c_ty);
+    group.bench_function("same_shape_deep", |bch| {
+        bch.iter(|| {
+            let eq = ctx.types.same_shape(a, b_ty);
+            let ne = ctx.types.same_shape(a, c_ty);
+            assert!(eq && !ne);
+            (eq, ne)
+        });
+    });
+    group.finish();
+
+    summary_json(&program, &wide);
+}
+
+/// Self-timed summary for the JSON artifact.
+fn summary_json(program: &str, wide: &str) {
+    let time_ms = |f: &mut dyn FnMut()| p4bid_bench::time_ms_best_of(3, 50, f);
+
+    let opts = CheckOptions::ifc();
+    let one_shot_ms = time_ms(&mut || {
+        check(program, &opts).expect("accepts");
+    });
+    let mut session = CheckerSession::new(opts.clone());
+    let session_ms = time_ms(&mut || {
+        session.check(program).expect("accepts");
+    });
+    let mut wide_session = CheckerSession::new(opts.clone());
+    let wide_ms = time_ms(&mut || {
+        wide_session.check(wide).expect("accepts");
+    });
+
+    let (ctx, a, b, c) = deep_types();
+    let iters = 2_000_000u32;
+    let start = Instant::now();
+    for _ in 0..iters {
+        assert!(ctx.types.same_shape(a, b));
+        assert!(!ctx.types.same_shape(a, c));
+    }
+    let same_shape_ns = start.elapsed().as_secs_f64() * 1e9 / f64::from(iters) / 2.0;
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-typeck/1\",");
+    let _ = writeln!(json, "  \"one_shot_check_ms\": {one_shot_ms:.4},");
+    let _ = writeln!(json, "  \"session_check_ms\": {session_ms:.4},");
+    let _ = writeln!(json, "  \"session_speedup\": {:.2},", one_shot_ms / session_ms.max(1e-9));
+    let _ = writeln!(json, "  \"wide_header_session_ms\": {wide_ms:.4},");
+    let _ = writeln!(json, "  \"same_shape_deep_ns\": {same_shape_ns:.2}");
+    json.push_str("}\n");
+
+    match std::env::var("P4BID_BENCH_JSON") {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            println!("wrote typeck bench summary to {path}");
+        }
+        _ => println!("\n{json}"),
+    }
+}
+
+criterion_group!(benches, bench_typeck_hot);
+criterion_main!(benches);

@@ -7,11 +7,12 @@
 //! p4bid table1 [ITERS]                                  regenerate Table 1 (default 20 iterations)
 //! p4bid ni FILE --control NAME [--runs N] [--observe L] empirical non-interference check
 //! p4bid corpus [NAME] [--insecure|--unannotated]        list or print corpus programs
-//! p4bid fuzz [N] [--safe-bias F]                        soundness fuzzing over N random programs
+//! p4bid fuzz [N] [--safe-bias F] [--jobs J]             soundness fuzzing over N random programs
 //! ```
 
 use p4bid::batch::{check_batch, synthetic_corpus, BatchInput};
-use p4bid::ni::{check_non_interference, random_program, GenConfig, NiConfig, NiOutcome};
+use p4bid::fuzz::{run_fuzz, SeedOutcome};
+use p4bid::ni::{check_non_interference, GenConfig, NiConfig, NiOutcome};
 use p4bid::report::{
     case_study_matrix, measure_table1, render_matrix, render_table1, unannotated_source,
 };
@@ -42,7 +43,7 @@ fn main() -> ExitCode {
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
-                 p4bid fuzz [N] [--safe-bias F]"
+                 p4bid fuzz [N] [--safe-bias F] [--jobs J]"
             );
             ExitCode::from(2)
         }
@@ -289,22 +290,25 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     if let Some(bias) = flag_value(args, "--safe-bias").and_then(|s| s.parse().ok()) {
         cfg = cfg.with_safe_bias(bias);
     }
-    let ni_cfg = NiConfig::default().with_runs(30);
-    let (mut accepted, mut rejected) = (0u64, 0u64);
-    for seed in 0..n {
-        let gp = random_program(seed, &cfg);
-        match check(&gp.source, &CheckOptions::ifc()) {
-            Ok(typed) => {
-                accepted += 1;
-                let out = check_non_interference(&typed, &gp.control_plane, "Fuzz", &ni_cfg);
-                if let NiOutcome::Leak(w) = &out {
-                    eprintln!("SOUNDNESS VIOLATION at seed {seed}:\n{}\n{w}", gp.source);
-                    return ExitCode::FAILURE;
-                }
+    let jobs = match flag_value(args, "--jobs") {
+        None => 1, // serial remains the default; `--jobs 0` = one per core
+        Some(j) => match j.parse::<usize>() {
+            Ok(j) => j,
+            Err(_) => {
+                eprintln!("error: `--jobs` needs a worker count, got `{j}`");
+                return ExitCode::from(2);
             }
-            Err(_) => rejected += 1,
-        }
+        },
+    };
+    let ni_cfg = NiConfig::default().with_runs(30);
+    let report = run_fuzz(n, &cfg, &ni_cfg, jobs);
+    if let Some((seed, SeedOutcome::Violation { source, witness })) = &report.violation {
+        eprintln!("SOUNDNESS VIOLATION at seed {seed}:\n{source}\n{witness}");
+        return ExitCode::FAILURE;
     }
-    println!("fuzzed {n} programs: {accepted} accepted (all non-interfering), {rejected} rejected");
+    println!(
+        "fuzzed {n} programs: {} accepted (all non-interfering), {} rejected",
+        report.accepted, report.rejected
+    );
     ExitCode::SUCCESS
 }

@@ -1,0 +1,244 @@
+//! Parallel soundness fuzzing: generate random programs, check them, and
+//! run the accepted ones through the non-interference harness — across
+//! cores, with reports byte-identical to the serial run.
+//!
+//! Seeds are partitioned over the same work-stealing pool `p4bid batch`
+//! uses ([`StealQueue`](crate::batch::StealQueue)): each worker owns a
+//! deque of seeds, generates its programs locally (generation is a pure
+//! function of the seed), and records one [`SeedOutcome`] per seed.
+//! Results are merged **by seed**, never by completion order, so the final
+//! [`FuzzReport`] — including which violation is reported when several
+//! seeds fail — is identical for every worker count. The determinism
+//! regression suite pins this down end to end.
+
+use crate::batch::StealQueue;
+use p4bid_ni::{check_non_interference, random_program, GenConfig, NiConfig, NiOutcome};
+use p4bid_typeck::{CheckOptions, CheckerSession};
+
+/// What happened on one seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeedOutcome {
+    /// The checker accepted the program and the harness found no leak.
+    Accepted,
+    /// The checker rejected the program (expected for unsafe generations).
+    Rejected,
+    /// The checker accepted the program but the harness found a leak — a
+    /// soundness violation. Carries the generated source and the rendered
+    /// witness.
+    Violation {
+        /// The generated program text.
+        source: String,
+        /// The rendered [`LeakWitness`](p4bid_ni::LeakWitness).
+        witness: String,
+    },
+}
+
+/// The merged outcome of a fuzzing run.
+#[derive(Debug, Clone)]
+pub struct FuzzReport {
+    /// Seeds fuzzed (`0..total`). When a violation is found the run may
+    /// have stopped early; `accepted + rejected` then covers only the
+    /// seeds below the violating one.
+    pub total: u64,
+    /// Programs the IFC checker accepted (all non-interfering unless
+    /// `violation` is set).
+    pub accepted: u64,
+    /// Programs the IFC checker rejected.
+    pub rejected: u64,
+    /// The lowest-seed soundness violation, if any.
+    pub violation: Option<(u64, SeedOutcome)>,
+}
+
+impl FuzzReport {
+    /// Whether the soundness theorem survived the run.
+    #[must_use]
+    pub fn sound(&self) -> bool {
+        self.violation.is_none()
+    }
+}
+
+/// Fuzzes one seed: generate, check against the (reused, per-worker)
+/// session, and on accept run the NI harness. Session verdicts are
+/// identical to one-shot `check_source` (the session test suite asserts
+/// this), so reports stay comparable across entry points.
+#[must_use]
+pub fn fuzz_seed(
+    session: &mut CheckerSession,
+    seed: u64,
+    cfg: &GenConfig,
+    ni_cfg: &NiConfig,
+) -> SeedOutcome {
+    let gp = random_program(seed, cfg);
+    match session.check(&gp.source) {
+        Ok(typed) => {
+            let out = check_non_interference(&typed, &gp.control_plane, "Fuzz", ni_cfg);
+            if let NiOutcome::Leak(w) = &out {
+                SeedOutcome::Violation { source: gp.source, witness: w.to_string() }
+            } else {
+                SeedOutcome::Accepted
+            }
+        }
+        Err(_) => SeedOutcome::Rejected,
+    }
+}
+
+/// Fuzzes seeds `0..n` on `jobs` workers (`0` = one per core, `1` =
+/// serial with early exit on the first violation).
+///
+/// The report is deterministic in `(n, cfg, ni_cfg)` and independent of
+/// `jobs`: accepted/rejected totals count only seeds *below* the first
+/// violating seed, exactly as a serial early-exiting loop would see them.
+#[must_use]
+pub fn run_fuzz(n: u64, cfg: &GenConfig, ni_cfg: &NiConfig, jobs: usize) -> FuzzReport {
+    let jobs = match jobs {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        j => j,
+    };
+    let jobs = jobs.min(usize::try_from(n).unwrap_or(usize::MAX)).max(1);
+
+    let outcomes: Vec<(u64, SeedOutcome)> = if jobs == 1 {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0));
+        for seed in 0..n {
+            let o = fuzz_seed(&mut session, seed, cfg, ni_cfg);
+            let stop = matches!(o, SeedOutcome::Violation { .. });
+            out.push((seed, o));
+            if stop {
+                break;
+            }
+        }
+        out
+    } else {
+        let queue = StealQueue::new(usize::try_from(n).unwrap_or(usize::MAX), jobs);
+        // Early-exit signal: the lowest violating seed found so far.
+        // Workers skip seeds above it — the merge only ever reports
+        // outcomes below the minimum violation, so skipping is invisible
+        // to the deterministic report while sparing the (expensive) NI
+        // runs for seeds a serial run would never have reached.
+        let min_violation = std::sync::atomic::AtomicU64::new(u64::MAX);
+        let mut collected = Vec::with_capacity(usize::try_from(n).unwrap_or(0));
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..jobs)
+                .map(|w| {
+                    let queue = &queue;
+                    let min_violation = &min_violation;
+                    scope.spawn(move || {
+                        use std::sync::atomic::Ordering::Relaxed;
+                        // `Rc`-backed session tables are thread-local by
+                        // design: one session per worker, like `batch`.
+                        let mut session = CheckerSession::new(CheckOptions::ifc());
+                        let mut out = Vec::new();
+                        while let Some(ix) = queue.next_task(w) {
+                            let seed = ix as u64;
+                            if seed > min_violation.load(Relaxed) {
+                                continue;
+                            }
+                            let outcome = fuzz_seed(&mut session, seed, cfg, ni_cfg);
+                            if matches!(outcome, SeedOutcome::Violation { .. }) {
+                                min_violation.fetch_min(seed, Relaxed);
+                            }
+                            out.push((seed, outcome));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                collected.extend(h.join().expect("fuzz worker panicked"));
+            }
+        });
+        collected
+    };
+
+    merge_by_seed(n, outcomes)
+}
+
+/// Merges per-seed outcomes into the canonical report: the lowest-seed
+/// violation wins, and accept/reject totals cover exactly the seeds below
+/// it (matching a serial early-exiting run).
+fn merge_by_seed(total: u64, mut outcomes: Vec<(u64, SeedOutcome)>) -> FuzzReport {
+    outcomes.sort_by_key(|&(seed, _)| seed);
+    let mut report = FuzzReport { total, accepted: 0, rejected: 0, violation: None };
+    for (seed, outcome) in outcomes {
+        match outcome {
+            SeedOutcome::Accepted => report.accepted += 1,
+            SeedOutcome::Rejected => report.rejected += 1,
+            v @ SeedOutcome::Violation { .. } => {
+                report.violation = Some((seed, v));
+                break;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_ni() -> NiConfig {
+        NiConfig::default().with_runs(5)
+    }
+
+    #[test]
+    fn serial_and_parallel_reports_agree() {
+        let cfg = GenConfig::default();
+        let ni = quick_ni();
+        let serial = run_fuzz(20, &cfg, &ni, 1);
+        for jobs in [2, 4] {
+            let par = run_fuzz(20, &cfg, &ni, jobs);
+            assert_eq!(serial.accepted, par.accepted, "jobs={jobs}");
+            assert_eq!(serial.rejected, par.rejected, "jobs={jobs}");
+            assert_eq!(serial.violation.is_some(), par.violation.is_some(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn fuzzing_is_deterministic_per_seed() {
+        let cfg = GenConfig::default();
+        let ni = quick_ni();
+        let mut s1 = CheckerSession::new(CheckOptions::ifc());
+        let mut s2 = CheckerSession::new(CheckOptions::ifc());
+        for seed in 0..10 {
+            assert_eq!(fuzz_seed(&mut s1, seed, &cfg, &ni), fuzz_seed(&mut s2, seed, &cfg, &ni));
+        }
+    }
+
+    #[test]
+    fn lowest_violating_seed_wins_the_merge() {
+        let boom = |s: &str| SeedOutcome::Violation { source: s.into(), witness: String::new() };
+        let report = merge_by_seed(
+            5,
+            vec![
+                (3, boom("late")),
+                (0, SeedOutcome::Accepted),
+                (1, boom("early")),
+                (2, SeedOutcome::Rejected),
+                (4, SeedOutcome::Accepted),
+            ],
+        );
+        let (seed, SeedOutcome::Violation { source, .. }) = report.violation.clone().unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(seed, 1);
+        assert_eq!(source, "early");
+        // Counts cover only seeds below the violation, like a serial run.
+        assert_eq!((report.accepted, report.rejected), (1, 0));
+        assert!(!report.sound());
+    }
+
+    #[test]
+    fn clean_merge_counts_everything() {
+        let report = merge_by_seed(
+            3,
+            vec![
+                (2, SeedOutcome::Rejected),
+                (0, SeedOutcome::Accepted),
+                (1, SeedOutcome::Accepted),
+            ],
+        );
+        assert!(report.sound());
+        assert_eq!((report.accepted, report.rejected), (2, 1));
+    }
+}

@@ -9,9 +9,9 @@
 //! This crate is the facade: it re-exports the pieces, ships the
 //! [`corpus`] of case studies, derives the unannotated baselines
 //! ([`strip`]), generates scaling workloads ([`synth`]), checks whole
-//! corpora in parallel ([`batch`]), renders diagnostics
-//! ([`render_diagnostics`]), and produces the evaluation reports
-//! ([`report`]).
+//! corpora in parallel ([`batch`]), fuzzes the soundness theorem across
+//! cores ([`fuzz`]), renders diagnostics ([`render_diagnostics`]), and
+//! produces the evaluation reports ([`report`]).
 //!
 //! ## Quickstart
 //!
@@ -48,6 +48,7 @@
 
 pub mod batch;
 pub mod corpus;
+pub mod fuzz;
 pub mod packet;
 pub mod report;
 pub mod strip;
@@ -63,10 +64,13 @@ pub mod lattice {
     pub use p4bid_lattice::{laws, Label, Lattice, LatticeError};
 }
 
-/// Surface and resolved abstract syntax.
+/// Surface and resolved abstract syntax, interning, and the hash-consing
+/// type pool.
 pub mod ast {
+    pub use p4bid_ast::intern::{Interner, Symbol};
+    pub use p4bid_ast::pool::{SharedTyCtx, TyCtx, TyPool};
     pub use p4bid_ast::pretty;
-    pub use p4bid_ast::sectype::{FnParam, FnTy, SecTy, Ty};
+    pub use p4bid_ast::sectype::{FieldList, FnParam, FnTy, SecTy, Ty, TyId};
     pub use p4bid_ast::span::{line_col, source_line, span_line_col, LineCol, Span, Spanned};
     pub use p4bid_ast::surface::*;
 }

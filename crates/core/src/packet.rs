@@ -1,5 +1,12 @@
 //! Convenience helpers for building packets (control-parameter values)
 //! in examples and tests.
+//!
+//! Runtime values key their record/header fields by interned [`Symbol`]s
+//! (the interpreter's hot path never compares field-name strings), so the
+//! name-based path helpers here resolve each segment through the typed
+//! program's interner — the human-facing boundary.
+//!
+//! [`Symbol`]: p4bid_ast::intern::Symbol
 
 use p4bid_interp::Value;
 use p4bid_typeck::TypedProgram;
@@ -24,41 +31,47 @@ use p4bid_typeck::TypedProgram;
 #[must_use]
 pub fn init_args(typed: &TypedProgram, control: &str) -> Option<Vec<Value>> {
     let ctrl = typed.control(control)?;
-    Some(ctrl.params.iter().map(|p| Value::init(&p.ty)).collect())
+    let ctx = typed.ctx.borrow();
+    Some(ctrl.params.iter().map(|p| Value::init(&ctx.types, p.ty)).collect())
 }
 
 /// Writes `new` at a dotted/indexed `path` (e.g. `"ipv4.ttl"`,
 /// `"stack[2].v"`) inside `value`, coercing `int` literals to the target's
-/// bit width. Returns `false` if the path does not exist.
+/// bit width. Field names resolve through `typed`'s interner. Returns
+/// `false` if the path does not exist.
 ///
 /// # Examples
 ///
 /// ```
+/// use p4bid::{check, CheckOptions};
 /// use p4bid::interp::Value;
-/// use p4bid::packet::set_path;
+/// use p4bid::packet::{get_path, init_args, set_path};
 ///
-/// let mut hdr = Value::Header {
-///     valid: true,
-///     fields: vec![("ttl".into(), Value::bit(8, 0))],
-/// };
-/// assert!(set_path(&mut hdr, "ttl", Value::Int(64)));
-/// assert_eq!(hdr.field("ttl"), Some(&Value::bit(8, 64)));
+/// let typed = check(
+///     "header h_t { bit<8> ttl; } control C(inout h_t h) { apply { } }",
+///     &CheckOptions::ifc(),
+/// ).unwrap();
+/// let mut hdr = init_args(&typed, "C").unwrap().remove(0);
+/// assert!(set_path(&typed, &mut hdr, "ttl", Value::Int(64)));
+/// assert_eq!(get_path(&typed, &hdr, "ttl"), Some(&Value::bit(8, 64)));
 /// ```
 #[must_use]
-pub fn set_path(value: &mut Value, path: &str, new: Value) -> bool {
+pub fn set_path(typed: &TypedProgram, value: &mut Value, path: &str, new: Value) -> bool {
     match parse_segment(path) {
         None => {
             let coerced = new.coerce_to_shape(value);
             *value = coerced;
             true
         }
-        Some((Segment::Field(name), rest)) => match value.field_mut(&name) {
-            Some(inner) => set_path(inner, rest, new),
-            None => false,
-        },
+        Some((Segment::Field(name), rest)) => {
+            match typed.sym(&name).and_then(|s| value.field_mut(s)) {
+                Some(inner) => set_path(typed, inner, rest, new),
+                None => false,
+            }
+        }
         Some((Segment::Index(ix), rest)) => match value {
             Value::Stack(elems) => match elems.get_mut(ix) {
-                Some(inner) => set_path(inner, rest, new),
+                Some(inner) => set_path(typed, inner, rest, new),
                 None => false,
             },
             _ => false,
@@ -68,12 +81,15 @@ pub fn set_path(value: &mut Value, path: &str, new: Value) -> bool {
 
 /// Reads the value at a dotted/indexed `path`.
 #[must_use]
-pub fn get_path<'v>(value: &'v Value, path: &str) -> Option<&'v Value> {
+pub fn get_path<'v>(typed: &TypedProgram, value: &'v Value, path: &str) -> Option<&'v Value> {
     match parse_segment(path) {
         None => Some(value),
-        Some((Segment::Field(name), rest)) => get_path(value.field(&name)?, rest),
+        Some((Segment::Field(name), rest)) => {
+            let sym = typed.sym(&name)?;
+            get_path(typed, value.field(sym)?, rest)
+        }
         Some((Segment::Index(ix), rest)) => match value {
-            Value::Stack(elems) => get_path(elems.get(ix)?, rest),
+            Value::Stack(elems) => get_path(typed, elems.get(ix)?, rest),
             _ => None,
         },
     }
@@ -115,9 +131,9 @@ mod tests {
         .unwrap();
         let args = init_args(&typed, "C").unwrap();
         assert_eq!(args.len(), 2);
-        assert_eq!(get_path(&args[0], "h.a"), Some(&Value::bit(8, 0)));
-        assert_eq!(get_path(&args[0], "h.b"), Some(&Value::Bool(false)));
-        assert_eq!(get_path(&args[0], "arr[1]"), Some(&Value::bit(16, 0)));
+        assert_eq!(get_path(&typed, &args[0], "h.a"), Some(&Value::bit(8, 0)));
+        assert_eq!(get_path(&typed, &args[0], "h.b"), Some(&Value::Bool(false)));
+        assert_eq!(get_path(&typed, &args[0], "arr[1]"), Some(&Value::bit(16, 0)));
         assert_eq!(args[1], Value::bit(32, 0));
         assert!(init_args(&typed, "Nope").is_none());
     }
@@ -132,14 +148,14 @@ mod tests {
         )
         .unwrap();
         let mut v = init_args(&typed, "C").unwrap().remove(0);
-        assert!(set_path(&mut v, "h.a", Value::Int(200)));
-        assert_eq!(get_path(&v, "h.a"), Some(&Value::bit(8, 200)));
-        assert!(set_path(&mut v, "arr[0]", Value::Int(7)));
-        assert_eq!(get_path(&v, "arr[0]"), Some(&Value::bit(16, 7)));
+        assert!(set_path(&typed, &mut v, "h.a", Value::Int(200)));
+        assert_eq!(get_path(&typed, &v, "h.a"), Some(&Value::bit(8, 200)));
+        assert!(set_path(&typed, &mut v, "arr[0]", Value::Int(7)));
+        assert_eq!(get_path(&typed, &v, "arr[0]"), Some(&Value::bit(16, 7)));
         // Bad paths fail cleanly.
-        assert!(!set_path(&mut v, "nope", Value::Int(1)));
-        assert!(!set_path(&mut v, "arr[9]", Value::Int(1)));
-        assert!(get_path(&v, "h.zzz").is_none());
-        assert!(get_path(&v, "arr[9]").is_none());
+        assert!(!set_path(&typed, &mut v, "nope", Value::Int(1)));
+        assert!(!set_path(&typed, &mut v, "arr[9]", Value::Int(1)));
+        assert!(get_path(&typed, &v, "h.zzz").is_none());
+        assert!(get_path(&typed, &v, "arr[9]").is_none());
     }
 }

@@ -21,6 +21,21 @@ fn fuzz_reports_are_byte_identical_across_runs() {
 }
 
 #[test]
+fn fuzz_reports_are_byte_identical_across_job_counts() {
+    // `p4bid fuzz --jobs N` partitions seeds over the batch work-stealing
+    // pool; reports are merged by seed, so stdout and stderr must match
+    // the serial run byte for byte regardless of worker count.
+    let serial = p4bid(&["fuzz", "25"]);
+    assert!(serial.status.success(), "{}", String::from_utf8_lossy(&serial.stderr));
+    for jobs in ["2", "3", "0"] {
+        let par = p4bid(&["fuzz", "25", "--jobs", jobs]);
+        assert_eq!(serial.status.code(), par.status.code(), "jobs={jobs}");
+        assert_eq!(serial.stdout, par.stdout, "fuzz stdout differs at --jobs {jobs}");
+        assert_eq!(serial.stderr, par.stderr, "fuzz stderr differs at --jobs {jobs}");
+    }
+}
+
+#[test]
 fn batch_json_is_byte_identical_across_runs() {
     let a = p4bid(&["batch", "--synthetic", "60", "--json", "--jobs", "3"]);
     let b = p4bid(&["batch", "--synthetic", "60", "--json", "--jobs", "3"]);

@@ -14,6 +14,13 @@
 //! against the control plane, and the three control-flow signals
 //! `cont` / `return val` / `exit`.
 //!
+//! Names are resolved against the typed program's shared interner: the
+//! per-occurrence cost of a variable or field access is one interner probe
+//! (a hash of the string) followed by symbol-indexed lookups; values,
+//! environments, and l-value paths are all keyed by [`Symbol`]. String
+//! comparison survives only at the control-plane boundary (table/action
+//! names arriving from the controller) and in diagnostics.
+//!
 //! Out-of-bounds stack reads produce the deterministic `havoc(τ)` (a
 //! zeroed value of the element shape) and out-of-bounds writes are no-ops,
 //! matching the `Eval 1 error` rules in Appendix I case 8 and keeping the
@@ -22,6 +29,7 @@
 use crate::control_plane::ControlPlane;
 use crate::store::{Env, Loc, Store};
 use crate::value::{eval_binop, eval_unop, Closure, TableValue, Value};
+use p4bid_ast::intern::Symbol;
 use p4bid_ast::sectype::{FnParam, SecTy};
 use p4bid_ast::surface::*;
 use p4bid_typeck::TypedProgram;
@@ -163,9 +171,9 @@ struct LValueRef {
     path: Vec<PathSeg>,
 }
 
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum PathSeg {
-    Field(String),
+    Field(Symbol),
     Index(usize),
 }
 
@@ -195,6 +203,11 @@ enum PreArg {
 }
 
 /// The interpreter state: the store μ plus the ambient `C` and Δ.
+///
+/// The shared [`TyCtx`](p4bid_ast::pool::TyCtx) of the typed program is
+/// borrowed per leaf operation and never across an evaluation step, so
+/// interleaving interpretation with further checking on the owning session
+/// is safe.
 pub struct Interp<'a> {
     typed: &'a TypedProgram,
     cp: &'a ControlPlane,
@@ -228,12 +241,39 @@ impl<'a> Interp<'a> {
         Err(Interrupt::Fail(EvalError::Internal(msg.into())))
     }
 
+    /// Probes the shared interner: the symbol of `name`, if the checker
+    /// ever saw it (a name it never saw cannot be bound).
+    fn sym(&self, name: &str) -> Option<Symbol> {
+        self.typed.sym(name)
+    }
+
+    /// Interns `name` (declaration sites; idempotent).
+    fn intern(&self, name: &str) -> Symbol {
+        self.typed.intern(name)
+    }
+
+    /// Resolves a symbol to its name (diagnostics boundary).
+    fn sym_name(&self, sym: Symbol) -> String {
+        self.typed.sym_name(sym)
+    }
+
+    /// `init_Δ τ` through the shared pool.
+    fn init_value(&self, ty: SecTy) -> Value {
+        Value::init(&self.typed.ctx.borrow().types, ty)
+    }
+
+    /// Coerces a value to a resolved type through the shared pool.
+    fn coerce(&self, v: Value, ty: SecTy) -> Value {
+        v.coerce_to_type(&self.typed.ctx.borrow().types, ty)
+    }
+
     /// Resolves a surface annotation through Δ. Infallible on typechecked
     /// programs.
     fn resolve(&self, ann: &AnnType) -> Result<SecTy, EvalError> {
+        let mut ctx = self.typed.ctx.borrow_mut();
         self.typed
             .defs
-            .resolve(ann, &self.typed.lattice)
+            .resolve(ann, &self.typed.lattice, &mut ctx.types)
             .map_err(|d| EvalError::Internal(format!("type resolution at runtime: {d}")))
     }
 
@@ -246,7 +286,7 @@ impl<'a> Interp<'a> {
             .iter()
             .map(|p| {
                 Ok(FnParam {
-                    name: p.name.node.clone(),
+                    name: self.intern(&p.name.node),
                     direction: p.direction.unwrap_or(Direction::In),
                     ty: self.resolve(&p.ty)?,
                     control_plane: is_action && p.direction.is_none(),
@@ -288,9 +328,9 @@ impl<'a> Interp<'a> {
         // Copy the packet into the parameter locations.
         let mut param_locs = Vec::with_capacity(args.len());
         for (param, arg) in typed_ctrl.params.iter().zip(args) {
-            let v = arg.coerce_to_type(&param.ty);
+            let v = self.coerce(arg, param.ty);
             let loc = self.store.alloc(v);
-            env.bind(&param.name, loc);
+            env.bind(param.sym, loc);
             param_locs.push((param.name.clone(), loc));
         }
 
@@ -341,7 +381,7 @@ impl<'a> Interp<'a> {
     fn declare_var(&mut self, env: &mut Env, v: &VarDecl) -> Result<(), EvalError> {
         let ty = self.resolve(&v.ty)?;
         let value = match &v.init {
-            None => Value::init(&ty),
+            None => self.init_value(ty),
             Some(init) => {
                 let val = match self.eval_expr(env, init) {
                     Ok(v) => v,
@@ -352,11 +392,11 @@ impl<'a> Interp<'a> {
                         ));
                     }
                 };
-                val.coerce_to_type(&ty)
+                self.coerce(val, ty)
             }
         };
         let loc = self.store.alloc(value);
-        env.bind(&v.name.node, loc);
+        env.bind(self.intern(&v.name.node), loc);
         Ok(())
     }
 
@@ -371,7 +411,7 @@ impl<'a> Interp<'a> {
             is_action: true,
         };
         let loc = self.store.alloc(Value::Closure(Rc::new(clos)));
-        env.bind(&a.name.node, loc);
+        env.bind(self.intern(&a.name.node), loc);
         Ok(())
     }
 
@@ -387,7 +427,7 @@ impl<'a> Interp<'a> {
             is_action: false,
         };
         let loc = self.store.alloc(Value::Closure(Rc::new(clos)));
-        env.bind(&f.name.node, loc);
+        env.bind(self.intern(&f.name.node), loc);
         Ok(())
     }
 
@@ -395,12 +435,20 @@ impl<'a> Interp<'a> {
         let tv = TableValue {
             name: t.name.node.clone(),
             env: env.clone(),
-            keys: t.keys.iter().map(|k| (k.expr.clone(), k.match_kind.node.clone())).collect(),
-            actions: t.actions.iter().map(|a| (a.name.node.clone(), a.args.clone())).collect(),
-            default_action: t.default_action.as_ref().map(|d| d.node.clone()),
+            keys: t
+                .keys
+                .iter()
+                .map(|k| (k.expr.clone(), self.intern(&k.match_kind.node)))
+                .collect(),
+            actions: t
+                .actions
+                .iter()
+                .map(|a| (self.intern(&a.name.node), a.args.clone()))
+                .collect(),
+            default_action: t.default_action.as_ref().map(|d| self.intern(&d.node)),
         };
         let loc = self.store.alloc(Value::Table(Rc::new(tv)));
-        env.bind(&t.name.node, loc);
+        env.bind(self.intern(&t.name.node), loc);
         Ok(())
     }
 
@@ -488,14 +536,14 @@ impl<'a> Interp<'a> {
                 Some(w) => Value::bit(*w, *value),
                 None => Value::Int(*value as i128),
             }),
-            ExprKind::Var(name) => match env.lookup(name) {
+            ExprKind::Var(name) => match self.sym(name).and_then(|s| env.lookup(s)) {
                 Some(loc) => Ok(self.store.read(loc).clone()),
                 None => self.internal(format!("unbound variable `{name}`")),
             },
             ExprKind::Field(recv, field) => {
                 let r = self.eval_expr(env, recv)?;
-                match r.field(&field.node) {
-                    Some(v) => Ok(v.clone()),
+                match self.sym(&field.node).and_then(|s| r.field(s).cloned()) {
+                    Some(v) => Ok(v),
                     None => self.internal(format!("missing field `{}`", field.node)),
                 }
             }
@@ -528,7 +576,8 @@ impl<'a> Interp<'a> {
             ExprKind::Record(fields) => {
                 let mut out = Vec::with_capacity(fields.len());
                 for (name, value) in fields {
-                    out.push((name.node.clone(), self.eval_expr(env, value)?));
+                    let sym = self.intern(&name.node);
+                    out.push((sym, self.eval_expr(env, value)?));
                 }
                 Ok(Value::Record(out))
             }
@@ -548,13 +597,16 @@ impl<'a> Interp<'a> {
 
     fn eval_lvalue(&mut self, env: &Env, e: &Expr) -> EResult<LValueRef> {
         match &e.kind {
-            ExprKind::Var(name) => match env.lookup(name) {
+            ExprKind::Var(name) => match self.sym(name).and_then(|s| env.lookup(s)) {
                 Some(loc) => Ok(LValueRef { base: loc, path: Vec::new() }),
                 None => self.internal(format!("unbound l-value `{name}`")),
             },
             ExprKind::Field(recv, field) => {
                 let mut lv = self.eval_lvalue(env, recv)?;
-                lv.path.push(PathSeg::Field(field.node.clone()));
+                let Some(sym) = self.sym(&field.node) else {
+                    return self.internal(format!("missing field `{}`", field.node));
+                };
+                lv.path.push(PathSeg::Field(sym));
                 Ok(lv)
             }
             ExprKind::Index(recv, index) => {
@@ -576,7 +628,7 @@ impl<'a> Interp<'a> {
         let mut cur = self.store.read(lv.base).clone();
         for seg in &lv.path {
             cur = match seg {
-                PathSeg::Field(f) => match cur.field(f) {
+                PathSeg::Field(f) => match cur.field(*f) {
                     Some(v) => v.clone(),
                     None => return Value::Unit,
                 },
@@ -657,8 +709,9 @@ impl<'a> Interp<'a> {
                 PreArg::Val(v) => (v, None),
                 PreArg::Lv(lv, v) => (v, Some(lv)),
             };
-            let loc = self.store.alloc(value.coerce_to_type(&param.ty));
-            callee_env.bind(&param.name, loc);
+            let coerced = self.coerce(value, param.ty);
+            let loc = self.store.alloc(coerced);
+            callee_env.bind(param.name, loc);
             if let Some(lv) = lv {
                 copy_outs.push((lv, loc));
             }
@@ -689,7 +742,7 @@ impl<'a> Interp<'a> {
         }
 
         match signal {
-            Signal::Return(v) => Ok(v.coerce_to_type(&clos.ret)),
+            Signal::Return(v) => Ok(self.coerce(v, clos.ret)),
             Signal::Cont => Ok(Value::Unit),
             Signal::Exit => Err(Interrupt::Exit),
         }
@@ -701,40 +754,56 @@ impl<'a> Interp<'a> {
 
     fn apply_table(&mut self, tv: &TableValue) -> EResult<()> {
         // Evaluate the keys in the table's captured environment.
+        let key_env = tv.env.clone();
         let mut keys = Vec::with_capacity(tv.keys.len());
         for (expr, _kind) in &tv.keys {
-            keys.push(self.eval_expr(&tv.env.clone(), expr)?);
+            keys.push(self.eval_expr(&key_env, expr)?);
         }
 
-        // Ask the control plane; fall back to the declared default.
+        // Ask the control plane; fall back to the declared default. The
+        // controller speaks strings — one interner probe converts its
+        // answer to a symbol, and everything after is symbol compares.
         let matched = self.cp.lookup(&tv.name, &keys);
-        let (action_name, cp_args, from_controller) = match matched {
-            Some((name, args)) => (name, args, true),
-            None => match &tv.default_action {
-                Some(name) => (name.clone(), Vec::new(), false),
+        let (action_sym, cp_args, from_controller) = match matched {
+            Some((name, args)) => {
+                let Some(sym) = self.sym(&name) else {
+                    // A name the checker never interned cannot be one of
+                    // the table's declared actions.
+                    return Err(Interrupt::Fail(EvalError::UnknownEntryAction {
+                        table: tv.name.clone(),
+                        action: name,
+                    }));
+                };
+                (sym, args, true)
+            }
+            None => match tv.default_action {
+                Some(sym) => (sym, Vec::new(), false),
                 None => return Ok(()), // no entry, no default: no-op
             },
         };
 
         // The invoked action must be one the table declared.
-        let Some((_, bound_args)) = tv.actions.iter().find(|(n, _)| n == &action_name) else {
+        let Some((_, bound_args)) = tv.actions.iter().find(|(n, _)| *n == action_sym) else {
             return Err(Interrupt::Fail(EvalError::UnknownEntryAction {
                 table: tv.name.clone(),
-                action: action_name,
+                action: self.sym_name(action_sym),
             }));
         };
 
-        let clos = match tv.env.lookup(&action_name) {
+        let clos = match tv.env.lookup(action_sym) {
             Some(loc) => match self.store.read(loc) {
                 Value::Closure(c) => Rc::clone(c),
                 other => {
-                    return self.internal(format!(
-                        "table action `{action_name}` is `{other}`, not a closure"
-                    ));
+                    let msg = format!(
+                        "table action `{}` is `{other}`, not a closure",
+                        self.sym_name(action_sym)
+                    );
+                    return self.internal(msg);
                 }
             },
             None => {
-                return self.internal(format!("table action `{action_name}` not in scope"));
+                let msg = format!("table action `{}` not in scope", self.sym_name(action_sym));
+                return self.internal(msg);
             }
         };
 
@@ -746,7 +815,7 @@ impl<'a> Interp<'a> {
             if cp_args.len() != ctrl_params.len() {
                 return Err(Interrupt::Fail(EvalError::EntryArgMismatch {
                     table: tv.name.clone(),
-                    action: action_name,
+                    action: self.sym_name(action_sym),
                     detail: format!(
                         "expected {} control-plane argument(s), got {}",
                         ctrl_params.len(),
@@ -756,12 +825,20 @@ impl<'a> Interp<'a> {
             }
             let mut coerced = Vec::with_capacity(cp_args.len());
             for (param, value) in ctrl_params.iter().zip(cp_args) {
-                let v = value.coerce_to_type(&param.ty);
-                if std::mem::discriminant(&v) != std::mem::discriminant(&Value::init(&param.ty)) {
+                let v = self.coerce(value, param.ty);
+                let fits = {
+                    let ctx = self.typed.ctx.borrow();
+                    value_fits_kind(&v, ctx.types.kind(param.ty.ty))
+                };
+                if !fits {
                     return Err(Interrupt::Fail(EvalError::EntryArgMismatch {
                         table: tv.name.clone(),
-                        action: action_name,
-                        detail: format!("argument `{v}` does not fit parameter `{}`", param.name),
+                        action: self.sym_name(action_sym),
+                        detail: format!(
+                            "argument `{}` does not fit parameter `{}`",
+                            v.display_with(&self.typed.ctx.borrow().syms),
+                            self.sym_name(param.name)
+                        ),
                     }));
                 }
                 coerced.push(v);
@@ -770,13 +847,33 @@ impl<'a> Interp<'a> {
         } else {
             // Declared default action run with zero-initialized
             // control-plane arguments.
-            ctrl_params.iter().map(|p| Value::init(&p.ty)).collect()
+            ctrl_params.iter().map(|p| self.init_value(p.ty)).collect()
         };
 
         let table_env = tv.env.clone();
         self.call_closure(&clos, &table_env, bound_args, &cp_args)?;
         Ok(())
     }
+}
+
+/// Whether a runtime value's variant matches a structural type's — the
+/// control-plane argument shape check, without constructing a zero value.
+/// Mirrors the `Value::init` variant mapping (closure types zero to
+/// `Unit`).
+fn value_fits_kind(v: &Value, kind: &p4bid_ast::sectype::Ty) -> bool {
+    use p4bid_ast::sectype::Ty;
+    matches!(
+        (kind, v),
+        (Ty::Bool, Value::Bool(_))
+            | (Ty::Int, Value::Int(_))
+            | (Ty::Bit(_), Value::Bit { .. })
+            | (Ty::Unit, Value::Unit)
+            | (Ty::Record(_), Value::Record(_))
+            | (Ty::Header(_), Value::Header { .. })
+            | (Ty::Stack(..), Value::Stack(_))
+            | (Ty::MatchKind, Value::MatchKind(_))
+            | (Ty::Table(_) | Ty::Function(_), Value::Unit)
+    )
 }
 
 /// Deterministic `havoc(τ)`: the same shape with all scalars zeroed.
@@ -786,15 +883,13 @@ fn zeroed(proto: &Value) -> Value {
         Value::Int(_) => Value::Int(0),
         Value::Bit { width, .. } => Value::bit(*width, 0),
         Value::Unit => Value::Unit,
-        Value::Record(fs) => {
-            Value::Record(fs.iter().map(|(n, v)| (n.clone(), zeroed(v))).collect())
-        }
+        Value::Record(fs) => Value::Record(fs.iter().map(|(n, v)| (*n, zeroed(v))).collect()),
         Value::Header { fields, .. } => Value::Header {
             valid: true,
-            fields: fields.iter().map(|(n, v)| (n.clone(), zeroed(v))).collect(),
+            fields: fields.iter().map(|(n, v)| (*n, zeroed(v))).collect(),
         },
         Value::Stack(vs) => Value::Stack(vs.iter().map(zeroed).collect()),
-        Value::MatchKind(k) => Value::MatchKind(k.clone()),
+        Value::MatchKind(k) => Value::MatchKind(*k),
         Value::Closure(_) | Value::Table(_) => proto.clone(),
     }
 }
@@ -808,7 +903,7 @@ fn write_path(slot: &mut Value, path: &[PathSeg], value: Value) -> bool {
             *slot = coerced;
             true
         }
-        Some((PathSeg::Field(f), rest)) => match slot.field_mut(f) {
+        Some((PathSeg::Field(f), rest)) => match slot.field_mut(*f) {
             Some(inner) => write_path(inner, rest, value),
             None => false,
         },
@@ -825,15 +920,15 @@ fn write_path(slot: &mut Value, path: &[PathSeg], value: Value) -> bool {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4bid_ast::intern::Interner;
 
     #[test]
     fn zeroed_preserves_shape() {
-        let v =
-            Value::Record(vec![("a".into(), Value::bit(8, 99)), ("b".into(), Value::Bool(true))]);
-        assert_eq!(
-            zeroed(&v),
-            Value::Record(vec![("a".into(), Value::bit(8, 0)), ("b".into(), Value::Bool(false)),])
-        );
+        let mut syms = Interner::new();
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let v = Value::Record(vec![(a, Value::bit(8, 99)), (b, Value::Bool(true))]);
+        assert_eq!(zeroed(&v), Value::Record(vec![(a, Value::bit(8, 0)), (b, Value::Bool(false))]));
     }
 
     #[test]

@@ -1,11 +1,13 @@
 //! The memory store μ and environment ε of the Core P4 semantics (§3.2).
 //!
-//! μ maps locations to values; ε maps variable names to locations. Closures
-//! capture ε by value (cheap clone), exactly like the `clos(ε, …)` and
-//! `table_l(ε, …)` values of the petr4 semantics.
+//! μ maps locations to values; ε maps interned variable names
+//! ([`Symbol`]s) to locations. Closures capture ε by value, exactly like
+//! the `clos(ε, …)` and `table_l(ε, …)` values of the petr4 semantics —
+//! and because ε is a flat vector of `Copy` pairs, that capture is a
+//! memcpy instead of a `String`-keyed hash-map clone.
 
 use crate::value::Value;
-use std::collections::HashMap;
+use p4bid_ast::intern::Symbol;
 
 /// A store location.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -73,12 +75,15 @@ impl Store {
     }
 }
 
-/// The environment ε: variable names to locations. Cloning is cheap enough
-/// for the paper-scale programs we interpret; closures clone it at
-/// declaration time.
+/// The environment ε: interned variable names to locations.
+///
+/// Backed by a flat vector of `Copy` pairs: environments are small
+/// (parameters + locals in scope), so a symbol-compare scan beats hashing,
+/// and the per-closure / per-block clone the semantics requires is a
+/// memcpy.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Env {
-    map: HashMap<String, Loc>,
+    bindings: Vec<(Symbol, Loc)>,
 }
 
 impl Env {
@@ -88,32 +93,36 @@ impl Env {
         Env::default()
     }
 
-    /// Binds (or shadows) a name.
-    pub fn bind(&mut self, name: &str, loc: Loc) {
-        self.map.insert(name.to_string(), loc);
+    /// Binds (or rebinds) a name.
+    pub fn bind(&mut self, name: Symbol, loc: Loc) {
+        if let Some(slot) = self.bindings.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = loc;
+        } else {
+            self.bindings.push((name, loc));
+        }
     }
 
     /// Looks a name up.
     #[must_use]
-    pub fn lookup(&self, name: &str) -> Option<Loc> {
-        self.map.get(name).copied()
+    pub fn lookup(&self, name: Symbol) -> Option<Loc> {
+        self.bindings.iter().find(|(n, _)| *n == name).map(|&(_, l)| l)
     }
 
-    /// Iterates over the bindings (unspecified order).
-    pub fn iter(&self) -> impl Iterator<Item = (&str, Loc)> {
-        self.map.iter().map(|(n, l)| (n.as_str(), *l))
+    /// Iterates over the bindings (binding order, rebinds in place).
+    pub fn iter(&self) -> impl Iterator<Item = (Symbol, Loc)> + '_ {
+        self.bindings.iter().copied()
     }
 
     /// Number of bindings.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.bindings.len()
     }
 
     /// Whether there are no bindings.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.bindings.is_empty()
     }
 }
 
@@ -137,19 +146,22 @@ mod tests {
 
     #[test]
     fn env_binding_and_shadowing() {
+        let mut syms = p4bid_ast::intern::Interner::new();
+        let x = syms.intern("x");
+        let y = syms.intern("y");
         let mut store = Store::new();
         let l1 = store.alloc(Value::Int(1));
         let l2 = store.alloc(Value::Int(2));
         let mut env = Env::new();
-        env.bind("x", l1);
-        assert_eq!(env.lookup("x"), Some(l1));
+        env.bind(x, l1);
+        assert_eq!(env.lookup(x), Some(l1));
         // Closures capture the env by value: later rebinding does not
         // affect the captured copy.
         let captured = env.clone();
-        env.bind("x", l2);
-        assert_eq!(env.lookup("x"), Some(l2));
-        assert_eq!(captured.lookup("x"), Some(l1));
-        assert_eq!(env.lookup("y"), None);
+        env.bind(x, l2);
+        assert_eq!(env.lookup(x), Some(l2));
+        assert_eq!(captured.lookup(x), Some(l1));
+        assert_eq!(env.lookup(y), None);
         assert_eq!(env.len(), 1);
     }
 }

@@ -5,7 +5,15 @@
 //! records, always-valid headers, stacks, and the two closure forms
 //! (functions/actions and tables). Value equality is structural, which is
 //! exactly what the non-interference definitions compare.
+//!
+//! Record and header fields are keyed by interned [`Symbol`]s (the same
+//! interner the typechecker used), so field reads and writes on the
+//! evaluation hot path are integer comparisons instead of string compares.
+//! Rendering a value with human-readable field names is a diagnostics
+//! boundary: use [`Value::display_with`].
 
+use p4bid_ast::intern::{Interner, Symbol};
+use p4bid_ast::pool::TyPool;
 use p4bid_ast::sectype::{SecTy, Ty};
 use p4bid_ast::surface::{BinOp, Expr, UnOp};
 use std::fmt;
@@ -30,20 +38,20 @@ pub enum Value {
     },
     /// The unit value.
     Unit,
-    /// A record (struct) value.
-    Record(Vec<(String, Value)>),
+    /// A record (struct) value, fields keyed by interned symbol.
+    Record(Vec<(Symbol, Value)>),
     /// A header value. The fragment of the paper only manipulates valid
     /// headers (§4.2/App. I), so `valid` starts `true` and stays `true`.
     Header {
         /// Validity bit.
         valid: bool,
-        /// Field values.
-        fields: Vec<(String, Value)>,
+        /// Field values, keyed by interned symbol.
+        fields: Vec<(Symbol, Value)>,
     },
     /// A header stack.
     Stack(Vec<Value>),
-    /// A match-kind constant.
-    MatchKind(String),
+    /// A match-kind constant (interned kind name).
+    MatchKind(Symbol),
     /// A function or action closure.
     Closure(Rc<Closure>),
     /// A table closure.
@@ -70,19 +78,24 @@ pub struct Closure {
 
 /// A table closure: captured environment, key expressions with their match
 /// kinds, and the candidate actions with their bound argument expressions.
+///
+/// Action names are interned: the per-packet "which action did the control
+/// plane pick" comparison is a symbol compare, with the single
+/// string-to-symbol probe at the control-plane boundary.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableValue {
-    /// Table name (the control-plane configuration key).
+    /// Table name (the control-plane configuration key; the control plane
+    /// is a user-facing, string-keyed boundary).
     pub name: String,
     /// Environment captured at declaration.
     pub env: Env,
     /// `(key expression, match kind)` pairs.
-    pub keys: Vec<(Expr, String)>,
+    pub keys: Vec<(Expr, Symbol)>,
     /// Candidate actions: `(name, bound data-plane argument expressions)`.
-    pub actions: Vec<(String, Vec<Expr>)>,
+    pub actions: Vec<(Symbol, Vec<Expr>)>,
     /// Default action name (must be one of `actions`); `NoAction`-like
     /// no-op when `None` and no control-plane default is configured.
-    pub default_action: Option<String>,
+    pub default_action: Option<Symbol>,
 }
 
 impl Value {
@@ -101,21 +114,28 @@ impl Value {
     /// `0`, zeroed fields, and stacks of zeroed elements. Headers start
     /// valid (the paper's fragment only considers valid headers).
     #[must_use]
-    pub fn init(ty: &SecTy) -> Self {
-        match &ty.ty {
+    pub fn init(pool: &TyPool, ty: SecTy) -> Self {
+        match pool.kind(ty.ty) {
             Ty::Bool => Value::Bool(false),
             Ty::Int => Value::Int(0),
             Ty::Bit(w) => Value::bit(*w, 0),
             Ty::Unit => Value::Unit,
             Ty::Record(fields) => {
-                Value::Record(fields.iter().map(|(n, t)| (n.clone(), Value::init(t))).collect())
+                Value::Record(fields.iter().map(|&(n, t)| (n, Value::init(pool, t))).collect())
             }
             Ty::Header(fields) => Value::Header {
                 valid: true,
-                fields: fields.iter().map(|(n, t)| (n.clone(), Value::init(t))).collect(),
+                fields: fields.iter().map(|&(n, t)| (n, Value::init(pool, t))).collect(),
             },
-            Ty::Stack(elem, n) => Value::Stack((0..*n).map(|_| Value::init(elem)).collect()),
-            Ty::MatchKind => Value::MatchKind(String::new()),
+            Ty::Stack(elem, n) => {
+                let elem = *elem;
+                Value::Stack((0..*n).map(|_| Value::init(pool, elem)).collect())
+            }
+            // A match-kind *value* carries its kind symbol; a zero value of
+            // the type is unreachable on typechecked programs (match kinds
+            // never type variables). Symbol 0 is the `TyCtx` interner's
+            // reserved empty-string sentinel.
+            Ty::MatchKind => Value::MatchKind(Symbol::from_raw(0)),
             // Closure types have no default; these cases are unreachable on
             // typechecked programs (locations of closure type are always
             // initialized by their declaration).
@@ -123,22 +143,22 @@ impl Value {
         }
     }
 
-    /// Reads a record/header field.
+    /// Reads a record/header field by interned name.
     #[must_use]
-    pub fn field(&self, name: &str) -> Option<&Value> {
+    pub fn field(&self, name: Symbol) -> Option<&Value> {
         match self {
             Value::Record(fs) | Value::Header { fields: fs, .. } => {
-                fs.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+                fs.iter().find(|(n, _)| *n == name).map(|(_, v)| v)
             }
             _ => None,
         }
     }
 
     /// Mutable access to a record/header field.
-    pub fn field_mut(&mut self, name: &str) -> Option<&mut Value> {
+    pub fn field_mut(&mut self, name: Symbol) -> Option<&mut Value> {
         match self {
             Value::Record(fs) | Value::Header { fields: fs, .. } => {
-                fs.iter_mut().find(|(n, _)| n == name).map(|(_, v)| v)
+                fs.iter_mut().find(|(n, _)| *n == name).map(|(_, v)| v)
             }
             _ => None,
         }
@@ -159,8 +179,8 @@ impl Value {
     /// Coerces `self` to fit a resolved type (used at copy-in and
     /// variable initialization).
     #[must_use]
-    pub fn coerce_to_type(self, ty: &SecTy) -> Value {
-        match (&self, &ty.ty) {
+    pub fn coerce_to_type(self, pool: &TyPool, ty: SecTy) -> Value {
+        match (&self, pool.kind(ty.ty)) {
             (Value::Int(i), Ty::Bit(w)) => Value::bit(*w, *i as u128),
             (Value::Bit { value, .. }, Ty::Int) => Value::Int(*value as i128),
             _ => self,
@@ -178,50 +198,94 @@ impl Value {
             _ => None,
         }
     }
+
+    /// Renders the value with field names resolved through `syms`
+    /// (diagnostics boundary; the plain [`Display`](fmt::Display) impl
+    /// prints raw symbols).
+    #[must_use]
+    pub fn display_with(&self, syms: &Interner) -> String {
+        let mut out = String::new();
+        render(self, Some(syms), &mut out);
+        out
+    }
+}
+
+/// The single value renderer behind both [`Display`](fmt::Display)
+/// (`syms: None`, raw symbols) and [`Value::display_with`] (resolved
+/// field/kind names).
+fn render(v: &Value, syms: Option<&Interner>, out: &mut String) {
+    use std::fmt::Write as _;
+    let name = |sym: Symbol, out: &mut String| match syms {
+        Some(syms) => out.push_str(syms.resolve(sym)),
+        None => {
+            let _ = write!(out, "{sym}");
+        }
+    };
+    match v {
+        Value::Bool(b) => {
+            let _ = write!(out, "{b}");
+        }
+        Value::Int(i) => {
+            let _ = write!(out, "{i}");
+        }
+        Value::Bit { width, value } => {
+            let _ = write!(out, "{width}w{value}");
+        }
+        Value::Unit => out.push_str("()"),
+        Value::Record(fields) => {
+            out.push('{');
+            for (i, (n, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                name(*n, out);
+                out.push_str(" = ");
+                render(v, syms, out);
+            }
+            out.push('}');
+        }
+        Value::Header { valid, fields } => {
+            let _ = write!(out, "header({})", if *valid { "valid" } else { "invalid" });
+            out.push('{');
+            for (i, (n, v)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                name(*n, out);
+                out.push_str(" = ");
+                render(v, syms, out);
+            }
+            out.push('}');
+        }
+        Value::Stack(vs) => {
+            out.push('[');
+            for (i, v) in vs.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render(v, syms, out);
+            }
+            out.push(']');
+        }
+        Value::MatchKind(k) => {
+            out.push_str("match_kind(");
+            name(*k, out);
+            out.push(')');
+        }
+        Value::Closure(c) => {
+            let _ = write!(out, "<closure {}>", c.name);
+        }
+        Value::Table(t) => {
+            let _ = write!(out, "<table {}>", t.name);
+        }
+    }
 }
 
 impl fmt::Display for Value {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            Value::Bool(b) => write!(f, "{b}"),
-            Value::Int(i) => write!(f, "{i}"),
-            Value::Bit { width, value } => write!(f, "{width}w{value}"),
-            Value::Unit => write!(f, "()"),
-            Value::Record(fields) => {
-                write!(f, "{{")?;
-                for (i, (n, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{n} = {v}")?;
-                }
-                write!(f, "}}")
-            }
-            Value::Header { valid, fields } => {
-                write!(f, "header({})", if *valid { "valid" } else { "invalid" })?;
-                write!(f, "{{")?;
-                for (i, (n, v)) in fields.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{n} = {v}")?;
-                }
-                write!(f, "}}")
-            }
-            Value::Stack(vs) => {
-                write!(f, "[")?;
-                for (i, v) in vs.iter().enumerate() {
-                    if i > 0 {
-                        write!(f, ", ")?;
-                    }
-                    write!(f, "{v}")?;
-                }
-                write!(f, "]")
-            }
-            Value::MatchKind(k) => write!(f, "match_kind({k})"),
-            Value::Closure(c) => write!(f, "<closure {}>", c.name),
-            Value::Table(t) => write!(f, "<table {}>", t.name),
-        }
+        let mut out = String::new();
+        render(self, None, &mut out);
+        f.write_str(&out)
     }
 }
 
@@ -366,6 +430,8 @@ fn compare(a: &Value, b: &Value) -> Result<std::cmp::Ordering, OpError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4bid_ast::intern::Interner;
+    use p4bid_ast::sectype::FieldList;
     use p4bid_lattice::Lattice;
 
     #[test]
@@ -377,23 +443,33 @@ mod tests {
     #[test]
     fn init_values() {
         let lat = Lattice::two_point();
-        assert_eq!(Value::init(&SecTy::bottom(Ty::Bool, &lat)), Value::Bool(false));
-        assert_eq!(Value::init(&SecTy::bottom(Ty::Bit(9), &lat)), Value::bit(9, 0));
-        let st = SecTy::bottom(Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &lat)), 3), &lat);
-        assert_eq!(Value::init(&st), Value::Stack(vec![Value::bit(8, 0); 3]));
+        let mut pool = TyPool::new();
+        let bit8 = pool.bit(8);
+        let bit9 = pool.bit(9);
+        assert_eq!(
+            Value::init(&pool, SecTy::bottom(p4bid_ast::TyId::BOOL, &lat)),
+            Value::Bool(false)
+        );
+        assert_eq!(Value::init(&pool, SecTy::bottom(bit9, &lat)), Value::bit(9, 0));
+        let stack = pool.stack(SecTy::bottom(bit8, &lat), 3);
+        assert_eq!(
+            Value::init(&pool, SecTy::bottom(stack, &lat)),
+            Value::Stack(vec![Value::bit(8, 0); 3])
+        );
     }
 
     #[test]
     fn header_init_is_valid_and_zeroed() {
         let lat = Lattice::two_point();
-        let hdr = SecTy::bottom(
-            Ty::Header(Rc::new(vec![("ttl".into(), SecTy::bottom(Ty::Bit(8), &lat))])),
-            &lat,
-        );
-        let v = Value::init(&hdr);
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let ttl = syms.intern("ttl");
+        let bit8 = pool.bit(8);
+        let hdr = pool.header(FieldList::new(vec![(ttl, SecTy::bottom(bit8, &lat))]));
+        let v = Value::init(&pool, SecTy::bottom(hdr, &lat));
         let Value::Header { valid, fields } = &v else { panic!() };
         assert!(*valid);
-        assert_eq!(fields[0], ("ttl".to_string(), Value::bit(8, 0)));
+        assert_eq!(fields[0], (ttl, Value::bit(8, 0)));
     }
 
     #[test]
@@ -455,11 +531,22 @@ mod tests {
 
     #[test]
     fn field_access() {
-        let mut v = Value::Record(vec![("a".into(), Value::Int(1))]);
-        assert_eq!(v.field("a"), Some(&Value::Int(1)));
-        assert_eq!(v.field("b"), None);
-        *v.field_mut("a").unwrap() = Value::Int(2);
-        assert_eq!(v.field("a"), Some(&Value::Int(2)));
+        let mut syms = Interner::new();
+        let a = syms.intern("a");
+        let b = syms.intern("b");
+        let mut v = Value::Record(vec![(a, Value::Int(1))]);
+        assert_eq!(v.field(a), Some(&Value::Int(1)));
+        assert_eq!(v.field(b), None);
+        *v.field_mut(a).unwrap() = Value::Int(2);
+        assert_eq!(v.field(a), Some(&Value::Int(2)));
+    }
+
+    #[test]
+    fn display_with_resolves_names() {
+        let mut syms = Interner::new();
+        let a = syms.intern("a");
+        let v = Value::Record(vec![(a, Value::bit(8, 7))]);
+        assert_eq!(v.display_with(&syms), "{a = 8w7}");
     }
 
     #[test]

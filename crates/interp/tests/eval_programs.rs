@@ -83,11 +83,11 @@ fn inout_copy_in_copy_out() {
             apply { bump(s.h.v); bump(s.h.v); }
         }"#,
     );
-    let hdr = Value::Header { valid: true, fields: vec![("v".into(), b(8, 5))] };
-    let s = Value::Record(vec![("h".into(), hdr)]);
+    let hdr = Value::Header { valid: true, fields: vec![(t.intern("v"), b(8, 5))] };
+    let s = Value::Record(vec![(t.intern("h"), hdr)]);
     let out = run_control(&t, &ControlPlane::new(), "C", vec![s]).unwrap();
-    let v = out.param("s").unwrap().field("h").unwrap().field("v").unwrap();
-    assert_eq!(v, &b(8, 7));
+    let v = out.param("s").unwrap().field(t.sym("h").unwrap()).unwrap().field(t.sym("v").unwrap());
+    assert_eq!(v, Some(&b(8, 7)));
 }
 
 #[test]
@@ -223,19 +223,20 @@ const FORWARD: &str = r#"
     }
 "#;
 
-fn packet(dst: u128, ttl: u128) -> Vec<Value> {
+fn packet(t: &TypedProgram, dst: u128, ttl: u128) -> Vec<Value> {
+    let s = |n: &str| t.intern(n);
     let ipv4 = Value::Header {
         valid: true,
-        fields: vec![("dstAddr".into(), b(32, dst)), ("ttl".into(), b(8, ttl))],
+        fields: vec![(s("dstAddr"), b(32, dst)), (s("ttl"), b(8, ttl))],
     };
-    let hdr = Value::Record(vec![("ipv4".into(), ipv4)]);
+    let hdr = Value::Record(vec![(s("ipv4"), ipv4)]);
     let meta = Value::Record(vec![
-        ("ingress_port".into(), b(9, 0)),
-        ("egress_spec".into(), b(9, 0)),
-        ("egress_port".into(), b(9, 0)),
-        ("instance_type".into(), b(32, 0)),
-        ("packet_length".into(), b(32, 64)),
-        ("priority".into(), b(3, 0)),
+        (s("ingress_port"), b(9, 0)),
+        (s("egress_spec"), b(9, 0)),
+        (s("egress_port"), b(9, 0)),
+        (s("instance_type"), b(32, 0)),
+        (s("packet_length"), b(32, 64)),
+        (s("priority"), b(3, 0)),
     ]);
     vec![hdr, meta]
 }
@@ -262,20 +263,29 @@ fn lpm_table_forwarding_pipeline() {
         ),
     );
 
+    let spec_of = |out: &p4bid_interp::ControlOutcome| {
+        out.param("meta").unwrap().field(t.sym("egress_spec").unwrap()).unwrap().clone()
+    };
+
     // Longest prefix wins.
-    let out = run_control(&t, &cp, "Fwd", packet(((10 << 24) | (1 << 16)) + 5, 64)).unwrap();
-    let spec = out.param("meta").unwrap().field("egress_spec").unwrap();
-    assert_eq!(spec, &b(9, 2));
-    let ttl = out.param("hdr").unwrap().field("ipv4").unwrap().field("ttl").unwrap();
+    let out = run_control(&t, &cp, "Fwd", packet(&t, ((10 << 24) | (1 << 16)) + 5, 64)).unwrap();
+    assert_eq!(spec_of(&out), b(9, 2));
+    let ttl = out
+        .param("hdr")
+        .unwrap()
+        .field(t.sym("ipv4").unwrap())
+        .unwrap()
+        .field(t.sym("ttl").unwrap())
+        .unwrap();
     assert_eq!(ttl, &b(8, 63), "forwarding decrements the ttl");
 
     // /8-only match.
-    let out = run_control(&t, &cp, "Fwd", packet((10 << 24) + 7, 64)).unwrap();
-    assert_eq!(out.param("meta").unwrap().field("egress_spec").unwrap(), &b(9, 1));
+    let out = run_control(&t, &cp, "Fwd", packet(&t, (10 << 24) + 7, 64)).unwrap();
+    assert_eq!(spec_of(&out), b(9, 1));
 
     // Miss → declared default (drop → egress_spec = 511).
-    let out = run_control(&t, &cp, "Fwd", packet(192 << 24, 64)).unwrap();
-    assert_eq!(out.param("meta").unwrap().field("egress_spec").unwrap(), &b(9, 511));
+    let out = run_control(&t, &cp, "Fwd", packet(&t, 192 << 24, 64)).unwrap();
+    assert_eq!(spec_of(&out), b(9, 511));
 }
 
 #[test]
@@ -414,8 +424,8 @@ fn determinism_same_inputs_same_outputs() {
             vec![b(9, 3)],
         ),
     );
-    let a = run_control(&t, &cp, "Fwd", packet((10 << 24) + 1, 7)).unwrap();
-    let bb = run_control(&t, &cp, "Fwd", packet((10 << 24) + 1, 7)).unwrap();
+    let a = run_control(&t, &cp, "Fwd", packet(&t, (10 << 24) + 1, 7)).unwrap();
+    let bb = run_control(&t, &cp, "Fwd", packet(&t, (10 << 24) + 1, 7)).unwrap();
     assert_eq!(a, bb);
 }
 

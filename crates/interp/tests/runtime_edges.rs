@@ -117,12 +117,12 @@ fn bool_fields_round_trip() {
     );
     let hdr = Value::Header {
         valid: true,
-        fields: vec![("flag".into(), Value::Bool(true)), ("v".into(), b(8, 0))],
+        fields: vec![(t.intern("flag"), Value::Bool(true)), (t.intern("v"), b(8, 0))],
     };
     let out = run_control(&t, &ControlPlane::new(), "C", vec![hdr]).unwrap();
     let h = out.param("h").unwrap();
-    assert_eq!(h.field("v"), Some(&b(8, 1)));
-    assert_eq!(h.field("flag"), Some(&Value::Bool(false)));
+    assert_eq!(h.field(t.sym("v").unwrap()), Some(&b(8, 1)));
+    assert_eq!(h.field(t.sym("flag").unwrap()), Some(&Value::Bool(false)));
 }
 
 #[test]
@@ -182,8 +182,8 @@ fn stacks_of_headers() {
         }"#,
     );
     let seg =
-        |v: u128| Value::Header { valid: true, fields: vec![("label_field".into(), b(8, v))] };
-    let h = Value::Record(vec![("segs".into(), Value::Stack(vec![seg(0), seg(0), seg(0)]))]);
+        |v: u128| Value::Header { valid: true, fields: vec![(t.intern("label_field"), b(8, v))] };
+    let h = Value::Record(vec![(t.intern("segs"), Value::Stack(vec![seg(0), seg(0), seg(0)]))]);
     let out = run_control(&t, &ControlPlane::new(), "C", vec![h, b(8, 0)]).unwrap();
     assert_eq!(out.param("x"), Some(&b(8, 6)));
 }

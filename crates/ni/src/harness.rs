@@ -160,11 +160,12 @@ pub fn run_pair(
         typed.control(control).ok_or_else(|| EvalError::UnknownControl(control.to_string()))?;
     let out_a = run_control(typed, cp, control, args_a)?;
     let out_b = run_control(typed, cp, control, args_b)?;
+    let ctx = typed.ctx.borrow();
     let mut diffs = Vec::new();
     for (param, ((name, va), (_, vb))) in
         ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
     {
-        for mut d in observable_differences(&typed.lattice, observe, &param.ty, va, vb) {
+        for mut d in observable_differences(&ctx, &typed.lattice, observe, param.ty, va, vb) {
             d.path = if d.path.is_empty() { name.clone() } else { format!("{name}.{}", d.path) };
             diffs.push(d);
         }
@@ -202,14 +203,20 @@ pub fn check_non_interference(
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     for run_index in 0..config.runs {
-        let args_a: Vec<Value> =
-            ctrl.params.iter().map(|p| random_value(&mut rng, &p.ty)).collect();
-        let args_b: Vec<Value> = ctrl
-            .params
-            .iter()
-            .zip(&args_a)
-            .map(|(p, v)| scramble_unobservable(&mut rng, lat, observe, &p.ty, v))
-            .collect();
+        // Borrow the shared ctx only while building inputs / comparing
+        // outputs; `run_control` takes its own borrows internally.
+        let (args_a, args_b) = {
+            let ctx = typed.ctx.borrow();
+            let args_a: Vec<Value> =
+                ctrl.params.iter().map(|p| random_value(&mut rng, &ctx, p.ty)).collect();
+            let args_b: Vec<Value> = ctrl
+                .params
+                .iter()
+                .zip(&args_a)
+                .map(|(p, v)| scramble_unobservable(&mut rng, &ctx, lat, observe, p.ty, v))
+                .collect();
+            (args_a, args_b)
+        };
 
         let out_a = match run_control(typed, cp, control, args_a.clone()) {
             Ok(o) => o,
@@ -221,13 +228,16 @@ pub fn check_non_interference(
         };
 
         let mut diffs = Vec::new();
-        for (param, ((name, va), (_, vb))) in
-            ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
         {
-            for mut d in observable_differences(lat, observe, &param.ty, va, vb) {
-                d.path =
-                    if d.path.is_empty() { name.clone() } else { format!("{name}.{}", d.path) };
-                diffs.push(d);
+            let ctx = typed.ctx.borrow();
+            for (param, ((name, va), (_, vb))) in
+                ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
+            {
+                for mut d in observable_differences(&ctx, lat, observe, param.ty, va, vb) {
+                    d.path =
+                        if d.path.is_empty() { name.clone() } else { format!("{name}.{}", d.path) };
+                    diffs.push(d);
+                }
             }
         }
 

@@ -5,13 +5,24 @@
 //! value-level version: walk a resolved security type together with two
 //! values and compare exactly the scalar leaves labeled `⊑ l`
 //! (Definition C.6 clauses 2–3).
+//!
+//! Types are pooled ids, so every walk goes through the program's shared
+//! [`TyCtx`]; field traversal is symbol-keyed, and names are resolved back
+//! to strings only when a [`Difference`] is actually reported.
 
+use p4bid_ast::pool::TyCtx;
 use p4bid_ast::sectype::{SecTy, Ty};
 use p4bid_interp::Value;
 use p4bid_lattice::{Label, Lattice};
 use rand::Rng;
 
 /// A difference found between two values at an observable (`⊑ l`) leaf.
+///
+/// `left`/`right` are scalar leaves on the usual paths (and render fully
+/// via `Display`); only the structural-mismatch fallbacks (a field missing
+/// from a hand-built value, a non-stack where a stack was expected) store
+/// whole compound values, whose field names render as raw symbols — use
+/// [`Value::display_with`] with the program's interner for full names.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Difference {
     /// Dotted path from the root (e.g. `hdr.ipv4.ttl` or `arr[2]`).
@@ -33,41 +44,45 @@ impl std::fmt::Display for Difference {
 /// low-equivalent.
 #[must_use]
 pub fn observable_differences(
+    ctx: &TyCtx,
     lat: &Lattice,
     l: Label,
-    ty: &SecTy,
+    ty: SecTy,
     a: &Value,
     b: &Value,
 ) -> Vec<Difference> {
     let mut out = Vec::new();
-    walk(lat, l, ty, a, b, String::new(), &mut out);
+    walk(ctx, lat, l, ty, a, b, String::new(), &mut out);
     out
 }
 
 /// Whether `a` and `b` agree on everything observable at level `l`.
 #[must_use]
-pub fn low_equal(lat: &Lattice, l: Label, ty: &SecTy, a: &Value, b: &Value) -> bool {
-    observable_differences(lat, l, ty, a, b).is_empty()
+pub fn low_equal(ctx: &TyCtx, lat: &Lattice, l: Label, ty: SecTy, a: &Value, b: &Value) -> bool {
+    observable_differences(ctx, lat, l, ty, a, b).is_empty()
 }
 
+#[allow(clippy::too_many_arguments)]
 fn walk(
+    ctx: &TyCtx,
     lat: &Lattice,
     l: Label,
-    ty: &SecTy,
+    ty: SecTy,
     a: &Value,
     b: &Value,
     path: String,
     out: &mut Vec<Difference>,
 ) {
-    match &ty.ty {
+    match ctx.types.kind(ty.ty) {
         Ty::Bool | Ty::Int | Ty::Bit(_) => {
             if lat.leq(ty.label, l) && a != b {
                 out.push(Difference { path, left: a.clone(), right: b.clone() });
             }
         }
         Ty::Record(fields) | Ty::Header(fields) => {
-            for (name, fty) in fields.iter() {
-                let (Some(av), Some(bv)) = (a.field(name), b.field(name)) else {
+            for &(fsym, fty) in fields.iter() {
+                let (Some(av), Some(bv)) = (a.field(fsym), b.field(fsym)) else {
+                    let name = ctx.syms.resolve(fsym);
                     out.push(Difference {
                         path: format!("{path}.{name}"),
                         left: a.clone(),
@@ -75,17 +90,19 @@ fn walk(
                     });
                     continue;
                 };
-                let sub = if path.is_empty() { name.clone() } else { format!("{path}.{name}") };
-                walk(lat, l, fty, av, bv, sub, out);
+                let name = ctx.syms.resolve(fsym);
+                let sub = if path.is_empty() { name.to_string() } else { format!("{path}.{name}") };
+                walk(ctx, lat, l, fty, av, bv, sub, out);
             }
         }
         Ty::Stack(elem, n) => {
+            let elem = *elem;
             let (Value::Stack(av), Value::Stack(bv)) = (a, b) else {
                 out.push(Difference { path, left: a.clone(), right: b.clone() });
                 return;
             };
             for i in 0..(*n as usize).min(av.len()).min(bv.len()) {
-                walk(lat, l, elem, &av[i], &bv[i], format!("{path}[{i}]"), out);
+                walk(ctx, lat, l, elem, &av[i], &bv[i], format!("{path}[{i}]"), out);
             }
         }
         // Unit / match kinds / closures carry no observable data.
@@ -95,8 +112,8 @@ fn walk(
 
 /// Generates a uniformly random value of a resolved type (headers valid,
 /// ints kept small so arithmetic stays readable in witnesses).
-pub fn random_value<R: Rng>(rng: &mut R, ty: &SecTy) -> Value {
-    match &ty.ty {
+pub fn random_value<R: Rng>(rng: &mut R, ctx: &TyCtx, ty: SecTy) -> Value {
+    match ctx.types.kind(ty.ty) {
         Ty::Bool => Value::Bool(rng.gen()),
         Ty::Int => Value::Int(rng.gen_range(0..=255)),
         Ty::Bit(w) => {
@@ -105,14 +122,18 @@ pub fn random_value<R: Rng>(rng: &mut R, ty: &SecTy) -> Value {
         }
         Ty::Unit => Value::Unit,
         Ty::Record(fields) => {
-            Value::Record(fields.iter().map(|(n, t)| (n.clone(), random_value(rng, t))).collect())
+            Value::Record(fields.iter().map(|&(n, t)| (n, random_value(rng, ctx, t))).collect())
         }
         Ty::Header(fields) => Value::Header {
             valid: true,
-            fields: fields.iter().map(|(n, t)| (n.clone(), random_value(rng, t))).collect(),
+            fields: fields.iter().map(|&(n, t)| (n, random_value(rng, ctx, t))).collect(),
         },
-        Ty::Stack(elem, n) => Value::Stack((0..*n).map(|_| random_value(rng, elem)).collect()),
-        Ty::MatchKind => Value::MatchKind(String::new()),
+        Ty::Stack(elem, n) => {
+            let elem = *elem;
+            Value::Stack((0..*n).map(|_| random_value(rng, ctx, elem)).collect())
+        }
+        // Symbol 0 is the `TyCtx` interner's reserved empty-string sentinel.
+        Ty::MatchKind => Value::MatchKind(p4bid_ast::Symbol::from_raw(0)),
         Ty::Table(_) | Ty::Function(_) => Value::Unit,
     }
 }
@@ -122,25 +143,26 @@ pub fn random_value<R: Rng>(rng: &mut R, ty: &SecTy) -> Value {
 /// construction — exactly the paired initial stores of Definition 4.2.
 pub fn scramble_unobservable<R: Rng>(
     rng: &mut R,
+    ctx: &TyCtx,
     lat: &Lattice,
     l: Label,
-    ty: &SecTy,
+    ty: SecTy,
     value: &Value,
 ) -> Value {
-    match &ty.ty {
+    match ctx.types.kind(ty.ty) {
         Ty::Bool | Ty::Int | Ty::Bit(_) => {
             if lat.leq(ty.label, l) {
                 value.clone()
             } else {
-                random_value(rng, ty)
+                random_value(rng, ctx, ty)
             }
         }
         Ty::Record(fields) => Value::Record(
             fields
                 .iter()
-                .map(|(n, t)| {
-                    let v = value.field(n).cloned().unwrap_or_else(|| Value::init(t));
-                    (n.clone(), scramble_unobservable(rng, lat, l, t, &v))
+                .map(|&(n, t)| {
+                    let v = value.field(n).cloned().unwrap_or_else(|| Value::init(&ctx.types, t));
+                    (n, scramble_unobservable(rng, ctx, lat, l, t, &v))
                 })
                 .collect(),
         ),
@@ -148,19 +170,20 @@ pub fn scramble_unobservable<R: Rng>(
             valid: true,
             fields: fields
                 .iter()
-                .map(|(n, t)| {
-                    let v = value.field(n).cloned().unwrap_or_else(|| Value::init(t));
-                    (n.clone(), scramble_unobservable(rng, lat, l, t, &v))
+                .map(|&(n, t)| {
+                    let v = value.field(n).cloned().unwrap_or_else(|| Value::init(&ctx.types, t));
+                    (n, scramble_unobservable(rng, ctx, lat, l, t, &v))
                 })
                 .collect(),
         },
         Ty::Stack(elem, n) => {
+            let elem = *elem;
             let elems = match value {
                 Value::Stack(vs) => vs.clone(),
-                _ => (0..*n).map(|_| Value::init(elem)).collect(),
+                _ => (0..*n).map(|_| Value::init(&ctx.types, elem)).collect(),
             };
             Value::Stack(
-                elems.iter().map(|v| scramble_unobservable(rng, lat, l, elem, v)).collect(),
+                elems.iter().map(|v| scramble_unobservable(rng, ctx, lat, l, elem, v)).collect(),
             )
         }
         Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => value.clone(),
@@ -170,39 +193,50 @@ pub fn scramble_unobservable<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4bid_ast::intern::Symbol;
+    use p4bid_ast::sectype::FieldList;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use std::rc::Rc;
 
-    fn hdr_ty(lat: &Lattice) -> SecTy {
-        SecTy::bottom(
-            Ty::Header(Rc::new(vec![
-                ("pub".into(), SecTy::bottom(Ty::Bit(8), lat)),
-                ("sec".into(), SecTy::new(Ty::Bit(8), lat.top())),
-            ])),
-            lat,
-        )
+    fn two_point_ctx() -> (TyCtx, SecTy, Symbol, Symbol, Lattice) {
+        let lat = Lattice::two_point();
+        let mut ctx = TyCtx::new();
+        let pub_f = ctx.syms.intern("pub");
+        let sec_f = ctx.syms.intern("sec");
+        let bit8 = ctx.types.bit(8);
+        let hdr = ctx.types.header(FieldList::new(vec![
+            (pub_f, SecTy::bottom(bit8, &lat)),
+            (sec_f, SecTy::new(bit8, lat.top())),
+        ]));
+        let ty = SecTy::bottom(hdr, &lat);
+        (ctx, ty, pub_f, sec_f, lat)
     }
 
-    fn hdr(p: u128, s: u128) -> Value {
+    fn hdr(pub_f: Symbol, sec_f: Symbol, p: u128, s: u128) -> Value {
         Value::Header {
             valid: true,
-            fields: vec![("pub".into(), Value::bit(8, p)), ("sec".into(), Value::bit(8, s))],
+            fields: vec![(pub_f, Value::bit(8, p)), (sec_f, Value::bit(8, s))],
         }
     }
 
     #[test]
     fn differences_only_at_observable_leaves() {
-        let lat = Lattice::two_point();
-        let ty = hdr_ty(&lat);
+        let (ctx, ty, pf, sf, lat) = two_point_ctx();
         // Secret fields may differ freely.
-        assert!(low_equal(&lat, lat.bottom(), &ty, &hdr(1, 10), &hdr(1, 20)));
+        assert!(low_equal(&ctx, &lat, lat.bottom(), ty, &hdr(pf, sf, 1, 10), &hdr(pf, sf, 1, 20)));
         // Public fields may not.
-        let diffs = observable_differences(&lat, lat.bottom(), &ty, &hdr(1, 10), &hdr(2, 10));
+        let diffs = observable_differences(
+            &ctx,
+            &lat,
+            lat.bottom(),
+            ty,
+            &hdr(pf, sf, 1, 10),
+            &hdr(pf, sf, 2, 10),
+        );
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].path, "pub");
         // A top observer sees everything.
-        assert!(!low_equal(&lat, lat.top(), &ty, &hdr(1, 10), &hdr(1, 20)));
+        assert!(!low_equal(&ctx, &lat, lat.top(), ty, &hdr(pf, sf, 1, 10), &hdr(pf, sf, 1, 20)));
     }
 
     #[test]
@@ -210,66 +244,66 @@ mod tests {
         let lat = Lattice::diamond();
         let a = lat.label("A").unwrap();
         let b = lat.label("B").unwrap();
-        let ty = SecTy::bottom(
-            Ty::Record(Rc::new(vec![
-                ("fa".into(), SecTy::new(Ty::Bit(8), a)),
-                ("fb".into(), SecTy::new(Ty::Bit(8), b)),
-            ])),
-            &lat,
-        );
-        let mk = |x: u128, y: u128| {
-            Value::Record(vec![("fa".into(), Value::bit(8, x)), ("fb".into(), Value::bit(8, y))])
-        };
+        let mut ctx = TyCtx::new();
+        let fa = ctx.syms.intern("fa");
+        let fb = ctx.syms.intern("fb");
+        let bit8 = ctx.types.bit(8);
+        let rec = ctx
+            .types
+            .record(FieldList::new(vec![(fa, SecTy::new(bit8, a)), (fb, SecTy::new(bit8, b))]));
+        let ty = SecTy::bottom(rec, &lat);
+        let mk =
+            |x: u128, y: u128| Value::Record(vec![(fa, Value::bit(8, x)), (fb, Value::bit(8, y))]);
         // An A-observer sees fa but not fb.
-        assert!(low_equal(&lat, a, &ty, &mk(1, 5), &mk(1, 9)));
-        assert!(!low_equal(&lat, a, &ty, &mk(1, 5), &mk(2, 5)));
+        assert!(low_equal(&ctx, &lat, a, ty, &mk(1, 5), &mk(1, 9)));
+        assert!(!low_equal(&ctx, &lat, a, ty, &mk(1, 5), &mk(2, 5)));
         // And symmetrically for B.
-        assert!(low_equal(&lat, b, &ty, &mk(3, 5), &mk(4, 5)));
+        assert!(low_equal(&ctx, &lat, b, ty, &mk(3, 5), &mk(4, 5)));
     }
 
     #[test]
     fn stack_differences_have_indexed_paths() {
         let lat = Lattice::two_point();
-        let ty = SecTy::bottom(Ty::Stack(Rc::new(SecTy::bottom(Ty::Bit(8), &lat)), 3), &lat);
+        let mut ctx = TyCtx::new();
+        let bit8 = ctx.types.bit(8);
+        let stack = ctx.types.stack(SecTy::bottom(bit8, &lat), 3);
+        let ty = SecTy::bottom(stack, &lat);
         let a = Value::Stack(vec![Value::bit(8, 0), Value::bit(8, 1), Value::bit(8, 2)]);
         let b = Value::Stack(vec![Value::bit(8, 0), Value::bit(8, 9), Value::bit(8, 2)]);
-        let diffs = observable_differences(&lat, lat.bottom(), &ty, &a, &b);
+        let diffs = observable_differences(&ctx, &lat, lat.bottom(), ty, &a, &b);
         assert_eq!(diffs.len(), 1);
         assert_eq!(diffs[0].path, "[1]");
     }
 
     #[test]
     fn scramble_preserves_low_parts() {
-        let lat = Lattice::two_point();
-        let ty = hdr_ty(&lat);
+        let (ctx, ty, pf, sf, lat) = two_point_ctx();
         let mut rng = StdRng::seed_from_u64(7);
-        let orig = hdr(42, 13);
+        let orig = hdr(pf, sf, 42, 13);
         for _ in 0..50 {
-            let scrambled = scramble_unobservable(&mut rng, &lat, lat.bottom(), &ty, &orig);
-            assert!(low_equal(&lat, lat.bottom(), &ty, &orig, &scrambled));
-            assert_eq!(scrambled.field("pub"), Some(&Value::bit(8, 42)));
+            let scrambled = scramble_unobservable(&mut rng, &ctx, &lat, lat.bottom(), ty, &orig);
+            assert!(low_equal(&ctx, &lat, lat.bottom(), ty, &orig, &scrambled));
+            assert_eq!(scrambled.field(pf), Some(&Value::bit(8, 42)));
         }
     }
 
     #[test]
     fn scramble_eventually_changes_high_parts() {
-        let lat = Lattice::two_point();
-        let ty = hdr_ty(&lat);
+        let (ctx, ty, pf, sf, lat) = two_point_ctx();
         let mut rng = StdRng::seed_from_u64(7);
-        let orig = hdr(42, 13);
+        let orig = hdr(pf, sf, 42, 13);
         let changed = (0..50).any(|_| {
-            let s = scramble_unobservable(&mut rng, &lat, lat.bottom(), &ty, &orig);
-            s.field("sec") != Some(&Value::bit(8, 13))
+            let s = scramble_unobservable(&mut rng, &ctx, &lat, lat.bottom(), ty, &orig);
+            s.field(sf) != Some(&Value::bit(8, 13))
         });
         assert!(changed, "a 50-sample scramble should perturb an 8-bit secret");
     }
 
     #[test]
     fn random_values_have_the_right_shape() {
-        let lat = Lattice::two_point();
-        let ty = hdr_ty(&lat);
+        let (ctx, ty, _, _, _) = two_point_ctx();
         let mut rng = StdRng::seed_from_u64(0);
-        let v = random_value(&mut rng, &ty);
+        let v = random_value(&mut rng, &ctx, ty);
         let Value::Header { valid, fields } = &v else { panic!() };
         assert!(valid);
         assert_eq!(fields.len(), 2);

@@ -129,14 +129,18 @@ pub fn check_sequence_non_interference(
 
     let mut rng = StdRng::seed_from_u64(config.seed);
     for trial in 0..config.trials {
-        let mut args_a: Vec<Value> =
-            ctrl.params.iter().map(|p| random_value(&mut rng, &p.ty)).collect();
-        let mut args_b: Vec<Value> = ctrl
-            .params
-            .iter()
-            .zip(&args_a)
-            .map(|(p, v)| scramble_unobservable(&mut rng, lat, observe, &p.ty, v))
-            .collect();
+        let (mut args_a, mut args_b) = {
+            let ctx = typed.ctx.borrow();
+            let args_a: Vec<Value> =
+                ctrl.params.iter().map(|p| random_value(&mut rng, &ctx, p.ty)).collect();
+            let args_b: Vec<Value> = ctrl
+                .params
+                .iter()
+                .zip(&args_a)
+                .map(|(p, v)| scramble_unobservable(&mut rng, &ctx, lat, observe, p.ty, v))
+                .collect();
+            (args_a, args_b)
+        };
 
         for round in 0..config.rounds {
             let out_a = match run_control(typed, cp, control, args_a.clone()) {
@@ -149,13 +153,19 @@ pub fn check_sequence_non_interference(
             };
 
             let mut diffs = Vec::new();
-            for (param, ((name, va), (_, vb))) in
-                ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
             {
-                for mut d in observable_differences(lat, observe, &param.ty, va, vb) {
-                    d.path =
-                        if d.path.is_empty() { name.clone() } else { format!("{name}.{}", d.path) };
-                    diffs.push(d);
+                let ctx = typed.ctx.borrow();
+                for (param, ((name, va), (_, vb))) in
+                    ctrl.params.iter().zip(out_a.params.iter().zip(out_b.params.iter()))
+                {
+                    for mut d in observable_differences(&ctx, lat, observe, param.ty, va, vb) {
+                        d.path = if d.path.is_empty() {
+                            name.clone()
+                        } else {
+                            format!("{name}.{}", d.path)
+                        };
+                        diffs.push(d);
+                    }
                 }
             }
             if !diffs.is_empty() || out_a.exited != out_b.exited {
@@ -173,17 +183,22 @@ pub fn check_sequence_non_interference(
             // refreshed in each run (new packets carry new secrets);
             // without it they persist (stateful switch memory).
             if config.refresh_secrets {
+                let ctx = typed.ctx.borrow();
                 args_a = ctrl
                     .params
                     .iter()
                     .zip(out_a.params)
-                    .map(|(p, (_, v))| scramble_unobservable(&mut rng, lat, observe, &p.ty, &v))
+                    .map(|(p, (_, v))| {
+                        scramble_unobservable(&mut rng, &ctx, lat, observe, p.ty, &v)
+                    })
                     .collect();
                 args_b = ctrl
                     .params
                     .iter()
                     .zip(out_b.params)
-                    .map(|(p, (_, v))| scramble_unobservable(&mut rng, lat, observe, &p.ty, &v))
+                    .map(|(p, (_, v))| {
+                        scramble_unobservable(&mut rng, &ctx, lat, observe, p.ty, &v)
+                    })
                     .collect();
             } else {
                 args_a = out_a.params.into_iter().map(|(_, v)| v).collect();

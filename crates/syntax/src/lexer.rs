@@ -4,17 +4,22 @@
 //! declarations, `<T, label>` security annotations, width-annotated integer
 //! literals (`8w255`, `32w0xFF`), hexadecimal literals, and both `//` and
 //! `/* */` comments.
+//!
+//! Tokens are `Copy`: identifier tokens carry no text of their own — the
+//! parser slices the name out of the source via the token's span — so
+//! lexing a program performs no per-token heap allocation.
 
 use crate::ParseError;
 use p4bid_ast::span::Span;
 use std::fmt;
 
 /// Token kinds.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TokenKind {
     /// Identifier or keyword (keywords are resolved by the parser so that
-    /// context-sensitive words like `key` stay usable as identifiers).
-    Ident(String),
+    /// context-sensitive words like `key` stay usable as identifiers; the
+    /// text is the source slice under the token's span).
+    Ident,
     /// Integer literal with optional width (`8w255` ⇒ width 8).
     Int {
         /// Literal value, masked to the width if one is given.
@@ -91,7 +96,7 @@ impl TokenKind {
     #[must_use]
     pub fn describe(&self) -> String {
         match self {
-            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Ident => "an identifier".into(),
             TokenKind::Int { value, width: None } => format!("`{value}`"),
             TokenKind::Int { value, width: Some(w) } => format!("`{w}w{value}`"),
             TokenKind::LParen => "`(`".into(),
@@ -136,7 +141,7 @@ impl fmt::Display for TokenKind {
 }
 
 /// A token with its source span.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Token {
     /// What was lexed.
     pub kind: TokenKind,
@@ -151,18 +156,19 @@ pub struct Token {
 /// Returns a [`ParseError`] on unterminated block comments, malformed
 /// numeric literals, or unexpected characters.
 pub fn lex(source: &str) -> Result<Vec<Token>, ParseError> {
-    Lexer { src: source.as_bytes(), pos: 0, source }.run()
+    Lexer { src: source.as_bytes(), pos: 0 }.run()
 }
 
 struct Lexer<'a> {
     src: &'a [u8],
     pos: usize,
-    source: &'a str,
 }
 
 impl Lexer<'_> {
     fn run(mut self) -> Result<Vec<Token>, ParseError> {
-        let mut tokens = Vec::new();
+        // P4 source averages well above three bytes per token; one
+        // pre-sized allocation covers the whole stream.
+        let mut tokens = Vec::with_capacity(self.src.len() / 3 + 8);
         loop {
             self.skip_trivia()?;
             let start = self.pos as u32;
@@ -273,7 +279,6 @@ impl Lexer<'_> {
     }
 
     fn ident(&mut self) -> TokenKind {
-        let start = self.pos;
         while let Some(c) = self.peek(0) {
             if c == b'_' || c.is_ascii_alphanumeric() {
                 self.pos += 1;
@@ -281,7 +286,7 @@ impl Lexer<'_> {
                 break;
             }
         }
-        TokenKind::Ident(self.source[start..self.pos].to_string())
+        TokenKind::Ident
     }
 
     /// Lexes `123`, `0x1F`, `8w255`, `8w0xFF`.
@@ -326,20 +331,34 @@ impl Lexer<'_> {
                 break;
             }
         }
-        let text: String =
-            self.source[digits_start..self.pos].chars().filter(|&c| c != '_').collect();
-        if text.is_empty() {
+        let digits = &self.src[digits_start..self.pos];
+        let mut value: u128 = 0;
+        let mut any = false;
+        for &c in digits {
+            if c == b'_' {
+                continue;
+            }
+            any = true;
+            let d = u128::from((c as char).to_digit(radix).expect("digit by construction"));
+            match value.checked_mul(u128::from(radix)).and_then(|v| v.checked_add(d)) {
+                Some(v) => value = v,
+                None => {
+                    let text: String =
+                        digits.iter().map(|&c| c as char).filter(|&c| c != '_').collect();
+                    return Err(ParseError::new(
+                        format!("integer literal `{text}` does not fit in 128 bits"),
+                        Span::new(start as u32, self.pos as u32),
+                    ));
+                }
+            }
+        }
+        if !any {
             return Err(ParseError::new(
                 "malformed numeric literal".to_string(),
                 Span::new(start as u32, self.pos as u32),
             ));
         }
-        u128::from_str_radix(&text, radix).map_err(|_| {
-            ParseError::new(
-                format!("integer literal `{text}` does not fit in 128 bits"),
-                Span::new(start as u32, self.pos as u32),
-            )
-        })
+        Ok(value)
     }
 }
 
@@ -357,12 +376,12 @@ mod tests {
         assert_eq!(
             ks,
             vec![
-                TokenKind::Ident("control".into()),
-                TokenKind::Ident("C".into()),
+                TokenKind::Ident,
+                TokenKind::Ident,
                 TokenKind::LParen,
-                TokenKind::Ident("inout".into()),
-                TokenKind::Ident("headers".into()),
-                TokenKind::Ident("h".into()),
+                TokenKind::Ident,
+                TokenKind::Ident,
+                TokenKind::Ident,
                 TokenKind::RParen,
                 TokenKind::LBrace,
                 TokenKind::RBrace,
@@ -397,7 +416,7 @@ mod tests {
         assert_eq!(
             kinds("a << 2 >> 3 <= >= == != && || ! ~"),
             vec![
-                TokenKind::Ident("a".into()),
+                TokenKind::Ident,
                 TokenKind::Shl,
                 TokenKind::Int { value: 2, width: None },
                 TokenKind::Shr,
@@ -423,12 +442,12 @@ mod tests {
             ks,
             vec![
                 TokenKind::Lt,
-                TokenKind::Ident("bit".into()),
+                TokenKind::Ident,
                 TokenKind::Lt,
                 TokenKind::Int { value: 8, width: None },
                 TokenKind::Gt,
                 TokenKind::Comma,
-                TokenKind::Ident("high".into()),
+                TokenKind::Ident,
                 TokenKind::Gt,
                 TokenKind::Eof,
             ]
@@ -438,15 +457,7 @@ mod tests {
     #[test]
     fn comments() {
         let ks = kinds("a // line comment\n b /* block\ncomment */ c");
-        assert_eq!(
-            ks,
-            vec![
-                TokenKind::Ident("a".into()),
-                TokenKind::Ident("b".into()),
-                TokenKind::Ident("c".into()),
-                TokenKind::Eof,
-            ]
-        );
+        assert_eq!(ks, vec![TokenKind::Ident, TokenKind::Ident, TokenKind::Ident, TokenKind::Eof,]);
     }
 
     #[test]

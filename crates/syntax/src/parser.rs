@@ -36,16 +36,19 @@ use p4bid_ast::surface::*;
 /// ```
 pub fn parse(source: &str) -> Result<Program, ParseError> {
     let tokens = lex(source)?;
-    let mut p = Parser { tokens, pos: 0 };
+    let mut p = Parser { tokens, pos: 0, source };
     p.program()
 }
 
-struct Parser {
+struct Parser<'s> {
     tokens: Vec<Token>,
     pos: usize,
+    /// The source text; identifier tokens carry no payload, their names
+    /// are sliced out of here by span.
+    source: &'s str,
 }
 
-impl Parser {
+impl Parser<'_> {
     // ------------------------------------------------------------------
     // Token plumbing
     // ------------------------------------------------------------------
@@ -68,7 +71,7 @@ impl Parser {
     }
 
     fn bump(&mut self) -> Token {
-        let t = self.tokens[self.pos].clone();
+        let t = self.tokens[self.pos];
         if self.pos + 1 < self.tokens.len() {
             self.pos += 1;
         }
@@ -79,8 +82,23 @@ impl Parser {
         self.peek() == kind
     }
 
+    /// The source text under the current token (meaningful for `Ident`).
+    fn cur_text(&self) -> &str {
+        let sp = self.span();
+        &self.source[sp.start as usize..sp.end as usize]
+    }
+
+    /// Renders the current token for an error message, quoting identifier
+    /// text from the source.
+    fn describe_current(&self) -> String {
+        match self.peek() {
+            TokenKind::Ident => format!("`{}`", self.cur_text()),
+            other => other.describe(),
+        }
+    }
+
     fn at_kw(&self, kw: &str) -> bool {
-        matches!(self.peek(), TokenKind::Ident(s) if s == kw)
+        matches!(self.peek(), TokenKind::Ident) && self.cur_text() == kw
     }
 
     fn eat(&mut self, kind: &TokenKind) -> bool {
@@ -118,10 +136,11 @@ impl Parser {
     }
 
     fn ident(&mut self) -> Result<Spanned<String>, ParseError> {
-        match self.peek().clone() {
-            TokenKind::Ident(s) => {
+        match self.peek() {
+            TokenKind::Ident => {
+                let text = self.cur_text().to_string();
                 let span = self.bump().span;
-                Ok(Spanned::new(s, span))
+                Ok(Spanned::new(text, span))
             }
             _ => Err(self.unexpected("an identifier")),
         }
@@ -129,7 +148,7 @@ impl Parser {
 
     fn unexpected(&self, expected: &str) -> ParseError {
         ParseError::new(
-            format!("expected {expected}, found {}", self.peek().describe()),
+            format!("expected {expected}, found {}", self.describe_current()),
             self.span(),
         )
     }
@@ -392,7 +411,7 @@ impl Parser {
         // Stack suffixes wrap the (possibly annotated) element type.
         while self.at(&TokenKind::LBracket) {
             self.bump();
-            let size = match self.peek().clone() {
+            let size = match *self.peek() {
                 TokenKind::Int { value, width: None } => {
                     self.bump();
                     u32::try_from(value).ok().filter(|&n| n >= 1).ok_or_else(|| {
@@ -424,7 +443,7 @@ impl Parser {
         if self.at_kw("bit") {
             self.bump();
             self.expect(&TokenKind::Lt)?;
-            let width = match self.peek().clone() {
+            let width = match *self.peek() {
                 TokenKind::Int { value, width: None } => {
                     self.bump();
                     u16::try_from(value).ok().filter(|&w| (1..=128).contains(&w)).ok_or_else(
@@ -523,8 +542,10 @@ impl Parser {
     fn starts_var_decl(&self) -> bool {
         match self.peek() {
             TokenKind::Lt => true,
-            TokenKind::Ident(s) if matches!(s.as_str(), "bool" | "int" | "bit" | "void") => true,
-            TokenKind::Ident(_) => matches!(self.peek_at(1), TokenKind::Ident(_)),
+            TokenKind::Ident => {
+                matches!(self.cur_text(), "bool" | "int" | "bit" | "void")
+                    || matches!(self.peek_at(1), TokenKind::Ident)
+            }
             _ => false,
         }
     }
@@ -646,22 +667,19 @@ impl Parser {
 
     fn primary(&mut self) -> Result<Expr, ParseError> {
         let start = self.span();
-        match self.peek().clone() {
+        match *self.peek() {
             TokenKind::Int { value, width } => {
                 self.bump();
                 Ok(Expr::new(ExprKind::Int { value, width }, start))
             }
-            TokenKind::Ident(s) if s == "true" => {
+            TokenKind::Ident => {
+                let e = match self.cur_text() {
+                    "true" => ExprKind::Bool(true),
+                    "false" => ExprKind::Bool(false),
+                    name => ExprKind::Var(name.to_string()),
+                };
                 self.bump();
-                Ok(Expr::new(ExprKind::Bool(true), start))
-            }
-            TokenKind::Ident(s) if s == "false" => {
-                self.bump();
-                Ok(Expr::new(ExprKind::Bool(false), start))
-            }
-            TokenKind::Ident(s) => {
-                self.bump();
-                Ok(Expr::new(ExprKind::Var(s), start))
+                Ok(Expr::new(e, start))
             }
             TokenKind::LParen => {
                 self.bump();

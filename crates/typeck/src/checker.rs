@@ -22,12 +22,19 @@
 //!   the admissible set is a principal down-set);
 //! * `pc_tbl` (T-TblDecl) is `⊓ⱼ pc_fnⱼ` over the table's actions, valid
 //!   iff every key label is below it.
+//!
+//! All resolved types are hash-consed in the session's
+//! [`TyPool`](p4bid_ast::pool::TyPool): `SecTy` values are `Copy` id+label
+//! pairs, the τ-equality side conditions are id comparisons (with a slow
+//! path only for the `int` ↔ `bit<n>` coercion), and record/header field
+//! lookups are symbol-keyed.
 
 use crate::diag::{DiagCode, Diagnostic};
 use crate::env::{LabelTable, ScopedEnv, TypeDefs, VarInfo};
 use crate::oracle;
-use p4bid_ast::intern::Interner;
-use p4bid_ast::sectype::{FnParam, FnTy, SecTy, Ty};
+use p4bid_ast::intern::{Interner, Symbol};
+use p4bid_ast::pool::{SharedTyCtx, TyCtx, TyPool};
+use p4bid_ast::sectype::{FieldList, FnParam, FnTy, SecTy, Ty, TyId};
 use p4bid_ast::span::Span;
 use p4bid_ast::surface::*;
 use p4bid_lattice::{Label, Lattice};
@@ -99,8 +106,10 @@ impl CheckOptions {
 /// A resolved control-block parameter.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TypedParam {
-    /// Parameter name.
+    /// Parameter name (the human-facing boundary form).
     pub name: String,
+    /// The interned parameter name (what the interpreter binds by).
+    pub sym: Symbol,
     /// Direction (`in` or `inout`; directionless defaults to `in`).
     pub direction: Direction,
     /// Resolved security type.
@@ -142,7 +151,8 @@ impl TypedControl {
 }
 
 /// The result of a successful check: the program, the active lattice, the
-/// resolved type definitions, and per-control parameter signatures. This is
+/// resolved type definitions, per-control parameter signatures, and the
+/// shared interner/type-pool context all resolved ids point into. This is
 /// everything the interpreter and the non-interference harness need.
 #[derive(Debug, Clone)]
 pub struct TypedProgram {
@@ -154,6 +164,11 @@ pub struct TypedProgram {
     pub defs: TypeDefs,
     /// Checked control blocks, in source order.
     pub controls: Vec<TypedControl>,
+    /// The interner + type pool every [`Symbol`] and
+    /// [`TyId`](p4bid_ast::sectype::TyId) in this program resolves
+    /// against. Shared with the producing session (append-only, so ids
+    /// stay valid as the session checks further programs).
+    pub ctx: SharedTyCtx,
 }
 
 impl TypedProgram {
@@ -161,6 +176,25 @@ impl TypedProgram {
     #[must_use]
     pub fn control(&self, name: &str) -> Option<&TypedControl> {
         self.controls.iter().find(|c| c.name == name)
+    }
+
+    /// The interned symbol of `name`, if the checker ever saw it.
+    #[must_use]
+    pub fn sym(&self, name: &str) -> Option<Symbol> {
+        self.ctx.borrow().syms.lookup(name)
+    }
+
+    /// Interns `name` in the program's context (for constructing input
+    /// values whose field keys must agree with the program's types).
+    #[must_use]
+    pub fn intern(&self, name: &str) -> Symbol {
+        self.ctx.borrow_mut().syms.intern(name)
+    }
+
+    /// The string a symbol of this program stands for.
+    #[must_use]
+    pub fn sym_name(&self, sym: Symbol) -> String {
+        self.ctx.borrow().syms.resolve(sym).to_string()
     }
 }
 
@@ -176,10 +210,12 @@ pub fn check_program(
 ) -> Result<TypedProgram, Vec<Diagnostic>> {
     let lattice = resolve_lattice(&program, opts)?;
     let default_pc = resolve_default_pc(&lattice, opts)?;
-    let mut syms = Interner::new();
-    let (controls, state) =
-        check_items(&program.items, &lattice, opts, default_pc, &mut syms, CheckerState::empty())?;
-    Ok(TypedProgram { lattice, defs: state.defs, controls, program })
+    let ctx = TyCtx::shared();
+    let (controls, state) = {
+        let mut c = ctx.borrow_mut();
+        check_items(&program.items, &lattice, opts, default_pc, &mut c, CheckerState::empty())?
+    };
+    Ok(TypedProgram { lattice, defs: state.defs, controls, program, ctx })
 }
 
 /// Resolves the active lattice: the override in `opts`, else the program's
@@ -228,7 +264,8 @@ pub(crate) fn resolve_default_pc(
 /// The carried checker context: Δ, the global Γ bindings, and the inferred
 /// global function signatures. A [`CheckerSession`](crate::CheckerSession)
 /// snapshots this after checking the prelude so later programs start from
-/// the snapshot instead of re-checking it.
+/// the snapshot instead of re-checking it; because every type inside is a
+/// pooled `TyId`, the snapshot clone copies ids, never type structure.
 #[derive(Debug, Clone)]
 pub(crate) struct CheckerState {
     pub(crate) defs: TypeDefs,
@@ -253,14 +290,16 @@ pub(crate) fn check_items(
     lattice: &Lattice,
     opts: &CheckOptions,
     default_pc: Label,
-    syms: &mut Interner,
+    ctx: &mut TyCtx,
     state: CheckerState,
 ) -> Result<(Vec<TypedControl>, CheckerState), Vec<Diagnostic>> {
+    let TyCtx { syms, types } = ctx;
     let labels = LabelTable::new(lattice, syms);
     let mut checker = Checker {
         lat: lattice,
         labels,
         syms,
+        pool: types,
         resolve_labels: opts.mode != Mode::Base,
         enforce: opts.mode == Mode::Ifc,
         defs: state.defs,
@@ -306,6 +345,9 @@ struct Checker<'a> {
     /// The session's interner; names are interned at declaration sites and
     /// probed (never grown) at use sites.
     syms: &'a mut Interner,
+    /// The session's hash-consing type pool; every resolved type is
+    /// constructed through it.
+    pool: &'a mut TyPool,
     /// Whether annotations are resolved against the lattice (Ifc and
     /// Permissive modes) or stripped (Base).
     resolve_labels: bool,
@@ -331,6 +373,16 @@ impl Checker<'_> {
 
     fn name(&self, l: Label) -> &str {
         self.lat.name(l)
+    }
+
+    /// Renders a pooled type for diagnostics (cold path).
+    fn ty_str(&self, id: TyId) -> String {
+        self.pool.display(id, self.syms)
+    }
+
+    /// Resolves a parameter name symbol for diagnostics (cold path).
+    fn param_name(&self, sym: Symbol) -> &str {
+        self.syms.resolve(sym)
     }
 
     // ------------------------------------------------------------------
@@ -369,9 +421,15 @@ impl Checker<'_> {
     /// first (the baseline checker never consults the lattice).
     fn resolve(&mut self, ann: &AnnType) -> Option<SecTy> {
         let resolved = if self.resolve_labels {
-            self.defs.resolve_interned(ann, self.lat, &self.labels, self.syms)
+            self.defs.resolve_interned(ann, self.lat, self.pool, &self.labels, self.syms)
         } else {
-            self.defs.resolve_interned(&strip_labels(ann), self.lat, &self.labels, self.syms)
+            self.defs.resolve_interned(
+                &strip_labels(ann),
+                self.lat,
+                self.pool,
+                &self.labels,
+                self.syms,
+            )
         };
         match resolved {
             Ok(t) => Some(t),
@@ -404,9 +462,10 @@ impl Checker<'_> {
             }
             TypeDecl::Header { name, fields } | TypeDecl::Struct { name, fields } => {
                 let is_header = matches!(t, TypeDecl::Header { .. });
-                let mut resolved_fields = Vec::with_capacity(fields.len());
+                let mut resolved_fields: Vec<(Symbol, SecTy)> = Vec::with_capacity(fields.len());
                 for (fname, fty) in fields {
-                    if resolved_fields.iter().any(|(n, _): &(String, SecTy)| n == &fname.node) {
+                    let fsym = self.syms.intern(&fname.node);
+                    if resolved_fields.iter().any(|(n, _)| *n == fsym) {
                         self.error(
                             DiagCode::DuplicateDef,
                             format!("duplicate field `{}` in `{}`", fname.node, name.node),
@@ -415,24 +474,26 @@ impl Checker<'_> {
                         continue;
                     }
                     if let Some(rt) = self.resolve(fty) {
-                        if is_header && !rt.ty.is_base_scalar() {
+                        if is_header && !self.pool.is_base_scalar(rt.ty) {
                             // "The fields of headers … must be base types"
                             // (§3.3). Structs may nest headers.
                             self.error(
                                 DiagCode::TypeMismatch,
                                 format!(
                                     "header field `{}` must have a base type, found `{}`",
-                                    fname.node, rt.ty
+                                    fname.node,
+                                    self.ty_str(rt.ty)
                                 ),
                                 fname.span,
                             );
                             continue;
                         }
-                        resolved_fields.push((fname.node.clone(), rt));
+                        resolved_fields.push((fsym, rt));
                     }
                 }
-                let fields = Rc::new(resolved_fields);
-                let ty = if is_header { Ty::Header(fields) } else { Ty::Record(fields) };
+                let fields = FieldList::new(resolved_fields);
+                let ty =
+                    if is_header { self.pool.header(fields) } else { self.pool.record(fields) };
                 let sym = self.syms.intern(&name.node);
                 if !self.defs.define(sym, &name.node, SecTy::bottom(ty, self.lat)) {
                     self.error(
@@ -456,11 +517,11 @@ impl Checker<'_> {
     /// Returns `None` after recording a diagnostic, to stop error cascades.
     fn expr(&mut self, e: &Expr, pc: Label) -> Option<(SecTy, bool)> {
         match &e.kind {
-            ExprKind::Bool(_) => Some((SecTy::bottom(Ty::Bool, self.lat), false)),
+            ExprKind::Bool(_) => Some((SecTy::bottom(TyId::BOOL, self.lat), false)),
             ExprKind::Int { width, .. } => {
                 let ty = match width {
-                    Some(w) => Ty::Bit(*w),
-                    None => Ty::Int,
+                    Some(w) => self.pool.bit(*w),
+                    None => TyId::INT,
                 };
                 Some((SecTy::bottom(ty, self.lat), false))
             }
@@ -468,7 +529,7 @@ impl Checker<'_> {
                 // Use sites probe the interner: a name that was never
                 // interned was never declared.
                 match self.syms.lookup(name).and_then(|sym| self.env.lookup(sym)) {
-                    Some(info) => Some((info.ty.clone(), info.writable)),
+                    Some(info) => Some((info.ty, info.writable)),
                     None => {
                         self.error(
                             DiagCode::UnknownVar,
@@ -481,36 +542,32 @@ impl Checker<'_> {
             }
             ExprKind::Field(recv, field) => {
                 let (rt, writable) = self.expr(recv, pc)?;
-                match rt.ty.field(&field.node) {
-                    Some(ft) => Some((ft.clone(), writable)),
+                match self.syms.lookup(&field.node).and_then(|s| self.pool.field(rt.ty, s)) {
+                    Some(ft) => Some((ft, writable)),
                     None => {
-                        self.error(
-                            DiagCode::UnknownField,
-                            format!("type `{}` has no field `{}`", rt.ty, field.node),
-                            field.span,
-                        );
+                        let msg =
+                            format!("type `{}` has no field `{}`", self.ty_str(rt.ty), field.node);
+                        self.error(DiagCode::UnknownField, msg, field.span);
                         None
                     }
                 }
             }
             ExprKind::Index(recv, index) => {
                 let (rt, writable) = self.expr(recv, pc)?;
-                let Ty::Stack(elem, _) = &rt.ty else {
-                    self.error(
-                        DiagCode::TypeMismatch,
-                        format!("cannot index into `{}`", rt.ty),
-                        e.span,
-                    );
+                let elem = match self.pool.kind(rt.ty) {
+                    Ty::Stack(elem, _) => Some(*elem),
+                    _ => None,
+                };
+                let Some(elem) = elem else {
+                    let msg = format!("cannot index into `{}`", self.ty_str(rt.ty));
+                    self.error(DiagCode::TypeMismatch, msg, e.span);
                     return None;
                 };
-                let elem = (**elem).clone();
                 let (it, _) = self.expr(index, pc)?;
-                if !matches!(it.ty, Ty::Bit(_) | Ty::Int) {
-                    self.error(
-                        DiagCode::TypeMismatch,
-                        format!("stack index must be numeric, found `{}`", it.ty),
-                        index.span,
-                    );
+                if !matches!(self.pool.kind(it.ty), Ty::Bit(_) | Ty::Int) {
+                    let msg =
+                        format!("stack index must be numeric, found `{}`", self.ty_str(it.ty));
+                    self.error(DiagCode::TypeMismatch, msg, index.span);
                     return None;
                 }
                 // T-Index: χ₂ ⊑ χ₁ — the index may not be more secret than
@@ -532,43 +589,42 @@ impl Checker<'_> {
             ExprKind::Binary(op, lhs, rhs) => {
                 let (lt, _) = self.expr(lhs, pc)?;
                 let (rt, _) = self.expr(rhs, pc)?;
-                match oracle::binop_result(*op, &lt.ty, &rt.ty) {
+                match oracle::binop_result(self.pool, *op, lt.ty, rt.ty) {
                     Some(ty) => {
                         // T-BinOp: result label is the join of the operands.
                         let label = self.lat.join(lt.label, rt.label);
                         Some((SecTy::new(ty, label), false))
                     }
                     None => {
-                        self.error(
-                            DiagCode::InvalidOperands,
-                            format!(
-                                "operator `{op}` cannot be applied to `{}` and `{}`",
-                                lt.ty, rt.ty
-                            ),
-                            e.span,
+                        let msg = format!(
+                            "operator `{op}` cannot be applied to `{}` and `{}`",
+                            self.ty_str(lt.ty),
+                            self.ty_str(rt.ty)
                         );
+                        self.error(DiagCode::InvalidOperands, msg, e.span);
                         None
                     }
                 }
             }
             ExprKind::Unary(op, inner) => {
                 let (it, _) = self.expr(inner, pc)?;
-                match oracle::unop_result(*op, &it.ty) {
+                match oracle::unop_result(self.pool, *op, it.ty) {
                     Some(ty) => Some((SecTy::new(ty, it.label), false)),
                     None => {
-                        self.error(
-                            DiagCode::InvalidOperands,
-                            format!("operator `{op}` cannot be applied to `{}`", it.ty),
-                            e.span,
+                        let msg = format!(
+                            "operator `{op}` cannot be applied to `{}`",
+                            self.ty_str(it.ty)
                         );
+                        self.error(DiagCode::InvalidOperands, msg, e.span);
                         None
                     }
                 }
             }
             ExprKind::Record(fields) => {
-                let mut rfields = Vec::with_capacity(fields.len());
+                let mut rfields: Vec<(Symbol, SecTy)> = Vec::with_capacity(fields.len());
                 for (name, value) in fields {
-                    if rfields.iter().any(|(n, _): &(String, SecTy)| n == &name.node) {
+                    let fsym = self.syms.intern(&name.node);
+                    if rfields.iter().any(|(n, _)| *n == fsym) {
                         self.error(
                             DiagCode::DuplicateDef,
                             format!("duplicate record field `{}`", name.node),
@@ -577,9 +633,10 @@ impl Checker<'_> {
                         continue;
                     }
                     let (vt, _) = self.expr(value, pc)?;
-                    rfields.push((name.node.clone(), vt));
+                    rfields.push((fsym, vt));
                 }
-                Some((SecTy::bottom(Ty::Record(Rc::new(rfields)), self.lat), false))
+                let ty = self.pool.record(FieldList::new(rfields));
+                Some((SecTy::bottom(ty, self.lat), false))
             }
             ExprKind::Call(callee, args) => {
                 let ret = self.check_call(callee, args, pc, e.span, false)?;
@@ -599,9 +656,11 @@ impl Checker<'_> {
         as_stmt: bool,
     ) -> Option<SecTy> {
         let (ct, _) = self.expr(callee, pc)?;
-        match &ct.ty {
+        // Cheap clone (compound nodes are `Rc`-backed) so the pool borrow
+        // does not overlap the recursive checks below.
+        let callee_kind = self.pool.kind(ct.ty).clone();
+        match callee_kind {
             Ty::Function(fnty) => {
-                let fnty = Rc::clone(fnty);
                 if args.len() != fnty.params.len() {
                     self.error(
                         DiagCode::ArityMismatch,
@@ -626,10 +685,9 @@ impl Checker<'_> {
                     "this call occurs",
                     span,
                 );
-                Some(fnty.ret.clone())
+                Some(fnty.ret)
             }
             Ty::Table(pc_tbl) => {
-                let pc_tbl = *pc_tbl;
                 if !as_stmt {
                     self.error(
                         DiagCode::NotCallable,
@@ -656,12 +714,9 @@ impl Checker<'_> {
                 );
                 Some(SecTy::unit(self.lat))
             }
-            other => {
-                self.error(
-                    DiagCode::NotCallable,
-                    format!("`{other}` is not callable"),
-                    callee.span,
-                );
+            _ => {
+                let msg = format!("`{}` is not callable", self.ty_str(ct.ty));
+                self.error(DiagCode::NotCallable, msg, callee.span);
                 None
             }
         }
@@ -673,15 +728,14 @@ impl Checker<'_> {
     /// (no subtyping — see the `write_to_high` example in §4.2).
     fn check_arg(&mut self, param: &FnParam, arg: &Expr, pc: Label) {
         let Some((at, writable)) = self.expr(arg, pc) else { return };
-        if !at.same_shape(&param.ty) {
-            self.error(
-                DiagCode::TypeMismatch,
-                format!(
-                    "argument for `{}` has type `{}` but the parameter expects `{}`",
-                    param.name, at.ty, param.ty.ty
-                ),
-                arg.span,
+        if !self.pool.same_shape(at, param.ty) {
+            let msg = format!(
+                "argument for `{}` has type `{}` but the parameter expects `{}`",
+                self.param_name(param.name),
+                self.ty_str(at.ty),
+                self.ty_str(param.ty.ty)
             );
+            self.error(DiagCode::TypeMismatch, msg, arg.span);
             return;
         }
         match param.direction {
@@ -693,7 +747,7 @@ impl Checker<'_> {
                             "argument labeled `{}` flows into `in` parameter `{}` \
                              labeled `{}`",
                             self.name(at.label),
-                            param.name,
+                            self.param_name(param.name),
                             self.name(param.ty.label)
                         ),
                         arg.span,
@@ -704,7 +758,10 @@ impl Checker<'_> {
                 if !arg.is_lvalue_shaped() || !writable {
                     self.error(
                         DiagCode::NotAssignable,
-                        format!("`inout` argument for `{}` must be a writable l-value", param.name),
+                        format!(
+                            "`inout` argument for `{}` must be a writable l-value",
+                            self.param_name(param.name)
+                        ),
                         arg.span,
                     );
                     return;
@@ -717,7 +774,7 @@ impl Checker<'_> {
                              `{}` labeled `{}`; `inout` positions admit no label \
                              subtyping",
                             self.name(at.label),
-                            param.name,
+                            self.param_name(param.name),
                             self.name(param.ty.label)
                         ),
                         arg.span,
@@ -744,12 +801,12 @@ impl Checker<'_> {
             StmtKind::If(cond, then_branch, else_branch) => {
                 let guard_label = match self.expr(cond, pc) {
                     Some((ct, _)) => {
-                        if ct.ty != Ty::Bool {
-                            self.error(
-                                DiagCode::TypeMismatch,
-                                format!("`if` guard must be `bool`, found `{}`", ct.ty),
-                                cond.span,
+                        if ct.ty != TyId::BOOL {
+                            let msg = format!(
+                                "`if` guard must be `bool`, found `{}`",
+                                self.ty_str(ct.ty)
                             );
+                            self.error(DiagCode::TypeMismatch, msg, cond.span);
                         }
                         ct.label
                     }
@@ -807,12 +864,13 @@ impl Checker<'_> {
             return;
         }
         let Some((rt, _)) = self.expr(rhs, pc) else { return };
-        if !rt.same_shape(&lt) {
-            self.error(
-                DiagCode::TypeMismatch,
-                format!("cannot assign `{}` to a location of type `{}`", rt.ty, lt.ty),
-                span,
+        if !self.pool.same_shape(rt, lt) {
+            let msg = format!(
+                "cannot assign `{}` to a location of type `{}`",
+                self.ty_str(rt.ty),
+                self.ty_str(lt.ty)
             );
+            self.error(DiagCode::TypeMismatch, msg, span);
             return;
         }
         if self.enforce && !self.lat.leq(rt.label, lt.label) {
@@ -831,34 +889,30 @@ impl Checker<'_> {
 
     /// T-Return: types only at ⊥; the value must match `Γ(return)`.
     fn return_stmt(&mut self, value: Option<&Expr>, pc: Label, span: Span) {
-        let Some(ret) = self.return_ty.clone() else {
+        let Some(ret) = self.return_ty else {
             self.error(DiagCode::BadReturn, "`return` outside a function body", span);
             return;
         };
-        match (value, &ret.ty) {
-            (None, Ty::Unit) => {}
+        match (value, ret.ty) {
+            (None, TyId::UNIT) => {}
             (None, other) => {
-                self.error(
-                    DiagCode::BadReturn,
-                    format!("this function must return a value of type `{other}`"),
-                    span,
-                );
+                let msg =
+                    format!("this function must return a value of type `{}`", self.ty_str(other));
+                self.error(DiagCode::BadReturn, msg, span);
             }
             (Some(e), _) => {
-                if ret.ty == Ty::Unit {
+                if ret.ty == TyId::UNIT {
                     self.error(DiagCode::BadReturn, "this function does not return a value", span);
                     return;
                 }
                 let Some((vt, _)) = self.expr(e, pc) else { return };
-                if !vt.same_shape(&ret) {
-                    self.error(
-                        DiagCode::BadReturn,
-                        format!(
-                            "returned value has type `{}` but the function returns `{}`",
-                            vt.ty, ret.ty
-                        ),
-                        e.span,
+                if !self.pool.same_shape(vt, ret) {
+                    let msg = format!(
+                        "returned value has type `{}` but the function returns `{}`",
+                        self.ty_str(vt.ty),
+                        self.ty_str(ret.ty)
                     );
+                    self.error(DiagCode::BadReturn, msg, e.span);
                 } else if self.enforce && !self.lat.leq(vt.label, ret.label) {
                     self.error(
                         DiagCode::ExplicitFlow,
@@ -883,15 +937,14 @@ impl Checker<'_> {
         let Some(declared) = self.resolve(&v.ty) else { return };
         if let Some(init) = &v.init {
             if let Some((it, _)) = self.expr(init, pc) {
-                if !it.same_shape(&declared) {
-                    self.error(
-                        DiagCode::TypeMismatch,
-                        format!(
-                            "initializer has type `{}` but `{}` is declared `{}`",
-                            it.ty, v.name.node, declared.ty
-                        ),
-                        init.span,
+                if !self.pool.same_shape(it, declared) {
+                    let msg = format!(
+                        "initializer has type `{}` but `{}` is declared `{}`",
+                        self.ty_str(it.ty),
+                        v.name.node,
+                        self.ty_str(declared.ty)
                     );
+                    self.error(DiagCode::TypeMismatch, msg, init.span);
                 } else if self.enforce && !self.lat.leq(it.label, declared.label) {
                     self.error(
                         DiagCode::ExplicitFlow,
@@ -926,7 +979,7 @@ impl Checker<'_> {
             let Some(ty) = self.resolve(&p.ty) else { continue };
             let control_plane = is_action && p.direction.is_none();
             out.push(FnParam {
-                name: p.name.node.clone(),
+                name: self.syms.intern(&p.name.node),
                 direction: p.direction.unwrap_or(Direction::In),
                 ty,
                 control_plane,
@@ -965,11 +1018,10 @@ impl Checker<'_> {
         self.env.push_scope();
         for p in &fn_params {
             let writable = p.direction == Direction::InOut;
-            let sym = self.syms.intern(&p.name);
-            self.env.declare(sym, VarInfo { ty: p.ty.clone(), writable });
+            self.env.declare(p.name, VarInfo { ty: p.ty, writable });
         }
         let saved_bounds = self.pc_bounds.replace(Vec::new());
-        let saved_ret = self.return_ty.replace(ret_ty.clone());
+        let saved_ret = self.return_ty.replace(ret_ty);
         for s in body {
             self.stmt(s, self.lat.bottom());
         }
@@ -982,17 +1034,19 @@ impl Checker<'_> {
         // no writes at all the function may be called anywhere (⊤).
         let pc_fn = if self.enforce { self.lat.meet_all(bounds) } else { self.lat.top() };
 
-        if ret_ty.ty != Ty::Unit && !always_returns(body) {
-            self.error(
-                DiagCode::MissingReturn,
-                format!("function `{}` may finish without returning a `{}`", name.node, ret_ty.ty),
-                span,
+        if ret_ty.ty != TyId::UNIT && !always_returns(body) {
+            let msg = format!(
+                "function `{}` may finish without returning a `{}`",
+                name.node,
+                self.ty_str(ret_ty.ty)
             );
+            self.error(DiagCode::MissingReturn, msg, span);
         }
 
         let fnty = Rc::new(FnTy { params: fn_params, pc_fn, ret: ret_ty, is_action });
         self.sig_functions.push((name.node.clone(), Rc::clone(&fnty)));
-        let info = VarInfo { ty: SecTy::bottom(Ty::Function(fnty), self.lat), writable: false };
+        let fn_tyid = self.pool.intern(Ty::Function(fnty));
+        let info = VarInfo { ty: SecTy::bottom(fn_tyid, self.lat), writable: false };
         let sym = self.syms.intern(&name.node);
         if !self.env.declare(sym, info) {
             self.error(
@@ -1019,9 +1073,9 @@ impl Checker<'_> {
         let mut action_tys: Vec<(Rc<FnTy>, &ActionRef)> = Vec::new();
         for aref in &t.actions {
             match self.syms.lookup(&aref.name.node).and_then(|sym| self.env.lookup(sym)) {
-                Some(info) => match &info.ty.ty {
+                Some(info) => match self.pool.kind(info.ty.ty).clone() {
                     Ty::Function(f) if f.is_action => {
-                        action_tys.push((Rc::clone(f), aref));
+                        action_tys.push((f, aref));
                     }
                     Ty::Function(_) => {
                         self.error(
@@ -1033,12 +1087,13 @@ impl Checker<'_> {
                             aref.name.span,
                         );
                     }
-                    other => {
-                        self.error(
-                            DiagCode::UnknownAction,
-                            format!("`{}` is `{other}`, not an action", aref.name.node),
-                            aref.name.span,
+                    _ => {
+                        let msg = format!(
+                            "`{}` is `{}`, not an action",
+                            aref.name.node,
+                            self.ty_str(info.ty.ty)
                         );
+                        self.error(DiagCode::UnknownAction, msg, aref.name.span);
                     }
                 },
                 None => {
@@ -1072,12 +1127,9 @@ impl Checker<'_> {
                 );
             }
             let Some((kt, _)) = self.expr(&key.expr, pc_tbl) else { continue };
-            if !kt.ty.is_base_scalar() {
-                self.error(
-                    DiagCode::TypeMismatch,
-                    format!("table keys must be scalars, found `{}`", kt.ty),
-                    key.expr.span,
-                );
+            if !self.pool.is_base_scalar(kt.ty) {
+                let msg = format!("table keys must be scalars, found `{}`", self.ty_str(kt.ty));
+                self.error(DiagCode::TypeMismatch, msg, key.expr.span);
                 continue;
             }
             if self.enforce {
@@ -1135,7 +1187,8 @@ impl Checker<'_> {
         }
 
         self.sig_tables.push((t.name.node.clone(), pc_tbl));
-        let info = VarInfo { ty: SecTy::bottom(Ty::Table(pc_tbl), self.lat), writable: false };
+        let tbl_tyid = self.pool.table(pc_tbl);
+        let info = VarInfo { ty: SecTy::bottom(tbl_tyid, self.lat), writable: false };
         let sym = self.syms.intern(&t.name.node);
         if !self.env.declare(sym, info) {
             self.error(
@@ -1180,14 +1233,14 @@ impl Checker<'_> {
             let direction = p.direction.unwrap_or(Direction::In);
             let writable = direction == Direction::InOut;
             let sym = self.syms.intern(&p.name.node);
-            if !self.env.declare(sym, VarInfo { ty: ty.clone(), writable }) {
+            if !self.env.declare(sym, VarInfo { ty, writable }) {
                 self.error(
                     DiagCode::DuplicateDef,
                     format!("duplicate parameter `{}`", p.name.node),
                     p.name.span,
                 );
             }
-            typed_params.push(TypedParam { name: p.name.node.clone(), direction, ty });
+            typed_params.push(TypedParam { name: p.name.node.clone(), sym, direction, ty });
         }
         let params_ok = typed_params.len() == c.params.len();
 

@@ -9,17 +9,19 @@
 //! Both contexts are keyed by interned [`Symbol`]s and backed by
 //! `Vec`-indexed tables, so the hot path of the checker (declare/lookup on
 //! every expression) costs an array index instead of a `String`-keyed
-//! hash-map probe. Name-based entry points remain for cold callers (the
+//! hash-map probe. Resolved types are hash-consed [`SecTy`] handles
+//! (`Copy`), so a Γ entry is a few machine words and lookups copy instead
+//! of cloning. Name-based entry points remain for cold callers (the
 //! interpreter resolves the occasional annotation at runtime) and resolve
 //! through a linear scan over the — always small — definition list.
 
 use crate::diag::{DiagCode, Diagnostic};
 use p4bid_ast::intern::{Interner, Symbol};
-use p4bid_ast::sectype::{SecTy, Ty};
+use p4bid_ast::pool::TyPool;
+use p4bid_ast::sectype::{FieldList, SecTy, Ty, TyId};
 use p4bid_ast::span::Span;
 use p4bid_ast::surface::{AnnType, TypeExpr};
 use p4bid_lattice::{Label, Lattice};
-use std::rc::Rc;
 
 /// Memoized security-label resolution: lattice element names interned once,
 /// then resolved by symbol index.
@@ -99,15 +101,15 @@ impl TypeDefs {
 
     /// Looks up a named type by symbol (the checker's fast path).
     #[must_use]
-    pub fn lookup(&self, sym: Symbol) -> Option<&SecTy> {
+    pub fn lookup(&self, sym: Symbol) -> Option<SecTy> {
         let ix = self.by_sym.get(sym.index()).copied().flatten()?;
-        Some(&self.entries[ix as usize].1)
+        Some(self.entries[ix as usize].1)
     }
 
     /// Looks up a named type by name (cold path: linear scan).
     #[must_use]
-    pub fn lookup_name(&self, name: &str) -> Option<&SecTy> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    pub fn lookup_name(&self, name: &str) -> Option<SecTy> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, t)| *t)
     }
 
     /// Registers a match kind (from a `match_kind { … }` declaration).
@@ -130,7 +132,8 @@ impl TypeDefs {
     }
 
     /// Resolves a surface type annotation to a security type:
-    /// `Δ ⊢ τ ⇝ τ'` plus label-name resolution.
+    /// `Δ ⊢ τ ⇝ τ'` plus label-name resolution, constructing any new
+    /// structural nodes through the pool.
     ///
     /// Labels on *base* types become the outer label. A label on a
     /// compound type (e.g. `<alice_t, A>` in Listing 6, where `alice_t` is
@@ -145,8 +148,15 @@ impl TypeDefs {
     /// # Errors
     ///
     /// Returns a [`Diagnostic`] on unknown type names or labels.
-    pub fn resolve(&self, ann: &AnnType, lat: &Lattice) -> Result<SecTy, Diagnostic> {
-        self.resolve_via(ann, lat, &|name| lat.label(name), &|defs, name| defs.lookup_name(name))
+    pub fn resolve(
+        &self,
+        ann: &AnnType,
+        lat: &Lattice,
+        pool: &mut TyPool,
+    ) -> Result<SecTy, Diagnostic> {
+        self.resolve_via(ann, lat, pool, &|name| lat.label(name), &|defs, name| {
+            defs.lookup_name(name)
+        })
     }
 
     /// Resolves a surface type annotation through the interner: labels via
@@ -160,10 +170,11 @@ impl TypeDefs {
         &self,
         ann: &AnnType,
         lat: &Lattice,
+        pool: &mut TyPool,
         labels: &LabelTable,
         syms: &Interner,
     ) -> Result<SecTy, Diagnostic> {
-        self.resolve_via(ann, lat, &|name| labels.resolve(name, syms), &|defs, name| {
+        self.resolve_via(ann, lat, pool, &|name| labels.resolve(name, syms), &|defs, name| {
             syms.lookup(name).and_then(|s| defs.lookup(s))
         })
     }
@@ -172,8 +183,9 @@ impl TypeDefs {
         &self,
         ann: &AnnType,
         lat: &Lattice,
+        pool: &mut TyPool,
         label_of: &dyn Fn(&str) -> Option<Label>,
-        type_of: &dyn for<'d> Fn(&'d Self, &str) -> Option<&'d SecTy>,
+        type_of: &dyn Fn(&Self, &str) -> Option<SecTy>,
     ) -> Result<SecTy, Diagnostic> {
         let label = match &ann.label {
             None => lat.bottom(),
@@ -185,8 +197,8 @@ impl TypeDefs {
                 )
             })?,
         };
-        let base = self.resolve_unlabeled(&ann.ty, ann.span, lat, label_of, type_of)?;
-        Ok(push_label(&base, label, lat))
+        let base = self.resolve_unlabeled(&ann.ty, ann.span, lat, pool, label_of, type_of)?;
+        Ok(push_label(base, label, lat, pool))
     }
 
     /// Resolves the structural part, with `⊥` everywhere an annotation is
@@ -196,20 +208,21 @@ impl TypeDefs {
         ty: &TypeExpr,
         span: Span,
         lat: &Lattice,
+        pool: &mut TyPool,
         label_of: &dyn Fn(&str) -> Option<Label>,
-        type_of: &dyn for<'d> Fn(&'d Self, &str) -> Option<&'d SecTy>,
+        type_of: &dyn Fn(&Self, &str) -> Option<SecTy>,
     ) -> Result<SecTy, Diagnostic> {
         let t = match ty {
-            TypeExpr::Bool => SecTy::bottom(Ty::Bool, lat),
-            TypeExpr::Int => SecTy::bottom(Ty::Int, lat),
-            TypeExpr::Bit(n) => SecTy::bottom(Ty::Bit(*n), lat),
-            TypeExpr::Void => SecTy::bottom(Ty::Unit, lat),
-            TypeExpr::Named(name) => type_of(self, name).cloned().ok_or_else(|| {
+            TypeExpr::Bool => SecTy::bottom(TyId::BOOL, lat),
+            TypeExpr::Int => SecTy::bottom(TyId::INT, lat),
+            TypeExpr::Bit(n) => SecTy::bottom(pool.bit(*n), lat),
+            TypeExpr::Void => SecTy::bottom(TyId::UNIT, lat),
+            TypeExpr::Named(name) => type_of(self, name).ok_or_else(|| {
                 Diagnostic::new(DiagCode::UnknownType, format!("unknown type `{name}`"), span)
             })?,
             TypeExpr::Stack(elem, n) => {
-                let elem = self.resolve_via(elem, lat, label_of, type_of)?;
-                SecTy::bottom(Ty::Stack(Rc::new(elem), *n), lat)
+                let elem = self.resolve_via(elem, lat, pool, label_of, type_of)?;
+                SecTy::bottom(pool.stack(elem, *n), lat)
             }
         };
         Ok(t)
@@ -218,37 +231,39 @@ impl TypeDefs {
 
 /// Joins `label` onto a resolved type: onto the outer label for base
 /// scalars, recursively onto fields/elements for compounds (whose outer
-/// label stays `⊥`, Figure 4).
+/// label stays `⊥`, Figure 4). New compound nodes are interned through the
+/// pool; pushing `⊥` is the identity and allocates nothing.
 #[must_use]
-pub fn push_label(ty: &SecTy, label: Label, lat: &Lattice) -> SecTy {
+pub fn push_label(ty: SecTy, label: Label, lat: &Lattice, pool: &mut TyPool) -> SecTy {
     if lat.is_bottom(label) {
-        return ty.clone();
+        return ty;
     }
-    match &ty.ty {
-        Ty::Bool | Ty::Int | Ty::Bit(_) => SecTy::new(ty.ty.clone(), lat.join(ty.label, label)),
-        Ty::Record(fields) => SecTy::new(
-            Ty::Record(Rc::new(
-                fields.iter().map(|(n, t)| (n.clone(), push_label(t, label, lat))).collect(),
-            )),
-            ty.label,
-        ),
-        Ty::Header(fields) => SecTy::new(
-            Ty::Header(Rc::new(
-                fields.iter().map(|(n, t)| (n.clone(), push_label(t, label, lat))).collect(),
-            )),
-            ty.label,
-        ),
+    match pool.kind(ty.ty).clone() {
+        Ty::Bool | Ty::Int | Ty::Bit(_) => SecTy::new(ty.ty, lat.join(ty.label, label)),
+        Ty::Record(fields) => {
+            let pushed = FieldList::new(
+                fields.iter().map(|&(n, t)| (n, push_label(t, label, lat, pool))).collect(),
+            );
+            SecTy::new(pool.record(pushed), ty.label)
+        }
+        Ty::Header(fields) => {
+            let pushed = FieldList::new(
+                fields.iter().map(|&(n, t)| (n, push_label(t, label, lat, pool))).collect(),
+            );
+            SecTy::new(pool.header(pushed), ty.label)
+        }
         Ty::Stack(elem, n) => {
-            SecTy::new(Ty::Stack(Rc::new(push_label(elem, label, lat)), *n), ty.label)
+            let pushed = push_label(elem, label, lat, pool);
+            SecTy::new(pool.stack(pushed, n), ty.label)
         }
         // Unit, match kinds, tables, functions are unaffected by pushing.
-        Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => ty.clone(),
+        Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => ty,
     }
 }
 
 /// One Γ entry: the variable's security type plus whether it may be
 /// written (`goes inout`) or only read (`in` parameters, closures).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct VarInfo {
     /// Resolved security type.
     pub ty: SecTy,
@@ -321,8 +336,8 @@ impl ScopedEnv {
 
     /// Looks a symbol up: the innermost live binding, if any.
     #[must_use]
-    pub fn lookup(&self, sym: Symbol) -> Option<&VarInfo> {
-        self.slots.get(sym.index())?.last().map(|(_, info)| info)
+    pub fn lookup(&self, sym: Symbol) -> Option<VarInfo> {
+        self.slots.get(sym.index())?.last().map(|&(_, info)| info)
     }
 
     /// Runs `f` inside a fresh scope.
@@ -350,28 +365,31 @@ mod tests {
     #[test]
     fn resolve_base_types() {
         let lat = Lattice::two_point();
+        let mut pool = TyPool::new();
         let defs = TypeDefs::new();
-        let t = defs.resolve(&ann(TypeExpr::Bit(8), Some("high")), &lat).unwrap();
-        assert_eq!(t, SecTy::new(Ty::Bit(8), lat.top()));
-        let t = defs.resolve(&ann(TypeExpr::Bool, None), &lat).unwrap();
-        assert_eq!(t, SecTy::bottom(Ty::Bool, &lat));
+        let t = defs.resolve(&ann(TypeExpr::Bit(8), Some("high")), &lat, &mut pool).unwrap();
+        assert_eq!(t, SecTy::new(pool.bit(8), lat.top()));
+        let t = defs.resolve(&ann(TypeExpr::Bool, None), &lat, &mut pool).unwrap();
+        assert_eq!(t, SecTy::bottom(TyId::BOOL, &lat));
     }
 
     #[test]
     fn resolve_interned_matches_name_based() {
         let lat = Lattice::diamond();
         let mut syms = Interner::new();
+        let mut pool = TyPool::new();
         let labels = LabelTable::new(&lat, &mut syms);
         let mut defs = TypeDefs::new();
         let h = syms.intern("h_t");
-        defs.define(h, "h_t", SecTy::bottom(Ty::Bit(16), &lat));
+        let bit16 = pool.bit(16);
+        defs.define(h, "h_t", SecTy::bottom(bit16, &lat));
         for a in [
             ann(TypeExpr::Bit(8), Some("A")),
             ann(TypeExpr::Named("h_t".into()), Some("B")),
             ann(TypeExpr::Bool, None),
         ] {
-            let by_name = defs.resolve(&a, &lat).unwrap();
-            let by_sym = defs.resolve_interned(&a, &lat, &labels, &syms).unwrap();
+            let by_name = defs.resolve(&a, &lat, &mut pool).unwrap();
+            let by_sym = defs.resolve_interned(&a, &lat, &mut pool, &labels, &syms).unwrap();
             assert_eq!(by_name, by_sym);
         }
     }
@@ -380,21 +398,25 @@ mod tests {
     fn resolve_unknown_label() {
         let lat = Lattice::two_point();
         let mut syms = Interner::new();
+        let mut pool = TyPool::new();
         let labels = LabelTable::new(&lat, &mut syms);
         let defs = TypeDefs::new();
         let a = ann(TypeExpr::Bit(8), Some("secret"));
-        let err = defs.resolve(&a, &lat).unwrap_err();
+        let err = defs.resolve(&a, &lat, &mut pool).unwrap_err();
         assert_eq!(err.code, DiagCode::UnknownLabel);
         assert!(err.message.contains("secret"));
-        let err = defs.resolve_interned(&a, &lat, &labels, &syms).unwrap_err();
+        let err = defs.resolve_interned(&a, &lat, &mut pool, &labels, &syms).unwrap_err();
         assert_eq!(err.code, DiagCode::UnknownLabel);
     }
 
     #[test]
     fn resolve_unknown_type() {
         let lat = Lattice::two_point();
+        let mut pool = TyPool::new();
         let defs = TypeDefs::new();
-        let err = defs.resolve(&ann(TypeExpr::Named("ipv4_t".into()), None), &lat).unwrap_err();
+        let err = defs
+            .resolve(&ann(TypeExpr::Named("ipv4_t".into()), None), &lat, &mut pool)
+            .unwrap_err();
         assert_eq!(err.code, DiagCode::UnknownType);
     }
 
@@ -403,20 +425,23 @@ mod tests {
         let lat = Lattice::diamond();
         let a = lat.label("A").unwrap();
         let mut syms = Interner::new();
+        let mut pool = TyPool::new();
         let mut defs = TypeDefs::new();
-        let hdr = SecTy::bottom(
-            Ty::Header(Rc::new(vec![
-                ("x".into(), SecTy::bottom(Ty::Bit(8), &lat)),
-                ("y".into(), SecTy::new(Ty::Bit(8), lat.label("B").unwrap())),
-            ])),
-            &lat,
-        );
+        let x = syms.intern("x");
+        let y = syms.intern("y");
+        let bit8 = pool.bit(8);
+        let hdr_ty = pool.header(FieldList::new(vec![
+            (x, SecTy::bottom(bit8, &lat)),
+            (y, SecTy::new(bit8, lat.label("B").unwrap())),
+        ]));
         let alice = syms.intern("alice_t");
-        defs.define(alice, "alice_t", hdr);
-        let t = defs.resolve(&ann(TypeExpr::Named("alice_t".into()), Some("A")), &lat).unwrap();
+        defs.define(alice, "alice_t", SecTy::bottom(hdr_ty, &lat));
+        let t = defs
+            .resolve(&ann(TypeExpr::Named("alice_t".into()), Some("A")), &lat, &mut pool)
+            .unwrap();
         // Outer label stays ⊥, fields get joined with A.
         assert_eq!(t.label, lat.bottom());
-        let Ty::Header(fields) = &t.ty else { panic!() };
+        let fields = pool.fields(t.ty).unwrap().as_slice().to_vec();
         assert_eq!(fields[0].1.label, a);
         assert_eq!(fields[1].1.label, lat.top(), "B ⊔ A = ⊤");
     }
@@ -424,12 +449,13 @@ mod tests {
     #[test]
     fn stack_resolution() {
         let lat = Lattice::two_point();
+        let mut pool = TyPool::new();
         let defs = TypeDefs::new();
         let elem = ann(TypeExpr::Bit(8), Some("high"));
         let stack =
             AnnType { ty: TypeExpr::Stack(Box::new(elem), 4), label: None, span: Span::dummy() };
-        let t = defs.resolve(&stack, &lat).unwrap();
-        let Ty::Stack(e, 4) = &t.ty else { panic!("{t:?}") };
+        let t = defs.resolve(&stack, &lat, &mut pool).unwrap();
+        let Ty::Stack(e, 4) = pool.kind(t.ty) else { panic!("{t:?}") };
         assert_eq!(e.label, lat.top());
         assert_eq!(t.label, lat.bottom());
     }
@@ -440,10 +466,10 @@ mod tests {
         let mut syms = Interner::new();
         let mut defs = TypeDefs::new();
         let t = syms.intern("t");
-        assert!(defs.define(t, "t", SecTy::bottom(Ty::Bool, &lat)));
-        assert!(!defs.define(t, "t", SecTy::bottom(Ty::Int, &lat)));
-        assert_eq!(defs.lookup(t).unwrap().ty, Ty::Bool);
-        assert_eq!(defs.lookup_name("t").unwrap().ty, Ty::Bool);
+        assert!(defs.define(t, "t", SecTy::bottom(TyId::BOOL, &lat)));
+        assert!(!defs.define(t, "t", SecTy::bottom(TyId::INT, &lat)));
+        assert_eq!(defs.lookup(t).unwrap().ty, TyId::BOOL);
+        assert_eq!(defs.lookup_name("t").unwrap().ty, TyId::BOOL);
     }
 
     #[test]
@@ -477,12 +503,12 @@ mod tests {
         let mut env = ScopedEnv::new();
         let x = syms.intern("x");
         let y = syms.intern("y");
-        let low = VarInfo { ty: SecTy::bottom(Ty::Bool, &lat), writable: true };
-        let high = VarInfo { ty: SecTy::new(Ty::Bool, lat.top()), writable: false };
-        assert!(env.declare(x, low.clone()));
-        assert!(!env.declare(x, high.clone()), "same-scope redeclaration rejected");
+        let low = VarInfo { ty: SecTy::bottom(TyId::BOOL, &lat), writable: true };
+        let high = VarInfo { ty: SecTy::new(TyId::BOOL, lat.top()), writable: false };
+        assert!(env.declare(x, low));
+        assert!(!env.declare(x, high), "same-scope redeclaration rejected");
         env.scoped(|env| {
-            assert!(env.declare(x, high.clone()), "shadowing in inner scope allowed");
+            assert!(env.declare(x, high), "shadowing in inner scope allowed");
             assert_eq!(env.lookup(x).unwrap().ty.label, lat.top());
         });
         assert_eq!(env.lookup(x).unwrap().ty.label, lat.bottom());
@@ -496,12 +522,12 @@ mod tests {
         let mut env = ScopedEnv::new();
         let a = syms.intern("a");
         let b = syms.intern("b");
-        let info = VarInfo { ty: SecTy::bottom(Ty::Bool, &lat), writable: true };
-        env.declare(a, info.clone());
+        let info = VarInfo { ty: SecTy::bottom(TyId::BOOL, &lat), writable: true };
+        env.declare(a, info);
         env.push_scope();
-        env.declare(b, info.clone());
+        env.declare(b, info);
         env.push_scope();
-        env.declare(a, VarInfo { ty: SecTy::new(Ty::Bool, lat.top()), writable: false });
+        env.declare(a, VarInfo { ty: SecTy::new(TyId::BOOL, lat.top()), writable: false });
         assert!(!env.lookup(a).unwrap().writable);
         env.pop_scope();
         assert!(env.lookup(a).unwrap().writable, "outer binding restored");

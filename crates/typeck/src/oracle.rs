@@ -4,8 +4,13 @@
 //! implement the P4₁₆ operator set the case studies need, including P4's
 //! implicit coercion of arbitrary-precision `int` literals to `bit<n>`
 //! operands.
+//!
+//! The oracle works directly on pooled [`TyId`]s: every result is either
+//! one of the operand ids or a pre-interned primitive, so no interning (and
+//! no mutation) is needed on the hot path.
 
-use p4bid_ast::sectype::Ty;
+use p4bid_ast::pool::TyPool;
+use p4bid_ast::sectype::{Ty, TyId};
 use p4bid_ast::surface::{BinOp, UnOp};
 
 /// Result type of `ρ₁ ⊕ ρ₂`, or `None` if the operands are unsupported.
@@ -19,26 +24,26 @@ use p4bid_ast::surface::{BinOp, UnOp};
 /// * comparisons: numeric or boolean (for `==`/`!=`) operands → `bool`;
 /// * `&&`/`||`: `bool × bool → bool`.
 #[must_use]
-pub fn binop_result(op: BinOp, lhs: &Ty, rhs: &Ty) -> Option<Ty> {
+pub fn binop_result(pool: &TyPool, op: BinOp, lhs: TyId, rhs: TyId) -> Option<TyId> {
     use BinOp::*;
     match op {
-        Add | Sub | Mul | BitAnd | BitOr | BitXor => numeric_join(lhs, rhs),
-        Shl | Shr => match (lhs, rhs) {
-            (Ty::Bit(n), Ty::Bit(_)) | (Ty::Bit(n), Ty::Int) => Some(Ty::Bit(*n)),
-            (Ty::Int, Ty::Int) | (Ty::Int, Ty::Bit(_)) => Some(Ty::Int),
+        Add | Sub | Mul | BitAnd | BitOr | BitXor => numeric_join(pool, lhs, rhs),
+        Shl | Shr => match (pool.kind(lhs), pool.kind(rhs)) {
+            (Ty::Bit(_), Ty::Bit(_)) | (Ty::Bit(_), Ty::Int) => Some(lhs),
+            (Ty::Int, Ty::Int) | (Ty::Int, Ty::Bit(_)) => Some(TyId::INT),
             _ => None,
         },
         Eq | Ne => {
-            if numeric_join(lhs, rhs).is_some() || (lhs == &Ty::Bool && rhs == &Ty::Bool) {
-                Some(Ty::Bool)
+            if numeric_join(pool, lhs, rhs).is_some() || (lhs == TyId::BOOL && rhs == TyId::BOOL) {
+                Some(TyId::BOOL)
             } else {
                 None
             }
         }
-        Lt | Le | Gt | Ge => numeric_join(lhs, rhs).map(|_| Ty::Bool),
+        Lt | Le | Gt | Ge => numeric_join(pool, lhs, rhs).map(|_| TyId::BOOL),
         And | Or => {
-            if lhs == &Ty::Bool && rhs == &Ty::Bool {
-                Some(Ty::Bool)
+            if lhs == TyId::BOOL && rhs == TyId::BOOL {
+                Some(TyId::BOOL)
             } else {
                 None
             }
@@ -48,28 +53,33 @@ pub fn binop_result(op: BinOp, lhs: &Ty, rhs: &Ty) -> Option<Ty> {
 
 /// Result type of a unary operation.
 #[must_use]
-pub fn unop_result(op: UnOp, operand: &Ty) -> Option<Ty> {
+pub fn unop_result(pool: &TyPool, op: UnOp, operand: TyId) -> Option<TyId> {
     match op {
-        UnOp::Not => (operand == &Ty::Bool).then_some(Ty::Bool),
-        UnOp::Neg => match operand {
-            Ty::Bit(n) => Some(Ty::Bit(*n)),
-            Ty::Int => Some(Ty::Int),
+        UnOp::Not => (operand == TyId::BOOL).then_some(TyId::BOOL),
+        UnOp::Neg => match pool.kind(operand) {
+            Ty::Bit(_) | Ty::Int => Some(operand),
             _ => None,
         },
-        UnOp::BitNot => match operand {
-            Ty::Bit(n) => Some(Ty::Bit(*n)),
+        UnOp::BitNot => match pool.kind(operand) {
+            Ty::Bit(_) => Some(operand),
             _ => None,
         },
     }
 }
 
 /// Common numeric type of two operands, if any: equal-width bit-vectors
-/// stay put, `int` adapts to the other side's width.
-fn numeric_join(lhs: &Ty, rhs: &Ty) -> Option<Ty> {
-    match (lhs, rhs) {
-        (Ty::Bit(n), Ty::Bit(m)) if n == m => Some(Ty::Bit(*n)),
-        (Ty::Bit(n), Ty::Int) | (Ty::Int, Ty::Bit(n)) => Some(Ty::Bit(*n)),
-        (Ty::Int, Ty::Int) => Some(Ty::Int),
+/// stay put (`lhs == rhs` is the hash-consed fast path), `int` adapts to
+/// the other side's width.
+fn numeric_join(pool: &TyPool, lhs: TyId, rhs: TyId) -> Option<TyId> {
+    if lhs == rhs {
+        return match pool.kind(lhs) {
+            Ty::Bit(_) | Ty::Int => Some(lhs),
+            _ => None,
+        };
+    }
+    match (pool.kind(lhs), pool.kind(rhs)) {
+        (Ty::Bit(_), Ty::Int) => Some(lhs),
+        (Ty::Int, Ty::Bit(_)) => Some(rhs),
         _ => None,
     }
 }
@@ -78,45 +88,60 @@ fn numeric_join(lhs: &Ty, rhs: &Ty) -> Option<Ty> {
 mod tests {
     use super::*;
 
+    fn pool() -> TyPool {
+        TyPool::new()
+    }
+
     #[test]
     fn arithmetic() {
-        assert_eq!(binop_result(BinOp::Add, &Ty::Bit(8), &Ty::Bit(8)), Some(Ty::Bit(8)));
-        assert_eq!(binop_result(BinOp::Add, &Ty::Bit(8), &Ty::Int), Some(Ty::Bit(8)));
-        assert_eq!(binop_result(BinOp::Mul, &Ty::Int, &Ty::Int), Some(Ty::Int));
-        assert_eq!(binop_result(BinOp::Add, &Ty::Bit(8), &Ty::Bit(16)), None);
-        assert_eq!(binop_result(BinOp::Add, &Ty::Bool, &Ty::Bool), None);
+        let mut p = pool();
+        let (b8, b16) = (p.bit(8), p.bit(16));
+        assert_eq!(binop_result(&p, BinOp::Add, b8, b8), Some(b8));
+        assert_eq!(binop_result(&p, BinOp::Add, b8, TyId::INT), Some(b8));
+        assert_eq!(binop_result(&p, BinOp::Mul, TyId::INT, TyId::INT), Some(TyId::INT));
+        assert_eq!(binop_result(&p, BinOp::Add, b8, b16), None);
+        assert_eq!(binop_result(&p, BinOp::Add, TyId::BOOL, TyId::BOOL), None);
     }
 
     #[test]
     fn shifts_keep_left_width() {
-        assert_eq!(binop_result(BinOp::Shl, &Ty::Bit(32), &Ty::Bit(8)), Some(Ty::Bit(32)));
-        assert_eq!(binop_result(BinOp::Shr, &Ty::Bit(32), &Ty::Int), Some(Ty::Bit(32)));
-        assert_eq!(binop_result(BinOp::Shr, &Ty::Int, &Ty::Int), Some(Ty::Int));
-        assert_eq!(binop_result(BinOp::Shl, &Ty::Bool, &Ty::Int), None);
+        let mut p = pool();
+        let (b8, b32) = (p.bit(8), p.bit(32));
+        assert_eq!(binop_result(&p, BinOp::Shl, b32, b8), Some(b32));
+        assert_eq!(binop_result(&p, BinOp::Shr, b32, TyId::INT), Some(b32));
+        assert_eq!(binop_result(&p, BinOp::Shr, TyId::INT, TyId::INT), Some(TyId::INT));
+        assert_eq!(binop_result(&p, BinOp::Shl, TyId::BOOL, TyId::INT), None);
     }
 
     #[test]
     fn comparisons() {
-        assert_eq!(binop_result(BinOp::Eq, &Ty::Bit(8), &Ty::Bit(8)), Some(Ty::Bool));
-        assert_eq!(binop_result(BinOp::Eq, &Ty::Bool, &Ty::Bool), Some(Ty::Bool));
-        assert_eq!(binop_result(BinOp::Lt, &Ty::Bit(8), &Ty::Int), Some(Ty::Bool));
-        assert_eq!(binop_result(BinOp::Lt, &Ty::Bool, &Ty::Bool), None);
-        assert_eq!(binop_result(BinOp::Eq, &Ty::Bit(8), &Ty::Bit(9)), None);
+        let mut p = pool();
+        let (b8, b9) = (p.bit(8), p.bit(9));
+        assert_eq!(binop_result(&p, BinOp::Eq, b8, b8), Some(TyId::BOOL));
+        assert_eq!(binop_result(&p, BinOp::Eq, TyId::BOOL, TyId::BOOL), Some(TyId::BOOL));
+        assert_eq!(binop_result(&p, BinOp::Lt, b8, TyId::INT), Some(TyId::BOOL));
+        assert_eq!(binop_result(&p, BinOp::Lt, TyId::BOOL, TyId::BOOL), None);
+        assert_eq!(binop_result(&p, BinOp::Eq, b8, b9), None);
     }
 
     #[test]
     fn logical() {
-        assert_eq!(binop_result(BinOp::And, &Ty::Bool, &Ty::Bool), Some(Ty::Bool));
-        assert_eq!(binop_result(BinOp::Or, &Ty::Bit(1), &Ty::Bool), None);
+        let mut p = pool();
+        let b1 = p.bit(1);
+        assert_eq!(binop_result(&p, BinOp::And, TyId::BOOL, TyId::BOOL), Some(TyId::BOOL));
+        assert_eq!(binop_result(&p, BinOp::Or, b1, TyId::BOOL), None);
     }
 
     #[test]
     fn unary() {
-        assert_eq!(unop_result(UnOp::Not, &Ty::Bool), Some(Ty::Bool));
-        assert_eq!(unop_result(UnOp::Not, &Ty::Bit(1)), None);
-        assert_eq!(unop_result(UnOp::Neg, &Ty::Bit(8)), Some(Ty::Bit(8)));
-        assert_eq!(unop_result(UnOp::Neg, &Ty::Int), Some(Ty::Int));
-        assert_eq!(unop_result(UnOp::BitNot, &Ty::Bit(8)), Some(Ty::Bit(8)));
-        assert_eq!(unop_result(UnOp::BitNot, &Ty::Int), None);
+        let mut p = pool();
+        let b8 = p.bit(8);
+        let b1 = p.bit(1);
+        assert_eq!(unop_result(&p, UnOp::Not, TyId::BOOL), Some(TyId::BOOL));
+        assert_eq!(unop_result(&p, UnOp::Not, b1), None);
+        assert_eq!(unop_result(&p, UnOp::Neg, b8), Some(b8));
+        assert_eq!(unop_result(&p, UnOp::Neg, TyId::INT), Some(TyId::INT));
+        assert_eq!(unop_result(&p, UnOp::BitNot, b8), Some(b8));
+        assert_eq!(unop_result(&p, UnOp::BitNot, TyId::INT), None);
     }
 }

@@ -33,9 +33,10 @@ use crate::checker::{
 };
 use crate::diag::{DiagCode, Diagnostic};
 use crate::prelude_items;
-use p4bid_ast::intern::Interner;
+use p4bid_ast::pool::{SharedTyCtx, TyCtx};
 use p4bid_ast::surface::Program;
 use p4bid_lattice::Lattice;
+use std::rc::Rc;
 
 /// A reusable checking session: prelude, interner, and per-lattice checked
 /// prelude state are built once and shared across [`check`] calls.
@@ -49,7 +50,11 @@ use p4bid_lattice::Lattice;
 #[derive(Debug)]
 pub struct CheckerSession {
     opts: CheckOptions,
-    syms: Interner,
+    /// The shared interner + hash-consing type pool. Grown across checks
+    /// (append-only); every [`TypedProgram`] this session produces holds a
+    /// reference to it, so prelude types are pooled exactly once and keyed
+    /// by `TyId` in the per-lattice snapshots.
+    ctx: SharedTyCtx,
     /// The prelude, parsed once per session.
     prelude: Program,
     /// Checked-prelude snapshots, keyed by the lattice they were checked
@@ -62,7 +67,7 @@ impl CheckerSession {
     /// Builds a session: parses the prelude once.
     #[must_use]
     pub fn new(opts: CheckOptions) -> Self {
-        CheckerSession { opts, syms: Interner::new(), prelude: prelude_items(), states: Vec::new() }
+        CheckerSession { opts, ctx: TyCtx::shared(), prelude: prelude_items(), states: Vec::new() }
     }
 
     /// The options this session checks under.
@@ -95,14 +100,16 @@ impl CheckerSession {
         let default_pc = resolve_default_pc(&lattice, &self.opts)?;
         let state = self.prelude_state(&lattice)?.clone();
 
-        let (controls, state) =
-            check_items(&user.items, &lattice, &self.opts, default_pc, &mut self.syms, state)?;
+        let (controls, state) = {
+            let mut ctx = self.ctx.borrow_mut();
+            check_items(&user.items, &lattice, &self.opts, default_pc, &mut ctx, state)?
+        };
 
         // The interpreter needs the prelude definitions in the program
         // body, exactly as `check_source` includes them.
         let mut program = self.prelude.clone();
         program.items.extend(user.items);
-        Ok(TypedProgram { lattice, defs: state.defs, controls, program })
+        Ok(TypedProgram { lattice, defs: state.defs, controls, program, ctx: Rc::clone(&self.ctx) })
     }
 
     /// The checked-prelude snapshot for a lattice, built on first use.
@@ -111,20 +118,23 @@ impl CheckerSession {
             return Ok(&self.states[ix].1);
         }
         let default_pc = resolve_default_pc(lattice, &self.opts)?;
-        let (_, state) = check_items(
-            &self.prelude.items,
-            lattice,
-            &self.opts,
-            default_pc,
-            &mut self.syms,
-            CheckerState::empty(),
-        )
-        .map_err(|diags| {
-            // Unreachable for the shipped prelude (it is unannotated and
-            // well-typed under every lattice); surfaced defensively.
-            debug_assert!(false, "prelude failed to check: {diags:?}");
-            diags
-        })?;
+        let (_, state) = {
+            let mut ctx = self.ctx.borrow_mut();
+            check_items(
+                &self.prelude.items,
+                lattice,
+                &self.opts,
+                default_pc,
+                &mut ctx,
+                CheckerState::empty(),
+            )
+            .map_err(|diags| {
+                // Unreachable for the shipped prelude (it is unannotated and
+                // well-typed under every lattice); surfaced defensively.
+                debug_assert!(false, "prelude failed to check: {diags:?}");
+                diags
+            })?
+        };
         self.states.push((lattice.clone(), state));
         Ok(&self.states.last().expect("just pushed").1)
     }

@@ -445,3 +445,52 @@ fn base_mode_rejects_type_errors_too() {
     .unwrap_err();
     assert!(errs.iter().any(|d| d.code == DiagCode::TypeMismatch));
 }
+
+// ---------------------------------------------------------------------
+// Wide records: sorted field layout (regression for the >8-field
+// binary-search lookup in the pooled FieldList)
+// ---------------------------------------------------------------------
+
+#[test]
+fn wide_header_fields_resolve_through_the_sorted_layout() {
+    // 24 fields — over the sorted-layout threshold. Every field must be
+    // findable (reads, writes, and flow checks), and the pooled type must
+    // actually carry the sorted index.
+    let mut src = String::from("header wide_t {\n");
+    for i in 0..24 {
+        src.push_str(&format!("    bit<8> f{i:02};\n"));
+    }
+    src.push_str("}\ncontrol C(inout wide_t w) {\n    apply {\n");
+    // Touch every field, in an order unrelated to declaration order.
+    for i in (0..24).rev() {
+        src.push_str(&format!("        w.f{i:02} = w.f{:02} + 8w1;\n", (i + 7) % 24));
+    }
+    src.push_str("    }\n}\n");
+    let typed = check_source(&src, &CheckOptions::ifc()).expect("wide header typechecks");
+
+    let ctrl = &typed.controls[0];
+    let param_ty = ctrl.params[0].ty;
+    let ctx = typed.ctx.borrow();
+    let fields = ctx.types.fields(param_ty.ty).expect("header has fields");
+    assert_eq!(fields.len(), 24);
+    assert!(fields.has_sorted_layout(), "wide field lists must build the sorted index");
+    // Narrow types stay linear.
+    let narrow = check_source(
+        "header n_t { bit<8> a; bit<8> b; } control C(inout n_t n) { apply { } }",
+        &CheckOptions::ifc(),
+    )
+    .unwrap();
+    let nctx = narrow.ctx.borrow();
+    let nty = narrow.controls[0].params[0].ty;
+    assert!(!nctx.types.fields(nty.ty).unwrap().has_sorted_layout());
+}
+
+#[test]
+fn wide_header_unknown_field_still_reported() {
+    let mut src = String::from("header wide_t {\n");
+    for i in 0..12 {
+        src.push_str(&format!("    bit<8> f{i:02};\n"));
+    }
+    src.push_str("}\ncontrol C(inout wide_t w) { apply { w.f99 = 8w1; } }\n");
+    assert_code(&src, DiagCode::UnknownField);
+}

@@ -160,9 +160,9 @@ fn control_plane_params_are_flagged() {
     );
     let c = t.control("C").unwrap();
     let a = c.function("a").unwrap();
-    let params: Vec<(&str, bool)> =
-        a.params.iter().map(|p| (p.name.as_str(), p.control_plane)).collect();
-    assert_eq!(params, [("data", false), ("cp", true)]);
+    let params: Vec<(String, bool)> =
+        a.params.iter().map(|p| (t.sym_name(p.name), p.control_plane)).collect();
+    assert_eq!(params, [("data".to_string(), false), ("cp".to_string(), true)]);
     assert_eq!(a.data_params().count(), 1);
     assert_eq!(a.control_params().count(), 1);
 }

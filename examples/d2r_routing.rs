@@ -28,23 +28,23 @@ fn main() {
     println!("\n== BFS forwarding: node 1 → 2 → 3 (dest 3) ==");
     let mut args = init_args(&typed, "D2R_Ingress").expect("control exists");
     let hdr = &mut args[0];
-    assert!(set_path(hdr, "bfs.curr", Value::Int(1)));
-    assert!(set_path(hdr, "bfs.next_node", Value::Int(3)));
-    assert!(set_path(hdr, "ipv4.dstAddr", Value::Int(3)));
-    assert!(set_path(hdr, "ipv4.ttl", Value::Int(64)));
+    assert!(set_path(&typed, hdr, "bfs.curr", Value::Int(1)));
+    assert!(set_path(&typed, hdr, "bfs.next_node", Value::Int(3)));
+    assert!(set_path(&typed, hdr, "ipv4.dstAddr", Value::Int(3)));
+    assert!(set_path(&typed, hdr, "ipv4.ttl", Value::Int(64)));
 
     let out = run_control(&typed, &cp, "D2R_Ingress", args).expect("runs");
     let hdr_out = out.param("hdr").unwrap();
     println!(
         "  bfs.curr      = {} (reached the destination)",
-        get_path(hdr_out, "bfs.curr").unwrap()
+        get_path(&typed, hdr_out, "bfs.curr").unwrap()
     );
-    println!("  bfs.num_hops  = {}", get_path(hdr_out, "bfs.num_hops").unwrap());
-    println!("  tried_links   = {}", get_path(hdr_out, "bfs.tried_links").unwrap());
-    println!("  ipv4.priority = {}", get_path(hdr_out, "ipv4.priority").unwrap());
+    println!("  bfs.num_hops  = {}", get_path(&typed, hdr_out, "bfs.num_hops").unwrap());
+    println!("  tried_links   = {}", get_path(&typed, hdr_out, "bfs.tried_links").unwrap());
+    println!("  ipv4.priority = {}", get_path(&typed, hdr_out, "ipv4.priority").unwrap());
     println!(
         "  egress_spec   = {}",
-        get_path(out.param("std_metadata").unwrap(), "egress_spec").unwrap()
+        get_path(&typed, out.param("std_metadata").unwrap(), "egress_spec").unwrap()
     );
 
     println!("\n== Witnessing the leak in the insecure variant ==");
@@ -55,13 +55,13 @@ fn main() {
     let leaky = check(cs.insecure, &CheckOptions::permissive()).expect("permissive");
     let mut at_dest = init_args(&leaky, "D2R_Ingress").expect("control exists");
     let h = &mut at_dest[0];
-    assert!(set_path(h, "bfs.curr", Value::Int(3)));
-    assert!(set_path(h, "bfs.next_node", Value::Int(3)));
-    assert!(set_path(h, "ipv4.dstAddr", Value::Int(3)));
-    assert!(set_path(h, "bfs.tried_links", Value::Int(0b111)));
-    assert!(set_path(h, "bfs.num_hops", Value::Int(0))); // secret: 0 failures
+    assert!(set_path(&leaky, h, "bfs.curr", Value::Int(3)));
+    assert!(set_path(&leaky, h, "bfs.next_node", Value::Int(3)));
+    assert!(set_path(&leaky, h, "ipv4.dstAddr", Value::Int(3)));
+    assert!(set_path(&leaky, h, "bfs.tried_links", Value::Int(0b111)));
+    assert!(set_path(&leaky, h, "bfs.num_hops", Value::Int(0))); // secret: 0 failures
     let mut unlucky = at_dest.clone();
-    assert!(set_path(&mut unlucky[0], "bfs.num_hops", Value::Int(255))); // secret differs
+    assert!(set_path(&leaky, &mut unlucky[0], "bfs.num_hops", Value::Int(255))); // secret differs
 
     let (diffs, _) = run_pair(&leaky, &cp, "D2R_Ingress", leaky.lattice.bottom(), at_dest, unlucky)
         .expect("both packets run");

@@ -22,17 +22,17 @@ fn main() {
     // Build the shared packet.
     let mut args = init_args(&typed, "Alice_Ingress").expect("params");
     let hdr = &mut args[0];
-    assert!(set_path(hdr, "alice_data.data", Value::Int(0x0A11)));
-    assert!(set_path(hdr, "bob_data.data", Value::Int(0x0B0B)));
-    assert!(set_path(hdr, "eth.dstAddr", Value::Int(0x42)));
+    assert!(set_path(&typed, hdr, "alice_data.data", Value::Int(0x0A11)));
+    assert!(set_path(&typed, hdr, "bob_data.data", Value::Int(0x0B0B)));
+    assert!(set_path(&typed, hdr, "eth.dstAddr", Value::Int(0x42)));
 
     let snapshot = |label: &str, hdr: &Value| {
         println!(
             "{label}: alice={} bob={} telem={} eth={}",
-            get_path(hdr, "alice_data.data").unwrap(),
-            get_path(hdr, "bob_data.data").unwrap(),
-            get_path(hdr, "telem.hops").unwrap(),
-            get_path(hdr, "eth.dstAddr").unwrap(),
+            get_path(&typed, hdr, "alice_data.data").unwrap(),
+            get_path(&typed, hdr, "bob_data.data").unwrap(),
+            get_path(&typed, hdr, "telem.hops").unwrap(),
+            get_path(&typed, hdr, "eth.dstAddr").unwrap(),
         );
     };
     snapshot("\ningress        ", &args[0]);
@@ -42,7 +42,7 @@ fn main() {
     let mut args =
         vec![out.param("hdr").unwrap().clone(), out.param("std_metadata").unwrap().clone()];
     snapshot("after Alice    ", &args[0]);
-    let bob_before = get_path(&args[0], "bob_data.data").unwrap().clone();
+    let bob_before = get_path(&typed, &args[0], "bob_data.data").unwrap().clone();
 
     // Hop 2: Bob's switch (increments telemetry, keyed on eth).
     // The demo control plane matches any eth key.
@@ -52,7 +52,7 @@ fn main() {
 
     // Isolation in action: Alice's hop never touched Bob's data, Bob's hop
     // never touched Alice's, and both may bump the shared telemetry.
-    assert_eq!(get_path(hdr, "bob_data.data"), Some(&bob_before));
+    assert_eq!(get_path(&typed, hdr, "bob_data.data"), Some(&bob_before));
     println!(
         "\nisolation held across the topology: Bob's field was untouched by \
          Alice's switch, and the ⊤-labeled telemetry counted both hops."

@@ -30,39 +30,36 @@ fn main() {
     println!("\n== Forwarding one packet through the fixed pipeline ==");
     let cp = p4bid::corpus::demo_control_plane("Topology");
     let b = Value::bit;
+    let sy = |n: &str| typed.intern(n);
     let ipv4 = Value::Header {
         valid: true,
         fields: vec![
-            ("ttl".into(), b(8, 64)),
-            ("protocol".into(), b(8, 6)),
-            ("srcAddr".into(), b(32, 0xC0A8_0001)),
-            ("dstAddr".into(), b(32, 0x0A00_0001)),
+            (sy("ttl"), b(8, 64)),
+            (sy("protocol"), b(8, 6)),
+            (sy("srcAddr"), b(32, 0xC0A8_0001)),
+            (sy("dstAddr"), b(32, 0x0A00_0001)),
         ],
     };
     let eth = Value::Header {
         valid: true,
-        fields: vec![("srcAddr".into(), b(48, 0x1111)), ("dstAddr".into(), b(48, 0))],
+        fields: vec![(sy("srcAddr"), b(48, 0x1111)), (sy("dstAddr"), b(48, 0))],
     };
     let local = Value::Header {
         valid: true,
         fields: vec![
-            ("phys_dstAddr".into(), b(32, 0)),
-            ("phys_ttl".into(), b(8, 0)),
-            ("next_hop_MAC_addr".into(), b(48, 0)),
+            (sy("phys_dstAddr"), b(32, 0)),
+            (sy("phys_ttl"), b(8, 0)),
+            (sy("next_hop_MAC_addr"), b(48, 0)),
         ],
     };
-    let hdr = Value::Record(vec![
-        ("ipv4".into(), ipv4),
-        ("eth".into(), eth),
-        ("local_hdr".into(), local),
-    ]);
+    let hdr = Value::Record(vec![(sy("ipv4"), ipv4), (sy("eth"), eth), (sy("local_hdr"), local)]);
     let meta = Value::Record(vec![
-        ("ingress_port".into(), b(9, 1)),
-        ("egress_spec".into(), b(9, 0)),
-        ("egress_port".into(), b(9, 0)),
-        ("instance_type".into(), b(32, 0)),
-        ("packet_length".into(), b(32, 128)),
-        ("priority".into(), b(3, 0)),
+        (sy("ingress_port"), b(9, 1)),
+        (sy("egress_spec"), b(9, 0)),
+        (sy("egress_port"), b(9, 0)),
+        (sy("instance_type"), b(32, 0)),
+        (sy("packet_length"), b(32, 128)),
+        (sy("priority"), b(3, 0)),
     ]);
 
     let out =
@@ -71,11 +68,11 @@ fn main() {
     let meta_out = out.param("std_metadata").expect("std_metadata parameter");
     println!(
         "  local_hdr.phys_dstAddr = {}",
-        hdr_out.field("local_hdr").unwrap().field("phys_dstAddr").unwrap()
+        hdr_out.field(sy("local_hdr")).unwrap().field(sy("phys_dstAddr")).unwrap()
     );
     println!(
         "  ipv4.ttl               = {} (public ttl only decremented, not overwritten)",
-        hdr_out.field("ipv4").unwrap().field("ttl").unwrap()
+        hdr_out.field(sy("ipv4")).unwrap().field(sy("ttl")).unwrap()
     );
-    println!("  egress_spec            = {}", meta_out.field("egress_spec").unwrap());
+    println!("  egress_spec            = {}", meta_out.field(sy("egress_spec")).unwrap());
 }

@@ -111,13 +111,13 @@ fn d2r_leak_witnessed_on_a_crafted_pair() {
 
     let mut a = init_args(&leaky, cs.control).expect("control exists");
     let h = &mut a[0];
-    assert!(set_path(h, "bfs.curr", Value::Int(3)));
-    assert!(set_path(h, "bfs.next_node", Value::Int(3)));
-    assert!(set_path(h, "ipv4.dstAddr", Value::Int(3)));
-    assert!(set_path(h, "bfs.tried_links", Value::Int(0b111)));
+    assert!(set_path(&leaky, h, "bfs.curr", Value::Int(3)));
+    assert!(set_path(&leaky, h, "bfs.next_node", Value::Int(3)));
+    assert!(set_path(&leaky, h, "ipv4.dstAddr", Value::Int(3)));
+    assert!(set_path(&leaky, h, "bfs.tried_links", Value::Int(0b111)));
     let mut b = a.clone();
-    assert!(set_path(&mut a[0], "bfs.num_hops", Value::Int(0)));
-    assert!(set_path(&mut b[0], "bfs.num_hops", Value::Int(200)));
+    assert!(set_path(&leaky, &mut a[0], "bfs.num_hops", Value::Int(0)));
+    assert!(set_path(&leaky, &mut b[0], "bfs.num_hops", Value::Int(200)));
 
     let (diffs, exited) =
         run_pair(&leaky, &cp, cs.control, leaky.lattice.bottom(), a.clone(), b.clone())
@@ -145,19 +145,22 @@ fn topology_secure_pipeline_translates_and_forwards() {
     let cp = demo_control_plane("Topology");
 
     let mut args = init_args(&typed, cs.control).expect("control exists");
-    assert!(set_path(&mut args[0], "ipv4.dstAddr", Value::Int(0x0A00_0002)));
-    assert!(set_path(&mut args[0], "ipv4.ttl", Value::Int(64)));
+    assert!(set_path(&typed, &mut args[0], "ipv4.dstAddr", Value::Int(0x0A00_0002)));
+    assert!(set_path(&typed, &mut args[0], "ipv4.ttl", Value::Int(64)));
 
     let out = p4bid::interp::run_control(&typed, &cp, cs.control, args).expect("runs");
     let hdr = out.param("hdr").unwrap();
     // The local header got the physical mapping...
     assert_eq!(
-        p4bid::packet::get_path(hdr, "local_hdr.phys_dstAddr"),
+        p4bid::packet::get_path(&typed, hdr, "local_hdr.phys_dstAddr"),
         Some(&Value::bit(32, 0xC0A8_0002))
     );
-    assert_eq!(p4bid::packet::get_path(hdr, "local_hdr.phys_ttl"), Some(&Value::bit(8, 18)));
+    assert_eq!(
+        p4bid::packet::get_path(&typed, hdr, "local_hdr.phys_ttl"),
+        Some(&Value::bit(8, 18))
+    );
     // ...while the public ttl only saw the ordinary decrement.
-    assert_eq!(p4bid::packet::get_path(hdr, "ipv4.ttl"), Some(&Value::bit(8, 63)));
+    assert_eq!(p4bid::packet::get_path(&typed, hdr, "ipv4.ttl"), Some(&Value::bit(8, 63)));
 }
 
 #[test]
@@ -169,20 +172,20 @@ fn netchain_roles_drive_the_pipeline() {
     // Writes: only the tail answers the client.
     for (role, expect_reply, expect_port) in [(0i128, 0u128, 2u128), (1, 0, 3), (2, 1, 9)] {
         let mut args = init_args(&typed, cs.control).expect("control exists");
-        assert!(set_path(&mut args[0], "nc.role", Value::Int(role)));
-        assert!(set_path(&mut args[0], "nc.op", Value::Int(1)));
-        assert!(set_path(&mut args[0], "nc.seq", Value::Int(5)));
-        assert!(set_path(&mut args[0], "nc.key_field", Value::Int(3)));
-        assert!(set_path(&mut args[0], "nc.value_field", Value::Int(0xFEED)));
+        assert!(set_path(&typed, &mut args[0], "nc.role", Value::Int(role)));
+        assert!(set_path(&typed, &mut args[0], "nc.op", Value::Int(1)));
+        assert!(set_path(&typed, &mut args[0], "nc.seq", Value::Int(5)));
+        assert!(set_path(&typed, &mut args[0], "nc.key_field", Value::Int(3)));
+        assert!(set_path(&typed, &mut args[0], "nc.value_field", Value::Int(0xFEED)));
         let out = p4bid::interp::run_control(&typed, &cp, cs.control, args).expect("runs");
         let hdr = out.param("hdr").unwrap();
         assert_eq!(
-            p4bid::packet::get_path(hdr, "nc.reply"),
+            p4bid::packet::get_path(&typed, hdr, "nc.reply"),
             Some(&Value::bit(8, expect_reply)),
             "role {role}"
         );
         assert_eq!(
-            p4bid::packet::get_path(out.param("std_metadata").unwrap(), "egress_spec"),
+            p4bid::packet::get_path(&typed, out.param("std_metadata").unwrap(), "egress_spec"),
             Some(&Value::bit(9, expect_port)),
             "role {role}"
         );
@@ -190,12 +193,12 @@ fn netchain_roles_drive_the_pipeline() {
 
     // A read at a non-tail switch is dropped; at the tail it replies.
     let mut args = init_args(&typed, cs.control).expect("control exists");
-    assert!(set_path(&mut args[0], "nc.role", Value::Int(2)));
-    assert!(set_path(&mut args[0], "nc.op", Value::Int(0)));
-    assert!(set_path(&mut args[0], "nc.seq", Value::Int(5)));
+    assert!(set_path(&typed, &mut args[0], "nc.role", Value::Int(2)));
+    assert!(set_path(&typed, &mut args[0], "nc.op", Value::Int(0)));
+    assert!(set_path(&typed, &mut args[0], "nc.seq", Value::Int(5)));
     let out = p4bid::interp::run_control(&typed, &cp, cs.control, args).expect("runs");
     assert_eq!(
-        p4bid::packet::get_path(out.param("hdr").unwrap(), "nc.reply"),
+        p4bid::packet::get_path(&typed, out.param("hdr").unwrap(), "nc.reply"),
         Some(&Value::bit(8, 1))
     );
 }
