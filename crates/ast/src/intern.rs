@@ -1,4 +1,4 @@
-//! String interning for the checker hot path.
+//! String interning for the checker hot path, in two tiers.
 //!
 //! Every identifier the typechecker touches — variable, action, table, and
 //! type names, plus security-label names — is mapped once to a dense
@@ -8,14 +8,22 @@
 //! instead of a `String`-keyed hash-map probe (hash + allocation + full
 //! string compare) at every lookup.
 //!
-//! An [`Interner`] is intentionally *not* shared across threads: a batch
-//! driver gives each worker its own checker session (and thus its own
-//! interner), which keeps the structure lock-free.
+//! An [`Interner`] is intentionally *not* shared across threads; what *is*
+//! shared is an immutable [`FrozenInterner`] segment: a batch driver builds
+//! one interner (the prelude names), [`freeze`](Interner::freeze)s it, and
+//! hands the frozen segment to every worker via `Arc`. Each worker then
+//! layers a private lock-free *overlay* on top
+//! ([`Interner::with_base`]) for program-local names. Overlay symbols carry
+//! the [`TIER_BIT`](crate::sectype::TIER_BIT) in their raw encoding but
+//! their [`index`](Symbol::index) continues where the frozen segment ends,
+//! so indices stay globally dense and `Vec`-backed side tables work
+//! unchanged across tiers.
 //!
 //! # Examples
 //!
 //! ```
 //! use p4bid_ast::intern::Interner;
+//! use std::sync::Arc;
 //!
 //! let mut syms = Interner::new();
 //! let a = syms.intern("hdr");
@@ -25,25 +33,40 @@
 //! assert_eq!(syms.resolve(a), "hdr");
 //! assert_eq!(syms.lookup("meta"), Some(b));
 //! assert_eq!(syms.lookup("ghost"), None, "probing never allocates");
+//!
+//! // Freeze the segment and layer a per-worker overlay on top.
+//! let frozen = Arc::new(syms.freeze());
+//! let mut overlay = Interner::with_base(Arc::clone(&frozen));
+//! assert_eq!(overlay.intern("hdr"), a, "frozen names keep their symbols");
+//! let local = overlay.intern("worker_local");
+//! assert!(local.is_overlay());
+//! assert_eq!(local.index(), frozen.len(), "indices stay dense");
 //! ```
 
+use crate::sectype::TIER_BIT;
 use std::collections::HashMap;
 use std::fmt;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An interned string: a dense index into an [`Interner`].
 ///
 /// Symbols are plain `u32` indices and only meaningful relative to the
 /// interner that produced them; they are `Copy`, comparable, and usable as
 /// direct indices into `Vec`-backed side tables.
+///
+/// Bit 31 is the **tier bit** ([`TIER_BIT`]): clear for symbols interned in
+/// the root/frozen tier, set for symbols interned in an overlay above a
+/// frozen base. [`index`](Symbol::index) masks the bit out; overlay indices
+/// continue after the frozen segment, so indices are globally dense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Symbol(u32);
 
 impl Symbol {
-    /// The raw index of this symbol inside its interner.
+    /// The dense index of this symbol across both tiers of its interner
+    /// (overlay indices continue after the frozen segment).
     #[must_use]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & !TIER_BIT) as usize
     }
 
     /// Builds a symbol from a raw index. Intended for serialization round
@@ -53,57 +76,143 @@ impl Symbol {
     pub fn from_raw(ix: u32) -> Self {
         Symbol(ix)
     }
+
+    /// Whether this symbol was interned in a per-worker overlay (tier bit
+    /// set) rather than in the root/frozen tier.
+    #[must_use]
+    pub fn is_overlay(self) -> bool {
+        self.0 & TIER_BIT != 0
+    }
 }
 
 impl fmt::Display for Symbol {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "sym#{}", self.0)
+        write!(f, "sym#{}{}", self.index(), if self.is_overlay() { "+" } else { "" })
+    }
+}
+
+/// An immutable, `Send + Sync` interner segment produced by
+/// [`Interner::freeze`]. Shared across worker threads via `Arc`; workers
+/// extend it through private [`Interner`] overlays.
+#[derive(Debug)]
+pub struct FrozenInterner {
+    strings: Vec<Arc<str>>,
+    map: HashMap<Arc<str>, Symbol>,
+}
+
+impl FrozenInterner {
+    /// The symbol of `name`, if it is in the frozen segment.
+    #[must_use]
+    pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        self.map.get(name).copied()
+    }
+
+    /// The string a frozen symbol stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` is not a frozen-tier symbol of this segment.
+    #[must_use]
+    pub fn resolve(&self, sym: Symbol) -> &str {
+        &self.strings[sym.index()]
+    }
+
+    /// Number of strings in the frozen segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.strings.len()
+    }
+
+    /// Whether the segment is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.strings.is_empty()
     }
 }
 
 /// A string interner: deduplicates strings into dense [`Symbol`] ids.
 ///
-/// The `Rc<str>` backing lets the name live once while being reachable both
-/// from the id-ordered table (for [`resolve`](Interner::resolve)) and from
-/// the lookup map, without unsafe code.
+/// Optionally layered over a shared immutable [`FrozenInterner`] base
+/// segment (see [`with_base`](Interner::with_base)): probes hit the frozen
+/// map first and only new strings grow the private overlay. The `Arc<str>`
+/// backing lets each name live once while being reachable both from the
+/// id-ordered table (for [`resolve`](Interner::resolve)) and from the
+/// lookup map, without unsafe code — and lets [`freeze`](Interner::freeze)
+/// move the tables into a [`FrozenInterner`] without copying a byte.
 #[derive(Debug, Clone, Default)]
 pub struct Interner {
-    strings: Vec<Rc<str>>,
-    map: HashMap<Rc<str>, Symbol>,
+    /// The shared immutable base segment, if any.
+    base: Option<Arc<FrozenInterner>>,
+    /// `base.len()`, cached (0 without a base).
+    base_len: u32,
+    /// Overlay strings; global index = `base_len + local index`.
+    strings: Vec<Arc<str>>,
+    map: HashMap<Arc<str>, Symbol>,
+    /// `intern` calls answered by the frozen segment.
+    frozen_hits: u64,
+    /// Total `intern` calls.
+    intern_calls: u64,
 }
 
 impl Interner {
-    /// An empty interner.
+    /// An empty root-tier interner (no frozen base; symbols carry no tier
+    /// bit).
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
+    /// An interner layered over a frozen base segment: names already in
+    /// the base resolve to their frozen symbols; new names go into a
+    /// private overlay whose symbols carry the tier bit.
+    #[must_use]
+    pub fn with_base(base: Arc<FrozenInterner>) -> Self {
+        let base_len = u32::try_from(base.len()).expect("frozen interner fits u32");
+        Interner { base_len, base: Some(base), ..Self::default() }
+    }
+
     /// Interns `name`, returning its symbol. Idempotent: the same string
-    /// always maps to the same symbol.
+    /// always maps to the same symbol (frozen-tier symbols win when the
+    /// name is in the base segment).
     ///
     /// # Panics
     ///
-    /// Panics if more than `u32::MAX` distinct strings are interned
+    /// Panics if more than `u32::MAX / 2` distinct strings are interned
     /// (unreachable for real programs).
     pub fn intern(&mut self, name: &str) -> Symbol {
+        self.intern_calls += 1;
+        if let Some(base) = &self.base {
+            if let Some(&sym) = base.map.get(name) {
+                self.frozen_hits += 1;
+                return sym;
+            }
+        }
         if let Some(&sym) = self.map.get(name) {
             return sym;
         }
-        let id = u32::try_from(self.strings.len()).expect("interner overflow");
-        let rc: Rc<str> = Rc::from(name);
-        self.strings.push(Rc::clone(&rc));
-        let sym = Symbol(id);
+        let local = u32::try_from(self.strings.len()).expect("interner overflow");
+        let ix = self.base_len.checked_add(local).expect("interner overflow");
+        assert!(ix < TIER_BIT, "interner overflow");
+        let raw = if self.base.is_some() { ix | TIER_BIT } else { ix };
+        let rc: Arc<str> = Arc::from(name);
+        self.strings.push(Arc::clone(&rc));
+        let sym = Symbol(raw);
         self.map.insert(rc, sym);
         sym
     }
 
-    /// Read-only probe: the symbol of `name` if it was ever interned.
+    /// Read-only probe: the symbol of `name` if it was ever interned
+    /// (in either tier).
     ///
     /// Used for occurrences that must not grow the table (e.g. a variable
     /// *use*: if the name was never interned, it was never declared).
     #[must_use]
     pub fn lookup(&self, name: &str) -> Option<Symbol> {
+        if let Some(base) = &self.base {
+            if let Some(&sym) = base.map.get(name) {
+                return Some(sym);
+            }
+        }
         self.map.get(name).copied()
     }
 
@@ -114,19 +223,50 @@ impl Interner {
     /// Panics if `sym` came from a different interner and is out of range.
     #[must_use]
     pub fn resolve(&self, sym: Symbol) -> &str {
-        &self.strings[sym.index()]
+        let ix = sym.index();
+        match &self.base {
+            Some(base) if ix < self.base_len as usize => base.resolve(sym),
+            _ => &self.strings[ix - self.base_len as usize],
+        }
     }
 
-    /// Number of distinct interned strings.
+    /// Number of distinct interned strings across both tiers.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.strings.len()
+        self.base_len as usize + self.strings.len()
     }
 
-    /// Whether nothing has been interned yet.
+    /// Whether nothing has been interned yet (in either tier).
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.strings.is_empty()
+        self.len() == 0
+    }
+
+    /// Freezes a root-tier interner into an immutable, shareable segment.
+    /// Zero-copy: the string tables move, nothing is re-hashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this interner is itself an overlay over a frozen base
+    /// (tiers do not stack).
+    #[must_use]
+    pub fn freeze(self) -> FrozenInterner {
+        assert!(self.base.is_none(), "cannot freeze an overlay interner (tiers do not stack)");
+        FrozenInterner { strings: self.strings, map: self.map }
+    }
+
+    /// `(frozen segment size, overlay size)` of this interner.
+    #[must_use]
+    pub fn tier_sizes(&self) -> (usize, usize) {
+        (self.base_len as usize, self.strings.len())
+    }
+
+    /// `(intern calls answered by the frozen segment, total intern calls)`
+    /// since construction — the frozen-segment hit rate numerator and
+    /// denominator.
+    #[must_use]
+    pub fn frozen_hit_stats(&self) -> (u64, u64) {
+        (self.frozen_hits, self.intern_calls)
     }
 }
 
@@ -177,5 +317,75 @@ mod tests {
         let mut syms = Interner::new();
         let s = syms.intern("x");
         assert_eq!(s.to_string(), "sym#0");
+    }
+
+    #[test]
+    fn root_tier_symbols_carry_no_tier_bit() {
+        let mut syms = Interner::new();
+        let s = syms.intern("x");
+        assert!(!s.is_overlay());
+    }
+
+    #[test]
+    fn frozen_segment_is_shared_and_overlay_extends_it() {
+        let mut root = Interner::new();
+        let hdr = root.intern("hdr");
+        let meta = root.intern("meta");
+        let frozen = Arc::new(root.freeze());
+        assert_eq!(frozen.len(), 2);
+        assert_eq!(frozen.lookup("hdr"), Some(hdr));
+        assert_eq!(frozen.resolve(meta), "meta");
+
+        let mut a = Interner::with_base(Arc::clone(&frozen));
+        let mut b = Interner::with_base(Arc::clone(&frozen));
+        // Frozen names keep their symbols in every overlay.
+        assert_eq!(a.intern("hdr"), hdr);
+        assert_eq!(b.lookup("meta"), Some(meta));
+        // Overlay names are tier-tagged and densely indexed per overlay.
+        let xa = a.intern("x");
+        let xb = b.intern("x");
+        assert!(xa.is_overlay() && xb.is_overlay());
+        assert_eq!(xa, xb, "same overlay growth order, same symbol");
+        assert_eq!(xa.index(), frozen.len());
+        assert_eq!(a.resolve(xa), "x");
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.tier_sizes(), (2, 1));
+    }
+
+    #[test]
+    fn overlay_hit_stats_count_frozen_probes() {
+        let mut root = Interner::new();
+        root.intern("shared");
+        let frozen = Arc::new(root.freeze());
+        let mut overlay = Interner::with_base(frozen);
+        overlay.intern("shared");
+        overlay.intern("local");
+        overlay.intern("shared");
+        overlay.intern("local");
+        let (hits, calls) = overlay.frozen_hit_stats();
+        assert_eq!((hits, calls), (2, 4));
+    }
+
+    #[test]
+    fn overlay_display_is_tagged() {
+        let mut root = Interner::new();
+        root.intern("a");
+        let mut overlay = Interner::with_base(Arc::new(root.freeze()));
+        let s = overlay.intern("b");
+        assert_eq!(s.to_string(), "sym#1+");
+    }
+
+    #[test]
+    #[should_panic(expected = "tiers do not stack")]
+    fn freezing_an_overlay_panics() {
+        let root = Interner::new();
+        let overlay = Interner::with_base(Arc::new(root.freeze()));
+        let _ = overlay.freeze();
+    }
+
+    #[test]
+    fn frozen_interner_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenInterner>();
     }
 }

@@ -1,5 +1,6 @@
 //! The hash-consing type pool: structurally equal security types are
-//! allocated once and compared by id.
+//! allocated once and compared by id — with an immutable, shareable
+//! *frozen* tier for cross-worker reuse.
 //!
 //! Every resolved structural type [`Ty`] the checker or interpreter
 //! constructs goes through [`TyPool::intern`], which returns a copyable
@@ -16,10 +17,21 @@
 //! hot path, with a slow path only for the `int` ↔ `bit<n>` literal
 //! coercion (which genuinely relates *distinct* types).
 //!
+//! The pool comes in **two tiers**: a root-tier [`TyPool`] can be
+//! [`freeze`](TyPool::freeze)d into an immutable, `Send + Sync`
+//! [`FrozenPool`] that many worker threads share via `Arc`, each layering a
+//! private overlay pool on top ([`TyPool::with_base`]). Overlay ids carry
+//! the [`TIER_BIT`](crate::sectype::TIER_BIT); their
+//! [`index`](TyId::index) continues after the frozen segment, so ids stay
+//! globally dense and id equality stays O(1) across tiers (a frozen and an
+//! overlay id are never equal, and structurally equal types interned
+//! through one pool always resolve to one id, frozen tier first).
+//!
 //! A [`TyCtx`] bundles the pool with the string [`Interner`] whose
 //! [`Symbol`]s key record/header fields; checker sessions share one
 //! `TyCtx` across every program they check (via [`SharedTyCtx`]), so
-//! prelude types are pooled exactly once per session.
+//! prelude types are pooled exactly once per session — and, after
+//! [`TyCtx::freeze`], exactly once per *fleet* of sessions.
 //!
 //! # Examples
 //!
@@ -37,25 +49,96 @@
 //! let h2 = pool.header(FieldList::new(vec![(ttl, SecTy::bottom(bit8, &lat))]));
 //! assert_eq!(h1, h2, "hash-consed: one allocation, O(1) equality");
 //! assert_ne!(h1, TyId::BOOL);
+//!
+//! // Freeze the pool; overlays resolve frozen types without re-interning.
+//! let frozen = std::sync::Arc::new(pool.freeze());
+//! let mut overlay = TyPool::with_base(std::sync::Arc::clone(&frozen));
+//! let h3 = overlay.header(FieldList::new(vec![(ttl, SecTy::bottom(bit8, &lat))]));
+//! assert_eq!(h3, h1, "frozen types keep their ids in every overlay");
 //! ```
 
-use crate::intern::{Interner, Symbol};
-use crate::sectype::{FieldList, FnTy, SecTy, Ty, TyId};
-use p4bid_lattice::Label;
+use crate::intern::{FrozenInterner, Interner, Symbol};
+use crate::sectype::{FieldList, FnTy, SecTy, Ty, TyId, TIER_BIT};
+use p4bid_lattice::{Label, Lattice};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::rc::Rc;
+use std::sync::Arc;
+
+/// An immutable, `Send + Sync` pool segment produced by [`TyPool::freeze`].
+///
+/// Shared across worker threads via `Arc`; workers extend it through
+/// private [`TyPool`] overlays. Also carries the frozen part of the
+/// label-push memo table so annotated compound types resolved while
+/// warming the segment stay O(1) for every worker.
+#[derive(Debug)]
+pub struct FrozenPool {
+    nodes: Vec<Ty>,
+    map: HashMap<Ty, TyId>,
+    /// Lattices the push memo was warmed under; memo keys carry an index
+    /// into this registry (labels are lattice-relative, see
+    /// [`TyPool::push_label`]).
+    lattices: Vec<Lattice>,
+    push_cache: HashMap<(u32, TyId, Label), TyId>,
+}
+
+impl FrozenPool {
+    /// The structural node a frozen id stands for.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not a frozen-tier id of this segment.
+    #[must_use]
+    pub fn kind(&self, id: TyId) -> &Ty {
+        &self.nodes[id.index()]
+    }
+
+    /// Number of types in the frozen segment.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the segment is empty (never true for segments frozen from
+    /// [`TyPool::new`], which pre-interns the primitives).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
 
 /// A hash-consing pool of structural type nodes.
 ///
 /// Append-only: ids stay valid for the lifetime of the pool, so snapshots
 /// (e.g. a checker session's per-lattice prelude state) can hold plain
-/// [`TyId`]s across later interning.
+/// [`TyId`]s across later interning. Optionally layered over a shared
+/// immutable [`FrozenPool`] base segment (see
+/// [`with_base`](TyPool::with_base)): interning probes the frozen map
+/// first, and only genuinely new types grow the private overlay.
 #[derive(Debug, Clone)]
 pub struct TyPool {
+    /// The shared immutable base segment, if any.
+    base: Option<Arc<FrozenPool>>,
+    /// `base.len()`, cached (0 without a base).
+    base_len: u32,
+    /// Overlay nodes; global index = `base_len + local index`.
     nodes: Vec<Ty>,
     map: HashMap<Ty, TyId>,
+    /// Lattices the overlay push memo was warmed under (memo keys index
+    /// into this registry — labels are lattice-relative, and one pool
+    /// serves programs under many lattices).
+    lattices: Vec<Lattice>,
+    /// Label-push memo: `(lattice, compound id, pushed label) → pushed
+    /// compound id` (overlay part; the frozen part lives in the base
+    /// segment, keyed by the base's own lattice registry).
+    push_cache: HashMap<(u32, TyId, Label), TyId>,
+    /// `intern` calls answered by the frozen segment.
+    frozen_hits: u64,
+    /// Total `intern` calls.
+    intern_calls: u64,
+    /// `push_label` calls answered by either memo tier.
+    push_hits: u64,
 }
 
 impl Default for TyPool {
@@ -65,12 +148,22 @@ impl Default for TyPool {
 }
 
 impl TyPool {
-    /// A pool with the label-free primitives pre-interned at their fixed
-    /// ids ([`TyId::BOOL`], [`TyId::INT`], [`TyId::UNIT`],
+    /// A root-tier pool with the label-free primitives pre-interned at
+    /// their fixed ids ([`TyId::BOOL`], [`TyId::INT`], [`TyId::UNIT`],
     /// [`TyId::MATCH_KIND`]).
     #[must_use]
     pub fn new() -> Self {
-        let mut pool = TyPool { nodes: Vec::new(), map: HashMap::new() };
+        let mut pool = TyPool {
+            base: None,
+            base_len: 0,
+            nodes: Vec::new(),
+            map: HashMap::new(),
+            lattices: Vec::new(),
+            push_cache: HashMap::new(),
+            frozen_hits: 0,
+            intern_calls: 0,
+            push_hits: 0,
+        };
         assert_eq!(pool.intern(Ty::Bool), TyId::BOOL);
         assert_eq!(pool.intern(Ty::Int), TyId::INT);
         assert_eq!(pool.intern(Ty::Unit), TyId::UNIT);
@@ -78,18 +171,51 @@ impl TyPool {
         pool
     }
 
+    /// A pool layered over a frozen base segment: types already in the
+    /// base resolve to their frozen ids (the fixed primitive ids included,
+    /// since every root-tier pool pre-interns them); new types go into a
+    /// private overlay whose ids carry the tier bit.
+    #[must_use]
+    pub fn with_base(base: Arc<FrozenPool>) -> Self {
+        let base_len = u32::try_from(base.len()).expect("frozen pool fits u32");
+        debug_assert_eq!(base.kind(TyId::BOOL), &Ty::Bool, "base was frozen from TyPool::new");
+        TyPool {
+            base_len,
+            base: Some(base),
+            nodes: Vec::new(),
+            map: HashMap::new(),
+            lattices: Vec::new(),
+            push_cache: HashMap::new(),
+            frozen_hits: 0,
+            intern_calls: 0,
+            push_hits: 0,
+        }
+    }
+
     /// Interns a structural node, returning its id. Idempotent: equal
-    /// nodes (whose children were interned in this pool) share one id.
+    /// nodes (whose children were interned in this pool) share one id,
+    /// with frozen-tier ids winning when the node is in the base segment.
     ///
     /// # Panics
     ///
-    /// Panics if more than `u32::MAX` distinct types are interned
+    /// Panics if more than `u32::MAX / 2` distinct types are interned
     /// (unreachable for real programs).
     pub fn intern(&mut self, ty: Ty) -> TyId {
+        self.intern_calls += 1;
+        if let Some(base) = &self.base {
+            if let Some(&id) = base.map.get(&ty) {
+                self.frozen_hits += 1;
+                return id;
+            }
+        }
         if let Some(&id) = self.map.get(&ty) {
             return id;
         }
-        let id = TyId(u32::try_from(self.nodes.len()).expect("type pool overflow"));
+        let local = u32::try_from(self.nodes.len()).expect("type pool overflow");
+        let ix = self.base_len.checked_add(local).expect("type pool overflow");
+        assert!(ix < TIER_BIT, "type pool overflow");
+        let raw = if self.base.is_some() { ix | TIER_BIT } else { ix };
+        let id = TyId(raw);
         self.nodes.push(ty.clone());
         self.map.insert(ty, id);
         id
@@ -102,20 +228,63 @@ impl TyPool {
     /// Panics if `id` came from a different pool and is out of range.
     #[must_use]
     pub fn kind(&self, id: TyId) -> &Ty {
-        &self.nodes[id.index()]
+        let ix = id.index();
+        match &self.base {
+            Some(base) if ix < self.base_len as usize => base.kind(id),
+            _ => &self.nodes[ix - self.base_len as usize],
+        }
     }
 
-    /// Number of distinct pooled types.
+    /// Number of distinct pooled types across both tiers.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.base_len as usize + self.nodes.len()
     }
 
-    /// Whether only the primitives are pooled. Never true in practice
+    /// Whether no types are pooled in either tier. Never true in practice
     /// (`new` pre-interns four nodes); provided for API symmetry.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.len() == 0
+    }
+
+    /// Freezes a root-tier pool into an immutable, shareable segment,
+    /// carrying the hash-cons map and the label-push memo along.
+    /// Zero-copy: the node tables move, nothing is re-hashed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if this pool is itself an overlay over a frozen base (tiers
+    /// do not stack).
+    #[must_use]
+    pub fn freeze(self) -> FrozenPool {
+        assert!(self.base.is_none(), "cannot freeze an overlay pool (tiers do not stack)");
+        FrozenPool {
+            nodes: self.nodes,
+            map: self.map,
+            lattices: self.lattices,
+            push_cache: self.push_cache,
+        }
+    }
+
+    /// `(frozen segment size, overlay size)` of this pool.
+    #[must_use]
+    pub fn tier_sizes(&self) -> (usize, usize) {
+        (self.base_len as usize, self.nodes.len())
+    }
+
+    /// `(intern calls answered by the frozen segment, total intern calls)`
+    /// since construction.
+    #[must_use]
+    pub fn frozen_hit_stats(&self) -> (u64, u64) {
+        (self.frozen_hits, self.intern_calls)
+    }
+
+    /// Number of [`push_label`](TyPool::push_label) calls answered by the
+    /// `(TyId, Label)` memo (either tier) since construction.
+    #[must_use]
+    pub fn push_cache_hits(&self) -> u64 {
+        self.push_hits
     }
 
     // ------------------------------------------------------------------
@@ -129,12 +298,12 @@ impl TyPool {
 
     /// Interns a record (struct) type.
     pub fn record(&mut self, fields: FieldList) -> TyId {
-        self.intern(Ty::Record(Rc::new(fields)))
+        self.intern(Ty::Record(Arc::new(fields)))
     }
 
     /// Interns a header type.
     pub fn header(&mut self, fields: FieldList) -> TyId {
-        self.intern(Ty::Header(Rc::new(fields)))
+        self.intern(Ty::Header(Arc::new(fields)))
     }
 
     /// Interns a stack type.
@@ -149,7 +318,88 @@ impl TyPool {
 
     /// Interns a function/action type.
     pub fn function(&mut self, fnty: FnTy) -> TyId {
-        self.intern(Ty::Function(Rc::new(fnty)))
+        self.intern(Ty::Function(Arc::new(fnty)))
+    }
+
+    // ------------------------------------------------------------------
+    // Label pushing (memoized)
+    // ------------------------------------------------------------------
+
+    /// Joins `label` onto a resolved type: onto the outer label for base
+    /// scalars, recursively onto fields/elements for compounds (whose
+    /// outer label stays `⊥`, Figure 4). New compound nodes are interned
+    /// through the pool; pushing `⊥` is the identity and allocates
+    /// nothing.
+    ///
+    /// Compound pushes are memoized per `(lattice, TyId, Label)` — first
+    /// in the frozen segment's memo, then in the overlay's — so an
+    /// annotated compound type (e.g. `<alice_t, A>`) resolves O(1) after
+    /// its first use anywhere in the pool's lifetime. The lattice is part
+    /// of the key because labels are lattice-relative indices while the
+    /// pool dedups structurally equal types *across* lattices: the same
+    /// `(TyId, Label)` pair can denote different joins under different
+    /// lattices, and a cross-lattice memo hit would return wrongly-labeled
+    /// fields (an information-flow soundness hole).
+    #[must_use]
+    pub fn push_label(&mut self, ty: SecTy, label: Label, lat: &Lattice) -> SecTy {
+        if lat.is_bottom(label) {
+            return ty;
+        }
+        match self.kind(ty.ty) {
+            // Base scalars join the label directly; nothing to memoize.
+            Ty::Bool | Ty::Int | Ty::Bit(_) => SecTy::new(ty.ty, lat.join(ty.label, label)),
+            // Unit, match kinds, tables, functions are unaffected.
+            Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => ty,
+            Ty::Record(_) | Ty::Header(_) | Ty::Stack(..) => {
+                if let Some(base) = &self.base {
+                    if let Some(ix) = lattice_ix(&base.lattices, lat) {
+                        if let Some(&pushed) = base.push_cache.get(&(ix, ty.ty, label)) {
+                            self.push_hits += 1;
+                            return SecTy::new(pushed, ty.label);
+                        }
+                    }
+                }
+                let local_ix = match lattice_ix(&self.lattices, lat) {
+                    Some(ix) => ix,
+                    None => {
+                        let ix = u32::try_from(self.lattices.len()).expect("lattice registry");
+                        self.lattices.push(lat.clone());
+                        ix
+                    }
+                };
+                if let Some(&pushed) = self.push_cache.get(&(local_ix, ty.ty, label)) {
+                    self.push_hits += 1;
+                    return SecTy::new(pushed, ty.label);
+                }
+                let pushed = match self.kind(ty.ty).clone() {
+                    Ty::Record(fields) => {
+                        let pushed = FieldList::new(
+                            fields
+                                .iter()
+                                .map(|&(n, t)| (n, self.push_label(t, label, lat)))
+                                .collect(),
+                        );
+                        self.record(pushed)
+                    }
+                    Ty::Header(fields) => {
+                        let pushed = FieldList::new(
+                            fields
+                                .iter()
+                                .map(|&(n, t)| (n, self.push_label(t, label, lat)))
+                                .collect(),
+                        );
+                        self.header(pushed)
+                    }
+                    Ty::Stack(elem, n) => {
+                        let pushed = self.push_label(elem, label, lat);
+                        self.stack(pushed, n)
+                    }
+                    _ => unreachable!("guarded by the outer match"),
+                };
+                self.push_cache.insert((local_ix, ty.ty, label), pushed);
+                SecTy::new(pushed, ty.label)
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -266,6 +516,13 @@ impl TyPool {
     }
 }
 
+/// Index of `lat` in a push-memo lattice registry, if present (registries
+/// hold the one-or-two lattices a workload actually uses, so a linear scan
+/// of full `Lattice` equality is cheaper than any hashing scheme).
+fn lattice_ix(lattices: &[Lattice], lat: &Lattice) -> Option<u32> {
+    lattices.iter().position(|l| l == lat).map(|ix| ix as u32)
+}
+
 /// The shared naming/typing context: the string interner plus the type
 /// pool. One per checker session; handed to every [`TypedProgram`] the
 /// session produces (via [`SharedTyCtx`]) so the interpreter and the NI
@@ -288,8 +545,8 @@ impl Default for TyCtx {
 }
 
 impl TyCtx {
-    /// A fresh context with a primitives-only pool. The interner starts
-    /// with the empty string reserved at symbol 0 — the sentinel
+    /// A fresh root-tier context with a primitives-only pool. The interner
+    /// starts with the empty string reserved at symbol 0 — the sentinel
     /// match-kind symbol `Value::init`-style zero values use — so slot 0
     /// never aliases a real name.
     #[must_use]
@@ -300,11 +557,51 @@ impl TyCtx {
         TyCtx { syms, types: TyPool::new() }
     }
 
-    /// Wraps a fresh context for sharing.
+    /// A context layered over a shared frozen segment: symbols and type
+    /// ids from the segment stay valid, new ones go into private
+    /// overlays.
+    #[must_use]
+    pub fn with_base(base: &Arc<FrozenTyCtx>) -> Self {
+        TyCtx {
+            syms: Interner::with_base(Arc::clone(&base.syms)),
+            types: TyPool::with_base(Arc::clone(&base.types)),
+        }
+    }
+
+    /// Freezes a root-tier context into an immutable, `Send + Sync`
+    /// segment shareable across worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is itself layered over a frozen base (tiers
+    /// do not stack).
+    #[must_use]
+    pub fn freeze(self) -> FrozenTyCtx {
+        FrozenTyCtx { syms: Arc::new(self.syms.freeze()), types: Arc::new(self.types.freeze()) }
+    }
+
+    /// Wraps a fresh root-tier context for sharing.
     #[must_use]
     pub fn shared() -> SharedTyCtx {
         Rc::new(RefCell::new(TyCtx::new()))
     }
+
+    /// Wraps an overlay context over a frozen segment for sharing.
+    #[must_use]
+    pub fn shared_with_base(base: &Arc<FrozenTyCtx>) -> SharedTyCtx {
+        Rc::new(RefCell::new(TyCtx::with_base(base)))
+    }
+}
+
+/// The frozen tier of a [`TyCtx`]: an immutable interner segment plus an
+/// immutable pool segment, both `Send + Sync` and shared across worker
+/// threads via `Arc`.
+#[derive(Debug, Clone)]
+pub struct FrozenTyCtx {
+    /// The frozen interner segment.
+    pub syms: Arc<FrozenInterner>,
+    /// The frozen pool segment.
+    pub types: Arc<FrozenPool>,
 }
 
 /// A shareable, interiorly mutable [`TyCtx`].
@@ -312,7 +609,9 @@ impl TyCtx {
 /// Both structures inside are append-only, so `Symbol`s and `TyId`s handed
 /// out earlier stay valid while later programs grow the tables. Borrows are
 /// taken once per coarse operation (one `check`, one interpreter step
-/// group), never held across them.
+/// group), never held across them. The `Rc` handle is deliberately
+/// thread-local; cross-thread sharing happens through the frozen tier
+/// ([`FrozenTyCtx`]), never through this handle.
 pub type SharedTyCtx = Rc<RefCell<TyCtx>>;
 
 #[cfg(test)]
@@ -430,5 +729,159 @@ mod tests {
         let c = ctx.borrow();
         assert_eq!(c.syms.resolve(a), "a");
         assert_eq!(c.types.kind(bit8), &Ty::Bit(8));
+    }
+
+    #[test]
+    fn frozen_pool_is_shared_and_overlay_extends_it() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut root = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = root.bit(8);
+        let rec = root.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        let frozen = Arc::new(root.freeze());
+
+        let mut a = TyPool::with_base(Arc::clone(&frozen));
+        let mut b = TyPool::with_base(Arc::clone(&frozen));
+        // Frozen types (primitives included) keep their ids in overlays.
+        assert_eq!(a.bit(8), bit8);
+        assert_eq!(a.intern(Ty::Bool), TyId::BOOL);
+        assert_eq!(b.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))])), rec);
+        // New types are tier-tagged, densely indexed, and structurally
+        // consistent within each overlay.
+        let w16a = a.bit(16);
+        let w16b = b.bit(16);
+        assert!(w16a.is_overlay() && w16b.is_overlay());
+        assert_eq!(w16a, w16b, "same overlay growth order, same id");
+        assert_eq!(w16a.index(), frozen.len());
+        assert_eq!(a.kind(w16a), &Ty::Bit(16));
+        assert!(a.compatible(w16a, TyId::INT));
+        assert_eq!(a.tier_sizes(), (frozen.len(), 1));
+        let (hits, calls) = a.frozen_hit_stats();
+        assert_eq!(calls, 3);
+        assert_eq!(hits, 2, "bit8 and Bool were frozen hits");
+    }
+
+    #[test]
+    fn overlay_compounds_over_frozen_children_dedup() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut root = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = root.bit(8);
+        let frozen = Arc::new(root.freeze());
+        let mut overlay = TyPool::with_base(frozen);
+        // A compound built in the overlay from frozen children is interned
+        // once and found again on re-interning.
+        let r1 = overlay.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        let r2 = overlay.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        assert_eq!(r1, r2);
+        assert!(r1.is_overlay());
+        assert_eq!(overlay.tier_sizes().1, 1);
+    }
+
+    #[test]
+    fn push_label_memoizes_compounds() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = pool.bit(8);
+        let rec = pool.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        let t = SecTy::bottom(rec, &lat);
+
+        let first = pool.push_label(t, lat.top(), &lat);
+        assert_eq!(pool.push_cache_hits(), 0);
+        let second = pool.push_label(t, lat.top(), &lat);
+        assert_eq!(pool.push_cache_hits(), 1, "second push is a memo hit");
+        assert_eq!(first.ty, second.ty, "cache hits return identical TyIds");
+        assert_eq!(first, second);
+        // The pushed field label is joined with ⊤.
+        assert_eq!(pool.field(first.ty, f).unwrap().label, lat.top());
+        // Pushing ⊥ is the identity and never touches the memo.
+        assert_eq!(pool.push_label(t, lat.bottom(), &lat), t);
+        assert_eq!(pool.push_cache_hits(), 1);
+    }
+
+    #[test]
+    fn push_cache_survives_freezing() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut root = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = root.bit(8);
+        let rec = root.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        let t = SecTy::bottom(rec, &lat);
+        let warmed = root.push_label(t, lat.top(), &lat);
+        let frozen = Arc::new(root.freeze());
+
+        let mut overlay = TyPool::with_base(frozen);
+        let via_overlay = overlay.push_label(t, lat.top(), &lat);
+        assert_eq!(via_overlay, warmed, "frozen memo serves the overlay");
+        assert_eq!(overlay.push_cache_hits(), 1);
+        assert_eq!(overlay.tier_sizes().1, 0, "no overlay allocation at all");
+    }
+
+    #[test]
+    #[should_panic(expected = "tiers do not stack")]
+    fn freezing_an_overlay_panics() {
+        let root = TyPool::new();
+        let overlay = TyPool::with_base(Arc::new(root.freeze()));
+        let _ = overlay.freeze();
+    }
+
+    #[test]
+    fn push_memo_never_crosses_lattices() {
+        // One pool serves programs under many lattices, and labels are
+        // lattice-relative indices: the same (TyId, Label) pair denotes
+        // different joins under different lattices. The memo must key on
+        // the lattice too, or a chain-lattice warm-up would poison the
+        // diamond-lattice result (soundness regression).
+        let names = ["bot", "A", "B", "top"];
+        let chain = Lattice::from_order(&names, &[("bot", "A"), ("A", "B"), ("B", "top")]).unwrap();
+        let diamond =
+            Lattice::from_order(&names, &[("bot", "A"), ("bot", "B"), ("A", "top"), ("B", "top")])
+                .unwrap();
+        let (a_c, b_c) = (chain.label("A").unwrap(), chain.label("B").unwrap());
+        let (a_d, b_d) = (diamond.label("A").unwrap(), diamond.label("B").unwrap());
+        // Same element names in the same order: the raw label indices
+        // alias across the two lattices — exactly the dangerous case.
+        assert_eq!(a_c, a_d);
+        assert_eq!(b_c, b_d);
+
+        let mut syms = Interner::new();
+        let mut pool = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = pool.bit(8);
+        let hdr = pool.header(FieldList::new(vec![(f, SecTy::new(bit8, a_c))]));
+        let t = SecTy::new(hdr, chain.bottom());
+
+        // Chain: A ⊔ B = B. Warm the memo under the chain lattice.
+        let chained = pool.push_label(t, b_c, &chain);
+        assert_eq!(pool.field(chained.ty, f).unwrap().label, b_c);
+        // Diamond: A ⊔ B = ⊤ — the chain memo entry must not be reused.
+        let diamonded = pool.push_label(t, b_d, &diamond);
+        assert_eq!(pool.field(diamonded.ty, f).unwrap().label, diamond.top());
+        // Both entries are now memoized under their own lattice.
+        assert_eq!(pool.push_label(t, b_c, &chain), chained);
+        assert_eq!(pool.push_label(t, b_d, &diamond), diamonded);
+        assert_eq!(pool.push_cache_hits(), 2);
+    }
+
+    #[test]
+    fn frozen_ctx_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FrozenPool>();
+        assert_send_sync::<FrozenTyCtx>();
+    }
+
+    #[test]
+    fn ctx_with_base_keeps_sentinel_and_primitives() {
+        let root = TyCtx::new();
+        let frozen = Arc::new(root.freeze());
+        let mut ctx = TyCtx::with_base(&frozen);
+        assert_eq!(ctx.syms.lookup("").map(|s| s.index()), Some(0));
+        assert_eq!(ctx.types.intern(Ty::Bool), TyId::BOOL);
+        assert_eq!(ctx.types.kind(TyId::INT), &Ty::Int);
     }
 }

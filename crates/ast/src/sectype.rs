@@ -18,11 +18,17 @@
 //! deep recursive walk. Record and header fields are keyed by interned
 //! [`Symbol`]s; wide field lists additionally carry a sorted-by-symbol
 //! layout so lookup is a binary search instead of a linear scan.
+//!
+//! Compound nodes are `Arc`-backed so a pool can be *frozen* into an
+//! immutable `Send + Sync` segment ([`FrozenPool`](crate::pool::FrozenPool))
+//! shared across worker threads; ids carry a *tier bit*
+//! ([`TyId::is_overlay`]) distinguishing frozen-segment ids from per-worker
+//! overlay ids while keeping [`TyId::index`] globally dense.
 
 use crate::intern::{Interner, Symbol};
 use crate::surface::Direction;
 use p4bid_lattice::{Label, Lattice};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A handle to a structural type node inside a [`TyPool`](crate::pool::TyPool).
 ///
@@ -30,8 +36,19 @@ use std::rc::Rc;
 /// them. The pool hash-conses nodes, so within one pool two ids are equal
 /// **iff** the types they denote are structurally equal — the O(1) equality
 /// the checker's hot path relies on.
+///
+/// Bit 31 is the **tier bit**: clear for ids allocated in the root/frozen
+/// tier, set for ids allocated in an overlay above a frozen base segment.
+/// [`index`](TyId::index) masks the bit out and overlay indices continue
+/// where the frozen segment ends, so indices stay globally dense and
+/// `Vec`-backed side tables keep working unchanged across tiers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TyId(pub(crate) u32);
+
+/// The tier bit shared by [`TyId`] and [`Symbol`] raw encodings: set on
+/// handles allocated in a per-worker overlay, clear on handles from the
+/// root/frozen tier.
+pub const TIER_BIT: u32 = 1 << 31;
 
 impl TyId {
     /// `bool` (pre-interned by every pool).
@@ -43,10 +60,18 @@ impl TyId {
     /// `match_kind` (pre-interned by every pool).
     pub const MATCH_KIND: TyId = TyId(3);
 
-    /// The raw index of this id inside its pool.
+    /// The dense index of this id across both tiers of its pool (overlay
+    /// indices continue after the frozen segment).
     #[must_use]
     pub fn index(self) -> usize {
-        self.0 as usize
+        (self.0 & !TIER_BIT) as usize
+    }
+
+    /// Whether this id was allocated in a per-worker overlay (tier bit
+    /// set) rather than in the root/frozen tier.
+    #[must_use]
+    pub fn is_overlay(self) -> bool {
+        self.0 & TIER_BIT != 0
     }
 }
 
@@ -250,9 +275,9 @@ pub enum Ty {
     /// Unit (function returns).
     Unit,
     /// Record / struct `{ f : ⟨τ, χ⟩ }`.
-    Record(Rc<FieldList>),
+    Record(Arc<FieldList>),
     /// Header `header { f : ⟨τ, χ⟩ }` (always valid in this fragment).
-    Header(Rc<FieldList>),
+    Header(Arc<FieldList>),
     /// Header stack `⟨τ, χ⟩[n]`.
     Stack(SecTy, u32),
     /// A match-kind constant (`exact`, `lpm`, `ternary`).
@@ -260,7 +285,7 @@ pub enum Ty {
     /// A table closure; the label is `pc_tbl` (T-TblDecl).
     Table(Label),
     /// A function or action closure.
-    Function(Rc<FnTy>),
+    Function(Arc<FnTy>),
 }
 
 impl Ty {

@@ -14,6 +14,7 @@ use p4bid_lattice::{Label, Lattice};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Arc;
 
 /// A pool-free model of a resolved security type: structural shape plus
 /// label indices. Derived `Eq` on this model is the "ground truth"
@@ -171,5 +172,68 @@ proptest! {
         let a2 = build(&mut pool_ba, &mut syms_ba, &lat, &spec_a);
 
         prop_assert_eq!(a1 == b1, a2 == b2);
+    }
+
+    /// Interning through frozen-then-overlay tiers is equivalent to a
+    /// single flat pool: `ty_eq ⟺ id-equal` within each pool, and the
+    /// structures agree across tiers (shape-equality via the rendered
+    /// structural type, which is injective for pooled types).
+    #[test]
+    fn two_tier_interning_matches_flat(seed_a in any::<u64>(), seed_b in any::<u64>(), same in any::<bool>()) {
+        let lat = product_lattice();
+        let n_labels = u8::try_from(lat.len()).unwrap();
+        let spec_a = spec_from_seed(seed_a, n_labels);
+        let spec_b = if same { spec_a.clone() } else { spec_from_seed(seed_b, n_labels) };
+
+        // Flat pool: both trees in the root tier.
+        let (mut flat_pool, mut flat_syms) = (TyPool::new(), Interner::new());
+        let fa = build(&mut flat_pool, &mut flat_syms, &lat, &spec_a);
+        let fb = build(&mut flat_pool, &mut flat_syms, &lat, &spec_b);
+
+        // Tiered: tree A frozen into the base segment, then both trees
+        // interned through an overlay.
+        let (mut root_pool, mut root_syms) = (TyPool::new(), Interner::new());
+        let frozen_a = build(&mut root_pool, &mut root_syms, &lat, &spec_a);
+        let frozen_pool = Arc::new(root_pool.freeze());
+        let frozen_syms = Arc::new(root_syms.freeze());
+        let mut pool = TyPool::with_base(Arc::clone(&frozen_pool));
+        let mut syms = Interner::with_base(frozen_syms);
+        let ta = build(&mut pool, &mut syms, &lat, &spec_a);
+        let tb = build(&mut pool, &mut syms, &lat, &spec_b);
+
+        // Re-interning the frozen tree resolves to its frozen id and
+        // allocates nothing in the overlay.
+        prop_assert_eq!(ta, SecTy::new(frozen_a.ty, ta.label));
+        prop_assert!(!ta.ty.is_overlay());
+
+        // ty_eq ⟺ id-equal, identically in both pools.
+        prop_assert_eq!(spec_a == spec_b, fa == fb, "flat pool");
+        prop_assert_eq!(fa == fb, ta == tb, "tiered pool agrees with flat");
+        prop_assert_eq!(flat_pool.same_shape(fa, fb), pool.same_shape(ta, tb));
+
+        // Shape-equal across tiers: the rendered structural types match.
+        prop_assert_eq!(flat_pool.display(fa.ty, &flat_syms), pool.display(ta.ty, &syms));
+        prop_assert_eq!(flat_pool.display(fb.ty, &flat_syms), pool.display(tb.ty, &syms));
+    }
+
+    /// The overlay never duplicates frozen structure: re-building a frozen
+    /// tree through an overlay leaves the overlay empty.
+    #[test]
+    fn overlay_reuse_allocates_nothing(seed in any::<u64>()) {
+        let lat = product_lattice();
+        let n_labels = u8::try_from(lat.len()).unwrap();
+        let spec = spec_from_seed(seed, n_labels);
+
+        let (mut root_pool, mut root_syms) = (TyPool::new(), Interner::new());
+        let frozen_id = build(&mut root_pool, &mut root_syms, &lat, &spec);
+        let mut pool = TyPool::with_base(Arc::new(root_pool.freeze()));
+        let mut syms = Interner::with_base(Arc::new(root_syms.freeze()));
+
+        let again = build(&mut pool, &mut syms, &lat, &spec);
+        prop_assert_eq!(again.ty, frozen_id.ty);
+        prop_assert_eq!(pool.tier_sizes().1, 0, "no overlay type allocations");
+        prop_assert_eq!(syms.tier_sizes().1, 0, "no overlay symbol allocations");
+        let (hits, calls) = pool.frozen_hit_stats();
+        prop_assert_eq!(hits, calls, "every intern call was a frozen hit");
     }
 }

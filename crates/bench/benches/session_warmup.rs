@@ -1,0 +1,79 @@
+//! Session warm-up bench: the fixed cost the shared frozen core removes.
+//!
+//! Measures (a) a *cold* session build — [`CheckerSession::new`] plus the
+//! default-lattice prelude check every first `check` call would trigger —
+//! against (b) a [`SharedSessionCore::session`] clone, which starts fully
+//! warm off the frozen segment; plus (c) the one-time cost of freezing a
+//! core, amortized across every worker that clones it. The acceptance bar
+//! for the two-tier refactor is clone ≥ 10× cheaper than cold build.
+//!
+//! Run with `cargo bench -p p4bid-bench --bench session_warmup`. Set
+//! `P4BID_BENCH_JSON=path` to also write a machine-readable summary (the
+//! `BENCH_warmup.json` baseline in the repo root; CI uploads it as an
+//! artifact).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use p4bid::{CheckOptions, CheckerSession, SharedSessionCore};
+use std::fmt::Write as _;
+
+fn bench_session_warmup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session_warmup");
+
+    group.bench_function("cold_session_build", |b| {
+        b.iter(|| {
+            let mut session = CheckerSession::new(CheckOptions::ifc());
+            session.warm();
+            session
+        });
+    });
+
+    let core = SharedSessionCore::new(CheckOptions::ifc());
+    group.bench_function("shared_core_clone", |b| {
+        b.iter(|| core.session());
+    });
+
+    group.bench_function("core_freeze", |b| {
+        b.iter(|| SharedSessionCore::new(CheckOptions::ifc()));
+    });
+
+    group.finish();
+    summary_json();
+}
+
+/// Self-timed summary for the JSON artifact: microseconds per cold build
+/// vs per shared-core clone, and the resulting speedup.
+fn summary_json() {
+    let time_us = |f: &mut dyn FnMut()| p4bid_bench::time_ms_best_of(5, 200, f) * 1e3;
+
+    let cold_us = time_us(&mut || {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        session.warm();
+        std::hint::black_box(&session);
+    });
+    let core = SharedSessionCore::new(CheckOptions::ifc());
+    let clone_us = time_us(&mut || {
+        std::hint::black_box(core.session());
+    });
+    let freeze_us = time_us(&mut || {
+        std::hint::black_box(SharedSessionCore::new(CheckOptions::ifc()));
+    });
+
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-warmup/1\",");
+    let _ = writeln!(json, "  \"cold_session_build_us\": {cold_us:.3},");
+    let _ = writeln!(json, "  \"shared_core_clone_us\": {clone_us:.3},");
+    let _ = writeln!(json, "  \"core_freeze_us\": {freeze_us:.3},");
+    let _ = writeln!(json, "  \"warmup_speedup\": {:.1}", cold_us / clone_us.max(1e-9));
+    json.push_str("}\n");
+
+    match std::env::var("P4BID_BENCH_JSON") {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            println!("wrote session_warmup bench summary to {path}");
+        }
+        _ => println!("\n{json}"),
+    }
+}
+
+criterion_group!(benches, bench_session_warmup);
+criterion_main!(benches);

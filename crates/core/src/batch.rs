@@ -1,14 +1,17 @@
 //! Parallel batch checking: fan a corpus of programs out across cores,
 //! collect per-program diagnostics deterministically, and render reports.
 //!
-//! The driver pairs the reusable [`CheckerSession`] (prelude, interner, and
-//! lattice tables built once per worker) with a small dependency-free
-//! work-stealing thread pool: every worker owns a deque of program indices,
-//! pops from its own front, and steals from the back of its neighbours when
-//! it runs dry. Results are collected per worker and merged **by input
-//! index**, never by completion order, so the rendered reports are
-//! byte-identical run over run and across `--jobs` settings — the contract
-//! the determinism regression suite pins down.
+//! The driver builds one [`SharedSessionCore`] — the prelude lexed, parsed,
+//! checked, and its interner/pool frozen exactly once — and hands every
+//! worker of a small dependency-free work-stealing thread pool a cheap
+//! overlay [`CheckerSession`] cloned off it: every worker owns a deque of
+//! program indices, pops from its own front, and steals from the back of
+//! its neighbours when it runs dry. Results are collected per worker and
+//! merged **by input index**, never by completion order, so the rendered
+//! reports are byte-identical run over run, across `--jobs` settings, and
+//! across the shared-core vs cold-session paths — the contract the
+//! determinism regression suite pins down ([`check_batch_cold`] keeps the
+//! per-worker cold-session path alive exactly for that comparison).
 //!
 //! # Examples
 //!
@@ -31,7 +34,7 @@
 
 use crate::synth::synth_program;
 use p4bid_ast::span::span_line_col;
-use p4bid_typeck::{CheckOptions, CheckerSession, Diagnostic};
+use p4bid_typeck::{CheckOptions, CheckerSession, Diagnostic, SessionStats, SharedSessionCore};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -95,6 +98,31 @@ pub struct BatchReport {
     /// Worker count the batch ran with (reporting only; excluded from the
     /// JSON form so reports are identical across `--jobs` settings).
     pub jobs: usize,
+    /// Aggregated interner/pool tier statistics across the workers
+    /// (reporting only — overlay sizes depend on work-stealing order, so
+    /// these are excluded from the JSON form and from `render_table`;
+    /// `p4bid batch --stats` prints them via
+    /// [`render_stats`](BatchReport::render_stats)).
+    pub stats: BatchStats,
+}
+
+/// Aggregated type-universe statistics for one batch run: the shared
+/// frozen-segment sizes, the summed per-worker overlay sizes, and the
+/// frozen-segment hit counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BatchStats {
+    /// Per-worker session counters, merged (frozen sizes are shared and
+    /// taken once; overlay sizes and hit counters are summed).
+    pub sessions: SessionStats,
+    /// Number of worker sessions the counters were merged from.
+    pub workers: usize,
+}
+
+impl BatchStats {
+    fn absorb(&mut self, s: &SessionStats) {
+        self.sessions.absorb(s);
+        self.workers += 1;
+    }
 }
 
 impl BatchReport {
@@ -185,6 +213,35 @@ impl BatchReport {
         );
         out
     }
+
+    /// Human-readable tier/hit-rate statistics block (`p4bid batch
+    /// --stats`). Overlay sizes and hit counts depend on which worker
+    /// checked which program, so this block is intentionally not part of
+    /// the deterministic table/JSON renderings.
+    #[must_use]
+    pub fn render_stats(&self) -> String {
+        let s = &self.stats.sessions;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "type universe: frozen {} symbols / {} types; overlay +{} symbols / +{} types \
+             across {} worker session(s)",
+            s.frozen_syms, s.frozen_types, s.overlay_syms, s.overlay_types, self.stats.workers,
+        );
+        let _ = writeln!(
+            out,
+            "frozen-segment hit rate: symbols {:.1}% ({}/{}), types {:.1}% ({}/{}), \
+             push-cache hits {}",
+            s.sym_hit_rate() * 100.0,
+            s.sym_frozen_hits,
+            s.sym_intern_calls,
+            s.ty_hit_rate() * 100.0,
+            s.ty_frozen_hits,
+            s.ty_intern_calls,
+            s.push_cache_hits,
+        );
+        out
+    }
 }
 
 fn json_string(s: &str) -> String {
@@ -253,22 +310,60 @@ impl StealQueue {
     }
 }
 
-/// Checks every input and returns the ordered report.
+/// Checks every input against one freshly frozen [`SharedSessionCore`]
+/// and returns the ordered report.
 ///
-/// `jobs == 0` means "one worker per available core". Each worker owns a
-/// private [`CheckerSession`]; verdicts are merged by input index so the
-/// report (and its JSON/table renderings) is deterministic.
+/// `jobs == 0` means "one worker per available core". The prelude is
+/// lexed, parsed, and checked exactly once (when the core is frozen); each
+/// worker owns a private overlay [`CheckerSession`] cloned off the core.
+/// Verdicts are merged by input index so the report (and its JSON/table
+/// renderings) is deterministic.
 #[must_use]
 pub fn check_batch(inputs: &[BatchInput], opts: &CheckOptions, jobs: usize) -> BatchReport {
+    let core = SharedSessionCore::new(opts.clone());
+    check_batch_with_core(inputs, &core, jobs)
+}
+
+/// [`check_batch`] against an existing shared core — the entry point for
+/// long-lived services that keep one core across many batches.
+#[must_use]
+pub fn check_batch_with_core(
+    inputs: &[BatchInput],
+    core: &SharedSessionCore,
+    jobs: usize,
+) -> BatchReport {
+    run_batch(inputs, jobs, || core.session())
+}
+
+/// [`check_batch`] on the pre-shared-core path: every worker builds its
+/// own cold session (prelude re-checked per worker). Kept so the
+/// determinism suite can assert the shared-core reports are byte-identical
+/// to the historical per-worker-session output.
+#[must_use]
+pub fn check_batch_cold(inputs: &[BatchInput], opts: &CheckOptions, jobs: usize) -> BatchReport {
+    run_batch(inputs, jobs, || CheckerSession::new(opts.clone()))
+}
+
+/// The shared driver: fans `inputs` over `jobs` workers, each owning one
+/// session produced by `make_session`.
+fn run_batch(
+    inputs: &[BatchInput],
+    jobs: usize,
+    make_session: impl Fn() -> CheckerSession + Sync,
+) -> BatchReport {
     let jobs = match jobs {
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         n => n,
     };
     let jobs = jobs.min(inputs.len()).max(1);
 
+    let mut stats = BatchStats::default();
     let mut programs = if jobs == 1 {
-        let mut session = CheckerSession::new(opts.clone());
-        inputs.iter().enumerate().map(|(i, inp)| check_one(&mut session, i, inp)).collect()
+        let mut session = make_session();
+        let out: Vec<ProgramReport> =
+            inputs.iter().enumerate().map(|(i, inp)| check_one(&mut session, i, inp)).collect();
+        stats.absorb(&session.stats());
+        out
     } else {
         let queue = StealQueue::new(inputs.len(), jobs);
         let mut collected: Vec<ProgramReport> = Vec::with_capacity(inputs.len());
@@ -276,27 +371,31 @@ pub fn check_batch(inputs: &[BatchInput], opts: &CheckOptions, jobs: usize) -> B
             let handles: Vec<_> = (0..jobs)
                 .map(|w| {
                     let queue = &queue;
+                    let make_session = &make_session;
                     scope.spawn(move || {
-                        // Sessions hold `Rc`-backed tables, so each worker
-                        // builds its own instead of sharing behind a lock.
-                        let mut session = CheckerSession::new(opts.clone());
+                        // Sessions hold `Rc`-backed overlay tables, so each
+                        // worker owns one; only the frozen segment inside
+                        // is shared across threads.
+                        let mut session = make_session();
                         let mut out = Vec::new();
                         while let Some(i) = queue.next_task(w) {
                             out.push(check_one(&mut session, i, &inputs[i]));
                         }
-                        out
+                        (out, session.stats())
                     })
                 })
                 .collect();
             for h in handles {
-                collected.extend(h.join().expect("batch worker panicked"));
+                let (out, session_stats) = h.join().expect("batch worker panicked");
+                collected.extend(out);
+                stats.absorb(&session_stats);
             }
         });
         collected
     };
     // Deterministic contract: order by input index, not completion.
     programs.sort_by_key(|p| p.index);
-    BatchReport { programs, jobs }
+    BatchReport { programs, jobs, stats }
 }
 
 fn check_one(session: &mut CheckerSession, index: usize, input: &BatchInput) -> ProgramReport {
@@ -419,5 +518,41 @@ mod tests {
         let inputs = synthetic_corpus(64);
         let report = check_batch(&inputs, &CheckOptions::ifc(), 0);
         assert!(report.all_accepted(), "{}", report.render_table());
+    }
+
+    #[test]
+    fn shared_core_and_cold_paths_render_identically() {
+        let inputs = mixed_inputs();
+        let opts = CheckOptions::ifc();
+        let cold = check_batch_cold(&inputs, &opts, 1);
+        for jobs in [1, 2, 8] {
+            let shared = check_batch(&inputs, &opts, jobs);
+            assert_eq!(cold.to_json(), shared.to_json(), "jobs={jobs}");
+            assert_eq!(cold.render_table(), shared.render_table(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn one_core_serves_many_batches() {
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let inputs = mixed_inputs();
+        let first = check_batch_with_core(&inputs, &core, 2);
+        let second = check_batch_with_core(&inputs, &core, 4);
+        assert_eq!(first.to_json(), second.to_json());
+    }
+
+    #[test]
+    fn stats_report_frozen_segment_reuse() {
+        let report = check_batch(&synthetic_corpus(8), &CheckOptions::ifc(), 2);
+        let s = report.stats.sessions;
+        assert!(s.frozen_syms > 0 && s.frozen_types > 0, "{s:?}");
+        assert!(s.sym_frozen_hits > 0, "prelude names must be served frozen: {s:?}");
+        let rendered = report.render_stats();
+        assert!(rendered.contains("frozen-segment hit rate"), "{rendered}");
+        assert!(rendered.contains("type universe"), "{rendered}");
+        // The cold path reports empty frozen segments.
+        let cold = check_batch_cold(&synthetic_corpus(2), &CheckOptions::ifc(), 1);
+        assert_eq!(cold.stats.sessions.frozen_syms, 0);
+        assert_eq!(cold.stats.sessions.sym_frozen_hits, 0);
     }
 }

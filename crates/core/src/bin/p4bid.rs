@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! p4bid check FILE [--base|--permissive] [--pc LABEL]   typecheck a program
-//! p4bid batch DIR|--synthetic N [--jobs J] [--json]     check a whole corpus in parallel
+//! p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats]
+//!                                                       check a whole corpus in parallel
 //! p4bid matrix                                          §5 case-study accept/reject matrix
 //! p4bid table1 [ITERS]                                  regenerate Table 1 (default 20 iterations)
 //! p4bid ni FILE --control NAME [--runs N] [--observe L] empirical non-interference check
@@ -39,7 +40,7 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  p4bid check FILE [--base|--permissive] [--pc LABEL]\n  \
-                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--base|--permissive] [--pc LABEL]\n  \
+                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats] [--base|--permissive] [--pc LABEL]\n  \
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
@@ -190,6 +191,13 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         print!("{}", report.to_json());
     } else {
         print!("{}", report.render_table());
+    }
+    if args.iter().any(|a| a == "--stats") {
+        // Stats go to stderr like the timing line: tier sizes / hit rates
+        // depend on work-stealing order, and stdout must stay exactly the
+        // report (the `--json` form especially must parse as one JSON
+        // document).
+        eprint!("{}", report.render_stats());
     }
     // Timing goes to stderr so stdout stays byte-identical across runs.
     eprintln!(

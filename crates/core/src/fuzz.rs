@@ -6,14 +6,19 @@
 //! uses ([`StealQueue`](crate::batch::StealQueue)): each worker owns a
 //! deque of seeds, generates its programs locally (generation is a pure
 //! function of the seed), and records one [`SeedOutcome`] per seed.
-//! Results are merged **by seed**, never by completion order, so the final
-//! [`FuzzReport`] — including which violation is reported when several
-//! seeds fail — is identical for every worker count. The determinism
-//! regression suite pins this down end to end.
+//! Checker state comes from one frozen [`SharedSessionCore`] — the prelude
+//! is lexed/parsed/checked once per run, not once per worker — and each
+//! worker checks through a private overlay session cloned off it
+//! ([`run_fuzz_cold`] keeps the per-worker cold-session path alive for the
+//! determinism comparison). Results are merged **by seed**, never by
+//! completion order, so the final [`FuzzReport`] — including which
+//! violation is reported when several seeds fail — is identical for every
+//! worker count and for both session paths. The determinism regression
+//! suite pins this down end to end.
 
 use crate::batch::StealQueue;
 use p4bid_ni::{check_non_interference, random_program, GenConfig, NiConfig, NiOutcome};
-use p4bid_typeck::{CheckOptions, CheckerSession};
+use p4bid_typeck::{CheckOptions, CheckerSession, SharedSessionCore};
 
 /// What happened on one seed.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,13 +88,35 @@ pub fn fuzz_seed(
 }
 
 /// Fuzzes seeds `0..n` on `jobs` workers (`0` = one per core, `1` =
-/// serial with early exit on the first violation).
+/// serial with early exit on the first violation), all sharing one frozen
+/// session core.
 ///
 /// The report is deterministic in `(n, cfg, ni_cfg)` and independent of
 /// `jobs`: accepted/rejected totals count only seeds *below* the first
 /// violating seed, exactly as a serial early-exiting loop would see them.
 #[must_use]
 pub fn run_fuzz(n: u64, cfg: &GenConfig, ni_cfg: &NiConfig, jobs: usize) -> FuzzReport {
+    let core = SharedSessionCore::new(CheckOptions::ifc());
+    run_fuzz_with(n, cfg, ni_cfg, jobs, || core.session())
+}
+
+/// [`run_fuzz`] on the pre-shared-core path: every worker builds its own
+/// cold session. Kept so the determinism suite can assert the shared-core
+/// reports are byte-identical to the historical per-worker-session output.
+#[must_use]
+pub fn run_fuzz_cold(n: u64, cfg: &GenConfig, ni_cfg: &NiConfig, jobs: usize) -> FuzzReport {
+    run_fuzz_with(n, cfg, ni_cfg, jobs, || CheckerSession::new(CheckOptions::ifc()))
+}
+
+/// The shared driver: fans seeds over `jobs` workers, each owning one
+/// session produced by `make_session`.
+fn run_fuzz_with(
+    n: u64,
+    cfg: &GenConfig,
+    ni_cfg: &NiConfig,
+    jobs: usize,
+    make_session: impl Fn() -> CheckerSession + Sync,
+) -> FuzzReport {
     let jobs = match jobs {
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         j => j,
@@ -97,7 +124,7 @@ pub fn run_fuzz(n: u64, cfg: &GenConfig, ni_cfg: &NiConfig, jobs: usize) -> Fuzz
     let jobs = jobs.min(usize::try_from(n).unwrap_or(usize::MAX)).max(1);
 
     let outcomes: Vec<(u64, SeedOutcome)> = if jobs == 1 {
-        let mut session = CheckerSession::new(CheckOptions::ifc());
+        let mut session = make_session();
         let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0));
         for seed in 0..n {
             let o = fuzz_seed(&mut session, seed, cfg, ni_cfg);
@@ -122,11 +149,13 @@ pub fn run_fuzz(n: u64, cfg: &GenConfig, ni_cfg: &NiConfig, jobs: usize) -> Fuzz
                 .map(|w| {
                     let queue = &queue;
                     let min_violation = &min_violation;
+                    let make_session = &make_session;
                     scope.spawn(move || {
                         use std::sync::atomic::Ordering::Relaxed;
-                        // `Rc`-backed session tables are thread-local by
-                        // design: one session per worker, like `batch`.
-                        let mut session = CheckerSession::new(CheckOptions::ifc());
+                        // `Rc`-backed overlay tables are thread-local by
+                        // design: one session per worker, like `batch`;
+                        // only the frozen segment inside is shared.
+                        let mut session = make_session();
                         let mut out = Vec::new();
                         while let Some(ix) = queue.next_task(w) {
                             let seed = ix as u64;
@@ -201,6 +230,35 @@ mod tests {
         let mut s2 = CheckerSession::new(CheckOptions::ifc());
         for seed in 0..10 {
             assert_eq!(fuzz_seed(&mut s1, seed, &cfg, &ni), fuzz_seed(&mut s2, seed, &cfg, &ni));
+        }
+    }
+
+    #[test]
+    fn shared_core_and_cold_fuzz_reports_agree() {
+        let cfg = GenConfig::default();
+        let ni = quick_ni();
+        for jobs in [1, 2] {
+            let cold = run_fuzz_cold(15, &cfg, &ni, jobs);
+            let shared = run_fuzz(15, &cfg, &ni, jobs);
+            assert_eq!(cold.accepted, shared.accepted, "jobs={jobs}");
+            assert_eq!(cold.rejected, shared.rejected, "jobs={jobs}");
+            assert_eq!(cold.violation, shared.violation, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn shared_core_sessions_fuzz_identically_to_cold_ones() {
+        let cfg = GenConfig::default();
+        let ni = quick_ni();
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let mut shared = core.session();
+        let mut cold = CheckerSession::new(CheckOptions::ifc());
+        for seed in 0..10 {
+            assert_eq!(
+                fuzz_seed(&mut shared, seed, &cfg, &ni),
+                fuzz_seed(&mut cold, seed, &cfg, &ni),
+                "seed {seed}"
+            );
         }
     }
 

@@ -55,8 +55,8 @@ pub mod strip;
 pub mod synth;
 
 pub use p4bid_typeck::{
-    check_source as check, CheckOptions, CheckerSession, DiagCode, Diagnostic, Mode, TypedControl,
-    TypedProgram, PRELUDE,
+    check_source as check, CheckOptions, CheckerSession, DiagCode, Diagnostic, Mode, SessionStats,
+    SharedSessionCore, TypedControl, TypedProgram, PRELUDE,
 };
 
 /// The security-lattice substrate.
@@ -67,8 +67,8 @@ pub mod lattice {
 /// Surface and resolved abstract syntax, interning, and the hash-consing
 /// type pool.
 pub mod ast {
-    pub use p4bid_ast::intern::{Interner, Symbol};
-    pub use p4bid_ast::pool::{SharedTyCtx, TyCtx, TyPool};
+    pub use p4bid_ast::intern::{FrozenInterner, Interner, Symbol};
+    pub use p4bid_ast::pool::{FrozenPool, FrozenTyCtx, SharedTyCtx, TyCtx, TyPool};
     pub use p4bid_ast::pretty;
     pub use p4bid_ast::sectype::{FieldList, FnParam, FnTy, SecTy, Ty, TyId};
     pub use p4bid_ast::span::{line_col, source_line, span_line_col, LineCol, Span, Spanned};

@@ -178,6 +178,35 @@ fn batch_any_reject_exits_one_with_located_diagnostics() {
 }
 
 #[test]
+fn batch_stats_flag_prints_tier_sizes_and_hit_rate() {
+    let out = p4bid(&["batch", "--synthetic", "12", "--jobs", "2", "--stats"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("12 program(s): 12 accepted, 0 rejected"), "{stdout}");
+    // The stats block goes to stderr (like timing): it depends on
+    // work-stealing order, and stdout must stay exactly the report.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("type universe: frozen"), "{stderr}");
+    assert!(stderr.contains("overlay +"), "{stderr}");
+    assert!(stderr.contains("frozen-segment hit rate: symbols"), "{stderr}");
+    assert!(stderr.contains("push-cache hits"), "{stderr}");
+    assert!(!stdout.contains("frozen-segment hit rate"), "{stdout}");
+    // --json --stats: stdout parses as one JSON document, stats on stderr.
+    let json = p4bid(&["batch", "--synthetic", "12", "--json", "--stats"]);
+    let json_stdout = String::from_utf8_lossy(&json.stdout);
+    assert!(json_stdout.trim_end().ends_with('}'), "{json_stdout}");
+    assert!(!json_stdout.contains("frozen-segment hit rate"), "{json_stdout}");
+    assert!(
+        String::from_utf8_lossy(&json.stderr).contains("frozen-segment hit rate"),
+        "{}",
+        String::from_utf8_lossy(&json.stderr)
+    );
+    // Without the flag, no stats on either stream.
+    let plain = p4bid(&["batch", "--synthetic", "12", "--jobs", "2"]);
+    assert!(!String::from_utf8_lossy(&plain.stderr).contains("frozen-segment hit rate"));
+}
+
+#[test]
 fn batch_json_report_schema() {
     let dir = batch_dir("json", &[("a.p4", BATCH_OK), ("z-leak.p4", BATCH_LEAK)]);
     let out = p4bid(&["batch", dir.to_str().unwrap(), "--json"]);

@@ -3,7 +3,16 @@
 //! reports run over run — and, for `batch`, across worker counts. This
 //! pins the thread pool's ordered-collection contract: results are merged
 //! by input index, never by completion order.
+//!
+//! Since the shared-core refactor it also pins the session-sharing
+//! contract: the shared-frozen-core path (the default) and the historical
+//! freshly-built-per-worker-session path must render byte-identical
+//! reports at every worker count.
 
+use p4bid::batch::{check_batch, check_batch_cold, synthetic_corpus, BatchInput};
+use p4bid::fuzz::{run_fuzz, run_fuzz_cold};
+use p4bid::ni::{GenConfig, NiConfig};
+use p4bid::CheckOptions;
 use std::process::{Command, Output};
 
 fn p4bid(args: &[&str]) -> Output {
@@ -41,6 +50,47 @@ fn batch_json_is_byte_identical_across_runs() {
     let b = p4bid(&["batch", "--synthetic", "60", "--json", "--jobs", "3"]);
     assert!(a.status.success(), "{}", String::from_utf8_lossy(&a.stderr));
     assert_eq!(a.stdout, b.stdout, "batch JSON differs between identical runs");
+}
+
+#[test]
+fn batch_shared_core_matches_cold_sessions_across_job_counts() {
+    // The shared-core path must be an invisible optimization: table and
+    // JSON renderings byte-identical to per-worker cold sessions, for
+    // every worker count on both sides.
+    let mut inputs = synthetic_corpus(30);
+    inputs.insert(
+        7,
+        BatchInput::new(
+            "leak",
+            "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+        ),
+    );
+    inputs.insert(19, BatchInput::new("syntax-error", "control {"));
+    let opts = CheckOptions::ifc();
+    let reference = check_batch_cold(&inputs, &opts, 1);
+    for jobs in [1, 2, 8] {
+        let cold = check_batch_cold(&inputs, &opts, jobs);
+        let shared = check_batch(&inputs, &opts, jobs);
+        assert_eq!(reference.to_json(), cold.to_json(), "cold jobs={jobs}");
+        assert_eq!(reference.to_json(), shared.to_json(), "shared jobs={jobs}");
+        assert_eq!(reference.render_table(), shared.render_table(), "shared jobs={jobs}");
+    }
+}
+
+#[test]
+fn fuzz_shared_core_matches_cold_sessions_across_job_counts() {
+    let cfg = GenConfig::default();
+    let ni = NiConfig::default().with_runs(5);
+    let reference = run_fuzz_cold(20, &cfg, &ni, 1);
+    for jobs in [1, 2, 8] {
+        let cold = run_fuzz_cold(20, &cfg, &ni, jobs);
+        let shared = run_fuzz(20, &cfg, &ni, jobs);
+        for (name, report) in [("cold", &cold), ("shared", &shared)] {
+            assert_eq!(reference.accepted, report.accepted, "{name} jobs={jobs}");
+            assert_eq!(reference.rejected, report.rejected, "{name} jobs={jobs}");
+            assert_eq!(reference.violation, report.violation, "{name} jobs={jobs}");
+        }
+    }
 }
 
 #[test]

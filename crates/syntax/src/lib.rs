@@ -35,7 +35,8 @@ use std::fmt;
 pub mod lexer;
 pub mod parser;
 
-pub use parser::parse;
+pub use lexer::{lex, Token};
+pub use parser::{parse, parse_tokens};
 
 /// A lexical or syntactic error with its source location.
 #[derive(Debug, Clone, PartialEq, Eq)]

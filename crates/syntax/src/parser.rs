@@ -36,12 +36,28 @@ use p4bid_ast::surface::*;
 /// ```
 pub fn parse(source: &str) -> Result<Program, ParseError> {
     let tokens = lex(source)?;
+    parse_tokens(source, &tokens)
+}
+
+/// Parses an already-lexed token stream against its source text (the
+/// tokens must have been produced by [`lex`] on exactly `source`, which
+/// identifier tokens slice their names out of by span).
+///
+/// This is the reuse entry point for callers that check the same text many
+/// times — e.g. the standard prelude, whose `Copy` token slice is lexed
+/// once per process and shared across every checker session and worker.
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on syntax errors.
+pub fn parse_tokens(source: &str, tokens: &[Token]) -> Result<Program, ParseError> {
     let mut p = Parser { tokens, pos: 0, source };
     p.program()
 }
 
 struct Parser<'s> {
-    tokens: Vec<Token>,
+    /// The (possibly borrowed, pre-lexed) token stream.
+    tokens: &'s [Token],
     pos: usize,
     /// The source text; identifier tokens carry no payload, their names
     /// are sliced out of here by span.

@@ -38,7 +38,7 @@ use p4bid_ast::sectype::{FieldList, FnParam, FnTy, SecTy, Ty, TyId};
 use p4bid_ast::span::Span;
 use p4bid_ast::surface::*;
 use p4bid_lattice::{Label, Lattice};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Which judgement set to enforce.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -130,7 +130,7 @@ pub struct TypedControl {
     pub pc: Label,
     /// Inferred function/action types, in declaration order (includes
     /// globals visible to this control).
-    pub functions: Vec<(String, Rc<FnTy>)>,
+    pub functions: Vec<(String, Arc<FnTy>)>,
     /// Inferred table bounds `pc_tbl`, in declaration order.
     pub tables: Vec<(String, Label)>,
 }
@@ -270,7 +270,7 @@ pub(crate) fn resolve_default_pc(
 pub(crate) struct CheckerState {
     pub(crate) defs: TypeDefs,
     pub(crate) env: ScopedEnv,
-    pub(crate) sig_functions: Vec<(String, Rc<FnTy>)>,
+    pub(crate) sig_functions: Vec<(String, Arc<FnTy>)>,
 }
 
 impl CheckerState {
@@ -357,7 +357,7 @@ struct Checker<'a> {
     env: ScopedEnv,
     diags: Vec<Diagnostic>,
     /// Inferred signatures, recorded as declarations are checked.
-    sig_functions: Vec<(String, Rc<FnTy>)>,
+    sig_functions: Vec<(String, Arc<FnTy>)>,
     sig_tables: Vec<(String, Label)>,
     /// `Some(bounds)` while checking a function body whose `pc_fn` is being
     /// inferred; every pc constraint records its bound here.
@@ -656,7 +656,7 @@ impl Checker<'_> {
         as_stmt: bool,
     ) -> Option<SecTy> {
         let (ct, _) = self.expr(callee, pc)?;
-        // Cheap clone (compound nodes are `Rc`-backed) so the pool borrow
+        // Cheap clone (compound nodes are `Arc`-backed) so the pool borrow
         // does not overlap the recursive checks below.
         let callee_kind = self.pool.kind(ct.ty).clone();
         match callee_kind {
@@ -1043,8 +1043,8 @@ impl Checker<'_> {
             self.error(DiagCode::MissingReturn, msg, span);
         }
 
-        let fnty = Rc::new(FnTy { params: fn_params, pc_fn, ret: ret_ty, is_action });
-        self.sig_functions.push((name.node.clone(), Rc::clone(&fnty)));
+        let fnty = Arc::new(FnTy { params: fn_params, pc_fn, ret: ret_ty, is_action });
+        self.sig_functions.push((name.node.clone(), Arc::clone(&fnty)));
         let fn_tyid = self.pool.intern(Ty::Function(fnty));
         let info = VarInfo { ty: SecTy::bottom(fn_tyid, self.lat), writable: false };
         let sym = self.syms.intern(&name.node);
@@ -1070,7 +1070,7 @@ impl Checker<'_> {
     /// prefixes.
     fn table_decl(&mut self, t: &TableDecl) {
         // Gather the action signatures first: pc_tbl depends on them.
-        let mut action_tys: Vec<(Rc<FnTy>, &ActionRef)> = Vec::new();
+        let mut action_tys: Vec<(Arc<FnTy>, &ActionRef)> = Vec::new();
         for aref in &t.actions {
             match self.syms.lookup(&aref.name.node).and_then(|sym| self.env.lookup(sym)) {
                 Some(info) => match self.pool.kind(info.ty.ty).clone() {

@@ -18,7 +18,7 @@
 use crate::diag::{DiagCode, Diagnostic};
 use p4bid_ast::intern::{Interner, Symbol};
 use p4bid_ast::pool::TyPool;
-use p4bid_ast::sectype::{FieldList, SecTy, Ty, TyId};
+use p4bid_ast::sectype::{SecTy, TyId};
 use p4bid_ast::span::Span;
 use p4bid_ast::surface::{AnnType, TypeExpr};
 use p4bid_lattice::{Label, Lattice};
@@ -233,32 +233,14 @@ impl TypeDefs {
 /// scalars, recursively onto fields/elements for compounds (whose outer
 /// label stays `⊥`, Figure 4). New compound nodes are interned through the
 /// pool; pushing `⊥` is the identity and allocates nothing.
+///
+/// Thin wrapper around the memoizing [`TyPool::push_label`]: compound
+/// pushes are cached per `(TyId, Label)` in the pool (frozen tier
+/// included), so annotated compound types like `<alice_t, A>` resolve
+/// O(1) after their first use.
 #[must_use]
 pub fn push_label(ty: SecTy, label: Label, lat: &Lattice, pool: &mut TyPool) -> SecTy {
-    if lat.is_bottom(label) {
-        return ty;
-    }
-    match pool.kind(ty.ty).clone() {
-        Ty::Bool | Ty::Int | Ty::Bit(_) => SecTy::new(ty.ty, lat.join(ty.label, label)),
-        Ty::Record(fields) => {
-            let pushed = FieldList::new(
-                fields.iter().map(|&(n, t)| (n, push_label(t, label, lat, pool))).collect(),
-            );
-            SecTy::new(pool.record(pushed), ty.label)
-        }
-        Ty::Header(fields) => {
-            let pushed = FieldList::new(
-                fields.iter().map(|&(n, t)| (n, push_label(t, label, lat, pool))).collect(),
-            );
-            SecTy::new(pool.header(pushed), ty.label)
-        }
-        Ty::Stack(elem, n) => {
-            let pushed = push_label(elem, label, lat, pool);
-            SecTy::new(pool.stack(pushed, n), ty.label)
-        }
-        // Unit, match kinds, tables, functions are unaffected by pushing.
-        Ty::Unit | Ty::MatchKind | Ty::Table(_) | Ty::Function(_) => ty,
-    }
+    pool.push_label(ty, label, lat)
 }
 
 /// One Γ entry: the variable's security type plus whether it may be
@@ -352,6 +334,7 @@ impl ScopedEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use p4bid_ast::sectype::{FieldList, Ty};
     use p4bid_ast::span::Spanned;
 
     fn ann(ty: TypeExpr, label: Option<&str>) -> AnnType {

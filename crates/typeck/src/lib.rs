@@ -45,9 +45,11 @@ pub mod session;
 pub use checker::{check_program, CheckOptions, Mode, TypedControl, TypedParam, TypedProgram};
 pub use diag::{DiagCode, Diagnostic};
 pub use env::{LabelTable, ScopedEnv, TypeDefs, VarInfo};
-pub use session::CheckerSession;
+pub use session::{CheckerSession, SessionStats, SharedSessionCore};
 
 use p4bid_ast::surface::Program;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// The standard prelude, implicitly available to every program checked via
 /// [`check_source`]: the BMv2-style `standard_metadata_t`, the builtin
@@ -83,10 +85,69 @@ function bit<32> num_bits_set(in bit<32> x) {
 }
 "#;
 
-/// Parses the prelude. Infallible for the shipped prelude; kept private so
-/// the unit tests can prove it.
+/// How many times this process has lexed, parsed, and type-checked the
+/// prelude (see [`prelude_build_counts`]). The lex and parse counters can
+/// each reach at most 1: both results are cached process-wide.
+pub(crate) static PRELUDE_LEXES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static PRELUDE_PARSES: AtomicU64 = AtomicU64::new(0);
+pub(crate) static PRELUDE_CHECKS: AtomicU64 = AtomicU64::new(0);
+
+/// Process-wide prelude build counters, for asserting that shared-core
+/// workers never rebuild the prelude (the batch/fuzz regression suite pins
+/// this down).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PreludeBuildCounts {
+    /// Times the prelude text was lexed (at most 1: the `Copy` token slice
+    /// is cached process-wide and shared by every session).
+    pub lexes: u64,
+    /// Times the prelude token slice was parsed (at most 1: the parsed
+    /// `Program` is cached process-wide).
+    pub parses: u64,
+    /// Times the prelude items were type-checked (once per
+    /// session-and-lattice on the cold path; once per *core*-and-lattice
+    /// on the shared-core path).
+    pub checks: u64,
+}
+
+/// Reads the process-wide prelude build counters.
+#[must_use]
+pub fn prelude_build_counts() -> PreludeBuildCounts {
+    PreludeBuildCounts {
+        lexes: PRELUDE_LEXES.load(Ordering::Relaxed),
+        parses: PRELUDE_PARSES.load(Ordering::Relaxed),
+        checks: PRELUDE_CHECKS.load(Ordering::Relaxed),
+    }
+}
+
+/// The prelude token slice, lexed once per process (tokens are `Copy` and
+/// carry no text of their own, so the slice is shared statically exactly
+/// as the ROADMAP's token-stream-reuse item asked for).
+pub(crate) fn prelude_tokens() -> &'static [p4bid_syntax::Token] {
+    static TOKENS: OnceLock<Vec<p4bid_syntax::Token>> = OnceLock::new();
+    TOKENS.get_or_init(|| {
+        PRELUDE_LEXES.fetch_add(1, Ordering::Relaxed);
+        p4bid_syntax::lex(PRELUDE).expect("the shipped prelude lexes")
+    })
+}
+
+/// The prelude, parsed once per process from the cached token slice and
+/// shared by handle (sessions clone the `Arc`, never the AST).
+pub(crate) fn prelude_arc() -> std::sync::Arc<Program> {
+    static PROGRAM: OnceLock<std::sync::Arc<Program>> = OnceLock::new();
+    std::sync::Arc::clone(PROGRAM.get_or_init(|| {
+        PRELUDE_PARSES.fetch_add(1, Ordering::Relaxed);
+        std::sync::Arc::new(
+            p4bid_syntax::parse_tokens(PRELUDE, prelude_tokens())
+                .expect("the shipped prelude parses"),
+        )
+    }))
+}
+
+/// Parses the prelude: a clone of the process-wide cached parse of the
+/// process-wide cached token slice. Infallible for the shipped prelude;
+/// kept private so the unit tests can prove it.
 fn prelude_items() -> Program {
-    p4bid_syntax::parse(PRELUDE).expect("the shipped prelude parses")
+    (*prelude_arc()).clone()
 }
 
 /// Parses and typechecks a source program, with the [`PRELUDE`] available.

@@ -1,23 +1,34 @@
-//! Reusable checker sessions for throughput-oriented workloads.
+//! Reusable checker sessions for throughput-oriented workloads, and the
+//! shared frozen core that lets a fleet of sessions skip warm-up entirely.
 //!
 //! [`check_source`](crate::check_source) is convenient but pays fixed costs
-//! on every call: the standard prelude is re-lexed, re-parsed, and
-//! re-checked, a fresh interner is grown from nothing, and the lattice
-//! label table is rebuilt. A [`CheckerSession`] pays those costs once and
-//! then checks any number of programs against the shared state — the shape
-//! the `p4bid batch` driver and any long-running checking service want.
+//! on every call: the standard prelude is re-checked, a fresh interner is
+//! grown from nothing, and the lattice label table is rebuilt. A
+//! [`CheckerSession`] pays those costs once and then checks any number of
+//! programs against the shared state — the shape the `p4bid batch` driver
+//! and any long-running checking service want.
 //!
 //! A session is deliberately *not* `Sync`: parallel drivers give each
 //! worker thread its own session, which keeps every structure lock-free.
-//! Results are identical to the one-shot entry points (the conformance
-//! suite asserts this).
+//! What *is* shared across threads is a [`SharedSessionCore`]: an
+//! immutable, `Send + Sync` snapshot of a fully warmed session — frozen
+//! interner/pool segments, the parsed prelude, and the per-lattice
+//! checked-prelude states — produced by [`CheckerSession::freeze`] and
+//! turned back into per-worker sessions by [`SharedSessionCore::session`]
+//! at the cost of a few table clones (no prelude re-lex, re-parse, or
+//! re-check; the regression suite counts those builds). Results are
+//! identical to the one-shot entry points and to cold sessions (the
+//! conformance and determinism suites assert this).
 //!
 //! # Examples
 //!
 //! ```
-//! use p4bid_typeck::{CheckerSession, CheckOptions, DiagCode};
+//! use p4bid_typeck::{CheckerSession, CheckOptions, DiagCode, SharedSessionCore};
 //!
-//! let mut session = CheckerSession::new(CheckOptions::ifc());
+//! // One warmed, frozen core…
+//! let core = SharedSessionCore::new(CheckOptions::ifc());
+//! // …many cheap per-worker sessions.
+//! let mut session = core.session();
 //! for _ in 0..3 {
 //!     let ok = session.check("control C(inout bit<8> x) { apply { x = x + 8w1; } }");
 //!     assert!(ok.is_ok());
@@ -32,11 +43,12 @@ use crate::checker::{
     check_items, resolve_default_pc, resolve_lattice, CheckOptions, CheckerState, TypedProgram,
 };
 use crate::diag::{DiagCode, Diagnostic};
-use crate::prelude_items;
-use p4bid_ast::pool::{SharedTyCtx, TyCtx};
+use crate::{prelude_arc, PRELUDE_CHECKS};
+use p4bid_ast::pool::{FrozenTyCtx, SharedTyCtx, TyCtx};
 use p4bid_ast::surface::Program;
 use p4bid_lattice::Lattice;
 use std::rc::Rc;
+use std::sync::Arc;
 
 /// A reusable checking session: prelude, interner, and per-lattice checked
 /// prelude state are built once and shared across [`check`] calls.
@@ -46,6 +58,12 @@ use std::rc::Rc;
 /// declarations — the session caches one checked-prelude snapshot per
 /// distinct lattice it encounters.
 ///
+/// Sessions come in two flavors: *cold* ([`CheckerSession::new`]), which
+/// type-checks the prelude itself on first use, and *shared-core*
+/// ([`SharedSessionCore::session`]), which clones pre-checked state off an
+/// immutable frozen segment and layers a private overlay on top for
+/// program-local symbols and types.
+///
 /// [`check`]: CheckerSession::check
 #[derive(Debug)]
 pub struct CheckerSession {
@@ -53,27 +71,100 @@ pub struct CheckerSession {
     /// The shared interner + hash-consing type pool. Grown across checks
     /// (append-only); every [`TypedProgram`] this session produces holds a
     /// reference to it, so prelude types are pooled exactly once and keyed
-    /// by `TyId` in the per-lattice snapshots.
+    /// by `TyId` in the per-lattice snapshots. For shared-core sessions
+    /// this is an overlay over the core's frozen segment.
     ctx: SharedTyCtx,
-    /// The prelude, parsed once per session.
-    prelude: Program,
+    /// The prelude, parsed once per process and shared by handle.
+    prelude: Arc<Program>,
     /// Checked-prelude snapshots, keyed by the lattice they were checked
-    /// under. Real workloads use one lattice (or a handful), so a linear
-    /// scan over `Lattice` equality is fine.
-    states: Vec<(Lattice, CheckerState)>,
+    /// under and shared by handle (snapshots are immutable once built, so
+    /// cloning a session off a core is a handful of `Arc` bumps). Real
+    /// workloads use one lattice (or a handful), so a linear scan over
+    /// `Lattice` equality is fine.
+    states: Vec<(Lattice, Arc<CheckerState>)>,
 }
 
 impl CheckerSession {
-    /// Builds a session: parses the prelude once.
+    /// Builds a cold (root-tier) session.
     #[must_use]
     pub fn new(opts: CheckOptions) -> Self {
-        CheckerSession { opts, ctx: TyCtx::shared(), prelude: prelude_items(), states: Vec::new() }
+        CheckerSession { opts, ctx: TyCtx::shared(), prelude: prelude_arc(), states: Vec::new() }
     }
 
     /// The options this session checks under.
     #[must_use]
     pub fn options(&self) -> &CheckOptions {
         &self.opts
+    }
+
+    /// The default lattice of this session's options: the override if one
+    /// is set, else the two-point lattice (a program without a `lattice`
+    /// declaration resolves to exactly this).
+    fn default_lattice(&self) -> Lattice {
+        self.opts.lattice.clone().unwrap_or_else(Lattice::two_point)
+    }
+
+    /// Builds the checked-prelude snapshot for the session's default
+    /// lattice if it does not exist yet. [`freeze`](CheckerSession::freeze)
+    /// calls this so every worker cloned off the core starts warm; exposed
+    /// so benchmarks can isolate session-build cost.
+    ///
+    /// Warming can legitimately fail on user input — e.g. an ambient
+    /// `--pc` label that is not in the lattice. The error is *not*
+    /// surfaced here: every [`check`](CheckerSession::check) re-resolves
+    /// the same state and reports the diagnostic per program, exactly as a
+    /// cold session would.
+    pub fn warm(&mut self) {
+        let lattice = self.default_lattice();
+        let _ = self.prelude_state(&lattice);
+    }
+
+    /// Freezes this session into an immutable, `Send + Sync`
+    /// [`SharedSessionCore`] that any number of worker threads can clone
+    /// cheap sessions off. The default-lattice prelude snapshot is built
+    /// first (if missing), so cloned sessions start fully warm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the session's context is still referenced by live
+    /// [`TypedProgram`]s (freeze requires sole ownership), or if the
+    /// session itself came from a shared core (tiers do not stack).
+    #[must_use]
+    pub fn freeze(mut self) -> SharedSessionCore {
+        self.warm();
+        let ctx = Rc::try_unwrap(self.ctx)
+            .expect(
+                "freeze requires sole ownership of the session context; drop TypedPrograms first",
+            )
+            .into_inner();
+        SharedSessionCore {
+            opts: self.opts,
+            ctx: Arc::new(ctx.freeze()),
+            prelude: self.prelude,
+            states: self.states,
+        }
+    }
+
+    /// Tier sizes and frozen-segment hit counters of this session's
+    /// interner and pool.
+    #[must_use]
+    pub fn stats(&self) -> SessionStats {
+        let ctx = self.ctx.borrow();
+        let (frozen_syms, overlay_syms) = ctx.syms.tier_sizes();
+        let (sym_frozen_hits, sym_intern_calls) = ctx.syms.frozen_hit_stats();
+        let (frozen_types, overlay_types) = ctx.types.tier_sizes();
+        let (ty_frozen_hits, ty_intern_calls) = ctx.types.frozen_hit_stats();
+        SessionStats {
+            frozen_syms,
+            overlay_syms,
+            frozen_types,
+            overlay_types,
+            sym_frozen_hits,
+            sym_intern_calls,
+            ty_frozen_hits,
+            ty_intern_calls,
+            push_cache_hits: ctx.types.push_cache_hits(),
+        }
     }
 
     /// Parses and checks one program, with the prelude available — the
@@ -98,7 +189,7 @@ impl CheckerSession {
     pub fn check_parsed(&mut self, user: Program) -> Result<TypedProgram, Vec<Diagnostic>> {
         let lattice = resolve_lattice(&user, &self.opts)?;
         let default_pc = resolve_default_pc(&lattice, &self.opts)?;
-        let state = self.prelude_state(&lattice)?.clone();
+        let state = CheckerState::clone(&*self.prelude_state(&lattice)?);
 
         let (controls, state) = {
             let mut ctx = self.ctx.borrow_mut();
@@ -107,17 +198,18 @@ impl CheckerSession {
 
         // The interpreter needs the prelude definitions in the program
         // body, exactly as `check_source` includes them.
-        let mut program = self.prelude.clone();
+        let mut program = (*self.prelude).clone();
         program.items.extend(user.items);
         Ok(TypedProgram { lattice, defs: state.defs, controls, program, ctx: Rc::clone(&self.ctx) })
     }
 
     /// The checked-prelude snapshot for a lattice, built on first use.
-    fn prelude_state(&mut self, lattice: &Lattice) -> Result<&CheckerState, Vec<Diagnostic>> {
+    fn prelude_state(&mut self, lattice: &Lattice) -> Result<Arc<CheckerState>, Vec<Diagnostic>> {
         if let Some(ix) = self.states.iter().position(|(l, _)| l == lattice) {
-            return Ok(&self.states[ix].1);
+            return Ok(Arc::clone(&self.states[ix].1));
         }
         let default_pc = resolve_default_pc(lattice, &self.opts)?;
+        PRELUDE_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let (_, state) = {
             let mut ctx = self.ctx.borrow_mut();
             check_items(
@@ -135,8 +227,126 @@ impl CheckerSession {
                 diags
             })?
         };
-        self.states.push((lattice.clone(), state));
-        Ok(&self.states.last().expect("just pushed").1)
+        let state = Arc::new(state);
+        self.states.push((lattice.clone(), Arc::clone(&state)));
+        Ok(state)
+    }
+}
+
+/// An immutable, `Send + Sync` snapshot of a warmed [`CheckerSession`]:
+/// the frozen interner/pool segments, the parsed prelude, and the
+/// per-lattice checked-prelude states.
+///
+/// Built once (via [`SharedSessionCore::new`] or
+/// [`CheckerSession::freeze`]) and shared across worker threads via `Arc`;
+/// each worker calls [`session`](SharedSessionCore::session) to get a
+/// private overlay session that starts fully warm — no prelude re-lex,
+/// re-parse, or re-check, ever.
+#[derive(Debug, Clone)]
+pub struct SharedSessionCore {
+    opts: CheckOptions,
+    /// The frozen interner + pool segment every worker overlays.
+    ctx: Arc<FrozenTyCtx>,
+    /// The parsed prelude (shared by handle with each worker session).
+    prelude: Arc<Program>,
+    /// Checked-prelude snapshots frozen with the core, shared by handle.
+    /// Every `Symbol` and `TyId` inside points into the frozen segment.
+    states: Vec<(Lattice, Arc<CheckerState>)>,
+}
+
+impl SharedSessionCore {
+    /// Builds and freezes a warmed session in one step.
+    #[must_use]
+    pub fn new(opts: CheckOptions) -> Self {
+        CheckerSession::new(opts).freeze()
+    }
+
+    /// The options every session cloned off this core checks under.
+    #[must_use]
+    pub fn options(&self) -> &CheckOptions {
+        &self.opts
+    }
+
+    /// The frozen `(symbol, type)` segment sizes of this core.
+    #[must_use]
+    pub fn frozen_sizes(&self) -> (usize, usize) {
+        (self.ctx.syms.len(), self.ctx.types.len())
+    }
+
+    /// A fresh per-worker session: a private overlay over the frozen
+    /// segment, with the prelude program and the per-lattice
+    /// checked-prelude snapshots cloned in. Costs a few table clones —
+    /// roughly 10–100× cheaper than a cold [`CheckerSession::new`] +
+    /// prelude check (the `session_warmup` bench tracks the ratio).
+    #[must_use]
+    pub fn session(&self) -> CheckerSession {
+        CheckerSession {
+            opts: self.opts.clone(),
+            ctx: TyCtx::shared_with_base(&self.ctx),
+            prelude: self.prelude.clone(),
+            states: self.states.clone(),
+        }
+    }
+}
+
+/// Tier sizes and frozen-segment hit counters of one session (see
+/// [`CheckerSession::stats`]); batch drivers aggregate one per worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Interner frozen-segment size (0 for cold sessions).
+    pub frozen_syms: usize,
+    /// Interner overlay size (names first seen by this session).
+    pub overlay_syms: usize,
+    /// Pool frozen-segment size (0 for cold sessions).
+    pub frozen_types: usize,
+    /// Pool overlay size (types first built by this session).
+    pub overlay_types: usize,
+    /// Symbol intern calls answered by the frozen segment.
+    pub sym_frozen_hits: u64,
+    /// Total symbol intern calls.
+    pub sym_intern_calls: u64,
+    /// Type intern calls answered by the frozen segment.
+    pub ty_frozen_hits: u64,
+    /// Total type intern calls.
+    pub ty_intern_calls: u64,
+    /// `push_label` calls answered by the `(TyId, Label)` memo.
+    pub push_cache_hits: u64,
+}
+
+impl SessionStats {
+    /// Accumulates another worker's counters into this one (tier sizes
+    /// take the maximum — the frozen segment is shared, overlays are
+    /// summed).
+    pub fn absorb(&mut self, other: &SessionStats) {
+        self.frozen_syms = self.frozen_syms.max(other.frozen_syms);
+        self.frozen_types = self.frozen_types.max(other.frozen_types);
+        self.overlay_syms += other.overlay_syms;
+        self.overlay_types += other.overlay_types;
+        self.sym_frozen_hits += other.sym_frozen_hits;
+        self.sym_intern_calls += other.sym_intern_calls;
+        self.ty_frozen_hits += other.ty_frozen_hits;
+        self.ty_intern_calls += other.ty_intern_calls;
+        self.push_cache_hits += other.push_cache_hits;
+    }
+
+    /// Fraction of symbol intern calls served by the frozen segment.
+    #[must_use]
+    pub fn sym_hit_rate(&self) -> f64 {
+        if self.sym_intern_calls == 0 {
+            0.0
+        } else {
+            self.sym_frozen_hits as f64 / self.sym_intern_calls as f64
+        }
+    }
+
+    /// Fraction of type intern calls served by the frozen segment.
+    #[must_use]
+    pub fn ty_hit_rate(&self) -> f64 {
+        if self.ty_intern_calls == 0 {
+            0.0
+        } else {
+            self.ty_frozen_hits as f64 / self.ty_intern_calls as f64
+        }
     }
 }
 
@@ -154,26 +364,30 @@ mod tests {
              control C(inout <bit<8>, A> a, inout <bit<8>, B> b) { apply { a = b; } }",
             "control C(inout bit<8> x) { apply { mark_to_drop_missing(); } }",
         ];
-        let mut session = CheckerSession::new(CheckOptions::ifc());
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let mut cold = CheckerSession::new(CheckOptions::ifc());
+        let mut shared = core.session();
         for _ in 0..2 {
             for src in sources {
                 let one_shot = check_source(src, &CheckOptions::ifc());
-                let via_session = session.check(src);
-                match (one_shot, via_session) {
-                    (Ok(a), Ok(b)) => {
-                        assert_eq!(a.controls.len(), b.controls.len());
-                        assert_eq!(a.lattice, b.lattice);
-                        assert_eq!(a.program, b.program);
+                for session in [&mut cold, &mut shared] {
+                    let via_session = session.check(src);
+                    match (&one_shot, via_session) {
+                        (Ok(a), Ok(b)) => {
+                            assert_eq!(a.controls.len(), b.controls.len());
+                            assert_eq!(a.lattice, b.lattice);
+                            assert_eq!(a.program, b.program);
+                        }
+                        (Err(a), Err(b)) => {
+                            let codes =
+                                |ds: &[Diagnostic]| ds.iter().map(|d| d.code).collect::<Vec<_>>();
+                            assert_eq!(codes(a), codes(&b), "{src}");
+                            let spans =
+                                |ds: &[Diagnostic]| ds.iter().map(|d| d.span).collect::<Vec<_>>();
+                            assert_eq!(spans(a), spans(&b), "{src}");
+                        }
+                        (a, b) => panic!("verdicts diverge on {src}: {a:?} vs {b:?}"),
                     }
-                    (Err(a), Err(b)) => {
-                        let codes =
-                            |ds: &[Diagnostic]| ds.iter().map(|d| d.code).collect::<Vec<_>>();
-                        assert_eq!(codes(&a), codes(&b), "{src}");
-                        let spans =
-                            |ds: &[Diagnostic]| ds.iter().map(|d| d.span).collect::<Vec<_>>();
-                        assert_eq!(spans(&a), spans(&b), "{src}");
-                    }
-                    (a, b) => panic!("verdicts diverge on {src}: {a:?} vs {b:?}"),
                 }
             }
         }
@@ -221,5 +435,92 @@ mod tests {
     #[test]
     fn prelude_text_is_nonempty() {
         assert!(PRELUDE.contains("standard_metadata_t"));
+    }
+
+    #[test]
+    fn shared_core_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SharedSessionCore>();
+    }
+
+    #[test]
+    fn core_sessions_start_warm_and_stay_private() {
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let (frozen_syms, frozen_types) = core.frozen_sizes();
+        assert!(frozen_syms > 0 && frozen_types > 4, "core froze the prelude universe");
+
+        let mut a = core.session();
+        let mut b = core.session();
+        let stats = a.stats();
+        assert_eq!(stats.frozen_syms, frozen_syms);
+        assert_eq!(stats.frozen_types, frozen_types);
+        assert_eq!((stats.overlay_syms, stats.overlay_types), (0, 0), "born with empty overlays");
+        assert_eq!(a.states.len(), 1, "default-lattice snapshot cloned in");
+
+        // `bit<32>` and `num_bits_set` live in the frozen prelude segment.
+        a.check("control C(inout bit<32> x) { apply { x = num_bits_set(x); } }").expect("accepts");
+        let sa = a.stats();
+        assert!(sa.sym_frozen_hits > 0, "prelude names served frozen: {sa:?}");
+        assert!(sa.ty_frozen_hits > 0, "prelude types served frozen: {sa:?}");
+        // b's overlay is untouched by a's checking.
+        assert_eq!(b.stats().overlay_syms, 0);
+        b.check("control D(inout bit<16> y) { apply { y = y + 16w1; } }").expect("accepts");
+    }
+
+    #[test]
+    fn core_sessions_handle_new_lattices_locally() {
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let mut session = core.session();
+        let diamond = "lattice { bot < A; bot < B; A < top; B < top; }\n\
+                       control C(inout <bit<8>, A> a) { apply { a = 8w1; } }";
+        session.check(diamond).expect("accepts");
+        assert_eq!(session.states.len(), 2, "new lattice snapshot built in the overlay");
+    }
+
+    #[test]
+    #[should_panic(expected = "tiers do not stack")]
+    fn refreezing_a_core_session_panics() {
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let _ = core.session().freeze();
+    }
+
+    #[test]
+    fn bad_ambient_pc_is_a_diagnostic_not_a_panic() {
+        // An unknown `--pc` label must surface per check (as it does on
+        // the cold path), not blow up core construction / warming.
+        let core = SharedSessionCore::new(CheckOptions::ifc().with_pc("bogus"));
+        let mut session = core.session();
+        let errs = session.check("control C(inout bit<8> x) { apply { } }").unwrap_err();
+        assert!(errs.iter().any(|d| d.code == DiagCode::UnknownLabel), "{errs:?}");
+    }
+
+    #[test]
+    fn push_memo_is_lattice_scoped_across_programs() {
+        // Soundness regression: the same header checked under a *chain*
+        // lattice (where A ⊔ B = B) and then under a *diamond* lattice
+        // with the same element names (where A ⊔ B = ⊤) shares one pool —
+        // the chain's label-push memo must not leak into the diamond
+        // program, or the explicit flow below would be accepted.
+        let chain_ok = "lattice { bot < A; A < B; B < top; }\n\
+                        header h_t { <bit<8>, A> f; }\n\
+                        control C(inout <h_t, B> x, inout <bit<8>, B> sink) {\n\
+                            apply { sink = x.f; }\n\
+                        }";
+        let diamond_leak = "lattice { bot < A; bot < B; A < top; B < top; }\n\
+                            header h_t { <bit<8>, A> f; }\n\
+                            control C(inout <h_t, B> x, inout <bit<8>, B> sink) {\n\
+                                apply { sink = x.f; }\n\
+                            }";
+        for warm_chain_first in [false, true] {
+            let mut session = SharedSessionCore::new(CheckOptions::ifc()).session();
+            if warm_chain_first {
+                session.check(chain_ok).expect("chain program accepts: A ⊔ B = B flows to B");
+            }
+            let errs = session.check(diamond_leak).unwrap_err();
+            assert!(
+                errs.iter().any(|d| d.code == DiagCode::ExplicitFlow),
+                "diamond leak must be rejected (warm_chain_first={warm_chain_first}): {errs:?}"
+            );
+        }
     }
 }
