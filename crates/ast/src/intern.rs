@@ -2,7 +2,7 @@
 //!
 //! Every identifier the typechecker touches — variable, action, table, and
 //! type names, plus security-label names — is mapped once to a dense
-//! [`Symbol`] id. Downstream tables ([`p4bid_typeck`]'s Γ and Δ) are then
+//! [`Symbol`] id. Downstream tables (`p4bid_typeck`'s Γ and Δ) are then
 //! plain `Vec`s indexed by the symbol, so the per-occurrence cost of a name
 //! is one hash of the string on first sight and an array index ever after,
 //! instead of a `String`-keyed hash-map probe (hash + allocation + full
@@ -14,7 +14,7 @@
 //! hands the frozen segment to every worker via `Arc`. Each worker then
 //! layers a private lock-free *overlay* on top
 //! ([`Interner::with_base`]) for program-local names. Overlay symbols carry
-//! the [`TIER_BIT`](crate::sectype::TIER_BIT) in their raw encoding but
+//! the [`TIER_BIT`] in their raw encoding but
 //! their [`index`](Symbol::index) continues where the frozen segment ends,
 //! so indices stay globally dense and `Vec`-backed side tables work
 //! unchanged across tiers.

@@ -21,7 +21,7 @@
 //! [`freeze`](TyPool::freeze)d into an immutable, `Send + Sync`
 //! [`FrozenPool`] that many worker threads share via `Arc`, each layering a
 //! private overlay pool on top ([`TyPool::with_base`]). Overlay ids carry
-//! the [`TIER_BIT`](crate::sectype::TIER_BIT); their
+//! the [`TIER_BIT`]; their
 //! [`index`](TyId::index) continues after the frozen segment, so ids stay
 //! globally dense and id equality stays O(1) across tiers (a frozen and an
 //! overlay id are never equal, and structurally equal types interned

@@ -10,8 +10,8 @@
 //! effect positions) and the outermost label of such types is `⊥`; base
 //! types (`bool`, `int`, `bit<n>`) carry their own label.
 //!
-//! Structural nodes ([`Ty`]) live in a hash-consing [`TyPool`]
-//! (`crate::pool`) and are referred to by copyable [`TyId`] handles; a
+//! Structural nodes ([`Ty`]) live in a hash-consing
+//! [`TyPool`](crate::pool::TyPool) and are referred to by copyable [`TyId`] handles; a
 //! [`SecTy`] is then just `(TyId, Label)` — a 8-byte `Copy` value — so the
 //! typechecker's hot path moves security types around for free and
 //! structural equality of pooled types is an id comparison instead of a

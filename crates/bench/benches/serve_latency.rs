@@ -1,0 +1,151 @@
+//! Serve-latency bench: request-to-report time against a warm core.
+//!
+//! The streaming ingest service (`p4bid serve`) answers each epoch off a
+//! long-lived [`SharedSessionCore`], so its latency floor is "parse one
+//! request + check it through a warm overlay session + render the epoch
+//! report". This bench measures that floor for a single request (the
+//! interactive tail-latency case), a 64-program epoch (the scan-tick
+//! case), and the poll-based directory scanner's no-change tick (the idle
+//! cost of `p4bid watch`).
+//!
+//! Run with `cargo bench -p p4bid-bench --bench serve_latency`. Set
+//! `P4BID_BENCH_JSON=path` to also write a machine-readable summary (the
+//! `BENCH_serve.json` baseline in the repo root; CI uploads it as an
+//! artifact).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use p4bid::batch::synthetic_corpus;
+use p4bid::serve::{parse_request, DirScanner, ServeEngine};
+use p4bid::{CheckOptions, SharedSessionCore};
+use std::fmt::Write as _;
+
+const EPOCH: usize = 64;
+
+/// One inline request as the feed would carry it.
+fn request_line() -> String {
+    let source = p4bid::synth::synth_program(4, true)
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+        .replace('\t', "\\t");
+    format!("{{\"id\": \"req-0\", \"source\": \"{source}\"}}")
+}
+
+/// A scratch directory of `n` corpus files for the scanner benches. The
+/// mtimes are aged past the scanner's racy window so the unchanged-tick
+/// bench measures the steady-state stat-only fast path, not the
+/// recently-modified re-hash path.
+fn scan_dir(n: usize) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("p4bid-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let aged = std::time::SystemTime::now() - std::time::Duration::from_secs(60);
+    for input in synthetic_corpus(n) {
+        let path = dir.join(format!("{}.p4", input.name));
+        std::fs::write(&path, &input.source).expect("write");
+        let f = std::fs::File::options().append(true).open(&path).expect("open");
+        f.set_modified(aged).expect("age mtime");
+    }
+    dir
+}
+
+fn bench_serve_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serve_latency");
+
+    // Request-to-report: parse the feed line, check it on a warm engine,
+    // render the epoch document — everything but the I/O.
+    let core = SharedSessionCore::new(CheckOptions::ifc());
+    let line = request_line();
+    group.bench_with_input(BenchmarkId::new("request_to_report", "single"), &line, |b, line| {
+        let mut engine = ServeEngine::with_core(core.clone(), 1);
+        b.iter(|| {
+            let req = parse_request(line).expect("parses");
+            let input = match req.body {
+                p4bid::serve::RequestBody::Source(source) => {
+                    p4bid::batch::BatchInput::new(req.id, source)
+                }
+                p4bid::serve::RequestBody::Path(_) => unreachable!("inline request"),
+            };
+            engine.run_epoch(std::slice::from_ref(&input)).to_ndjson()
+        });
+    });
+
+    let corpus = synthetic_corpus(EPOCH);
+    group.throughput(Throughput::Elements(EPOCH as u64));
+    group.bench_with_input(BenchmarkId::new("epoch", "64-programs"), &corpus, |b, inputs| {
+        let mut engine = ServeEngine::with_core(core.clone(), 0);
+        b.iter(|| engine.run_epoch(inputs).render_table());
+    });
+
+    // The idle cost of `p4bid watch`: a scan tick over an unchanged
+    // directory (mtime fast path, no reads).
+    let dir = scan_dir(EPOCH);
+    group.bench_function("scan_tick_unchanged", |b| {
+        let mut scanner = DirScanner::new(&dir);
+        let first = scanner.scan().expect("initial scan");
+        assert_eq!(first.changed.len(), EPOCH);
+        b.iter(|| {
+            let delta = scanner.scan().expect("tick");
+            assert!(delta.is_empty());
+        });
+    });
+    group.finish();
+
+    summary_json(&core, &line, &corpus, &dir);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Self-timed summary for the JSON artifact: microseconds per single
+/// request, per 64-program epoch, and per no-change scan tick.
+fn summary_json(
+    core: &SharedSessionCore,
+    line: &str,
+    corpus: &[p4bid::batch::BatchInput],
+    dir: &std::path::Path,
+) {
+    let time_us =
+        |batches, iters, f: &mut dyn FnMut()| p4bid_bench::time_ms_best_of(batches, iters, f) * 1e3;
+
+    let mut engine = ServeEngine::with_core(core.clone(), 1);
+    let request_us = time_us(5, 50, &mut || {
+        let req = parse_request(line).expect("parses");
+        let p4bid::serve::RequestBody::Source(source) = req.body else { unreachable!() };
+        let input = p4bid::batch::BatchInput::new(req.id, source);
+        std::hint::black_box(engine.run_epoch(std::slice::from_ref(&input)).to_ndjson());
+    });
+    let mut engine = ServeEngine::with_core(core.clone(), 0);
+    let epoch_us = time_us(3, 5, &mut || {
+        std::hint::black_box(engine.run_epoch(corpus).render_table());
+    });
+    let mut scanner = DirScanner::new(dir);
+    let _ = scanner.scan().expect("initial scan");
+    let scan_us = time_us(5, 50, &mut || {
+        std::hint::black_box(scanner.scan().expect("tick"));
+    });
+
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-serve/1\",");
+    let _ = writeln!(json, "  \"cores\": {cores},");
+    let _ = writeln!(json, "  \"epoch_programs\": {},", corpus.len());
+    let _ = writeln!(json, "  \"request_to_report_us\": {request_us:.3},");
+    let _ = writeln!(json, "  \"epoch64_us\": {epoch_us:.3},");
+    let _ = writeln!(
+        json,
+        "  \"epoch_programs_per_sec\": {:.0},",
+        corpus.len() as f64 / (epoch_us / 1e6)
+    );
+    let _ = writeln!(json, "  \"scan_tick_unchanged_us\": {scan_us:.3}");
+    json.push_str("}\n");
+
+    match std::env::var("P4BID_BENCH_JSON") {
+        Ok(path) if !path.is_empty() => {
+            std::fs::write(&path, &json).expect("write bench JSON");
+            println!("wrote serve_latency bench summary to {path}");
+        }
+        _ => println!("\n{json}"),
+    }
+}
+
+criterion_group!(benches, bench_serve_latency);
+criterion_main!(benches);

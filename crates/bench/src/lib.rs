@@ -7,7 +7,11 @@
 //! * `interp` — interpreter and NI-harness throughput (substrate);
 //! * `batch` — session reuse and whole-corpus batch throughput;
 //! * `typeck_hot` — the checker hot paths the hash-consed type pool
-//!   targets (pooled sessions, wide-header field lookup, τ-equality).
+//!   targets (pooled sessions, wide-header field lookup, τ-equality);
+//! * `session_warmup` — cold session build vs shared-core clone (the
+//!   fixed cost the frozen core removes);
+//! * `serve_latency` — request-to-report latency of the streaming ingest
+//!   service against a warm core, plus the watcher's idle scan tick.
 
 #![forbid(unsafe_code)]
 

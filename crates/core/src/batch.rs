@@ -119,9 +119,77 @@ pub struct BatchStats {
 }
 
 impl BatchStats {
-    fn absorb(&mut self, s: &SessionStats) {
+    pub(crate) fn absorb(&mut self, s: &SessionStats) {
         self.sessions.absorb(s);
         self.workers += 1;
+    }
+
+    /// Accumulates a whole batch's counters into this one — the shape a
+    /// long-lived serve loop wants, tracking cumulative tier/hit-rate
+    /// statistics across epochs.
+    pub fn merge(&mut self, other: &BatchStats) {
+        self.sessions.absorb(&other.sessions);
+        self.workers += other.workers;
+    }
+
+    /// Human-readable tier/hit-rate statistics block (`--stats`). Overlay
+    /// sizes and hit counts depend on which worker checked which program,
+    /// so this block is intentionally not part of the deterministic
+    /// table/JSON report renderings.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        let s = &self.sessions;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "type universe: frozen {} symbols / {} types; overlay +{} symbols / +{} types \
+             across {} worker session(s)",
+            s.frozen_syms, s.frozen_types, s.overlay_syms, s.overlay_types, self.workers,
+        );
+        let _ = writeln!(
+            out,
+            "frozen-segment hit rate: symbols {:.1}% ({}/{}), types {:.1}% ({}/{}), \
+             push-cache hits {}",
+            s.sym_hit_rate() * 100.0,
+            s.sym_frozen_hits,
+            s.sym_intern_calls,
+            s.ty_hit_rate() * 100.0,
+            s.ty_frozen_hits,
+            s.ty_intern_calls,
+            s.push_cache_hits,
+        );
+        out
+    }
+
+    /// Machine-readable statistics (`--stats-json`): one JSON document per
+    /// line, schema `p4bid-stats/1`, emitted on **stderr** so the
+    /// deterministic report schemas on stdout are never polluted —
+    /// everything in here (overlay sizes, hit counters) legitimately
+    /// varies with work-stealing order. `epochs` is present only for
+    /// `serve`/`watch`, where the counters are cumulative across epochs.
+    #[must_use]
+    pub fn render_json(&self, command: &str, epochs: Option<u64>) -> String {
+        let s = &self.sessions;
+        let mut out = String::from("{");
+        let _ = write!(out, "\"schema\": \"p4bid-stats/1\"");
+        let _ = write!(out, ", \"command\": {}", json_string(command));
+        if let Some(epochs) = epochs {
+            let _ = write!(out, ", \"epochs\": {epochs}");
+        }
+        let _ = write!(out, ", \"workers\": {}", self.workers);
+        let _ = write!(out, ", \"frozen_syms\": {}", s.frozen_syms);
+        let _ = write!(out, ", \"overlay_syms\": {}", s.overlay_syms);
+        let _ = write!(out, ", \"frozen_types\": {}", s.frozen_types);
+        let _ = write!(out, ", \"overlay_types\": {}", s.overlay_types);
+        let _ = write!(out, ", \"sym_frozen_hits\": {}", s.sym_frozen_hits);
+        let _ = write!(out, ", \"sym_intern_calls\": {}", s.sym_intern_calls);
+        let _ = write!(out, ", \"sym_hit_rate\": {:.4}", s.sym_hit_rate());
+        let _ = write!(out, ", \"ty_frozen_hits\": {}", s.ty_frozen_hits);
+        let _ = write!(out, ", \"ty_intern_calls\": {}", s.ty_intern_calls);
+        let _ = write!(out, ", \"ty_hit_rate\": {:.4}", s.ty_hit_rate());
+        let _ = write!(out, ", \"push_cache_hits\": {}", s.push_cache_hits);
+        out.push_str("}\n");
+        out
     }
 }
 
@@ -154,36 +222,25 @@ impl BatchReport {
         out.push_str("  \"schema\": \"p4bid-batch-report/1\",\n");
         out.push_str("  \"programs\": [\n");
         for (i, p) in self.programs.iter().enumerate() {
-            let status = if p.accepted { "accept" } else { "reject" };
-            let _ = write!(
-                out,
-                "    {{\"index\": {}, \"name\": {}, \"status\": \"{status}\", \"diagnostics\": [",
-                p.index,
-                json_string(&p.name),
-            );
-            for (j, d) in p.diagnostics.iter().enumerate() {
-                let _ = write!(
-                    out,
-                    "{}{{\"code\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
-                    if j == 0 { "" } else { ", " },
-                    json_string(&d.code),
-                    d.line,
-                    d.col,
-                    json_string(&d.message),
-                );
-            }
-            out.push_str(if i + 1 == self.programs.len() { "]}\n" } else { "]},\n" });
+            out.push_str("    ");
+            out.push_str(&program_json(p));
+            out.push_str(if i + 1 == self.programs.len() { "\n" } else { ",\n" });
         }
         out.push_str("  ],\n");
-        let _ = writeln!(
-            out,
-            "  \"summary\": {{\"total\": {}, \"accepted\": {}, \"rejected\": {}}}",
+        let _ = writeln!(out, "  \"summary\": {}", self.summary_json());
+        out.push_str("}\n");
+        out
+    }
+
+    /// The `{"total": …, "accepted": …, "rejected": …}` summary object
+    /// shared by the batch and serve report schemas.
+    pub(crate) fn summary_json(&self) -> String {
+        format!(
+            "{{\"total\": {}, \"accepted\": {}, \"rejected\": {}}}",
             self.programs.len(),
             self.accepted(),
             self.rejected(),
-        );
-        out.push_str("}\n");
-        out
+        )
     }
 
     /// Human-readable table, one row per program plus a summary line.
@@ -215,36 +272,46 @@ impl BatchReport {
     }
 
     /// Human-readable tier/hit-rate statistics block (`p4bid batch
-    /// --stats`). Overlay sizes and hit counts depend on which worker
-    /// checked which program, so this block is intentionally not part of
-    /// the deterministic table/JSON renderings.
+    /// --stats`); see [`BatchStats::render_text`].
     #[must_use]
     pub fn render_stats(&self) -> String {
-        let s = &self.stats.sessions;
-        let mut out = String::new();
-        let _ = writeln!(
-            out,
-            "type universe: frozen {} symbols / {} types; overlay +{} symbols / +{} types \
-             across {} worker session(s)",
-            s.frozen_syms, s.frozen_types, s.overlay_syms, s.overlay_types, self.stats.workers,
-        );
-        let _ = writeln!(
-            out,
-            "frozen-segment hit rate: symbols {:.1}% ({}/{}), types {:.1}% ({}/{}), \
-             push-cache hits {}",
-            s.sym_hit_rate() * 100.0,
-            s.sym_frozen_hits,
-            s.sym_intern_calls,
-            s.ty_hit_rate() * 100.0,
-            s.ty_frozen_hits,
-            s.ty_intern_calls,
-            s.push_cache_hits,
-        );
-        out
+        self.stats.render_text()
     }
 }
 
-fn json_string(s: &str) -> String {
+/// Renders one program's verdict as a JSON object — the exact bytes the
+/// `p4bid-batch-report/1` schema embeds, reused verbatim by the
+/// `p4bid-serve-report/1` epoch documents so the two schemas can never
+/// drift apart per program.
+pub(crate) fn program_json(p: &ProgramReport) -> String {
+    let mut out = String::new();
+    let status = if p.accepted { "accept" } else { "reject" };
+    let _ = write!(
+        out,
+        "{{\"index\": {}, \"name\": {}, \"status\": \"{status}\", \"diagnostics\": [",
+        p.index,
+        json_string(&p.name),
+    );
+    for (j, d) in p.diagnostics.iter().enumerate() {
+        let _ = write!(
+            out,
+            "{}{{\"code\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            if j == 0 { "" } else { ", " },
+            json_string(&d.code),
+            d.line,
+            d.col,
+            json_string(&d.message),
+        );
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Escapes `s` as a JSON string literal (shared by the batch, serve, and
+/// stats renderers — every schema in this crate is hand-rendered so the
+/// byte-identical-report contract never depends on a serializer's
+/// formatting choices).
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

@@ -2,21 +2,30 @@
 //!
 //! ```text
 //! p4bid check FILE [--base|--permissive] [--pc LABEL]   typecheck a program
-//! p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats]
+//! p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats|--stats-json]
 //!                                                       check a whole corpus in parallel
+//! p4bid serve [--socket PATH] [--jobs J] [--json] [--max-epochs N] [--refresh-every N]
+//!                                                       streaming ingest daemon (NDJSON feed)
+//! p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--max-epochs N]
+//!                                                       watch a directory, re-check on change
 //! p4bid matrix                                          §5 case-study accept/reject matrix
 //! p4bid table1 [ITERS]                                  regenerate Table 1 (default 20 iterations)
 //! p4bid ni FILE --control NAME [--runs N] [--observe L] empirical non-interference check
 //! p4bid corpus [NAME] [--insecure|--unannotated]        list or print corpus programs
-//! p4bid fuzz [N] [--safe-bias F] [--jobs J]             soundness fuzzing over N random programs
+//! p4bid fuzz [N] [--safe-bias F] [--jobs J] [--stats|--stats-json]
+//!                                                       soundness fuzzing over N random programs
 //! ```
+//!
+//! See `docs/CLI.md` for the full reference (exit codes, report schemas,
+//! environment knobs).
 
-use p4bid::batch::{check_batch, synthetic_corpus, BatchInput};
+use p4bid::batch::{check_batch, synthetic_corpus, BatchInput, BatchStats};
 use p4bid::fuzz::{run_fuzz, SeedOutcome};
 use p4bid::ni::{check_non_interference, GenConfig, NiConfig, NiOutcome};
 use p4bid::report::{
     case_study_matrix, measure_table1, render_matrix, render_table1, unannotated_source,
 };
+use p4bid::serve::{run_feed, run_watch, DirScanner, ServeEngine, ServeSummary};
 use p4bid::{check, render_diagnostics, CheckOptions};
 use std::process::ExitCode;
 
@@ -25,6 +34,8 @@ fn main() -> ExitCode {
     match args.first().map(String::as_str) {
         Some("check") => cmd_check(&args[1..]),
         Some("batch") => cmd_batch(&args[1..]),
+        Some("serve") => cmd_serve(&args[1..]),
+        Some("watch") => cmd_watch(&args[1..]),
         Some("matrix") => {
             print!("{}", render_matrix(&case_study_matrix()));
             ExitCode::SUCCESS
@@ -40,11 +51,13 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  p4bid check FILE [--base|--permissive] [--pc LABEL]\n  \
-                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats] [--base|--permissive] [--pc LABEL]\n  \
+                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats|--stats-json] [--base|--permissive] [--pc LABEL]\n  \
+                 p4bid serve [--socket PATH] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N]\n  \
+                 p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N]\n  \
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
-                 p4bid fuzz [N] [--safe-bias F] [--jobs J]"
+                 p4bid fuzz [N] [--safe-bias F] [--jobs J] [--stats|--stats-json]"
             );
             ExitCode::from(2)
         }
@@ -58,8 +71,19 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Every flag that consumes the following argument as its value, across
 /// all subcommands. Needed to tell a positional argument apart from a
 /// flag value (`p4bid batch --jobs 2 DIR` must find `DIR`, not `2`).
-const VALUE_FLAGS: [&str; 7] =
-    ["--pc", "--jobs", "--synthetic", "--runs", "--observe", "--control", "--safe-bias"];
+const VALUE_FLAGS: [&str; 11] = [
+    "--pc",
+    "--jobs",
+    "--synthetic",
+    "--runs",
+    "--observe",
+    "--control",
+    "--safe-bias",
+    "--socket",
+    "--max-epochs",
+    "--refresh-every",
+    "--interval-ms",
+];
 
 /// The first positional (non-flag, non-flag-value) argument.
 fn positional(args: &[String]) -> Option<&str> {
@@ -172,16 +196,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         inputs
     };
 
-    let jobs = match flag_value(args, "--jobs") {
-        None => 0, // one worker per core
-        Some(j) => match j.parse::<usize>() {
-            Ok(j) if j >= 1 => j,
-            _ => {
-                eprintln!("error: `--jobs` needs a positive worker count, got `{j}`");
-                return ExitCode::from(2);
-            }
-        },
-    };
+    let Ok(jobs) = parse_jobs(args) else { return ExitCode::from(2) };
 
     let opts = check_options(args);
     let start = std::time::Instant::now();
@@ -192,13 +207,11 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     } else {
         print!("{}", report.render_table());
     }
-    if args.iter().any(|a| a == "--stats") {
-        // Stats go to stderr like the timing line: tier sizes / hit rates
-        // depend on work-stealing order, and stdout must stay exactly the
-        // report (the `--json` form especially must parse as one JSON
-        // document).
-        eprint!("{}", report.render_stats());
-    }
+    // Stats go to stderr like the timing line: tier sizes / hit rates
+    // depend on work-stealing order, and stdout must stay exactly the
+    // report (the `--json` form especially must parse as one JSON
+    // document).
+    print_stats(args, &report.stats, "batch", None);
     // Timing goes to stderr so stdout stays byte-identical across runs.
     eprintln!(
         "checked {} program(s) in {:.1} ms on {} worker(s)",
@@ -211,6 +224,148 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     } else {
         ExitCode::FAILURE
     }
+}
+
+/// `--jobs J` shared by `batch`, `serve`, and `watch`: absent means one
+/// worker per core, explicit values must be positive.
+fn parse_jobs(args: &[String]) -> Result<usize, ()> {
+    match flag_value(args, "--jobs") {
+        None => Ok(0),
+        Some(j) => match j.parse::<usize>() {
+            Ok(j) if j >= 1 => Ok(j),
+            _ => {
+                eprintln!("error: `--jobs` needs a positive worker count, got `{j}`");
+                Err(())
+            }
+        },
+    }
+}
+
+/// An optional non-negative integer flag value.
+fn u64_flag(args: &[String], flag: &str) -> Result<Option<u64>, ()> {
+    match flag_value(args, flag) {
+        None => Ok(None),
+        Some(v) => match v.parse::<u64>() {
+            Ok(n) => Ok(Some(n)),
+            Err(_) => {
+                eprintln!("error: `{flag}` needs a non-negative integer, got `{v}`");
+                Err(())
+            }
+        },
+    }
+}
+
+/// `--stats` / `--stats-json` on stderr, shared by `batch`, `serve`,
+/// `watch`, and `fuzz`. `epochs` is set by the serve loops, whose
+/// counters are cumulative across epochs.
+fn print_stats(args: &[String], stats: &BatchStats, command: &str, epochs: Option<u64>) {
+    if args.iter().any(|a| a == "--stats") {
+        eprint!("{}", stats.render_text());
+    }
+    if args.iter().any(|a| a == "--stats-json") {
+        eprint!("{}", stats.render_json(command, epochs));
+    }
+}
+
+/// Shared tail of `serve`/`watch`: stats, the final summary line, and the
+/// exit code (0 all accepted, 1 any reject, 2 ingest error).
+fn finish_serve(
+    args: &[String],
+    engine: &ServeEngine,
+    result: std::io::Result<ServeSummary>,
+    command: &str,
+) -> ExitCode {
+    // Stats first, even on an ingest error: a long-running daemon's
+    // cumulative counters are exactly what the operator asked for with
+    // `--stats`/`--stats-json`, and they survive the failure.
+    print_stats(args, &engine.cumulative_stats(), command, Some(engine.epochs()));
+    let summary = match result {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    eprintln!(
+        "served {} epoch(s): {} program(s) checked, {} request(s) skipped",
+        summary.epochs, summary.requests, summary.skipped,
+    );
+    if summary.any_rejected {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn cmd_serve(args: &[String]) -> ExitCode {
+    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every)) =
+        (parse_jobs(args), u64_flag(args, "--max-epochs"), u64_flag(args, "--refresh-every"))
+    else {
+        return ExitCode::from(2);
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let mut engine = ServeEngine::new(check_options(args), jobs).with_refresh_every(refresh_every);
+    let result = if let Some(socket) = flag_value(args, "--socket") {
+        #[cfg(unix)]
+        {
+            p4bid::serve::run_socket(
+                &mut engine,
+                std::path::Path::new(socket),
+                &mut std::io::stdout().lock(),
+                &mut std::io::stderr().lock(),
+                json,
+                max_epochs,
+            )
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = socket;
+            eprintln!("error: `--socket` needs a Unix platform; use the stdin feed instead");
+            return ExitCode::from(2);
+        }
+    } else {
+        run_feed(
+            &mut engine,
+            &mut std::io::stdin().lock(),
+            &mut std::io::stdout().lock(),
+            &mut std::io::stderr().lock(),
+            json,
+            max_epochs,
+        )
+    };
+    finish_serve(args, &engine, result, "serve")
+}
+
+fn cmd_watch(args: &[String]) -> ExitCode {
+    let Some(dir) = positional(args) else {
+        eprintln!("error: `p4bid watch` needs a directory");
+        return ExitCode::from(2);
+    };
+    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(interval_ms)) = (
+        parse_jobs(args),
+        u64_flag(args, "--max-epochs"),
+        u64_flag(args, "--refresh-every"),
+        u64_flag(args, "--interval-ms"),
+    ) else {
+        return ExitCode::from(2);
+    };
+    if !std::path::Path::new(dir).is_dir() {
+        eprintln!("error: cannot watch `{dir}`: not a directory");
+        return ExitCode::from(2);
+    }
+    let json = args.iter().any(|a| a == "--json");
+    let mut engine = ServeEngine::new(check_options(args), jobs).with_refresh_every(refresh_every);
+    let mut scanner = DirScanner::new(dir);
+    let result = run_watch(
+        &mut engine,
+        &mut scanner,
+        &mut std::io::stdout().lock(),
+        &mut std::io::stderr().lock(),
+        json,
+        max_epochs,
+        std::time::Duration::from_millis(interval_ms.unwrap_or(500)),
+    );
+    finish_serve(args, &engine, result, "watch")
 }
 
 fn cmd_ni(args: &[String]) -> ExitCode {
@@ -310,6 +465,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     };
     let ni_cfg = NiConfig::default().with_runs(30);
     let report = run_fuzz(n, &cfg, &ni_cfg, jobs);
+    print_stats(args, &report.stats, "fuzz", None);
     if let Some((seed, SeedOutcome::Violation { source, witness })) = &report.violation {
         eprintln!("SOUNDNESS VIOLATION at seed {seed}:\n{source}\n{witness}");
         return ExitCode::FAILURE;

@@ -3,7 +3,7 @@
 //! cores, with reports byte-identical to the serial run.
 //!
 //! Seeds are partitioned over the same work-stealing pool `p4bid batch`
-//! uses ([`StealQueue`](crate::batch::StealQueue)): each worker owns a
+//! uses ([`StealQueue`]): each worker owns a
 //! deque of seeds, generates its programs locally (generation is a pure
 //! function of the seed), and records one [`SeedOutcome`] per seed.
 //! Checker state comes from one frozen [`SharedSessionCore`] — the prelude
@@ -16,7 +16,7 @@
 //! worker count and for both session paths. The determinism regression
 //! suite pins this down end to end.
 
-use crate::batch::StealQueue;
+use crate::batch::{BatchStats, StealQueue};
 use p4bid_ni::{check_non_interference, random_program, GenConfig, NiConfig, NiOutcome};
 use p4bid_typeck::{CheckOptions, CheckerSession, SharedSessionCore};
 
@@ -52,6 +52,10 @@ pub struct FuzzReport {
     pub rejected: u64,
     /// The lowest-seed soundness violation, if any.
     pub violation: Option<(u64, SeedOutcome)>,
+    /// Aggregated interner/pool tier statistics across the workers
+    /// (reporting only — excluded from the deterministic report contract;
+    /// `p4bid fuzz --stats-json` prints them on stderr).
+    pub stats: BatchStats,
 }
 
 impl FuzzReport {
@@ -123,6 +127,7 @@ fn run_fuzz_with(
     };
     let jobs = jobs.min(usize::try_from(n).unwrap_or(usize::MAX)).max(1);
 
+    let mut stats = BatchStats::default();
     let outcomes: Vec<(u64, SeedOutcome)> = if jobs == 1 {
         let mut session = make_session();
         let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0));
@@ -134,6 +139,7 @@ fn run_fuzz_with(
                 break;
             }
         }
+        stats.absorb(&session.stats());
         out
     } else {
         let queue = StealQueue::new(usize::try_from(n).unwrap_or(usize::MAX), jobs);
@@ -168,18 +174,22 @@ fn run_fuzz_with(
                             }
                             out.push((seed, outcome));
                         }
-                        out
+                        (out, session.stats())
                     })
                 })
                 .collect();
             for h in handles {
-                collected.extend(h.join().expect("fuzz worker panicked"));
+                let (out, session_stats) = h.join().expect("fuzz worker panicked");
+                collected.extend(out);
+                stats.absorb(&session_stats);
             }
         });
         collected
     };
 
-    merge_by_seed(n, outcomes)
+    let mut report = merge_by_seed(n, outcomes);
+    report.stats = stats;
+    report
 }
 
 /// Merges per-seed outcomes into the canonical report: the lowest-seed
@@ -187,7 +197,13 @@ fn run_fuzz_with(
 /// it (matching a serial early-exiting run).
 fn merge_by_seed(total: u64, mut outcomes: Vec<(u64, SeedOutcome)>) -> FuzzReport {
     outcomes.sort_by_key(|&(seed, _)| seed);
-    let mut report = FuzzReport { total, accepted: 0, rejected: 0, violation: None };
+    let mut report = FuzzReport {
+        total,
+        accepted: 0,
+        rejected: 0,
+        violation: None,
+        stats: BatchStats::default(),
+    };
     for (seed, outcome) in outcomes {
         match outcome {
             SeedOutcome::Accepted => report.accepted += 1,

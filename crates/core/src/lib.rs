@@ -9,9 +9,11 @@
 //! This crate is the facade: it re-exports the pieces, ships the
 //! [`corpus`] of case studies, derives the unannotated baselines
 //! ([`strip`]), generates scaling workloads ([`synth`]), checks whole
-//! corpora in parallel ([`batch`]), fuzzes the soundness theorem across
-//! cores ([`fuzz`]), renders diagnostics ([`render_diagnostics`]), and
-//! produces the evaluation reports ([`report`]).
+//! corpora in parallel ([`batch`]), runs the streaming ingest service
+//! behind `p4bid serve` / `p4bid watch` ([`serve`]), fuzzes the soundness
+//! theorem across cores ([`fuzz`]), renders diagnostics
+//! ([`render_diagnostics`]), and produces the evaluation reports
+//! ([`report`]).
 //!
 //! ## Quickstart
 //!
@@ -51,6 +53,7 @@ pub mod corpus;
 pub mod fuzz;
 pub mod packet;
 pub mod report;
+pub mod serve;
 pub mod strip;
 pub mod synth;
 

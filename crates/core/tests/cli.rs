@@ -207,6 +207,37 @@ fn batch_stats_flag_prints_tier_sizes_and_hit_rate() {
 }
 
 #[test]
+fn batch_and_fuzz_stats_json_schema() {
+    // `--stats-json` emits one `p4bid-stats/1` document on stderr; the
+    // deterministic report on stdout is untouched.
+    let out = p4bid(&["batch", "--synthetic", "8", "--jobs", "2", "--stats-json"]);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let stats_line = stderr
+        .lines()
+        .find(|l| l.starts_with("{\"schema\": \"p4bid-stats/1\""))
+        .unwrap_or_else(|| panic!("no stats document on stderr: {stderr}"));
+    for needle in [
+        "\"command\": \"batch\"",
+        "\"workers\": ",
+        "\"frozen_syms\": ",
+        "\"overlay_types\": ",
+        "\"sym_hit_rate\": ",
+        "\"ty_intern_calls\": ",
+        "\"push_cache_hits\": ",
+    ] {
+        assert!(stats_line.contains(needle), "{needle} missing from {stats_line}");
+    }
+    assert!(!stats_line.contains("\"epochs\""), "epochs is serve-only: {stats_line}");
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("p4bid-stats"), "stdout stays clean");
+
+    let fuzz = p4bid(&["fuzz", "20", "--jobs", "2", "--stats-json"]);
+    assert!(fuzz.status.success(), "{}", String::from_utf8_lossy(&fuzz.stderr));
+    let stderr = String::from_utf8_lossy(&fuzz.stderr);
+    assert!(stderr.contains("{\"schema\": \"p4bid-stats/1\", \"command\": \"fuzz\", "), "{stderr}");
+}
+
+#[test]
 fn batch_json_report_schema() {
     let dir = batch_dir("json", &[("a.p4", BATCH_OK), ("z-leak.p4", BATCH_LEAK)]);
     let out = p4bid(&["batch", dir.to_str().unwrap(), "--json"]);

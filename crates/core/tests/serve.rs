@@ -1,0 +1,305 @@
+//! End-to-end tests for the streaming ingest daemon (`p4bid serve` /
+//! `p4bid watch`): the real binary, fed over stdin / a Unix socket / a
+//! watched directory, with per-epoch stdout asserted **byte-identical**
+//! to `p4bid batch` on the same inputs — the serve determinism contract,
+//! across `--jobs 1/2/8`.
+
+use std::io::{Read as _, Write as _};
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const OK: &str = "control C(inout bit<8> x) { apply { x = x + 8w1; } }";
+const OK2: &str = "control D(inout bit<16> y) { apply { y = y + 16w2; } }";
+const LEAK: &str = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }";
+
+fn p4bid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p4bid"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p4bid-serve-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// `p4bid batch DIR [--json]` stdout — the byte-level reference every
+/// serve epoch is held to.
+fn batch_stdout(dir: &std::path::Path, json: bool) -> String {
+    let mut cmd = p4bid();
+    cmd.arg("batch").arg(dir);
+    if json {
+        cmd.arg("--json");
+    }
+    let out = cmd.output().expect("batch runs");
+    String::from_utf8(out.stdout).expect("utf-8 batch report")
+}
+
+/// Runs `p4bid serve` with `feed` on stdin and returns its output.
+fn serve_with_feed(args: &[&str], feed: &str) -> Output {
+    let mut child = p4bid()
+        .arg("serve")
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child.stdin.take().expect("stdin piped").write_all(feed.as_bytes()).expect("feed written");
+    // Dropping stdin closes the feed; EOF flushes the final epoch.
+    child.wait_with_output().expect("serve exits")
+}
+
+/// Feed lines for every `.p4` file of `dir`, sorted by name — the same
+/// input order `p4bid batch DIR` uses, so the reports must match.
+fn path_feed(dir: &std::path::Path) -> String {
+    let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read dir")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "p4"))
+        .collect();
+    names.sort();
+    names.iter().map(|p| format!("{{\"path\": \"{}\"}}\n", p.display())).collect()
+}
+
+#[test]
+fn serve_epochs_are_byte_identical_to_batch_across_jobs() {
+    let epoch1 = scratch_dir("feed-a");
+    std::fs::write(epoch1.join("a.p4"), OK).unwrap();
+    std::fs::write(epoch1.join("b.p4"), LEAK).unwrap();
+    std::fs::write(epoch1.join("c.p4"), "control {").unwrap();
+    let epoch2 = scratch_dir("feed-b");
+    std::fs::write(epoch2.join("d.p4"), OK2).unwrap();
+    std::fs::write(epoch2.join("e.p4"), OK).unwrap();
+
+    // Two epochs: a blank line splits them, EOF flushes the second.
+    let feed = format!("{}\n{}", path_feed(&epoch1), path_feed(&epoch2));
+    let expected = format!("{}{}", batch_stdout(&epoch1, false), batch_stdout(&epoch2, false));
+    for jobs in ["1", "2", "8"] {
+        let out = serve_with_feed(&["--jobs", jobs], &feed);
+        assert_eq!(out.status.code(), Some(1), "epoch 1 has rejects (jobs={jobs})");
+        assert_eq!(
+            String::from_utf8_lossy(&out.stdout),
+            expected,
+            "serve stdout must be the concatenated batch reports (jobs={jobs})"
+        );
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("epoch 0: checked 3 program(s)"), "{stderr}");
+        assert!(stderr.contains("epoch 1: checked 2 program(s)"), "{stderr}");
+        assert!(stderr.contains("served 2 epoch(s): 5 program(s) checked"), "{stderr}");
+    }
+
+    let _ = std::fs::remove_dir_all(epoch1);
+    let _ = std::fs::remove_dir_all(epoch2);
+}
+
+#[test]
+fn serve_json_emits_one_epoch_document_per_line() {
+    let dir = scratch_dir("feed-json");
+    std::fs::write(dir.join("a.p4"), OK).unwrap();
+    std::fs::write(dir.join("z.p4"), LEAK).unwrap();
+
+    let feed = format!("{}\n{}", path_feed(&dir), path_feed(&dir));
+    let out = serve_with_feed(&["--json", "--jobs", "2"], &feed);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 2, "one NDJSON document per epoch: {stdout}");
+    assert!(lines[0].starts_with("{\"schema\": \"p4bid-serve-report/1\", \"epoch\": 0, "));
+    assert!(lines[1].starts_with("{\"schema\": \"p4bid-serve-report/1\", \"epoch\": 1, "));
+    // Apart from the epoch number, the two epoch documents are identical —
+    // and their program objects are the exact bytes `p4bid batch --json`
+    // embeds for the same inputs.
+    assert_eq!(lines[0].replace("\"epoch\": 0", "\"epoch\": 1"), lines[1]);
+    let batch_json = batch_stdout(&dir, true);
+    for program_line in batch_json.lines().filter(|l| l.trim_start().starts_with("{\"index\"")) {
+        let object = program_line.trim().trim_end_matches(',');
+        assert!(lines[0].contains(object), "{object} not embedded in {}", lines[0]);
+    }
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn serve_inline_sources_stats_and_refresh() {
+    let feed = format!(
+        "{{\"id\": \"inline-ok\", \"source\": \"{}\"}}\n\n{{\"id\": \"inline-ok2\", \"source\": \"{}\"}}\n",
+        OK.replace('"', "\\\""),
+        OK2.replace('"', "\\\""),
+    );
+    let out = serve_with_feed(&["--jobs", "1", "--refresh-every", "1", "--stats-json"], &feed);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("inline-ok") && stdout.contains("inline-ok2"), "{stdout}");
+    let epoch_summaries =
+        stdout.lines().filter(|l| *l == "1 program(s): 1 accepted, 0 rejected").count();
+    assert_eq!(epoch_summaries, 2, "two one-program epoch tables: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("{\"schema\": \"p4bid-stats/1\", \"command\": \"serve\", \"epochs\": 2, "),
+        "{stderr}"
+    );
+    assert!(!stdout.contains("p4bid-stats"), "stats stay off stdout: {stdout}");
+}
+
+#[test]
+fn serve_skips_malformed_lines_without_dying() {
+    let feed = format!(
+        "this is not json\n{{\"id\": \"ok\", \"source\": \"{}\"}}\n{{\"path\": \"/nonexistent/ghost.p4\"}}\n",
+        OK.replace('"', "\\\"")
+    );
+    let out = serve_with_feed(&["--jobs", "1"], &feed);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("skipped request:"), "{stderr}");
+    assert!(
+        stderr.contains("served 1 epoch(s): 1 program(s) checked, 2 request(s) skipped"),
+        "{stderr}"
+    );
+}
+
+#[test]
+fn serve_usage_errors() {
+    let bad_jobs = p4bid().args(["serve", "--jobs", "0"]).output().expect("runs");
+    assert_eq!(bad_jobs.status.code(), Some(2));
+    let bad_epochs = p4bid().args(["serve", "--max-epochs", "soon"]).output().expect("runs");
+    assert_eq!(bad_epochs.status.code(), Some(2));
+    let no_dir = p4bid().args(["watch"]).output().expect("runs");
+    assert_eq!(no_dir.status.code(), Some(2));
+    let not_a_dir = p4bid().args(["watch", "/nonexistent/ghost-dir"]).output().expect("runs");
+    assert_eq!(not_a_dir.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&not_a_dir.stderr).contains("not a directory"));
+}
+
+/// Waits for `child` to exit, killing it after `limit` so a wedged daemon
+/// fails the test instead of hanging the suite.
+fn wait_with_deadline(mut child: Child, limit: Duration) -> Output {
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(_) => return child.wait_with_output().expect("collect output"),
+            None if start.elapsed() > limit => {
+                let _ = child.kill();
+                let out = child.wait_with_output().expect("collect output");
+                panic!(
+                    "daemon did not exit within {limit:?}; stdout so far: {}",
+                    String::from_utf8_lossy(&out.stdout)
+                );
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+#[test]
+fn watch_daemon_serves_epochs_as_files_drop() {
+    let dir = scratch_dir("watch");
+    std::fs::write(dir.join("first.p4"), OK).unwrap();
+
+    let mut child = p4bid()
+        .args([
+            "watch",
+            dir.to_str().unwrap(),
+            "--interval-ms",
+            "25",
+            "--max-epochs",
+            "2",
+            "--jobs",
+            "2",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("watch spawns");
+
+    // Read the daemon's stdout incrementally so the second file is only
+    // dropped once the initial full-scan epoch has been reported.
+    let stdout = child.stdout.take().expect("stdout piped");
+    let seen = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let seen2 = Arc::clone(&seen);
+    let reader = std::thread::spawn(move || {
+        let mut stdout = stdout;
+        let mut buf = [0u8; 4096];
+        loop {
+            match stdout.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => seen2.lock().unwrap().extend_from_slice(&buf[..n]),
+            }
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if String::from_utf8_lossy(&seen.lock().unwrap()).contains("program(s):") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first epoch never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Atomic drop (write then rename) so no scan tick can observe a
+    // half-written file — the contract the scanner documents for writers.
+    std::fs::write(dir.join("second.tmp"), LEAK).unwrap();
+    std::fs::rename(dir.join("second.tmp"), dir.join("second.p4")).unwrap();
+
+    let out = wait_with_deadline(child, Duration::from_secs(30));
+    reader.join().unwrap();
+    assert_eq!(out.status.code(), Some(1), "the dropped-in leak fails the run");
+
+    // Epoch 0 is the full initial scan, epoch 1 exactly the changed file:
+    // each byte-identical to `p4bid batch` over those inputs.
+    let only_first = scratch_dir("watch-ref1");
+    std::fs::write(only_first.join("first.p4"), OK).unwrap();
+    let only_second = scratch_dir("watch-ref2");
+    std::fs::write(only_second.join("second.p4"), LEAK).unwrap();
+    let expected =
+        format!("{}{}", batch_stdout(&only_first, false), batch_stdout(&only_second, false));
+    assert_eq!(String::from_utf8_lossy(&seen.lock().unwrap()), expected);
+
+    for d in [dir, only_first, only_second] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+#[cfg(unix)]
+#[test]
+fn serve_socket_accepts_a_connection() {
+    use std::os::unix::net::UnixStream;
+
+    let dir = scratch_dir("socket");
+    let socket = dir.join("p4bid.sock");
+    let child = p4bid()
+        .args(["serve", "--socket", socket.to_str().unwrap(), "--json", "--max-epochs", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("serve spawns");
+
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut stream = loop {
+        match UnixStream::connect(&socket) {
+            Ok(s) => break s,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "socket never came up");
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    };
+    stream
+        .write_all(
+            format!("{{\"id\": \"s\", \"source\": \"{}\"}}\n", OK.replace('"', "\\\"")).as_bytes(),
+        )
+        .expect("request written");
+    drop(stream); // connection close flushes the epoch
+
+    let out = wait_with_deadline(child, Duration::from_secs(30));
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.starts_with("{\"schema\": \"p4bid-serve-report/1\", \"epoch\": 0, "),
+        "{stdout}"
+    );
+    assert!(stdout.contains("\"name\": \"s\", \"status\": \"accept\""), "{stdout}");
+    let _ = std::fs::remove_dir_all(dir);
+}

@@ -24,7 +24,7 @@
 //!   iff every key label is below it.
 //!
 //! All resolved types are hash-consed in the session's
-//! [`TyPool`](p4bid_ast::pool::TyPool): `SecTy` values are `Copy` id+label
+//! [`TyPool`]: `SecTy` values are `Copy` id+label
 //! pairs, the τ-equality side conditions are id comparisons (with a slow
 //! path only for the `int` ↔ `bit<n>` coercion), and record/header field
 //! lookups are symbol-keyed.
@@ -165,7 +165,7 @@ pub struct TypedProgram {
     /// Checked control blocks, in source order.
     pub controls: Vec<TypedControl>,
     /// The interner + type pool every [`Symbol`] and
-    /// [`TyId`](p4bid_ast::sectype::TyId) in this program resolves
+    /// [`TyId`] in this program resolves
     /// against. Shared with the producing session (append-only, so ids
     /// stay valid as the session checks further programs).
     pub ctx: SharedTyCtx,

@@ -287,6 +287,21 @@ impl SharedSessionCore {
             states: self.states.clone(),
         }
     }
+
+    /// Rebuilds a fresh core under the same options — the *refresh hook*
+    /// for long-lived services (`p4bid serve --refresh-every N`).
+    ///
+    /// Freezing is one-way and tiers do not stack, so a core can never
+    /// absorb what its workers learned; refreshing instead re-warms a new
+    /// root segment from scratch (the process-wide prelude token/AST
+    /// caches still hit, so only the prelude *check* is repaid). Verdicts
+    /// are unaffected — sessions off the old and the new core produce
+    /// identical reports — which is exactly what lets a serve loop refresh
+    /// between epochs without breaking its determinism contract.
+    #[must_use]
+    pub fn rebuild(&self) -> SharedSessionCore {
+        SharedSessionCore::new(self.opts.clone())
+    }
 }
 
 /// Tier sizes and frozen-segment hit counters of one session (see

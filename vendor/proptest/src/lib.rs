@@ -82,7 +82,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and the concrete strategies.
+/// The [`Strategy`](strategy::Strategy) trait and the concrete strategies.
 pub mod strategy {
     use rand::rngs::StdRng;
     use rand::Rng;
@@ -199,7 +199,7 @@ pub mod strategy {
             Union { options }
         }
 
-        /// A one-option union (the seed of a [`prop_oneof!`] chain).
+        /// A one-option union (the seed of a `prop_oneof!` chain).
         ///
         /// The generic-parameter form keeps integer-literal inference
         /// flowing from the first option to the rest, which plain
