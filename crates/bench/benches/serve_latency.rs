@@ -70,6 +70,22 @@ fn bench_serve_latency(c: &mut Criterion) {
         });
     });
 
+    // The same request answered from the verdict cache: parse + hash +
+    // lookup + re-render, no type checking. The warm-resubmission floor.
+    group.bench_with_input(BenchmarkId::new("request_to_report", "cache-hit"), &line, |b, line| {
+        let mut engine = ServeEngine::with_core(core.clone(), 1).with_cache(1024);
+        let req = parse_request(line).expect("parses");
+        let p4bid::serve::RequestBody::Source(source) = req.body else { unreachable!() };
+        let prime = p4bid::batch::BatchInput::new(req.id, source);
+        let _ = engine.run_epoch(std::slice::from_ref(&prime)); // prime the cache
+        b.iter(|| {
+            let req = parse_request(line).expect("parses");
+            let p4bid::serve::RequestBody::Source(source) = req.body else { unreachable!() };
+            let input = p4bid::batch::BatchInput::new(req.id, source);
+            engine.run_epoch(std::slice::from_ref(&input)).to_ndjson()
+        });
+    });
+
     let corpus = synthetic_corpus(EPOCH);
     group.throughput(Throughput::Elements(EPOCH as u64));
     group.bench_with_input(BenchmarkId::new("epoch", "64-programs"), &corpus, |b, inputs| {
@@ -123,9 +139,25 @@ fn summary_json(
         std::hint::black_box(scanner.scan().expect("tick"));
     });
 
+    let mut engine = ServeEngine::with_core(core.clone(), 1).with_cache(1024);
+    {
+        let req = parse_request(line).expect("parses");
+        let p4bid::serve::RequestBody::Source(source) = req.body else { unreachable!() };
+        let prime = p4bid::batch::BatchInput::new(req.id, source);
+        let _ = engine.run_epoch(std::slice::from_ref(&prime)); // prime the cache
+    }
+    let cache_hit_us = time_us(5, 50, &mut || {
+        let req = parse_request(line).expect("parses");
+        let p4bid::serve::RequestBody::Source(source) = req.body else { unreachable!() };
+        let input = p4bid::batch::BatchInput::new(req.id, source);
+        std::hint::black_box(engine.run_epoch(std::slice::from_ref(&input)).to_ndjson());
+    });
+    #[cfg(unix)]
+    let concurrent4_us = concurrent4_request_us(core);
+
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-serve/1\",");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-serve/2\",");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"epoch_programs\": {},", corpus.len());
     let _ = writeln!(json, "  \"request_to_report_us\": {request_us:.3},");
@@ -135,7 +167,12 @@ fn summary_json(
         "  \"epoch_programs_per_sec\": {:.0},",
         corpus.len() as f64 / (epoch_us / 1e6)
     );
-    let _ = writeln!(json, "  \"scan_tick_unchanged_us\": {scan_us:.3}");
+    let _ = writeln!(json, "  \"scan_tick_unchanged_us\": {scan_us:.3},");
+    let _ = writeln!(json, "  \"cache_hit_request_us\": {cache_hit_us:.3},");
+    #[cfg(unix)]
+    let _ = writeln!(json, "  \"concurrent4_request_us\": {concurrent4_us:.3}");
+    #[cfg(not(unix))]
+    let _ = writeln!(json, "  \"concurrent4_request_us\": null");
     json.push_str("}\n");
 
     match std::env::var("P4BID_BENCH_JSON") {
@@ -145,6 +182,78 @@ fn summary_json(
         }
         _ => println!("\n{json}"),
     }
+}
+
+/// Concurrent-producer request-to-report: a real `run_socket` daemon with
+/// four producer connections blasting distinct requests, `max_epoch = 1`
+/// so every request is its own epoch. Wall-clock over the whole run,
+/// divided by the request count — the end-to-end per-request latency the
+/// front door sustains under concurrency (acceptor, reader threads,
+/// sequencer, and check included).
+#[cfg(unix)]
+fn concurrent4_request_us(core: &SharedSessionCore) -> f64 {
+    use std::io::Write as _;
+
+    const PRODUCERS: usize = 4;
+    const PER_PRODUCER: usize = 64;
+    let dir = std::env::temp_dir().join(format!("p4bid-serve-bench-sock-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create bench dir");
+    let socket = dir.join("bench.sock");
+
+    // Distinct programs per request so every one takes the full check
+    // path — this measures the front door, not the verdict cache.
+    let corpus = synthetic_corpus(PRODUCERS * PER_PRODUCER);
+    let feeds: Vec<String> = (0..PRODUCERS)
+        .map(|p| {
+            corpus[p * PER_PRODUCER..(p + 1) * PER_PRODUCER]
+                .iter()
+                .map(|input| {
+                    let source = input
+                        .source
+                        .replace('\\', "\\\\")
+                        .replace('"', "\\\"")
+                        .replace('\n', "\\n")
+                        .replace('\t', "\\t");
+                    format!("{{\"id\": \"{}\", \"source\": \"{source}\"}}\n", input.name)
+                })
+                .collect()
+        })
+        .collect();
+
+    let mut engine = ServeEngine::with_core(core.clone(), 1);
+    let limits = p4bid::serve::IngestLimits { max_epoch: 1, ..Default::default() };
+    let total = (PRODUCERS * PER_PRODUCER) as u64;
+    let start = std::time::Instant::now();
+    let elapsed = std::thread::scope(|s| {
+        for feed in &feeds {
+            let socket = &socket;
+            s.spawn(move || {
+                let mut stream = loop {
+                    match std::os::unix::net::UnixStream::connect(socket) {
+                        Ok(stream) => break stream,
+                        Err(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                    }
+                };
+                stream.write_all(feed.as_bytes()).expect("feed written");
+            });
+        }
+        let mut out = std::io::sink();
+        let mut log = std::io::sink();
+        p4bid::serve::run_socket(
+            &mut engine,
+            &socket,
+            &mut out,
+            &mut log,
+            true,
+            Some(total),
+            &limits,
+        )
+        .expect("bench daemon");
+        start.elapsed()
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    elapsed.as_secs_f64() * 1e6 / total as f64
 }
 
 criterion_group!(benches, bench_serve_latency);

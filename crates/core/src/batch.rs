@@ -162,16 +162,23 @@ impl BatchStats {
     }
 
     /// Machine-readable statistics (`--stats-json`): one JSON document per
-    /// line, schema `p4bid-stats/1`, emitted on **stderr** so the
+    /// line, schema `p4bid-stats/2`, emitted on **stderr** so the
     /// deterministic report schemas on stdout are never polluted —
     /// everything in here (overlay sizes, hit counters) legitimately
     /// varies with work-stealing order. `epochs` is present only for
-    /// `serve`/`watch`, where the counters are cumulative across epochs.
+    /// `serve`/`watch`, where the counters are cumulative across epochs;
+    /// `ops` (the serve front-door and verdict-cache counters — the `/2`
+    /// additions) likewise.
     #[must_use]
-    pub fn render_json(&self, command: &str, epochs: Option<u64>) -> String {
+    pub fn render_json(
+        &self,
+        command: &str,
+        epochs: Option<u64>,
+        ops: Option<&crate::serve::ServeOps>,
+    ) -> String {
         let s = &self.sessions;
         let mut out = String::from("{");
-        let _ = write!(out, "\"schema\": \"p4bid-stats/1\"");
+        let _ = write!(out, "\"schema\": \"p4bid-stats/2\"");
         let _ = write!(out, ", \"command\": {}", json_string(command));
         if let Some(epochs) = epochs {
             let _ = write!(out, ", \"epochs\": {epochs}");
@@ -188,6 +195,15 @@ impl BatchStats {
         let _ = write!(out, ", \"ty_intern_calls\": {}", s.ty_intern_calls);
         let _ = write!(out, ", \"ty_hit_rate\": {:.4}", s.ty_hit_rate());
         let _ = write!(out, ", \"push_cache_hits\": {}", s.push_cache_hits);
+        if let Some(o) = ops {
+            let _ = write!(out, ", \"connections\": {}", o.connections);
+            let _ = write!(out, ", \"conn_errors\": {}", o.conn_errors);
+            let _ = write!(out, ", \"shed\": {}", o.shed);
+            let _ = write!(out, ", \"peak_pending\": {}", o.peak_pending);
+            let _ = write!(out, ", \"cache_hits\": {}", o.cache_hits);
+            let _ = write!(out, ", \"cache_misses\": {}", o.cache_misses);
+            let _ = write!(out, ", \"cache_size\": {}", o.cache_size);
+        }
         out.push_str("}\n");
         out
     }

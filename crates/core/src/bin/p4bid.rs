@@ -5,6 +5,7 @@
 //! p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats|--stats-json]
 //!                                                       check a whole corpus in parallel
 //! p4bid serve [--socket PATH] [--jobs J] [--json] [--max-epochs N] [--refresh-every N]
+//!             [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N]
 //!                                                       streaming ingest daemon (NDJSON feed)
 //! p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--max-epochs N]
 //!                                                       watch a directory, re-check on change
@@ -25,7 +26,7 @@ use p4bid::ni::{check_non_interference, GenConfig, NiConfig, NiOutcome};
 use p4bid::report::{
     case_study_matrix, measure_table1, render_matrix, render_table1, unannotated_source,
 };
-use p4bid::serve::{run_feed, run_watch, DirScanner, ServeEngine, ServeSummary};
+use p4bid::serve::{run_feed, run_watch, DirScanner, IngestLimits, ServeEngine, ServeSummary};
 use p4bid::{check, render_diagnostics, CheckOptions};
 use std::process::ExitCode;
 
@@ -52,8 +53,8 @@ fn main() -> ExitCode {
             eprintln!(
                 "usage:\n  p4bid check FILE [--base|--permissive] [--pc LABEL]\n  \
                  p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats|--stats-json] [--base|--permissive] [--pc LABEL]\n  \
-                 p4bid serve [--socket PATH] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N]\n  \
-                 p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N]\n  \
+                 p4bid serve [--socket PATH] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N]\n  \
+                 p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--cache-cap N]\n  \
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
@@ -71,7 +72,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Every flag that consumes the following argument as its value, across
 /// all subcommands. Needed to tell a positional argument apart from a
 /// flag value (`p4bid batch --jobs 2 DIR` must find `DIR`, not `2`).
-const VALUE_FLAGS: [&str; 11] = [
+const VALUE_FLAGS: [&str; 15] = [
     "--pc",
     "--jobs",
     "--synthetic",
@@ -83,6 +84,10 @@ const VALUE_FLAGS: [&str; 11] = [
     "--max-epochs",
     "--refresh-every",
     "--interval-ms",
+    "--max-epoch",
+    "--max-pending",
+    "--max-line",
+    "--cache-cap",
 ];
 
 /// The first positional (non-flag, non-flag-value) argument.
@@ -211,7 +216,7 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     // depend on work-stealing order, and stdout must stay exactly the
     // report (the `--json` form especially must parse as one JSON
     // document).
-    print_stats(args, &report.stats, "batch", None);
+    print_stats(args, &report.stats, "batch", None, None);
     // Timing goes to stderr so stdout stays byte-identical across runs.
     eprintln!(
         "checked {} program(s) in {:.1} ms on {} worker(s)",
@@ -256,14 +261,24 @@ fn u64_flag(args: &[String], flag: &str) -> Result<Option<u64>, ()> {
 }
 
 /// `--stats` / `--stats-json` on stderr, shared by `batch`, `serve`,
-/// `watch`, and `fuzz`. `epochs` is set by the serve loops, whose
-/// counters are cumulative across epochs.
-fn print_stats(args: &[String], stats: &BatchStats, command: &str, epochs: Option<u64>) {
+/// `watch`, and `fuzz`. `epochs` and `ops` (front-door/verdict-cache
+/// counters) are set by the serve loops, whose counters are cumulative
+/// across epochs.
+fn print_stats(
+    args: &[String],
+    stats: &BatchStats,
+    command: &str,
+    epochs: Option<u64>,
+    ops: Option<&p4bid::serve::ServeOps>,
+) {
     if args.iter().any(|a| a == "--stats") {
         eprint!("{}", stats.render_text());
+        if let Some(ops) = ops {
+            eprint!("{}", ops.render_text());
+        }
     }
     if args.iter().any(|a| a == "--stats-json") {
-        eprint!("{}", stats.render_json(command, epochs));
+        eprint!("{}", stats.render_json(command, epochs, ops));
     }
 }
 
@@ -278,7 +293,13 @@ fn finish_serve(
     // Stats first, even on an ingest error: a long-running daemon's
     // cumulative counters are exactly what the operator asked for with
     // `--stats`/`--stats-json`, and they survive the failure.
-    print_stats(args, &engine.cumulative_stats(), command, Some(engine.epochs()));
+    print_stats(
+        args,
+        &engine.cumulative_stats(),
+        command,
+        Some(engine.epochs()),
+        Some(&engine.ops()),
+    );
     let summary = match result {
         Ok(s) => s,
         Err(e) => {
@@ -286,10 +307,19 @@ fn finish_serve(
             return ExitCode::from(2);
         }
     };
-    eprintln!(
+    // The extra segments appear only when nonzero, keeping the quiet
+    // path's line stable for scripts that match on it.
+    let mut line = format!(
         "served {} epoch(s): {} program(s) checked, {} request(s) skipped",
         summary.epochs, summary.requests, summary.skipped,
     );
+    if summary.conn_errors > 0 {
+        line.push_str(&format!(", {} connection error(s)", summary.conn_errors));
+    }
+    if summary.shed > 0 {
+        line.push_str(&format!(", {} request(s) shed", summary.shed));
+    }
+    eprintln!("{line}");
     if summary.any_rejected {
         ExitCode::FAILURE
     } else {
@@ -297,24 +327,60 @@ fn finish_serve(
     }
 }
 
+/// The ingest-bound flags shared by the serve front door: `--max-epoch`
+/// (epoch size), `--max-pending` + `--shed` (backpressure), `--max-line`
+/// (request-line byte cap).
+fn ingest_limits(args: &[String]) -> Result<IngestLimits, ()> {
+    let mut limits = IngestLimits::default();
+    if let Some(n) = u64_flag(args, "--max-epoch")? {
+        limits.max_epoch = n as usize;
+    }
+    if let Some(n) = u64_flag(args, "--max-pending")? {
+        limits.max_pending = n as usize;
+    }
+    if let Some(n) = u64_flag(args, "--max-line")? {
+        if n == 0 {
+            eprintln!("error: `--max-line` needs a positive byte count");
+            return Err(());
+        }
+        limits.max_line = n as usize;
+    }
+    limits.shed = args.iter().any(|a| a == "--shed");
+    Ok(limits)
+}
+
+/// `--cache-cap N`: verdict-cache capacity (default 1024, `0` disables).
+fn cache_cap(args: &[String]) -> Result<usize, ()> {
+    Ok(u64_flag(args, "--cache-cap")?.map_or(1024, |n| n as usize))
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
-    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every)) =
-        (parse_jobs(args), u64_flag(args, "--max-epochs"), u64_flag(args, "--refresh-every"))
-    else {
+    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(limits), Ok(cache)) = (
+        parse_jobs(args),
+        u64_flag(args, "--max-epochs"),
+        u64_flag(args, "--refresh-every"),
+        ingest_limits(args),
+        cache_cap(args),
+    ) else {
         return ExitCode::from(2);
     };
     let json = args.iter().any(|a| a == "--json");
-    let mut engine = ServeEngine::new(check_options(args), jobs).with_refresh_every(refresh_every);
+    let mut engine = ServeEngine::new(check_options(args), jobs)
+        .with_refresh_every(refresh_every)
+        .with_cache(cache);
     let result = if let Some(socket) = flag_value(args, "--socket") {
         #[cfg(unix)]
         {
+            // `Stderr` (not the lock) — the reader threads share it, and
+            // `StderrLock` is not `Send`.
             p4bid::serve::run_socket(
                 &mut engine,
                 std::path::Path::new(socket),
                 &mut std::io::stdout().lock(),
-                &mut std::io::stderr().lock(),
+                &mut std::io::stderr(),
                 json,
                 max_epochs,
+                &limits,
             )
         }
         #[cfg(not(unix))]
@@ -331,6 +397,7 @@ fn cmd_serve(args: &[String]) -> ExitCode {
             &mut std::io::stderr().lock(),
             json,
             max_epochs,
+            &limits,
         )
     };
     finish_serve(args, &engine, result, "serve")
@@ -341,11 +408,12 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("error: `p4bid watch` needs a directory");
         return ExitCode::from(2);
     };
-    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(interval_ms)) = (
+    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(interval_ms), Ok(cache)) = (
         parse_jobs(args),
         u64_flag(args, "--max-epochs"),
         u64_flag(args, "--refresh-every"),
         u64_flag(args, "--interval-ms"),
+        cache_cap(args),
     ) else {
         return ExitCode::from(2);
     };
@@ -354,7 +422,9 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         return ExitCode::from(2);
     }
     let json = args.iter().any(|a| a == "--json");
-    let mut engine = ServeEngine::new(check_options(args), jobs).with_refresh_every(refresh_every);
+    let mut engine = ServeEngine::new(check_options(args), jobs)
+        .with_refresh_every(refresh_every)
+        .with_cache(cache);
     let mut scanner = DirScanner::new(dir);
     let result = run_watch(
         &mut engine,
@@ -465,7 +535,7 @@ fn cmd_fuzz(args: &[String]) -> ExitCode {
     };
     let ni_cfg = NiConfig::default().with_runs(30);
     let report = run_fuzz(n, &cfg, &ni_cfg, jobs);
-    print_stats(args, &report.stats, "fuzz", None);
+    print_stats(args, &report.stats, "fuzz", None, None);
     if let Some((seed, SeedOutcome::Violation { source, witness })) = &report.violation {
         eprintln!("SOUNDNESS VIOLATION at seed {seed}:\n{source}\n{witness}");
         return ExitCode::FAILURE;

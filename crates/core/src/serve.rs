@@ -26,6 +26,28 @@
 //! go to stderr; stdout carries only the reports — the human table, or
 //! one `p4bid-serve-report/1` JSON document per line in `--json` mode.
 //!
+//! The socket form is a **concurrent multi-producer front door**: a
+//! nonblocking acceptor thread hands each connection to its own reader
+//! thread, the readers queue parsed requests into a shared pending map
+//! keyed by `(connection id, arrival seq)`, and an **epoch sequencer**
+//! on the serving thread cuts that map into epochs — on a flush marker
+//! (blank line or connection close), when an epoch-size bound
+//! ([`IngestLimits::max_epoch`]) is reached, or when the queue is full
+//! ([`IngestLimits::max_pending`], the backpressure bound). Because the
+//! pending map iterates in key order, the inputs of an epoch are always
+//! sorted by `(connection id, arrival seq)` — so for a fixed
+//! interleaving of arrivals the epoch bytes are identical across runs
+//! and `--jobs` settings, and per-connection order is always preserved.
+//! Per-connection I/O errors (a client that vanishes mid-line, an
+//! `accept` hiccup) are logged and counted, **never fatal** to the
+//! daemon, and the socket file is unlinked on every exit path.
+//!
+//! The engine can carry a **verdict cache** ([`ServeEngine::with_cache`])
+//! keyed by `(FNV-1a content hash, CheckOptions fingerprint)`: a
+//! resubmitted body is answered from the cache with a report
+//! byte-identical to a fresh check, and hit/miss/size counters surface
+//! in the `p4bid-stats/2` document ([`ServeOps`]).
+//!
 //! # Examples
 //!
 //! ```
@@ -39,18 +61,25 @@
 //!             inout <bit<8>, high> h) { apply { l = h; } }\"}\n";
 //! let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
 //! let (mut out, mut log) = (Vec::new(), Vec::new());
+//! let limits = p4bid::serve::IngestLimits::default();
 //! let summary =
-//!     run_feed(&mut engine, &mut Cursor::new(feed), &mut out, &mut log, false, None).unwrap();
+//!     run_feed(&mut engine, &mut Cursor::new(feed), &mut out, &mut log, false, None, &limits)
+//!         .unwrap();
 //! assert_eq!(summary.epochs, 2, "blank line and EOF each flushed one epoch");
 //! assert!(summary.any_rejected, "the second epoch caught the leak");
 //! ```
 
-use crate::batch::{check_batch_with_core, program_json, BatchInput, BatchReport, BatchStats};
+use crate::batch::{
+    check_batch_with_core, program_json, BatchDiagnostic, BatchInput, BatchReport, BatchStats,
+    ProgramReport,
+};
 use p4bid_typeck::{CheckOptions, SharedSessionCore};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
+#[cfg(unix)]
+use std::sync::{Condvar, Mutex};
 use std::time::{Duration, SystemTime};
 
 // ---------------------------------------------------------------------
@@ -71,7 +100,9 @@ pub enum RequestBody {
 
 /// One parsed feed request: `{"id": …, "path": "…"}` or
 /// `{"id": …, "source": "…"}`. The `id` becomes the program's report name;
-/// for `path` requests it defaults to the file name.
+/// for `path` requests it defaults to the full path as given — not the
+/// basename, which would make `a/x.p4` and `b/x.p4` collide in reports
+/// and alias telemetry keyed by id.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServeRequest {
     /// Report name for this program.
@@ -151,9 +182,9 @@ pub fn parse_request(line: &str) -> Result<ServeRequest, String> {
     };
     let id = match (id, &body) {
         (Some(id), _) => id,
-        (None, RequestBody::Path(p)) => {
-            Path::new(p).file_name().map_or_else(|| p.clone(), |n| n.to_string_lossy().into_owned())
-        }
+        // The full path, not the basename: two fleet files named x.p4 in
+        // different directories must not share a report id.
+        (None, RequestBody::Path(p)) => p.clone(),
         (None, RequestBody::Source(_)) => {
             return Err("inline `source` requests need an `id`".to_string())
         }
@@ -271,6 +302,118 @@ impl MiniJson<'_> {
             hi
         };
         char::from_u32(code).ok_or_else(|| format!("invalid \\u escape U+{code:04X}"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Ingest limits and line framing.
+// ---------------------------------------------------------------------
+
+/// Bounds on the ingest front door, shared by the stdin feed and the
+/// socket daemon. The defaults keep the historical behaviour (unbounded
+/// epochs, no backpressure) except for the request-line cap, which
+/// defends the daemon against a newline-free feed.
+#[derive(Debug, Clone)]
+pub struct IngestLimits {
+    /// Longest accepted request line, in bytes (default 1 MiB). A longer
+    /// line is dropped *as it streams past* — counted as skipped, never
+    /// buffered — and framing resynchronizes at the next newline.
+    pub max_line: usize,
+    /// Largest epoch, in programs (`0` = unbounded): the sequencer cuts
+    /// an epoch as soon as this many requests are pending, without
+    /// waiting for a flush marker.
+    pub max_epoch: usize,
+    /// Bound on the pending queue (`0` = unbounded). A full queue forces
+    /// the sequencer to cut an epoch; a producer that outruns it is
+    /// blocked (the default) or shed ([`shed`](IngestLimits::shed)).
+    pub max_pending: usize,
+    /// Backpressure policy at a full queue: `false` blocks the producing
+    /// connection until the sequencer drains, `true` drops (sheds) the
+    /// request and counts it in [`ServeOps::shed`].
+    pub shed: bool,
+}
+
+impl Default for IngestLimits {
+    fn default() -> Self {
+        IngestLimits { max_line: 1 << 20, max_epoch: 0, max_pending: 0, shed: false }
+    }
+}
+
+/// One event out of the [`LineFramer`].
+#[derive(Debug, PartialEq, Eq)]
+enum FeedEvent {
+    /// A complete line, newline stripped (possibly blank).
+    Line(String),
+    /// An over-long line was dropped; carries its total byte length.
+    Oversized(u64),
+    /// A complete line under the cap that was not valid UTF-8.
+    BadUtf8,
+}
+
+/// Incremental newline framing with a hard per-line byte cap — the fix
+/// for the unbounded `read_line` OOM: one newline-free multi-gigabyte
+/// feed used to accumulate into a single `String`. Here an over-long
+/// line is dropped as it streams past (only its length is tracked) and
+/// framing resynchronizes at the next newline.
+#[derive(Debug)]
+struct LineFramer {
+    max: usize,
+    buf: Vec<u8>,
+    /// `Some(bytes seen so far)` while inside an over-long line, until
+    /// the resynchronizing newline.
+    dropping: Option<u64>,
+}
+
+impl LineFramer {
+    fn new(max: usize) -> Self {
+        LineFramer { max: max.max(1), buf: Vec::new(), dropping: None }
+    }
+
+    fn emit_line(&mut self, events: &mut Vec<FeedEvent>) {
+        match String::from_utf8(std::mem::take(&mut self.buf)) {
+            Ok(s) => events.push(FeedEvent::Line(s)),
+            Err(_) => events.push(FeedEvent::BadUtf8),
+        }
+    }
+
+    /// Feeds one chunk, appending any completed events.
+    fn push(&mut self, chunk: &[u8], events: &mut Vec<FeedEvent>) {
+        let mut rest = chunk;
+        loop {
+            let Some(nl) = rest.iter().position(|&b| b == b'\n') else {
+                // No newline in what is left: buffer it, or keep counting
+                // the over-long line without buffering.
+                if let Some(dropped) = &mut self.dropping {
+                    *dropped += rest.len() as u64;
+                } else if self.buf.len() + rest.len() > self.max {
+                    self.dropping = Some((self.buf.len() + rest.len()) as u64);
+                    self.buf = Vec::new();
+                } else {
+                    self.buf.extend_from_slice(rest);
+                }
+                return;
+            };
+            let (seg, after) = (&rest[..nl], &rest[nl + 1..]);
+            if let Some(dropped) = self.dropping.take() {
+                events.push(FeedEvent::Oversized(dropped + nl as u64));
+            } else if self.buf.len() + seg.len() > self.max {
+                events.push(FeedEvent::Oversized((self.buf.len() + seg.len()) as u64));
+                self.buf = Vec::new();
+            } else {
+                self.buf.extend_from_slice(seg);
+                self.emit_line(events);
+            }
+            rest = after;
+        }
+    }
+
+    /// EOF: the unterminated tail, if any, becomes a final event.
+    fn finish(&mut self, events: &mut Vec<FeedEvent>) {
+        if let Some(dropped) = self.dropping.take() {
+            events.push(FeedEvent::Oversized(dropped));
+        } else if !self.buf.is_empty() {
+            self.emit_line(events);
+        }
     }
 }
 
@@ -470,6 +613,118 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 }
 
 // ---------------------------------------------------------------------
+// The verdict cache.
+// ---------------------------------------------------------------------
+
+/// Key of one verdict-cache entry: the FNV-1a hash of the program text
+/// (the same fingerprint [`DirScanner`] keys change detection on) plus a
+/// fingerprint of the engine's [`CheckOptions`] — two daemons checking
+/// under different modes/lattices can never share a verdict. 64-bit
+/// content hashing accepts the same collision class as the scanner: a
+/// collision costs one wrong cached verdict for a colliding body.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct VerdictKey {
+    content: u64,
+    opts: u64,
+}
+
+/// One cached verdict: everything content-determined in a
+/// [`ProgramReport`]. The index and name are request-specific and are
+/// re-attached on each hit, so a hit renders byte-identically to a
+/// fresh check of the same source under the same id.
+#[derive(Debug, Clone)]
+struct CachedVerdict {
+    accepted: bool,
+    diagnostics: Vec<BatchDiagnostic>,
+}
+
+/// A bounded verdict cache with insertion-order eviction and hit/miss
+/// counters. `cap == 0` disables it entirely.
+#[derive(Debug, Default)]
+struct VerdictCache {
+    map: HashMap<VerdictKey, CachedVerdict>,
+    order: VecDeque<VerdictKey>,
+    cap: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl VerdictCache {
+    fn new(cap: usize) -> Self {
+        VerdictCache { cap, ..Default::default() }
+    }
+
+    fn enabled(&self) -> bool {
+        self.cap > 0
+    }
+
+    fn lookup(&mut self, key: VerdictKey) -> Option<CachedVerdict> {
+        let found = self.map.get(&key).cloned();
+        if found.is_some() {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        found
+    }
+
+    fn insert(&mut self, key: VerdictKey, verdict: CachedVerdict) {
+        if self.map.insert(key, verdict).is_none() {
+            self.order.push_back(key);
+            if self.map.len() > self.cap {
+                if let Some(oldest) = self.order.pop_front() {
+                    self.map.remove(&oldest);
+                }
+            }
+        }
+    }
+}
+
+/// Front-door operational counters for the `p4bid-stats/2` schema:
+/// connection, queue, and verdict-cache behaviour of one serve run.
+/// Rendered on **stderr** only (`--stats`/`--stats-json`) — everything
+/// in here varies with arrival timing, so it is never part of the
+/// deterministic report schemas.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct ServeOps {
+    /// Connections accepted by the socket front door.
+    pub connections: u64,
+    /// Per-connection I/O and `accept` errors absorbed — logged and
+    /// counted, never fatal to the daemon.
+    pub conn_errors: u64,
+    /// Requests dropped by the shed backpressure policy.
+    pub shed: u64,
+    /// High-water mark of the shared pending queue.
+    pub peak_pending: u64,
+    /// Verdict-cache hits.
+    pub cache_hits: u64,
+    /// Verdict-cache misses (a repeated in-epoch body counts one miss
+    /// per occurrence, though it is checked only once).
+    pub cache_misses: u64,
+    /// Entries currently cached.
+    pub cache_size: u64,
+}
+
+impl ServeOps {
+    /// Human form for `--stats`, matching [`BatchStats::render_text`]'s
+    /// two-line shape.
+    #[must_use]
+    pub fn render_text(&self) -> String {
+        format!(
+            "front door: {} connection(s), {} connection error(s), {} shed, peak queue {}\n\
+             verdict cache: {} hit(s), {} miss(es), {} cached\n",
+            self.connections,
+            self.conn_errors,
+            self.shed,
+            self.peak_pending,
+            self.cache_hits,
+            self.cache_misses,
+            self.cache_size,
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
 // The epoch engine.
 // ---------------------------------------------------------------------
 
@@ -527,6 +782,24 @@ pub struct ServeEngine {
     refresh_every: Option<u64>,
     refreshes: u64,
     stats: BatchStats,
+    cache: VerdictCache,
+    /// Fingerprint of the core's [`CheckOptions`], baked into every
+    /// verdict-cache key (stable across [`SharedSessionCore::rebuild`],
+    /// which preserves the options).
+    opts_fp: u64,
+    /// Front-door counters recorded by [`run_socket`], cumulative across
+    /// socket runs over one engine.
+    door: DoorCounters,
+}
+
+/// The front-door slice of [`ServeOps`] owned by the engine; the cache
+/// counters live in [`VerdictCache`].
+#[derive(Debug, Default, Clone, Copy)]
+struct DoorCounters {
+    connections: u64,
+    conn_errors: u64,
+    shed: u64,
+    peak_pending: u64,
 }
 
 impl ServeEngine {
@@ -541,6 +814,9 @@ impl ServeEngine {
     /// `serve_latency` bench) pay the freeze cost where they choose.
     #[must_use]
     pub fn with_core(core: SharedSessionCore, jobs: usize) -> Self {
+        // CheckOptions carries only plain data (mode, lattice edges, pc
+        // label), so its Debug rendering is a faithful fingerprint.
+        let opts_fp = fnv1a(format!("{:?}", core.options()).as_bytes());
         ServeEngine {
             core,
             jobs,
@@ -548,6 +824,9 @@ impl ServeEngine {
             refresh_every: None,
             refreshes: 0,
             stats: BatchStats::default(),
+            cache: VerdictCache::default(),
+            opts_fp,
+            door: DoorCounters::default(),
         }
     }
 
@@ -557,6 +836,16 @@ impl ServeEngine {
     #[must_use]
     pub fn with_refresh_every(mut self, n: Option<u64>) -> Self {
         self.refresh_every = n.filter(|&n| n > 0);
+        self
+    }
+
+    /// Caches up to `cap` verdicts keyed by `(content hash, options
+    /// fingerprint)`, evicting the oldest entry past the cap; `0`
+    /// disables the cache (the default). A cache hit skips the checker
+    /// entirely and renders byte-identically to a fresh check.
+    #[must_use]
+    pub fn with_cache(mut self, cap: usize) -> Self {
+        self.cache = VerdictCache::new(cap);
         self
     }
 
@@ -580,8 +869,24 @@ impl ServeEngine {
         self.stats
     }
 
+    /// Front-door and verdict-cache counters so far (the serve-specific
+    /// half of the `p4bid-stats/2` document).
+    #[must_use]
+    pub fn ops(&self) -> ServeOps {
+        ServeOps {
+            connections: self.door.connections,
+            conn_errors: self.door.conn_errors,
+            shed: self.door.shed,
+            peak_pending: self.door.peak_pending,
+            cache_hits: self.cache.hits,
+            cache_misses: self.cache.misses,
+            cache_size: self.cache.map.len() as u64,
+        }
+    }
+
     /// Checks one epoch's inputs against the long-lived core and returns
-    /// the epoch report. Refreshes the core first when a refresh is due.
+    /// the epoch report. Refreshes the core first when a refresh is due;
+    /// answers from the verdict cache when one is configured.
     #[must_use]
     pub fn run_epoch(&mut self, inputs: &[BatchInput]) -> EpochReport {
         if let Some(n) = self.refresh_every {
@@ -590,11 +895,75 @@ impl ServeEngine {
                 self.refreshes += 1;
             }
         }
-        let report = check_batch_with_core(inputs, &self.core, self.jobs);
+        let report = if self.cache.enabled() {
+            self.check_epoch_cached(inputs)
+        } else {
+            check_batch_with_core(inputs, &self.core, self.jobs)
+        };
         self.stats.merge(&report.stats);
         let epoch = self.epoch;
         self.epoch += 1;
         EpochReport { epoch, report }
+    }
+
+    /// The cached check path: answer every input whose `(content hash,
+    /// options fingerprint)` key is cached, check only the misses (the
+    /// first occurrence of each missing key — an epoch resubmitting one
+    /// body many times checks it once), and reassemble by input
+    /// position. Verdicts depend only on source text and options, so the
+    /// assembled report is byte-identical to an uncached check of the
+    /// same inputs.
+    fn check_epoch_cached(&mut self, inputs: &[BatchInput]) -> BatchReport {
+        enum Slot {
+            Hit(CachedVerdict),
+            Miss(usize),
+        }
+        let mut to_check: Vec<BatchInput> = Vec::new();
+        let mut first_miss: HashMap<VerdictKey, usize> = HashMap::new();
+        let mut slots: Vec<(VerdictKey, Slot)> = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let key = VerdictKey { content: fnv1a(input.source.as_bytes()), opts: self.opts_fp };
+            let slot = match self.cache.lookup(key) {
+                Some(verdict) => Slot::Hit(verdict),
+                None => Slot::Miss(*first_miss.entry(key).or_insert_with(|| {
+                    to_check.push(input.clone());
+                    to_check.len() - 1
+                })),
+            };
+            slots.push((key, slot));
+        }
+        let checked = if to_check.is_empty() {
+            // All hits: no sessions ran, so no stats and one (formal)
+            // worker for the epoch-framing line.
+            BatchReport { programs: Vec::new(), jobs: 1, stats: BatchStats::default() }
+        } else {
+            check_batch_with_core(&to_check, &self.core, self.jobs)
+        };
+        let programs = slots
+            .into_iter()
+            .enumerate()
+            .map(|(index, (key, slot))| {
+                let verdict = match slot {
+                    Slot::Hit(verdict) => verdict,
+                    Slot::Miss(pos) => {
+                        let p = &checked.programs[pos];
+                        let verdict = CachedVerdict {
+                            accepted: p.accepted,
+                            diagnostics: p.diagnostics.clone(),
+                        };
+                        self.cache.insert(key, verdict.clone());
+                        verdict
+                    }
+                };
+                ProgramReport {
+                    index,
+                    name: inputs[index].name.clone(),
+                    accepted: verdict.accepted,
+                    diagnostics: verdict.diagnostics,
+                }
+            })
+            .collect();
+        BatchReport { programs, jobs: checked.jobs, stats: checked.stats }
     }
 }
 
@@ -609,10 +978,15 @@ pub struct ServeSummary {
     pub epochs: u64,
     /// Programs checked across all epochs.
     pub requests: u64,
-    /// Feed lines dropped (malformed request, unreadable `path`).
+    /// Feed lines dropped (malformed request, unreadable `path`,
+    /// over-long line).
     pub skipped: u64,
     /// Whether any epoch rejected any program (exit code 1).
     pub any_rejected: bool,
+    /// Connection and `accept` errors absorbed by the socket front door.
+    pub conn_errors: u64,
+    /// Requests dropped by the shed backpressure policy.
+    pub shed: u64,
 }
 
 /// Flushes `pending` as one epoch: runs it, writes the report to `out`
@@ -628,6 +1002,14 @@ fn flush_epoch(
 ) -> io::Result<()> {
     if pending.is_empty() {
         return Ok(());
+    }
+    // Colliding ids make report rows (and anything keyed by id
+    // downstream) ambiguous; surface them without refusing the work.
+    let mut seen = std::collections::BTreeSet::new();
+    for input in pending.iter() {
+        if !seen.insert(input.name.as_str()) {
+            let _ = writeln!(log, "notice: duplicate id `{}` in epoch", input.name);
+        }
     }
     let start = std::time::Instant::now();
     let epoch = engine.run_epoch(pending);
@@ -666,16 +1048,37 @@ fn load_request(req: ServeRequest) -> Result<BatchInput, String> {
     }
 }
 
+/// What to do with one framer event in an ingest loop: count and log the
+/// skip cases uniformly, hand complete lines back to the caller.
+fn skip_event(event: &FeedEvent, max_line: usize, log: &mut dyn Write, who: &str) {
+    match event {
+        FeedEvent::Line(_) => unreachable!("skip_event only handles skip cases"),
+        FeedEvent::Oversized(len) => {
+            let _ = writeln!(
+                log,
+                "{who}skipped request: {len}-byte line exceeds the {max_line}-byte cap"
+            );
+        }
+        FeedEvent::BadUtf8 => {
+            let _ = writeln!(log, "{who}skipped request: line is not valid UTF-8");
+        }
+    }
+}
+
 /// Drives the line-delimited request feed: requests accumulate until a
-/// blank line or EOF flushes them as one epoch. Reports go to `out`
-/// (tables, or NDJSON epoch documents with `json`); framing, skipped-line
-/// notices, and timing go to `log`. Stops after `max_epochs` epochs when
-/// set, else at EOF.
+/// blank line or EOF flushes them as one epoch (or
+/// [`IngestLimits::max_epoch`] cuts one early). Reports go to `out`
+/// (tables, or NDJSON epoch documents with `json`); framing,
+/// skipped-line notices, and timing go to `log`. Stops after
+/// `max_epochs` epochs when set, else at EOF. Lines longer than
+/// [`IngestLimits::max_line`] are dropped without buffering and counted
+/// as skipped.
 ///
 /// # Errors
 ///
-/// Propagates I/O errors from the reader and from `out`; malformed or
-/// unreadable requests are logged and counted, never fatal.
+/// Propagates I/O errors from the reader and from `out`; malformed,
+/// unreadable, or over-long requests are logged and counted, never
+/// fatal.
 pub fn run_feed(
     engine: &mut ServeEngine,
     reader: &mut dyn BufRead,
@@ -683,28 +1086,60 @@ pub fn run_feed(
     log: &mut dyn Write,
     json: bool,
     max_epochs: Option<u64>,
+    limits: &IngestLimits,
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     let mut pending: Vec<BatchInput> = Vec::new();
-    let mut line = String::new();
+    let mut framer = LineFramer::new(limits.max_line);
+    let mut events: Vec<FeedEvent> = Vec::new();
     let done = |s: &ServeSummary| max_epochs.is_some_and(|m| s.epochs >= m);
-    while !done(&summary) {
-        line.clear();
-        if reader.read_line(&mut line)? == 0 {
+    'feed: while !done(&summary) {
+        let n = match reader.fill_buf() {
+            Ok([]) => {
+                framer.finish(&mut events);
+                0
+            }
+            Ok(chunk) => {
+                let n = chunk.len();
+                framer.push(chunk, &mut events);
+                n
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        };
+        if n > 0 {
+            reader.consume(n);
+        }
+        for event in events.drain(..) {
+            if let FeedEvent::Line(line) = &event {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    flush_epoch(engine, &mut pending, out, log, json, &mut summary)?;
+                } else {
+                    match parse_request(trimmed).and_then(load_request) {
+                        Ok(input) => {
+                            pending.push(input);
+                            if limits.max_epoch > 0 && pending.len() >= limits.max_epoch {
+                                flush_epoch(engine, &mut pending, out, log, json, &mut summary)?;
+                            }
+                        }
+                        Err(e) => {
+                            summary.skipped += 1;
+                            let _ = writeln!(log, "skipped request: {e}");
+                        }
+                    }
+                }
+            } else {
+                summary.skipped += 1;
+                skip_event(&event, limits.max_line, log, "");
+            }
+            if done(&summary) {
+                break 'feed;
+            }
+        }
+        if n == 0 {
             flush_epoch(engine, &mut pending, out, log, json, &mut summary)?;
             break;
-        }
-        let trimmed = line.trim();
-        if trimmed.is_empty() {
-            flush_epoch(engine, &mut pending, out, log, json, &mut summary)?;
-            continue;
-        }
-        match parse_request(trimmed).and_then(load_request) {
-            Ok(input) => pending.push(input),
-            Err(e) => {
-                summary.skipped += 1;
-                let _ = writeln!(log, "skipped request: {e}");
-            }
         }
     }
     Ok(summary)
@@ -747,25 +1182,325 @@ pub fn run_watch(
     Ok(summary)
 }
 
-/// Drives the feed protocol over a Unix domain socket: binds (replacing a
-/// stale *socket* at that path — anything else there is an error, never
-/// deleted), then serves connections sequentially — each connection is a
-/// [`run_feed`] whose EOF is the connection close, so one connection can
-/// carry many epochs and its close flushes the last one. The socket file
-/// is removed when the loop ends.
+// ---------------------------------------------------------------------
+// The socket front door: acceptor, per-connection readers, sequencer.
+// ---------------------------------------------------------------------
+
+/// The state shared between the acceptor thread, the per-connection
+/// reader threads, and the epoch sequencer on the serving thread.
+#[cfg(unix)]
+#[derive(Debug, Default)]
+struct DoorState {
+    /// Pending requests in sequencer order: `(connection id, arrival
+    /// seq)`. The map iterates in key order, so an epoch's inputs are
+    /// always sorted by that pair — the stable order that keeps epoch
+    /// bytes identical for a given interleaving of arrivals, regardless
+    /// of reader-thread scheduling inside it.
+    pending: BTreeMap<(u64, u64), BatchInput>,
+    /// Flush markers (blank lines, connection closes) not yet consumed
+    /// by the sequencer.
+    flushes: u64,
+    /// Live connection readers.
+    open: usize,
+    /// Shutdown flag: set when `--max-epochs` is reached or the
+    /// sequencer hit a fatal `out` error; everything drains out.
+    done: bool,
+    connections: u64,
+    conn_errors: u64,
+    shed: u64,
+    skipped: u64,
+    peak_pending: usize,
+}
+
+/// The front door: [`DoorState`] plus the two wakeups — `ready` for the
+/// sequencer (new request, flush marker, connection close), `space` for
+/// producers blocked on a full queue.
+#[cfg(unix)]
+#[derive(Debug, Default)]
+struct Door {
+    state: Mutex<DoorState>,
+    ready: Condvar,
+    space: Condvar,
+}
+
+#[cfg(unix)]
+impl Door {
+    fn lock(&self) -> std::sync::MutexGuard<'_, DoorState> {
+        self.state.lock().expect("door lock")
+    }
+
+    fn is_done(&self) -> bool {
+        self.lock().done
+    }
+
+    /// Begins shutdown: wakes the sequencer, every reader, and every
+    /// blocked producer so the thread scope can join.
+    fn set_done(&self) {
+        self.lock().done = true;
+        self.ready.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Queues one request from connection `conn`, applying the
+    /// backpressure policy at a full queue: shed drops it (counted),
+    /// block waits for the sequencer to cut an epoch — which a full
+    /// queue forces, so a blocked producer never deadlocks. Returns
+    /// `false` when the daemon is shutting down.
+    fn submit(&self, conn: u64, seq: u64, input: BatchInput, limits: &IngestLimits) -> bool {
+        let mut st = self.lock();
+        if limits.max_pending > 0 && st.pending.len() >= limits.max_pending {
+            if limits.shed {
+                st.shed += 1;
+                return !st.done;
+            }
+            while !st.done && st.pending.len() >= limits.max_pending {
+                self.ready.notify_all();
+                st = self.space.wait(st).expect("door lock");
+            }
+        }
+        if st.done {
+            return false;
+        }
+        st.pending.insert((conn, seq), input);
+        st.peak_pending = st.peak_pending.max(st.pending.len());
+        self.ready.notify_all();
+        true
+    }
+
+    /// Records a flush marker (blank line or connection close).
+    fn flush(&self) {
+        self.lock().flushes += 1;
+        self.ready.notify_all();
+    }
+
+    fn skip(&self) {
+        self.lock().skipped += 1;
+    }
+
+    fn conn_error(&self) {
+        self.lock().conn_errors += 1;
+    }
+}
+
+/// One cut decision by the epoch sequencer.
+#[cfg(unix)]
+enum Cut {
+    /// Check these inputs as the next epoch (never empty).
+    Epoch(Vec<BatchInput>),
+    /// The daemon is shutting down with nothing left to cut.
+    Finished,
+}
+
+/// Blocks until an epoch can be cut and returns it, in `(connection id,
+/// arrival seq)` order. Cut triggers: a pending flush marker with work
+/// queued, the epoch-size bound, or a full queue (the force-cut that
+/// makes blocking backpressure deadlock-free). An explicit flush drains
+/// *everything* pending — in `max_epoch`-sized pieces when bounded.
+#[cfg(unix)]
+fn next_epoch(door: &Door, limits: &IngestLimits) -> Cut {
+    let mut st = door.lock();
+    loop {
+        if st.done {
+            return Cut::Finished;
+        }
+        let n = st.pending.len();
+        let size_cut = limits.max_epoch > 0 && n >= limits.max_epoch;
+        let full_cut = limits.max_pending > 0 && n >= limits.max_pending;
+        if size_cut || full_cut || (st.flushes > 0 && n > 0) {
+            break;
+        }
+        // Flush markers with nothing pending emit nothing.
+        st.flushes = 0;
+        st = door.ready.wait(st).expect("door lock");
+    }
+    let take = if limits.max_epoch > 0 {
+        limits.max_epoch.min(st.pending.len())
+    } else {
+        st.pending.len()
+    };
+    let mut batch = Vec::with_capacity(take);
+    for _ in 0..take {
+        let (_, input) = st.pending.pop_first().expect("sized above");
+        batch.push(input);
+    }
+    if st.pending.is_empty() {
+        st.flushes = 0;
+    }
+    drop(st);
+    door.space.notify_all();
+    Cut::Epoch(batch)
+}
+
+/// One connection's reader: frames lines under the byte cap, parses and
+/// loads requests, queues them through the [`Door`]. Every failure mode
+/// — mid-line disconnect, reset, bad UTF-8, over-long line — is counted
+/// and logged; none of them can reach the daemon.
+#[cfg(unix)]
+fn serve_connection(
+    conn: u64,
+    stream: std::os::unix::net::UnixStream,
+    door: &Door,
+    log: &Mutex<&mut (dyn Write + Send)>,
+    limits: &IngestLimits,
+) {
+    // The read timeout keeps the reader responsive to shutdown; a
+    // WouldBlock/TimedOut tick is not an error.
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut reader = io::BufReader::new(stream);
+    let mut framer = LineFramer::new(limits.max_line);
+    let mut events: Vec<FeedEvent> = Vec::new();
+    let mut seq: u64 = 0;
+    'serve: loop {
+        let n = match reader.fill_buf() {
+            Ok([]) => {
+                framer.finish(&mut events);
+                0
+            }
+            Ok(chunk) => {
+                let n = chunk.len();
+                framer.push(chunk, &mut events);
+                n
+            }
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) =>
+            {
+                if door.is_done() {
+                    break;
+                }
+                continue;
+            }
+            Err(e) => {
+                // The fault-isolation contract: a connection that breaks
+                // mid-stream is logged and counted, never fatal.
+                door.conn_error();
+                let mut log = log.lock().expect("log lock");
+                let _ = writeln!(log, "connection {conn} error: {e}");
+                break;
+            }
+        };
+        if n > 0 {
+            reader.consume(n);
+        }
+        for event in events.drain(..) {
+            if let FeedEvent::Line(line) = &event {
+                let trimmed = line.trim();
+                if trimmed.is_empty() {
+                    door.flush();
+                } else {
+                    match parse_request(trimmed).and_then(load_request) {
+                        Ok(input) => {
+                            if !door.submit(conn, seq, input, limits) {
+                                break 'serve;
+                            }
+                            seq += 1;
+                        }
+                        Err(e) => {
+                            door.skip();
+                            let mut log = log.lock().expect("log lock");
+                            let _ = writeln!(log, "connection {conn}: skipped request: {e}");
+                        }
+                    }
+                }
+            } else {
+                door.skip();
+                let mut log = log.lock().expect("log lock");
+                skip_event(&event, limits.max_line, &mut **log, &format!("connection {conn}: "));
+            }
+        }
+        if n == 0 || door.is_done() {
+            break;
+        }
+    }
+    // Any close — clean, errored, or shutdown — flushes this
+    // connection's pending work, mirroring the single-producer EOF rule.
+    let mut st = door.lock();
+    st.open -= 1;
+    st.flushes += 1;
+    drop(st);
+    door.ready.notify_all();
+}
+
+/// The acceptor: polls a nonblocking listener, spawns one reader thread
+/// per connection, and absorbs transient `accept` failures (counted and
+/// logged, with a pause so a persistently failing listener cannot spin).
+#[cfg(unix)]
+fn accept_loop<'scope, 'env: 'scope, 'log: 'env>(
+    scope: &'scope std::thread::Scope<'scope, 'env>,
+    listener: &'env std::os::unix::net::UnixListener,
+    door: &'env Door,
+    log: &'env Mutex<&'log mut (dyn Write + Send)>,
+    limits: &'env IngestLimits,
+) {
+    let _ = listener.set_nonblocking(true);
+    let mut next_conn: u64 = 0;
+    while !door.is_done() {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // The stream inherits the listener's nonblocking flag on
+                // some platforms; the reader wants a plain read timeout.
+                let _ = stream.set_nonblocking(false);
+                let conn = next_conn;
+                next_conn += 1;
+                {
+                    let mut st = door.lock();
+                    st.open += 1;
+                    st.connections += 1;
+                }
+                {
+                    let mut log = log.lock().expect("log lock");
+                    let _ = writeln!(log, "connection {conn}: accepted");
+                }
+                scope.spawn(move || serve_connection(conn, stream, door, log, limits));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => {
+                door.conn_error();
+                let mut log = log.lock().expect("log lock");
+                let _ = writeln!(log, "accept error: {e}");
+                drop(log);
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        }
+    }
+}
+
+/// Drives the feed protocol over a Unix domain socket as a concurrent
+/// multi-producer front door: binds (replacing a stale *socket* at that
+/// path — anything else there is an error, never deleted), then an
+/// acceptor thread hands each connection to its own reader thread, and
+/// the epoch sequencer on the calling thread cuts the shared pending
+/// queue into epochs — on each blank line or connection close, at
+/// [`IngestLimits::max_epoch`] pending requests, or when the queue hits
+/// [`IngestLimits::max_pending`] (backpressure: block the producer, or
+/// shed). Epoch inputs are always ordered by `(connection id, arrival
+/// seq)`, so output is byte-identical for a given interleaving of
+/// arrivals across runs and `--jobs` settings.
+///
+/// Per-connection read errors and transient `accept` failures are
+/// logged (`connection N error: …`), counted in the summary, and never
+/// fatal; the socket file is unlinked on **every** exit path.
 ///
 /// # Errors
 ///
-/// Propagates bind/accept failures, I/O errors on `out`, and a non-socket
-/// file already existing at `socket`.
+/// Propagates bind failures, I/O errors on `out`, and a non-socket file
+/// already existing at `socket` — the socket file is removed even then.
 #[cfg(unix)]
 pub fn run_socket(
     engine: &mut ServeEngine,
     socket: &Path,
     out: &mut dyn Write,
-    log: &mut dyn Write,
+    log: &mut (dyn Write + Send),
     json: bool,
     max_epochs: Option<u64>,
+    limits: &IngestLimits,
 ) -> io::Result<ServeSummary> {
     if let Ok(meta) = std::fs::symlink_metadata(socket) {
         use std::os::unix::fs::FileTypeExt as _;
@@ -789,19 +1524,49 @@ pub fn run_socket(
         let _ = std::fs::remove_file(socket); // stale socket from a dead daemon
     }
     let listener = std::os::unix::net::UnixListener::bind(socket)?;
-    let _ = writeln!(log, "listening on {}", socket.display());
-    let mut summary = ServeSummary::default();
-    while max_epochs.is_none_or(|m| summary.epochs < m) {
-        let (stream, _) = listener.accept()?;
-        let remaining = max_epochs.map(|m| m - summary.epochs);
-        let s = run_feed(engine, &mut io::BufReader::new(stream), out, log, json, remaining)?;
-        summary.epochs += s.epochs;
-        summary.requests += s.requests;
-        summary.skipped += s.skipped;
-        summary.any_rejected |= s.any_rejected;
+    let log = Mutex::new(log);
+    {
+        let mut log = log.lock().expect("log lock");
+        let _ = writeln!(log, "listening on {}", socket.display());
     }
+    let door = Door::default();
+    let mut summary = ServeSummary::default();
+    let (listener_ref, door_ref, log_ref) = (&listener, &door, &log);
+    let result: io::Result<()> = std::thread::scope(|scope| {
+        scope.spawn(move || accept_loop(scope, listener_ref, door_ref, log_ref, limits));
+        let result = loop {
+            match next_epoch(&door, limits) {
+                Cut::Finished => break Ok(()),
+                Cut::Epoch(mut batch) => {
+                    let flushed = {
+                        let mut log = log.lock().expect("log lock");
+                        flush_epoch(engine, &mut batch, out, &mut **log, json, &mut summary)
+                    };
+                    if let Err(e) = flushed {
+                        break Err(e);
+                    }
+                    if max_epochs.is_some_and(|m| summary.epochs >= m) {
+                        break Ok(());
+                    }
+                }
+            }
+        };
+        door.set_done();
+        result
+    });
+    // The fault-isolation contract: the socket file is unlinked on every
+    // exit path, the error ones included.
     let _ = std::fs::remove_file(socket);
-    Ok(summary)
+    let st = door.lock();
+    summary.skipped += st.skipped;
+    summary.conn_errors = st.conn_errors;
+    summary.shed = st.shed;
+    engine.door.connections += st.connections;
+    engine.door.conn_errors += st.conn_errors;
+    engine.door.shed += st.shed;
+    engine.door.peak_pending = engine.door.peak_pending.max(st.peak_pending as u64);
+    drop(st);
+    result.map(|()| summary)
 }
 
 #[cfg(test)]
@@ -833,12 +1598,21 @@ mod tests {
         let r = parse_request(r#"{"id": "x", "path": "/tmp/x.p4"}"#).expect("parses");
         assert_eq!(r.body, RequestBody::Path("/tmp/x.p4".to_string()));
 
-        // `id` defaults to the file name for path requests; numeric ids
-        // keep their literal text; unknown keys are ignored.
+        // `id` defaults to the *full path* for path requests — never the
+        // basename, which would alias /a/x.p4 and /b/x.p4 — numeric ids
+        // keep their literal text, and unknown keys are ignored.
         let r = parse_request(r#"{"path": "/corp/fleet/edge.p4", "prio": 3}"#).expect("parses");
-        assert_eq!(r.id, "edge.p4");
+        assert_eq!(r.id, "/corp/fleet/edge.p4");
         let r = parse_request(r#"{"id": 17, "path": "x.p4"}"#).expect("parses");
         assert_eq!(r.id, "17");
+    }
+
+    #[test]
+    fn path_requests_in_different_dirs_get_distinct_default_ids() {
+        let a = parse_request(r#"{"path": "a/x.p4"}"#).expect("parses");
+        let b = parse_request(r#"{"path": "b/x.p4"}"#).expect("parses");
+        assert_ne!(a.id, b.id);
+        assert_eq!(a.id, "a/x.p4");
     }
 
     #[test]
@@ -868,6 +1642,65 @@ mod tests {
             let err = parse_request(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");
         }
+    }
+
+    // --- line framing ------------------------------------------------------
+
+    fn frame_all(framer: &mut LineFramer, chunks: &[&[u8]]) -> Vec<FeedEvent> {
+        let mut events = Vec::new();
+        for chunk in chunks {
+            framer.push(chunk, &mut events);
+        }
+        framer.finish(&mut events);
+        events
+    }
+
+    #[test]
+    fn framer_splits_lines_across_chunk_boundaries() {
+        let mut f = LineFramer::new(64);
+        let events = frame_all(&mut f, &[b"ab", b"c\nde", b"\n\nf"]);
+        assert_eq!(
+            events,
+            vec![
+                FeedEvent::Line("abc".into()),
+                FeedEvent::Line("de".into()),
+                FeedEvent::Line(String::new()),
+                FeedEvent::Line("f".into()), // unterminated tail at EOF
+            ]
+        );
+    }
+
+    #[test]
+    fn framer_drops_oversized_lines_without_buffering_and_resyncs() {
+        let mut f = LineFramer::new(4);
+        // 10 bytes streamed in pieces, then a newline, then a good line.
+        let events = frame_all(&mut f, &[b"01234", b"56789", b"\nok\n"]);
+        assert_eq!(events, vec![FeedEvent::Oversized(10), FeedEvent::Line("ok".into())]);
+        assert!(f.buf.capacity() <= 4 + 1, "the over-long line was never buffered");
+
+        // A line that crosses the cap within one chunk, newline included.
+        let mut f = LineFramer::new(4);
+        let events = frame_all(&mut f, &[b"abcdef\nxy\n"]);
+        assert_eq!(events, vec![FeedEvent::Oversized(6), FeedEvent::Line("xy".into())]);
+
+        // Oversized at EOF without a resynchronizing newline.
+        let mut f = LineFramer::new(4);
+        let events = frame_all(&mut f, &[b"abc", b"defgh"]);
+        assert_eq!(events, vec![FeedEvent::Oversized(8)]);
+    }
+
+    #[test]
+    fn framer_flags_invalid_utf8_lines() {
+        let mut f = LineFramer::new(64);
+        let events = frame_all(&mut f, &[b"ok\n\xff\xfe\nalso-ok\n"]);
+        assert_eq!(
+            events,
+            vec![
+                FeedEvent::Line("ok".into()),
+                FeedEvent::BadUtf8,
+                FeedEvent::Line("also-ok".into()),
+            ]
+        );
     }
 
     // --- directory scanning ----------------------------------------------
@@ -1044,6 +1877,93 @@ mod tests {
         assert!(refreshing.cumulative_stats().workers >= 3, "one per epoch at least");
     }
 
+    // --- the verdict cache --------------------------------------------------
+
+    #[test]
+    fn cache_hits_render_byte_identically_to_fresh_checks() {
+        let inputs = vec![
+            BatchInput::new("ok", OK),
+            BatchInput::new("leak", LEAK),
+            BatchInput::new("broken", "control {"),
+        ];
+        let mut plain = ServeEngine::new(CheckOptions::ifc(), 2);
+        let mut cached = ServeEngine::new(CheckOptions::ifc(), 2).with_cache(64);
+        for round in 0..3 {
+            let a = plain.run_epoch(&inputs);
+            let b = cached.run_epoch(&inputs);
+            assert_eq!(a.render_table(), b.render_table(), "round {round}");
+            assert_eq!(a.to_ndjson(), b.to_ndjson(), "round {round}");
+        }
+        let ops = cached.ops();
+        assert_eq!(ops.cache_misses, 3, "first epoch missed every body");
+        assert_eq!(ops.cache_hits, 6, "two later epochs hit all three");
+        assert_eq!(ops.cache_size, 3);
+        assert_eq!(plain.ops().cache_misses, 0, "disabled cache counts nothing");
+    }
+
+    #[test]
+    fn cache_reattaches_request_ids_and_indices_on_hits() {
+        // The same body resubmitted under different ids and at different
+        // positions must come back under the *new* id and index.
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1).with_cache(64);
+        let _ = engine.run_epoch(&[BatchInput::new("first", LEAK)]);
+        let epoch =
+            engine.run_epoch(&[BatchInput::new("pad", OK), BatchInput::new("renamed", LEAK)]);
+        assert_eq!(epoch.report.programs[1].name, "renamed");
+        assert_eq!(epoch.report.programs[1].index, 1);
+        assert!(!epoch.report.programs[1].accepted);
+        assert_eq!(epoch.report.programs[1].diagnostics[0].code, "E-EXPLICIT-FLOW");
+        assert_eq!(engine.ops().cache_hits, 1);
+    }
+
+    #[test]
+    fn cache_checks_repeated_bodies_once_per_epoch() {
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1).with_cache(64);
+        let inputs: Vec<BatchInput> =
+            (0..5).map(|i| BatchInput::new(format!("copy-{i}"), OK)).collect();
+        let epoch = engine.run_epoch(&inputs);
+        assert_eq!(epoch.report.programs.len(), 5);
+        for (i, p) in epoch.report.programs.iter().enumerate() {
+            assert_eq!(p.index, i);
+            assert_eq!(p.name, format!("copy-{i}"));
+            assert!(p.accepted);
+        }
+        let ops = engine.ops();
+        assert_eq!(ops.cache_misses, 5, "each occurrence counts a miss");
+        assert_eq!(ops.cache_size, 1, "but only one body was checked and cached");
+        // Only one worker session ran for the single deduplicated check.
+        assert_eq!(engine.cumulative_stats().workers, 1);
+    }
+
+    #[test]
+    fn cache_evicts_in_insertion_order_at_cap() {
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1).with_cache(2);
+        let bodies = [OK, LEAK, "control {"];
+        for (i, body) in bodies.iter().enumerate() {
+            let _ = engine.run_epoch(&[BatchInput::new(format!("p{i}"), *body)]);
+        }
+        assert_eq!(engine.ops().cache_size, 2, "cap holds");
+        // The oldest body (OK) was evicted: re-checking it misses and
+        // re-inserts it, after which it hits again.
+        let _ = engine.run_epoch(&[BatchInput::new("again", OK)]);
+        assert_eq!(engine.ops().cache_misses, 4);
+        let _ = engine.run_epoch(&[BatchInput::new("still", OK)]);
+        assert_eq!(engine.ops().cache_hits, 1);
+        assert_eq!(engine.ops().cache_size, 2);
+    }
+
+    #[test]
+    fn cache_keys_include_the_options_fingerprint() {
+        // The same source under different checker options must not share
+        // a verdict: permissive accepts what IFC rejects.
+        let mut ifc = ServeEngine::new(CheckOptions::ifc(), 1).with_cache(8);
+        let mut permissive = ServeEngine::new(CheckOptions::permissive(), 1).with_cache(8);
+        let inputs = [BatchInput::new("leak", LEAK)];
+        assert!(!ifc.run_epoch(&inputs).report.programs[0].accepted);
+        assert!(permissive.run_epoch(&inputs).report.programs[0].accepted);
+        assert_ne!(ifc.opts_fp, permissive.opts_fp);
+    }
+
     // --- ingest loops ------------------------------------------------------
 
     fn feed_line(id: &str, source: &str) -> String {
@@ -1074,6 +1994,7 @@ mod tests {
                 &mut log,
                 false,
                 None,
+                &IngestLimits::default(),
             )
             .expect("feed runs");
             assert_eq!((summary.epochs, summary.requests, summary.skipped), (2, 4, 0));
@@ -1108,12 +2029,16 @@ mod tests {
             &mut log,
             false,
             None,
+            &IngestLimits::default(),
         )
         .expect("feed runs");
         assert_eq!((summary.epochs, summary.requests, summary.skipped), (1, 1, 2));
         assert!(!summary.any_rejected);
         let out = String::from_utf8(out).unwrap();
-        assert!(out.contains("ok.p4"), "path request named by file name: {out}");
+        assert!(
+            out.contains(&dir.join("ok.p4").display().to_string()),
+            "path request named by its full path: {out}"
+        );
         let log = String::from_utf8(log).unwrap();
         assert!(log.contains("skipped request: expected `{`"), "{log}");
         assert!(log.contains("skipped request: cannot read"), "{log}");
@@ -1134,6 +2059,7 @@ mod tests {
             &mut log,
             true,
             Some(1),
+            &IngestLimits::default(),
         )
         .expect("feed runs");
         assert_eq!(summary.epochs, 1);
@@ -1141,6 +2067,76 @@ mod tests {
         let out = String::from_utf8(out).unwrap();
         assert_eq!(out.lines().count(), 1, "exactly one epoch document: {out}");
         assert!(out.contains("\"epoch\": 0"));
+    }
+
+    #[test]
+    fn feed_skips_oversized_lines_and_resyncs_at_the_next_newline() {
+        // A 64 KiB newline-free blob must not become a buffered line: it
+        // is dropped under the cap, counted as skipped, and the next
+        // (valid) line after the newline is served normally.
+        let mut feed = Vec::new();
+        feed.extend_from_slice(&vec![b'x'; 64 * 1024]);
+        feed.push(b'\n');
+        feed.extend_from_slice(feed_line("after", OK).as_bytes());
+        let limits = IngestLimits { max_line: 1024, ..IngestLimits::default() };
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
+        let (mut out, mut log) = (Vec::new(), Vec::new());
+        let summary =
+            run_feed(&mut engine, &mut Cursor::new(feed), &mut out, &mut log, true, None, &limits)
+                .expect("feed survives");
+        assert_eq!((summary.epochs, summary.requests, summary.skipped), (1, 1, 1));
+        let log = String::from_utf8(log).unwrap();
+        assert!(log.contains("65536-byte line exceeds the 1024-byte cap"), "{log}");
+        assert!(String::from_utf8(out).unwrap().contains("\"name\": \"after\""));
+    }
+
+    #[test]
+    fn feed_cuts_bounded_epochs_without_flush_markers() {
+        // --max-epoch 2 over five requests and no blank lines: epochs of
+        // 2, 2, and (at EOF) 1.
+        let feed: String = (0..5).map(|i| feed_line(&format!("r{i}"), OK)).collect();
+        let limits = IngestLimits { max_epoch: 2, ..IngestLimits::default() };
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
+        let (mut out, mut log) = (Vec::new(), Vec::new());
+        let summary = run_feed(
+            &mut engine,
+            &mut Cursor::new(feed.into_bytes()),
+            &mut out,
+            &mut log,
+            true,
+            None,
+            &limits,
+        )
+        .expect("feed runs");
+        assert_eq!((summary.epochs, summary.requests), (3, 5));
+        let out = String::from_utf8(out).unwrap();
+        let totals: Vec<&str> = out.lines().filter_map(|l| l.split("\"total\": ").nth(1)).collect();
+        assert_eq!(totals.len(), 3, "{out}");
+        assert!(totals[0].starts_with('2') && totals[1].starts_with('2'));
+        assert!(totals[2].starts_with('1'));
+    }
+
+    #[test]
+    fn duplicate_ids_in_one_epoch_are_noticed_not_refused() {
+        let feed = format!("{}{}", feed_line("dup", OK), feed_line("dup", LEAK));
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
+        let (mut out, mut log) = (Vec::new(), Vec::new());
+        let summary = run_feed(
+            &mut engine,
+            &mut Cursor::new(feed.into_bytes()),
+            &mut out,
+            &mut log,
+            false,
+            None,
+            &IngestLimits::default(),
+        )
+        .expect("feed runs");
+        assert_eq!((summary.epochs, summary.requests, summary.skipped), (1, 2, 0));
+        let log = String::from_utf8(log).unwrap();
+        assert!(log.contains("notice: duplicate id `dup` in epoch"), "{log}");
+        // Both rows are still checked and reported.
+        let out = String::from_utf8(out).unwrap();
+        assert!(out.contains("accept") && out.contains("REJECT"), "{out}");
     }
 
     #[test]
@@ -1200,37 +2196,228 @@ mod tests {
         let _ = std::fs::remove_dir_all(dir);
     }
 
+    /// A clonable `Write` target so a test client can watch the daemon's
+    /// output while `run_socket` borrows another clone.
+    #[cfg(unix)]
+    #[derive(Clone, Default, Debug)]
+    struct SharedBuf(std::sync::Arc<Mutex<Vec<u8>>>);
+
+    #[cfg(unix)]
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[cfg(unix)]
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+
+        fn wait_for(&self, needle: &str) {
+            let deadline = std::time::Instant::now() + Duration::from_secs(30);
+            while !self.contents().contains(needle) {
+                assert!(std::time::Instant::now() < deadline, "never saw {needle:?}");
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        }
+    }
+
+    /// Connects to a daemon that is still binding; retries briefly.
+    #[cfg(unix)]
+    fn connect_retry(path: &Path) -> std::os::unix::net::UnixStream {
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            match std::os::unix::net::UnixStream::connect(path) {
+                Ok(s) => return s,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => panic!("connect {}: {e}", path.display()),
+            }
+        }
+    }
+
     #[cfg(unix)]
     #[test]
     fn socket_connections_flush_epochs() {
-        use std::os::unix::net::UnixStream;
         let dir = scratch_dir("sock");
         let socket = dir.join("p4bid.sock");
         let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
-        let (mut out, mut log) = (Vec::new(), Vec::new());
+        let out = SharedBuf::default();
+        let mut log = Vec::new();
         let sock2 = socket.clone();
+        let out2 = out.clone();
         let client = std::thread::spawn(move || {
-            // The listener binds before accepting; retry briefly.
-            let mut stream = loop {
-                match UnixStream::connect(&sock2) {
-                    Ok(s) => break s,
-                    Err(_) => std::thread::sleep(Duration::from_millis(5)),
-                }
-            };
+            let mut stream = connect_retry(&sock2);
             stream.write_all(feed_line("a", OK).as_bytes()).unwrap();
             stream.write_all(b"\n").unwrap();
+            // Wait for epoch 0 before sending the second part: epoch
+            // *membership* under the concurrent front door depends on
+            // arrival interleaving, and this test wants two epochs.
+            out2.wait_for("\"epoch\": 0");
             stream.write_all(feed_line("b", LEAK).as_bytes()).unwrap();
             // Connection close flushes the second epoch.
         });
-        let summary =
-            run_socket(&mut engine, &socket, &mut out, &mut log, true, Some(2)).expect("serves");
+        let mut out_writer = out.clone();
+        let summary = run_socket(
+            &mut engine,
+            &socket,
+            &mut out_writer,
+            &mut log,
+            true,
+            Some(2),
+            &IngestLimits::default(),
+        )
+        .expect("serves");
         client.join().unwrap();
         assert_eq!((summary.epochs, summary.requests), (2, 2));
         assert!(summary.any_rejected);
-        let out = String::from_utf8(out).unwrap();
+        assert_eq!(summary.conn_errors, 0);
+        let out = out.contents();
         assert_eq!(out.lines().count(), 2, "{out}");
         assert!(out.contains("\"epoch\": 0") && out.contains("\"epoch\": 1"), "{out}");
         assert!(!socket.exists(), "socket file removed on shutdown");
+        assert_eq!(engine.ops().connections, 1);
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_survives_a_midline_disconnect() {
+        let dir = scratch_dir("sock-drop");
+        let socket = dir.join("drop.sock");
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
+        let out = SharedBuf::default();
+        let log = SharedBuf::default();
+        let sock2 = socket.clone();
+        let client = std::thread::spawn(move || {
+            // First client: half a request line, then vanish.
+            let mut s = connect_retry(&sock2);
+            s.write_all(b"{\"id\": \"torn\", \"sou").unwrap();
+            drop(s);
+            // Second client: a full epoch — the daemon must still serve.
+            let mut s = std::os::unix::net::UnixStream::connect(&sock2).expect("daemon survived");
+            s.write_all(feed_line("whole", OK).as_bytes()).unwrap();
+        });
+        let (mut out_w, mut log_w) = (out.clone(), log.clone());
+        let summary = run_socket(
+            &mut engine,
+            &socket,
+            &mut out_w,
+            &mut log_w,
+            true,
+            Some(1),
+            &IngestLimits::default(),
+        )
+        .expect("the daemon must not die with the torn client");
+        client.join().unwrap();
+        assert_eq!((summary.epochs, summary.requests), (1, 1));
+        assert_eq!(summary.skipped, 1, "the torn line was skipped");
+        assert!(out.contents().contains("\"name\": \"whole\""));
+        assert!(log.contents().contains("skipped request"), "{}", log.contents());
+        assert!(!socket.exists());
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn socket_file_is_unlinked_even_when_out_fails() {
+        struct FailingWriter;
+        impl Write for FailingWriter {
+            fn write(&mut self, _: &[u8]) -> io::Result<usize> {
+                Err(io::Error::new(io::ErrorKind::BrokenPipe, "out pipe broke"))
+            }
+
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let dir = scratch_dir("sock-outfail");
+        let socket = dir.join("fail.sock");
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
+        let mut log = Vec::new();
+        let sock2 = socket.clone();
+        let client = std::thread::spawn(move || {
+            let mut s = connect_retry(&sock2);
+            s.write_all(feed_line("a", OK).as_bytes()).unwrap();
+            // Close flushes; the sequencer's write to `out` then fails.
+        });
+        let err = run_socket(
+            &mut engine,
+            &socket,
+            &mut FailingWriter,
+            &mut log,
+            false,
+            None,
+            &IngestLimits::default(),
+        )
+        .expect_err("a dead stdout is fatal");
+        client.join().unwrap();
+        assert_eq!(err.kind(), io::ErrorKind::BrokenPipe, "{err}");
+        assert!(!socket.exists(), "the socket file must not leak on the error path");
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn door_sheds_at_a_full_queue_and_force_cuts_in_stable_order() {
+        let door = Door::default();
+        let limits = IngestLimits { max_pending: 2, shed: true, ..IngestLimits::default() };
+        // Interleaved arrival across connections; submission order is
+        // (0,0), (1,0), (0,1) but the cut order is by (conn, seq).
+        assert!(door.submit(0, 0, BatchInput::new("a", OK), &limits));
+        assert!(door.submit(1, 0, BatchInput::new("c", OK), &limits));
+        assert!(door.submit(0, 1, BatchInput::new("b", OK), &limits), "shed, not refused");
+        {
+            let st = door.lock();
+            assert_eq!((st.shed, st.pending.len(), st.peak_pending), (1, 2, 2));
+        }
+        // The full queue force-cuts an epoch with no flush marker at all.
+        match next_epoch(&door, &limits) {
+            Cut::Epoch(batch) => {
+                let names: Vec<&str> = batch.iter().map(|i| i.name.as_str()).collect();
+                assert_eq!(names, ["a", "c"], "(connection id, arrival seq) order");
+            }
+            Cut::Finished => panic!("expected an epoch"),
+        }
+        assert!(door.lock().pending.is_empty());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn blocking_backpressure_force_cuts_and_never_deadlocks() {
+        let dir = scratch_dir("sock-block");
+        let socket = dir.join("block.sock");
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
+        let out = SharedBuf::default();
+        let mut log = Vec::new();
+        // A one-deep queue with the default (blocking) policy: the
+        // producer outruns the sequencer immediately, blocks, and the
+        // full-queue force-cut must unblock it — three one-request
+        // epochs, nothing shed.
+        let limits = IngestLimits { max_pending: 1, ..IngestLimits::default() };
+        let sock2 = socket.clone();
+        let client = std::thread::spawn(move || {
+            let mut s = connect_retry(&sock2);
+            for i in 0..3 {
+                s.write_all(feed_line(&format!("q{i}"), OK).as_bytes()).unwrap();
+            }
+        });
+        let mut out_w = out.clone();
+        let summary =
+            run_socket(&mut engine, &socket, &mut out_w, &mut log, true, Some(3), &limits)
+                .expect("serves");
+        client.join().unwrap();
+        assert_eq!((summary.epochs, summary.requests, summary.shed), (3, 3, 0));
+        let ops = engine.ops();
+        assert!(ops.peak_pending <= 1, "{ops:?}");
         let _ = std::fs::remove_dir_all(dir);
     }
 
@@ -1242,7 +2429,16 @@ mod tests {
         std::fs::write(&path, "do not delete").unwrap();
         let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
         let (mut out, mut log) = (Vec::new(), Vec::new());
-        let err = run_socket(&mut engine, &path, &mut out, &mut log, false, Some(1)).unwrap_err();
+        let err = run_socket(
+            &mut engine,
+            &path,
+            &mut out,
+            &mut log,
+            false,
+            Some(1),
+            &IngestLimits::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists, "{err}");
         assert_eq!(
             std::fs::read_to_string(&path).unwrap(),
@@ -1262,7 +2458,16 @@ mod tests {
         let listener = std::os::unix::net::UnixListener::bind(&path).expect("bind");
         let mut engine = ServeEngine::new(CheckOptions::ifc(), 1);
         let (mut out, mut log) = (Vec::new(), Vec::new());
-        let err = run_socket(&mut engine, &path, &mut out, &mut log, false, Some(1)).unwrap_err();
+        let err = run_socket(
+            &mut engine,
+            &path,
+            &mut out,
+            &mut log,
+            false,
+            Some(1),
+            &IngestLimits::default(),
+        )
+        .unwrap_err();
         assert_eq!(err.kind(), std::io::ErrorKind::AddrInUse, "{err}");
         assert!(path.exists(), "the live daemon's socket file must survive");
         drop(listener);

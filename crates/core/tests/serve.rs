@@ -53,7 +53,9 @@ fn serve_with_feed(args: &[&str], feed: &str) -> Output {
 }
 
 /// Feed lines for every `.p4` file of `dir`, sorted by name — the same
-/// input order `p4bid batch DIR` uses, so the reports must match.
+/// input order `p4bid batch DIR` uses, so the reports must match. The
+/// `id` is explicit (the basename, as `batch` reports it): a pathless
+/// request would default to the *full path* and never match.
 fn path_feed(dir: &std::path::Path) -> String {
     let mut names: Vec<PathBuf> = std::fs::read_dir(dir)
         .expect("read dir")
@@ -62,7 +64,16 @@ fn path_feed(dir: &std::path::Path) -> String {
         .filter(|p| p.extension().is_some_and(|e| e == "p4"))
         .collect();
     names.sort();
-    names.iter().map(|p| format!("{{\"path\": \"{}\"}}\n", p.display())).collect()
+    names
+        .iter()
+        .map(|p| {
+            format!(
+                "{{\"id\": \"{}\", \"path\": \"{}\"}}\n",
+                p.file_name().expect("file name").to_string_lossy(),
+                p.display()
+            )
+        })
+        .collect()
 }
 
 #[test]
@@ -139,7 +150,7 @@ fn serve_inline_sources_stats_and_refresh() {
     assert_eq!(epoch_summaries, 2, "two one-program epoch tables: {stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("{\"schema\": \"p4bid-stats/1\", \"command\": \"serve\", \"epochs\": 2, "),
+        stderr.contains("{\"schema\": \"p4bid-stats/2\", \"command\": \"serve\", \"epochs\": 2, "),
         "{stderr}"
     );
     assert!(!stdout.contains("p4bid-stats"), "stats stay off stdout: {stdout}");
@@ -302,4 +313,227 @@ fn serve_socket_accepts_a_connection() {
     );
     assert!(stdout.contains("\"name\": \"s\", \"status\": \"accept\""), "{stdout}");
     let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Incremental reader over a child's stderr: the socket-resilience tests
+/// gate their scripted interleavings on daemon log lines.
+struct Tail {
+    seen: Arc<Mutex<Vec<u8>>>,
+}
+
+impl Tail {
+    fn new(mut from: impl std::io::Read + Send + 'static) -> Self {
+        let seen = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = Arc::clone(&seen);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => sink.lock().unwrap().extend_from_slice(&buf[..n]),
+                }
+            }
+        });
+        Tail { seen }
+    }
+
+    fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.seen.lock().unwrap()).into_owned()
+    }
+
+    fn wait_for(&self, needle: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !self.contents().contains(needle) {
+            assert!(
+                Instant::now() < deadline,
+                "`{needle}` never appeared on stderr; saw: {}",
+                self.contents()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+#[cfg(unix)]
+fn connect_retry(socket: &std::path::Path) -> std::os::unix::net::UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(s) => return s,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "socket never came up");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// A client that vanishes mid-request is logged and counted — never fatal:
+/// a second client's feed completes and the daemon exits cleanly.
+#[cfg(unix)]
+#[test]
+fn serve_socket_survives_a_midline_disconnect() {
+    let dir = scratch_dir("socket-torn");
+    let socket = dir.join("p4bid.sock");
+    let mut child = p4bid()
+        .args(["serve", "--socket", socket.to_str().unwrap(), "--jobs", "1", "--max-epochs", "1"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stderr = Tail::new(child.stderr.take().expect("stderr piped"));
+
+    let mut torn = connect_retry(&socket);
+    stderr.wait_for("connection 0: accepted");
+    torn.write_all(b"{\"id\": \"torn\", \"sour").expect("half a request");
+    drop(torn); // disconnect mid-line
+    stderr.wait_for("connection 0: skipped request:");
+
+    let mut ok = connect_retry(&socket);
+    stderr.wait_for("connection 1: accepted");
+    ok.write_all(
+        format!("{{\"id\": \"survivor\", \"source\": \"{}\"}}\n", OK.replace('"', "\\\""))
+            .as_bytes(),
+    )
+    .expect("full request");
+    drop(ok); // close flushes the epoch
+
+    let out = wait_with_deadline(child, Duration::from_secs(30));
+    assert_eq!(out.status.code(), Some(0), "{}", stderr.contents());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("survivor"), "{stdout}");
+    assert!(
+        stderr.contents().contains("served 1 epoch(s): 1 program(s) checked, 1 request(s) skipped"),
+        "{}",
+        stderr.contents()
+    );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A newline-free 10 MiB feed is dropped as it streams (never buffered),
+/// counted as skipped, and the daemon resynchronizes at the next newline.
+#[test]
+fn serve_survives_a_10mib_newline_free_feed() {
+    let mut feed = "x".repeat(10 * 1024 * 1024);
+    feed.push('\n');
+    feed.push_str(&format!("{{\"id\": \"after\", \"source\": \"{}\"}}\n", OK.replace('"', "\\\"")));
+    let out = serve_with_feed(&["--jobs", "1"], &feed);
+    assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("after"));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("10485760-byte line exceeds the 1048576-byte cap"), "{stderr}");
+    assert!(stderr.contains("1 request(s) skipped"), "{stderr}");
+}
+
+/// One scripted four-producer run: producers connect sequentially (gated
+/// on the daemon's `connection N: accepted` log lines, pinning connection
+/// ids), each submits two requests, and all four stay connected so the
+/// epoch cut is the 8th arrival tripping `--max-epoch 8` — the epoch's
+/// content and order are then fixed by the `(connection id, arrival seq)`
+/// sequencer no matter how the submissions interleave.
+#[cfg(unix)]
+fn deterministic_producer_run(jobs: &str, tag: &str) -> String {
+    let dir = scratch_dir(tag);
+    let socket = dir.join("p4bid.sock");
+    let mut child = p4bid()
+        .args([
+            "serve",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--json",
+            "--jobs",
+            jobs,
+            "--max-epoch",
+            "8",
+            "--max-epochs",
+            "1",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stderr = Tail::new(child.stderr.take().expect("stderr piped"));
+
+    let mut producers = Vec::new();
+    for i in 0..4 {
+        let mut stream = connect_retry(&socket);
+        stderr.wait_for(&format!("connection {i}: accepted"));
+        for (j, body) in [OK, OK2].iter().enumerate() {
+            stream
+                .write_all(
+                    format!(
+                        "{{\"id\": \"p{i}-{j}\", \"source\": \"{}\"}}\n",
+                        body.replace('"', "\\\"")
+                    )
+                    .as_bytes(),
+                )
+                .expect("request written");
+        }
+        producers.push(stream);
+    }
+
+    let out = wait_with_deadline(child, Duration::from_secs(30));
+    drop(producers);
+    assert_eq!(out.status.code(), Some(0), "{}", stderr.contents());
+    let _ = std::fs::remove_dir_all(dir);
+    String::from_utf8(out.stdout).expect("utf-8 report")
+}
+
+/// The determinism-under-concurrency contract: with 4 concurrent
+/// producers, epoch output is byte-identical across repeated runs of the
+/// same scripted interleaving and across `--jobs 1/2/8`, and programs
+/// appear in `(connection id, arrival seq)` order.
+#[cfg(unix)]
+#[test]
+fn four_concurrent_producers_yield_deterministic_epoch_output() {
+    let runs = [("j1", "1"), ("j2", "2"), ("j8", "8"), ("j2-again", "2")];
+    let outputs: Vec<String> = runs
+        .iter()
+        .map(|(tag, jobs)| deterministic_producer_run(jobs, &format!("socket-4p-{tag}")))
+        .collect();
+
+    let first = &outputs[0];
+    assert!(first.contains("\"total\": 8"), "one epoch over all 8 requests: {first}");
+    let mut last = 0;
+    for i in 0..4 {
+        for j in 0..2 {
+            let needle = format!("\"name\": \"p{i}-{j}\"");
+            let pos =
+                first.find(&needle).unwrap_or_else(|| panic!("{needle} missing from {first}"));
+            assert!(pos > last, "sequencer order violated at {needle}: {first}");
+            last = pos;
+        }
+    }
+    for (run, out) in runs.iter().zip(&outputs).skip(1) {
+        assert_eq!(out, first, "run {} diverged from run {}", run.0, runs[0].0);
+    }
+}
+
+/// Resubmitting an epoch is answered from the verdict cache — and the
+/// report is byte-identical to the fresh check, with the hit/miss/size
+/// counters surfaced in the `p4bid-stats/2` document.
+#[test]
+fn repeat_submissions_hit_the_verdict_cache_byte_identically() {
+    let epoch = format!(
+        "{{\"id\": \"a\", \"source\": \"{}\"}}\n{{\"id\": \"b\", \"source\": \"{}\"}}\n",
+        OK.replace('"', "\\\""),
+        LEAK.replace('"', "\\\""),
+    );
+    let feed = format!("{epoch}\n{epoch}\n{epoch}");
+    let out = serve_with_feed(&["--jobs", "2", "--json", "--stats-json"], &feed);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 3, "three NDJSON epoch documents: {stdout}");
+    assert_eq!(
+        lines[0].replace("\"epoch\": 0", "\"epoch\": 1"),
+        lines[1],
+        "cache hits must render byte-identically"
+    );
+    assert_eq!(lines[0].replace("\"epoch\": 0", "\"epoch\": 2"), lines[2]);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("\"cache_hits\": 4, \"cache_misses\": 2, \"cache_size\": 2"),
+        "{stderr}"
+    );
 }
