@@ -38,13 +38,23 @@ fn bench_batch(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("corpus", "jobs-max"), &corpus, |b, inputs| {
         b.iter(|| check_batch(inputs, &CheckOptions::ifc(), 0));
     });
+    // Lineage recording is on by default; this pins what the "explain"
+    // machinery costs against the same corpus with recording off.
+    group.bench_with_input(
+        BenchmarkId::new("corpus", "jobs-1-no-lineage"),
+        &corpus,
+        |b, inputs| {
+            b.iter(|| check_batch(inputs, &CheckOptions::ifc().with_lineage(false), 1));
+        },
+    );
     group.finish();
 
     summary_json(&corpus);
 }
 
 /// Self-timed summary for the JSON artifact: programs/second for the
-/// serial and parallel batch paths plus the session-reuse speedup.
+/// serial and parallel batch paths, the session-reuse speedup, and the
+/// flow-lineage ("explain") recording overhead.
 fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
     let time_ms = |f: &mut dyn FnMut()| p4bid_bench::time_ms_best_of(3, 5, f);
 
@@ -54,6 +64,10 @@ fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
     });
     let jobs_max_ms = time_ms(&mut || {
         let _ = check_batch(corpus, &opts, 0);
+    });
+    let no_lineage = CheckOptions::ifc().with_lineage(false);
+    let no_lineage_ms = time_ms(&mut || {
+        let _ = check_batch(corpus, &no_lineage, 1);
     });
     let program = synth_program(8, true);
     let one_shot_ms = time_ms(&mut || {
@@ -66,7 +80,7 @@ fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-batch/1\",");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-batch/2\",");
     let _ = writeln!(json, "  \"corpus_programs\": {},", corpus.len());
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"batch_jobs_1_ms\": {jobs_1_ms:.3},");
@@ -80,6 +94,12 @@ fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
         json,
         "  \"programs_per_sec_jobs_max\": {:.0},",
         corpus.len() as f64 / (jobs_max_ms / 1e3)
+    );
+    let _ = writeln!(json, "  \"batch_jobs_1_no_lineage_ms\": {no_lineage_ms:.3},");
+    let _ = writeln!(
+        json,
+        "  \"lineage_overhead_pct\": {:.1},",
+        (jobs_1_ms / no_lineage_ms.max(1e-9) - 1.0) * 100.0
     );
     let _ = writeln!(json, "  \"one_shot_check_ms\": {one_shot_ms:.4},");
     let _ = writeln!(json, "  \"session_check_ms\": {session_ms:.4},");

@@ -32,9 +32,12 @@
 //! assert_eq!(report.programs[1].diagnostics[0].code, "E-EXPLICIT-FLOW");
 //! ```
 
+use crate::policy::PolicyPack;
 use crate::synth::synth_program;
 use p4bid_ast::span::span_line_col;
-use p4bid_typeck::{CheckOptions, CheckerSession, Diagnostic, SessionStats, SharedSessionCore};
+use p4bid_typeck::{
+    CheckOptions, CheckerSession, Diagnostic, FlowNode, SessionStats, SharedSessionCore,
+};
 use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::sync::Mutex;
@@ -55,9 +58,42 @@ impl BatchInput {
     }
 }
 
+/// One endpoint of a reported lineage step: rendered expression, label
+/// name, and its 1-based position in the program source (`0:0` for spans
+/// outside it).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageNode {
+    /// Rendered expression or l-value.
+    pub expr: String,
+    /// Label name against the active lattice.
+    pub label: String,
+    /// 1-based line, or 0 for spans outside the source.
+    pub line: u32,
+    /// 1-based column, or 0 for spans outside the source.
+    pub col: u32,
+}
+
+impl LineageNode {
+    fn from_flow(n: &FlowNode, source: &str) -> Self {
+        let (line, col) = span_line_col(source, n.span).map_or((0, 0), |lc| (lc.line, lc.col));
+        LineageNode { expr: n.what.clone(), label: n.label.clone(), line, col }
+    }
+}
+
+/// One step of a diagnostic's flow-lineage path, flattened for reporting.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LineageStep {
+    /// Flow-operation ident (`assign`, `guard-pc`, `table`, …).
+    pub op: String,
+    /// Where the data came from.
+    pub source: LineageNode,
+    /// Where the data went.
+    pub sink: LineageNode,
+}
+
 /// A diagnostic flattened for reporting: stable code, 1-based position in
 /// the program's own source (`0:0` when the span does not fall inside it),
-/// and the human message.
+/// the human message, and the flow-lineage path explaining the violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct BatchDiagnostic {
     /// Stable diagnostic ident, e.g. `E-EXPLICIT-FLOW`.
@@ -68,12 +104,31 @@ pub struct BatchDiagnostic {
     pub col: u32,
     /// Human-readable message.
     pub message: String,
+    /// The source → sink flow path, oldest step first with the violating
+    /// step last; empty for diagnostics with no flow to explain or when
+    /// lineage recording is off.
+    pub lineage: Vec<LineageStep>,
 }
 
 impl BatchDiagnostic {
     fn from_diagnostic(d: &Diagnostic, source: &str) -> Self {
         let (line, col) = span_line_col(source, d.span).map_or((0, 0), |lc| (lc.line, lc.col));
-        BatchDiagnostic { code: d.code.ident().to_string(), line, col, message: d.message.clone() }
+        let lineage = d
+            .lineage
+            .iter()
+            .map(|e| LineageStep {
+                op: e.op.ident().to_string(),
+                source: LineageNode::from_flow(&e.source, source),
+                sink: LineageNode::from_flow(&e.sink, source),
+            })
+            .collect();
+        BatchDiagnostic {
+            code: d.code.ident().to_string(),
+            line,
+            col,
+            message: d.message.clone(),
+            lineage,
+        }
     }
 }
 
@@ -228,14 +283,15 @@ impl BatchReport {
         self.rejected() == 0
     }
 
-    /// Machine-readable JSON form (schema `p4bid-batch-report/1`).
+    /// Machine-readable JSON form (schema `p4bid-batch-report/2`; the `/2`
+    /// revision added the per-diagnostic `lineage` array).
     ///
     /// Deliberately timing-free: two runs over the same inputs produce
     /// byte-identical JSON regardless of scheduling or worker count.
     #[must_use]
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"p4bid-batch-report/1\",\n");
+        out.push_str("  \"schema\": \"p4bid-batch-report/2\",\n");
         out.push_str("  \"programs\": [\n");
         for (i, p) in self.programs.iter().enumerate() {
             out.push_str("    ");
@@ -296,8 +352,8 @@ impl BatchReport {
 }
 
 /// Renders one program's verdict as a JSON object — the exact bytes the
-/// `p4bid-batch-report/1` schema embeds, reused verbatim by the
-/// `p4bid-serve-report/1` epoch documents so the two schemas can never
+/// `p4bid-batch-report/2` schema embeds, reused verbatim by the
+/// `p4bid-serve-report/2` epoch documents so the two schemas can never
 /// drift apart per program.
 pub(crate) fn program_json(p: &ProgramReport) -> String {
     let mut out = String::new();
@@ -311,16 +367,38 @@ pub(crate) fn program_json(p: &ProgramReport) -> String {
     for (j, d) in p.diagnostics.iter().enumerate() {
         let _ = write!(
             out,
-            "{}{{\"code\": {}, \"line\": {}, \"col\": {}, \"message\": {}}}",
+            "{}{{\"code\": {}, \"line\": {}, \"col\": {}, \"message\": {}, \"lineage\": [",
             if j == 0 { "" } else { ", " },
             json_string(&d.code),
             d.line,
             d.col,
             json_string(&d.message),
         );
+        for (k, step) in d.lineage.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"op\": {}, \"source\": {}, \"sink\": {}}}",
+                if k == 0 { "" } else { ", " },
+                json_string(&step.op),
+                lineage_node_json(&step.source),
+                lineage_node_json(&step.sink),
+            );
+        }
+        out.push_str("]}");
     }
     out.push_str("]}");
     out
+}
+
+/// Renders one lineage endpoint for the report schemas.
+fn lineage_node_json(n: &LineageNode) -> String {
+    format!(
+        "{{\"expr\": {}, \"label\": {}, \"line\": {}, \"col\": {}}}",
+        json_string(&n.expr),
+        json_string(&n.label),
+        n.line,
+        n.col,
+    )
 }
 
 /// Escapes `s` as a JSON string literal (shared by the batch, serve, and
@@ -425,6 +503,49 @@ pub fn check_batch_with_core(
 #[must_use]
 pub fn check_batch_cold(inputs: &[BatchInput], opts: &CheckOptions, jobs: usize) -> BatchReport {
     run_batch(inputs, jobs, || CheckerSession::new(opts.clone()))
+}
+
+/// Checks a batch under a policy pack: each input's effective options are
+/// resolved from its *name*, inputs are grouped by distinct resolved
+/// option sets (in first-appearance order, so grouping is deterministic),
+/// and each group runs over its own shared core. Verdicts are re-merged by
+/// global input index, keeping the byte-identical-report contract intact —
+/// a pack that resolves every name to the base options produces exactly
+/// [`check_batch`]'s output.
+#[must_use]
+pub fn check_batch_with_policy(
+    inputs: &[BatchInput],
+    base: &CheckOptions,
+    pack: &PolicyPack,
+    jobs: usize,
+) -> BatchReport {
+    if pack.is_empty() {
+        return check_batch(inputs, base, jobs);
+    }
+    let mut groups: Vec<(u64, CheckOptions, Vec<usize>)> = Vec::new();
+    for (i, inp) in inputs.iter().enumerate() {
+        let opts = pack.resolve(&inp.name, base);
+        let fp = crate::serve::options_fingerprint(&opts);
+        match groups.iter_mut().find(|(g, _, _)| *g == fp) {
+            Some((_, _, ixs)) => ixs.push(i),
+            None => groups.push((fp, opts, vec![i])),
+        }
+    }
+    let mut programs: Vec<ProgramReport> = Vec::with_capacity(inputs.len());
+    let mut stats = BatchStats::default();
+    let mut report_jobs = 1;
+    for (_, opts, ixs) in &groups {
+        let subset: Vec<BatchInput> = ixs.iter().map(|&i| inputs[i].clone()).collect();
+        let sub = check_batch(&subset, opts, jobs);
+        report_jobs = report_jobs.max(sub.jobs);
+        stats.merge(&sub.stats);
+        for mut p in sub.programs {
+            p.index = ixs[p.index];
+            programs.push(p);
+        }
+    }
+    programs.sort_by_key(|p| p.index);
+    BatchReport { programs, jobs: report_jobs, stats }
 }
 
 /// The shared driver: fans `inputs` over `jobs` workers, each owning one
@@ -559,7 +680,7 @@ mod tests {
         let inputs = vec![BatchInput::new("we\"ird\nname", "control {")];
         let report = check_batch(&inputs, &CheckOptions::ifc(), 1);
         let json = report.to_json();
-        assert!(json.contains("\"schema\": \"p4bid-batch-report/1\""), "{json}");
+        assert!(json.contains("\"schema\": \"p4bid-batch-report/2\""), "{json}");
         assert!(json.contains("we\\\"ird\\nname"), "{json}");
         assert!(json.contains("\"summary\": {\"total\": 1, \"accepted\": 0, \"rejected\": 1}"));
     }
@@ -622,6 +743,65 @@ mod tests {
         let first = check_batch_with_core(&inputs, &core, 2);
         let second = check_batch_with_core(&inputs, &core, 4);
         assert_eq!(first.to_json(), second.to_json());
+    }
+
+    #[test]
+    fn lineage_rides_the_json_report() {
+        let inputs = vec![BatchInput::new(
+            "leak",
+            "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+        )];
+        let report = check_batch(&inputs, &CheckOptions::ifc(), 1);
+        let d = &report.programs[0].diagnostics[0];
+        assert_eq!(d.lineage.len(), 1, "{d:?}");
+        assert_eq!(d.lineage[0].op, "assign");
+        assert_eq!(d.lineage[0].source.expr, "h");
+        assert_eq!(d.lineage[0].source.label, "high");
+        assert_eq!(d.lineage[0].sink.expr, "l");
+        assert_eq!(d.lineage[0].sink.label, "low");
+        let json = report.to_json();
+        assert!(json.contains("\"lineage\": [{\"op\": \"assign\""), "{json}");
+        // Lineage off: the array is present but empty.
+        let off = check_batch(&inputs, &CheckOptions::ifc().with_lineage(false), 1);
+        assert!(off.to_json().contains("\"lineage\": []"), "{}", off.to_json());
+    }
+
+    #[test]
+    fn policy_batches_resolve_per_program_options() {
+        let pack = PolicyPack::parse(
+            "[declass-*]\ndeclassify = true\n\n[strict-*]\nlattice = \"lo < mid; mid < hi\"\n",
+        )
+        .unwrap();
+        let declassifying = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) \
+             { apply { l = declassify(h); } }";
+        let inputs = vec![
+            BatchInput::new("declass-a.p4", declassifying),
+            BatchInput::new("plain-b.p4", declassifying),
+            BatchInput::new(
+                "strict-c.p4",
+                "control C(inout <bit<8>, lo> l, inout <bit<8>, hi> h) { apply { l = h; } }",
+            ),
+        ];
+        let report = check_batch_with_policy(&inputs, &CheckOptions::ifc(), &pack, 2);
+        // Same source, different verdicts: the policy granted declassify
+        // only to the first name.
+        assert!(report.programs[0].accepted, "{}", report.render_table());
+        assert!(!report.programs[1].accepted);
+        assert_eq!(report.programs[1].diagnostics[0].code, "E-DECLASSIFY-FORBIDDEN");
+        // The third program only typechecks under the rule's lattice.
+        assert!(!report.programs[2].accepted);
+        assert_eq!(report.programs[2].diagnostics[0].code, "E-EXPLICIT-FLOW");
+        assert!(report.programs[2].diagnostics[0].message.contains("`hi`"));
+        // Deterministic across job counts, like plain batches.
+        let one = check_batch_with_policy(&inputs, &CheckOptions::ifc(), &pack, 1);
+        let eight = check_batch_with_policy(&inputs, &CheckOptions::ifc(), &pack, 8);
+        assert_eq!(one.to_json(), report.to_json());
+        assert_eq!(one.to_json(), eight.to_json());
+        // An empty pack is exactly the plain path.
+        let empty = PolicyPack::parse("").unwrap();
+        let plain = check_batch(&inputs, &CheckOptions::ifc(), 1);
+        let via_policy = check_batch_with_policy(&inputs, &CheckOptions::ifc(), &empty, 1);
+        assert_eq!(plain.to_json(), via_policy.to_json());
     }
 
     #[test]

@@ -2,12 +2,12 @@
 //!
 //! ```text
 //! p4bid check FILE [--base|--permissive] [--pc LABEL]   typecheck a program
-//! p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats|--stats-json]
+//! p4bid batch DIR|--synthetic N [--jobs J] [--json] [--policy FILE] [--stats|--stats-json]
 //!                                                       check a whole corpus in parallel
-//! p4bid serve [--socket PATH] [--jobs J] [--json] [--max-epochs N] [--refresh-every N]
-//!             [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N]
-//!                                                       streaming ingest daemon (NDJSON feed)
-//! p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--max-epochs N]
+//! p4bid serve [--socket PATH] [--jobs J] [--json] [--policy FILE] [--max-epochs N]
+//!             [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed]
+//!             [--max-line BYTES] [--cache-cap N]        streaming ingest daemon (NDJSON feed)
+//! p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--policy FILE] [--max-epochs N]
 //!                                                       watch a directory, re-check on change
 //! p4bid matrix                                          §5 case-study accept/reject matrix
 //! p4bid table1 [ITERS]                                  regenerate Table 1 (default 20 iterations)
@@ -20,14 +20,16 @@
 //! See `docs/CLI.md` for the full reference (exit codes, report schemas,
 //! environment knobs).
 
-use p4bid::batch::{check_batch, synthetic_corpus, BatchInput, BatchStats};
+use p4bid::batch::{
+    check_batch, check_batch_with_policy, synthetic_corpus, BatchInput, BatchStats,
+};
 use p4bid::fuzz::{run_fuzz, SeedOutcome};
 use p4bid::ni::{check_non_interference, GenConfig, NiConfig, NiOutcome};
 use p4bid::report::{
     case_study_matrix, measure_table1, render_matrix, render_table1, unannotated_source,
 };
 use p4bid::serve::{run_feed, run_watch, DirScanner, IngestLimits, ServeEngine, ServeSummary};
-use p4bid::{check, render_diagnostics, CheckOptions};
+use p4bid::{check, render_diagnostics, CheckOptions, PolicyPack};
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
@@ -52,9 +54,9 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  p4bid check FILE [--base|--permissive] [--pc LABEL]\n  \
-                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--stats|--stats-json] [--base|--permissive] [--pc LABEL]\n  \
-                 p4bid serve [--socket PATH] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N]\n  \
-                 p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--cache-cap N]\n  \
+                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--base|--permissive] [--pc LABEL]\n  \
+                 p4bid serve [--socket PATH] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N]\n  \
+                 p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--cache-cap N]\n  \
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
@@ -72,8 +74,9 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Every flag that consumes the following argument as its value, across
 /// all subcommands. Needed to tell a positional argument apart from a
 /// flag value (`p4bid batch --jobs 2 DIR` must find `DIR`, not `2`).
-const VALUE_FLAGS: [&str; 15] = [
+const VALUE_FLAGS: [&str; 16] = [
     "--pc",
+    "--policy",
     "--jobs",
     "--synthetic",
     "--runs",
@@ -201,11 +204,16 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         inputs
     };
 
-    let Ok(jobs) = parse_jobs(args) else { return ExitCode::from(2) };
+    let (Ok(jobs), Ok(policy)) = (parse_jobs(args), policy_pack(args)) else {
+        return ExitCode::from(2);
+    };
 
     let opts = check_options(args);
     let start = std::time::Instant::now();
-    let report = check_batch(&inputs, &opts, jobs);
+    let report = match &policy {
+        Some(pack) => check_batch_with_policy(&inputs, &opts, pack, jobs),
+        None => check_batch(&inputs, &opts, jobs),
+    };
     let elapsed = start.elapsed();
     if args.iter().any(|a| a == "--json") {
         print!("{}", report.to_json());
@@ -354,20 +362,38 @@ fn cache_cap(args: &[String]) -> Result<usize, ()> {
     Ok(u64_flag(args, "--cache-cap")?.map_or(1024, |n| n as usize))
 }
 
+/// `--policy FILE`: a per-program policy pack (see `docs/CLI.md`),
+/// shared by `batch`, `serve`, and `watch`. A malformed or unreadable
+/// pack is a usage error (exit 2).
+fn policy_pack(args: &[String]) -> Result<Option<PolicyPack>, ()> {
+    match flag_value(args, "--policy") {
+        None => Ok(None),
+        Some(path) => match PolicyPack::load(std::path::Path::new(path)) {
+            Ok(pack) => Ok(Some(pack)),
+            Err(e) => {
+                eprintln!("error: cannot load policy `{path}`: {e}");
+                Err(())
+            }
+        },
+    }
+}
+
 fn cmd_serve(args: &[String]) -> ExitCode {
-    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(limits), Ok(cache)) = (
+    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(limits), Ok(cache), Ok(policy)) = (
         parse_jobs(args),
         u64_flag(args, "--max-epochs"),
         u64_flag(args, "--refresh-every"),
         ingest_limits(args),
         cache_cap(args),
+        policy_pack(args),
     ) else {
         return ExitCode::from(2);
     };
     let json = args.iter().any(|a| a == "--json");
     let mut engine = ServeEngine::new(check_options(args), jobs)
         .with_refresh_every(refresh_every)
-        .with_cache(cache);
+        .with_cache(cache)
+        .with_policy(policy);
     let result = if let Some(socket) = flag_value(args, "--socket") {
         #[cfg(unix)]
         {
@@ -408,12 +434,13 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("error: `p4bid watch` needs a directory");
         return ExitCode::from(2);
     };
-    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(interval_ms), Ok(cache)) = (
+    let (Ok(jobs), Ok(max_epochs), Ok(refresh_every), Ok(interval_ms), Ok(cache), Ok(policy)) = (
         parse_jobs(args),
         u64_flag(args, "--max-epochs"),
         u64_flag(args, "--refresh-every"),
         u64_flag(args, "--interval-ms"),
         cache_cap(args),
+        policy_pack(args),
     ) else {
         return ExitCode::from(2);
     };
@@ -424,7 +451,8 @@ fn cmd_watch(args: &[String]) -> ExitCode {
     let json = args.iter().any(|a| a == "--json");
     let mut engine = ServeEngine::new(check_options(args), jobs)
         .with_refresh_every(refresh_every)
-        .with_cache(cache);
+        .with_cache(cache)
+        .with_policy(policy);
     let mut scanner = DirScanner::new(dir);
     let result = run_watch(
         &mut engine,

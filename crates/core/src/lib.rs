@@ -52,15 +52,18 @@ pub mod batch;
 pub mod corpus;
 pub mod fuzz;
 pub mod packet;
+pub mod policy;
 pub mod report;
 pub mod serve;
 pub mod strip;
 pub mod synth;
 
 pub use p4bid_typeck::{
-    check_source as check, CheckOptions, CheckerSession, DiagCode, Diagnostic, Mode, SessionStats,
-    SharedSessionCore, TypedControl, TypedProgram, PRELUDE,
+    check_source as check, render_chain, CheckOptions, CheckerSession, DiagCode, Diagnostic,
+    FlowEdge, FlowNode, FlowOp, LineageEdge, LineageGraph, Mode, SessionStats, SharedSessionCore,
+    TypedControl, TypedProgram, PRELUDE,
 };
+pub use policy::{PolicyError, PolicyPack, PolicyRule};
 
 /// The security-lattice substrate.
 pub mod lattice {

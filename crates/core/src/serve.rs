@@ -24,7 +24,7 @@
 //! same inputs in the same order (the serve determinism suite pins this
 //! down through the real binary). Epoch framing, timing, and statistics
 //! go to stderr; stdout carries only the reports — the human table, or
-//! one `p4bid-serve-report/1` JSON document per line in `--json` mode.
+//! one `p4bid-serve-report/2` JSON document per line in `--json` mode.
 //!
 //! The socket form is a **concurrent multi-producer front door**: a
 //! nonblocking acceptor thread hands each connection to its own reader
@@ -73,8 +73,9 @@ use crate::batch::{
     check_batch_with_core, program_json, BatchDiagnostic, BatchInput, BatchReport, BatchStats,
     ProgramReport,
 };
-use p4bid_typeck::{CheckOptions, SharedSessionCore};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use crate::policy::PolicyPack;
+use p4bid_typeck::{CheckOptions, Mode, SharedSessionCore};
+use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
@@ -616,12 +617,65 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 // The verdict cache.
 // ---------------------------------------------------------------------
 
+/// An explicit field-wise fingerprint of a [`CheckOptions`] value, used
+/// to key verdict-cache entries and to group per-policy batches.
+///
+/// Deliberately **not** a `Debug`-rendering hash: destructuring forces a
+/// compile error the moment `CheckOptions` grows a field, so a new option
+/// can never silently alias two distinct sets (which would replay wrong
+/// verdicts). Every field feeds the hash with a framing byte, and
+/// variable-length parts are length-prefixed so adjacent fields cannot
+/// splice into each other.
+#[must_use]
+pub fn options_fingerprint(opts: &CheckOptions) -> u64 {
+    // Exhaustive destructuring: adding a CheckOptions field breaks this
+    // line until the fingerprint learns about it. Do not use `..` here.
+    let CheckOptions { mode, lattice, pc, record_lineage, allow_declassify } = opts;
+    let mut bytes = Vec::new();
+    bytes.push(match mode {
+        Mode::Base => 0u8,
+        Mode::Ifc => 1,
+        Mode::Permissive => 2,
+    });
+    match pc {
+        None => bytes.push(0),
+        Some(name) => {
+            bytes.push(1);
+            bytes.extend_from_slice(&(name.len() as u64).to_le_bytes());
+            bytes.extend_from_slice(name.as_bytes());
+        }
+    }
+    match lattice {
+        None => bytes.push(0),
+        Some(lat) => {
+            bytes.push(1);
+            let labels: Vec<_> = lat.labels().collect();
+            bytes.extend_from_slice(&(labels.len() as u64).to_le_bytes());
+            for &l in &labels {
+                let name = lat.name(l);
+                bytes.extend_from_slice(&(name.len() as u64).to_le_bytes());
+                bytes.extend_from_slice(name.as_bytes());
+            }
+            // The full order relation, one bit per pair.
+            for &a in &labels {
+                for &b in &labels {
+                    bytes.push(u8::from(lat.leq(a, b)));
+                }
+            }
+        }
+    }
+    bytes.push(u8::from(*record_lineage));
+    bytes.push(u8::from(*allow_declassify));
+    fnv1a(&bytes)
+}
+
 /// Key of one verdict-cache entry: the FNV-1a hash of the program text
-/// (the same fingerprint [`DirScanner`] keys change detection on) plus a
-/// fingerprint of the engine's [`CheckOptions`] — two daemons checking
-/// under different modes/lattices can never share a verdict. 64-bit
-/// content hashing accepts the same collision class as the scanner: a
-/// collision costs one wrong cached verdict for a colliding body.
+/// (the same fingerprint [`DirScanner`] keys change detection on) plus
+/// the [`options_fingerprint`] of the effective [`CheckOptions`] — two
+/// daemons checking under different modes/lattices/policies can never
+/// share a verdict. The 64-bit content hash is only a *locator*: every
+/// hit re-verifies the stored program body byte-for-byte, so a hash
+/// collision costs one cache miss, never a replayed wrong verdict.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct VerdictKey {
     content: u64,
@@ -629,22 +683,31 @@ struct VerdictKey {
 }
 
 /// One cached verdict: everything content-determined in a
-/// [`ProgramReport`]. The index and name are request-specific and are
-/// re-attached on each hit, so a hit renders byte-identically to a
-/// fresh check of the same source under the same id.
+/// [`ProgramReport`], plus the exact program body the verdict was
+/// computed from (checked on every hit — see [`VerdictKey`]). The index
+/// and name are request-specific and are re-attached on each hit, so a
+/// hit renders byte-identically to a fresh check of the same source
+/// under the same id.
 #[derive(Debug, Clone)]
 struct CachedVerdict {
+    source: String,
     accepted: bool,
     diagnostics: Vec<BatchDiagnostic>,
 }
 
-/// A bounded verdict cache with insertion-order eviction and hit/miss
-/// counters. `cap == 0` disables it entirely.
+/// A bounded verdict cache with least-recently-used eviction and
+/// hit/miss counters. `cap == 0` disables it entirely.
+///
+/// Recency is a monotonic stamp per entry, refreshed on hit: O(1) on the
+/// hot hit path, with an O(n) minimum scan only on the (rare, bounded-n)
+/// eviction path. Insertion-order eviction would evict the *hottest*
+/// entry under churn — exactly the entry worth keeping.
 #[derive(Debug, Default)]
 struct VerdictCache {
-    map: HashMap<VerdictKey, CachedVerdict>,
-    order: VecDeque<VerdictKey>,
+    map: HashMap<VerdictKey, (u64, CachedVerdict)>,
     cap: usize,
+    /// Monotonic recency clock; bumped on every hit and insert.
+    clock: u64,
     hits: u64,
     misses: u64,
 }
@@ -658,23 +721,36 @@ impl VerdictCache {
         self.cap > 0
     }
 
-    fn lookup(&mut self, key: VerdictKey) -> Option<CachedVerdict> {
-        let found = self.map.get(&key).cloned();
-        if found.is_some() {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up `key`, verifying the stored body equals `source`: a
+    /// colliding body is a miss (and will overwrite the slot on insert),
+    /// never a replayed verdict. Hits refresh the entry's recency.
+    fn lookup(&mut self, key: VerdictKey, source: &str) -> Option<CachedVerdict> {
+        match self.map.get_mut(&key) {
+            Some((stamp, verdict)) if verdict.source == source => {
+                self.clock += 1;
+                *stamp = self.clock;
+                self.hits += 1;
+                Some(verdict.clone())
+            }
+            _ => {
+                self.misses += 1;
+                None
+            }
         }
-        found
     }
 
     fn insert(&mut self, key: VerdictKey, verdict: CachedVerdict) {
-        if self.map.insert(key, verdict).is_none() {
-            self.order.push_back(key);
-            if self.map.len() > self.cap {
-                if let Some(oldest) = self.order.pop_front() {
-                    self.map.remove(&oldest);
-                }
+        self.clock += 1;
+        if self.map.insert(key, (self.clock, verdict)).is_none() && self.map.len() > self.cap {
+            // Evict the least-recently-used entry (stamps are unique, so
+            // the minimum — and thus the cache state — is deterministic).
+            if let Some(&lru) = self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k)
+            {
+                self.map.remove(&lru);
             }
         }
     }
@@ -748,12 +824,13 @@ impl EpochReport {
         self.report.render_table()
     }
 
-    /// One `p4bid-serve-report/1` JSON document on a single line (the
+    /// One `p4bid-serve-report/2` JSON document on a single line (the
     /// NDJSON form): the per-program objects are the exact bytes the
-    /// `p4bid-batch-report/1` schema embeds for the same inputs.
+    /// `p4bid-batch-report/2` schema embeds for the same inputs (`/2`
+    /// added the per-diagnostic `lineage` array to both schemas).
     #[must_use]
     pub fn to_ndjson(&self) -> String {
-        let mut out = String::from("{\"schema\": \"p4bid-serve-report/1\"");
+        let mut out = String::from("{\"schema\": \"p4bid-serve-report/2\"");
         let _ = write!(out, ", \"epoch\": {}", self.epoch);
         out.push_str(", \"programs\": [");
         for (i, p) in self.report.programs.iter().enumerate() {
@@ -783,10 +860,17 @@ pub struct ServeEngine {
     refreshes: u64,
     stats: BatchStats,
     cache: VerdictCache,
-    /// Fingerprint of the core's [`CheckOptions`], baked into every
-    /// verdict-cache key (stable across [`SharedSessionCore::rebuild`],
-    /// which preserves the options).
+    /// [`options_fingerprint`] of the core's base [`CheckOptions`], baked
+    /// into every verdict-cache key (stable across
+    /// [`SharedSessionCore::rebuild`], which preserves the options).
     opts_fp: u64,
+    /// Per-program policy pack ([`ServeEngine::with_policy`]); `None`
+    /// checks everything under the base options.
+    policy: Option<PolicyPack>,
+    /// Lazily-built cores for the non-base option sets a policy resolves
+    /// to, keyed by options fingerprint (small and stable: one entry per
+    /// distinct rule outcome, refreshed alongside the base core).
+    extra_cores: Vec<(u64, SharedSessionCore)>,
     /// Front-door counters recorded by [`run_socket`], cumulative across
     /// socket runs over one engine.
     door: DoorCounters,
@@ -814,9 +898,7 @@ impl ServeEngine {
     /// `serve_latency` bench) pay the freeze cost where they choose.
     #[must_use]
     pub fn with_core(core: SharedSessionCore, jobs: usize) -> Self {
-        // CheckOptions carries only plain data (mode, lattice edges, pc
-        // label), so its Debug rendering is a faithful fingerprint.
-        let opts_fp = fnv1a(format!("{:?}", core.options()).as_bytes());
+        let opts_fp = options_fingerprint(core.options());
         ServeEngine {
             core,
             jobs,
@@ -826,6 +908,8 @@ impl ServeEngine {
             stats: BatchStats::default(),
             cache: VerdictCache::default(),
             opts_fp,
+            policy: None,
+            extra_cores: Vec::new(),
             door: DoorCounters::default(),
         }
     }
@@ -840,12 +924,26 @@ impl ServeEngine {
     }
 
     /// Caches up to `cap` verdicts keyed by `(content hash, options
-    /// fingerprint)`, evicting the oldest entry past the cap; `0`
-    /// disables the cache (the default). A cache hit skips the checker
-    /// entirely and renders byte-identically to a fresh check.
+    /// fingerprint)`, evicting the least-recently-used entry past the
+    /// cap; `0` disables the cache (the default). A hit re-verifies the
+    /// stored source against the submission — a hash collision is a
+    /// miss, never a replayed verdict — then skips the checker entirely
+    /// and renders byte-identically to a fresh check.
     #[must_use]
     pub fn with_cache(mut self, cap: usize) -> Self {
         self.cache = VerdictCache::new(cap);
+        self
+    }
+
+    /// Resolves per-program [`CheckOptions`] through `policy` before
+    /// checking: the first rule whose glob matches a program's name
+    /// overrides the base options for that program (and for its
+    /// verdict-cache key, so one body cached under two policies never
+    /// cross-answers). `None` — or an empty pack — leaves every program
+    /// on the base options.
+    #[must_use]
+    pub fn with_policy(mut self, policy: Option<PolicyPack>) -> Self {
+        self.policy = policy.filter(|p| !p.is_empty());
         self
     }
 
@@ -880,7 +978,7 @@ impl ServeEngine {
             peak_pending: self.door.peak_pending,
             cache_hits: self.cache.hits,
             cache_misses: self.cache.misses,
-            cache_size: self.cache.map.len() as u64,
+            cache_size: self.cache.len() as u64,
         }
     }
 
@@ -892,13 +990,16 @@ impl ServeEngine {
         if let Some(n) = self.refresh_every {
             if self.epoch > 0 && self.epoch.is_multiple_of(n) {
                 self.core = self.core.rebuild();
+                for (_, core) in &mut self.extra_cores {
+                    *core = core.rebuild();
+                }
                 self.refreshes += 1;
             }
         }
         let report = if self.cache.enabled() {
             self.check_epoch_cached(inputs)
         } else {
-            check_batch_with_core(inputs, &self.core, self.jobs)
+            self.check_epoch_uncached(inputs)
         };
         self.stats.merge(&report.stats);
         let epoch = self.epoch;
@@ -907,12 +1008,13 @@ impl ServeEngine {
     }
 
     /// The cached check path: answer every input whose `(content hash,
-    /// options fingerprint)` key is cached, check only the misses (the
-    /// first occurrence of each missing key — an epoch resubmitting one
-    /// body many times checks it once), and reassemble by input
-    /// position. Verdicts depend only on source text and options, so the
-    /// assembled report is byte-identical to an uncached check of the
-    /// same inputs.
+    /// options fingerprint)` key is cached with the *same body*, check
+    /// only the misses (the first occurrence of each missing key — an
+    /// epoch resubmitting one body many times checks it once, while two
+    /// colliding bodies each get their own check), and reassemble by
+    /// input position. Verdicts depend only on source text and options,
+    /// so the assembled report is byte-identical to an uncached check of
+    /// the same inputs.
     fn check_epoch_cached(&mut self, inputs: &[BatchInput]) -> BatchReport {
         enum Slot {
             Hit(CachedVerdict),
@@ -922,13 +1024,27 @@ impl ServeEngine {
         let mut first_miss: HashMap<VerdictKey, usize> = HashMap::new();
         let mut slots: Vec<(VerdictKey, Slot)> = Vec::with_capacity(inputs.len());
         for input in inputs {
-            let key = VerdictKey { content: fnv1a(input.source.as_bytes()), opts: self.opts_fp };
-            let slot = match self.cache.lookup(key) {
+            let key = VerdictKey {
+                content: fnv1a(input.source.as_bytes()),
+                opts: self.resolve_fp(&input.name),
+            };
+            let slot = match self.cache.lookup(key, &input.source) {
                 Some(verdict) => Slot::Hit(verdict),
-                None => Slot::Miss(*first_miss.entry(key).or_insert_with(|| {
-                    to_check.push(input.clone());
-                    to_check.len() - 1
-                })),
+                None => {
+                    // Dedup within the epoch, but only against the same
+                    // body: a colliding key must not reuse another
+                    // program's pending slot.
+                    let pos = match first_miss.get(&key) {
+                        Some(&pos) if to_check[pos].source == input.source => pos,
+                        _ => {
+                            to_check.push(input.clone());
+                            let pos = to_check.len() - 1;
+                            first_miss.insert(key, pos);
+                            pos
+                        }
+                    };
+                    Slot::Miss(pos)
+                }
             };
             slots.push((key, slot));
         }
@@ -937,7 +1053,7 @@ impl ServeEngine {
             // worker for the epoch-framing line.
             BatchReport { programs: Vec::new(), jobs: 1, stats: BatchStats::default() }
         } else {
-            check_batch_with_core(&to_check, &self.core, self.jobs)
+            self.check_epoch_uncached(&to_check)
         };
         let programs = slots
             .into_iter()
@@ -948,6 +1064,7 @@ impl ServeEngine {
                     Slot::Miss(pos) => {
                         let p = &checked.programs[pos];
                         let verdict = CachedVerdict {
+                            source: inputs[index].source.clone(),
                             accepted: p.accepted,
                             diagnostics: p.diagnostics.clone(),
                         };
@@ -964,6 +1081,77 @@ impl ServeEngine {
             })
             .collect();
         BatchReport { programs, jobs: checked.jobs, stats: checked.stats }
+    }
+
+    /// The uncached check path: with a policy loaded, partitions the
+    /// epoch by resolved options fingerprint (first-appearance order),
+    /// runs each partition against its long-lived core, and reassembles
+    /// by input position. With no policy — or when every input resolves
+    /// to the base options — this is exactly [`check_batch_with_core`].
+    fn check_epoch_uncached(&mut self, inputs: &[BatchInput]) -> BatchReport {
+        if self.policy.is_none() {
+            return check_batch_with_core(inputs, &self.core, self.jobs);
+        }
+        let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
+        for (i, input) in inputs.iter().enumerate() {
+            let fp = self.resolve_fp(&input.name);
+            match groups.iter_mut().find(|(g, _)| *g == fp) {
+                Some((_, ixs)) => ixs.push(i),
+                None => groups.push((fp, vec![i])),
+            }
+        }
+        if groups.len() <= 1 && groups.first().is_none_or(|(fp, _)| *fp == self.opts_fp) {
+            return check_batch_with_core(inputs, &self.core, self.jobs);
+        }
+        let mut programs: Vec<ProgramReport> = Vec::with_capacity(inputs.len());
+        let mut stats = BatchStats::default();
+        let mut report_jobs = 1;
+        for (fp, ixs) in &groups {
+            let core = self.core_for(*fp, &inputs[ixs[0]].name);
+            let subset: Vec<BatchInput> = ixs.iter().map(|&i| inputs[i].clone()).collect();
+            let sub = check_batch_with_core(&subset, &core, self.jobs);
+            report_jobs = report_jobs.max(sub.jobs);
+            stats.merge(&sub.stats);
+            for mut p in sub.programs {
+                p.index = ixs[p.index];
+                programs.push(p);
+            }
+        }
+        programs.sort_by_key(|p| p.index);
+        BatchReport { programs, jobs: report_jobs, stats }
+    }
+
+    /// Options fingerprint for one program name under the engine's
+    /// policy; the base fingerprint when no pack is loaded or no rule
+    /// matches.
+    fn resolve_fp(&self, name: &str) -> u64 {
+        match &self.policy {
+            Some(pack) if pack.matching(name).is_some() => {
+                options_fingerprint(&pack.resolve(name, self.core.options()))
+            }
+            _ => self.opts_fp,
+        }
+    }
+
+    /// The long-lived core serving one options fingerprint, built on
+    /// first use from the options the policy resolves for `name` (the
+    /// fingerprint covers every option field, so any name in the
+    /// partition resolves the same options).
+    fn core_for(&mut self, fp: u64, name: &str) -> SharedSessionCore {
+        if fp == self.opts_fp {
+            return self.core.clone();
+        }
+        if let Some((_, core)) = self.extra_cores.iter().find(|(g, _)| *g == fp) {
+            return core.clone();
+        }
+        let opts = self
+            .policy
+            .as_ref()
+            .expect("a non-base fingerprint comes from a policy rule")
+            .resolve(name, self.core.options());
+        let core = SharedSessionCore::new(opts);
+        self.extra_cores.push((fp, core.clone()));
+        core
     }
 }
 
@@ -1843,7 +2031,7 @@ mod tests {
         let first = engine.run_epoch(&inputs).to_ndjson();
         let second = engine.run_epoch(&inputs[..1]).to_ndjson();
         assert!(
-            first.starts_with("{\"schema\": \"p4bid-serve-report/1\", \"epoch\": 0, "),
+            first.starts_with("{\"schema\": \"p4bid-serve-report/2\", \"epoch\": 0, "),
             "{first}"
         );
         assert!(second.contains("\"epoch\": 1"), "{second}");
@@ -1936,20 +2124,55 @@ mod tests {
     }
 
     #[test]
-    fn cache_evicts_in_insertion_order_at_cap() {
+    fn cache_keeps_hot_entries_on_lru_eviction() {
+        // A repeatedly-hit entry survives a stream of cold inserts past
+        // the cap; insertion-order eviction would have thrown it out
+        // first.
         let mut engine = ServeEngine::new(CheckOptions::ifc(), 1).with_cache(2);
-        let bodies = [OK, LEAK, "control {"];
-        for (i, body) in bodies.iter().enumerate() {
-            let _ = engine.run_epoch(&[BatchInput::new(format!("p{i}"), *body)]);
+        let _ = engine.run_epoch(&[BatchInput::new("hot", OK)]);
+        let colds = [LEAK, "control {", "control D(inout bit<8> y) { apply { y = y; } }"];
+        for (i, body) in colds.iter().enumerate() {
+            let _ = engine.run_epoch(&[BatchInput::new("hot", OK)]); // touch
+            let _ = engine.run_epoch(&[BatchInput::new(format!("cold-{i}"), *body)]);
         }
         assert_eq!(engine.ops().cache_size, 2, "cap holds");
-        // The oldest body (OK) was evicted: re-checking it misses and
-        // re-inserts it, after which it hits again.
-        let _ = engine.run_epoch(&[BatchInput::new("again", OK)]);
-        assert_eq!(engine.ops().cache_misses, 4);
-        let _ = engine.run_epoch(&[BatchInput::new("still", OK)]);
-        assert_eq!(engine.ops().cache_hits, 1);
-        assert_eq!(engine.ops().cache_size, 2);
+        let misses = engine.ops().cache_misses;
+        let _ = engine.run_epoch(&[BatchInput::new("hot", OK)]);
+        assert_eq!(engine.ops().cache_misses, misses, "the hot body never left");
+        assert_eq!(engine.ops().cache_hits, 4);
+        // The latest cold body is the other survivor; earlier ones went.
+        let _ = engine.run_epoch(&[BatchInput::new("warm", colds[2])]);
+        assert_eq!(engine.ops().cache_hits, 5);
+        let _ = engine.run_epoch(&[BatchInput::new("gone", colds[0])]);
+        assert_eq!(engine.ops().cache_misses, misses + 1);
+    }
+
+    #[test]
+    fn colliding_bodies_never_replay_each_others_verdicts() {
+        // Two distinct bodies forced under one 64-bit key: the hash is a
+        // locator, not an identity, so the stored source must disagree
+        // and the second body must get a fresh check. (Organic fnv1a
+        // collisions are impractical to construct, so this drives the
+        // cache directly.)
+        let mut cache = VerdictCache::new(8);
+        let key = VerdictKey { content: 42, opts: 7 };
+        let body_a = "control A(inout bit<8> x) { apply { x = x; } }";
+        let body_b = "control B(inout bit<8> x) { apply { x = x; } }";
+        cache.insert(
+            key,
+            CachedVerdict { source: body_a.to_string(), accepted: true, diagnostics: Vec::new() },
+        );
+        assert!(cache.lookup(key, body_a).is_some(), "same body hits");
+        assert!(cache.lookup(key, body_b).is_none(), "colliding body misses");
+        assert_eq!((cache.hits, cache.misses), (1, 1));
+        // The colliding body's own verdict then overwrites the slot.
+        cache.insert(
+            key,
+            CachedVerdict { source: body_b.to_string(), accepted: false, diagnostics: Vec::new() },
+        );
+        assert_eq!(cache.len(), 1, "one slot per key");
+        assert!(cache.lookup(key, body_b).is_some_and(|v| !v.accepted));
+        assert!(cache.lookup(key, body_a).is_none(), "the first body now misses");
     }
 
     #[test]
@@ -1962,6 +2185,76 @@ mod tests {
         assert!(!ifc.run_epoch(&inputs).report.programs[0].accepted);
         assert!(permissive.run_epoch(&inputs).report.programs[0].accepted);
         assert_ne!(ifc.opts_fp, permissive.opts_fp);
+    }
+
+    // --- per-program policies ----------------------------------------------
+
+    const DECLASSIFYING: &str = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) \
+                                 { apply { l = declassify(h); } }";
+
+    fn declass_pack() -> PolicyPack {
+        PolicyPack::parse("[declass-*]\ndeclassify = true\n").unwrap()
+    }
+
+    fn declass_inputs() -> Vec<BatchInput> {
+        vec![BatchInput::new("declass-a", DECLASSIFYING), BatchInput::new("plain-b", DECLASSIFYING)]
+    }
+
+    #[test]
+    fn policies_resolve_per_program_options_in_epochs() {
+        // One body, two names: the pack grants `declassify` to the first
+        // name only, and the partitioned epoch stays deterministic
+        // across worker counts.
+        let mut reports = Vec::new();
+        for jobs in [1, 2, 8] {
+            let mut engine =
+                ServeEngine::new(CheckOptions::ifc(), jobs).with_policy(Some(declass_pack()));
+            let epoch = engine.run_epoch(&declass_inputs());
+            assert!(epoch.report.programs[0].accepted, "{}", epoch.render_table());
+            assert!(!epoch.report.programs[1].accepted);
+            assert_eq!(epoch.report.programs[1].diagnostics[0].code, "E-DECLASSIFY-FORBIDDEN");
+            reports.push(epoch.to_ndjson());
+        }
+        assert_eq!(reports[0], reports[1]);
+        assert_eq!(reports[0], reports[2]);
+        // An empty pack is exactly the plain engine.
+        let empty = PolicyPack::parse("").unwrap();
+        let mut plain = ServeEngine::new(CheckOptions::ifc(), 1);
+        let mut via_policy = ServeEngine::new(CheckOptions::ifc(), 1).with_policy(Some(empty));
+        let inputs = [BatchInput::new("declass-a", DECLASSIFYING)];
+        assert_eq!(plain.run_epoch(&inputs).to_ndjson(), via_policy.run_epoch(&inputs).to_ndjson());
+    }
+
+    #[test]
+    fn cached_verdicts_stay_per_policy() {
+        // The verdict cache keys on the *resolved* fingerprint, so one
+        // body cached under the granting rule never answers for the name
+        // the rule skips — including on the all-hit second epoch.
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1)
+            .with_policy(Some(declass_pack()))
+            .with_cache(8);
+        let inputs = declass_inputs();
+        let first = engine.run_epoch(&inputs);
+        let second = engine.run_epoch(&inputs);
+        assert!(second.report.programs[0].accepted);
+        assert!(!second.report.programs[1].accepted);
+        assert_eq!(first.to_ndjson().replace("\"epoch\": 0", "\"epoch\": 1"), second.to_ndjson());
+        let ops = engine.ops();
+        assert_eq!(ops.cache_misses, 2, "same body, two keys");
+        assert_eq!(ops.cache_hits, 2);
+        assert_eq!(ops.cache_size, 2);
+    }
+
+    #[test]
+    fn refreshes_rebuild_policy_cores_too() {
+        let mut engine = ServeEngine::new(CheckOptions::ifc(), 1)
+            .with_policy(Some(declass_pack()))
+            .with_refresh_every(Some(1));
+        let inputs = declass_inputs();
+        let first = engine.run_epoch(&inputs);
+        let second = engine.run_epoch(&inputs);
+        assert_eq!(engine.refreshes(), 1);
+        assert_eq!(first.to_ndjson().replace("\"epoch\": 0", "\"epoch\": 1"), second.to_ndjson());
     }
 
     // --- ingest loops ------------------------------------------------------

@@ -245,7 +245,7 @@ fn batch_json_report_schema() {
     let json = String::from_utf8(out.stdout).expect("utf-8 JSON");
     // Schema snapshot: stable tag, per-program rows keyed by input index,
     // diagnostics with code/position/message, and the summary object.
-    assert!(json.contains("\"schema\": \"p4bid-batch-report/1\""), "{json}");
+    assert!(json.contains("\"schema\": \"p4bid-batch-report/2\""), "{json}");
     assert!(
         json.contains(
             "{\"index\": 0, \"name\": \"a.p4\", \"status\": \"accept\", \"diagnostics\": []}"
@@ -257,10 +257,71 @@ fn batch_json_report_schema() {
         "{json}"
     );
     assert!(json.contains("\"code\": \"E-EXPLICIT-FLOW\", \"line\": 1, \"col\": 68"), "{json}");
+    // `/2`: every diagnostic carries its machine-readable flow path.
+    assert!(
+        json.contains(
+            "\"lineage\": [{\"op\": \"assign\", \
+             \"source\": {\"expr\": \"h\", \"label\": \"high\", \"line\": 1, \"col\": 72}, \
+             \"sink\": {\"expr\": \"l\", \"label\": \"low\", \"line\": 1, \"col\": 68}}]"
+        ),
+        "{json}"
+    );
     assert!(
         json.contains("\"summary\": {\"total\": 2, \"accepted\": 1, \"rejected\": 1}"),
         "{json}"
     );
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_policy_resolves_per_program_options() {
+    let declassifying = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) \
+                         { apply { l = declassify(h); } }";
+    let dir =
+        batch_dir("policy", &[("declass-a.p4", declassifying), ("plain-b.p4", declassifying)]);
+    let policy = dir.join("p4bid.policy");
+    std::fs::write(
+        &policy,
+        "# audit-approved programs may declassify\n[declass-*]\ndeclassify = true\n",
+    )
+    .unwrap();
+    let out =
+        p4bid(&["batch", dir.to_str().unwrap(), "--policy", policy.to_str().unwrap(), "--json"]);
+    assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+    let json = String::from_utf8(out.stdout).expect("utf-8 JSON");
+    assert!(json.contains("\"name\": \"declass-a.p4\", \"status\": \"accept\""), "{json}");
+    assert!(json.contains("\"name\": \"plain-b.p4\", \"status\": \"reject\""), "{json}");
+    assert!(json.contains("\"code\": \"E-DECLASSIFY-FORBIDDEN\""), "{json}");
+    // Determinism across worker counts survives the partitioned check.
+    let rerun = |jobs: &str| {
+        let out = p4bid(&[
+            "batch",
+            dir.to_str().unwrap(),
+            "--policy",
+            policy.to_str().unwrap(),
+            "--json",
+            "--jobs",
+            jobs,
+        ]);
+        String::from_utf8(out.stdout).expect("utf-8 JSON")
+    };
+    assert_eq!(rerun("1"), json);
+    assert_eq!(rerun("8"), json);
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+#[test]
+fn batch_rejects_malformed_policy_packs() {
+    let dir = batch_dir("bad-policy", &[("a.p4", BATCH_OK)]);
+    let policy = dir.join("p4bid.policy");
+    std::fs::write(&policy, "[declass-*]\ndeclassify = maybe\n").unwrap();
+    let out = p4bid(&["batch", dir.to_str().unwrap(), "--policy", policy.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("cannot load policy"), "{stderr}");
+    assert!(stderr.contains("line 2"), "malformed line is named: {stderr}");
+    let missing = p4bid(&["batch", dir.to_str().unwrap(), "--policy", "/nonexistent/p.policy"]);
+    assert_eq!(missing.status.code(), Some(2));
     let _ = std::fs::remove_dir_all(dir);
 }
 

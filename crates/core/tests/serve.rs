@@ -119,8 +119,8 @@ fn serve_json_emits_one_epoch_document_per_line() {
     let stdout = String::from_utf8(out.stdout).expect("utf-8");
     let lines: Vec<&str> = stdout.lines().collect();
     assert_eq!(lines.len(), 2, "one NDJSON document per epoch: {stdout}");
-    assert!(lines[0].starts_with("{\"schema\": \"p4bid-serve-report/1\", \"epoch\": 0, "));
-    assert!(lines[1].starts_with("{\"schema\": \"p4bid-serve-report/1\", \"epoch\": 1, "));
+    assert!(lines[0].starts_with("{\"schema\": \"p4bid-serve-report/2\", \"epoch\": 0, "));
+    assert!(lines[1].starts_with("{\"schema\": \"p4bid-serve-report/2\", \"epoch\": 1, "));
     // Apart from the epoch number, the two epoch documents are identical —
     // and their program objects are the exact bytes `p4bid batch --json`
     // embeds for the same inputs.
@@ -308,7 +308,7 @@ fn serve_socket_accepts_a_connection() {
     assert_eq!(out.status.code(), Some(0));
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(
-        stdout.starts_with("{\"schema\": \"p4bid-serve-report/1\", \"epoch\": 0, "),
+        stdout.starts_with("{\"schema\": \"p4bid-serve-report/2\", \"epoch\": 0, "),
         "{stdout}"
     );
     assert!(stdout.contains("\"name\": \"s\", \"status\": \"accept\""), "{stdout}");
@@ -536,4 +536,43 @@ fn repeat_submissions_hit_the_verdict_cache_byte_identically() {
         stderr.contains("\"cache_hits\": 4, \"cache_misses\": 2, \"cache_size\": 2"),
         "{stderr}"
     );
+}
+
+/// `--policy` resolves per-program options inside every epoch: the same
+/// body is accepted under the granting rule and rejected without it, and
+/// the partitioned epochs stay byte-identical across worker counts and
+/// across cached resubmission.
+#[test]
+fn serve_policies_stay_deterministic_across_jobs() {
+    let declassifying = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) \
+                         { apply { l = declassify(h); } }";
+    let dir = scratch_dir("policy");
+    let policy = dir.join("p4bid.policy");
+    std::fs::write(&policy, "[declass-*]\ndeclassify = true\n").unwrap();
+    let epoch = format!(
+        "{{\"id\": \"declass-a\", \"source\": \"{0}\"}}\n\
+         {{\"id\": \"plain-b\", \"source\": \"{0}\"}}\n",
+        declassifying.replace('"', "\\\""),
+    );
+    let feed = format!("{epoch}\n{epoch}");
+    let mut outputs = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let out = serve_with_feed(
+            &["--jobs", jobs, "--json", "--policy", policy.to_str().unwrap()],
+            &feed,
+        );
+        assert_eq!(out.status.code(), Some(1), "{}", String::from_utf8_lossy(&out.stderr));
+        let stdout = String::from_utf8(out.stdout).expect("utf-8");
+        let lines: Vec<&str> = stdout.lines().collect();
+        assert_eq!(lines.len(), 2, "{stdout}");
+        assert!(lines[0].contains("\"name\": \"declass-a\", \"status\": \"accept\""), "{stdout}");
+        assert!(lines[0].contains("\"name\": \"plain-b\", \"status\": \"reject\""), "{stdout}");
+        assert!(lines[0].contains("\"code\": \"E-DECLASSIFY-FORBIDDEN\""), "{stdout}");
+        // The second (all-hit, cached) epoch renders identically.
+        assert_eq!(lines[0].replace("\"epoch\": 0", "\"epoch\": 1"), lines[1], "{stdout}");
+        outputs.push(stdout);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[0], outputs[2]);
+    let _ = std::fs::remove_dir_all(dir);
 }

@@ -31,9 +31,11 @@
 
 use crate::diag::{DiagCode, Diagnostic};
 use crate::env::{LabelTable, ScopedEnv, TypeDefs, VarInfo};
+use crate::lineage::{FlowEdge, FlowNode, FlowOp, LineageEdge, LineageGraph, TRACE_CAP};
 use crate::oracle;
 use p4bid_ast::intern::{Interner, Symbol};
 use p4bid_ast::pool::{SharedTyCtx, TyCtx, TyPool};
+use p4bid_ast::pretty::expr_to_string;
 use p4bid_ast::sectype::{FieldList, FnParam, FnTy, SecTy, Ty, TyId};
 use p4bid_ast::span::Span;
 use p4bid_ast::surface::*;
@@ -55,7 +57,7 @@ pub enum Mode {
 }
 
 /// Options controlling a check run.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CheckOptions {
     /// Baseline or IFC mode.
     pub mode: Mode,
@@ -66,6 +68,27 @@ pub struct CheckOptions {
     /// annotation (label name, resolved against the active lattice).
     /// Defaults to `⊥`.
     pub pc: Option<String>,
+    /// Whether the checker records flow edges into a per-program
+    /// [`LineageGraph`] and attaches source→sink explanation paths to
+    /// flow diagnostics (default on; recording is skipped in base mode,
+    /// which has no labels to explain).
+    pub record_lineage: bool,
+    /// Whether `declassify(e)` is permitted (default off:
+    /// declassification is an escape hatch a policy must grant
+    /// explicitly, e.g. via a `p4bid.policy` rule).
+    pub allow_declassify: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            mode: Mode::default(),
+            lattice: None,
+            pc: None,
+            record_lineage: true,
+            allow_declassify: false,
+        }
+    }
 }
 
 impl CheckOptions {
@@ -99,6 +122,20 @@ impl CheckOptions {
     #[must_use]
     pub fn with_lattice(mut self, lattice: Lattice) -> Self {
         self.lattice = Some(lattice);
+        self
+    }
+
+    /// Turns flow-lineage recording on or off, builder-style.
+    #[must_use]
+    pub fn with_lineage(mut self, record: bool) -> Self {
+        self.record_lineage = record;
+        self
+    }
+
+    /// Permits or forbids `declassify(e)`, builder-style.
+    #[must_use]
+    pub fn with_declassify(mut self, allow: bool) -> Self {
+        self.allow_declassify = allow;
         self
     }
 }
@@ -169,6 +206,9 @@ pub struct TypedProgram {
     /// against. Shared with the producing session (append-only, so ids
     /// stay valid as the session checks further programs).
     pub ctx: SharedTyCtx,
+    /// Every flow edge the checker walked, in check order. Empty when
+    /// lineage recording is off (or in base mode, which has no labels).
+    pub lineage: LineageGraph,
 }
 
 impl TypedProgram {
@@ -211,11 +251,11 @@ pub fn check_program(
     let lattice = resolve_lattice(&program, opts)?;
     let default_pc = resolve_default_pc(&lattice, opts)?;
     let ctx = TyCtx::shared();
-    let (controls, state) = {
+    let (controls, state, lineage) = {
         let mut c = ctx.borrow_mut();
         check_items(&program.items, &lattice, opts, default_pc, &mut c, CheckerState::empty())?
     };
-    Ok(TypedProgram { lattice, defs: state.defs, controls, program, ctx })
+    Ok(TypedProgram { lattice, defs: state.defs, controls, program, ctx, lineage })
 }
 
 /// Resolves the active lattice: the override in `opts`, else the program's
@@ -280,19 +320,20 @@ impl CheckerState {
 }
 
 /// Checks a run of top-level items under an initial state, returning the
-/// checked controls and the final state (for prelude snapshotting).
+/// checked controls, the final state (for prelude snapshotting), and the
+/// recorded flow-lineage graph.
 ///
 /// # Errors
 ///
 /// Returns all diagnostics if any item is ill-typed.
-pub(crate) fn check_items(
-    items: &[Item],
-    lattice: &Lattice,
+pub(crate) fn check_items<'a>(
+    items: &'a [Item],
+    lattice: &'a Lattice,
     opts: &CheckOptions,
     default_pc: Label,
-    ctx: &mut TyCtx,
+    ctx: &'a mut TyCtx,
     state: CheckerState,
-) -> Result<(Vec<TypedControl>, CheckerState), Vec<Diagnostic>> {
+) -> Result<(Vec<TypedControl>, CheckerState, LineageGraph), Vec<Diagnostic>> {
     let TyCtx { syms, types } = ctx;
     let labels = LabelTable::new(lattice, syms);
     let mut checker = Checker {
@@ -302,9 +343,14 @@ pub(crate) fn check_items(
         pool: types,
         resolve_labels: opts.mode != Mode::Base,
         enforce: opts.mode == Mode::Ifc,
+        record: opts.record_lineage && opts.mode != Mode::Base,
+        allow_declassify: opts.allow_declassify,
         defs: state.defs,
         env: state.env,
         diags: Vec::new(),
+        log: FlowLog::default(),
+        guards: Vec::new(),
+        guard_keys: Vec::new(),
         sig_functions: state.sig_functions,
         sig_tables: Vec::new(),
         pc_bounds: None,
@@ -332,9 +378,235 @@ pub(crate) fn check_items(
             env: checker.env,
             sig_functions: checker.sig_functions,
         };
-        Ok((controls, state))
+        Ok((controls, state, checker.log.into_graph()))
     } else {
         Err(checker.diags)
+    }
+}
+
+/// One active `if` guard (innermost last), for blaming implicit flows:
+/// when a `pc ⊑ bound` side condition fails, the innermost guard whose
+/// label breaks the bound is the source of the leak.
+struct GuardCtx<'a> {
+    /// The guard expression (rendered only if the guard is blamed).
+    cond: &'a Expr,
+    /// The guard's label (already joined into the branch `pc`).
+    label: Label,
+    /// Range of the guard's trace keys in [`Checker::guard_keys`] (the
+    /// arena is stack-disciplined: popped guards truncate it back).
+    keys_start: u32,
+    keys_len: u32,
+}
+
+// ----------------------------------------------------------------------
+// Structural flow keys
+//
+// Lineage traces follow *handles*: the l-value-shaped subexpressions of
+// an edge's source, matched against the sinks of earlier edges. Matching
+// is by span-insensitive structural hash, never by rendered text — key
+// extraction runs on the checking hot path for every program (including
+// accepted ones), so it must not allocate. A 64-bit collision can at
+// worst mis-pick one hop of an explanation path, never change a verdict.
+// ----------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+fn fnv_byte(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+}
+
+fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h = fnv_byte(h, b);
+    }
+    h
+}
+
+/// Folds an expression's structure (not its spans) into `h`: two
+/// occurrences of the same written expression hash equal.
+fn expr_key_into(e: &Expr, h: u64) -> u64 {
+    match &e.kind {
+        ExprKind::Bool(b) => fnv_byte(fnv_byte(h, 1), u8::from(*b)),
+        ExprKind::Int { value, width } => {
+            let h = fnv_bytes(fnv_byte(h, 2), &value.to_le_bytes());
+            fnv_bytes(h, &width.unwrap_or(u16::MAX).to_le_bytes())
+        }
+        ExprKind::Var(name) => fnv_bytes(fnv_byte(h, 3), name.as_bytes()),
+        ExprKind::Index(recv, index) => expr_key_into(index, expr_key_into(recv, fnv_byte(h, 4))),
+        ExprKind::Binary(op, lhs, rhs) => {
+            expr_key_into(rhs, expr_key_into(lhs, fnv_byte(fnv_byte(h, 5), *op as u8)))
+        }
+        ExprKind::Unary(op, inner) => expr_key_into(inner, fnv_byte(fnv_byte(h, 6), *op as u8)),
+        ExprKind::Record(fields) => {
+            let mut h = fnv_byte(h, 7);
+            for (name, value) in fields {
+                h = expr_key_into(value, fnv_bytes(h, name.node.as_bytes()));
+            }
+            h
+        }
+        ExprKind::Field(recv, field) => {
+            fnv_bytes(expr_key_into(recv, fnv_byte(h, 8)), field.node.as_bytes())
+        }
+        ExprKind::Call(callee, args) => {
+            let mut h = expr_key_into(callee, fnv_byte(h, 9));
+            for arg in args {
+                h = expr_key_into(arg, h);
+            }
+            h
+        }
+    }
+}
+
+/// Structural key of one expression.
+fn expr_key(e: &Expr) -> u64 {
+    expr_key_into(e, FNV_OFFSET)
+}
+
+/// The key of a bare declared name (variable, table, action, parameter):
+/// identical to the key of a `Var` expression naming it, so name sinks
+/// match later reads of the binding.
+fn name_key(name: &str) -> u64 {
+    fnv_bytes(fnv_byte(FNV_OFFSET, 3), name.as_bytes())
+}
+
+/// Collects the structural keys of the maximal l-value-shaped
+/// subexpressions of `e` — the handles lineage traces follow backwards.
+fn lvalue_key_hashes(e: &Expr, out: &mut Vec<u64>) {
+    if e.is_lvalue_shaped() {
+        out.push(expr_key(e));
+        return;
+    }
+    match &e.kind {
+        ExprKind::Binary(_, lhs, rhs) => {
+            lvalue_key_hashes(lhs, out);
+            lvalue_key_hashes(rhs, out);
+        }
+        ExprKind::Unary(_, inner) => lvalue_key_hashes(inner, out),
+        ExprKind::Record(fields) => {
+            for (_, value) in fields {
+                lvalue_key_hashes(value, out);
+            }
+        }
+        ExprKind::Call(_, args) => {
+            for arg in args {
+                lvalue_key_hashes(arg, out);
+            }
+        }
+        ExprKind::Field(recv, _) => lvalue_key_hashes(recv, out),
+        ExprKind::Index(recv, index) => {
+            lvalue_key_hashes(recv, out);
+            lvalue_key_hashes(index, out);
+        }
+        _ => {}
+    }
+}
+
+/// A lineage sink before rendering: a borrowed expression or name from
+/// the program being checked. Rendering to source text happens only on
+/// failure paths ([`Checker::render_sink`]).
+#[derive(Clone, Copy)]
+enum SinkRef<'a> {
+    /// An l-value, callee, or indexing expression.
+    Expr(&'a Expr),
+    /// A declared name: variable binding, table, or action.
+    Name(&'a str),
+    /// An interned parameter name.
+    Param(Symbol),
+    /// The function's return slot.
+    Return,
+    /// The builtin `declassify(inner)` call.
+    Declassify(&'a Expr),
+}
+
+/// One flow edge awaiting its verdict: all-`Copy` borrows into the
+/// program being checked. Prepared by [`Checker::edge`], rendered by
+/// [`Checker::flow_error`] if the constraint fails, recorded compactly
+/// by [`Checker::commit`] either way.
+#[derive(Clone, Copy)]
+struct PendingEdge<'a> {
+    op: FlowOp,
+    src: &'a Expr,
+    src_label: Label,
+    sink: SinkRef<'a>,
+    sink_label: Label,
+    sink_span: Span,
+}
+
+/// The checker's in-flight flow log: compact edges plus the structural
+/// keys backward traces match on. Recording is allocation-free per edge
+/// (the vectors grow amortized); the log converts into the owned public
+/// [`LineageGraph`] when checking finishes.
+#[derive(Default)]
+struct FlowLog<'a> {
+    edges: Vec<PendingEdge<'a>>,
+    /// Per-edge structural key of the sink (what later traces match).
+    sink_keys: Vec<u64>,
+    /// Flat arena of per-edge source keys (the l-value-shaped
+    /// subexpressions of the source).
+    src_keys: Vec<u64>,
+    /// Per-edge `(start, len)` range into `src_keys`.
+    src_ranges: Vec<(u32, u32)>,
+}
+
+impl<'a> FlowLog<'a> {
+    fn record(&mut self, e: PendingEdge<'a>, syms: &Interner) {
+        let sink_key = match e.sink {
+            SinkRef::Expr(s) => expr_key(s),
+            SinkRef::Name(n) => name_key(n),
+            SinkRef::Param(sym) => name_key(syms.resolve(sym)),
+            SinkRef::Return => name_key("return"),
+            // Never the target of a later read: tagged off the expression
+            // key space.
+            SinkRef::Declassify(_) => fnv_byte(FNV_OFFSET, 0xff),
+        };
+        self.sink_keys.push(sink_key);
+        let start = self.src_keys.len();
+        lvalue_key_hashes(e.src, &mut self.src_keys);
+        let len = self.src_keys.len() - start;
+        self.src_ranges.push((start as u32, len as u32));
+        self.edges.push(e);
+    }
+
+    fn src_keys_of(&self, ix: usize) -> &[u64] {
+        let (start, len) = self.src_ranges[ix];
+        &self.src_keys[start as usize..(start as usize + len as usize)]
+    }
+
+    /// Walks backwards from a violating expression (described by its
+    /// l-value `keys`) to its origins: repeatedly finds the most recent
+    /// earlier edge whose sink matches one of the current keys, prepends
+    /// it, and continues from *that* edge's source keys. Returns edge
+    /// indices oldest-first (capped at [`TRACE_CAP`] hops; the strictly
+    /// decreasing cursor guarantees termination).
+    fn trace_indices(&self, keys: &[u64]) -> Vec<usize> {
+        let mut path = std::collections::VecDeque::new();
+        let mut keys: Vec<u64> = keys.to_vec();
+        let mut cursor = self.edges.len();
+        while path.len() < TRACE_CAP {
+            let found = self.sink_keys[..cursor].iter().rposition(|k| keys.contains(k));
+            let Some(ix) = found else { break };
+            path.push_front(ix);
+            keys.clear();
+            keys.extend_from_slice(self.src_keys_of(ix));
+            cursor = ix;
+        }
+        path.into()
+    }
+
+    fn into_graph(self) -> LineageGraph {
+        let edges: Vec<LineageEdge> = self
+            .edges
+            .into_iter()
+            .map(|e| LineageEdge {
+                op: e.op,
+                src_span: e.src.span,
+                src_label: e.src_label,
+                sink_span: e.sink_span,
+                sink_label: e.sink_label,
+            })
+            .collect();
+        edges.into()
     }
 }
 
@@ -353,9 +625,22 @@ struct Checker<'a> {
     resolve_labels: bool,
     /// Whether flow constraints are enforced (Ifc mode only).
     enforce: bool,
+    /// Whether flow edges are recorded into [`Checker::lineage`]
+    /// (`CheckOptions::record_lineage`, and never in base mode).
+    record: bool,
+    /// Whether `declassify(e)` is permitted.
+    allow_declassify: bool,
     defs: TypeDefs,
     env: ScopedEnv,
     diags: Vec<Diagnostic>,
+    /// Every flow edge walked so far, in check order (compact; rendered
+    /// only when a failure needs an explanation path).
+    log: FlowLog<'a>,
+    /// The stack of active `if` guards (innermost last); empty unless
+    /// lineage recording is on.
+    guards: Vec<GuardCtx<'a>>,
+    /// Stack-disciplined arena of the active guards' trace keys.
+    guard_keys: Vec<u64>,
     /// Inferred signatures, recorded as declarations are checked.
     sig_functions: Vec<(String, Arc<FnTy>)>,
     sig_tables: Vec<(String, Label)>,
@@ -366,7 +651,7 @@ struct Checker<'a> {
     return_ty: Option<SecTy>,
 }
 
-impl Checker<'_> {
+impl<'a> Checker<'a> {
     fn error(&mut self, code: DiagCode, message: impl Into<String>, span: Span) {
         self.diags.push(Diagnostic::new(code, message, span));
     }
@@ -386,6 +671,116 @@ impl Checker<'_> {
     }
 
     // ------------------------------------------------------------------
+    // Flow lineage
+    // ------------------------------------------------------------------
+
+    /// Prepares one flow edge `src → sink` for recording, or `None` when
+    /// lineage is off. Preparation copies borrows and labels — no keys,
+    /// no rendering. The edge is *not* recorded yet: failure sites first
+    /// attach an explanation path via [`Checker::flow_error`], then
+    /// [`Checker::commit`] the edge, so a violating edge never traces
+    /// through itself.
+    fn edge(
+        &self,
+        op: FlowOp,
+        src: &'a Expr,
+        src_label: Label,
+        sink: SinkRef<'a>,
+        sink_label: Label,
+        sink_span: Span,
+    ) -> Option<PendingEdge<'a>> {
+        if !self.record {
+            return None;
+        }
+        Some(PendingEdge { op, src, src_label, sink, sink_label, sink_span })
+    }
+
+    /// Records a prepared edge into the flow log.
+    fn commit(&mut self, flo: Option<PendingEdge<'a>>) {
+        if let Some(e) = flo {
+            self.log.record(e, self.syms);
+        }
+    }
+
+    /// Renders a sink reference into the source text a diagnostic shows
+    /// (cold path).
+    fn render_sink(&self, s: SinkRef<'_>) -> String {
+        match s {
+            SinkRef::Expr(e) => expr_to_string(e),
+            SinkRef::Name(n) => n.to_string(),
+            SinkRef::Param(sym) => self.syms.resolve(sym).to_string(),
+            SinkRef::Return => "return".to_string(),
+            SinkRef::Declassify(inner) => format!("declassify({})", expr_to_string(inner)),
+        }
+    }
+
+    /// Renders one compact edge into the diagnostic-facing form (cold
+    /// path: the AST the edge borrows is still in hand).
+    fn render_edge(&self, e: &PendingEdge<'_>) -> FlowEdge {
+        FlowEdge {
+            op: e.op,
+            source: FlowNode::new(expr_to_string(e.src), self.name(e.src_label), e.src.span),
+            sink: FlowNode::new(self.render_sink(e.sink), self.name(e.sink_label), e.sink_span),
+        }
+    }
+
+    /// Traces a violating expression's keys back through the log and
+    /// renders the predecessor path oldest-first.
+    fn trace_rendered(&self, keys: &[u64]) -> Vec<FlowEdge> {
+        self.log
+            .trace_indices(keys)
+            .iter()
+            .map(|&ix| self.render_edge(&self.log.edges[ix]))
+            .collect()
+    }
+
+    /// Emits a flow diagnostic with the violating edge's explanation path
+    /// attached: the traced predecessors of its source, then the edge.
+    fn flow_error(
+        &mut self,
+        code: DiagCode,
+        message: String,
+        span: Span,
+        flo: &Option<PendingEdge<'a>>,
+    ) {
+        let mut d = Diagnostic::new(code, message, span);
+        if let Some(e) = flo {
+            let mut keys = Vec::new();
+            lvalue_key_hashes(e.src, &mut keys);
+            let mut path = self.trace_rendered(&keys);
+            path.push(self.render_edge(e));
+            d = d.with_lineage(path);
+        }
+        self.diags.push(d);
+    }
+
+    /// The implicit-flow explanation for a failed `pc ⊑ bound` side
+    /// condition: the innermost guard whose label breaks the bound (or the
+    /// ambient `pc` itself, for `@pc`/`--pc` violations) flowing into the
+    /// sink via a `guard-pc` edge.
+    fn pc_path(&self, pc: Label, bound: Label, sink: SinkRef<'_>, span: Span) -> Vec<FlowEdge> {
+        let sink = FlowNode::new(self.render_sink(sink), self.name(bound), span);
+        match self.guards.iter().rev().find(|g| !self.lat.leq(g.label, bound)) {
+            Some(g) => {
+                let edge = FlowEdge {
+                    op: FlowOp::GuardPc,
+                    source: FlowNode::new(expr_to_string(g.cond), self.name(g.label), g.cond.span),
+                    sink,
+                };
+                let keys = &self.guard_keys
+                    [g.keys_start as usize..(g.keys_start as usize + g.keys_len as usize)];
+                let mut path = self.trace_rendered(keys);
+                path.push(edge);
+                path
+            }
+            None => {
+                let source = FlowNode::new("pc", self.name(pc), span);
+                vec![FlowEdge { op: FlowOp::GuardPc, source, sink }]
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
     // pc constraints
     // ------------------------------------------------------------------
 
@@ -396,7 +791,17 @@ impl Checker<'_> {
     /// `bound` is recorded as an upper bound for it, and only the
     /// guard-context part of `pc` (which is what `pc` holds in that mode)
     /// is checked against `bound`.
-    fn require_pc(&mut self, pc: Label, bound: Label, code: DiagCode, what: &str, span: Span) {
+    /// `sink` is the rendered write target / call / control transfer the
+    /// failed condition would have leaked into (lineage only).
+    fn require_pc(
+        &mut self,
+        pc: Label,
+        bound: Label,
+        code: DiagCode,
+        what: &str,
+        sink: SinkRef<'_>,
+        span: Span,
+    ) {
         if !self.enforce {
             return;
         }
@@ -409,7 +814,11 @@ impl Checker<'_> {
                 self.name(pc),
                 self.name(bound),
             );
-            self.error(code, msg, span);
+            let mut d = Diagnostic::new(code, msg, span);
+            if self.record {
+                d = d.with_lineage(self.pc_path(pc, bound, sink, span));
+            }
+            self.diags.push(d);
         }
     }
 
@@ -515,7 +924,7 @@ impl Checker<'_> {
     /// on a writable binding, propagated through fields and indices).
     ///
     /// Returns `None` after recording a diagnostic, to stop error cascades.
-    fn expr(&mut self, e: &Expr, pc: Label) -> Option<(SecTy, bool)> {
+    fn expr(&mut self, e: &'a Expr, pc: Label) -> Option<(SecTy, bool)> {
         match &e.kind {
             ExprKind::Bool(_) => Some((SecTy::bottom(TyId::BOOL, self.lat), false)),
             ExprKind::Int { width, .. } => {
@@ -573,16 +982,22 @@ impl Checker<'_> {
                 // T-Index: χ₂ ⊑ χ₁ — the index may not be more secret than
                 // the elements, or which element is touched leaks it.
                 if self.enforce && !self.lat.leq(it.label, elem.label) {
-                    self.error(
-                        DiagCode::IndexLeak,
-                        format!(
-                            "index has label `{}` but the stack elements are `{}`; \
-                             the element access would leak the index",
-                            self.name(it.label),
-                            self.name(elem.label)
-                        ),
-                        index.span,
+                    let flo = self.edge(
+                        FlowOp::Index,
+                        index,
+                        it.label,
+                        SinkRef::Expr(e),
+                        elem.label,
+                        e.span,
                     );
+                    let msg = format!(
+                        "index has label `{}` but the stack elements are `{}`; \
+                         the element access would leak the index",
+                        self.name(it.label),
+                        self.name(elem.label)
+                    );
+                    self.flow_error(DiagCode::IndexLeak, msg, index.span, &flo);
+                    self.commit(flo);
                 }
                 Some((elem, writable))
             }
@@ -649,12 +1064,21 @@ impl Checker<'_> {
     /// no value and is only legal in statement position.
     fn check_call(
         &mut self,
-        callee: &Expr,
-        args: &[Expr],
+        callee: &'a Expr,
+        args: &'a [Expr],
         pc: Label,
         span: Span,
         as_stmt: bool,
     ) -> Option<SecTy> {
+        // `declassify` is a checker builtin, not a binding: any user
+        // definition of the name shadows it.
+        if let ExprKind::Var(name) = &callee.kind {
+            if name == "declassify"
+                && self.syms.lookup(name).and_then(|sym| self.env.lookup(sym)).is_none()
+            {
+                return self.declassify_call(args, pc, span);
+            }
+        }
         let (ct, _) = self.expr(callee, pc)?;
         // Cheap clone (compound nodes are `Arc`-backed) so the pool borrow
         // does not overlap the recursive checks below.
@@ -683,6 +1107,7 @@ impl Checker<'_> {
                     fnty.pc_fn,
                     DiagCode::CallPcViolation,
                     "this call occurs",
+                    SinkRef::Expr(callee),
                     span,
                 );
                 Some(fnty.ret)
@@ -710,6 +1135,7 @@ impl Checker<'_> {
                     pc_tbl,
                     DiagCode::TableApplyPcViolation,
                     "this table is applied",
+                    SinkRef::Expr(callee),
                     span,
                 );
                 Some(SecTy::unit(self.lat))
@@ -722,12 +1148,59 @@ impl Checker<'_> {
         }
     }
 
+    /// The `declassify(e)` builtin: re-labels the value of `e` to ⊥, the
+    /// escape hatch a policy grants per program group
+    /// ([`CheckOptions::allow_declassify`]). The lowered flow is recorded
+    /// as a `declassify` lineage edge whether or not it is permitted; a
+    /// forbidden use is a security error carrying that edge's path.
+    fn declassify_call(&mut self, args: &'a [Expr], pc: Label, span: Span) -> Option<SecTy> {
+        if args.len() != 1 {
+            self.error(
+                DiagCode::ArityMismatch,
+                format!("`declassify` takes exactly 1 argument, {} supplied", args.len()),
+                span,
+            );
+            return None;
+        }
+        let (at, _) = self.expr(&args[0], pc)?;
+        if !self.resolve_labels {
+            // Base mode strips labels, so declassification is the identity.
+            return Some(at);
+        }
+        let bottom = self.lat.bottom();
+        let flo = self.edge(
+            FlowOp::Declassify,
+            &args[0],
+            at.label,
+            SinkRef::Declassify(&args[0]),
+            bottom,
+            span,
+        );
+        if self.enforce && !self.allow_declassify {
+            let msg = format!(
+                "`declassify` of `{}` data is not permitted under this policy",
+                self.name(at.label)
+            );
+            self.flow_error(DiagCode::DeclassifyForbidden, msg, span, &flo);
+        }
+        self.commit(flo);
+        Some(SecTy::new(at.ty, bottom))
+    }
+
     /// Checks one argument against a parameter, honoring directions:
     /// `in` positions admit label subtyping (T-SubType-In); `inout`
     /// positions require a writable l-value with the *exact* security type
     /// (no subtyping — see the `write_to_high` example in §4.2).
-    fn check_arg(&mut self, param: &FnParam, arg: &Expr, pc: Label) {
+    fn check_arg(&mut self, param: &FnParam, arg: &'a Expr, pc: Label) {
         let Some((at, writable)) = self.expr(arg, pc) else { return };
+        let flo = self.edge(
+            FlowOp::Arg,
+            arg,
+            at.label,
+            SinkRef::Param(param.name),
+            param.ty.label,
+            arg.span,
+        );
         if !self.pool.same_shape(at, param.ty) {
             let msg = format!(
                 "argument for `{}` has type `{}` but the parameter expects `{}`",
@@ -735,23 +1208,21 @@ impl Checker<'_> {
                 self.ty_str(at.ty),
                 self.ty_str(param.ty.ty)
             );
-            self.error(DiagCode::TypeMismatch, msg, arg.span);
+            self.flow_error(DiagCode::TypeMismatch, msg, arg.span, &flo);
+            self.commit(flo);
             return;
         }
         match param.direction {
             Direction::In => {
                 if self.enforce && !self.lat.leq(at.label, param.ty.label) {
-                    self.error(
-                        DiagCode::ExplicitFlow,
-                        format!(
-                            "argument labeled `{}` flows into `in` parameter `{}` \
-                             labeled `{}`",
-                            self.name(at.label),
-                            self.param_name(param.name),
-                            self.name(param.ty.label)
-                        ),
-                        arg.span,
+                    let msg = format!(
+                        "argument labeled `{}` flows into `in` parameter `{}` \
+                         labeled `{}`",
+                        self.name(at.label),
+                        self.param_name(param.name),
+                        self.name(param.ty.label)
                     );
+                    self.flow_error(DiagCode::ExplicitFlow, msg, arg.span, &flo);
                 }
             }
             Direction::InOut => {
@@ -764,31 +1235,30 @@ impl Checker<'_> {
                         ),
                         arg.span,
                     );
+                    self.commit(flo);
                     return;
                 }
                 if self.enforce && at.label != param.ty.label {
-                    self.error(
-                        DiagCode::InoutLabelMismatch,
-                        format!(
-                            "`inout` argument labeled `{}` does not match parameter \
-                             `{}` labeled `{}`; `inout` positions admit no label \
-                             subtyping",
-                            self.name(at.label),
-                            self.param_name(param.name),
-                            self.name(param.ty.label)
-                        ),
-                        arg.span,
+                    let msg = format!(
+                        "`inout` argument labeled `{}` does not match parameter \
+                         `{}` labeled `{}`; `inout` positions admit no label \
+                         subtyping",
+                        self.name(at.label),
+                        self.param_name(param.name),
+                        self.name(param.ty.label)
                     );
+                    self.flow_error(DiagCode::InoutLabelMismatch, msg, arg.span, &flo);
                 }
             }
         }
+        self.commit(flo);
     }
 
     // ------------------------------------------------------------------
     // Statements (Figure 6)
     // ------------------------------------------------------------------
 
-    fn stmt(&mut self, s: &Stmt, pc: Label) {
+    fn stmt(&mut self, s: &'a Stmt, pc: Label) {
         match &s.kind {
             StmtKind::Call(e) => {
                 let ExprKind::Call(callee, args) = &e.kind else {
@@ -815,6 +1285,12 @@ impl Checker<'_> {
                 // T-Cond: the branches are checked at χ₂ ⊒ pc ⊔ χ₁; the
                 // principal choice is exactly pc ⊔ χ₁.
                 let branch_pc = self.lat.join(pc, guard_label);
+                if self.record {
+                    let keys_start = self.guard_keys.len() as u32;
+                    lvalue_key_hashes(cond, &mut self.guard_keys);
+                    let keys_len = self.guard_keys.len() as u32 - keys_start;
+                    self.guards.push(GuardCtx { cond, label: guard_label, keys_start, keys_len });
+                }
                 self.env.push_scope();
                 self.stmt(then_branch, branch_pc);
                 self.env.pop_scope();
@@ -822,6 +1298,11 @@ impl Checker<'_> {
                     self.env.push_scope();
                     self.stmt(els, branch_pc);
                     self.env.pop_scope();
+                }
+                if self.record {
+                    if let Some(g) = self.guards.pop() {
+                        self.guard_keys.truncate(g.keys_start as usize);
+                    }
                 }
             }
             StmtKind::Block(stmts) => {
@@ -839,6 +1320,7 @@ impl Checker<'_> {
                     self.lat.bottom(),
                     DiagCode::ImplicitFlow,
                     "`exit` occurs",
+                    SinkRef::Name("exit"),
                     s.span,
                 );
             }
@@ -849,7 +1331,7 @@ impl Checker<'_> {
 
     /// T-Assign: `lhs goes inout : ⟨τ, χ₁⟩`, `rhs : ⟨τ, χ₂⟩`, `χ₂ ⊑ χ₁`,
     /// `pc ⊑ χ₁`.
-    fn assign(&mut self, lhs: &Expr, rhs: &Expr, pc: Label, span: Span) {
+    fn assign(&mut self, lhs: &'a Expr, rhs: &'a Expr, pc: Label, span: Span) {
         if !lhs.is_lvalue_shaped() {
             self.error(DiagCode::NotAssignable, "assignment target is not an l-value", lhs.span);
             return;
@@ -864,31 +1346,38 @@ impl Checker<'_> {
             return;
         }
         let Some((rt, _)) = self.expr(rhs, pc) else { return };
+        let flo = self.edge(FlowOp::Assign, rhs, rt.label, SinkRef::Expr(lhs), lt.label, lhs.span);
         if !self.pool.same_shape(rt, lt) {
             let msg = format!(
                 "cannot assign `{}` to a location of type `{}`",
                 self.ty_str(rt.ty),
                 self.ty_str(lt.ty)
             );
-            self.error(DiagCode::TypeMismatch, msg, span);
+            self.flow_error(DiagCode::TypeMismatch, msg, span, &flo);
+            self.commit(flo);
             return;
         }
         if self.enforce && !self.lat.leq(rt.label, lt.label) {
-            self.error(
-                DiagCode::ExplicitFlow,
-                format!(
-                    "explicit flow: `{}` data assigned to a `{}` location",
-                    self.name(rt.label),
-                    self.name(lt.label)
-                ),
-                span,
+            let msg = format!(
+                "explicit flow: `{}` data assigned to a `{}` location",
+                self.name(rt.label),
+                self.name(lt.label)
             );
+            self.flow_error(DiagCode::ExplicitFlow, msg, span, &flo);
         }
-        self.require_pc(pc, lt.label, DiagCode::ImplicitFlow, "this write occurs", span);
+        self.commit(flo);
+        self.require_pc(
+            pc,
+            lt.label,
+            DiagCode::ImplicitFlow,
+            "this write occurs",
+            SinkRef::Expr(lhs),
+            span,
+        );
     }
 
     /// T-Return: types only at ⊥; the value must match `Γ(return)`.
-    fn return_stmt(&mut self, value: Option<&Expr>, pc: Label, span: Span) {
+    fn return_stmt(&mut self, value: Option<&'a Expr>, pc: Label, span: Span) {
         let Some(ret) = self.return_ty else {
             self.error(DiagCode::BadReturn, "`return` outside a function body", span);
             return;
@@ -906,37 +1395,51 @@ impl Checker<'_> {
                     return;
                 }
                 let Some((vt, _)) = self.expr(e, pc) else { return };
+                let flo = self.edge(FlowOp::Return, e, vt.label, SinkRef::Return, ret.label, span);
                 if !self.pool.same_shape(vt, ret) {
                     let msg = format!(
                         "returned value has type `{}` but the function returns `{}`",
                         self.ty_str(vt.ty),
                         self.ty_str(ret.ty)
                     );
-                    self.error(DiagCode::BadReturn, msg, e.span);
+                    self.flow_error(DiagCode::BadReturn, msg, e.span, &flo);
                 } else if self.enforce && !self.lat.leq(vt.label, ret.label) {
-                    self.error(
-                        DiagCode::ExplicitFlow,
-                        format!(
-                            "returned value labeled `{}` exceeds the declared return \
-                             label `{}`",
-                            self.name(vt.label),
-                            self.name(ret.label)
-                        ),
-                        e.span,
+                    let msg = format!(
+                        "returned value labeled `{}` exceeds the declared return \
+                         label `{}`",
+                        self.name(vt.label),
+                        self.name(ret.label)
                     );
+                    self.flow_error(DiagCode::ExplicitFlow, msg, e.span, &flo);
                 }
+                self.commit(flo);
             }
         }
-        self.require_pc(pc, self.lat.bottom(), DiagCode::ImplicitFlow, "`return` occurs", span);
+        self.require_pc(
+            pc,
+            self.lat.bottom(),
+            DiagCode::ImplicitFlow,
+            "`return` occurs",
+            SinkRef::Return,
+            span,
+        );
     }
 
     /// T-VarDecl / T-VarInit. Declarations carry no `pc` side condition
     /// (fresh locations cannot leak), but the initializer label must be
     /// below the declared label.
-    fn var_decl(&mut self, v: &VarDecl, pc: Label) {
+    fn var_decl(&mut self, v: &'a VarDecl, pc: Label) {
         let Some(declared) = self.resolve(&v.ty) else { return };
         if let Some(init) = &v.init {
             if let Some((it, _)) = self.expr(init, pc) {
+                let flo = self.edge(
+                    FlowOp::Init,
+                    init,
+                    it.label,
+                    SinkRef::Name(&v.name.node),
+                    declared.label,
+                    v.name.span,
+                );
                 if !self.pool.same_shape(it, declared) {
                     let msg = format!(
                         "initializer has type `{}` but `{}` is declared `{}`",
@@ -944,19 +1447,17 @@ impl Checker<'_> {
                         v.name.node,
                         self.ty_str(declared.ty)
                     );
-                    self.error(DiagCode::TypeMismatch, msg, init.span);
+                    self.flow_error(DiagCode::TypeMismatch, msg, init.span, &flo);
                 } else if self.enforce && !self.lat.leq(it.label, declared.label) {
-                    self.error(
-                        DiagCode::ExplicitFlow,
-                        format!(
-                            "initializer labeled `{}` flows into `{}` declared `{}`",
-                            self.name(it.label),
-                            v.name.node,
-                            self.name(declared.label)
-                        ),
-                        init.span,
+                    let msg = format!(
+                        "initializer labeled `{}` flows into `{}` declared `{}`",
+                        self.name(it.label),
+                        v.name.node,
+                        self.name(declared.label)
                     );
+                    self.flow_error(DiagCode::ExplicitFlow, msg, init.span, &flo);
                 }
+                self.commit(flo);
             }
         }
         let sym = self.syms.intern(&v.name.node);
@@ -996,7 +1497,7 @@ impl Checker<'_> {
         name: &p4bid_ast::Spanned<String>,
         params: &[Param],
         ret: Option<&AnnType>,
-        body: &[Stmt],
+        body: &'a [Stmt],
         is_action: bool,
         span: Span,
     ) {
@@ -1057,18 +1558,18 @@ impl Checker<'_> {
         }
     }
 
-    fn action_decl(&mut self, a: &ActionDecl) {
+    fn action_decl(&mut self, a: &'a ActionDecl) {
         self.function_like(&a.name, &a.params, None, &a.body, true, a.span);
     }
 
-    fn function_decl(&mut self, f: &FunctionDecl) {
+    fn function_decl(&mut self, f: &'a FunctionDecl) {
         self.function_like(&f.name, &f.params, Some(&f.ret), &f.body, false, f.span);
     }
 
     /// T-TblDecl: computes `pc_tbl = ⊓ⱼ pc_fnⱼ`, checks every key label is
     /// below every action's write bound, and typechecks the bound argument
     /// prefixes.
-    fn table_decl(&mut self, t: &TableDecl) {
+    fn table_decl(&mut self, t: &'a TableDecl) {
         // Gather the action signatures first: pc_tbl depends on them.
         let mut action_tys: Vec<(Arc<FnTy>, &ActionRef)> = Vec::new();
         for aref in &t.actions {
@@ -1132,24 +1633,40 @@ impl Checker<'_> {
                 self.error(DiagCode::TypeMismatch, msg, key.expr.span);
                 continue;
             }
+            let key_flo = self.edge(
+                FlowOp::Table,
+                &key.expr,
+                kt.label,
+                SinkRef::Name(&t.name.node),
+                pc_tbl,
+                key.expr.span,
+            );
             if self.enforce {
                 for (fnty, aref) in &action_tys {
                     if !self.lat.leq(kt.label, fnty.pc_fn) {
-                        self.error(
-                            DiagCode::TableKeyFlow,
-                            format!(
-                                "table key labeled `{}` selects action `{}` which \
-                                 writes at level `{}`; matching on the key would \
-                                 leak it",
-                                self.name(kt.label),
-                                aref.name.node,
-                                self.name(fnty.pc_fn)
-                            ),
+                        // The violating edge names the offending action
+                        // (not the whole table) as the sink.
+                        let flo = self.edge(
+                            FlowOp::Table,
+                            &key.expr,
+                            kt.label,
+                            SinkRef::Name(&aref.name.node),
+                            fnty.pc_fn,
                             key.expr.span,
                         );
+                        let msg = format!(
+                            "table key labeled `{}` selects action `{}` which \
+                             writes at level `{}`; matching on the key would \
+                             leak it",
+                            self.name(kt.label),
+                            aref.name.node,
+                            self.name(fnty.pc_fn)
+                        );
+                        self.flow_error(DiagCode::TableKeyFlow, msg, key.expr.span, &flo);
                     }
                 }
             }
+            self.commit(key_flo);
         }
 
         // Bound argument prefixes: the directional parameters of each
@@ -1201,7 +1718,7 @@ impl Checker<'_> {
 
     /// Checks one control block under its ambient `pc` (the `@pc(...)`
     /// annotation, or the run-wide default).
-    fn control_decl(&mut self, c: &ControlDecl, default_pc: Label) -> Option<TypedControl> {
+    fn control_decl(&mut self, c: &'a ControlDecl, default_pc: Label) -> Option<TypedControl> {
         // Control-local declarations are visible only inside this control:
         // roll the signature log back to the globals afterwards.
         let fn_mark = self.sig_functions.len();
@@ -1294,4 +1811,68 @@ fn strip_labels(ann: &AnnType) -> AnnType {
         other => other.clone(),
     };
     AnnType { ty, label: None, span: ann.span }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn log_edge<'a>(log: &mut FlowLog<'a>, src: &'a Expr, sink: &'a Expr, syms: &Interner) {
+        let lat = Lattice::two_point();
+        log.record(
+            PendingEdge {
+                op: FlowOp::Assign,
+                src,
+                src_label: lat.bottom(),
+                sink: SinkRef::Expr(sink),
+                sink_label: lat.bottom(),
+                sink_span: sink.span,
+            },
+            syms,
+        );
+    }
+
+    #[test]
+    fn trace_follows_the_most_recent_write() {
+        let syms = Interner::new();
+        let sp = Span::dummy();
+        let (h, x, zero) = (
+            Expr::var("h", sp),
+            Expr::var("x", sp),
+            Expr::new(ExprKind::Int { value: 0, width: Some(8) }, sp),
+        );
+        let mut log = FlowLog::default();
+        log_edge(&mut log, &h, &x, &syms); // x = h
+        log_edge(&mut log, &zero, &x, &syms); // x = 8w0 (overwrites)
+        let path = log.trace_indices(&[expr_key(&x)]);
+        assert_eq!(path, vec![1], "only the latest write to x counts");
+        // The literal source has no l-value keys, so the trace stops.
+        assert!(log.src_keys_of(1).is_empty());
+    }
+
+    #[test]
+    fn trace_chains_through_intermediaries_and_terminates() {
+        let syms = Interner::new();
+        let sp = Span::dummy();
+        let (h, x, y) = (Expr::var("h", sp), Expr::var("x", sp), Expr::var("y", sp));
+        let mut log = FlowLog::default();
+        log_edge(&mut log, &h, &x, &syms); // x = h
+        log_edge(&mut log, &x, &y, &syms); // y = x
+        assert_eq!(log.trace_indices(&[expr_key(&y)]), vec![0, 1], "oldest first");
+        // A self-referential chain (x = x repeatedly) stays bounded.
+        let mut looped = FlowLog::default();
+        for _ in 0..32 {
+            log_edge(&mut looped, &x, &x, &syms);
+        }
+        assert!(looped.trace_indices(&[expr_key(&x)]).len() <= TRACE_CAP);
+    }
+
+    #[test]
+    fn structural_keys_are_span_insensitive_and_name_compatible() {
+        let a = Expr::var("hdr", Span::dummy());
+        let b = Expr::var("hdr", Span::new(10, 20));
+        assert_eq!(expr_key(&a), expr_key(&b));
+        assert_eq!(name_key("hdr"), expr_key(&a));
+        assert_ne!(expr_key(&a), expr_key(&Expr::var("hdx", Span::dummy())));
+    }
 }

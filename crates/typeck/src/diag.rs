@@ -5,6 +5,7 @@
 //! tools can assert on the *class* of violation (explicit flow, implicit
 //! flow, table-key flow, …) rather than on message text.
 
+use crate::lineage::{render_chain, FlowEdge};
 use p4bid_ast::span::Span;
 use std::fmt;
 
@@ -70,6 +71,9 @@ pub enum DiagCode {
     /// Indexing with an index more secret than the stack elements
     /// (`χ₂ ⋢ χ₁` in T-Index).
     IndexLeak,
+    /// A `declassify(e)` site in a run whose options (or policy rule) do
+    /// not permit declassification.
+    DeclassifyForbidden,
 }
 
 impl DiagCode {
@@ -88,6 +92,7 @@ impl DiagCode {
                 | DiagCode::TableApplyPcViolation
                 | DiagCode::InoutLabelMismatch
                 | DiagCode::IndexLeak
+                | DiagCode::DeclassifyForbidden
         )
     }
 
@@ -118,6 +123,7 @@ impl DiagCode {
             DiagCode::TableApplyPcViolation => "E-TABLE-APPLY-PC",
             DiagCode::InoutLabelMismatch => "E-INOUT-LABEL",
             DiagCode::IndexLeak => "E-INDEX-LEAK",
+            DiagCode::DeclassifyForbidden => "E-DECLASSIFY-FORBIDDEN",
         }
     }
 }
@@ -140,13 +146,18 @@ pub struct Diagnostic {
     /// Optional extra notes (e.g. "the fix in Listing 2 writes to
     /// local_hdr.phys_ttl instead").
     pub notes: Vec<String>,
+    /// The source → sink flow path explaining the violation, oldest edge
+    /// first with the violating edge last. Empty for diagnostics with no
+    /// flow to explain (parse errors, unknown names) and when lineage
+    /// recording is off.
+    pub lineage: Vec<FlowEdge>,
 }
 
 impl Diagnostic {
     /// Builds a diagnostic.
     #[must_use]
     pub fn new(code: DiagCode, message: impl Into<String>, span: Span) -> Self {
-        Diagnostic { code, message: message.into(), span, notes: Vec::new() }
+        Diagnostic { code, message: message.into(), span, notes: Vec::new(), lineage: Vec::new() }
     }
 
     /// Adds a note, builder-style.
@@ -155,6 +166,21 @@ impl Diagnostic {
         self.notes.push(note.into());
         self
     }
+
+    /// Attaches a flow-lineage path, builder-style.
+    #[must_use]
+    pub fn with_lineage(mut self, path: Vec<FlowEdge>) -> Self {
+        self.lineage = path;
+        self
+    }
+
+    /// The lineage path rendered as one human-readable chain, e.g.
+    /// `` `h` (high) --assign--> `x` (high) --assign--> `l` (low) ``.
+    /// `None` when the diagnostic carries no lineage.
+    #[must_use]
+    pub fn lineage_chain(&self) -> Option<String> {
+        (!self.lineage.is_empty()).then(|| render_chain(&self.lineage))
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -162,6 +188,9 @@ impl fmt::Display for Diagnostic {
         write!(f, "error[{}]: {}", self.code.ident(), self.message)?;
         for note in &self.notes {
             write!(f, "\n  note: {note}")?;
+        }
+        if let Some(chain) = self.lineage_chain() {
+            write!(f, "\n  flow: {chain}")?;
         }
         Ok(())
     }
@@ -193,5 +222,23 @@ mod tests {
     fn idents_are_stable() {
         assert_eq!(DiagCode::ImplicitFlow.ident(), "E-IMPLICIT-FLOW");
         assert_eq!(DiagCode::TableApplyPcViolation.ident(), "E-TABLE-APPLY-PC");
+        assert_eq!(DiagCode::DeclassifyForbidden.ident(), "E-DECLASSIFY-FORBIDDEN");
+    }
+
+    #[test]
+    fn display_renders_the_flow_chain() {
+        use crate::lineage::{FlowEdge, FlowNode, FlowOp};
+        let edge = FlowEdge {
+            op: FlowOp::Assign,
+            source: FlowNode::new("h", "high", Span::new(1, 2)),
+            sink: FlowNode::new("l", "low", Span::new(3, 4)),
+        };
+        let d = Diagnostic::new(DiagCode::ExplicitFlow, "high flows to low", Span::new(3, 4))
+            .with_lineage(vec![edge]);
+        let s = d.to_string();
+        assert!(s.contains("flow: `h` (high) --assign--> `l` (low)"), "{s}");
+        assert!(d.lineage_chain().is_some());
+        let plain = Diagnostic::new(DiagCode::UnknownVar, "unknown `x`", Span::new(0, 1));
+        assert!(plain.lineage_chain().is_none());
     }
 }

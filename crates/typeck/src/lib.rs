@@ -39,12 +39,14 @@
 pub mod checker;
 pub mod diag;
 pub mod env;
+pub mod lineage;
 pub mod oracle;
 pub mod session;
 
 pub use checker::{check_program, CheckOptions, Mode, TypedControl, TypedParam, TypedProgram};
 pub use diag::{DiagCode, Diagnostic};
 pub use env::{LabelTable, ScopedEnv, TypeDefs, VarInfo};
+pub use lineage::{render_chain, FlowEdge, FlowNode, FlowOp, LineageEdge, LineageGraph};
 pub use session::{CheckerSession, SessionStats, SharedSessionCore};
 
 use p4bid_ast::surface::Program;

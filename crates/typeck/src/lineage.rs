@@ -1,0 +1,280 @@
+//! Flow lineage: the source → sink edges the checker walks, recorded per
+//! program so a rejection can be *explained* as a chain of flows instead
+//! of a bare code + span.
+//!
+//! Every data movement the IFC judgements inspect — an assignment, a
+//! variable initializer, an argument passed to a parameter, a returned
+//! value, a `declassify`, a table key selecting an action — records one
+//! compact [`LineageEdge`] into the program's [`LineageGraph`]. When a
+//! flow constraint fails, the checker walks its log *backwards* from the
+//! violating expression to its origins and attaches the resulting path to
+//! the [`Diagnostic`](crate::Diagnostic) as rendered [`FlowEdge`]s: the
+//! human renderer prints the chain
+//! (`` `h` (high) --assign--> `x` (high) --assign--> `l` (low) ``) and
+//! the `p4bid-batch-report/2` JSON schema carries it as a
+//! machine-readable `lineage` array.
+//!
+//! Recording happens on the checking hot path for *every* program,
+//! including the (overwhelmingly common) accepted ones, so the graph
+//! stores only `Copy` data — operation, endpoint spans, and labels as
+//! lattice elements. Rendered source text and label names exist only in
+//! the [`FlowEdge`]s the checker builds while explaining a failure: that
+//! cold path has the program AST and the lattice in hand, and the
+//! rendered path outlives both inside the diagnostic.
+
+use p4bid_ast::span::Span;
+use p4bid_lattice::Label;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// The operation that moved data across one recorded flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FlowOp {
+    /// T-Assign: the right-hand side flows into an l-value.
+    Assign,
+    /// T-VarInit: an initializer flows into a fresh binding.
+    Init,
+    /// An argument flows into a parameter (T-Call, or a table's bound
+    /// argument prefix in T-TblDecl).
+    Arg,
+    /// A returned value flows into the function's declared return type.
+    Return,
+    /// A guard (or ambient `pc`) taints a write/call/exit in its scope —
+    /// the implicit-flow side conditions `pc ⊑ χ₁` / `pc ⊑ pc_fn`.
+    GuardPc,
+    /// A table key selects among actions (T-TblDecl's `χ_k ⊑ pc_fnⱼ`).
+    Table,
+    /// An index selects a stack element (T-Index's `χ₂ ⊑ χ₁`).
+    Index,
+    /// `declassify(e)` lowers the expression's label to ⊥.
+    Declassify,
+}
+
+impl FlowOp {
+    /// Stable identifier, used by the human chain rendering and the
+    /// `lineage` array of the `p4bid-batch-report/2` schema.
+    #[must_use]
+    pub fn ident(self) -> &'static str {
+        match self {
+            FlowOp::Assign => "assign",
+            FlowOp::Init => "init",
+            FlowOp::Arg => "arg",
+            FlowOp::Return => "return",
+            FlowOp::GuardPc => "guard-pc",
+            FlowOp::Table => "table",
+            FlowOp::Index => "index",
+            FlowOp::Declassify => "declassify",
+        }
+    }
+}
+
+impl fmt::Display for FlowOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.ident())
+    }
+}
+
+/// One endpoint of a *rendered* flow edge: source text, the name of its
+/// security label, and where it sits in the program.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowNode {
+    /// Rendered expression or l-value (e.g. `hdr.ipv4.ttl`, `h == 8w0`).
+    pub what: String,
+    /// The label name, rendered against the active lattice.
+    pub label: String,
+    /// Source span of the endpoint.
+    pub span: Span,
+}
+
+impl FlowNode {
+    /// Builds an endpoint.
+    #[must_use]
+    pub fn new(what: impl Into<String>, label: impl Into<String>, span: Span) -> Self {
+        FlowNode { what: what.into(), label: label.into(), span }
+    }
+}
+
+impl fmt::Display for FlowNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "`{}` ({})", self.what, self.label)
+    }
+}
+
+/// One source → sink flow, rendered for a diagnostic's explanation path.
+///
+/// Labels are stored as *names* (against the active lattice) and
+/// endpoints as rendered source text, so the path outlives the session
+/// that produced it and serializes without a lattice in hand.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FlowEdge {
+    /// What moved the data.
+    pub op: FlowOp,
+    /// Where the data came from.
+    pub source: FlowNode,
+    /// Where the data went.
+    pub sink: FlowNode,
+}
+
+/// Renders a path of edges as one human-readable chain:
+/// `` `h` (high) --assign--> `x` (high) --assign--> `l` (low) ``.
+///
+/// Consecutive edges whose endpoints do not line up textually (e.g. a
+/// compound source expression fed by one of its operands) are separated
+/// with `; ` so the chain never misreads as a single continuous flow.
+#[must_use]
+pub fn render_chain(edges: &[FlowEdge]) -> String {
+    let mut out = String::new();
+    let mut prev_sink: Option<&str> = None;
+    for e in edges {
+        match prev_sink {
+            Some(sink) if sink == e.source.what => {}
+            Some(_) => {
+                let _ = write!(out, "; {}", e.source);
+            }
+            None => {
+                let _ = write!(out, "{}", e.source);
+            }
+        }
+        let _ = write!(out, " --{}--> {}", e.op, e.sink);
+        prev_sink = Some(&e.sink.what);
+    }
+    out
+}
+
+/// One recorded flow in compact form: the operation, the endpoint spans,
+/// and the endpoint labels as elements of the active lattice.
+///
+/// Deliberately all-`Copy`: this is what the checker pushes for every
+/// data movement in every program, so it carries no rendered text (see
+/// the module docs; [`FlowEdge`] is the rendered failure-path form).
+/// Resolve the labels to names with the
+/// [`TypedProgram::lattice`](crate::TypedProgram) that produced the
+/// graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct LineageEdge {
+    /// What moved the data.
+    pub op: FlowOp,
+    /// Span of the source expression.
+    pub src_span: Span,
+    /// Label of the source expression.
+    pub src_label: Label,
+    /// Span of the sink (l-value, binding name, call, …).
+    pub sink_span: Span,
+    /// Label of the sink.
+    pub sink_label: Label,
+}
+
+/// Longest predecessor path the checker's backward trace reconstructs
+/// (the violating edge itself is appended on top, for 8 rendered hops
+/// total).
+pub const TRACE_CAP: usize = 7;
+
+/// Per-program flow graph: every edge the checker walked, in check order
+/// (checking is sequential, so the order is deterministic for a given
+/// program and options).
+///
+/// Kept on accepted programs as an audit trail
+/// ([`TypedProgram::lineage`](crate::TypedProgram)) — e.g. "did this
+/// program declassify anything?" is
+/// `edges().iter().any(|e| e.op == FlowOp::Declassify)`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LineageGraph {
+    edges: Vec<LineageEdge>,
+}
+
+impl LineageGraph {
+    /// An empty graph.
+    #[must_use]
+    pub fn new() -> Self {
+        LineageGraph::default()
+    }
+
+    /// Records one walked edge.
+    pub fn record(&mut self, edge: LineageEdge) {
+        self.edges.push(edge);
+    }
+
+    /// Every recorded edge, in check order.
+    #[must_use]
+    pub fn edges(&self) -> &[LineageEdge] {
+        &self.edges
+    }
+
+    /// Number of recorded edges.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+impl From<Vec<LineageEdge>> for LineageGraph {
+    fn from(edges: Vec<LineageEdge>) -> Self {
+        LineageGraph { edges }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(op: FlowOp, src: &str, src_l: &str, sink: &str, sink_l: &str) -> FlowEdge {
+        FlowEdge {
+            op,
+            source: FlowNode::new(src, src_l, Span::dummy()),
+            sink: FlowNode::new(sink, sink_l, Span::dummy()),
+        }
+    }
+
+    #[test]
+    fn chain_renders_continuous_and_broken_paths() {
+        let continuous = [
+            edge(FlowOp::Assign, "h", "high", "x", "high"),
+            edge(FlowOp::Assign, "x", "high", "l", "low"),
+        ];
+        assert_eq!(
+            render_chain(&continuous),
+            "`h` (high) --assign--> `x` (high) --assign--> `l` (low)"
+        );
+        let broken = [
+            edge(FlowOp::Assign, "h", "high", "x", "high"),
+            edge(FlowOp::Assign, "x + 8w1", "high", "l", "low"),
+        ];
+        assert_eq!(
+            render_chain(&broken),
+            "`h` (high) --assign--> `x` (high); `x + 8w1` (high) --assign--> `l` (low)"
+        );
+    }
+
+    #[test]
+    fn graph_keeps_edges_in_record_order() {
+        let mut g = LineageGraph::new();
+        assert!(g.is_empty());
+        let bot = p4bid_lattice::Lattice::two_point().bottom();
+        let e = |op| LineageEdge {
+            op,
+            src_span: Span::dummy(),
+            src_label: bot,
+            sink_span: Span::dummy(),
+            sink_label: bot,
+        };
+        g.record(e(FlowOp::Init));
+        g.record(e(FlowOp::Assign));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.edges()[0].op, FlowOp::Init);
+        assert_eq!(g.edges()[1].op, FlowOp::Assign);
+    }
+
+    #[test]
+    fn op_idents_are_stable() {
+        assert_eq!(FlowOp::GuardPc.ident(), "guard-pc");
+        assert_eq!(FlowOp::Declassify.ident(), "declassify");
+        assert_eq!(FlowOp::Assign.to_string(), "assign");
+    }
+}

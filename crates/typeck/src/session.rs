@@ -191,7 +191,7 @@ impl CheckerSession {
         let default_pc = resolve_default_pc(&lattice, &self.opts)?;
         let state = CheckerState::clone(&*self.prelude_state(&lattice)?);
 
-        let (controls, state) = {
+        let (controls, state, lineage) = {
             let mut ctx = self.ctx.borrow_mut();
             check_items(&user.items, &lattice, &self.opts, default_pc, &mut ctx, state)?
         };
@@ -200,7 +200,14 @@ impl CheckerSession {
         // body, exactly as `check_source` includes them.
         let mut program = (*self.prelude).clone();
         program.items.extend(user.items);
-        Ok(TypedProgram { lattice, defs: state.defs, controls, program, ctx: Rc::clone(&self.ctx) })
+        Ok(TypedProgram {
+            lattice,
+            defs: state.defs,
+            controls,
+            program,
+            ctx: Rc::clone(&self.ctx),
+            lineage,
+        })
     }
 
     /// The checked-prelude snapshot for a lattice, built on first use.
@@ -210,7 +217,7 @@ impl CheckerSession {
         }
         let default_pc = resolve_default_pc(lattice, &self.opts)?;
         PRELUDE_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-        let (_, state) = {
+        let (_, state, _) = {
             let mut ctx = self.ctx.borrow_mut();
             check_items(
                 &self.prelude.items,

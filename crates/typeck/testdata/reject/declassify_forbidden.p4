@@ -1,0 +1,9 @@
+// expect: E-DECLASSIFY-FORBIDDEN
+// `declassify(e)` erases e's label down to ⊥, which the default policy
+// forbids: the grant takes `// declassify: allow` here, or a policy-pack
+// rule (`declassify = true`) at the CLI layer.
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    apply {
+        l = declassify(h);
+    }
+}

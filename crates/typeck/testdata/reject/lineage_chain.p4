@@ -1,0 +1,10 @@
+// expect: E-EXPLICIT-FLOW
+// A two-hop laundering chain: the secret moves through a local variable
+// before landing in the public header. The diagnostic's flow path must
+// name every hop, not just the final assignment.
+control C(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    apply {
+        <bit<8>, high> x = h;
+        l = x;
+    }
+}

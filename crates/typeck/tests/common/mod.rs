@@ -1,6 +1,6 @@
 //! Shared support for the conformance and golden-diagnostics suites:
-//! testdata discovery and the `// expect:` / `// pc:` / `// mode:`
-//! directive comments carried by the corpus files.
+//! testdata discovery and the `// expect:` / `// pc:` / `// mode:` /
+//! `// declassify:` directive comments carried by the corpus files.
 
 #![allow(dead_code)] // each test binary uses a subset
 
@@ -16,11 +16,13 @@ pub struct Directives {
     pub pc: Option<String>,
     /// Checker mode (defaults to IFC).
     pub mode: Mode,
+    /// Whether `declassify(e)` is permitted (`// declassify: allow`).
+    pub declassify: bool,
 }
 
 /// Parses the `//`-comment directives of a corpus file.
 pub fn parse_directives(source: &str) -> Directives {
-    let mut d = Directives { expect: Vec::new(), pc: None, mode: Mode::Ifc };
+    let mut d = Directives { expect: Vec::new(), pc: None, mode: Mode::Ifc, declassify: false };
     for line in source.lines() {
         let Some(comment) = line.trim().strip_prefix("//") else { continue };
         let comment = comment.trim();
@@ -32,6 +34,8 @@ pub fn parse_directives(source: &str) -> Directives {
             if mode.trim() == "base" {
                 d.mode = Mode::Base;
             }
+        } else if let Some(declassify) = comment.strip_prefix("declassify:") {
+            d.declassify = declassify.trim() == "allow";
         }
     }
     d
@@ -55,6 +59,9 @@ pub fn options_for(d: &Directives) -> CheckOptions {
     let mut opts = CheckOptions { mode: d.mode, ..Default::default() };
     if let Some(pc) = &d.pc {
         opts = opts.with_pc(pc.clone());
+    }
+    if d.declassify {
+        opts = opts.with_declassify(true);
     }
     opts
 }

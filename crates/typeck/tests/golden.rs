@@ -4,14 +4,16 @@
 //! diagnostics the checker must produce, one per line:
 //!
 //! ```text
-//! E-CODE @ line:col message text
+//! E-CODE @ line:col message text | flow: `src` (label) --op--> `sink` (label)
 //! ```
 //!
 //! (`0:0` marks spans that fall outside the file, e.g. prelude or dummy
-//! spans.) The test diffs the checker's actual output against the sidecar:
-//! codes and positions must match exactly and the recorded message must be
-//! a substring of the actual message, so messages may gain detail without
-//! churning every sidecar.
+//! spans; the ` | flow:` segment appears only on diagnostics carrying a
+//! lineage path and must match exactly — it pins the explain output.) The
+//! test diffs the checker's actual output against the sidecar: codes,
+//! positions, and flow chains must match exactly and the recorded message
+//! must be a substring of the actual message, so messages may gain detail
+//! without churning every sidecar.
 //!
 //! Regenerate the sidecars after an intentional diagnostics change with:
 //!
@@ -34,16 +36,22 @@ fn expected_path(p4: &Path) -> PathBuf {
 /// Renders one diagnostic as a golden line.
 fn golden_line(d: &Diagnostic, source: &str) -> String {
     let (line, col) = span_line_col(source, d.span).map_or((0, 0), |lc| (lc.line, lc.col));
-    format!("{} @ {line}:{col} {}", d.code.ident(), d.message)
+    let mut out = format!("{} @ {line}:{col} {}", d.code.ident(), d.message);
+    if let Some(chain) = d.lineage_chain() {
+        out.push_str(" | flow: ");
+        out.push_str(&chain);
+    }
+    out
 }
 
-/// One parsed golden line: code, position, message substring.
-fn parse_golden_line(line: &str, path: &Path) -> (String, String, String) {
+/// One parsed golden line: code, position, message substring, flow chain.
+fn parse_golden_line(line: &str, path: &Path) -> (String, String, String, String) {
+    let (line, flow) = line.split_once(" | flow: ").unwrap_or((line, ""));
     let (code, rest) = line
         .split_once(" @ ")
         .unwrap_or_else(|| panic!("{}: malformed golden line `{line}`", path.display()));
     let (pos, message) = rest.split_once(' ').unwrap_or((rest, ""));
-    (code.to_string(), pos.to_string(), message.to_string())
+    (code.to_string(), pos.to_string(), message.to_string(), flow.to_string())
 }
 
 #[test]
@@ -87,9 +95,9 @@ fn reject_corpus_matches_golden_diagnostics() {
             continue;
         }
         for (exp, act) in expected.iter().zip(&actual) {
-            let (ecode, epos, emsg) = parse_golden_line(exp, &path);
-            let (acode, apos, amsg) = parse_golden_line(act, &path);
-            if ecode != acode || epos != apos || !amsg.contains(&emsg) {
+            let (ecode, epos, emsg, eflow) = parse_golden_line(exp, &path);
+            let (acode, apos, amsg, aflow) = parse_golden_line(act, &path);
+            if ecode != acode || epos != apos || !amsg.contains(&emsg) || eflow != aflow {
                 failures.push(format!(
                     "{}: golden mismatch\n  recorded: {exp}\n  actual:   {act}",
                     path.display()
@@ -126,11 +134,14 @@ fn golden_lines_are_well_formed() {
         let sidecar = expected_path(&path);
         let Ok(contents) = fs::read_to_string(&sidecar) else { continue };
         for line in contents.lines().filter(|l| !l.trim().is_empty()) {
-            let (code, pos, _msg) = parse_golden_line(line, &sidecar);
+            let (code, pos, _msg, flow) = parse_golden_line(line, &sidecar);
             assert!(code.starts_with("E-"), "{}: bad code in `{line}`", sidecar.display());
             let (l, c) = pos.split_once(':').expect("line:col position");
             l.parse::<u32>().expect("numeric line");
             c.parse::<u32>().expect("numeric column");
+            if !flow.is_empty() {
+                assert!(flow.contains("-->"), "{}: bad flow chain `{flow}`", sidecar.display());
+            }
         }
     }
 }
