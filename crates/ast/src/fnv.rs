@@ -1,0 +1,86 @@
+//! The workspace's one 64-bit FNV-1a implementation.
+//!
+//! Three subsystems hash with FNV-1a and their values are load-bearing:
+//! the serve verdict cache keys on the content hash of a request body,
+//! the directory scanner uses the same hash as its change decider, and
+//! the flow-lineage log keys trace handles by structural expression
+//! hashes. Before this module each carried its own copy of the constants;
+//! now they all fold through one helper, and the unit tests below pin the
+//! exact values so cache keys and golden sidecars can never shift
+//! silently.
+//!
+//! # Examples
+//!
+//! ```
+//! use p4bid_ast::fnv;
+//!
+//! assert_eq!(fnv::hash(b""), fnv::OFFSET);
+//! assert_eq!(fnv::hash(b"ab"), fnv::byte(fnv::byte(fnv::OFFSET, b'a'), b'b'));
+//! ```
+
+/// The FNV-1a 64-bit offset basis.
+pub const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// The FNV-1a 64-bit prime.
+pub const PRIME: u64 = 0x0100_0000_01b3;
+
+/// Folds one byte into a running hash.
+#[inline]
+#[must_use]
+pub fn byte(h: u64, b: u8) -> u64 {
+    (h ^ u64::from(b)).wrapping_mul(PRIME)
+}
+
+/// Folds a byte slice into a running hash.
+#[inline]
+#[must_use]
+pub fn bytes(mut h: u64, data: &[u8]) -> u64 {
+    for &b in data {
+        h = byte(h, b);
+    }
+    h
+}
+
+/// Hashes a byte slice from the offset basis — the one-shot form the
+/// verdict cache and the directory scanner use.
+#[inline]
+#[must_use]
+pub fn hash(data: &[u8]) -> u64 {
+    bytes(OFFSET, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The exact values are part of the workspace's compatibility surface:
+    /// verdict-cache keys, scanner fingerprints, and lineage trace keys
+    /// all derive from them. Vectors cross-checked against the published
+    /// FNV-1a test suite.
+    #[test]
+    fn pinned_hash_values() {
+        assert_eq!(hash(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(hash(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(hash(b"foobar"), 0x8594_4171_f739_67e8);
+        assert_eq!(hash(b"hello"), 0xa430_d846_80aa_bd0b);
+        assert_eq!(hash(b"control C() {}"), 0x0596_44ef_431b_a254);
+    }
+
+    #[test]
+    fn incremental_folding_matches_one_shot() {
+        let data = b"control C(inout bit<8> x) { apply { } }";
+        let mut h = OFFSET;
+        for &b in data.iter() {
+            h = byte(h, b);
+        }
+        assert_eq!(h, hash(data));
+        let (head, tail) = data.split_at(7);
+        assert_eq!(bytes(bytes(OFFSET, head), tail), hash(data));
+    }
+
+    #[test]
+    fn constants_are_the_published_fnv1a_64_parameters() {
+        assert_eq!(OFFSET, 14_695_981_039_346_656_037);
+        assert_eq!(PRIME, 1_099_511_628_211);
+    }
+}

@@ -17,7 +17,11 @@
 //! * [`span`] — source spans and line/column rendering for diagnostics;
 //! * [`pretty`] — a pretty-printer inverse to the parser;
 //! * [`intern`] — string interning ([`intern::Symbol`]/[`intern::Interner`])
-//!   backing the typechecker's `Vec`-indexed environments.
+//!   backing the typechecker's `Vec`-indexed environments;
+//! * [`fnv`] — the workspace's one 64-bit FNV-1a implementation, shared by
+//!   the serve verdict cache, the directory scanner's content hash, and
+//!   the flow-lineage structural trace keys (the unit tests pin its exact
+//!   values).
 //!
 //! # Examples
 //!
@@ -37,6 +41,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fnv;
 pub mod intern;
 pub mod pool;
 pub mod pretty;

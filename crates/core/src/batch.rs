@@ -162,8 +162,9 @@ pub struct BatchReport {
 }
 
 /// Aggregated type-universe statistics for one batch run: the shared
-/// frozen-segment sizes, the summed per-worker overlay sizes, and the
-/// frozen-segment hit counters.
+/// frozen-segment sizes, the summed per-worker overlay sizes, the
+/// frozen-segment hit counters, and the failure-domain counters (the
+/// `p4bid-stats/3` additions).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct BatchStats {
     /// Per-worker session counters, merged (frozen sizes are shared and
@@ -171,6 +172,18 @@ pub struct BatchStats {
     pub sessions: SessionStats,
     /// Number of worker sessions the counters were merged from.
     pub workers: usize,
+    /// Programs whose check panicked inside an isolated worker
+    /// (`E-INTERNAL` verdicts).
+    pub panics: u64,
+    /// Programs whose check hit the `--check-timeout-ms` wall-clock
+    /// budget (`E-TIMEOUT` verdicts).
+    pub timeouts: u64,
+    /// Programs rejected by the `--max-source-bytes` cap (`E-OVERSIZED`
+    /// verdicts).
+    pub oversized: u64,
+    /// Requests checked in a final drain epoch after SIGTERM/SIGINT
+    /// (serve/watch only; always 0 for plain batches).
+    pub drained: u64,
 }
 
 impl BatchStats {
@@ -185,6 +198,27 @@ impl BatchStats {
     pub fn merge(&mut self, other: &BatchStats) {
         self.sessions.absorb(&other.sessions);
         self.workers += other.workers;
+        self.panics += other.panics;
+        self.timeouts += other.timeouts;
+        self.oversized += other.oversized;
+        self.drained += other.drained;
+    }
+
+    /// Derives the failure-domain counters from a finished report by
+    /// scanning its diagnostic codes — counting the *merged* report (not
+    /// per-worker tallies) keeps the counters independent of
+    /// work-stealing order.
+    pub(crate) fn count_failure_domains(&mut self, programs: &[ProgramReport]) {
+        for p in programs {
+            for d in &p.diagnostics {
+                match d.code.as_str() {
+                    "E-INTERNAL" => self.panics += 1,
+                    "E-TIMEOUT" => self.timeouts += 1,
+                    "E-OVERSIZED" => self.oversized += 1,
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Human-readable tier/hit-rate statistics block (`--stats`). Overlay
@@ -213,17 +247,23 @@ impl BatchStats {
             s.ty_intern_calls,
             s.push_cache_hits,
         );
+        let _ = writeln!(
+            out,
+            "failure domains: panics {}, timeouts {}, oversized {}, drained {}",
+            self.panics, self.timeouts, self.oversized, self.drained,
+        );
         out
     }
 
     /// Machine-readable statistics (`--stats-json`): one JSON document per
-    /// line, schema `p4bid-stats/2`, emitted on **stderr** so the
+    /// line, schema `p4bid-stats/3`, emitted on **stderr** so the
     /// deterministic report schemas on stdout are never polluted —
     /// everything in here (overlay sizes, hit counters) legitimately
     /// varies with work-stealing order. `epochs` is present only for
     /// `serve`/`watch`, where the counters are cumulative across epochs;
     /// `ops` (the serve front-door and verdict-cache counters — the `/2`
-    /// additions) likewise.
+    /// additions) likewise. The `/3` revision added the failure-domain
+    /// counters (`panics`, `timeouts`, `oversized`, `drained`).
     #[must_use]
     pub fn render_json(
         &self,
@@ -233,7 +273,7 @@ impl BatchStats {
     ) -> String {
         let s = &self.sessions;
         let mut out = String::from("{");
-        let _ = write!(out, "\"schema\": \"p4bid-stats/2\"");
+        let _ = write!(out, "\"schema\": \"p4bid-stats/3\"");
         let _ = write!(out, ", \"command\": {}", json_string(command));
         if let Some(epochs) = epochs {
             let _ = write!(out, ", \"epochs\": {epochs}");
@@ -250,6 +290,10 @@ impl BatchStats {
         let _ = write!(out, ", \"ty_intern_calls\": {}", s.ty_intern_calls);
         let _ = write!(out, ", \"ty_hit_rate\": {:.4}", s.ty_hit_rate());
         let _ = write!(out, ", \"push_cache_hits\": {}", s.push_cache_hits);
+        let _ = write!(out, ", \"panics\": {}", self.panics);
+        let _ = write!(out, ", \"timeouts\": {}", self.timeouts);
+        let _ = write!(out, ", \"oversized\": {}", self.oversized);
+        let _ = write!(out, ", \"drained\": {}", self.drained);
         if let Some(o) = ops {
             let _ = write!(out, ", \"connections\": {}", o.connections);
             let _ = write!(out, ", \"conn_errors\": {}", o.conn_errors);
@@ -564,8 +608,11 @@ fn run_batch(
     let mut stats = BatchStats::default();
     let mut programs = if jobs == 1 {
         let mut session = make_session();
-        let out: Vec<ProgramReport> =
-            inputs.iter().enumerate().map(|(i, inp)| check_one(&mut session, i, inp)).collect();
+        let out: Vec<ProgramReport> = inputs
+            .iter()
+            .enumerate()
+            .map(|(i, inp)| check_one_isolated(&mut session, &make_session, i, inp))
+            .collect();
         stats.absorb(&session.stats());
         out
     } else {
@@ -583,7 +630,7 @@ fn run_batch(
                         let mut session = make_session();
                         let mut out = Vec::new();
                         while let Some(i) = queue.next_task(w) {
-                            out.push(check_one(&mut session, i, &inputs[i]));
+                            out.push(check_one_isolated(&mut session, make_session, i, &inputs[i]));
                         }
                         (out, session.stats())
                     })
@@ -599,10 +646,60 @@ fn run_batch(
     };
     // Deterministic contract: order by input index, not completion.
     programs.sort_by_key(|p| p.index);
+    stats.count_failure_domains(&programs);
     BatchReport { programs, jobs, stats }
 }
 
+/// [`check_one`] inside a crash containment boundary: a panicking check —
+/// a checker bug, a pathological program, or an injected `P4BID_FAULTS`
+/// fault — becomes a deterministic `E-INTERNAL` verdict for that program
+/// alone, and the worker keeps draining its queue on a freshly rebuilt
+/// session (the panic may have torn the old one mid-mutation).
+pub(crate) fn check_one_isolated(
+    session: &mut CheckerSession,
+    make_session: impl Fn() -> CheckerSession,
+    index: usize,
+    input: &BatchInput,
+) -> ProgramReport {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        check_one(session, index, input)
+    })) {
+        Ok(report) => report,
+        Err(_) => {
+            *session = make_session();
+            internal_error_report(index, input)
+        }
+    }
+}
+
+/// The deterministic verdict a caught worker panic turns into. The
+/// message deliberately carries no panic payload or location — payloads
+/// can differ across runs, and the byte-identical-report contract covers
+/// faulting programs too.
+pub(crate) fn internal_error_report(index: usize, input: &BatchInput) -> ProgramReport {
+    ProgramReport {
+        index,
+        name: input.name.clone(),
+        accepted: false,
+        diagnostics: vec![BatchDiagnostic {
+            code: "E-INTERNAL".to_string(),
+            line: 0,
+            col: 0,
+            message: "internal error: the checker panicked on this program".to_string(),
+            lineage: Vec::new(),
+        }],
+    }
+}
+
 fn check_one(session: &mut CheckerSession, index: usize, input: &BatchInput) -> ProgramReport {
+    // Arm the wall-clock deadline before the fault hook so injected
+    // slowness (`P4BID_FAULTS=…:slow=…`) deterministically exercises the
+    // `--check-timeout-ms` path; key injected faults on the program's
+    // content hash so the same program faults identically regardless of
+    // which worker picks it up.
+    let deadline = session.options().deadline_from_now();
+    session.set_deadline(deadline);
+    crate::faults::check_faults(p4bid_ast::fnv::hash(input.source.as_bytes()));
     match session.check(&input.source) {
         Ok(_) => ProgramReport {
             index,
@@ -802,6 +899,47 @@ mod tests {
         let plain = check_batch(&inputs, &CheckOptions::ifc(), 1);
         let via_policy = check_batch_with_policy(&inputs, &CheckOptions::ifc(), &empty, 1);
         assert_eq!(plain.to_json(), via_policy.to_json());
+    }
+
+    #[test]
+    fn oversized_inputs_become_verdicts_and_counters() {
+        let mut inputs = synthetic_corpus(3);
+        inputs.push(BatchInput::new("big", "control C(inout bit<8> x) { apply { } }"));
+        let opts = CheckOptions::ifc().with_max_source_bytes(30);
+        let report = check_batch(&inputs, &opts, 2);
+        // The synthetic programs are well over 30 bytes too — every input
+        // is rejected as oversized, none is parsed.
+        assert_eq!(report.rejected(), 4, "{}", report.render_table());
+        for p in &report.programs {
+            assert_eq!(p.diagnostics[0].code, "E-OVERSIZED", "{p:?}");
+        }
+        assert_eq!(report.stats.oversized, 4);
+        assert_eq!(report.stats.panics, 0);
+        let json = report.stats.render_json("batch", None, None);
+        assert!(json.contains("\"oversized\": 4"), "{json}");
+        assert!(json.contains("\"schema\": \"p4bid-stats/3\""), "{json}");
+        let text = report.stats.render_text();
+        assert!(text.contains("failure domains: panics 0, timeouts 0, oversized 4"), "{text}");
+    }
+
+    #[test]
+    fn internal_error_verdicts_are_deterministic_and_counted() {
+        // The verdict a caught worker panic turns into (real injection is
+        // exercised end-to-end by the chaos suite via P4BID_FAULTS).
+        let input = BatchInput::new("boom", "control C(inout bit<8> x) { apply { } }");
+        let report = internal_error_report(7, &input);
+        assert_eq!(report.index, 7);
+        assert!(!report.accepted);
+        assert_eq!(report.diagnostics.len(), 1);
+        assert_eq!(report.diagnostics[0].code, "E-INTERNAL");
+        assert_eq!(
+            report.diagnostics[0].message,
+            "internal error: the checker panicked on this program",
+        );
+        assert_eq!((report.diagnostics[0].line, report.diagnostics[0].col), (0, 0));
+        let mut stats = BatchStats::default();
+        stats.count_failure_domains(&[report]);
+        assert_eq!((stats.panics, stats.timeouts, stats.oversized), (1, 0, 0));
     }
 
     #[test]

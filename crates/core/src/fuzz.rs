@@ -36,6 +36,10 @@ pub enum SeedOutcome {
         /// The rendered [`LeakWitness`](p4bid_ni::LeakWitness).
         witness: String,
     },
+    /// Checking this seed panicked inside an isolated worker (a checker
+    /// bug or an injected `P4BID_FAULTS` fault). Not a soundness
+    /// violation: the run continues, and the seed is counted separately.
+    Panicked,
 }
 
 /// The merged outcome of a fuzzing run.
@@ -50,6 +54,9 @@ pub struct FuzzReport {
     pub accepted: u64,
     /// Programs the IFC checker rejected.
     pub rejected: u64,
+    /// Seeds whose check panicked inside an isolated worker (0 outside
+    /// chaos runs; also surfaced as the `panics` stats counter).
+    pub panicked: u64,
     /// The lowest-seed soundness violation, if any.
     pub violation: Option<(u64, SeedOutcome)>,
     /// Aggregated interner/pool tier statistics across the workers
@@ -78,6 +85,12 @@ pub fn fuzz_seed(
     ni_cfg: &NiConfig,
 ) -> SeedOutcome {
     let gp = random_program(seed, cfg);
+    // Generation is pure in the seed, so keying injected faults on the
+    // generated source keeps chaos runs worker-count independent, exactly
+    // like `batch`.
+    let deadline = session.options().deadline_from_now();
+    session.set_deadline(deadline);
+    crate::faults::check_faults(p4bid_ast::fnv::hash(gp.source.as_bytes()));
     match session.check(&gp.source) {
         Ok(typed) => {
             let out = check_non_interference(&typed, &gp.control_plane, "Fuzz", ni_cfg);
@@ -112,6 +125,27 @@ pub fn run_fuzz_cold(n: u64, cfg: &GenConfig, ni_cfg: &NiConfig, jobs: usize) ->
     run_fuzz_with(n, cfg, ni_cfg, jobs, || CheckerSession::new(CheckOptions::ifc()))
 }
 
+/// [`fuzz_seed`] inside the crash containment boundary: a panicking seed
+/// becomes [`SeedOutcome::Panicked`] and the worker continues on a fresh
+/// session (mirroring `batch`'s per-program isolation).
+fn fuzz_seed_isolated(
+    session: &mut CheckerSession,
+    make_session: impl Fn() -> CheckerSession,
+    seed: u64,
+    cfg: &GenConfig,
+    ni_cfg: &NiConfig,
+) -> SeedOutcome {
+    match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        fuzz_seed(session, seed, cfg, ni_cfg)
+    })) {
+        Ok(outcome) => outcome,
+        Err(_) => {
+            *session = make_session();
+            SeedOutcome::Panicked
+        }
+    }
+}
+
 /// The shared driver: fans seeds over `jobs` workers, each owning one
 /// session produced by `make_session`.
 fn run_fuzz_with(
@@ -132,7 +166,7 @@ fn run_fuzz_with(
         let mut session = make_session();
         let mut out = Vec::with_capacity(usize::try_from(n).unwrap_or(0));
         for seed in 0..n {
-            let o = fuzz_seed(&mut session, seed, cfg, ni_cfg);
+            let o = fuzz_seed_isolated(&mut session, &make_session, seed, cfg, ni_cfg);
             let stop = matches!(o, SeedOutcome::Violation { .. });
             out.push((seed, o));
             if stop {
@@ -168,7 +202,8 @@ fn run_fuzz_with(
                             if seed > min_violation.load(Relaxed) {
                                 continue;
                             }
-                            let outcome = fuzz_seed(&mut session, seed, cfg, ni_cfg);
+                            let outcome =
+                                fuzz_seed_isolated(&mut session, make_session, seed, cfg, ni_cfg);
                             if matches!(outcome, SeedOutcome::Violation { .. }) {
                                 min_violation.fetch_min(seed, Relaxed);
                             }
@@ -189,6 +224,7 @@ fn run_fuzz_with(
 
     let mut report = merge_by_seed(n, outcomes);
     report.stats = stats;
+    report.stats.panics = report.panicked;
     report
 }
 
@@ -201,6 +237,7 @@ fn merge_by_seed(total: u64, mut outcomes: Vec<(u64, SeedOutcome)>) -> FuzzRepor
         total,
         accepted: 0,
         rejected: 0,
+        panicked: 0,
         violation: None,
         stats: BatchStats::default(),
     };
@@ -208,6 +245,7 @@ fn merge_by_seed(total: u64, mut outcomes: Vec<(u64, SeedOutcome)>) -> FuzzRepor
         match outcome {
             SeedOutcome::Accepted => report.accepted += 1,
             SeedOutcome::Rejected => report.rejected += 1,
+            SeedOutcome::Panicked => report.panicked += 1,
             v @ SeedOutcome::Violation { .. } => {
                 report.violation = Some((seed, v));
                 break;
@@ -314,5 +352,20 @@ mod tests {
         );
         assert!(report.sound());
         assert_eq!((report.accepted, report.rejected), (2, 1));
+    }
+
+    #[test]
+    fn panicked_seeds_are_counted_but_do_not_stop_the_run() {
+        let report = merge_by_seed(
+            4,
+            vec![
+                (0, SeedOutcome::Accepted),
+                (1, SeedOutcome::Panicked),
+                (2, SeedOutcome::Rejected),
+                (3, SeedOutcome::Accepted),
+            ],
+        );
+        assert!(report.sound(), "a panic is an isolation event, not a soundness violation");
+        assert_eq!((report.accepted, report.rejected, report.panicked), (2, 1, 1));
     }
 }

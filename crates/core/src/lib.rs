@@ -11,7 +11,8 @@
 //! ([`strip`]), generates scaling workloads ([`synth`]), checks whole
 //! corpora in parallel ([`batch`]), runs the streaming ingest service
 //! behind `p4bid serve` / `p4bid watch` ([`serve`]), fuzzes the soundness
-//! theorem across cores ([`fuzz`]), renders diagnostics
+//! theorem across cores ([`fuzz`]), injects deterministic faults for
+//! chaos testing ([`faults`]), renders diagnostics
 //! ([`render_diagnostics`]), and produces the evaluation reports
 //! ([`report`]).
 //!
@@ -45,11 +46,15 @@
 //! assert_eq!(out.param("x"), Some(&Value::bit(8, 2)));
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the drain handler in [`serve`] installs a
+// process signal handler through one audited `#[allow(unsafe_code)]` FFI
+// shim; everything else stays safe.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod batch;
 pub mod corpus;
+pub mod faults;
 pub mod fuzz;
 pub mod packet;
 pub mod policy;

@@ -46,7 +46,7 @@
 //! keyed by `(FNV-1a content hash, CheckOptions fingerprint)`: a
 //! resubmitted body is answered from the cache with a report
 //! byte-identical to a fresh check, and hit/miss/size counters surface
-//! in the `p4bid-stats/2` document ([`ServeOps`]).
+//! in the `p4bid-stats/3` document ([`ServeOps`]).
 //!
 //! # Examples
 //!
@@ -79,6 +79,7 @@ use std::collections::{BTreeMap, HashMap};
 use std::fmt::Write as _;
 use std::io::{self, BufRead, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
 #[cfg(unix)]
 use std::sync::{Condvar, Mutex};
 use std::time::{Duration, SystemTime};
@@ -455,7 +456,23 @@ struct Fingerprint {
     size: u64,
     hash: u64,
     readable: bool,
+    /// Current retry backoff for an unreadable file, in ticks: doubled
+    /// (up to [`MAX_READ_BACKOFF`]) on every failed read, reset by a
+    /// successful one. `0` for readable files.
+    backoff: u32,
+    /// Ticks left before the next read retry of an unreadable file.
+    /// While positive, the scan tick skips the file entirely — no read,
+    /// no report — so a persistently failing path cannot make the
+    /// watcher re-fail it on every poll.
+    cooldown: u32,
 }
+
+/// Cap on the per-path read-retry backoff, in scan ticks. With the
+/// default 2-second watch interval this retries a persistently
+/// unreadable file about once a minute instead of every tick, while a
+/// transient failure (editor rename window, NFS hiccup) still recovers
+/// within a tick or two.
+const MAX_READ_BACKOFF: u32 = 32;
 
 /// Files whose mtime is younger than this are always re-read and hashed,
 /// never fast-pathed on `(mtime, size)`: a same-size rewrite landing in
@@ -485,12 +502,15 @@ const RACY_WINDOW: Duration = Duration::from_secs(2);
 pub struct DirScanner {
     dir: PathBuf,
     seen: BTreeMap<String, Fingerprint>,
+    /// File reads attempted across all ticks — lets tests pin the
+    /// backoff schedule (a cooled-down path must not be re-read).
+    reads: u64,
 }
 
 impl DirScanner {
     /// A scanner over `dir` that has seen nothing yet.
     pub fn new(dir: impl Into<PathBuf>) -> Self {
-        DirScanner { dir: dir.into(), seen: BTreeMap::new() }
+        DirScanner { dir: dir.into(), seen: BTreeMap::new(), reads: 0 }
     }
 
     /// The watched directory.
@@ -542,6 +562,17 @@ impl DirScanner {
         let mut delta = ScanDelta::default();
         let mut present = std::collections::BTreeSet::new();
         for (name, path, mtime, size) in entries {
+            if let Some(fp) = self.seen.get_mut(&name) {
+                // An unreadable file in its backoff window is skipped
+                // outright: no read, no report. The doubling schedule
+                // (capped at MAX_READ_BACKOFF ticks) keeps a persistently
+                // failing path from being re-failed on every poll.
+                if !fp.readable && fp.cooldown > 0 {
+                    fp.cooldown -= 1;
+                    present.insert(name);
+                    continue;
+                }
+            }
             if let Some(fp) = self.seen.get(&name) {
                 // The fast path needs a *settled* mtime: files modified
                 // within RACY_WINDOW of now are always re-hashed, so a
@@ -560,28 +591,48 @@ impl DirScanner {
                     continue; // unchanged fast path: no read
                 }
             }
-            match std::fs::read_to_string(&path) {
+            self.reads += 1;
+            // Chaos hook: a `scan-eio` fault fails this read, keyed on the
+            // file name so the decision is stable across ticks and runs.
+            let read =
+                if crate::faults::fires(crate::faults::Site::ScanRead, fnv1a(name.as_bytes())) {
+                    Err(crate::faults::injected_eio(&name))
+                } else {
+                    std::fs::read_to_string(&path)
+                };
+            match read {
                 Ok(source) => {
                     let hash = fnv1a(source.as_bytes());
                     let unchanged =
                         self.seen.get(&name).is_some_and(|fp| fp.readable && fp.hash == hash);
-                    self.seen
-                        .insert(name.clone(), Fingerprint { mtime, size, hash, readable: true });
+                    self.seen.insert(
+                        name.clone(),
+                        Fingerprint { mtime, size, hash, readable: true, backoff: 0, cooldown: 0 },
+                    );
                     if !unchanged {
                         delta.changed.push(BatchInput::new(name.clone(), source));
                     }
                 }
                 Err(_) => {
                     // Keep tracking the file (it exists — it must not be
-                    // reported removed) and surface the failure once per
-                    // observed (mtime, size).
-                    let already = self
-                        .seen
-                        .get(&name)
-                        .is_some_and(|fp| !fp.readable && fp.mtime == mtime && fp.size == size);
+                    // reported removed), surface the failure once per
+                    // observed (mtime, size), and back off the next retry.
+                    let prev = self.seen.get(&name).copied();
+                    let already =
+                        prev.is_some_and(|fp| !fp.readable && fp.mtime == mtime && fp.size == size);
+                    let backoff = prev
+                        .filter(|fp| !fp.readable)
+                        .map_or(1, |fp| (fp.backoff.saturating_mul(2)).min(MAX_READ_BACKOFF));
                     self.seen.insert(
                         name.clone(),
-                        Fingerprint { mtime, size, hash: 0, readable: false },
+                        Fingerprint {
+                            mtime,
+                            size,
+                            hash: 0,
+                            readable: false,
+                            backoff,
+                            cooldown: backoff,
+                        },
                     );
                     if !already {
                         delta.unreadable.push(name.clone());
@@ -600,17 +651,13 @@ impl DirScanner {
     }
 }
 
-/// 64-bit FNV-1a — the content fingerprint. Not cryptographic, which is
-/// fine: a collision only costs one skipped re-check of a file edited to
-/// a colliding body, and the `(mtime, size)` fast path already accepts
-/// the same class of miss.
+/// 64-bit FNV-1a — the content fingerprint ([`p4bid_ast::fnv`], the one
+/// implementation every fingerprint in the workspace shares). Not
+/// cryptographic, which is fine: a collision only costs one skipped
+/// re-check of a file edited to a colliding body, and the `(mtime, size)`
+/// fast path already accepts the same class of miss.
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= u64::from(b);
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-    }
-    h
+    p4bid_ast::fnv::hash(bytes)
 }
 
 // ---------------------------------------------------------------------
@@ -630,7 +677,15 @@ fn fnv1a(bytes: &[u8]) -> u64 {
 pub fn options_fingerprint(opts: &CheckOptions) -> u64 {
     // Exhaustive destructuring: adding a CheckOptions field breaks this
     // line until the fingerprint learns about it. Do not use `..` here.
-    let CheckOptions { mode, lattice, pc, record_lineage, allow_declassify } = opts;
+    let CheckOptions {
+        mode,
+        lattice,
+        pc,
+        record_lineage,
+        allow_declassify,
+        max_source_bytes,
+        check_timeout_ms,
+    } = opts;
     let mut bytes = Vec::new();
     bytes.push(match mode {
         Mode::Base => 0u8,
@@ -666,6 +721,10 @@ pub fn options_fingerprint(opts: &CheckOptions) -> u64 {
     }
     bytes.push(u8::from(*record_lineage));
     bytes.push(u8::from(*allow_declassify));
+    // The resource guards change verdicts (E-OVERSIZED is content- and
+    // cap-determined), so they partition the cache like any other option.
+    bytes.extend_from_slice(&max_source_bytes.to_le_bytes());
+    bytes.extend_from_slice(&check_timeout_ms.to_le_bytes());
     fnv1a(&bytes)
 }
 
@@ -693,6 +752,16 @@ struct CachedVerdict {
     source: String,
     accepted: bool,
     diagnostics: Vec<BatchDiagnostic>,
+}
+
+/// Whether a verdict is transient — produced by a worker panic or an
+/// expired wall-clock budget rather than by the program's content. A
+/// transient verdict must never enter the verdict cache: the next
+/// submission of the same body may well succeed, and a cached
+/// `E-INTERNAL` would replay the failure long after its cause (an
+/// injected fault, a scheduling hiccup) is gone.
+fn is_transient_verdict(diagnostics: &[BatchDiagnostic]) -> bool {
+    diagnostics.iter().any(|d| d.code == "E-INTERNAL" || d.code == "E-TIMEOUT")
 }
 
 /// A bounded verdict cache with least-recently-used eviction and
@@ -756,7 +825,7 @@ impl VerdictCache {
     }
 }
 
-/// Front-door operational counters for the `p4bid-stats/2` schema:
+/// Front-door operational counters for the `p4bid-stats/3` schema:
 /// connection, queue, and verdict-cache behaviour of one serve run.
 /// Rendered on **stderr** only (`--stats`/`--stats-json`) — everything
 /// in here varies with arrival timing, so it is never part of the
@@ -968,7 +1037,7 @@ impl ServeEngine {
     }
 
     /// Front-door and verdict-cache counters so far (the serve-specific
-    /// half of the `p4bid-stats/2` document).
+    /// half of the `p4bid-stats/3` document).
     #[must_use]
     pub fn ops(&self) -> ServeOps {
         ServeOps {
@@ -980,6 +1049,15 @@ impl ServeEngine {
             cache_misses: self.cache.misses,
             cache_size: self.cache.len() as u64,
         }
+    }
+
+    /// Records `n` pending requests flushed by a graceful drain in the
+    /// cumulative `drained` counter (the `p4bid-stats/3` failure-domain
+    /// line). The requests still get checked — drained work is finished
+    /// work, not dropped work; the counter says the final epoch(s) were
+    /// cut by a shutdown request rather than by the normal triggers.
+    fn note_drained(&mut self, n: u64) {
+        self.stats.drained += n;
     }
 
     /// Checks one epoch's inputs against the long-lived core and returns
@@ -1068,7 +1146,9 @@ impl ServeEngine {
                             accepted: p.accepted,
                             diagnostics: p.diagnostics.clone(),
                         };
-                        self.cache.insert(key, verdict.clone());
+                        if !is_transient_verdict(&verdict.diagnostics) {
+                            self.cache.insert(key, verdict.clone());
+                        }
                         verdict
                     }
                 };
@@ -1152,6 +1232,84 @@ impl ServeEngine {
         let core = SharedSessionCore::new(opts);
         self.extra_cores.push((fp, core.clone()));
         core
+    }
+}
+
+// ---------------------------------------------------------------------
+// Graceful drain.
+// ---------------------------------------------------------------------
+
+/// The process-wide drain request, set by the signal handler (or
+/// [`request_drain`]) and polled by every ingest loop. A static because
+/// a signal handler can do nothing else; an atomic store is one of the
+/// few things that is async-signal-safe.
+static DRAIN: AtomicBool = AtomicBool::new(false);
+
+/// Installs `SIGTERM`/`SIGINT` handlers that request a graceful drain:
+/// the running ingest loop stops accepting new work, cuts everything
+/// pending as the final epoch(s), lets `--stats`/`--stats-json` flush,
+/// and (for the socket form) unlinks the socket file — instead of the
+/// default kill-mid-epoch.
+///
+/// The handler only stores a flag; every consequence happens on the
+/// serving thread at its next poll. Installing twice is harmless.
+#[cfg(unix)]
+pub fn install_drain_handler() {
+    // The one audited unsafe block in the workspace (`deny`, not
+    // `forbid`, in lib.rs): registering a handler that does nothing but
+    // store an atomic flag. `signal` rather than `sigaction` keeps the
+    // FFI surface to a single libc symbol with no struct layout to get
+    // wrong; its BSD restart semantics are fine because every loop polls.
+    #[allow(unsafe_code)]
+    {
+        extern "C" {
+            fn signal(signum: i32, handler: usize) -> usize;
+        }
+        extern "C" fn on_signal(_signum: i32) {
+            DRAIN.store(true, Ordering::SeqCst);
+        }
+        const SIGINT: i32 = 2;
+        const SIGTERM: i32 = 15;
+        unsafe {
+            let _ = signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            let _ = signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+/// No-op off Unix: the loops still poll [`drain_requested`], so an
+/// embedder can drive a drain through [`request_drain`].
+#[cfg(not(unix))]
+pub fn install_drain_handler() {}
+
+/// Requests a graceful drain, exactly as the signal handler would.
+pub fn request_drain() {
+    DRAIN.store(true, Ordering::SeqCst);
+}
+
+/// Whether a graceful drain has been requested.
+#[must_use]
+pub fn drain_requested() -> bool {
+    DRAIN.load(Ordering::SeqCst)
+}
+
+/// Clears a pending drain request — for embedders (and tests) that run
+/// several ingest loops in one process; the CLI exits after one.
+pub fn clear_drain() {
+    DRAIN.store(false, Ordering::SeqCst);
+}
+
+/// Sleeps for `total`, in small slices so a drain request (which only
+/// sets a flag — nothing wakes the sleeper) is noticed within ~25 ms.
+fn drainable_sleep(total: Duration) {
+    let deadline = std::time::Instant::now() + total;
+    while !drain_requested() {
+        match deadline.checked_duration_since(std::time::Instant::now()) {
+            Some(left) if !left.is_zero() => {
+                std::thread::sleep(left.min(Duration::from_millis(25)));
+            }
+            _ => return,
+        }
     }
 }
 
@@ -1262,6 +1420,11 @@ fn skip_event(event: &FeedEvent, max_line: usize, log: &mut dyn Write, who: &str
 /// [`IngestLimits::max_line`] are dropped without buffering and counted
 /// as skipped.
 ///
+/// A graceful drain ([`install_drain_handler`]/[`request_drain`]) is
+/// honored at the next chunk boundary: pending requests are flushed as
+/// the final epoch (counted as `drained` in the stats) and the loop
+/// returns normally.
+///
 /// # Errors
 ///
 /// Propagates I/O errors from the reader and from `out`; malformed,
@@ -1282,6 +1445,11 @@ pub fn run_feed(
     let mut events: Vec<FeedEvent> = Vec::new();
     let done = |s: &ServeSummary| max_epochs.is_some_and(|m| s.epochs >= m);
     'feed: while !done(&summary) {
+        if drain_requested() {
+            engine.note_drained(pending.len() as u64);
+            flush_epoch(engine, &mut pending, out, log, json, &mut summary)?;
+            break;
+        }
         let n = match reader.fill_buf() {
             Ok([]) => {
                 framer.finish(&mut events);
@@ -1339,9 +1507,18 @@ pub fn run_feed(
 /// whole directory. Runs until `max_epochs` epochs were emitted; with
 /// `None` it serves forever (the daemon form).
 ///
+/// Once the first scan has succeeded, later scan failures (the watched
+/// directory vanished, transient `EIO`) are absorbed: logged, then
+/// retried on a bounded exponential backoff — the daemon neither dies
+/// nor spins hot, and resumes the moment the directory returns. A
+/// graceful drain ([`install_drain_handler`]/[`request_drain`]) ends the
+/// loop at the next tick.
+///
 /// # Errors
 ///
-/// Propagates failures to list the directory and I/O errors on `out`.
+/// Propagates a failure of the *first* directory listing (a directory
+/// that never existed is a configuration error, not a transient fault)
+/// and I/O errors on `out`.
 pub fn run_watch(
     engine: &mut ServeEngine,
     scanner: &mut DirScanner,
@@ -1353,8 +1530,34 @@ pub fn run_watch(
 ) -> io::Result<ServeSummary> {
     let mut summary = ServeSummary::default();
     let done = |s: &ServeSummary| max_epochs.is_some_and(|m| s.epochs >= m);
-    while !done(&summary) {
-        let delta = scanner.scan()?;
+    let mut ever_scanned = false;
+    let mut scan_backoff: u32 = 0;
+    while !done(&summary) && !drain_requested() {
+        let delta = match scanner.scan() {
+            Ok(delta) => {
+                ever_scanned = true;
+                scan_backoff = 0;
+                delta
+            }
+            Err(e) if ever_scanned => {
+                scan_backoff = scan_backoff.saturating_mul(2).clamp(1, MAX_READ_BACKOFF);
+                let _ = writeln!(
+                    log,
+                    "cannot scan `{}`: {e} (next attempt in {scan_backoff} interval(s))",
+                    scanner.dir().display(),
+                );
+                // Back off in whole intervals, with a floor so a
+                // zero-interval caller still cannot spin hot.
+                for _ in 0..scan_backoff {
+                    if drain_requested() {
+                        break;
+                    }
+                    drainable_sleep(interval.max(Duration::from_millis(25)));
+                }
+                continue;
+            }
+            Err(e) => return Err(e),
+        };
         for name in &delta.removed {
             let _ = writeln!(log, "removed: {name}");
         }
@@ -1364,7 +1567,7 @@ pub fn run_watch(
         let mut pending = delta.changed;
         flush_epoch(engine, &mut pending, out, log, json, &mut summary)?;
         if !done(&summary) {
-            std::thread::sleep(interval);
+            drainable_sleep(interval);
         }
     }
     Ok(summary)
@@ -1492,14 +1695,25 @@ fn next_epoch(door: &Door, limits: &IngestLimits) -> Cut {
             return Cut::Finished;
         }
         let n = st.pending.len();
+        // A graceful drain cuts everything pending as the final epoch(s)
+        // and finishes once the queue is empty.
+        if drain_requested() {
+            if n == 0 {
+                return Cut::Finished;
+            }
+            break;
+        }
         let size_cut = limits.max_epoch > 0 && n >= limits.max_epoch;
         let full_cut = limits.max_pending > 0 && n >= limits.max_pending;
         if size_cut || full_cut || (st.flushes > 0 && n > 0) {
             break;
         }
-        // Flush markers with nothing pending emit nothing.
+        // Flush markers with nothing pending emit nothing. The timed
+        // wait exists for the drain flag: a signal stores it but wakes
+        // no condvar, so the sequencer re-polls on its own clock.
         st.flushes = 0;
-        st = door.ready.wait(st).expect("door lock");
+        let (guard, _) = door.ready.wait_timeout(st, Duration::from_millis(25)).expect("door lock");
+        st = guard;
     }
     let take = if limits.max_epoch > 0 {
         limits.max_epoch.min(st.pending.len())
@@ -1523,6 +1737,18 @@ fn next_epoch(door: &Door, limits: &IngestLimits) -> Cut {
 /// loads requests, queues them through the [`Door`]. Every failure mode
 /// — mid-line disconnect, reset, bad UTF-8, over-long line — is counted
 /// and logged; none of them can reach the daemon.
+/// Close bookkeeping shared by every way a connection ends: any close —
+/// clean, errored, injected, or shutdown — flushes the connection's
+/// pending work, mirroring the single-producer EOF rule.
+#[cfg(unix)]
+fn connection_closed(door: &Door) {
+    let mut st = door.lock();
+    st.open -= 1;
+    st.flushes += 1;
+    drop(st);
+    door.ready.notify_all();
+}
+
 #[cfg(unix)]
 fn serve_connection(
     conn: u64,
@@ -1531,6 +1757,19 @@ fn serve_connection(
     log: &Mutex<&mut (dyn Write + Send)>,
     limits: &IngestLimits,
 ) {
+    // Chaos hook: a `sock-eio` fault (keyed on the connection id) fails
+    // this connection's first read, driving the same absorb-and-count
+    // path a mid-stream reset would.
+    if crate::faults::fires(crate::faults::Site::SocketRead, conn) {
+        door.conn_error();
+        {
+            let mut log = log.lock().expect("log lock");
+            let _ =
+                writeln!(log, "connection {conn} error: {}", crate::faults::injected_eio("socket"));
+        }
+        connection_closed(door);
+        return;
+    }
     // The read timeout keeps the reader responsive to shutdown; a
     // WouldBlock/TimedOut tick is not an error.
     let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
@@ -1604,13 +1843,7 @@ fn serve_connection(
             break;
         }
     }
-    // Any close — clean, errored, or shutdown — flushes this
-    // connection's pending work, mirroring the single-producer EOF rule.
-    let mut st = door.lock();
-    st.open -= 1;
-    st.flushes += 1;
-    drop(st);
-    door.ready.notify_all();
+    connection_closed(door);
 }
 
 /// The acceptor: polls a nonblocking listener, spawns one reader thread
@@ -1626,7 +1859,9 @@ fn accept_loop<'scope, 'env: 'scope, 'log: 'env>(
 ) {
     let _ = listener.set_nonblocking(true);
     let mut next_conn: u64 = 0;
-    while !door.is_done() {
+    // A drain stops accepting immediately; connections already open keep
+    // feeding the sequencer until the final epochs are cut.
+    while !door.is_done() && !drain_requested() {
         match listener.accept() {
             Ok((stream, _)) => {
                 // The stream inherits the listener's nonblocking flag on
@@ -1675,6 +1910,11 @@ fn accept_loop<'scope, 'env: 'scope, 'log: 'env>(
 /// Per-connection read errors and transient `accept` failures are
 /// logged (`connection N error: …`), counted in the summary, and never
 /// fatal; the socket file is unlinked on **every** exit path.
+///
+/// A graceful drain ([`install_drain_handler`]/[`request_drain`]) stops
+/// the acceptor, cuts everything pending as the final epoch(s) — counted
+/// as `drained` in the stats — and returns normally, so the caller's
+/// stats flush and the socket unlink both still run.
 ///
 /// # Errors
 ///
@@ -1726,6 +1966,9 @@ pub fn run_socket(
             match next_epoch(&door, limits) {
                 Cut::Finished => break Ok(()),
                 Cut::Epoch(mut batch) => {
+                    if drain_requested() {
+                        engine.note_drained(batch.len() as u64);
+                    }
                     let flushed = {
                         let mut log = log.lock().expect("log lock");
                         flush_epoch(engine, &mut batch, out, &mut **log, json, &mut summary)
@@ -2006,6 +2249,47 @@ mod tests {
         assert!(scanner.scan().is_err());
     }
 
+    #[test]
+    fn scanner_backs_off_persistently_unreadable_files() {
+        // A file whose read keeps failing must not be re-read on every
+        // tick: the retry schedule doubles (1, 2, 4, … capped), and the
+        // cooldown ticks skip the read entirely.
+        let dir = scratch_dir("backoff");
+        std::fs::write(dir.join("bad.p4"), [0xff, 0xfe]).unwrap(); // invalid UTF-8
+        let mut scanner = DirScanner::new(&dir);
+        assert_eq!(scanner.scan().expect("scan").unreadable, ["bad.p4"]);
+        assert_eq!(scanner.reads, 1);
+
+        // Tick 2 is the first cooldown tick (backoff 1): no read. Tick 3
+        // retries, fails, and doubles the backoff to 2 — so ticks 4 and
+        // 5 skip, tick 6 retries.
+        let mut reads_per_tick = Vec::new();
+        for _ in 0..5 {
+            let before = scanner.reads;
+            assert!(scanner.scan().expect("scan").is_empty(), "reported once, not every tick");
+            reads_per_tick.push(scanner.reads - before);
+        }
+        assert_eq!(reads_per_tick, [0, 1, 0, 0, 1], "doubling retry schedule");
+        assert_eq!(scanner.tracked(), 1, "still tracked throughout");
+
+        // The file healing is picked up at the next retry tick, and the
+        // backoff resets so a later failure starts the schedule over.
+        std::fs::write(dir.join("bad.p4"), OK).unwrap();
+        let mut healed = false;
+        for _ in 0..8 {
+            let delta = scanner.scan().expect("scan");
+            if !delta.changed.is_empty() {
+                assert_eq!(delta.changed[0].source, OK);
+                healed = true;
+                break;
+            }
+        }
+        assert!(healed, "a healed file joins an epoch within one backoff window");
+        assert_eq!(scanner.seen["bad.p4"].backoff, 0, "success resets the schedule");
+
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
     // --- the epoch engine -------------------------------------------------
 
     #[test]
@@ -2185,6 +2469,50 @@ mod tests {
         assert!(!ifc.run_epoch(&inputs).report.programs[0].accepted);
         assert!(permissive.run_epoch(&inputs).report.programs[0].accepted);
         assert_ne!(ifc.opts_fp, permissive.opts_fp);
+    }
+
+    #[test]
+    fn fingerprint_covers_the_resource_guards() {
+        // The guards change verdicts (E-OVERSIZED depends on the cap), so
+        // two daemons under different guard settings must never share a
+        // cached verdict.
+        let base = options_fingerprint(&CheckOptions::ifc());
+        let capped = options_fingerprint(&CheckOptions::ifc().with_max_source_bytes(512));
+        let timed = options_fingerprint(&CheckOptions::ifc().with_check_timeout_ms(100));
+        assert_ne!(base, capped);
+        assert_ne!(base, timed);
+        assert_ne!(capped, timed);
+    }
+
+    #[test]
+    fn oversized_verdicts_are_cacheable_but_transient_ones_are_not() {
+        // E-OVERSIZED is determined by content + options (both in the
+        // key), so it caches like any verdict; E-INTERNAL / E-TIMEOUT
+        // depend on a fault or a wall clock and must never be replayed.
+        let diag = |code: &str| BatchDiagnostic {
+            code: code.to_string(),
+            message: String::new(),
+            line: 0,
+            col: 0,
+            lineage: Vec::new(),
+        };
+        assert!(!is_transient_verdict(&[diag("E-OVERSIZED")]));
+        assert!(!is_transient_verdict(&[diag("E-EXPLICIT-FLOW")]));
+        assert!(is_transient_verdict(&[diag("E-EXPLICIT-FLOW"), diag("E-INTERNAL")]));
+        assert!(is_transient_verdict(&[diag("E-TIMEOUT")]));
+
+        // End to end: an oversized reject is served from the cache on
+        // the second epoch — no new check, byte-identical output.
+        let opts = CheckOptions::ifc().with_max_source_bytes(8);
+        let mut engine = ServeEngine::new(opts, 1).with_cache(8);
+        let inputs = [BatchInput::new("big", OK)];
+        let first = engine.run_epoch(&inputs);
+        assert!(!first.report.programs[0].accepted);
+        assert_eq!(first.report.programs[0].diagnostics[0].code, "E-OVERSIZED");
+        let second = engine.run_epoch(&inputs);
+        assert_eq!(first.to_ndjson().replace("\"epoch\": 0", "\"epoch\": 1"), second.to_ndjson());
+        assert_eq!(engine.ops().cache_hits, 1, "the oversized verdict was cached");
+        assert_eq!(engine.cumulative_stats().oversized, 1, "only the first epoch checked");
     }
 
     // --- per-program policies ----------------------------------------------

@@ -1,0 +1,310 @@
+//! Chaos end-to-end tests: the real binary under deterministic fault
+//! injection (`P4BID_FAULTS`) and signal-driven shutdown.
+//!
+//! Every scenario here pins a seed chosen so the splitmix decision is
+//! known in advance — seed `9` at `panic=40` fires for exactly one of the
+//! three corpus programs below (the content hash of `VICTIM`), and seed
+//! `2` at `sock-eio=50` fires for connection id 0 but not 1. The suite
+//! asserts the failure-domain contract end to end: an injected panic
+//! becomes a deterministic `E-INTERNAL` verdict (byte-identical across
+//! `--jobs 1/2/8`, never cached), injected slowness trips the wall-clock
+//! guard, a poisoned connection is absorbed, and SIGTERM drains a busy
+//! socket daemon instead of dropping its pending work.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::process::{Child, Command, Output, Stdio};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+const OK: &str = "control C(inout bit<8> x) { apply { x = x + 8w1; } }";
+const LEAK: &str = "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }";
+/// The program whose content hash fires `panic=40` under seed 9.
+const VICTIM: &str = "control D(inout bit<16> y) { apply { y = y + 16w2; } }";
+
+/// The pinned check-fault plan: panics `VICTIM`, leaves `OK`/`LEAK` alone.
+const PANIC_FAULTS: &str = "9:panic=40";
+
+fn p4bid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_p4bid"))
+}
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("p4bid-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A three-program corpus: one clean accept, one genuine reject, one
+/// panic victim — so a chaotic run still exercises the ordinary verdicts
+/// around the contained fault.
+fn corpus_dir(tag: &str) -> PathBuf {
+    let dir = scratch_dir(tag);
+    std::fs::write(dir.join("a.p4"), OK).unwrap();
+    std::fs::write(dir.join("b.p4"), LEAK).unwrap();
+    std::fs::write(dir.join("c.p4"), VICTIM).unwrap();
+    dir
+}
+
+fn batch_with_faults(dir: &std::path::Path, faults: &str, extra: &[&str]) -> Output {
+    p4bid()
+        .arg("batch")
+        .arg(dir)
+        .args(extra)
+        .env("P4BID_FAULTS", faults)
+        .output()
+        .expect("batch runs")
+}
+
+/// An injected worker panic becomes a deterministic `E-INTERNAL` verdict:
+/// the process survives, exits with the ordinary reject code, reports the
+/// other programs normally, and emits byte-identical output across
+/// `--jobs 1/2/8` — while the same run without `P4BID_FAULTS` accepts the
+/// victim, proving the panic was the injection and nothing else.
+#[test]
+fn injected_panic_is_contained_and_deterministic_across_jobs() {
+    let dir = corpus_dir("panic");
+
+    let mut outputs = Vec::new();
+    for jobs in ["1", "2", "8"] {
+        let out = batch_with_faults(&dir, PANIC_FAULTS, &["--jobs", jobs, "--stats-json"]);
+        assert_eq!(out.status.code(), Some(1), "reject exit, not a crash (jobs={jobs})");
+        let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+        assert!(stdout.contains("E-INTERNAL @ 0:0"), "{stdout}");
+        let victim_row = stdout.lines().find(|l| l.contains("c.p4")).expect("victim row");
+        assert!(victim_row.contains("REJECT") && victim_row.contains("E-INTERNAL"), "{victim_row}");
+        let leak_row = stdout.lines().find(|l| l.contains("b.p4")).expect("leak row");
+        assert!(leak_row.contains("REJECT") && !leak_row.contains("E-INTERNAL"), "{leak_row}");
+        assert!(stdout.contains("3 program(s): 1 accepted, 2 rejected"), "{stdout}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("\"schema\": \"p4bid-stats/3\""), "{stderr}");
+        assert!(stderr.contains("\"panics\": 1"), "{stderr}");
+        outputs.push(stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "jobs 1 vs 2");
+    assert_eq!(outputs[0], outputs[2], "jobs 1 vs 8");
+
+    // Control: without the fault plan the victim is a perfectly fine
+    // program, and nothing is internal-errored.
+    let clean = p4bid().arg("batch").arg(&dir).output().expect("batch runs");
+    assert_eq!(clean.status.code(), Some(1), "the leak still rejects");
+    let stdout = String::from_utf8_lossy(&clean.stdout);
+    assert!(!stdout.contains("E-INTERNAL"), "{stdout}");
+    assert!(stdout.contains("3 program(s): 2 accepted, 1 rejected"), "{stdout}");
+
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// Injected slowness (`slow=100` at 250 ms) against a 25 ms wall-clock
+/// budget trips the `E-TIMEOUT` guard on every program — the resource
+/// guard path, exercised deterministically.
+#[test]
+fn injected_slowness_trips_the_wall_clock_guard() {
+    let dir = corpus_dir("slow");
+    let out = batch_with_faults(
+        &dir,
+        "9:slow=100,slow-ms=250",
+        &["--jobs", "2", "--check-timeout-ms", "25", "--stats-json"],
+    );
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("E-TIMEOUT"), "{stdout}");
+    assert!(stdout.contains("3 program(s): 0 accepted, 3 rejected"), "{stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"timeouts\": 3"), "{stderr}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A panicking body is never answered from the verdict cache: across two
+/// identical epochs the steady program hits the cache once, while the
+/// victim misses both times and panics both times.
+#[test]
+fn panicking_bodies_are_never_cached() {
+    let epoch = format!(
+        "{{\"id\": \"victim\", \"source\": \"{}\"}}\n{{\"id\": \"steady\", \"source\": \"{}\"}}\n",
+        VICTIM.replace('"', "\\\""),
+        OK.replace('"', "\\\""),
+    );
+    let feed = format!("{epoch}\n{epoch}");
+    let mut child = p4bid()
+        .args(["serve", "--jobs", "2", "--cache-cap", "64", "--stats-json"])
+        .env("P4BID_FAULTS", PANIC_FAULTS)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    child.stdin.take().expect("stdin piped").write_all(feed.as_bytes()).expect("feed written");
+    let out = child.wait_with_output().expect("serve exits");
+
+    assert_eq!(out.status.code(), Some(1), "E-INTERNAL verdicts reject");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+    let internal_rows = stdout.lines().filter(|l| l.contains("E-INTERNAL")).count();
+    assert_eq!(internal_rows, 2, "the victim re-panics in epoch 2: {stdout}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("\"panics\": 2"), "{stderr}");
+    // Epoch 2: `steady` is a cache hit, `victim` a miss again — its
+    // transient verdict was refused at insert.
+    assert!(stderr.contains("\"cache_hits\": 1"), "{stderr}");
+    assert!(stderr.contains("\"cache_misses\": 3"), "{stderr}");
+}
+
+/// Waits for `child` to exit, killing it after `limit` so a wedged daemon
+/// fails the test instead of hanging the suite.
+fn wait_with_deadline(mut child: Child, limit: Duration) -> Output {
+    let start = Instant::now();
+    loop {
+        match child.try_wait().expect("poll child") {
+            Some(_) => return child.wait_with_output().expect("collect output"),
+            None if start.elapsed() > limit => {
+                let _ = child.kill();
+                let out = child.wait_with_output().expect("collect output");
+                panic!(
+                    "daemon did not exit within {limit:?}; stderr so far: {}",
+                    String::from_utf8_lossy(&out.stderr)
+                );
+            }
+            None => std::thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+/// Incremental reader over a child's stderr, for gating on daemon log
+/// lines (same idiom as the serve e2e suite).
+#[cfg(unix)]
+struct Tail {
+    seen: Arc<Mutex<Vec<u8>>>,
+}
+
+#[cfg(unix)]
+impl Tail {
+    fn new(mut from: impl std::io::Read + Send + 'static) -> Self {
+        let seen = Arc::new(Mutex::new(Vec::<u8>::new()));
+        let sink = Arc::clone(&seen);
+        std::thread::spawn(move || {
+            let mut buf = [0u8; 4096];
+            loop {
+                match from.read(&mut buf) {
+                    Ok(0) | Err(_) => break,
+                    Ok(n) => sink.lock().expect("tail lock").extend_from_slice(&buf[..n]),
+                }
+            }
+        });
+        Tail { seen }
+    }
+
+    fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.seen.lock().expect("tail lock")).into_owned()
+    }
+
+    fn wait_for(&self, needle: &str) {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        while !self.contents().contains(needle) {
+            assert!(
+                Instant::now() < deadline,
+                "never saw {needle:?} in stderr:\n{}",
+                self.contents()
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+}
+
+#[cfg(unix)]
+fn connect_retry(socket: &std::path::Path) -> std::os::unix::net::UnixStream {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        match std::os::unix::net::UnixStream::connect(socket) {
+            Ok(s) => return s,
+            Err(_) => {
+                assert!(Instant::now() < deadline, "socket never came up");
+                std::thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+/// An injected `EIO` on a socket connection (seed 2 fires for connection
+/// id 0 only) is absorbed: the error is logged and counted, and a second
+/// connection's work completes normally.
+#[cfg(unix)]
+#[test]
+fn injected_socket_eio_poisons_one_connection_not_the_daemon() {
+    let dir = scratch_dir("sock-eio");
+    let socket = dir.join("p4bid.sock");
+    let mut child = p4bid()
+        .args(["serve", "--socket", socket.to_str().unwrap(), "--max-epochs", "1", "--stats-json"])
+        .env("P4BID_FAULTS", "2:sock-eio=50")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stderr = Tail::new(child.stderr.take().expect("stderr piped"));
+
+    let doomed = connect_retry(&socket);
+    stderr.wait_for("connection 0 error: injected fault: EIO reading socket");
+    drop(doomed);
+
+    let mut ok = connect_retry(&socket);
+    stderr.wait_for("connection 1: accepted");
+    ok.write_all(
+        format!("{{\"id\": \"survivor\", \"source\": \"{}\"}}\n", OK.replace('"', "\\\""))
+            .as_bytes(),
+    )
+    .expect("request written");
+    drop(ok); // close flushes the epoch; --max-epochs 1 ends the daemon
+
+    let out = wait_with_deadline(child, Duration::from_secs(30));
+    assert_eq!(out.status.code(), Some(0), "{}", stderr.contents());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("survivor"));
+    let log = stderr.contents();
+    assert!(log.contains("\"conn_errors\": 1"), "{log}");
+    assert!(log.contains("\"connections\": 2"), "{log}");
+    let _ = std::fs::remove_dir_all(dir);
+}
+
+/// SIGTERM on a busy socket daemon drains instead of drops: the pending
+/// request (submitted on a connection that never closes) is still checked
+/// and reported, the final stats document flushes with `drained` counted,
+/// the socket file is unlinked, and the exit code is the ordinary verdict
+/// code — not a signal death.
+#[cfg(unix)]
+#[test]
+fn sigterm_drains_pending_work_and_unlinks_the_socket() {
+    let dir = scratch_dir("drain");
+    let socket = dir.join("p4bid.sock");
+    let mut child = p4bid()
+        .args(["serve", "--socket", socket.to_str().unwrap(), "--jobs", "2", "--stats-json"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("serve spawns");
+    let stderr = Tail::new(child.stderr.take().expect("stderr piped"));
+
+    let mut pending = connect_retry(&socket);
+    stderr.wait_for("connection 0: accepted");
+    pending
+        .write_all(
+            format!("{{\"id\": \"pending\", \"source\": \"{}\"}}\n", OK.replace('"', "\\\""))
+                .as_bytes(),
+        )
+        .expect("request written");
+    // The connection stays open: no epoch cut is coming. Give the
+    // connection thread time to enqueue the line, then ask for shutdown.
+    std::thread::sleep(Duration::from_millis(500));
+    let kill =
+        Command::new("kill").args(["-TERM", &child.id().to_string()]).status().expect("kill runs");
+    assert!(kill.success(), "SIGTERM delivered");
+
+    let out = wait_with_deadline(child, Duration::from_secs(30));
+    drop(pending);
+    assert_eq!(out.status.code(), Some(0), "clean verdict exit, not a signal death");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("pending") && stdout.contains("accept"), "{stdout}");
+    let log = stderr.contents();
+    assert!(log.contains("\"schema\": \"p4bid-stats/3\""), "final stats flushed: {log}");
+    assert!(log.contains("\"drained\": 1"), "{log}");
+    assert!(!socket.exists(), "socket file must be unlinked on drain");
+    let _ = std::fs::remove_dir_all(dir);
+}

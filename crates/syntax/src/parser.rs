@@ -51,9 +51,17 @@ pub fn parse(source: &str) -> Result<Program, ParseError> {
 ///
 /// Returns a [`ParseError`] on syntax errors.
 pub fn parse_tokens(source: &str, tokens: &[Token]) -> Result<Program, ParseError> {
-    let mut p = Parser { tokens, pos: 0, source };
+    let mut p = Parser { tokens, pos: 0, source, depth: 0 };
     p.program()
 }
+
+/// Maximum nesting depth of statements and expressions. The parser is
+/// recursive-descent, so without a cap a pathological input like ten
+/// thousand `(`s or `if(c)`s overflows the thread stack — an abort no
+/// `catch_unwind` isolation can contain. Real P4 programs nest a handful
+/// of levels; 200 is far above anything legitimate and far below what
+/// would threaten the default 8 MiB stack.
+const MAX_DEPTH: u32 = 200;
 
 struct Parser<'s> {
     /// The (possibly borrowed, pre-lexed) token stream.
@@ -62,6 +70,10 @@ struct Parser<'s> {
     /// The source text; identifier tokens carry no payload, their names
     /// are sliced out of here by span.
     source: &'s str,
+    /// Current statement/expression nesting depth, guarded against
+    /// [`MAX_DEPTH`] in [`Parser::stmt`] and [`Parser::unary`] (every
+    /// recursion path passes through one of the two).
+    depth: u32,
 }
 
 impl Parser<'_> {
@@ -167,6 +179,21 @@ impl Parser<'_> {
             format!("expected {expected}, found {}", self.describe_current()),
             self.span(),
         )
+    }
+
+    /// Enters one nesting level; the matching `self.depth -= 1` lives in
+    /// the two wrapper methods ([`Parser::stmt`], [`Parser::unary`]). On
+    /// an `Err` the whole parse is abandoned, so the counter need not
+    /// unwind precisely there.
+    fn enter(&mut self) -> Result<(), ParseError> {
+        if self.depth >= MAX_DEPTH {
+            return Err(ParseError::new(
+                format!("nesting too deep (more than {MAX_DEPTH} levels)"),
+                self.span(),
+            ));
+        }
+        self.depth += 1;
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -509,6 +536,13 @@ impl Parser<'_> {
     }
 
     fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.enter()?;
+        let r = self.stmt_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn stmt_inner(&mut self) -> Result<Stmt, ParseError> {
         let start = self.span();
         if self.at(&TokenKind::LBrace) {
             let stmts = self.braced_stmts()?;
@@ -622,6 +656,13 @@ impl Parser<'_> {
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
+        self.enter()?;
+        let r = self.unary_inner();
+        self.depth -= 1;
+        r
+    }
+
+    fn unary_inner(&mut self) -> Result<Expr, ParseError> {
         let start = self.span();
         let op = match self.peek() {
             TokenKind::Bang => Some(UnOp::Not),
@@ -920,6 +961,42 @@ mod tests {
     fn error_on_bare_expression_statement() {
         let err = parse("control C(inout bit<8> x) { apply { x; } }").unwrap_err();
         assert!(err.to_string().contains("call or an assignment"), "{err}");
+    }
+
+    #[test]
+    fn deep_nesting_is_an_error_not_a_stack_overflow() {
+        // Expressions: thousands of parens would previously recurse once
+        // per paren and blow the stack — an abort no worker isolation can
+        // catch. Now it is an ordinary parse error.
+        let deep_expr = format!(
+            "control C(inout bit<8> x) {{ apply {{ x = {}x{}; }} }}",
+            "(".repeat(10_000),
+            ")".repeat(10_000),
+        );
+        let err = parse(&deep_expr).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+
+        // Statements: the same for a tower of `if`s.
+        let deep_stmt = format!(
+            "control C(inout bool g) {{ apply {{ {} g = true; }} }}",
+            "if (g)".repeat(10_000),
+        );
+        let err = parse(&deep_stmt).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+
+        // Unary operator chains recurse through `unary` as well.
+        let deep_unary =
+            format!("control C(inout bit<8> x) {{ apply {{ x = {}x; }} }}", "~".repeat(10_000),);
+        let err = parse(&deep_unary).unwrap_err();
+        assert!(err.to_string().contains("nesting too deep"), "{err}");
+
+        // Reasonable nesting stays well inside the cap.
+        let fine = format!(
+            "control C(inout bit<8> x) {{ apply {{ x = {}x{}; }} }}",
+            "(".repeat(50),
+            ")".repeat(50),
+        );
+        parse_ok(&fine);
     }
 
     #[test]

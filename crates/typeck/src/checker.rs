@@ -77,6 +77,16 @@ pub struct CheckOptions {
     /// declassification is an escape hatch a policy must grant
     /// explicitly, e.g. via a `p4bid.policy` rule).
     pub allow_declassify: bool,
+    /// Largest program source, in bytes, the checker will accept. Larger
+    /// inputs are rejected with a single [`DiagCode::Oversized`]
+    /// diagnostic before the lexer ever sees them. `0` (the default)
+    /// disables the guard.
+    pub max_source_bytes: u64,
+    /// Per-program wall-clock budget, in milliseconds. When it expires
+    /// mid-check the checker stops early with a single
+    /// [`DiagCode::Timeout`] diagnostic instead of hanging its worker.
+    /// `0` (the default) disables the guard.
+    pub check_timeout_ms: u64,
 }
 
 impl Default for CheckOptions {
@@ -87,6 +97,8 @@ impl Default for CheckOptions {
             pc: None,
             record_lineage: true,
             allow_declassify: false,
+            max_source_bytes: 0,
+            check_timeout_ms: 0,
         }
     }
 }
@@ -137,6 +149,31 @@ impl CheckOptions {
     pub fn with_declassify(mut self, allow: bool) -> Self {
         self.allow_declassify = allow;
         self
+    }
+
+    /// Caps accepted source size in bytes (`0` = unlimited),
+    /// builder-style.
+    #[must_use]
+    pub fn with_max_source_bytes(mut self, bytes: u64) -> Self {
+        self.max_source_bytes = bytes;
+        self
+    }
+
+    /// Sets the per-program wall-clock budget in milliseconds (`0` = no
+    /// deadline), builder-style.
+    #[must_use]
+    pub fn with_check_timeout_ms(mut self, ms: u64) -> Self {
+        self.check_timeout_ms = ms;
+        self
+    }
+
+    /// The deadline implied by [`CheckOptions::check_timeout_ms`] for a
+    /// check starting now, if the guard is enabled.
+    #[must_use]
+    pub fn deadline_from_now(&self) -> Option<std::time::Instant> {
+        (self.check_timeout_ms > 0).then(|| {
+            std::time::Instant::now() + std::time::Duration::from_millis(self.check_timeout_ms)
+        })
     }
 }
 
@@ -251,9 +288,18 @@ pub fn check_program(
     let lattice = resolve_lattice(&program, opts)?;
     let default_pc = resolve_default_pc(&lattice, opts)?;
     let ctx = TyCtx::shared();
+    let deadline = opts.deadline_from_now();
     let (controls, state, lineage) = {
         let mut c = ctx.borrow_mut();
-        check_items(&program.items, &lattice, opts, default_pc, &mut c, CheckerState::empty())?
+        check_items(
+            &program.items,
+            &lattice,
+            opts,
+            default_pc,
+            &mut c,
+            CheckerState::empty(),
+            deadline,
+        )?
     };
     Ok(TypedProgram { lattice, defs: state.defs, controls, program, ctx, lineage })
 }
@@ -333,6 +379,7 @@ pub(crate) fn check_items<'a>(
     default_pc: Label,
     ctx: &'a mut TyCtx,
     state: CheckerState,
+    deadline: Option<std::time::Instant>,
 ) -> Result<(Vec<TypedControl>, CheckerState, LineageGraph), Vec<Diagnostic>> {
     let TyCtx { syms, types } = ctx;
     let labels = LabelTable::new(lattice, syms);
@@ -355,10 +402,15 @@ pub(crate) fn check_items<'a>(
         sig_tables: Vec::new(),
         pc_bounds: None,
         return_ty: None,
+        deadline,
+        timed_out: false,
     };
 
     let mut controls = Vec::new();
     for item in items {
+        if checker.deadline_expired() {
+            break;
+        }
         match item {
             Item::Lattice(_) => {}
             Item::Type(t) => checker.type_decl(t),
@@ -409,19 +461,7 @@ struct GuardCtx<'a> {
 // worst mis-pick one hop of an explanation path, never change a verdict.
 // ----------------------------------------------------------------------
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
-const FNV_PRIME: u64 = 0x0100_0000_01b3;
-
-fn fnv_byte(h: u64, b: u8) -> u64 {
-    (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
-}
-
-fn fnv_bytes(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h = fnv_byte(h, b);
-    }
-    h
-}
+use p4bid_ast::fnv::{byte as fnv_byte, bytes as fnv_bytes, OFFSET as FNV_OFFSET};
 
 /// Folds an expression's structure (not its spans) into `h`: two
 /// occurrences of the same written expression hash equal.
@@ -649,11 +689,38 @@ struct Checker<'a> {
     pc_bounds: Option<Vec<Label>>,
     /// `Γ(return)` inside a function body.
     return_ty: Option<SecTy>,
+    /// Wall-clock budget for this check run (`--check-timeout-ms`);
+    /// polled per item and per statement. `None` when the guard is off.
+    deadline: Option<std::time::Instant>,
+    /// Set once the deadline expires: a single `E-TIMEOUT` diagnostic is
+    /// emitted and the rest of the run is skipped.
+    timed_out: bool,
 }
 
 impl<'a> Checker<'a> {
     fn error(&mut self, code: DiagCode, message: impl Into<String>, span: Span) {
         self.diags.push(Diagnostic::new(code, message, span));
+    }
+
+    /// Polls the wall-clock budget. On first expiry, emits the one
+    /// `E-TIMEOUT` diagnostic; afterwards the item and statement loops
+    /// bail out early. Free when no deadline is set.
+    fn deadline_expired(&mut self) -> bool {
+        if self.timed_out {
+            return true;
+        }
+        match self.deadline {
+            Some(d) if std::time::Instant::now() >= d => {
+                self.timed_out = true;
+                self.diags.push(Diagnostic::new(
+                    DiagCode::Timeout,
+                    "check aborted: wall-clock budget exceeded",
+                    Span::dummy(),
+                ));
+                true
+            }
+            _ => false,
+        }
     }
 
     fn name(&self, l: Label) -> &str {
@@ -1259,6 +1326,9 @@ impl<'a> Checker<'a> {
     // ------------------------------------------------------------------
 
     fn stmt(&mut self, s: &'a Stmt, pc: Label) {
+        if self.deadline_expired() {
+            return;
+        }
         match &s.kind {
             StmtKind::Call(e) => {
                 let ExprKind::Call(callee, args) = &e.kind else {

@@ -48,6 +48,17 @@ pub enum DiagCode {
     /// Malformed program structure (e.g. no control block).
     Malformed,
 
+    // --- failure-domain diagnostics ----------------------------------------
+    /// The checker itself failed on this program (a caught panic in an
+    /// isolated worker). Never cached; the program counts as rejected.
+    InternalError,
+    /// The per-program wall-clock budget (`--check-timeout-ms`) expired
+    /// before checking finished. Never cached.
+    Timeout,
+    /// The program source exceeds the configured `--max-source-bytes`
+    /// cap and was rejected without being parsed.
+    Oversized,
+
     // --- security (IFC) errors --------------------------------------------
     /// Reference to a label that is not in the active lattice.
     UnknownLabel,
@@ -96,6 +107,15 @@ impl DiagCode {
         )
     }
 
+    /// Whether the code describes a *transient* checking failure — a
+    /// caught worker panic or an expired wall-clock budget — whose
+    /// verdict must never be cached or replayed: a retry of the same
+    /// body may legitimately produce a different outcome.
+    #[must_use]
+    pub fn is_transient(self) -> bool {
+        matches!(self, DiagCode::InternalError | DiagCode::Timeout)
+    }
+
     /// Short stable identifier, e.g. `E-EXPLICIT-FLOW`.
     #[must_use]
     pub fn ident(self) -> &'static str {
@@ -115,6 +135,9 @@ impl DiagCode {
             DiagCode::MissingReturn => "E-MISSING-RETURN",
             DiagCode::InvalidOperands => "E-INVALID-OPERANDS",
             DiagCode::Malformed => "E-MALFORMED",
+            DiagCode::InternalError => "E-INTERNAL",
+            DiagCode::Timeout => "E-TIMEOUT",
+            DiagCode::Oversized => "E-OVERSIZED",
             DiagCode::UnknownLabel => "E-UNKNOWN-LABEL",
             DiagCode::ExplicitFlow => "E-EXPLICIT-FLOW",
             DiagCode::ImplicitFlow => "E-IMPLICIT-FLOW",
@@ -223,6 +246,23 @@ mod tests {
         assert_eq!(DiagCode::ImplicitFlow.ident(), "E-IMPLICIT-FLOW");
         assert_eq!(DiagCode::TableApplyPcViolation.ident(), "E-TABLE-APPLY-PC");
         assert_eq!(DiagCode::DeclassifyForbidden.ident(), "E-DECLASSIFY-FORBIDDEN");
+        assert_eq!(DiagCode::InternalError.ident(), "E-INTERNAL");
+        assert_eq!(DiagCode::Timeout.ident(), "E-TIMEOUT");
+        assert_eq!(DiagCode::Oversized.ident(), "E-OVERSIZED");
+    }
+
+    #[test]
+    fn transient_failures_are_classified() {
+        // Transient verdicts must never be cached; a deterministic
+        // oversized reject may be.
+        assert!(DiagCode::InternalError.is_transient());
+        assert!(DiagCode::Timeout.is_transient());
+        assert!(!DiagCode::Oversized.is_transient());
+        assert!(!DiagCode::ExplicitFlow.is_transient());
+        // None of the failure-domain codes is a security violation.
+        assert!(!DiagCode::InternalError.is_security());
+        assert!(!DiagCode::Timeout.is_security());
+        assert!(!DiagCode::Oversized.is_security());
     }
 
     #[test]

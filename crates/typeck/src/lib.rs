@@ -152,13 +152,32 @@ fn prelude_items() -> Program {
     (*prelude_arc()).clone()
 }
 
+/// The `--max-source-bytes` guard: the single [`DiagCode::Oversized`]
+/// diagnostic for a source that exceeds the cap, or `None` when it fits
+/// (or the guard is off). Checked before the lexer ever sees the input.
+pub(crate) fn oversized_diag(source: &str, opts: &CheckOptions) -> Option<Diagnostic> {
+    let cap = opts.max_source_bytes;
+    (cap > 0 && source.len() as u64 > cap).then(|| {
+        Diagnostic::new(
+            DiagCode::Oversized,
+            format!("program source is {} bytes, over the {cap}-byte cap", source.len()),
+            p4bid_ast::span::Span::dummy(),
+        )
+    })
+}
+
 /// Parses and typechecks a source program, with the [`PRELUDE`] available.
 ///
 /// # Errors
 ///
 /// Returns parser errors (as a single [`Diagnostic`] with code
-/// [`DiagCode::Malformed`]) or the full list of type/flow errors.
+/// [`DiagCode::Malformed`]), a single [`DiagCode::Oversized`] diagnostic
+/// when the source exceeds `opts.max_source_bytes`, or the full list of
+/// type/flow errors.
 pub fn check_source(source: &str, opts: &CheckOptions) -> Result<TypedProgram, Vec<Diagnostic>> {
+    if let Some(d) = oversized_diag(source, opts) {
+        return Err(vec![d]);
+    }
     let user = p4bid_syntax::parse(source).map_err(|e| {
         vec![Diagnostic::new(DiagCode::Malformed, e.message().to_string(), e.span())]
     })?;
@@ -192,5 +211,35 @@ mod tests {
         let errs = check_source("control {", &CheckOptions::ifc()).unwrap_err();
         assert_eq!(errs.len(), 1);
         assert_eq!(errs[0].code, DiagCode::Malformed);
+    }
+
+    #[test]
+    fn oversized_sources_are_rejected_before_parsing() {
+        let src = "control C(inout bit<8> x) { apply { } }";
+        let tight = CheckOptions::ifc().with_max_source_bytes(8);
+        let errs = check_source(src, &tight).unwrap_err();
+        assert_eq!(errs.len(), 1);
+        assert_eq!(errs[0].code, DiagCode::Oversized);
+        // The cap is exclusive: a source exactly at the cap still checks.
+        let exact = CheckOptions::ifc().with_max_source_bytes(src.len() as u64);
+        assert!(check_source(src, &exact).is_ok());
+        // 0 disables the guard.
+        assert!(check_source(src, &CheckOptions::ifc()).is_ok());
+        // Even unparseable garbage is rejected as oversized, not malformed.
+        let errs = check_source("control {{{{ not p4", &tight).unwrap_err();
+        assert_eq!(errs[0].code, DiagCode::Oversized);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_timeout_diagnostic() {
+        // `check_timeout_ms: 0` disables the guard, so arm an explicit
+        // deadline in the past to hit the expiry path deterministically.
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        session.set_deadline(Some(std::time::Instant::now() - std::time::Duration::from_millis(1)));
+        let errs =
+            session.check("control C(inout bit<8> x) { apply { x = x + 8w1; } }").unwrap_err();
+        assert!(errs.iter().any(|d| d.code == DiagCode::Timeout), "{errs:?}");
+        // The deadline was consumed: the next check runs unguarded.
+        assert!(session.check("control C(inout bit<8> x) { apply { x = x + 8w1; } }").is_ok());
     }
 }

@@ -74,6 +74,11 @@ pub struct CheckerSession {
     /// by `TyId` in the per-lattice snapshots. For shared-core sessions
     /// this is an overlay over the core's frozen segment.
     ctx: SharedTyCtx,
+    /// A one-shot deadline for the *next* check (see
+    /// [`set_deadline`](CheckerSession::set_deadline)); consumed by that
+    /// check. When absent, each check derives its own deadline from
+    /// `opts.check_timeout_ms`.
+    deadline: Option<std::time::Instant>,
     /// The prelude, parsed once per process and shared by handle.
     prelude: Arc<Program>,
     /// Checked-prelude snapshots, keyed by the lattice they were checked
@@ -88,13 +93,30 @@ impl CheckerSession {
     /// Builds a cold (root-tier) session.
     #[must_use]
     pub fn new(opts: CheckOptions) -> Self {
-        CheckerSession { opts, ctx: TyCtx::shared(), prelude: prelude_arc(), states: Vec::new() }
+        CheckerSession {
+            opts,
+            ctx: TyCtx::shared(),
+            prelude: prelude_arc(),
+            states: Vec::new(),
+            deadline: None,
+        }
     }
 
     /// The options this session checks under.
     #[must_use]
     pub fn options(&self) -> &CheckOptions {
         &self.opts
+    }
+
+    /// Arms an explicit wall-clock deadline for the *next* check (it is
+    /// consumed by that check). Drivers that do per-program work *before*
+    /// calling [`check`](CheckerSession::check) — e.g. the batch workers,
+    /// which may sleep under fault injection — use this so the budget
+    /// covers the whole program, not just the checking half. When no
+    /// explicit deadline is armed, each check derives one from
+    /// `opts.check_timeout_ms` on entry.
+    pub fn set_deadline(&mut self, deadline: Option<std::time::Instant>) {
+        self.deadline = deadline;
     }
 
     /// The default lattice of this session's options: the override if one
@@ -173,11 +195,27 @@ impl CheckerSession {
     /// # Errors
     ///
     /// Returns parser errors (as a single [`DiagCode::Malformed`]
-    /// diagnostic) or the full list of type/flow errors.
+    /// diagnostic), a single [`DiagCode::Oversized`] diagnostic when the
+    /// source exceeds `opts.max_source_bytes`, or the full list of
+    /// type/flow errors.
     pub fn check(&mut self, source: &str) -> Result<TypedProgram, Vec<Diagnostic>> {
-        let user = p4bid_syntax::parse(source).map_err(|e| {
-            vec![Diagnostic::new(DiagCode::Malformed, e.message().to_string(), e.span())]
-        })?;
+        if let Some(d) = crate::oversized_diag(source, &self.opts) {
+            self.deadline = None;
+            return Err(vec![d]);
+        }
+        let user = match p4bid_syntax::parse(source) {
+            Ok(user) => user,
+            Err(e) => {
+                // An armed deadline is per-check: don't leak it into the
+                // next program when this one dies in the parser.
+                self.deadline = None;
+                return Err(vec![Diagnostic::new(
+                    DiagCode::Malformed,
+                    e.message().to_string(),
+                    e.span(),
+                )]);
+            }
+        };
         self.check_parsed(user)
     }
 
@@ -187,13 +225,14 @@ impl CheckerSession {
     ///
     /// Returns the full list of type/flow errors.
     pub fn check_parsed(&mut self, user: Program) -> Result<TypedProgram, Vec<Diagnostic>> {
+        let deadline = self.deadline.take().or_else(|| self.opts.deadline_from_now());
         let lattice = resolve_lattice(&user, &self.opts)?;
         let default_pc = resolve_default_pc(&lattice, &self.opts)?;
         let state = CheckerState::clone(&*self.prelude_state(&lattice)?);
 
         let (controls, state, lineage) = {
             let mut ctx = self.ctx.borrow_mut();
-            check_items(&user.items, &lattice, &self.opts, default_pc, &mut ctx, state)?
+            check_items(&user.items, &lattice, &self.opts, default_pc, &mut ctx, state, deadline)?
         };
 
         // The interpreter needs the prelude definitions in the program
@@ -219,6 +258,8 @@ impl CheckerSession {
         PRELUDE_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         let (_, state, _) = {
             let mut ctx = self.ctx.borrow_mut();
+            // The prelude is trusted input and its snapshot is shared by
+            // every later program — it never runs under a deadline.
             check_items(
                 &self.prelude.items,
                 lattice,
@@ -226,6 +267,7 @@ impl CheckerSession {
                 default_pc,
                 &mut ctx,
                 CheckerState::empty(),
+                None,
             )
             .map_err(|diags| {
                 // Unreachable for the shipped prelude (it is unannotated and
@@ -292,6 +334,7 @@ impl SharedSessionCore {
             ctx: TyCtx::shared_with_base(&self.ctx),
             prelude: self.prelude.clone(),
             states: self.states.clone(),
+            deadline: None,
         }
     }
 

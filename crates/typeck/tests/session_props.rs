@@ -1,0 +1,103 @@
+//! Property-based totality tests for the full checking pipeline: a
+//! [`CheckerSession::check`] call must never panic, whatever the input —
+//! arbitrary bytes, token soup, or near-miss programs — and must answer
+//! the same input the same way every time. The batch/serve workers wrap
+//! each check in `catch_unwind` as a last line of defense, but that
+//! containment turns a panic into a rejected program; these properties
+//! keep the panics from existing in the first place.
+
+use p4bid_typeck::{CheckOptions, CheckerSession};
+use proptest::prelude::*;
+
+/// Fragments that steer the soup deep into the checker: declarations,
+/// security annotations, tables, declassify, and the operators the
+/// type rules branch on.
+const FRAGMENTS: [&str; 24] = [
+    "control",
+    "C",
+    "(",
+    ")",
+    "{",
+    "}",
+    "inout",
+    "bit<8>",
+    "x",
+    ";",
+    "apply",
+    "=",
+    "if",
+    "else",
+    "8w3",
+    "table",
+    "key",
+    "actions",
+    "<bit<8>, high>",
+    "exit",
+    "declassify",
+    "+",
+    "~",
+    "low",
+];
+
+proptest! {
+    /// The whole pipeline — oversized guard, parse, resolve, typecheck —
+    /// is total on arbitrary input, under every mode.
+    #[test]
+    fn session_check_is_total(input in ".{0,200}") {
+        for opts in [CheckOptions::ifc(), CheckOptions::base(), CheckOptions::permissive()] {
+            let mut session = CheckerSession::new(opts);
+            let _ = session.check(&input);
+        }
+    }
+
+    /// Token-soup from valid fragments gets much deeper into the type
+    /// rules than raw bytes; the session must survive it, and one session
+    /// must survive a whole stream of such programs (state from a failed
+    /// check must not poison the next one).
+    #[test]
+    fn session_survives_fragment_soup_streams(
+        programs in proptest::collection::vec(
+            proptest::collection::vec(0usize..24, 0..40),
+            1..4,
+        )
+    ) {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        for pieces in &programs {
+            let soup: String =
+                pieces.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+            let _ = session.check(&soup);
+        }
+    }
+
+    /// Checking is deterministic: the same source answers identically on
+    /// a fresh session and on a reused one, diagnostics included — the
+    /// property the batch report's byte-identical contract rests on.
+    #[test]
+    fn session_check_is_deterministic(
+        pieces in proptest::collection::vec(0usize..24, 0..40)
+    ) {
+        let soup: String = pieces.iter().map(|&i| FRAGMENTS[i]).collect::<Vec<_>>().join(" ");
+        let mut fresh_a = CheckerSession::new(CheckOptions::ifc());
+        let mut fresh_b = CheckerSession::new(CheckOptions::ifc());
+        let a = fresh_a.check(&soup).map(|_| ()).map_err(|d| format!("{d:?}"));
+        let b = fresh_b.check(&soup).map(|_| ()).map_err(|d| format!("{d:?}"));
+        prop_assert_eq!(&a, &b, "fresh sessions agree");
+        let again = fresh_a.check(&soup).map(|_| ()).map_err(|d| format!("{d:?}"));
+        prop_assert_eq!(&a, &again, "a reused session agrees with itself");
+    }
+
+    /// The resource guards stay total too: a byte cap and an (unexpired)
+    /// deadline never panic, and the cap rejects exactly the inputs
+    /// longer than it.
+    #[test]
+    fn guarded_sessions_are_total(input in ".{0,200}", cap in 1u64..64) {
+        let opts = CheckOptions::ifc().with_max_source_bytes(cap).with_check_timeout_ms(10_000);
+        let mut session = CheckerSession::new(opts);
+        let result = session.check(&input);
+        if input.len() as u64 > cap {
+            let diags = result.expect_err("over the cap");
+            prop_assert_eq!(diags.len(), 1);
+            prop_assert_eq!(diags[0].code, p4bid_typeck::DiagCode::Oversized);
+        }
+    }
+}
