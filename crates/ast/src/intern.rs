@@ -128,6 +128,28 @@ impl FrozenInterner {
     pub fn is_empty(&self) -> bool {
         self.strings.is_empty()
     }
+
+    /// Thaws the frozen segment back into a mutable *root-tier* interner
+    /// with every symbol preserved: the thawed interner resolves exactly
+    /// the ids this segment handed out, and new strings continue the dense
+    /// index sequence without a tier bit.
+    ///
+    /// This is the first half of a *refreeze* (see
+    /// [`FrozenTyCtx::refreeze`](crate::pool::FrozenTyCtx::refreeze)):
+    /// thaw, absorb per-worker overlay tables, freeze again into a fatter
+    /// root. Cheap — `Arc<str>` backing means the tables clone by
+    /// refcount, not by copying string bytes.
+    #[must_use]
+    pub fn thaw(&self) -> Interner {
+        Interner {
+            base: None,
+            base_len: 0,
+            strings: self.strings.clone(),
+            map: self.map.clone(),
+            frozen_hits: 0,
+            intern_calls: 0,
+        }
+    }
 }
 
 /// A string interner: deduplicates strings into dense [`Symbol`] ids.
@@ -268,6 +290,15 @@ impl Interner {
     pub fn frozen_hit_stats(&self) -> (u64, u64) {
         (self.frozen_hits, self.intern_calls)
     }
+
+    /// Decomposes an *overlay* interner into its overlay-tier strings in
+    /// append (id) order — the table a refreeze re-interns into the new
+    /// root. `None` for a root-tier interner (nothing to harvest: a root
+    /// tier has no base to merge back into).
+    #[must_use]
+    pub fn into_overlay_strings(self) -> Option<Vec<Arc<str>>> {
+        self.base.is_some().then_some(self.strings)
+    }
 }
 
 #[cfg(test)]
@@ -381,6 +412,40 @@ mod tests {
         let root = Interner::new();
         let overlay = Interner::with_base(Arc::new(root.freeze()));
         let _ = overlay.freeze();
+    }
+
+    #[test]
+    fn thaw_preserves_symbols_and_reopens_the_root_tier() {
+        let mut root = Interner::new();
+        let a = root.intern("a");
+        let b = root.intern("b");
+        let frozen = root.freeze();
+        let mut thawed = frozen.thaw();
+        assert_eq!(thawed.len(), 2);
+        assert_eq!(thawed.intern("a"), a, "thawed ids are the frozen ids");
+        assert_eq!(thawed.resolve(b), "b");
+        let c = thawed.intern("c");
+        assert!(!c.is_overlay(), "thawed interner is root tier");
+        assert_eq!(c.index(), 2, "new strings continue the dense sequence");
+        // And it can be frozen again.
+        let refrozen = thawed.freeze();
+        assert_eq!(refrozen.len(), 3);
+        assert_eq!(refrozen.lookup("c"), Some(c));
+    }
+
+    #[test]
+    fn into_overlay_strings_harvests_only_overlays() {
+        let mut root = Interner::new();
+        root.intern("shared");
+        assert!(root.clone().into_overlay_strings().is_none(), "root tier has no overlay");
+        let frozen = Arc::new(root.freeze());
+        let mut overlay = Interner::with_base(frozen);
+        overlay.intern("shared");
+        overlay.intern("x");
+        overlay.intern("y");
+        let strings = overlay.into_overlay_strings().unwrap();
+        let names: Vec<&str> = strings.iter().map(|s| &**s).collect();
+        assert_eq!(names, ["x", "y"], "append order, frozen hits excluded");
     }
 
     #[test]

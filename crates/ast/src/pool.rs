@@ -58,7 +58,7 @@
 //! ```
 
 use crate::intern::{FrozenInterner, Interner, Symbol};
-use crate::sectype::{FieldList, FnTy, SecTy, Ty, TyId, TIER_BIT};
+use crate::sectype::{FieldList, FnParam, FnTy, SecTy, Ty, TyId, TIER_BIT};
 use p4bid_lattice::{Label, Lattice};
 use std::cell::RefCell;
 use std::collections::HashMap;
@@ -105,6 +105,30 @@ impl FrozenPool {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+
+    /// Thaws the frozen segment back into a mutable *root-tier* pool with
+    /// every id preserved: the thawed pool resolves exactly the ids this
+    /// segment handed out, and new nodes continue the dense index sequence
+    /// without a tier bit. The hash-cons map, lattice registry, and push
+    /// memo all carry over. Cheap — compound nodes are `Arc`-backed, so
+    /// the tables clone by refcount.
+    ///
+    /// First half of a *refreeze* (see [`FrozenTyCtx::refreeze`]): thaw,
+    /// absorb per-worker overlay tables, freeze again into a fatter root.
+    #[must_use]
+    pub fn thaw(&self) -> TyPool {
+        TyPool {
+            base: None,
+            base_len: 0,
+            nodes: self.nodes.clone(),
+            map: self.map.clone(),
+            lattices: self.lattices.clone(),
+            push_cache: self.push_cache.clone(),
+            frozen_hits: 0,
+            intern_calls: 0,
+            push_hits: 0,
+        }
     }
 }
 
@@ -359,14 +383,7 @@ impl TyPool {
                         }
                     }
                 }
-                let local_ix = match lattice_ix(&self.lattices, lat) {
-                    Some(ix) => ix,
-                    None => {
-                        let ix = u32::try_from(self.lattices.len()).expect("lattice registry");
-                        self.lattices.push(lat.clone());
-                        ix
-                    }
-                };
+                let local_ix = register_lattice(&mut self.lattices, lat);
                 if let Some(&pushed) = self.push_cache.get(&(local_ix, ty.ty, label)) {
                     self.push_hits += 1;
                     return SecTy::new(pushed, ty.label);
@@ -523,6 +540,182 @@ fn lattice_ix(lattices: &[Lattice], lat: &Lattice) -> Option<u32> {
     lattices.iter().position(|l| l == lat).map(|ix| ix as u32)
 }
 
+/// Index of `lat` in a push-memo lattice registry, registering it if new.
+fn register_lattice(lattices: &mut Vec<Lattice>, lat: &Lattice) -> u32 {
+    match lattice_ix(lattices, lat) {
+        Some(ix) => ix,
+        None => {
+            let ix = u32::try_from(lattices.len()).expect("lattice registry");
+            lattices.push(lat.clone());
+            ix
+        }
+    }
+}
+
+/// The harvested overlay tables of one worker's [`TyCtx`]: everything the
+/// worker interned *above* its frozen base, in append (id) order, plus the
+/// overlay push-memo. Produced by [`TyCtx::into_overlay`], consumed by
+/// [`FrozenTyCtx::refreeze`]. `Send`, so per-thread overlays can be
+/// collected on a driver thread after the workers return.
+#[derive(Debug)]
+pub struct CtxOverlay {
+    /// Overlay strings in symbol-index (append) order.
+    syms: Vec<Arc<str>>,
+    /// Overlay type nodes in id (append) order — children always precede
+    /// parents, because interning is bottom-up.
+    types: Vec<Ty>,
+    /// The overlay push-memo lattice registry.
+    lattices: Vec<Lattice>,
+    /// Overlay push-memo entries; the `u32` indexes `lattices`.
+    push_cache: Vec<((u32, TyId, Label), TyId)>,
+}
+
+impl CtxOverlay {
+    /// Whether the overlay interned nothing (a refreeze absorbs it as a
+    /// no-op and its [`IdRemap`] is the identity).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty() && self.types.is_empty() && self.push_cache.is_empty()
+    }
+
+    /// `(overlay strings, overlay type nodes)` harvested.
+    #[must_use]
+    pub fn sizes(&self) -> (usize, usize) {
+        (self.syms.len(), self.types.len())
+    }
+}
+
+/// A stable id translation table from one worker's overlay tier (over the
+/// *old* frozen generation) into the refrozen root produced by
+/// [`FrozenTyCtx::refreeze`].
+///
+/// Refreezing preserves every old frozen-tier id verbatim, so frozen ids
+/// map to themselves; overlay ids translate through the table by local
+/// position. A remap is only meaningful for handles produced by the one
+/// overlay it was built for — feeding it another overlay's handles returns
+/// garbage (or panics on out-of-range indices).
+#[derive(Debug, Clone)]
+pub struct IdRemap {
+    /// Old frozen interner length (overlay symbol indices start here).
+    base_syms: u32,
+    /// Old frozen pool length (overlay type indices start here).
+    base_types: u32,
+    /// Overlay symbol local position → new root-tier symbol.
+    syms: Vec<Symbol>,
+    /// Overlay type id local position → new root-tier id.
+    types: Vec<TyId>,
+}
+
+impl IdRemap {
+    /// Translates a symbol (frozen-tier symbols map to themselves).
+    #[must_use]
+    pub fn sym(&self, s: Symbol) -> Symbol {
+        if s.is_overlay() {
+            self.syms[s.index() - self.base_syms as usize]
+        } else {
+            s
+        }
+    }
+
+    /// Translates a dense symbol *index*, as used by `Vec`-backed side
+    /// tables indexed by [`Symbol::index`].
+    #[must_use]
+    pub fn sym_index(&self, ix: usize) -> usize {
+        if ix < self.base_syms as usize {
+            ix
+        } else {
+            self.syms[ix - self.base_syms as usize].index()
+        }
+    }
+
+    /// Translates a type id (frozen-tier ids map to themselves).
+    #[must_use]
+    pub fn ty(&self, t: TyId) -> TyId {
+        if t.is_overlay() {
+            self.types[t.index() - self.base_types as usize]
+        } else {
+            t
+        }
+    }
+
+    /// Translates a security type (the label is lattice-relative and
+    /// unaffected by refreezing).
+    #[must_use]
+    pub fn secty(&self, t: SecTy) -> SecTy {
+        SecTy { ty: self.ty(t.ty), label: t.label }
+    }
+
+    /// Translates a function/action type value (parameter names and all
+    /// embedded security types).
+    #[must_use]
+    pub fn fnty(&self, f: &FnTy) -> FnTy {
+        FnTy {
+            params: f
+                .params
+                .iter()
+                .map(|p| FnParam { name: self.sym(p.name), ty: self.secty(p.ty), ..*p })
+                .collect(),
+            pc_fn: f.pc_fn,
+            ret: self.secty(f.ret),
+            is_action: f.is_action,
+        }
+    }
+
+    /// Whether this remap translates nothing (the overlay was empty, so
+    /// every handle maps to itself).
+    #[must_use]
+    pub fn is_identity(&self) -> bool {
+        self.syms.is_empty() && self.types.is_empty()
+    }
+}
+
+/// Rebuilds an overlay node with its child handles translated: frozen-tier
+/// handles are kept, overlay handles resolve through the partial maps
+/// (complete for all children — append order puts children first).
+fn remap_node(
+    node: &Ty,
+    sym_map: &[Symbol],
+    ty_map: &[TyId],
+    base_syms: u32,
+    base_types: u32,
+) -> Ty {
+    let sym = |s: Symbol| {
+        if s.is_overlay() {
+            sym_map[s.index() - base_syms as usize]
+        } else {
+            s
+        }
+    };
+    let ty = |t: TyId| {
+        if t.is_overlay() {
+            ty_map[t.index() - base_types as usize]
+        } else {
+            t
+        }
+    };
+    let secty = |t: SecTy| SecTy { ty: ty(t.ty), label: t.label };
+    match node {
+        Ty::Bool | Ty::Int | Ty::Bit(_) | Ty::Unit | Ty::MatchKind | Ty::Table(_) => node.clone(),
+        Ty::Record(fs) => Ty::Record(Arc::new(FieldList::new(
+            fs.iter().map(|&(n, t)| (sym(n), secty(t))).collect(),
+        ))),
+        Ty::Header(fs) => Ty::Header(Arc::new(FieldList::new(
+            fs.iter().map(|&(n, t)| (sym(n), secty(t))).collect(),
+        ))),
+        Ty::Stack(elem, n) => Ty::Stack(secty(*elem), *n),
+        Ty::Function(ft) => Ty::Function(Arc::new(FnTy {
+            params: ft
+                .params
+                .iter()
+                .map(|p| FnParam { name: sym(p.name), ty: secty(p.ty), ..*p })
+                .collect(),
+            pc_fn: ft.pc_fn,
+            ret: secty(ft.ret),
+            is_action: ft.is_action,
+        })),
+    }
+}
+
 /// The shared naming/typing context: the string interner plus the type
 /// pool. One per checker session; handed to every [`TypedProgram`] the
 /// session produces (via [`SharedTyCtx`]) so the interpreter and the NI
@@ -591,6 +784,23 @@ impl TyCtx {
     pub fn shared_with_base(base: &Arc<FrozenTyCtx>) -> SharedTyCtx {
         Rc::new(RefCell::new(TyCtx::with_base(base)))
     }
+
+    /// Harvests the overlay tables of a context layered over a frozen
+    /// base, consuming it. `None` for a root-tier context (there is no
+    /// base to merge the tables back into).
+    #[must_use]
+    pub fn into_overlay(self) -> Option<CtxOverlay> {
+        let syms = self.syms.into_overlay_strings()?;
+        let TyPool { base, nodes, lattices, push_cache, .. } = self.types;
+        // `with_base` sets both tiers together; be defensive anyway.
+        base.as_ref()?;
+        Some(CtxOverlay {
+            syms,
+            types: nodes,
+            lattices,
+            push_cache: push_cache.into_iter().collect(),
+        })
+    }
 }
 
 /// The frozen tier of a [`TyCtx`]: an immutable interner segment plus an
@@ -602,6 +812,64 @@ pub struct FrozenTyCtx {
     pub syms: Arc<FrozenInterner>,
     /// The frozen pool segment.
     pub types: Arc<FrozenPool>,
+}
+
+impl FrozenTyCtx {
+    /// Merges harvested per-worker overlay tables into a fatter frozen
+    /// root: thaw both segments, re-intern each overlay's strings and type
+    /// nodes with child handles translated through the tables built so far
+    /// (append order guarantees children precede parents), import the
+    /// remapped push-memo entries, freeze again.
+    ///
+    /// Every id of the *old* frozen generation is preserved verbatim in
+    /// the new root — state snapshotted against the old generation in
+    /// frozen-pure form stays valid unchanged. Overlay ids translate
+    /// through the returned [`IdRemap`]s (one per overlay, same order);
+    /// entities duplicated across overlays dedup by hash-consing, so N
+    /// workers that each interned the same program-local types contribute
+    /// one copy.
+    ///
+    /// Every overlay must have been layered over *this* frozen generation;
+    /// handles from any other generation make the remap meaningless.
+    #[must_use]
+    pub fn refreeze(&self, overlays: &[CtxOverlay]) -> (FrozenTyCtx, Vec<IdRemap>) {
+        let base_syms = u32::try_from(self.syms.len()).expect("frozen interner fits u32");
+        let base_types = u32::try_from(self.types.len()).expect("frozen pool fits u32");
+        let mut syms = self.syms.thaw();
+        let mut types = self.types.thaw();
+        let mut remaps = Vec::with_capacity(overlays.len());
+        for ov in overlays {
+            let sym_map: Vec<Symbol> = ov.syms.iter().map(|s| syms.intern(s)).collect();
+            let mut ty_map: Vec<TyId> = Vec::with_capacity(ov.types.len());
+            for node in &ov.types {
+                let remapped = remap_node(node, &sym_map, &ty_map, base_syms, base_types);
+                ty_map.push(types.intern(remapped));
+            }
+            // Register the overlay's lattices first, in the overlay's own
+            // (deterministic) order, so the root registry order does not
+            // depend on memo-entry iteration order.
+            for lat in &ov.lattices {
+                let _ = register_lattice(&mut types.lattices, lat);
+            }
+            for &((lat_ix, ty, label), pushed) in &ov.push_cache {
+                let root_ix = register_lattice(&mut types.lattices, &ov.lattices[lat_ix as usize]);
+                let ty =
+                    if ty.is_overlay() { ty_map[ty.index() - base_types as usize] } else { ty };
+                let pushed = if pushed.is_overlay() {
+                    ty_map[pushed.index() - base_types as usize]
+                } else {
+                    pushed
+                };
+                // Push results are a pure function of (lattice, type,
+                // label), so colliding imports agree and insertion order
+                // cannot matter.
+                types.push_cache.insert((root_ix, ty, label), pushed);
+            }
+            remaps.push(IdRemap { base_syms, base_types, syms: sym_map, types: ty_map });
+        }
+        let ctx = FrozenTyCtx { syms: Arc::new(syms.freeze()), types: Arc::new(types.freeze()) };
+        (ctx, remaps)
+    }
 }
 
 /// A shareable, interiorly mutable [`TyCtx`].
@@ -617,6 +885,7 @@ pub type SharedTyCtx = Rc<RefCell<TyCtx>>;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::surface::Direction;
     use p4bid_lattice::Lattice;
 
     #[test]
@@ -873,6 +1142,175 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<FrozenPool>();
         assert_send_sync::<FrozenTyCtx>();
+        fn assert_send<T: Send>() {}
+        assert_send::<CtxOverlay>();
+        assert_send::<IdRemap>();
+    }
+
+    #[test]
+    fn pool_thaw_preserves_ids_and_reopens_the_root_tier() {
+        let lat = Lattice::two_point();
+        let mut syms = Interner::new();
+        let mut root = TyPool::new();
+        let f = syms.intern("f");
+        let bit8 = root.bit(8);
+        let rec = root.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        let frozen = root.freeze();
+        let mut thawed = frozen.thaw();
+        assert_eq!(thawed.len(), frozen.len());
+        assert_eq!(thawed.bit(8), bit8, "thawed ids are the frozen ids");
+        assert_eq!(thawed.record(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))])), rec);
+        let bit16 = thawed.bit(16);
+        assert!(!bit16.is_overlay(), "thawed pool is root tier");
+        assert_eq!(bit16.index(), frozen.len(), "new ids continue the dense sequence");
+        // And it freezes again.
+        let refrozen = thawed.freeze();
+        assert_eq!(refrozen.kind(bit16), &Ty::Bit(16));
+    }
+
+    #[test]
+    fn refreeze_merges_overlays_and_preserves_frozen_ids() {
+        let lat = Lattice::two_point();
+        let mut root = TyCtx::new();
+        let f = root.syms.intern("f");
+        let bit8 = root.types.bit(8);
+        let frozen = Arc::new(root.freeze());
+
+        // Two workers intern the same program-local name and type.
+        let mk = || {
+            let mut ctx = TyCtx::with_base(&frozen);
+            let g = ctx.syms.intern("g");
+            let hdr = ctx.types.header(FieldList::new(vec![(g, SecTy::new(bit8, lat.top()))]));
+            (ctx, g, hdr)
+        };
+        let (ctx_a, ga, ha) = mk();
+        let (ctx_b, gb, hb) = mk();
+        assert!(ga.is_overlay() && ha.is_overlay());
+
+        let overlays = vec![ctx_a.into_overlay().unwrap(), ctx_b.into_overlay().unwrap()];
+        assert_eq!(overlays[0].sizes(), (1, 1));
+        let (refrozen, remaps) = frozen.refreeze(&overlays);
+
+        // Old frozen ids are preserved verbatim.
+        assert_eq!(refrozen.syms.lookup("f"), Some(f));
+        assert_eq!(refrozen.types.kind(bit8), &Ty::Bit(8));
+        assert_eq!(remaps[0].sym(f), f, "frozen symbols map to themselves");
+        assert_eq!(remaps[0].ty(bit8), bit8, "frozen ids map to themselves");
+
+        // Overlay entities merged once, now root-tier.
+        let g_new = remaps[0].sym(ga);
+        let h_new = remaps[0].ty(ha);
+        assert!(!g_new.is_overlay() && !h_new.is_overlay());
+        assert_eq!(remaps[1].sym(gb), g_new, "cross-overlay symbol dedup");
+        assert_eq!(remaps[1].ty(hb), h_new, "cross-overlay type dedup");
+        assert_eq!(refrozen.syms.resolve(g_new), "g");
+        assert_eq!(refrozen.syms.len(), frozen.syms.len() + 1);
+        assert_eq!(refrozen.types.len(), frozen.types.len() + 1);
+        // The merged node's field is keyed by the *remapped* symbol.
+        let field = refrozen.types.kind(h_new).field(g_new).expect("field survived remap");
+        assert_eq!(field, SecTy::new(bit8, lat.top()));
+        // Dense-index translation for Vec-backed side tables.
+        assert_eq!(remaps[0].sym_index(f.index()), f.index());
+        assert_eq!(remaps[0].sym_index(ga.index()), g_new.index());
+
+        // A fresh overlay over the new root resolves the merged entities
+        // without allocating.
+        let mut worker = TyCtx::with_base(&Arc::new(refrozen));
+        assert_eq!(worker.syms.intern("g"), g_new);
+        assert_eq!(
+            worker.types.header(FieldList::new(vec![(g_new, SecTy::new(bit8, lat.top()))])),
+            h_new
+        );
+        assert_eq!(worker.types.tier_sizes().1, 0);
+    }
+
+    #[test]
+    fn refreeze_remaps_nested_children_and_function_types() {
+        let lat = Lattice::two_point();
+        let root = TyCtx::new();
+        let frozen = Arc::new(root.freeze());
+
+        let mut ctx = TyCtx::with_base(&frozen);
+        let x = ctx.syms.intern("x");
+        let bit16 = ctx.types.bit(16); // overlay child
+        let stack = ctx.types.stack(SecTy::bottom(bit16, &lat), 4); // overlay parent
+        let fnid = ctx.types.function(FnTy {
+            params: vec![FnParam {
+                name: x,
+                direction: Direction::In,
+                ty: SecTy::bottom(stack, &lat),
+                control_plane: false,
+            }],
+            pc_fn: lat.top(),
+            ret: SecTy::unit(&lat),
+            is_action: false,
+        });
+
+        let (refrozen, remaps) = frozen.refreeze(&[ctx.into_overlay().unwrap()]);
+        let r = &remaps[0];
+        let (bit16_n, stack_n, fn_n) = (r.ty(bit16), r.ty(stack), r.ty(fnid));
+        assert_eq!(refrozen.types.kind(bit16_n), &Ty::Bit(16));
+        assert_eq!(
+            refrozen.types.kind(stack_n),
+            &Ty::Stack(SecTy::bottom(bit16_n, &lat), 4),
+            "stack element remapped to the new child id"
+        );
+        match refrozen.types.kind(fn_n) {
+            Ty::Function(ft) => {
+                assert_eq!(ft.params[0].name, r.sym(x));
+                assert_eq!(ft.params[0].ty, SecTy::bottom(stack_n, &lat));
+                assert_eq!(ft.pc_fn, lat.top());
+            }
+            other => panic!("expected function, got {other:?}"),
+        }
+        // The value-level helper agrees with the node-level remap.
+        let ft = match refrozen.types.kind(fn_n) {
+            Ty::Function(ft) => Arc::clone(ft),
+            _ => unreachable!(),
+        };
+        assert_eq!(&r.fnty(&ft), &*ft, "already-remapped values are fixpoints");
+    }
+
+    #[test]
+    fn refreeze_imports_the_push_memo() {
+        let lat = Lattice::two_point();
+        let mut root = TyCtx::new();
+        let f = root.syms.intern("f");
+        let bit8 = root.types.bit(8);
+        let frozen = Arc::new(root.freeze());
+
+        let mut ctx = TyCtx::with_base(&frozen);
+        let hdr = ctx.types.header(FieldList::new(vec![(f, SecTy::bottom(bit8, &lat))]));
+        let t = SecTy::bottom(hdr, &lat);
+        let pushed = ctx.types.push_label(t, lat.top(), &lat);
+        assert!(hdr.is_overlay() && pushed.ty.is_overlay());
+
+        let (refrozen, remaps) = frozen.refreeze(&[ctx.into_overlay().unwrap()]);
+        let hdr_n = remaps[0].ty(hdr);
+        let pushed_n = remaps[0].ty(pushed.ty);
+
+        let mut worker = TyPool::with_base(Arc::clone(&refrozen.types));
+        let out = worker.push_label(SecTy::bottom(hdr_n, &lat), lat.top(), &lat);
+        assert_eq!(out.ty, pushed_n, "refrozen memo serves fresh overlays");
+        assert_eq!(worker.push_cache_hits(), 1);
+        assert_eq!(worker.tier_sizes().1, 0, "no overlay allocation at all");
+    }
+
+    #[test]
+    fn empty_overlay_refreezes_to_identity() {
+        let root = TyCtx::new();
+        let frozen = Arc::new(root.freeze());
+        assert!(root_ctx_overlay_is_none(), "root-tier contexts have nothing to harvest");
+        let ov = TyCtx::with_base(&frozen).into_overlay().unwrap();
+        assert!(ov.is_empty());
+        let (refrozen, remaps) = frozen.refreeze(&[ov]);
+        assert!(remaps[0].is_identity());
+        assert_eq!(refrozen.syms.len(), frozen.syms.len());
+        assert_eq!(refrozen.types.len(), frozen.types.len());
+    }
+
+    fn root_ctx_overlay_is_none() -> bool {
+        TyCtx::new().into_overlay().is_none()
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! request + check it through a warm overlay session + render the epoch
 //! report". This bench measures that floor for a single request (the
 //! interactive tail-latency case), a 64-program epoch (the scan-tick
-//! case), and the poll-based directory scanner's no-change tick (the idle
-//! cost of `p4bid watch`).
+//! case), the poll-based directory scanner's no-change tick (the idle
+//! cost of `p4bid watch`), and the incremental path: a 64-item program
+//! resubmitted after an edit to its final item only, answered off the
+//! warm prefix-snapshot tree (`edit_last_item`).
 //!
 //! Run with `cargo bench -p p4bid-bench --bench serve_latency`. Set
 //! `P4BID_BENCH_JSON=path` to also write a machine-readable summary (the
@@ -20,6 +22,61 @@ use p4bid::{CheckOptions, SharedSessionCore};
 use std::fmt::Write as _;
 
 const EPOCH: usize = 64;
+
+/// Top-level items in the incremental-recheck program: shared types plus
+/// one-statement controls, the shape `edit_last_item` mutates.
+const ITEMS: usize = 64;
+
+/// A program of [`ITEMS`] top-level items — a header, a struct, and 62
+/// controls of a dozen statements each — with `tweak` folded into the
+/// *final* control's body only. Editing the tail leaves a 63-item shared
+/// prefix, the case the snapshot tree turns into a one-item re-check;
+/// the bodies are big enough that type checking (per statement)
+/// dominates lexing (per byte), as in real programs.
+fn many_item_program(tweak: u32) -> String {
+    let body = |src: &mut String, field: &str, salt: u32| {
+        for j in 0..12 {
+            let _ = writeln!(src, "        h.f.{field} = (h.f.{field} + 32w{j}) ^ 32w{salt};");
+        }
+    };
+    let mut src = String::from(
+        "header it_t { <bit<32>, high> sec; <bit<32>, low> pub; }\nstruct ih { it_t f; }\n",
+    );
+    for i in 0..ITEMS - 3 {
+        let _ = writeln!(src, "control C{i}(inout ih h) {{\n    apply {{");
+        body(&mut src, "pub", i as u32);
+        src.push_str("    }\n}\n");
+    }
+    src.push_str("control Tail(inout ih h) {\n    apply {\n");
+    body(&mut src, "sec", tweak);
+    src.push_str("    }\n}\n");
+    src
+}
+
+/// Pre-built last-item edits of the 64-item program, cycled by the
+/// incremental benches so the timed loop measures the re-check, not
+/// 40 KB of string synthesis. Resumed checks never extend the snapshot
+/// tree, so revisiting a variant stays a 63-item resume + one-item
+/// re-check — a genuine edit — every time.
+fn edit_pool() -> Vec<p4bid::batch::BatchInput> {
+    (1..=32u32).map(|t| p4bid::batch::BatchInput::new("edit", many_item_program(t))).collect()
+}
+
+/// A core warmed for incremental re-checking: one cold check harvests the
+/// program's names into a refreeze (so they land in the frozen interner
+/// tier), and a second check — now tier-pure — populates the prefix
+/// snapshot tree. Exactly what `p4bid serve --refresh-every N` converges
+/// to in steady state.
+fn warm_snapshot_core() -> SharedSessionCore {
+    let core = SharedSessionCore::new(CheckOptions::ifc());
+    let mut session = core.session();
+    let _ = session.check(&many_item_program(0));
+    let harvest = session.into_harvest().expect("core sessions harvest");
+    let core = core.refreeze(vec![harvest]);
+    let mut session = core.session();
+    let _ = session.check(&many_item_program(0));
+    core
+}
 
 /// One inline request as the feed would carry it.
 fn request_line() -> String {
@@ -93,6 +150,23 @@ fn bench_serve_latency(c: &mut Criterion) {
         b.iter(|| engine.run_epoch(inputs).render_table());
     });
 
+    // Incremental re-check: a 64-item program answered off the warm
+    // snapshot tree after an edit to its final control only. Every
+    // iteration uses a fresh tweak so the request is a genuine edit (a
+    // 63-item prefix hit + one-item suffix re-check), never a full-depth
+    // replay of a prior verdict.
+    let warm = warm_snapshot_core();
+    let edits = edit_pool();
+    group.bench_function("edit_last_item", |b| {
+        let mut engine = ServeEngine::with_core(warm.clone(), 1);
+        let mut i = 0usize;
+        b.iter(|| {
+            i += 1;
+            let input = &edits[i % edits.len()];
+            engine.run_epoch(std::slice::from_ref(input)).to_ndjson()
+        });
+    });
+
     // The idle cost of `p4bid watch`: a scan tick over an unchanged
     // directory (mtime fast path, no reads).
     let dir = scan_dir(EPOCH);
@@ -152,12 +226,43 @@ fn summary_json(
         let input = p4bid::batch::BatchInput::new(req.id, source);
         std::hint::black_box(engine.run_epoch(std::slice::from_ref(&input)).to_ndjson());
     });
+    // The incremental triple: full cold check of the 64-item program
+    // (snapshots disabled), the same program after a last-item edit on a
+    // warm snapshot tree, and an unchanged resubmission (a full-depth
+    // snapshot hit, no suffix left to check). The session counters pin
+    // the mechanism: every edit request must resume past 63 items.
+    let edits = edit_pool();
+    let cold = SharedSessionCore::with_prefix_cache_cap(CheckOptions::ifc(), 0);
+    let mut engine = ServeEngine::with_core(cold, 1);
+    let mut i = 0usize;
+    let full64_us = time_us(3, 10, &mut || {
+        i += 1;
+        let input = &edits[i % edits.len()];
+        std::hint::black_box(engine.run_epoch(std::slice::from_ref(input)).to_ndjson());
+    });
+    let warm = warm_snapshot_core();
+    let mut engine = ServeEngine::with_core(warm.clone(), 1);
+    let mut i = 0usize;
+    let edit_us = time_us(3, 10, &mut || {
+        i += 1;
+        let input = &edits[i % edits.len()];
+        std::hint::black_box(engine.run_epoch(std::slice::from_ref(input)).to_ndjson());
+    });
+    let sessions = engine.cumulative_stats().sessions;
+    assert_eq!(sessions.prefix_misses, 0, "every edit resumes from the tree");
+    let edit_items_saved = sessions.prefix_items_saved as f64 / sessions.prefix_hits as f64;
+    let mut engine = ServeEngine::with_core(warm, 1);
+    let unchanged = p4bid::batch::BatchInput::new("hit", many_item_program(0));
+    let prefix_hit_us = time_us(5, 50, &mut || {
+        std::hint::black_box(engine.run_epoch(std::slice::from_ref(&unchanged)).to_ndjson());
+    });
+
     #[cfg(unix)]
     let concurrent4_us = concurrent4_request_us(core);
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-serve/2\",");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-serve/3\",");
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"epoch_programs\": {},", corpus.len());
     let _ = writeln!(json, "  \"request_to_report_us\": {request_us:.3},");
@@ -169,6 +274,11 @@ fn summary_json(
     );
     let _ = writeln!(json, "  \"scan_tick_unchanged_us\": {scan_us:.3},");
     let _ = writeln!(json, "  \"cache_hit_request_us\": {cache_hit_us:.3},");
+    let _ = writeln!(json, "  \"full_check64_us\": {full64_us:.3},");
+    let _ = writeln!(json, "  \"edit_last_item_us\": {edit_us:.3},");
+    let _ = writeln!(json, "  \"edit_vs_full_check\": {:.3},", edit_us / full64_us);
+    let _ = writeln!(json, "  \"edit_items_saved_per_request\": {edit_items_saved:.1},");
+    let _ = writeln!(json, "  \"prefix_hit_request_us\": {prefix_hit_us:.3},");
     #[cfg(unix)]
     let _ = writeln!(json, "  \"concurrent4_request_us\": {concurrent4_us:.3}");
     #[cfg(not(unix))]

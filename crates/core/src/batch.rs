@@ -249,6 +249,17 @@ impl BatchStats {
         );
         let _ = writeln!(
             out,
+            "incremental: prefix hits {} / misses {} (items saved {}), snapshots inserted {}, \
+             lattice-state hits {} / published {}",
+            s.prefix_hits,
+            s.prefix_misses,
+            s.prefix_items_saved,
+            s.prefix_inserts,
+            s.lattice_state_hits,
+            s.lattice_states_published,
+        );
+        let _ = writeln!(
+            out,
             "failure domains: panics {}, timeouts {}, oversized {}, drained {}",
             self.panics, self.timeouts, self.oversized, self.drained,
         );
@@ -256,14 +267,17 @@ impl BatchStats {
     }
 
     /// Machine-readable statistics (`--stats-json`): one JSON document per
-    /// line, schema `p4bid-stats/3`, emitted on **stderr** so the
+    /// line, schema `p4bid-stats/4`, emitted on **stderr** so the
     /// deterministic report schemas on stdout are never polluted —
     /// everything in here (overlay sizes, hit counters) legitimately
     /// varies with work-stealing order. `epochs` is present only for
     /// `serve`/`watch`, where the counters are cumulative across epochs;
     /// `ops` (the serve front-door and verdict-cache counters — the `/2`
     /// additions) likewise. The `/3` revision added the failure-domain
-    /// counters (`panics`, `timeouts`, `oversized`, `drained`).
+    /// counters (`panics`, `timeouts`, `oversized`, `drained`); `/4` added
+    /// the incremental-checking counters (`prefix_hits`, `prefix_misses`,
+    /// `prefix_inserts`, `prefix_items_saved`, `lattice_state_hits`,
+    /// `lattice_states_published`, and `refreezes` in the `ops` block).
     #[must_use]
     pub fn render_json(
         &self,
@@ -273,7 +287,7 @@ impl BatchStats {
     ) -> String {
         let s = &self.sessions;
         let mut out = String::from("{");
-        let _ = write!(out, "\"schema\": \"p4bid-stats/3\"");
+        let _ = write!(out, "\"schema\": \"p4bid-stats/4\"");
         let _ = write!(out, ", \"command\": {}", json_string(command));
         if let Some(epochs) = epochs {
             let _ = write!(out, ", \"epochs\": {epochs}");
@@ -290,6 +304,12 @@ impl BatchStats {
         let _ = write!(out, ", \"ty_intern_calls\": {}", s.ty_intern_calls);
         let _ = write!(out, ", \"ty_hit_rate\": {:.4}", s.ty_hit_rate());
         let _ = write!(out, ", \"push_cache_hits\": {}", s.push_cache_hits);
+        let _ = write!(out, ", \"prefix_hits\": {}", s.prefix_hits);
+        let _ = write!(out, ", \"prefix_misses\": {}", s.prefix_misses);
+        let _ = write!(out, ", \"prefix_inserts\": {}", s.prefix_inserts);
+        let _ = write!(out, ", \"prefix_items_saved\": {}", s.prefix_items_saved);
+        let _ = write!(out, ", \"lattice_state_hits\": {}", s.lattice_state_hits);
+        let _ = write!(out, ", \"lattice_states_published\": {}", s.lattice_states_published);
         let _ = write!(out, ", \"panics\": {}", self.panics);
         let _ = write!(out, ", \"timeouts\": {}", self.timeouts);
         let _ = write!(out, ", \"oversized\": {}", self.oversized);
@@ -302,6 +322,7 @@ impl BatchStats {
             let _ = write!(out, ", \"cache_hits\": {}", o.cache_hits);
             let _ = write!(out, ", \"cache_misses\": {}", o.cache_misses);
             let _ = write!(out, ", \"cache_size\": {}", o.cache_size);
+            let _ = write!(out, ", \"refreezes\": {}", o.refreezes);
         }
         out.push_str("}\n");
         out
@@ -540,6 +561,20 @@ pub fn check_batch_with_core(
     run_batch(inputs, jobs, || core.session())
 }
 
+/// [`check_batch_with_core`] that also harvests every worker session's
+/// overlay tables and newly built per-lattice prelude states, for callers
+/// that periodically [`SharedSessionCore::refreeze`] the core (serve's
+/// `--refresh-every` hook). Harvests are returned in worker order; the
+/// report is byte-identical to [`check_batch_with_core`]'s.
+#[must_use]
+pub fn check_batch_harvesting(
+    inputs: &[BatchInput],
+    core: &SharedSessionCore,
+    jobs: usize,
+) -> (BatchReport, Vec<p4bid_typeck::SessionHarvest>) {
+    run_batch_inner(inputs, jobs, &|| core.session(), true)
+}
+
 /// [`check_batch`] on the pre-shared-core path: every worker builds its
 /// own cold session (prelude re-checked per worker). Kept so the
 /// determinism suite can assert the shared-core reports are byte-identical
@@ -599,6 +634,20 @@ fn run_batch(
     jobs: usize,
     make_session: impl Fn() -> CheckerSession + Sync,
 ) -> BatchReport {
+    run_batch_inner(inputs, jobs, &make_session, false).0
+}
+
+/// [`run_batch`] with optional end-of-batch session harvesting: when
+/// `harvest` is set, every worker consumes its session into a
+/// [`p4bid_typeck::SessionHarvest`] after draining its queue (sessions a
+/// panic tore down mid-batch were already replaced, so their fresh
+/// substitute is harvested instead — an empty but valid overlay).
+fn run_batch_inner(
+    inputs: &[BatchInput],
+    jobs: usize,
+    make_session: &(impl Fn() -> CheckerSession + Sync),
+    harvest: bool,
+) -> (BatchReport, Vec<p4bid_typeck::SessionHarvest>) {
     let jobs = match jobs {
         0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
         n => n,
@@ -606,14 +655,18 @@ fn run_batch(
     let jobs = jobs.min(inputs.len()).max(1);
 
     let mut stats = BatchStats::default();
+    let mut harvests: Vec<p4bid_typeck::SessionHarvest> = Vec::new();
     let mut programs = if jobs == 1 {
         let mut session = make_session();
         let out: Vec<ProgramReport> = inputs
             .iter()
             .enumerate()
-            .map(|(i, inp)| check_one_isolated(&mut session, &make_session, i, inp))
+            .map(|(i, inp)| check_one_isolated(&mut session, make_session, i, inp))
             .collect();
         stats.absorb(&session.stats());
+        if harvest {
+            harvests.extend(session.into_harvest());
+        }
         out
     } else {
         let queue = StealQueue::new(inputs.len(), jobs);
@@ -622,7 +675,6 @@ fn run_batch(
             let handles: Vec<_> = (0..jobs)
                 .map(|w| {
                     let queue = &queue;
-                    let make_session = &make_session;
                     scope.spawn(move || {
                         // Sessions hold `Rc`-backed overlay tables, so each
                         // worker owns one; only the frozen segment inside
@@ -632,14 +684,17 @@ fn run_batch(
                         while let Some(i) = queue.next_task(w) {
                             out.push(check_one_isolated(&mut session, make_session, i, &inputs[i]));
                         }
-                        (out, session.stats())
+                        let session_stats = session.stats();
+                        let harvested = if harvest { session.into_harvest() } else { None };
+                        (out, session_stats, harvested)
                     })
                 })
                 .collect();
             for h in handles {
-                let (out, session_stats) = h.join().expect("batch worker panicked");
+                let (out, session_stats, harvested) = h.join().expect("batch worker panicked");
                 collected.extend(out);
                 stats.absorb(&session_stats);
+                harvests.extend(harvested);
             }
         });
         collected
@@ -647,7 +702,7 @@ fn run_batch(
     // Deterministic contract: order by input index, not completion.
     programs.sort_by_key(|p| p.index);
     stats.count_failure_domains(&programs);
-    BatchReport { programs, jobs, stats }
+    (BatchReport { programs, jobs, stats }, harvests)
 }
 
 /// [`check_one`] inside a crash containment boundary: a panicking check —
@@ -699,7 +754,11 @@ fn check_one(session: &mut CheckerSession, index: usize, input: &BatchInput) -> 
     // which worker picks it up.
     let deadline = session.options().deadline_from_now();
     session.set_deadline(deadline);
-    crate::faults::check_faults(p4bid_ast::fnv::hash(input.source.as_bytes()));
+    // The content hash exists only to key injected faults; skip it (it
+    // is O(source)) on the vastly common no-faults path.
+    if crate::faults::plan().is_some() {
+        crate::faults::check_faults(p4bid_ast::fnv::hash(input.source.as_bytes()));
+    }
     match session.check(&input.source) {
         Ok(_) => ProgramReport {
             index,
@@ -917,7 +976,8 @@ mod tests {
         assert_eq!(report.stats.panics, 0);
         let json = report.stats.render_json("batch", None, None);
         assert!(json.contains("\"oversized\": 4"), "{json}");
-        assert!(json.contains("\"schema\": \"p4bid-stats/3\""), "{json}");
+        assert!(json.contains("\"schema\": \"p4bid-stats/4\""), "{json}");
+        assert!(json.contains("\"prefix_hits\": "), "{json}");
         let text = report.stats.render_text();
         assert!(text.contains("failure domains: panics 0, timeouts 0, oversized 4"), "{text}");
     }

@@ -6,7 +6,8 @@
 //!                                                       check a whole corpus in parallel
 //! p4bid serve [--socket PATH] [--jobs J] [--json] [--policy FILE] [--max-epochs N]
 //!             [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed]
-//!             [--max-line BYTES] [--cache-cap N]        streaming ingest daemon (NDJSON feed)
+//!             [--max-line BYTES] [--cache-cap N] [--prefix-cache-cap N]
+//!                                                       streaming ingest daemon (NDJSON feed)
 //! p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--policy FILE] [--max-epochs N]
 //!                                                       watch a directory, re-check on change
 //!
@@ -24,9 +25,7 @@
 //! See `docs/CLI.md` for the full reference (exit codes, report schemas,
 //! environment knobs).
 
-use p4bid::batch::{
-    check_batch, check_batch_with_policy, synthetic_corpus, BatchInput, BatchStats,
-};
+use p4bid::batch::{check_batch_with_policy, synthetic_corpus, BatchInput, BatchStats};
 use p4bid::fuzz::{run_fuzz, SeedOutcome};
 use p4bid::ni::{check_non_interference, GenConfig, NiConfig, NiOutcome};
 use p4bid::report::{
@@ -58,9 +57,9 @@ fn main() -> ExitCode {
         _ => {
             eprintln!(
                 "usage:\n  p4bid check FILE [--base|--permissive] [--pc LABEL] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
-                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--base|--permissive] [--pc LABEL] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
-                 p4bid serve [--socket PATH] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
-                 p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
+                 p4bid batch DIR|--synthetic N [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--base|--permissive] [--pc LABEL] [--prefix-cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
+                 p4bid serve [--socket PATH] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N] [--prefix-cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
+                 p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--cache-cap N] [--prefix-cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
@@ -78,7 +77,7 @@ fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
 /// Every flag that consumes the following argument as its value, across
 /// all subcommands. Needed to tell a positional argument apart from a
 /// flag value (`p4bid batch --jobs 2 DIR` must find `DIR`, not `2`).
-const VALUE_FLAGS: [&str; 18] = [
+const VALUE_FLAGS: [&str; 19] = [
     "--pc",
     "--policy",
     "--jobs",
@@ -95,6 +94,7 @@ const VALUE_FLAGS: [&str; 18] = [
     "--max-pending",
     "--max-line",
     "--cache-cap",
+    "--prefix-cache-cap",
     "--max-source-bytes",
     "--check-timeout-ms",
 ];
@@ -222,8 +222,8 @@ fn cmd_batch(args: &[String]) -> ExitCode {
         inputs
     };
 
-    let (Ok(jobs), Ok(policy), Ok(opts)) =
-        (parse_jobs(args), policy_pack(args), check_options(args))
+    let (Ok(jobs), Ok(policy), Ok(opts), Ok(prefix_cap)) =
+        (parse_jobs(args), policy_pack(args), check_options(args), prefix_cache_cap(args))
     else {
         return ExitCode::from(2);
     };
@@ -231,7 +231,10 @@ fn cmd_batch(args: &[String]) -> ExitCode {
     let start = std::time::Instant::now();
     let report = match &policy {
         Some(pack) => check_batch_with_policy(&inputs, &opts, pack, jobs),
-        None => check_batch(&inputs, &opts, jobs),
+        None => {
+            let core = p4bid::SharedSessionCore::with_prefix_cache_cap(opts, prefix_cap);
+            p4bid::batch::check_batch_with_core(&inputs, &core, jobs)
+        }
     };
     let elapsed = start.elapsed();
     if args.iter().any(|a| a == "--json") {
@@ -381,6 +384,14 @@ fn cache_cap(args: &[String]) -> Result<usize, ()> {
     Ok(u64_flag(args, "--cache-cap")?.map_or(1024, |n| n as usize))
 }
 
+/// `--prefix-cache-cap N`: prefix-snapshot cache capacity shared by the
+/// engine's worker sessions (default [`p4bid::DEFAULT_PREFIX_CACHE_CAP`],
+/// `0` disables incremental prefix re-checking).
+fn prefix_cache_cap(args: &[String]) -> Result<usize, ()> {
+    Ok(u64_flag(args, "--prefix-cache-cap")?
+        .map_or(p4bid::DEFAULT_PREFIX_CACHE_CAP, |n| n as usize))
+}
+
 /// `--policy FILE`: a per-program policy pack (see `docs/CLI.md`),
 /// shared by `batch`, `serve`, and `watch`. A malformed or unreadable
 /// pack is a usage error (exit 2).
@@ -409,8 +420,12 @@ fn cmd_serve(args: &[String]) -> ExitCode {
     ) else {
         return ExitCode::from(2);
     };
+    let Ok(prefix_cap) = prefix_cache_cap(args) else {
+        return ExitCode::from(2);
+    };
     let json = args.iter().any(|a| a == "--json");
-    let mut engine = ServeEngine::new(opts, jobs)
+    let core = p4bid::SharedSessionCore::with_prefix_cache_cap(opts, prefix_cap);
+    let mut engine = ServeEngine::with_core(core, jobs)
         .with_refresh_every(refresh_every)
         .with_cache(cache)
         .with_policy(policy);
@@ -482,8 +497,12 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         eprintln!("error: cannot watch `{dir}`: not a directory");
         return ExitCode::from(2);
     }
+    let Ok(prefix_cap) = prefix_cache_cap(args) else {
+        return ExitCode::from(2);
+    };
     let json = args.iter().any(|a| a == "--json");
-    let mut engine = ServeEngine::new(opts, jobs)
+    let core = p4bid::SharedSessionCore::with_prefix_cache_cap(opts, prefix_cap);
+    let mut engine = ServeEngine::with_core(core, jobs)
         .with_refresh_every(refresh_every)
         .with_cache(cache)
         .with_policy(policy);

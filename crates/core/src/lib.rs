@@ -65,8 +65,8 @@ pub mod synth;
 
 pub use p4bid_typeck::{
     check_source as check, render_chain, CheckOptions, CheckerSession, DiagCode, Diagnostic,
-    FlowEdge, FlowNode, FlowOp, LineageEdge, LineageGraph, Mode, SessionStats, SharedSessionCore,
-    TypedControl, TypedProgram, PRELUDE,
+    FlowEdge, FlowNode, FlowOp, LineageEdge, LineageGraph, Mode, SessionHarvest, SessionStats,
+    SharedSessionCore, TypedControl, TypedProgram, DEFAULT_PREFIX_CACHE_CAP, PRELUDE,
 };
 pub use policy::{PolicyError, PolicyPack, PolicyRule};
 

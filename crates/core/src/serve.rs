@@ -46,7 +46,7 @@
 //! keyed by `(FNV-1a content hash, CheckOptions fingerprint)`: a
 //! resubmitted body is answered from the cache with a report
 //! byte-identical to a fresh check, and hit/miss/size counters surface
-//! in the `p4bid-stats/3` document ([`ServeOps`]).
+//! in the `p4bid-stats/4` document ([`ServeOps`]).
 //!
 //! # Examples
 //!
@@ -423,12 +423,31 @@ impl LineFramer {
 // Watched directories: the poll-based scanner.
 // ---------------------------------------------------------------------
 
+/// Item-granular attribution for one changed file in a [`ScanDelta`]:
+/// which top-level item is the first whose cumulative content-chain hash
+/// (see [`p4bid_syntax::item_chains`]) differs from the previously
+/// scanned content.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ItemChange {
+    /// File name, matching the corresponding [`ScanDelta::changed`] entry.
+    pub name: String,
+    /// 0-based index of the first changed top-level item. `None` when the
+    /// file is new to the scanner (first scan, or it was previously
+    /// unreadable) or when either version does not lex.
+    pub first_changed: Option<usize>,
+    /// Top-level item count of the new content (`0` when it does not lex).
+    pub items: usize,
+}
+
 /// What one [`DirScanner::scan`] tick found.
 #[derive(Debug, Default)]
 pub struct ScanDelta {
     /// Files added or modified since the previous scan, sorted by name —
     /// exactly the input order `p4bid batch` would use for them.
     pub changed: Vec<BatchInput>,
+    /// Item-granular change attribution, parallel to `changed` (same
+    /// order, same length): which top-level item the edit first touched.
+    pub item_changes: Vec<ItemChange>,
     /// Names tracked by the previous scan that no longer exist, sorted.
     pub removed: Vec<String>,
     /// Names whose content could not be read this tick (non-UTF-8,
@@ -450,11 +469,16 @@ impl ScanDelta {
 /// path cannot see and acquits touched-but-unchanged files. Files whose
 /// read failed are tracked too (`readable: false`) so they are reported
 /// unreadable exactly once per change, never as "removed".
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 struct Fingerprint {
     mtime: Option<SystemTime>,
     size: u64,
     hash: u64,
+    /// Cumulative per-item chain hashes of the last readable content
+    /// ([`p4bid_syntax::item_chains`]); empty for unreadable files and
+    /// content that does not lex. Lets a change tick attribute the edit
+    /// to the first differing top-level item.
+    chains: Vec<u64>,
     readable: bool,
     /// Current retry backoff for an unreadable file, in ticks: doubled
     /// (up to [`MAX_READ_BACKOFF`]) on every failed read, reset by a
@@ -605,19 +629,41 @@ impl DirScanner {
                     let hash = fnv1a(source.as_bytes());
                     let unchanged =
                         self.seen.get(&name).is_some_and(|fp| fp.readable && fp.hash == hash);
-                    self.seen.insert(
-                        name.clone(),
-                        Fingerprint { mtime, size, hash, readable: true, backoff: 0, cooldown: 0 },
-                    );
+                    let chains = p4bid_syntax::item_chains(&source);
                     if !unchanged {
+                        // Attribute the edit to the first top-level item
+                        // whose cumulative chain hash differs from the
+                        // last readable content; a new (or previously
+                        // unreadable, or unlexable) file has no baseline.
+                        let first_changed =
+                            self.seen.get(&name).filter(|fp| fp.readable).and_then(|fp| {
+                                p4bid_syntax::first_changed_item(&fp.chains, &chains)
+                            });
+                        delta.item_changes.push(ItemChange {
+                            name: name.clone(),
+                            first_changed,
+                            items: chains.len(),
+                        });
                         delta.changed.push(BatchInput::new(name.clone(), source));
                     }
+                    self.seen.insert(
+                        name.clone(),
+                        Fingerprint {
+                            mtime,
+                            size,
+                            hash,
+                            chains,
+                            readable: true,
+                            backoff: 0,
+                            cooldown: 0,
+                        },
+                    );
                 }
                 Err(_) => {
                     // Keep tracking the file (it exists — it must not be
                     // reported removed), surface the failure once per
                     // observed (mtime, size), and back off the next retry.
-                    let prev = self.seen.get(&name).copied();
+                    let prev = self.seen.get(&name);
                     let already =
                         prev.is_some_and(|fp| !fp.readable && fp.mtime == mtime && fp.size == size);
                     let backoff = prev
@@ -629,6 +675,7 @@ impl DirScanner {
                             mtime,
                             size,
                             hash: 0,
+                            chains: Vec::new(),
                             readable: false,
                             backoff,
                             cooldown: backoff,
@@ -825,7 +872,7 @@ impl VerdictCache {
     }
 }
 
-/// Front-door operational counters for the `p4bid-stats/3` schema:
+/// Front-door operational counters for the `p4bid-stats/4` schema:
 /// connection, queue, and verdict-cache behaviour of one serve run.
 /// Rendered on **stderr** only (`--stats`/`--stats-json`) — everything
 /// in here varies with arrival timing, so it is never part of the
@@ -848,6 +895,10 @@ pub struct ServeOps {
     pub cache_misses: u64,
     /// Entries currently cached.
     pub cache_size: u64,
+    /// Core refreshes performed by `--refresh-every`: each one re-freezes
+    /// the shared core, folding the harvested per-worker overlay tables
+    /// into a fatter frozen root (the `p4bid-stats/4` addition).
+    pub refreezes: u64,
 }
 
 impl ServeOps {
@@ -857,7 +908,7 @@ impl ServeOps {
     pub fn render_text(&self) -> String {
         format!(
             "front door: {} connection(s), {} connection error(s), {} shed, peak queue {}\n\
-             verdict cache: {} hit(s), {} miss(es), {} cached\n",
+             verdict cache: {} hit(s), {} miss(es), {} cached; {} refreeze(s)\n",
             self.connections,
             self.conn_errors,
             self.shed,
@@ -865,6 +916,7 @@ impl ServeOps {
             self.cache_hits,
             self.cache_misses,
             self.cache_size,
+            self.refreezes,
         )
     }
 }
@@ -940,6 +992,10 @@ pub struct ServeEngine {
     /// to, keyed by options fingerprint (small and stable: one entry per
     /// distinct rule outcome, refreshed alongside the base core).
     extra_cores: Vec<(u64, SharedSessionCore)>,
+    /// Worker-session harvests accumulated since the last refreeze —
+    /// collected per base-core epoch only while `--refresh-every` is on,
+    /// consumed by [`SharedSessionCore::refreeze`] when the refresh fires.
+    harvests: Vec<p4bid_typeck::SessionHarvest>,
     /// Front-door counters recorded by [`run_socket`], cumulative across
     /// socket runs over one engine.
     door: DoorCounters,
@@ -979,13 +1035,17 @@ impl ServeEngine {
             opts_fp,
             policy: None,
             extra_cores: Vec::new(),
+            harvests: Vec::new(),
             door: DoorCounters::default(),
         }
     }
 
-    /// Rebuilds the core every `n` epochs (`SharedSessionCore::rebuild`,
-    /// the ROADMAP's epoch-based refresh scheme). Verdicts are unaffected;
-    /// `None` disables refreshing (the default).
+    /// Re-freezes the core every `n` epochs ([`SharedSessionCore::refreeze`]
+    /// over the harvested per-worker overlay tables), folding the names and
+    /// types workers interned since the last refresh into a fatter frozen
+    /// root — which is what lets worker sessions publish tier-pure prefix
+    /// snapshots for resubmitted programs. Verdicts are unaffected; `None`
+    /// disables refreshing (the default).
     #[must_use]
     pub fn with_refresh_every(mut self, n: Option<u64>) -> Self {
         self.refresh_every = n.filter(|&n| n > 0);
@@ -1037,7 +1097,7 @@ impl ServeEngine {
     }
 
     /// Front-door and verdict-cache counters so far (the serve-specific
-    /// half of the `p4bid-stats/3` document).
+    /// half of the `p4bid-stats/4` document).
     #[must_use]
     pub fn ops(&self) -> ServeOps {
         ServeOps {
@@ -1048,11 +1108,12 @@ impl ServeEngine {
             cache_hits: self.cache.hits,
             cache_misses: self.cache.misses,
             cache_size: self.cache.len() as u64,
+            refreezes: self.refreshes,
         }
     }
 
     /// Records `n` pending requests flushed by a graceful drain in the
-    /// cumulative `drained` counter (the `p4bid-stats/3` failure-domain
+    /// cumulative `drained` counter (the `p4bid-stats/4` failure-domain
     /// line). The requests still get checked — drained work is finished
     /// work, not dropped work; the counter says the final epoch(s) were
     /// cut by a shutdown request rather than by the normal triggers.
@@ -1067,7 +1128,12 @@ impl ServeEngine {
     pub fn run_epoch(&mut self, inputs: &[BatchInput]) -> EpochReport {
         if let Some(n) = self.refresh_every {
             if self.epoch > 0 && self.epoch.is_multiple_of(n) {
-                self.core = self.core.rebuild();
+                // Refreeze, don't rebuild: the harvested overlay tables
+                // become frozen, so the names this daemon's programs keep
+                // using are served tier-pure from now on (and tier-pure
+                // prefix snapshots start landing). Old frozen ids are
+                // preserved verbatim, so existing snapshots stay valid.
+                self.core = self.core.refreeze(std::mem::take(&mut self.harvests));
                 for (_, core) in &mut self.extra_cores {
                     *core = core.rebuild();
                 }
@@ -1170,7 +1236,7 @@ impl ServeEngine {
     /// to the base options — this is exactly [`check_batch_with_core`].
     fn check_epoch_uncached(&mut self, inputs: &[BatchInput]) -> BatchReport {
         if self.policy.is_none() {
-            return check_batch_with_core(inputs, &self.core, self.jobs);
+            return self.check_base_core(inputs);
         }
         let mut groups: Vec<(u64, Vec<usize>)> = Vec::new();
         for (i, input) in inputs.iter().enumerate() {
@@ -1181,15 +1247,19 @@ impl ServeEngine {
             }
         }
         if groups.len() <= 1 && groups.first().is_none_or(|(fp, _)| *fp == self.opts_fp) {
-            return check_batch_with_core(inputs, &self.core, self.jobs);
+            return self.check_base_core(inputs);
         }
         let mut programs: Vec<ProgramReport> = Vec::with_capacity(inputs.len());
         let mut stats = BatchStats::default();
         let mut report_jobs = 1;
         for (fp, ixs) in &groups {
-            let core = self.core_for(*fp, &inputs[ixs[0]].name);
             let subset: Vec<BatchInput> = ixs.iter().map(|&i| inputs[i].clone()).collect();
-            let sub = check_batch_with_core(&subset, &core, self.jobs);
+            let sub = if *fp == self.opts_fp {
+                self.check_base_core(&subset)
+            } else {
+                let core = self.core_for(*fp, &inputs[ixs[0]].name);
+                check_batch_with_core(&subset, &core, self.jobs)
+            };
             report_jobs = report_jobs.max(sub.jobs);
             stats.merge(&sub.stats);
             for mut p in sub.programs {
@@ -1199,6 +1269,22 @@ impl ServeEngine {
         }
         programs.sort_by_key(|p| p.index);
         BatchReport { programs, jobs: report_jobs, stats }
+    }
+
+    /// One batch against the base core. With `--refresh-every` armed the
+    /// worker sessions are harvested — their overlay tables and
+    /// newly built per-lattice prelude states accumulate until the next
+    /// refreeze folds them into the frozen root. The report is
+    /// byte-identical either way.
+    fn check_base_core(&mut self, inputs: &[BatchInput]) -> BatchReport {
+        if self.refresh_every.is_some() {
+            let (report, harvests) =
+                crate::batch::check_batch_harvesting(inputs, &self.core, self.jobs);
+            self.harvests.extend(harvests);
+            report
+        } else {
+            check_batch_with_core(inputs, &self.core, self.jobs)
+        }
     }
 
     /// Options fingerprint for one program name under the engine's
@@ -1563,6 +1649,22 @@ pub fn run_watch(
         }
         for name in &delta.unreadable {
             let _ = writeln!(log, "cannot read: {name}");
+        }
+        for c in &delta.item_changes {
+            match c.first_changed {
+                Some(ix) => {
+                    let _ = writeln!(
+                        log,
+                        "changed: {} (first change at item {}/{})",
+                        c.name,
+                        ix + 1,
+                        c.items,
+                    );
+                }
+                None => {
+                    let _ = writeln!(log, "changed: {}", c.name);
+                }
+            }
         }
         let mut pending = delta.changed;
         flush_epoch(engine, &mut pending, out, log, json, &mut summary)?;

@@ -78,7 +78,7 @@ fn injected_panic_is_contained_and_deterministic_across_jobs() {
         assert!(leak_row.contains("REJECT") && !leak_row.contains("E-INTERNAL"), "{leak_row}");
         assert!(stdout.contains("3 program(s): 1 accepted, 2 rejected"), "{stdout}");
         let stderr = String::from_utf8_lossy(&out.stderr);
-        assert!(stderr.contains("\"schema\": \"p4bid-stats/3\""), "{stderr}");
+        assert!(stderr.contains("\"schema\": \"p4bid-stats/4\""), "{stderr}");
         assert!(stderr.contains("\"panics\": 1"), "{stderr}");
         outputs.push(stdout);
     }
@@ -303,8 +303,117 @@ fn sigterm_drains_pending_work_and_unlinks_the_socket() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pending") && stdout.contains("accept"), "{stdout}");
     let log = stderr.contents();
-    assert!(log.contains("\"schema\": \"p4bid-stats/3\""), "final stats flushed: {log}");
+    assert!(log.contains("\"schema\": \"p4bid-stats/4\""), "final stats flushed: {log}");
     assert!(log.contains("\"drained\": 1"), "{log}");
     assert!(!socket.exists(), "socket file must be unlinked on drain");
     let _ = std::fs::remove_dir_all(dir);
+}
+
+/// A panicking check never poisons the prefix-snapshot tree: three
+/// programs share a two-item prefix, one of them is fault-picked to panic
+/// every epoch, and with `--refresh-every 1` the surviving programs'
+/// snapshots serve later epochs — `E-INTERNAL` for the victim, correct
+/// prefix-resumed verdicts for its prefix-sharing siblings, byte-identical
+/// across epochs and `--jobs`.
+#[test]
+fn injected_panics_never_poison_the_snapshot_tree() {
+    // The workspace's 64-bit FNV-1a (`p4bid_ast::fnv`) — the key the fault
+    // plan fires on.
+    fn fnv(bytes: &[u8]) -> u64 {
+        bytes.iter().fold(0xcbf2_9ce4_8422_2325u64, |h, &b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0100_0000_01b3)
+        })
+    }
+    let plan = p4bid::faults::FaultPlan::parse(PANIC_FAULTS).expect("pinned plan parses");
+    let fires = |src: &str| plan.fires(p4bid::faults::Site::WorkerPanic, fnv(src.as_bytes()));
+    // A comment tail tunes each body's content hash without touching the
+    // shared item prefix, so the fault decision is forced per program.
+    let tune = |body: String, want: bool| {
+        (0u32..20_000)
+            .map(|i| format!("{body}// {i}\n"))
+            .find(|s| fires(s) == want)
+            .expect("a tuned body exists")
+    };
+    const SHARED: &str = "header sh_t { <bit<8>, high> f; }\nstruct shs { sh_t h; }\n";
+    let clean = tune(
+        format!("{SHARED}control A(inout shs s) {{ apply {{ s.h.f = s.h.f + 8w1; }} }}\n"),
+        false,
+    );
+    let leak = tune(
+        format!(
+            "{SHARED}control L(inout shs s, inout <bit<8>, low> l) {{ apply {{ l = s.h.f; }} }}\n"
+        ),
+        false,
+    );
+    let victim = tune(
+        format!("{SHARED}control V(inout shs s) {{ apply {{ s.h.f = s.h.f + 8w2; }} }}\n"),
+        true,
+    );
+
+    // The victim goes first: a caught panic swaps the torn worker session
+    // for a fresh one, discarding everything its overlay had accumulated,
+    // so with `--jobs 1` the siblings must run *after* the swap for their
+    // names to survive into the refreeze harvest.
+    let epoch = format!(
+        "{{\"id\": \"victim\", \"source\": \"{}\"}}\n\
+         {{\"id\": \"clean\", \"source\": \"{}\"}}\n\
+         {{\"id\": \"leak\", \"source\": \"{}\"}}\n",
+        victim.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n"),
+        clean.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n"),
+        leak.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n"),
+    );
+    let feed = format!("{epoch}\n{epoch}\n{epoch}");
+
+    let mut outputs = Vec::new();
+    for jobs in ["1", "2"] {
+        let mut child = p4bid()
+            .args([
+                "serve",
+                "--jobs",
+                jobs,
+                "--cache-cap",
+                "0",
+                "--refresh-every",
+                "1",
+                "--json",
+                "--stats-json",
+            ])
+            .env("P4BID_FAULTS", PANIC_FAULTS)
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::piped())
+            .spawn()
+            .expect("serve spawns");
+        child.stdin.take().expect("stdin piped").write_all(feed.as_bytes()).expect("feed written");
+        let out = child.wait_with_output().expect("serve exits");
+        assert_eq!(out.status.code(), Some(1), "rejects, never crashes (jobs={jobs})");
+
+        let stdout = String::from_utf8(out.stdout).expect("utf-8 report");
+        let docs: Vec<&str> = stdout.lines().collect();
+        assert_eq!(docs.len(), 3, "three epoch documents: {stdout}");
+        // Identical verdicts every epoch: the victim's panic is contained
+        // and its siblings resume from clean snapshots only.
+        let strip = |doc: &str| doc.split_once(", \"programs\"").expect("epoch doc").1.to_string();
+        assert_eq!(strip(docs[0]), strip(docs[1]), "epoch 0 vs 1");
+        assert_eq!(strip(docs[0]), strip(docs[2]), "epoch 0 vs 2");
+        for doc in &docs {
+            assert!(doc.contains("\"name\": \"clean\", \"status\": \"accept\""), "{doc}");
+            assert!(doc.contains("E-EXPLICIT-FLOW"), "{doc}");
+            assert!(doc.contains("E-INTERNAL"), "{doc}");
+        }
+
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let stat = |field: &str| -> u64 {
+            let tail = stderr.split(&format!("\"{field}\": ")).nth(1).unwrap_or_else(|| {
+                panic!("stats field `{field}` present: {stderr}");
+            });
+            tail.split(|c: char| !c.is_ascii_digit()).next().unwrap().parse().expect(field)
+        };
+        assert_eq!(stat("panics"), 3, "the victim re-panics every epoch");
+        assert_eq!(stat("refreezes"), 2, "one refreeze per epoch boundary");
+        assert!(stat("prefix_inserts") > 0, "clean runs snapshot after the refreeze: {stderr}");
+        assert!(stat("prefix_hits") > 0, "later epochs resume from the tree: {stderr}");
+        outputs.push(stdout);
+    }
+    assert_eq!(outputs[0], outputs[1], "jobs 1 vs 2");
 }

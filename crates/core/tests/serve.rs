@@ -150,7 +150,7 @@ fn serve_inline_sources_stats_and_refresh() {
     assert_eq!(epoch_summaries, 2, "two one-program epoch tables: {stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("{\"schema\": \"p4bid-stats/3\", \"command\": \"serve\", \"epochs\": 2, "),
+        stderr.contains("{\"schema\": \"p4bid-stats/4\", \"command\": \"serve\", \"epochs\": 2, "),
         "{stderr}"
     );
     assert!(!stdout.contains("p4bid-stats"), "stats stay off stdout: {stdout}");
@@ -271,6 +271,66 @@ fn watch_daemon_serves_epochs_as_files_drop() {
     for d in [dir, only_first, only_second] {
         let _ = std::fs::remove_dir_all(d);
     }
+}
+
+/// The watch log attributes an edit to the first changed top-level item:
+/// rewriting only the last of three items logs `changed: … (first change
+/// at item 3/3)`, while the initial sighting of the file (no previous
+/// fingerprint to diff against) logs a bare `changed:` line.
+#[test]
+fn watch_log_attributes_the_first_changed_item() {
+    const THREE_ITEMS_V1: &str = "header h_t { bit<8> f; }\n\
+         control A(inout bit<8> x) { apply { x = x + 8w1; } }\n\
+         control B(inout bit<8> y) { apply { y = y + 8w2; } }\n";
+    const THREE_ITEMS_V2: &str = "header h_t { bit<8> f; }\n\
+         control A(inout bit<8> x) { apply { x = x + 8w1; } }\n\
+         control B(inout bit<8> y) { apply { y = y + 8w3; } }\n";
+
+    let dir = scratch_dir("watch-attr");
+    std::fs::write(dir.join("multi.p4"), THREE_ITEMS_V1).unwrap();
+
+    let mut child = p4bid()
+        .args(["watch", dir.to_str().unwrap(), "--interval-ms", "25", "--max-epochs", "2"])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("watch spawns");
+
+    let stdout = child.stdout.take().expect("stdout piped");
+    let seen = Arc::new(Mutex::new(Vec::<u8>::new()));
+    let seen2 = Arc::clone(&seen);
+    let reader = std::thread::spawn(move || {
+        let mut stdout = stdout;
+        let mut buf = [0u8; 4096];
+        loop {
+            match stdout.read(&mut buf) {
+                Ok(0) | Err(_) => break,
+                Ok(n) => seen2.lock().unwrap().extend_from_slice(&buf[..n]),
+            }
+        }
+    });
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        if String::from_utf8_lossy(&seen.lock().unwrap()).contains("program(s):") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "first epoch never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    // Atomic rewrite of the same file, touching only the last item.
+    std::fs::write(dir.join("multi.tmp"), THREE_ITEMS_V2).unwrap();
+    std::fs::rename(dir.join("multi.tmp"), dir.join("multi.p4")).unwrap();
+
+    let out = wait_with_deadline(child, Duration::from_secs(30));
+    reader.join().unwrap();
+    assert_eq!(out.status.code(), Some(0), "both versions accept");
+    let log = String::from_utf8_lossy(&out.stderr);
+    assert!(log.contains("changed: multi.p4\n"), "initial sighting is unattributed: {log}");
+    assert!(
+        log.contains("changed: multi.p4 (first change at item 3/3)"),
+        "the edit is pinned to the last item: {log}"
+    );
+    let _ = std::fs::remove_dir_all(dir);
 }
 
 #[cfg(unix)]
@@ -511,7 +571,7 @@ fn four_concurrent_producers_yield_deterministic_epoch_output() {
 
 /// Resubmitting an epoch is answered from the verdict cache — and the
 /// report is byte-identical to the fresh check, with the hit/miss/size
-/// counters surfaced in the `p4bid-stats/3` document.
+/// counters surfaced in the `p4bid-stats/4` document.
 #[test]
 fn repeat_submissions_hit_the_verdict_cache_byte_identically() {
     let epoch = format!(

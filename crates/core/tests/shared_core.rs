@@ -50,3 +50,44 @@ fn workers_never_rebuild_the_prelude() {
     assert_eq!(after_cold.lexes, after_core.lexes, "lexing stays process-wide even when cold");
     assert_eq!(after_cold.parses, after_core.parses, "parsing stays process-wide even when cold");
 }
+
+/// Program-supplied lattices build their prelude state once per *core*,
+/// not once per worker: the publish-once side table serializes the first
+/// build under its lock and every sibling session adopts the published
+/// state. A renamed two-point chain is used because its label indices
+/// coincide with the frozen warm lattice's, so the built state is
+/// tier-pure and publishable.
+#[test]
+fn program_lattices_publish_prelude_state_once_across_workers() {
+    use p4bid::batch::BatchInput;
+    let lat = "lattice { lo < hi; }\n";
+    let inputs: Vec<BatchInput> = (0..40)
+        .map(|i| {
+            BatchInput::new(
+                format!("chain-{i:02}"),
+                format!(
+                    "{lat}control C{i}(inout <bit<8>, lo> x) {{ apply {{ x = x + 8w{}; }} }}",
+                    i % 9
+                ),
+            )
+        })
+        .collect();
+    let core = SharedSessionCore::new(CheckOptions::ifc());
+    let report = check_batch_with_core(&inputs, &core, 8);
+    assert!(report.all_accepted(), "{}", report.render_table());
+    let s = report.stats.sessions;
+    assert_eq!(
+        s.lattice_states_published, 1,
+        "exactly one worker builds the chain prelude state: {s:?}"
+    );
+
+    // Resubmitting the same corpus rebuilds nothing: every program either
+    // resumes from the shared depth-1 prefix snapshot (the lattice decl
+    // prefix is byte-identical across all 40 programs) or adopts the
+    // published lattice state — no second build, no second publish.
+    let again = check_batch_with_core(&inputs, &core, 8);
+    assert_eq!(report.to_json(), again.to_json(), "warm reports are byte-identical");
+    let s2 = again.stats.sessions;
+    assert_eq!(s2.lattice_states_published, 0, "{s2:?}");
+    assert_eq!(s2.prefix_hits, 40, "every resubmission resumes past the lattice decl: {s2:?}");
+}

@@ -317,7 +317,7 @@ impl<'a> Interp<'a> {
 
         // Global scope: prelude and top-level functions/actions.
         let mut env = Env::new();
-        for item in &self.typed.program.items {
+        for item in self.typed.program.items() {
             match item {
                 Item::Function(f) => self.declare_function(&mut env, f)?,
                 Item::Action(a) => self.declare_action(&mut env, a)?,

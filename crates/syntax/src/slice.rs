@@ -1,0 +1,205 @@
+//! Token-level slicing of a program into top-level item segments, and the
+//! content chain-hash the incremental checker keys prefix snapshots by.
+//!
+//! A P4BID program is a sequence of top-level items. At the token level an
+//! item ends at the first `;` at bracket depth 0 (`typedef`) or at the `}`
+//! that closes the outermost brace group (`lattice`, `header`, `struct`,
+//! `match_kind`, `function`, `action`, `control` — including a preceding
+//! `@pc(…)` attribute, which opens no group of its own). This boundary rule
+//! is exactly the grammar's: whenever a token stream parses as a
+//! [`Program`](p4bid_ast::surface::Program), the segments produced here
+//! coincide one-for-one with the parsed items (the conformance tests pin
+//! this down). On input that does *not* parse, segmentation still
+//! terminates and is deterministic — trailing tokens that never reach a
+//! boundary are simply not emitted as a segment.
+//!
+//! Each segment carries a *chain hash*: the FNV-1a hash of every source
+//! byte from the start of the program through the segment's last token —
+//! gaps (whitespace, comments) included. Chain equality therefore implies
+//! (modulo a 64-bit collision, which callers close by re-verifying the
+//! prefix bytes) that two programs are *byte-identical* up to and including
+//! that item, so token spans, parse results, and checker state for the
+//! shared prefix are interchangeable between them.
+
+use crate::lexer::{Token, TokenKind};
+use p4bid_ast::fnv;
+
+/// One top-level item segment of a token stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ItemSeg {
+    /// Index one past the item's last token in the lexed token slice
+    /// (i.e. the index of the next item's first token, or of `Eof`).
+    pub token_end: u32,
+    /// Byte offset one past the item's last token in the source text.
+    pub byte_end: u32,
+    /// FNV-1a hash of `source[..byte_end]` — the whole program prefix
+    /// through this item, gaps included.
+    pub chain: u64,
+}
+
+/// Splits a lexed token stream into top-level item segments with
+/// cumulative prefix chain-hashes. `tokens` must have been produced by
+/// [`lex`](crate::lex) on exactly `source`.
+#[must_use]
+pub fn item_segments(source: &str, tokens: &[Token]) -> Vec<ItemSeg> {
+    let bytes = source.as_bytes();
+    let mut segs = Vec::new();
+    let mut depth: u32 = 0;
+    let mut chain = fnv::OFFSET;
+    let mut prev_end: usize = 0;
+    for (ix, tok) in tokens.iter().enumerate() {
+        let boundary = match tok.kind {
+            TokenKind::Eof => break,
+            TokenKind::LBrace | TokenKind::LParen | TokenKind::LBracket => {
+                depth += 1;
+                false
+            }
+            TokenKind::RBrace => {
+                let closes = depth <= 1;
+                depth = depth.saturating_sub(1);
+                closes
+            }
+            TokenKind::RParen | TokenKind::RBracket => {
+                depth = depth.saturating_sub(1);
+                false
+            }
+            TokenKind::Semi => depth == 0,
+            _ => false,
+        };
+        if boundary {
+            let byte_end = tok.span.end as usize;
+            chain = fnv::bytes(chain, &bytes[prev_end..byte_end]);
+            prev_end = byte_end;
+            segs.push(ItemSeg { token_end: (ix + 1) as u32, byte_end: byte_end as u32, chain });
+        }
+    }
+    segs
+}
+
+/// The per-item chain hashes of a source text, or an empty vector when the
+/// text does not lex. This is the fingerprint watch mode keeps per file to
+/// attribute a change to the first item it touches.
+#[must_use]
+pub fn item_chains(source: &str) -> Vec<u64> {
+    match crate::lex(source) {
+        Ok(tokens) => item_segments(source, &tokens).iter().map(|s| s.chain).collect(),
+        Err(_) => Vec::new(),
+    }
+}
+
+/// The index of the first item whose chain hash differs between two chain
+/// vectors (an appended or removed tail counts as a change at the first
+/// index past the shorter vector). `None` when the vectors are identical
+/// or either side has no item-level fingerprint (empty).
+#[must_use]
+pub fn first_changed_item(old: &[u64], new: &[u64]) -> Option<usize> {
+    if old.is_empty() || new.is_empty() {
+        return None;
+    }
+    if let Some(ix) = old.iter().zip(new.iter()).position(|(a, b)| a != b) {
+        return Some(ix);
+    }
+    (old.len() != new.len()).then(|| old.len().min(new.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lex;
+    use p4bid_ast::surface::Item;
+
+    fn segs(src: &str) -> Vec<ItemSeg> {
+        item_segments(src, &lex(src).unwrap())
+    }
+
+    /// Segment boundaries must coincide with parsed item boundaries on any
+    /// program that parses.
+    fn assert_aligned(src: &str) {
+        let program = crate::parse(src).expect("test program parses");
+        let segs = segs(src);
+        assert_eq!(segs.len(), program.items.len(), "segment/item count on {src:?}");
+        // Where the AST records an item-level span, its end must be the
+        // segment's byte end.
+        for (seg, item) in segs.iter().zip(program.items.iter()) {
+            let end = match item {
+                Item::Lattice(l) => Some(l.span.end),
+                Item::Function(f) => Some(f.span.end),
+                Item::Action(a) => Some(a.span.end),
+                Item::Control(c) => Some(c.span.end),
+                Item::Type(_) => None,
+            };
+            if let Some(end) = end {
+                assert_eq!(seg.byte_end, end, "span alignment on {src:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn segments_align_with_parsed_items() {
+        assert_aligned("control C(inout bit<8> x) { apply { x = x + 8w1; } }");
+        assert_aligned(
+            "lattice { bot < A; bot < B; A < top; B < top; }\n\
+             typedef <bit<8>, A> key_t;\n\
+             header h_t { key_t f; bit<8> g; }\n\
+             struct s_t { h_t h; }\n\
+             match_kind { range }\n\
+             function bit<8> id(in bit<8> x) { return x; }\n\
+             action set(inout bit<8> y) { y = 8w3; }\n\
+             @pc(A) control C(inout s_t s) {\n\
+                 table t { key = { s.h.f: exact; } actions = { set; } }\n\
+                 apply { if (s.h.g == 8w0) { t.apply(); } }\n\
+             }",
+        );
+    }
+
+    #[test]
+    fn chains_are_prefix_sensitive() {
+        let a = segs("typedef bit<8> a_t;\ncontrol C(inout a_t x) { apply { } }");
+        let b = segs("typedef bit<8> a_t;\ncontrol D(inout a_t x) { apply { } }");
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        assert_eq!(a[0].chain, b[0].chain, "shared prefix, same chain");
+        assert_ne!(a[1].chain, b[1].chain, "divergent suffix, different chain");
+    }
+
+    #[test]
+    fn chains_include_gaps() {
+        // Same token content, different trivia between items: the second
+        // chain must differ, because spans downstream of the gap shift.
+        let a = segs("typedef bit<8> a_t;\ncontrol C(inout a_t x) { apply { } }");
+        let b = segs("typedef bit<8> a_t;\n\ncontrol C(inout a_t x) { apply { } }");
+        assert_eq!(a[0].chain, b[0].chain);
+        assert_ne!(a[1].chain, b[1].chain);
+    }
+
+    #[test]
+    fn trailing_garbage_is_not_a_segment() {
+        let src = "typedef bit<8> a_t;\ncontrol C(inout";
+        let s = segs(src);
+        assert_eq!(s.len(), 1, "only the complete typedef is a segment");
+        assert_eq!(s[0].byte_end, 19);
+    }
+
+    #[test]
+    fn stray_closers_terminate() {
+        // Unbalanced input must not loop or underflow.
+        assert_eq!(segs("} } ;").len(), 3);
+    }
+
+    #[test]
+    fn first_changed_item_attribution() {
+        let base = item_chains("typedef bit<8> a_t;\ncontrol C(inout a_t x) { apply { } }");
+        assert_eq!(base.len(), 2);
+        let edited =
+            item_chains("typedef bit<8> a_t;\ncontrol C(inout a_t x) { apply { x = 8w1; } }");
+        assert_eq!(first_changed_item(&base, &edited), Some(1));
+        let retyped = item_chains("typedef bit<4> a_t;\ncontrol C(inout a_t x) { apply { } }");
+        assert_eq!(first_changed_item(&base, &retyped), Some(0));
+        assert_eq!(first_changed_item(&base, &base), None);
+        let grown = item_chains(
+            "typedef bit<8> a_t;\ncontrol C(inout a_t x) { apply { } }\naction a() { }",
+        );
+        assert_eq!(first_changed_item(&base, &grown), Some(2));
+        assert_eq!(first_changed_item(&[], &base), None);
+    }
+}

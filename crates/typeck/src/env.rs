@@ -131,6 +131,39 @@ impl TypeDefs {
         self.match_kinds.iter().any(|(_, k)| k == kind)
     }
 
+    /// Whether every handle in Δ lies below the given tier boundaries —
+    /// i.e. the table references only entities of the shared frozen
+    /// segment, making it valid in (and publishable to) any session
+    /// layered over the same base. Pass `usize::MAX` boundaries for
+    /// root-tier sessions, whose handles are only session-local anyway.
+    #[must_use]
+    pub fn within_tiers(&self, max_sym: usize, max_ty: usize) -> bool {
+        self.entries.iter().all(|(_, t)| t.ty.index() < max_ty)
+            && self.match_kinds.iter().all(|(s, _)| s.index() < max_sym)
+            && self.by_sym.iter().enumerate().all(|(ix, e)| e.is_none() || ix < max_sym)
+    }
+
+    /// Rebuilds Δ with every handle translated through a refreeze remap
+    /// (see [`IdRemap`](p4bid_ast::pool::IdRemap)).
+    #[must_use]
+    pub fn remap(&self, r: &p4bid_ast::pool::IdRemap) -> TypeDefs {
+        let mut by_sym = Vec::new();
+        for (ix, e) in self.by_sym.iter().enumerate() {
+            if let Some(entry_ix) = e {
+                let new_ix = r.sym_index(ix);
+                if by_sym.len() <= new_ix {
+                    by_sym.resize(new_ix + 1, None);
+                }
+                by_sym[new_ix] = Some(*entry_ix);
+            }
+        }
+        TypeDefs {
+            entries: self.entries.iter().map(|(n, t)| (n.clone(), r.secty(*t))).collect(),
+            by_sym,
+            match_kinds: self.match_kinds.iter().map(|(s, k)| (r.sym(*s), k.clone())).collect(),
+        }
+    }
+
     /// Resolves a surface type annotation to a security type:
     /// `Δ ⊢ τ ⇝ τ'` plus label-name resolution, constructing any new
     /// structural nodes through the pool.
@@ -328,6 +361,50 @@ impl ScopedEnv {
         let r = f(self);
         self.pop_scope();
         r
+    }
+
+    /// Whether only the global scope is live and every binding's symbol
+    /// index and type id lie below the given tier boundaries (see
+    /// [`TypeDefs::within_tiers`]). At item boundaries the checker has
+    /// popped every nested scope, so the first conjunct always holds for
+    /// prefix snapshots — it is asserted, not assumed.
+    #[must_use]
+    pub fn within_tiers(&self, max_sym: usize, max_ty: usize) -> bool {
+        self.scopes.len() == 1
+            && self.slots.iter().enumerate().all(|(ix, stack)| {
+                stack.is_empty()
+                    || (ix < max_sym && stack.iter().all(|(_, v)| v.ty.ty.index() < max_ty))
+            })
+    }
+
+    /// Rebuilds Γ with every binding moved to its remapped symbol index
+    /// and every type handle translated (the outer `slots` vector is
+    /// *re-indexed*, not mapped in place: overlay symbols change index
+    /// across a refreeze).
+    #[must_use]
+    pub fn remap(&self, r: &p4bid_ast::pool::IdRemap) -> ScopedEnv {
+        let mut slots: Vec<Vec<(u32, VarInfo)>> = Vec::new();
+        for (ix, stack) in self.slots.iter().enumerate() {
+            if stack.is_empty() {
+                continue;
+            }
+            let new_ix = r.sym_index(ix);
+            if slots.len() <= new_ix {
+                slots.resize_with(new_ix + 1, Vec::new);
+            }
+            slots[new_ix] = stack
+                .iter()
+                .map(|&(d, v)| (d, VarInfo { ty: r.secty(v.ty), writable: v.writable }))
+                .collect();
+        }
+        ScopedEnv {
+            slots,
+            scopes: self
+                .scopes
+                .iter()
+                .map(|syms| syms.iter().map(|&s| r.sym(s)).collect())
+                .collect(),
+        }
     }
 }
 

@@ -41,13 +41,18 @@ pub mod diag;
 pub mod env;
 pub mod lineage;
 pub mod oracle;
+pub(crate) mod prefix;
 pub mod session;
 
-pub use checker::{check_program, CheckOptions, Mode, TypedControl, TypedParam, TypedProgram};
+pub use checker::{
+    check_program, CheckOptions, Mode, ProgramView, TypedControl, TypedParam, TypedProgram,
+};
 pub use diag::{DiagCode, Diagnostic};
 pub use env::{LabelTable, ScopedEnv, TypeDefs, VarInfo};
 pub use lineage::{render_chain, FlowEdge, FlowNode, FlowOp, LineageEdge, LineageGraph};
-pub use session::{CheckerSession, SessionStats, SharedSessionCore};
+pub use session::{
+    CheckerSession, SessionHarvest, SessionStats, SharedSessionCore, DEFAULT_PREFIX_CACHE_CAP,
+};
 
 use p4bid_ast::surface::Program;
 use std::sync::atomic::{AtomicU64, Ordering};

@@ -1,0 +1,304 @@
+//! Item-granular prefix snapshots: content-hashed checkpoints of the
+//! checker's carried state after each top-level item.
+//!
+//! A [`CheckerSession`](crate::CheckerSession) that finishes a clean check
+//! of an `N`-item program records one [`PrefixEntry`] per item boundary,
+//! keyed by the FNV chain hash of the token spans up to that boundary
+//! (see [`p4bid_syntax::item_segments`]). When a program is resubmitted
+//! with an edit near the end, the session probes the deepest matching
+//! boundary and re-checks only the suffix — an edit to the last control
+//! of a 64-item program re-checks one item, not 64.
+//!
+//! # Soundness
+//!
+//! Three rules keep a snapshot hit byte-identical to a cold check:
+//!
+//! * **Byte re-verification.** The chain hash is only a locator; a probe
+//!   compares the stored prefix bytes against the submitted source, so a
+//!   64-bit collision can cause a miss, never a wrong resume.
+//! * **Lattice pinning.** Entries store the lattice they were checked
+//!   under and only match a submission resolving to an equal lattice.
+//!   The session resolves the lattice *conservatively* before probing
+//!   (`quick_lattice`); any doubt falls back to the cold path.
+//! * **Tier purity.** Entries are only inserted when every interner/pool
+//!   handle in the snapshot lies in the shared frozen segment
+//!   ([`CheckerState::within_tiers`](crate::checker::CheckerState)), so a
+//!   snapshot taken by one worker is valid in every session over the
+//!   same frozen base — and survives an overlay refreeze, which keeps
+//!   frozen ids stable by construction.
+//!
+//! Failed runs never insert (mirroring the serve verdict cache's refusal
+//! of transient verdicts): checkpoints are collected during the run but
+//! discarded unless the run ends with zero diagnostics, so a panic or
+//! timeout mid-check cannot poison the snapshot tree.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use p4bid_ast::span::Span;
+use p4bid_ast::surface::Item;
+use p4bid_lattice::{Label, Lattice};
+
+use crate::checker::{CheckerState, TypedControl};
+use crate::lineage::{FlowOp, LineageEdge};
+
+/// One replayed lineage edge: the rendered, owned form of a
+/// `PendingEdge`, carried inside prefix snapshots so resumed runs can
+/// still explain violations whose origins lie in the (un-re-checked)
+/// prefix. Labels stay as lattice indices — the entry's pinned lattice
+/// resolves them to names at render time.
+#[derive(Debug, Clone)]
+pub(crate) struct OwnedEdge {
+    pub(crate) op: FlowOp,
+    pub(crate) src_text: Box<str>,
+    pub(crate) src_label: Label,
+    pub(crate) src_span: Span,
+    pub(crate) sink_text: Box<str>,
+    pub(crate) sink_label: Label,
+    pub(crate) sink_span: Span,
+}
+
+impl OwnedEdge {
+    pub(crate) fn lineage_edge(&self) -> LineageEdge {
+        LineageEdge {
+            op: self.op,
+            src_span: self.src_span,
+            src_label: self.src_label,
+            sink_span: self.sink_span,
+            sink_label: self.sink_label,
+        }
+    }
+}
+
+/// The full flow log of one clean cold run, rendered to owned edges with
+/// its structural trace keys intact. Every checkpoint of that run shares
+/// one `Arc<SeedEdges>` and remembers how many leading edges belong to
+/// its prefix (`edges_len`), so storage stays linear in the run.
+#[derive(Debug, Default)]
+pub(crate) struct SeedEdges {
+    pub(crate) edges: Vec<OwnedEdge>,
+    pub(crate) sink_keys: Vec<u64>,
+    pub(crate) src_keys: Vec<u64>,
+    pub(crate) src_ranges: Vec<(u32, u32)>,
+}
+
+impl SeedEdges {
+    pub(crate) fn src_keys_of(&self, ix: usize) -> &[u64] {
+        let (start, len) = self.src_ranges[ix];
+        &self.src_keys[start as usize..(start as usize + len as usize)]
+    }
+}
+
+/// One prefix checkpoint: everything needed to restart a check after
+/// `items` top-level items as if they had just been checked.
+#[derive(Debug, Clone)]
+pub(crate) struct PrefixEntry {
+    /// The lattice the prefix was checked under (equality-matched).
+    pub(crate) lattice: Lattice,
+    /// The exact prefix bytes (chain hashes only locate; bytes decide).
+    pub(crate) prefix: Arc<str>,
+    /// Number of top-level items the snapshot covers.
+    pub(crate) items: u32,
+    /// Δ/Γ/signatures after those items.
+    pub(crate) state: CheckerState,
+    /// The prefix's surface AST (shared across the run's checkpoints),
+    /// re-used to assemble the resumed `TypedProgram` without re-parsing.
+    pub(crate) items_ast: Arc<Vec<Item>>,
+    /// The run's checked controls; the first `controls_len` belong to
+    /// this prefix.
+    pub(crate) controls: Arc<Vec<TypedControl>>,
+    pub(crate) controls_len: u32,
+    /// The run's rendered flow log; the first `edges_len` edges belong
+    /// to this prefix and seed the resumed run's lineage.
+    pub(crate) seed: Arc<SeedEdges>,
+    pub(crate) edges_len: u32,
+    /// LRU stamp (touched on hit).
+    stamp: u64,
+}
+
+impl PrefixEntry {
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn new(
+        lattice: Lattice,
+        prefix: Arc<str>,
+        items: u32,
+        state: CheckerState,
+        items_ast: Arc<Vec<Item>>,
+        controls: Arc<Vec<TypedControl>>,
+        controls_len: u32,
+        seed: Arc<SeedEdges>,
+        edges_len: u32,
+    ) -> Self {
+        PrefixEntry {
+            lattice,
+            prefix,
+            items,
+            state,
+            items_ast,
+            controls,
+            controls_len,
+            seed,
+            edges_len,
+            stamp: 0,
+        }
+    }
+}
+
+/// Bounded chain-hash-keyed store of [`PrefixEntry`]s with touch-on-hit
+/// LRU eviction (O(n) min-scan, like the serve verdict cache). A cap of
+/// zero disables the cache entirely.
+#[derive(Debug)]
+pub(crate) struct PrefixCache {
+    cap: usize,
+    len: usize,
+    clock: u64,
+    map: HashMap<u64, Vec<PrefixEntry>>,
+}
+
+impl PrefixCache {
+    pub(crate) fn new(cap: usize) -> Self {
+        PrefixCache { cap, len: 0, clock: 0, map: HashMap::new() }
+    }
+
+    /// Looks up a snapshot for the given chain hash covering exactly
+    /// `items` top-level items, verifying the lattice and the prefix
+    /// bytes. Touches the entry's LRU stamp and clones it out (cheap:
+    /// pooled ids and `Arc` bumps).
+    pub(crate) fn probe(
+        &mut self,
+        chain: u64,
+        lattice: &Lattice,
+        prefix: &str,
+        items: u32,
+    ) -> Option<PrefixEntry> {
+        if self.cap == 0 {
+            return None;
+        }
+        self.clock += 1;
+        let bucket = self.map.get_mut(&chain)?;
+        let entry = bucket
+            .iter_mut()
+            .find(|e| e.items == items && e.lattice == *lattice && *e.prefix == *prefix)?;
+        entry.stamp = self.clock;
+        Some(entry.clone())
+    }
+
+    /// Inserts a snapshot under its chain hash, replacing any entry with
+    /// the same identity and evicting the least-recently-used entry when
+    /// over capacity. Callers enforce the soundness rules (tier purity,
+    /// clean-run-only) *before* inserting.
+    pub(crate) fn insert(&mut self, chain: u64, mut entry: PrefixEntry) {
+        if self.cap == 0 {
+            return;
+        }
+        self.clock += 1;
+        entry.stamp = self.clock;
+        let bucket = self.map.entry(chain).or_default();
+        if let Some(old) = bucket.iter_mut().find(|e| {
+            e.items == entry.items && e.lattice == entry.lattice && e.prefix == entry.prefix
+        }) {
+            *old = entry;
+            return;
+        }
+        bucket.push(entry);
+        self.len += 1;
+        if self.len > self.cap {
+            self.evict_lru();
+        }
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.len
+    }
+
+    fn evict_lru(&mut self) {
+        let oldest = self
+            .map
+            .iter()
+            .flat_map(|(chain, bucket)| bucket.iter().map(|e| (e.stamp, *chain)))
+            .min()
+            .map(|(_, chain)| chain);
+        let Some(chain) = oldest else { return };
+        let bucket = self.map.get_mut(&chain).expect("bucket of the LRU entry exists");
+        let ix = bucket
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, e)| e.stamp)
+            .map(|(ix, _)| ix)
+            .expect("LRU bucket is non-empty");
+        bucket.remove(ix);
+        if bucket.is_empty() {
+            self.map.remove(&chain);
+        }
+        self.len -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(lat: Lattice, prefix: &str, items: u32) -> PrefixEntry {
+        PrefixEntry::new(
+            lat,
+            prefix.into(),
+            items,
+            CheckerState::empty(),
+            Arc::new(Vec::new()),
+            Arc::new(Vec::new()),
+            0,
+            Arc::new(SeedEdges::default()),
+            0,
+        )
+    }
+
+    #[test]
+    fn probe_verifies_bytes_lattice_and_depth() {
+        let mut c = PrefixCache::new(8);
+        let lat = Lattice::two_point();
+        c.insert(7, entry(lat.clone(), "typedef bit<8> t;", 1));
+        assert!(c.probe(7, &lat, "typedef bit<8> t;", 1).is_some());
+        // Same chain, different bytes: a collision misses instead of lying.
+        assert!(c.probe(7, &lat, "typedef bit<9> u;", 1).is_none());
+        // Different depth under the same chain misses.
+        assert!(c.probe(7, &lat, "typedef bit<8> t;", 2).is_none());
+        // Different lattice misses.
+        let diamond = Lattice::from_order(&["bot", "top"], &[("bot", "top")]).unwrap();
+        assert!(c.probe(7, &diamond, "typedef bit<8> t;", 1).is_none());
+        // Unknown chain misses.
+        assert!(c.probe(8, &lat, "typedef bit<8> t;", 1).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let mut c = PrefixCache::new(2);
+        let lat = Lattice::two_point();
+        c.insert(1, entry(lat.clone(), "a", 1));
+        c.insert(2, entry(lat.clone(), "b", 1));
+        // Touch 1 so 2 is coldest, then overflow.
+        assert!(c.probe(1, &lat, "a", 1).is_some());
+        c.insert(3, entry(lat.clone(), "c", 1));
+        assert_eq!(c.len(), 2);
+        assert!(c.probe(2, &lat, "b", 1).is_none(), "coldest entry was evicted");
+        assert!(c.probe(1, &lat, "a", 1).is_some());
+        assert!(c.probe(3, &lat, "c", 1).is_some());
+    }
+
+    #[test]
+    fn reinsert_replaces_in_place() {
+        let mut c = PrefixCache::new(4);
+        let lat = Lattice::two_point();
+        c.insert(1, entry(lat.clone(), "a", 1));
+        c.insert(1, entry(lat.clone(), "a", 1));
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn cap_zero_disables() {
+        let mut c = PrefixCache::new(0);
+        let lat = Lattice::two_point();
+        c.insert(1, entry(lat.clone(), "a", 1));
+        assert_eq!(c.len(), 0);
+        assert!(c.probe(1, &lat, "a", 1).is_none());
+    }
+}

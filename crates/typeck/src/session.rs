@@ -40,15 +40,56 @@
 //! ```
 
 use crate::checker::{
-    check_items, resolve_default_pc, resolve_lattice, CheckOptions, CheckerState, TypedProgram,
+    check_items, check_items_run, control_within_tiers, lattice_from_decl, resolve_default_pc,
+    resolve_lattice, CheckOptions, CheckerState, ProgramView, ResumeSeed, TypedProgram,
 };
 use crate::diag::{DiagCode, Diagnostic};
+use crate::prefix::{PrefixCache, PrefixEntry};
 use crate::{prelude_arc, PRELUDE_CHECKS};
-use p4bid_ast::pool::{FrozenTyCtx, SharedTyCtx, TyCtx};
+use p4bid_ast::pool::{CtxOverlay, FrozenTyCtx, SharedTyCtx, TyCtx};
 use p4bid_ast::surface::Program;
 use p4bid_lattice::Lattice;
+use p4bid_syntax::{ItemSeg, Token, TokenKind};
 use std::rc::Rc;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+/// Default bound on the shared prefix-snapshot cache (entries, across all
+/// sessions of one core). Overridden by `--prefix-cache-cap`; `0`
+/// disables prefix snapshotting entirely.
+pub const DEFAULT_PREFIX_CACHE_CAP: usize = 1024;
+
+/// Locks a mutex, riding through poisoning: the protected caches are
+/// always structurally valid (a poisoned run simply never inserted), and
+/// panic-isolated drivers keep other workers running after a crash.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// State shared by every session of one core (and carried across
+/// refreezes, whose id-stability keeps the contents valid): the prefix
+/// snapshot cache and the publish-once table of checked-prelude states
+/// for program-supplied lattices.
+#[derive(Debug)]
+struct CoreShared {
+    /// Prefix cache bound (`0` disables; fixed at construction).
+    prefix_cap: usize,
+    prefix: Mutex<PrefixCache>,
+    /// Checked-prelude states for lattices first seen after the freeze,
+    /// published once by whichever worker builds them first (only
+    /// frozen-pure states are publishable; the rest stay session-local
+    /// until a refreeze promotes their ids).
+    lattice_states: Mutex<Vec<(Lattice, Arc<CheckerState>)>>,
+}
+
+impl CoreShared {
+    fn new(cap: usize) -> Self {
+        CoreShared {
+            prefix_cap: cap,
+            prefix: Mutex::new(PrefixCache::new(cap)),
+            lattice_states: Mutex::new(Vec::new()),
+        }
+    }
+}
 
 /// A reusable checking session: prelude, interner, and per-lattice checked
 /// prelude state are built once and shared across [`check`] calls.
@@ -87,6 +128,22 @@ pub struct CheckerSession {
     /// workloads use one lattice (or a handful), so a linear scan over
     /// `Lattice` equality is fine.
     states: Vec<(Lattice, Arc<CheckerState>)>,
+    /// How many leading `states` entries came from the shared core; the
+    /// rest were built by this session and are harvestable
+    /// ([`into_harvest`](CheckerSession::into_harvest)).
+    core_states: usize,
+    /// The cross-session shared caches (private to this session when
+    /// cold; shared with every sibling on the shared-core path).
+    shared: Arc<CoreShared>,
+    /// Prefix-snapshot counters (per session, summed by
+    /// [`SessionStats::absorb`]).
+    prefix_hits: u64,
+    prefix_misses: u64,
+    prefix_inserts: u64,
+    prefix_items_saved: u64,
+    /// Publish-once lattice-state counters.
+    lattice_state_hits: u64,
+    lattice_states_published: u64,
 }
 
 impl CheckerSession {
@@ -99,7 +156,24 @@ impl CheckerSession {
             prelude: prelude_arc(),
             states: Vec::new(),
             deadline: None,
+            core_states: 0,
+            shared: Arc::new(CoreShared::new(DEFAULT_PREFIX_CACHE_CAP)),
+            prefix_hits: 0,
+            prefix_misses: 0,
+            prefix_inserts: 0,
+            prefix_items_saved: 0,
+            lattice_state_hits: 0,
+            lattice_states_published: 0,
         }
+    }
+
+    /// Replaces the session's prefix-snapshot cache with a fresh one of
+    /// the given bound (`0` disables prefix snapshotting), builder-style.
+    /// Call before any checking: the cache starts empty.
+    #[must_use]
+    pub fn with_prefix_cache_cap(mut self, cap: usize) -> Self {
+        self.shared = Arc::new(CoreShared::new(cap));
+        self
     }
 
     /// The options this session checks under.
@@ -164,7 +238,29 @@ impl CheckerSession {
             ctx: Arc::new(ctx.freeze()),
             prelude: self.prelude,
             states: self.states,
+            // Carried over: root-tier ids become frozen ids verbatim, so
+            // any prefix snapshots this session took stay valid.
+            shared: self.shared,
         }
+    }
+
+    /// Consumes the session, harvesting its overlay interner/pool tables
+    /// and locally built checked-prelude states for
+    /// [`SharedSessionCore::refreeze`]. Returns `None` when the context
+    /// is still referenced by live [`TypedProgram`]s or the session is
+    /// root-tier (nothing to merge back).
+    #[must_use]
+    pub fn into_harvest(self) -> Option<SessionHarvest> {
+        let core_states = self.core_states;
+        let states = self.states;
+        let ctx = Rc::try_unwrap(self.ctx).ok()?.into_inner();
+        let overlay = ctx.into_overlay()?;
+        let new_states = states
+            .into_iter()
+            .skip(core_states)
+            .map(|(l, s)| (l, CheckerState::clone(&s)))
+            .collect();
+        Some(SessionHarvest { overlay, new_states })
     }
 
     /// Tier sizes and frozen-segment hit counters of this session's
@@ -186,6 +282,12 @@ impl CheckerSession {
             ty_frozen_hits,
             ty_intern_calls,
             push_cache_hits: ctx.types.push_cache_hits(),
+            prefix_hits: self.prefix_hits,
+            prefix_misses: self.prefix_misses,
+            prefix_inserts: self.prefix_inserts,
+            prefix_items_saved: self.prefix_items_saved,
+            lattice_state_hits: self.lattice_state_hits,
+            lattice_states_published: self.lattice_states_published,
         }
     }
 
@@ -203,11 +305,167 @@ impl CheckerSession {
             self.deadline = None;
             return Err(vec![d]);
         }
-        let user = match p4bid_syntax::parse(source) {
+        let malformed = |e: &p4bid_syntax::ParseError| {
+            vec![Diagnostic::new(DiagCode::Malformed, e.message().to_string(), e.span())]
+        };
+        if self.shared.prefix_cap == 0 {
+            // Prefix snapshotting off: the classic lex+parse+check path.
+            let user = match p4bid_syntax::parse(source) {
+                Ok(user) => user,
+                Err(e) => {
+                    // An armed deadline is per-check: don't leak it into
+                    // the next program when this one dies in the parser.
+                    self.deadline = None;
+                    return Err(malformed(&e));
+                }
+            };
+            return self.check_cold(user, source, &[]);
+        }
+        let tokens = match p4bid_syntax::lex(source) {
+            Ok(t) => t,
+            Err(e) => {
+                self.deadline = None;
+                return Err(malformed(&e));
+            }
+        };
+        let segs = p4bid_syntax::item_segments(source, &tokens);
+        if let Some(result) = self.try_resume(source, &tokens, &segs) {
+            return result;
+        }
+        self.prefix_misses += 1;
+        let user = match p4bid_syntax::parse_tokens(source, &tokens) {
             Ok(user) => user,
             Err(e) => {
-                // An armed deadline is per-check: don't leak it into the
-                // next program when this one dies in the parser.
+                self.deadline = None;
+                return Err(malformed(&e));
+            }
+        };
+        self.check_cold(user, source, &segs)
+    }
+
+    /// Checks an already-parsed user program against the session prelude.
+    /// (No prefix snapshots are taken or used on this path: the chain
+    /// hash is derived from source bytes, which a pre-parsed program no
+    /// longer has.)
+    ///
+    /// # Errors
+    ///
+    /// Returns the full list of type/flow errors.
+    pub fn check_parsed(&mut self, user: Program) -> Result<TypedProgram, Vec<Diagnostic>> {
+        self.check_cold(user, "", &[])
+    }
+
+    /// The cold check path: full run over all user items, collecting
+    /// per-item prefix snapshots when the splitter's segmentation aligns
+    /// with the parse (one segment per item) and the cache is enabled.
+    fn check_cold(
+        &mut self,
+        user: Program,
+        source: &str,
+        segs: &[ItemSeg],
+    ) -> Result<TypedProgram, Vec<Diagnostic>> {
+        let deadline = self.deadline.take().or_else(|| self.opts.deadline_from_now());
+        let lattice = resolve_lattice(&user, &self.opts)?;
+        let default_pc = resolve_default_pc(&lattice, &self.opts)?;
+        let state = CheckerState::clone(&*self.prelude_state(&lattice)?);
+        let collect = !segs.is_empty() && segs.len() == user.items.len();
+
+        let out = {
+            let mut ctx = self.ctx.borrow_mut();
+            check_items_run(
+                &user.items,
+                &lattice,
+                &self.opts,
+                default_pc,
+                &mut ctx,
+                state,
+                deadline,
+                None,
+                collect,
+            )?
+        };
+
+        // The interpreter needs the prelude definitions in the program
+        // body, exactly as `check_source` includes them; the view shares
+        // them (and the user items) instead of deep-copying.
+        let (items, controls) = if collect {
+            let items = Arc::new(user.items);
+            let controls = Arc::new(out.controls);
+            let seed = Arc::new(out.seed_edges.unwrap_or_default());
+            self.insert_checkpoints(
+                source,
+                segs,
+                &lattice,
+                &items,
+                &controls,
+                &seed,
+                out.checkpoints,
+            );
+            (items, (*controls).clone())
+        } else {
+            (Arc::new(user.items), out.controls)
+        };
+        let items_len = items.len();
+        Ok(TypedProgram {
+            lattice,
+            defs: out.state.defs,
+            controls,
+            program: ProgramView::new(Arc::clone(&self.prelude), items, items_len, Vec::new()),
+            ctx: Rc::clone(&self.ctx),
+            lineage: out.lineage,
+        })
+    }
+
+    /// Tries to serve a check from the deepest matching prefix snapshot,
+    /// re-checking only the suffix. `None` falls through to the cold
+    /// path (no snapshot, or the lattice could not be pre-resolved
+    /// conservatively).
+    fn try_resume(
+        &mut self,
+        source: &str,
+        tokens: &[Token],
+        segs: &[ItemSeg],
+    ) -> Option<Result<TypedProgram, Vec<Diagnostic>>> {
+        if segs.is_empty() {
+            return None;
+        }
+        let lattice = self.quick_lattice(source, tokens, segs)?;
+        let entry = {
+            let mut cache = lock(&self.shared.prefix);
+            (0..segs.len()).rev().find_map(|d| {
+                cache.probe(
+                    segs[d].chain,
+                    &lattice,
+                    &source[..segs[d].byte_end as usize],
+                    (d + 1) as u32,
+                )
+            })
+        }?;
+        self.prefix_hits += 1;
+        self.prefix_items_saved += u64::from(entry.items);
+        Some(self.resume_with(source, tokens, segs, lattice, entry))
+    }
+
+    /// Completes a snapshot hit: parses and checks only the suffix past
+    /// the snapshot's item boundary, seeding the run with the snapshot's
+    /// state, controls, and rendered flow log so verdicts, diagnostics,
+    /// and lineage come out byte-identical to a cold check.
+    fn resume_with(
+        &mut self,
+        source: &str,
+        tokens: &[Token],
+        segs: &[ItemSeg],
+        lattice: Lattice,
+        entry: PrefixEntry,
+    ) -> Result<TypedProgram, Vec<Diagnostic>> {
+        let seg = &segs[entry.items as usize - 1];
+        // Item boundaries are statement boundaries of a known-parseable
+        // prefix, and the parser carries no cross-item state, so parsing
+        // the suffix tokens reproduces the tail of a full parse exactly
+        // (spans are absolute into the same `source`).
+        let suffix = match p4bid_syntax::parse_tokens(source, &tokens[seg.token_end as usize..]) {
+            Ok(p) => p,
+            Err(e) => {
                 self.deadline = None;
                 return Err(vec![Diagnostic::new(
                     DiagCode::Malformed,
@@ -216,43 +474,162 @@ impl CheckerSession {
                 )]);
             }
         };
-        self.check_parsed(user)
-    }
-
-    /// Checks an already-parsed user program against the session prelude.
-    ///
-    /// # Errors
-    ///
-    /// Returns the full list of type/flow errors.
-    pub fn check_parsed(&mut self, user: Program) -> Result<TypedProgram, Vec<Diagnostic>> {
         let deadline = self.deadline.take().or_else(|| self.opts.deadline_from_now());
-        let lattice = resolve_lattice(&user, &self.opts)?;
         let default_pc = resolve_default_pc(&lattice, &self.opts)?;
-        let state = CheckerState::clone(&*self.prelude_state(&lattice)?);
-
-        let (controls, state, lineage) = {
-            let mut ctx = self.ctx.borrow_mut();
-            check_items(&user.items, &lattice, &self.opts, default_pc, &mut ctx, state, deadline)?
+        let resume = ResumeSeed {
+            seed: Arc::clone(&entry.seed),
+            edges_len: entry.edges_len,
+            controls: Arc::clone(&entry.controls),
+            controls_len: entry.controls_len,
         };
-
-        // The interpreter needs the prelude definitions in the program
-        // body, exactly as `check_source` includes them.
-        let mut program = (*self.prelude).clone();
-        program.items.extend(user.items);
+        let out = {
+            let mut ctx = self.ctx.borrow_mut();
+            check_items_run(
+                &suffix.items,
+                &lattice,
+                &self.opts,
+                default_pc,
+                &mut ctx,
+                entry.state,
+                deadline,
+                Some(resume),
+                false,
+            )?
+        };
+        // O(suffix) assembly: the prefix AST is the snapshot's `Arc`,
+        // never deep-copied — the point of resuming.
         Ok(TypedProgram {
             lattice,
-            defs: state.defs,
-            controls,
-            program,
+            defs: out.state.defs,
+            controls: out.controls,
+            program: ProgramView::new(
+                Arc::clone(&self.prelude),
+                Arc::clone(&entry.items_ast),
+                entry.items as usize,
+                suffix.items,
+            ),
             ctx: Rc::clone(&self.ctx),
-            lineage,
+            lineage: out.lineage,
         })
     }
 
+    /// Conservatively resolves the lattice a submission will check under
+    /// *without parsing it* — the prefix-cache key needs it up front.
+    /// Mirrors [`resolve_lattice`]: the options override wins; otherwise
+    /// a `lattice { … }` declaration can only be a top-level item, so the
+    /// first token of the first segment decides. Any situation the quick
+    /// scan cannot settle byte-for-byte (a declaration past the first
+    /// item, a malformed declaration) returns `None` and the cold path
+    /// decides.
+    fn quick_lattice(&self, source: &str, tokens: &[Token], segs: &[ItemSeg]) -> Option<Lattice> {
+        if let Some(l) = &self.opts.lattice {
+            return Some(l.clone());
+        }
+        let word_at = |tok_ix: usize| -> &str {
+            let t = &tokens[tok_ix];
+            if matches!(t.kind, TokenKind::Ident) {
+                &source[t.span.start as usize..t.span.end as usize]
+            } else {
+                ""
+            }
+        };
+        for i in 1..segs.len() {
+            if word_at(segs[i - 1].token_end as usize) == "lattice" {
+                return None;
+            }
+        }
+        if word_at(0) == "lattice" {
+            let decl = p4bid_syntax::parse_lattice_decl(source, tokens).ok()?;
+            lattice_from_decl(&decl).ok()
+        } else {
+            Some(Lattice::two_point())
+        }
+    }
+
+    /// The tier boundaries a snapshot's handles must lie below to be
+    /// valid beyond this session: the frozen segment sizes on the
+    /// shared-core path, unbounded for a root-tier session (whose cache
+    /// is private, and whose ids survive [`freeze`](CheckerSession::freeze)
+    /// verbatim).
+    fn tier_limits(&self) -> (usize, usize) {
+        let ctx = self.ctx.borrow();
+        let (frozen_syms, _) = ctx.syms.tier_sizes();
+        let (frozen_types, _) = ctx.types.tier_sizes();
+        if frozen_syms == 0 {
+            (usize::MAX, usize::MAX)
+        } else {
+            (frozen_syms, frozen_types)
+        }
+    }
+
+    /// Records the checkpoints of a clean, aligned cold run into the
+    /// shared prefix cache. Only tier-pure checkpoints are inserted
+    /// (state append-only ⟹ purity is prefix-monotone, so the scan stops
+    /// at the first impure one); failed and timed-out runs never reach
+    /// here, which is what keeps panics and transient verdicts from
+    /// poisoning the snapshot tree.
+    #[allow(clippy::too_many_arguments)]
+    fn insert_checkpoints(
+        &mut self,
+        source: &str,
+        segs: &[ItemSeg],
+        lattice: &Lattice,
+        items: &Arc<Vec<p4bid_ast::surface::Item>>,
+        controls: &Arc<Vec<crate::TypedControl>>,
+        seed: &Arc<crate::prefix::SeedEdges>,
+        checkpoints: Vec<crate::checker::RunCheckpoint>,
+    ) {
+        if checkpoints.is_empty() {
+            return;
+        }
+        let (max_sym, max_ty) = self.tier_limits();
+        let mut cache = lock(&self.shared.prefix);
+        for cp in checkpoints {
+            if !cp.state.within_tiers(max_sym, max_ty)
+                || !controls[..cp.controls_len as usize]
+                    .iter()
+                    .all(|c| control_within_tiers(c, max_sym, max_ty))
+            {
+                break;
+            }
+            let seg = &segs[cp.items_done as usize - 1];
+            cache.insert(
+                seg.chain,
+                PrefixEntry::new(
+                    lattice.clone(),
+                    source[..seg.byte_end as usize].into(),
+                    cp.items_done,
+                    cp.state,
+                    Arc::clone(items),
+                    Arc::clone(controls),
+                    cp.controls_len,
+                    Arc::clone(seed),
+                    cp.edges_len,
+                ),
+            );
+            self.prefix_inserts += 1;
+        }
+    }
+
     /// The checked-prelude snapshot for a lattice, built on first use.
+    ///
+    /// Program-supplied lattices go through a publish-once side table on
+    /// the shared core: the table lock is held across the build, so N
+    /// workers racing on the same new lattice build its state exactly
+    /// once (the `lattice_states_published` counter proves it). Only
+    /// tier-pure states are published; impure ones stay session-local
+    /// and are promoted by the next refreeze instead.
     fn prelude_state(&mut self, lattice: &Lattice) -> Result<Arc<CheckerState>, Vec<Diagnostic>> {
         if let Some(ix) = self.states.iter().position(|(l, _)| l == lattice) {
             return Ok(Arc::clone(&self.states[ix].1));
+        }
+        let shared = Arc::clone(&self.shared);
+        let mut table = lock(&shared.lattice_states);
+        if let Some((_, state)) = table.iter().find(|(l, _)| l == lattice) {
+            self.lattice_state_hits += 1;
+            let state = Arc::clone(state);
+            self.states.push((lattice.clone(), Arc::clone(&state)));
+            return Ok(state);
         }
         let default_pc = resolve_default_pc(lattice, &self.opts)?;
         PRELUDE_CHECKS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
@@ -278,8 +655,23 @@ impl CheckerSession {
         };
         let state = Arc::new(state);
         self.states.push((lattice.clone(), Arc::clone(&state)));
+        let (max_sym, max_ty) = self.tier_limits();
+        if state.within_tiers(max_sym, max_ty) {
+            table.push((lattice.clone(), Arc::clone(&state)));
+            self.lattice_states_published += 1;
+        }
         Ok(state)
     }
+}
+
+/// What one worker session learned, harvested by
+/// [`CheckerSession::into_harvest`] for [`SharedSessionCore::refreeze`]:
+/// the overlay interner/pool tables plus any checked-prelude states the
+/// session built for program-supplied lattices.
+#[derive(Debug)]
+pub struct SessionHarvest {
+    pub(crate) overlay: CtxOverlay,
+    pub(crate) new_states: Vec<(Lattice, CheckerState)>,
 }
 
 /// An immutable, `Send + Sync` snapshot of a warmed [`CheckerSession`]:
@@ -301,6 +693,10 @@ pub struct SharedSessionCore {
     /// Checked-prelude snapshots frozen with the core, shared by handle.
     /// Every `Symbol` and `TyId` inside points into the frozen segment.
     states: Vec<(Lattice, Arc<CheckerState>)>,
+    /// The cross-session caches (prefix snapshots, publish-once lattice
+    /// states), shared by every session of this core and carried across
+    /// refreezes.
+    shared: Arc<CoreShared>,
 }
 
 impl SharedSessionCore {
@@ -308,6 +704,25 @@ impl SharedSessionCore {
     #[must_use]
     pub fn new(opts: CheckOptions) -> Self {
         CheckerSession::new(opts).freeze()
+    }
+
+    /// Builds a core whose shared prefix-snapshot cache holds at most
+    /// `cap` entries (`0` disables prefix snapshotting).
+    #[must_use]
+    pub fn with_prefix_cache_cap(opts: CheckOptions, cap: usize) -> Self {
+        CheckerSession::new(opts).with_prefix_cache_cap(cap).freeze()
+    }
+
+    /// The bound of this core's shared prefix-snapshot cache.
+    #[must_use]
+    pub fn prefix_cache_cap(&self) -> usize {
+        self.shared.prefix_cap
+    }
+
+    /// Number of prefix snapshots currently held by this core's cache.
+    #[must_use]
+    pub fn prefix_cache_len(&self) -> usize {
+        lock(&self.shared.prefix).len()
     }
 
     /// The options every session cloned off this core checks under.
@@ -333,24 +748,71 @@ impl SharedSessionCore {
             opts: self.opts.clone(),
             ctx: TyCtx::shared_with_base(&self.ctx),
             prelude: self.prelude.clone(),
+            core_states: self.states.len(),
             states: self.states.clone(),
             deadline: None,
+            shared: Arc::clone(&self.shared),
+            prefix_hits: 0,
+            prefix_misses: 0,
+            prefix_inserts: 0,
+            prefix_items_saved: 0,
+            lattice_state_hits: 0,
+            lattice_states_published: 0,
         }
     }
 
-    /// Rebuilds a fresh core under the same options — the *refresh hook*
-    /// for long-lived services (`p4bid serve --refresh-every N`).
+    /// Rebuilds a fresh core under the same options — the hard variant of
+    /// the *refresh hook* for long-lived services.
     ///
     /// Freezing is one-way and tiers do not stack, so a core can never
-    /// absorb what its workers learned; refreshing instead re-warms a new
-    /// root segment from scratch (the process-wide prelude token/AST
-    /// caches still hit, so only the prelude *check* is repaid). Verdicts
-    /// are unaffected — sessions off the old and the new core produce
-    /// identical reports — which is exactly what lets a serve loop refresh
-    /// between epochs without breaking its determinism contract.
+    /// absorb what its workers learned through `rebuild`; it re-warms a
+    /// new root segment from scratch (the process-wide prelude token/AST
+    /// caches still hit, so only the prelude *check* is repaid) and drops
+    /// the shared caches, whose handles would dangle against the new
+    /// segment. Verdicts are unaffected — sessions off the old and the
+    /// new core produce identical reports — which is exactly what lets a
+    /// serve loop refresh between epochs without breaking its determinism
+    /// contract. Services that want to *keep* what workers learned use
+    /// [`refreeze`](SharedSessionCore::refreeze) instead.
     #[must_use]
     pub fn rebuild(&self) -> SharedSessionCore {
-        SharedSessionCore::new(self.opts.clone())
+        SharedSessionCore::with_prefix_cache_cap(self.opts.clone(), self.shared.prefix_cap)
+    }
+
+    /// Merges harvested per-worker overlays into a fatter frozen root:
+    /// overlay symbols, types, lattices, and push-memo entries are
+    /// re-interned into the new frozen segment (children before parents,
+    /// ids remapped), and harvested checked-prelude states for new
+    /// lattices are remapped and adopted (first harvest wins per
+    /// lattice). Existing frozen ids are preserved verbatim, so the
+    /// shared caches — prefix snapshots included — stay valid and are
+    /// carried over: frequently seen program-local symbols and types now
+    /// start warm in every worker, and snapshots taken by one worker
+    /// serve them all.
+    #[must_use]
+    pub fn refreeze(&self, harvests: Vec<SessionHarvest>) -> SharedSessionCore {
+        let mut overlays = Vec::with_capacity(harvests.len());
+        let mut state_lists = Vec::with_capacity(harvests.len());
+        for h in harvests {
+            overlays.push(h.overlay);
+            state_lists.push(h.new_states);
+        }
+        let (ctx, remaps) = self.ctx.refreeze(&overlays);
+        let mut states = self.states.clone();
+        for (new_states, remap) in state_lists.iter().zip(&remaps) {
+            for (lat, st) in new_states {
+                if !states.iter().any(|(l, _)| l == lat) {
+                    states.push((lat.clone(), Arc::new(st.remap(remap))));
+                }
+            }
+        }
+        SharedSessionCore {
+            opts: self.opts.clone(),
+            ctx: Arc::new(ctx),
+            prelude: Arc::clone(&self.prelude),
+            states,
+            shared: Arc::clone(&self.shared),
+        }
     }
 }
 
@@ -376,6 +838,20 @@ pub struct SessionStats {
     pub ty_intern_calls: u64,
     /// `push_label` calls answered by the `(TyId, Label)` memo.
     pub push_cache_hits: u64,
+    /// Checks served from a prefix snapshot (suffix-only re-check).
+    pub prefix_hits: u64,
+    /// Checks that consulted the prefix cache and fell through cold.
+    pub prefix_misses: u64,
+    /// Prefix snapshots recorded by this session's clean cold runs.
+    pub prefix_inserts: u64,
+    /// Top-level items whose re-check a prefix snapshot skipped.
+    pub prefix_items_saved: u64,
+    /// Program-lattice prelude states adopted from the publish-once
+    /// shared table instead of being rebuilt.
+    pub lattice_state_hits: u64,
+    /// Program-lattice prelude states this session built *and* published
+    /// to the shared table (pure states only).
+    pub lattice_states_published: u64,
 }
 
 impl SessionStats {
@@ -392,6 +868,12 @@ impl SessionStats {
         self.ty_frozen_hits += other.ty_frozen_hits;
         self.ty_intern_calls += other.ty_intern_calls;
         self.push_cache_hits += other.push_cache_hits;
+        self.prefix_hits += other.prefix_hits;
+        self.prefix_misses += other.prefix_misses;
+        self.prefix_inserts += other.prefix_inserts;
+        self.prefix_items_saved += other.prefix_items_saved;
+        self.lattice_state_hits += other.lattice_state_hits;
+        self.lattice_states_published += other.lattice_states_published;
     }
 
     /// Fraction of symbol intern calls served by the frozen segment.
@@ -557,6 +1039,181 @@ mod tests {
         let mut session = core.session();
         let errs = session.check("control C(inout bit<8> x) { apply { } }").unwrap_err();
         assert!(errs.iter().any(|d| d.code == DiagCode::UnknownLabel), "{errs:?}");
+    }
+
+    /// Cold sessions are root-tier, so every snapshot is tier-pure and
+    /// the private prefix cache engages immediately: handy for pinning
+    /// resume ≡ cold equivalence without a refreeze in the loop.
+    #[test]
+    fn prefix_resume_matches_cold_check_bytes() {
+        let base = "typedef bit<8> octet;\n\
+                    header h_t { <octet, high> secret; <octet, low> public; }\n\
+                    function octet idf(in octet x) { return x; }\n\
+                    control C(inout h_t h) { apply { h.public = idf(h.public); } }\n";
+        // One accepting and one leaking final control, plus an edited
+        // middle item (which invalidates deeper snapshots).
+        let tails = [
+            "control D(inout h_t h) { apply { h.public = h.public + 8w1; } }",
+            "control D(inout h_t h) { apply { h.public = h.secret; } }",
+            "control D(inout h_t h, inout <bit<8>, low> out_b) { apply { out_b = idf(h.secret); } }",
+        ];
+        let mut warm = CheckerSession::new(CheckOptions::ifc());
+        let first = format!("{base}{}", tails[0]);
+        warm.check(&first).expect("accepts");
+        assert!(warm.stats().prefix_inserts >= 4, "cold run snapshots every item boundary");
+        for tail in tails {
+            let src = format!("{base}{tail}");
+            let mut cold = CheckerSession::new(CheckOptions::ifc()).with_prefix_cache_cap(0);
+            let a = warm.check(&src);
+            let b = cold.check(&src);
+            match (a, b) {
+                (Ok(a), Ok(b)) => {
+                    assert_eq!(a.program, b.program, "{tail}");
+                    assert_eq!(a.controls, b.controls, "{tail}");
+                    assert_eq!(format!("{:?}", a.lineage), format!("{:?}", b.lineage), "{tail}");
+                }
+                (Err(a), Err(b)) => {
+                    assert_eq!(format!("{a:?}"), format!("{b:?}"), "{tail}");
+                }
+                (a, b) => panic!("verdicts diverge on {tail}: {a:?} vs {b:?}"),
+            }
+        }
+        let stats = warm.stats();
+        assert!(stats.prefix_hits >= 3, "every resubmission resumed: {stats:?}");
+        // Each resumed check skipped the 4 unchanged prefix items.
+        assert!(stats.prefix_items_saved >= 12, "{stats:?}");
+    }
+
+    #[test]
+    fn prefix_resume_replays_lineage_seed_edges() {
+        // The violation's origin lies in the *prefix* (the `h.secret`
+        // read flows through `tmp`), so the explanation path of the
+        // resumed run must replay seeded edges byte-identically.
+        let prefix = "control C(inout <bit<8>, high> h, inout <bit<8>, low> l) {\n\
+                      apply { }\n\
+                      }\n";
+        let leak = "control D(inout <bit<8>, high> h2, inout <bit<8>, low> l2) {\n\
+                    apply { l2 = h2; }\n\
+                    }";
+        let src = format!("{prefix}{leak}");
+        let mut warm = CheckerSession::new(CheckOptions::ifc());
+        let ok = format!("{prefix}control D(inout bit<8> x) {{ apply {{ }} }}");
+        warm.check(&ok).expect("accepts");
+        let resumed = warm.check(&src).unwrap_err();
+        assert_eq!(warm.stats().prefix_hits, 1);
+        let cold = CheckerSession::new(CheckOptions::ifc())
+            .with_prefix_cache_cap(0)
+            .check(&src)
+            .unwrap_err();
+        assert_eq!(format!("{resumed:?}"), format!("{cold:?}"));
+    }
+
+    #[test]
+    fn timed_out_runs_never_insert_snapshots() {
+        let src = "typedef bit<8> octet;\ncontrol C(inout octet x) { apply { x = x + 8w1; } }";
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        session.set_deadline(Some(std::time::Instant::now() - std::time::Duration::from_millis(1)));
+        let errs = session.check(src).unwrap_err();
+        assert!(errs.iter().any(|d| d.code == DiagCode::Timeout));
+        assert_eq!(session.stats().prefix_inserts, 0, "transient runs are refused");
+        // The resubmission finds nothing to resume from…
+        session.check(src).expect("accepts unguarded");
+        assert_eq!(session.stats().prefix_hits, 0);
+        // …but inserts now, so a third round resumes.
+        session.check(src).expect("accepts");
+        assert_eq!(session.stats().prefix_hits, 1);
+    }
+
+    #[test]
+    fn failing_runs_never_insert_snapshots() {
+        let mut session = CheckerSession::new(CheckOptions::ifc());
+        let leak = "typedef bit<8> octet;\n\
+                    control C(inout <octet, low> l, inout <octet, high> h) { apply { l = h; } }";
+        session.check(leak).unwrap_err();
+        assert_eq!(session.stats().prefix_inserts, 0, "failed runs leave no snapshots");
+    }
+
+    #[test]
+    fn core_sessions_insert_only_tier_pure_snapshots() {
+        // A fresh core's frozen segment knows nothing about the user
+        // program's names, so its snapshots are impure and refused…
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let src = "typedef bit<8> octet;\ncontrol C(inout octet x) { apply { x = x + 8w1; } }";
+        let mut s = core.session();
+        s.check(src).expect("accepts");
+        assert_eq!(s.stats().prefix_inserts, 0, "overlay handles are not publishable");
+        // …until a refreeze promotes those names into the frozen segment.
+        let harvest = s.into_harvest().expect("sole owner harvests");
+        let core2 = core.refreeze(vec![harvest]);
+        let mut s2 = core2.session();
+        s2.check(src).expect("accepts");
+        let stats = s2.stats();
+        assert!(stats.prefix_inserts >= 2, "promoted names snapshot cleanly: {stats:?}");
+        assert_eq!((stats.overlay_syms, stats.overlay_types), (0, 0), "fully warm resubmission");
+        // A sibling session of the same core resumes from s2's snapshots.
+        let mut s3 = core2.session();
+        let edited = src.replace("x + 8w1", "x + 8w2");
+        s3.check(&edited).expect("accepts");
+        let stats3 = s3.stats();
+        assert_eq!(stats3.prefix_hits, 1, "cross-session snapshot hit: {stats3:?}");
+        assert_eq!(stats3.prefix_items_saved, 1);
+    }
+
+    #[test]
+    fn pure_lattice_states_publish_once_across_siblings() {
+        // A renamed two-point chain reuses every frozen type (its label
+        // *indices* coincide with the warm lattice's), so its prelude
+        // state is tier-pure and publishable: the first worker builds
+        // it, every sibling adopts it from the shared table. The prefix
+        // cache is disabled so the table is exercised in isolation (a
+        // snapshot hit past the lattice decl would otherwise subsume it).
+        let core = SharedSessionCore::with_prefix_cache_cap(CheckOptions::ifc(), 0);
+        let chain = "lattice { lo < hi; }\n\
+                     control C(inout <bit<8>, hi> a) { apply { a = a + 8w1; } }";
+        let mut s = core.session();
+        s.check(chain).expect("accepts");
+        let stats = s.stats();
+        assert_eq!(stats.lattice_states_published, 1, "{stats:?}");
+        let mut sibling = core.session();
+        sibling.check(chain).expect("accepts");
+        let sib = sibling.stats();
+        assert_eq!(sib.lattice_state_hits, 1, "publish-once table hit: {sib:?}");
+        assert_eq!(sib.lattice_states_published, 0);
+    }
+
+    #[test]
+    fn refreeze_adopts_harvested_lattice_states() {
+        // The diamond's prelude state is *impure* (its inferred `pc_fn`
+        // labels differ from the warm lattice's, so the prelude's
+        // Function nodes are overlay-tier). It cannot be published to
+        // the side table — a refreeze promotes it instead, so the next
+        // generation's sessions are born with it.
+        let core = SharedSessionCore::new(CheckOptions::ifc());
+        let diamond = "lattice { bot < A; bot < B; A < top; B < top; }\n\
+                       control C(inout <bit<8>, A> a) { apply { a = 8w1; } }";
+        let mut s = core.session();
+        s.check(diamond).expect("accepts");
+        assert_eq!(s.stats().lattice_states_published, 0, "impure state stays local");
+        let core2 = core.refreeze(vec![s.into_harvest().expect("harvests")]);
+        let mut s2 = core2.session();
+        assert_eq!(s2.states.len(), 2, "born with the remapped diamond state");
+        s2.check(diamond).expect("accepts");
+        // The adopted state answered: nothing was rebuilt or re-pushed.
+        assert_eq!(s2.states.len(), 2);
+        assert_eq!(s2.stats().lattice_state_hits, 0);
+    }
+
+    #[test]
+    fn prefix_cache_cap_zero_disables() {
+        let core = SharedSessionCore::with_prefix_cache_cap(CheckOptions::ifc(), 0);
+        assert_eq!(core.prefix_cache_cap(), 0);
+        let mut s = core.session();
+        let src = "control C(inout bit<8> x) { apply { } }";
+        s.check(src).expect("accepts");
+        s.check(src).expect("accepts");
+        let stats = s.stats();
+        assert_eq!((stats.prefix_hits, stats.prefix_misses, stats.prefix_inserts), (0, 0, 0));
+        assert_eq!(core.prefix_cache_len(), 0);
     }
 
     #[test]

@@ -86,6 +86,91 @@ proptest! {
         prop_assert_eq!(&a, &again, "a reused session agrees with itself");
     }
 
+    /// Prefix-snapshot resume is invisible: a warm session that already
+    /// checked a related program (seeding the snapshot tree) answers a
+    /// second program exactly like a cold session with the cache disabled
+    /// — verdicts, diagnostics, and typed output all byte-identical. The
+    /// generator builds both programs from a shared pool of valid items so
+    /// common prefixes (and thus snapshot hits) are frequent.
+    #[test]
+    fn prefix_resume_matches_cold_check(
+        base in proptest::collection::vec(0usize..8, 1..7),
+        tail in proptest::collection::vec(0usize..8, 0..4),
+        split in 0usize..7,
+    ) {
+        const ITEMS: [&str; 8] = [
+            "lattice { lo < hi; }",
+            "control A(inout <bit<8>, high> h) { apply { h = h + 8w1; } }",
+            "control B(inout bit<8> x) { apply { x = x + 8w2; } }",
+            "control Leak(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+            "action inc(inout bit<8> v) { v = v + 8w1; }",
+            "bit<8> twice(bit<8> v) { return v + v; }",
+            "header ph_t { <bit<8>, high> f; }",
+            "control G(inout <bit<8>, low> l) { apply { if (l == 8w0) { l = 8w1; } } }",
+        ];
+        let render = |ixs: &[usize]| {
+            ixs.iter().map(|&i| ITEMS[i]).collect::<Vec<_>>().join("\n")
+        };
+        let first = render(&base);
+        let second = render(
+            &base[..split.min(base.len())]
+                .iter()
+                .copied()
+                .chain(tail.iter().copied())
+                .collect::<Vec<_>>(),
+        );
+        // Interner/pool ids differ between a warm and a cold session (the
+        // warm one allocated ids for the first program too), so compare a
+        // rendered projection — names, labels, display-form types, and
+        // full diagnostics — rather than raw `Debug` output.
+        let project = |out: &Result<p4bid_typeck::TypedProgram, Vec<p4bid_typeck::Diagnostic>>| {
+            match out {
+                Err(diags) => format!("err: {diags:?}"),
+                Ok(t) => {
+                    let ctx = t.ctx.borrow();
+                    let controls: Vec<String> = t
+                        .controls
+                        .iter()
+                        .map(|c| {
+                            let params: Vec<String> = c
+                                .params
+                                .iter()
+                                .map(|p| {
+                                    format!(
+                                        "{:?} {} {}",
+                                        p.direction,
+                                        p4bid_ast::sectype::display_secty(
+                                            &ctx.types, &ctx.syms, &t.lattice, p.ty,
+                                        ),
+                                        p.name,
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{}({}) pc={} fns={:?} tables={:?}",
+                                c.name,
+                                params.join(", "),
+                                t.lattice.name(c.pc),
+                                c.functions.iter().map(|(n, _)| n.as_str()).collect::<Vec<_>>(),
+                                c.tables
+                                    .iter()
+                                    .map(|(n, l)| format!("{n}:{}", t.lattice.name(*l)))
+                                    .collect::<Vec<_>>(),
+                            )
+                        })
+                        .collect();
+                    format!("ok: {controls:?}")
+                }
+            }
+        };
+        let mut warm = CheckerSession::new(CheckOptions::ifc());
+        let _ = warm.check(&first);
+        let warm_out = project(&warm.check(&second));
+        let mut cold = CheckerSession::new(CheckOptions::ifc()).with_prefix_cache_cap(0);
+        let cold_out = project(&cold.check(&second));
+        prop_assert_eq!(warm_out, cold_out, "snapshot resume must be semantically invisible");
+    }
+
     /// The resource guards stay total too: a byte cap and an (unexpired)
     /// deadline never panic, and the cap rejects exactly the inputs
     /// longer than it.
