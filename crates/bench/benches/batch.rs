@@ -1,9 +1,11 @@
 //! Batch-throughput bench: the `p4bid batch` hot path.
 //!
 //! Measures (a) one-shot [`check`] against a reused [`CheckerSession`] on
-//! the same program — the string-interning + prelude-caching win — and
+//! the same program — the string-interning + prelude-caching win —
 //! (b) whole-corpus batch checking at one worker vs one worker per core —
-//! the thread-pool win (flat on single-core CI runners).
+//! the thread-pool win (flat on single-core CI runners) — and (c) the
+//! topology fixpoint on an 8-hop chain, recorded as a per-round cost
+//! (`fixpoint_rounds_us`).
 //!
 //! Run with `cargo bench -p p4bid-bench --bench batch`. Set
 //! `P4BID_BENCH_JSON=path` to also write a machine-readable summary (the
@@ -13,10 +15,33 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use p4bid::batch::{check_batch, synthetic_corpus};
 use p4bid::synth::synth_program;
+use p4bid::topo::{check_topology, TopoManifest, Topology};
 use p4bid::{check, CheckOptions, CheckerSession};
 use std::fmt::Write as _;
 
 const CORPUS: usize = 200;
+const TOPO_HOPS: usize = 8;
+
+/// A `TOPO_HOPS`-switch chain seeded `high` at the edge: the seed takes
+/// one fixpoint round per hop to reach the core, so the fixpoint runs
+/// the full `TOPO_HOPS` rounds — the worst case for a chain.
+fn chain_topology() -> Topology {
+    let mut m = String::from("lattice = \"low < high\"\n");
+    for i in 0..TOPO_HOPS {
+        let _ = writeln!(m, "\n[switch s{i}]\nprogram = \"s{i}.p4\"");
+        if i == 0 {
+            m.push_str("ingress = \"high\"\n");
+        }
+        if i + 1 < TOPO_HOPS {
+            let _ = writeln!(m, "\n[link s{i}:out -> s{}:in]", i + 1);
+        }
+    }
+    let program = "control Fwd(inout <bit<8>, high> x) { apply { x = x + 8w1; } }";
+    TopoManifest::parse(&m)
+        .expect("bench manifest parses")
+        .resolve_with(|_| Ok(program.to_string()))
+        .expect("bench topology assembles")
+}
 
 fn bench_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("batch");
@@ -45,6 +70,18 @@ fn bench_batch(c: &mut Criterion) {
         &corpus,
         |b, inputs| {
             b.iter(|| check_batch(inputs, &CheckOptions::ifc().with_lineage(false), 1));
+        },
+    );
+    // The topology fixpoint on an 8-hop chain: one round per hop, so
+    // this prices label propagation plus per-switch re-checking (most
+    // hops are verdict-cache hits after round one).
+    let topo = chain_topology();
+    group.throughput(Throughput::Elements(TOPO_HOPS as u64));
+    group.bench_with_input(
+        BenchmarkId::new("topo", format!("chain-{TOPO_HOPS}")),
+        &topo,
+        |b, t| {
+            b.iter(|| check_topology(t, &CheckOptions::ifc(), 1));
         },
     );
     group.finish();
@@ -77,10 +114,15 @@ fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
     let session_ms = time_ms(&mut || {
         session.check(&program).expect("accepts");
     });
+    let topo = chain_topology();
+    let rounds = check_topology(&topo, &opts, 1).rounds.max(1);
+    let topo_ms = time_ms(&mut || {
+        let _ = check_topology(&topo, &opts, 1);
+    });
 
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let mut json = String::from("{\n");
-    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-batch/2\",");
+    let _ = writeln!(json, "  \"schema\": \"p4bid-bench-batch/3\",");
     let _ = writeln!(json, "  \"corpus_programs\": {},", corpus.len());
     let _ = writeln!(json, "  \"cores\": {cores},");
     let _ = writeln!(json, "  \"batch_jobs_1_ms\": {jobs_1_ms:.3},");
@@ -103,7 +145,10 @@ fn summary_json(corpus: &[p4bid::batch::BatchInput]) {
     );
     let _ = writeln!(json, "  \"one_shot_check_ms\": {one_shot_ms:.4},");
     let _ = writeln!(json, "  \"session_check_ms\": {session_ms:.4},");
-    let _ = writeln!(json, "  \"session_speedup\": {:.2}", one_shot_ms / session_ms.max(1e-9));
+    let _ = writeln!(json, "  \"session_speedup\": {:.2},", one_shot_ms / session_ms.max(1e-9));
+    let _ = writeln!(json, "  \"topo_chain_switches\": {TOPO_HOPS},");
+    let _ = writeln!(json, "  \"topo_fixpoint_rounds\": {rounds},");
+    let _ = writeln!(json, "  \"fixpoint_rounds_us\": {:.2}", topo_ms * 1e3 / rounds as f64);
     json.push_str("}\n");
 
     match std::env::var("P4BID_BENCH_JSON") {

@@ -184,6 +184,12 @@ pub struct BatchStats {
     /// Requests checked in a final drain epoch after SIGTERM/SIGINT
     /// (serve/watch only; always 0 for plain batches).
     pub drained: u64,
+    /// Topology fixpoint rounds until label stabilization (`p4bid topo`
+    /// only; always 0 for plain batches — the `p4bid-stats/5` additions).
+    pub topo_rounds: u64,
+    /// Real (non-cache-hit) per-switch program checks across the
+    /// topology fixpoint (`p4bid topo` only; always 0 for plain batches).
+    pub switch_rechecks: u64,
 }
 
 impl BatchStats {
@@ -202,6 +208,8 @@ impl BatchStats {
         self.timeouts += other.timeouts;
         self.oversized += other.oversized;
         self.drained += other.drained;
+        self.topo_rounds += other.topo_rounds;
+        self.switch_rechecks += other.switch_rechecks;
     }
 
     /// Derives the failure-domain counters from a finished report by
@@ -263,11 +271,16 @@ impl BatchStats {
             "failure domains: panics {}, timeouts {}, oversized {}, drained {}",
             self.panics, self.timeouts, self.oversized, self.drained,
         );
+        let _ = writeln!(
+            out,
+            "topology: fixpoint rounds {}, switch rechecks {}",
+            self.topo_rounds, self.switch_rechecks,
+        );
         out
     }
 
     /// Machine-readable statistics (`--stats-json`): one JSON document per
-    /// line, schema `p4bid-stats/4`, emitted on **stderr** so the
+    /// line, schema `p4bid-stats/5`, emitted on **stderr** so the
     /// deterministic report schemas on stdout are never polluted —
     /// everything in here (overlay sizes, hit counters) legitimately
     /// varies with work-stealing order. `epochs` is present only for
@@ -277,7 +290,9 @@ impl BatchStats {
     /// counters (`panics`, `timeouts`, `oversized`, `drained`); `/4` added
     /// the incremental-checking counters (`prefix_hits`, `prefix_misses`,
     /// `prefix_inserts`, `prefix_items_saved`, `lattice_state_hits`,
-    /// `lattice_states_published`, and `refreezes` in the `ops` block).
+    /// `lattice_states_published`, and `refreezes` in the `ops` block);
+    /// `/5` added the topology fixpoint counters (`topo_rounds`,
+    /// `switch_rechecks`).
     #[must_use]
     pub fn render_json(
         &self,
@@ -287,7 +302,7 @@ impl BatchStats {
     ) -> String {
         let s = &self.sessions;
         let mut out = String::from("{");
-        let _ = write!(out, "\"schema\": \"p4bid-stats/4\"");
+        let _ = write!(out, "\"schema\": \"p4bid-stats/5\"");
         let _ = write!(out, ", \"command\": {}", json_string(command));
         if let Some(epochs) = epochs {
             let _ = write!(out, ", \"epochs\": {epochs}");
@@ -314,6 +329,8 @@ impl BatchStats {
         let _ = write!(out, ", \"timeouts\": {}", self.timeouts);
         let _ = write!(out, ", \"oversized\": {}", self.oversized);
         let _ = write!(out, ", \"drained\": {}", self.drained);
+        let _ = write!(out, ", \"topo_rounds\": {}", self.topo_rounds);
+        let _ = write!(out, ", \"switch_rechecks\": {}", self.switch_rechecks);
         if let Some(o) = ops {
             let _ = write!(out, ", \"connections\": {}", o.connections);
             let _ = write!(out, ", \"conn_errors\": {}", o.conn_errors);
@@ -976,7 +993,7 @@ mod tests {
         assert_eq!(report.stats.panics, 0);
         let json = report.stats.render_json("batch", None, None);
         assert!(json.contains("\"oversized\": 4"), "{json}");
-        assert!(json.contains("\"schema\": \"p4bid-stats/4\""), "{json}");
+        assert!(json.contains("\"schema\": \"p4bid-stats/5\""), "{json}");
         assert!(json.contains("\"prefix_hits\": "), "{json}");
         let text = report.stats.render_text();
         assert!(text.contains("failure domains: panics 0, timeouts 0, oversized 4"), "{text}");

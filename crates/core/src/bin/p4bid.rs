@@ -10,6 +10,8 @@
 //!                                                       streaming ingest daemon (NDJSON feed)
 //! p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--policy FILE] [--max-epochs N]
 //!                                                       watch a directory, re-check on change
+//! p4bid topo MANIFEST [--jobs J] [--json] [--watch] [--interval-ms MS] [--max-epochs N]
+//!                                                       fixpoint-check a switch topology
 //!
 //! `check`/`batch`/`serve`/`watch` all take the resource guards
 //! `--max-source-bytes N` and `--check-timeout-ms MS`; `serve`/`watch`
@@ -42,6 +44,7 @@ fn main() -> ExitCode {
         Some("batch") => cmd_batch(&args[1..]),
         Some("serve") => cmd_serve(&args[1..]),
         Some("watch") => cmd_watch(&args[1..]),
+        Some("topo") => cmd_topo(&args[1..]),
         Some("matrix") => {
             print!("{}", render_matrix(&case_study_matrix()));
             ExitCode::SUCCESS
@@ -60,6 +63,7 @@ fn main() -> ExitCode {
                  p4bid batch DIR|--synthetic N [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--base|--permissive] [--pc LABEL] [--prefix-cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
                  p4bid serve [--socket PATH] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--max-epoch N] [--max-pending N] [--shed] [--max-line BYTES] [--cache-cap N] [--prefix-cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
                  p4bid watch DIR [--interval-ms MS] [--jobs J] [--json] [--policy FILE] [--stats|--stats-json] [--max-epochs N] [--refresh-every N] [--cache-cap N] [--prefix-cache-cap N] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
+                 p4bid topo MANIFEST [--jobs J] [--json] [--stats|--stats-json] [--watch] [--interval-ms MS] [--max-epochs N] [--base|--permissive] [--max-source-bytes N] [--check-timeout-ms MS]\n  \
                  p4bid matrix\n  p4bid table1 [ITERS]\n  \
                  p4bid ni FILE --control NAME [--runs N] [--observe LABEL]\n  \
                  p4bid corpus [NAME] [--insecure|--unannotated]\n  \
@@ -518,6 +522,82 @@ fn cmd_watch(args: &[String]) -> ExitCode {
         std::time::Duration::from_millis(interval_ms.unwrap_or(500)),
     );
     finish_serve(args, &engine, result, "watch")
+}
+
+fn cmd_topo(args: &[String]) -> ExitCode {
+    let Some(path) = positional(args) else {
+        eprintln!("error: `p4bid topo` needs a manifest file");
+        return ExitCode::from(2);
+    };
+    let (Ok(jobs), Ok(opts), Ok(max_epochs), Ok(interval_ms)) = (
+        parse_jobs(args),
+        check_options(args),
+        u64_flag(args, "--max-epochs"),
+        u64_flag(args, "--interval-ms"),
+    ) else {
+        return ExitCode::from(2);
+    };
+    let manifest_path = std::path::Path::new(path);
+    let topo = match p4bid::topo::Topology::load(manifest_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let mut engine = p4bid::topo::TopoEngine::new(topo, opts, jobs);
+    if args.iter().any(|a| a == "--watch") {
+        p4bid::serve::install_drain_handler();
+        let result = p4bid::topo::run_topo_watch(
+            &mut engine,
+            manifest_path,
+            &mut std::io::stdout().lock(),
+            &mut std::io::stderr().lock(),
+            json,
+            max_epochs,
+            std::time::Duration::from_millis(interval_ms.unwrap_or(500)),
+        );
+        print_stats(args, &engine.cumulative_stats(), "topo", Some(engine.epochs()), None);
+        match result {
+            Ok(summary) => {
+                eprintln!("watched {} epoch(s)", summary.epochs);
+                if summary.any_bad {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::from(2)
+            }
+        }
+    } else {
+        let start = std::time::Instant::now();
+        let report = engine.run_epoch();
+        if json {
+            print!("{}", report.to_json());
+        } else {
+            print!("{}", report.render_table());
+        }
+        print_stats(args, &report.stats, "topo", None, None);
+        // Timing goes to stderr so stdout stays byte-identical across
+        // runs and `--jobs` settings.
+        eprintln!(
+            "checked {} switch(es) in {:.1} ms on {} worker(s): {} round(s), {} recheck(s)",
+            report.switches.len(),
+            start.elapsed().as_secs_f64() * 1e3,
+            report.jobs,
+            report.rounds,
+            report.switch_rechecks,
+        );
+        if report.all_ok() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        }
+    }
 }
 
 fn cmd_ni(args: &[String]) -> ExitCode {

@@ -10,9 +10,10 @@
 //! [`corpus`] of case studies, derives the unannotated baselines
 //! ([`strip`]), generates scaling workloads ([`synth`]), checks whole
 //! corpora in parallel ([`batch`]), runs the streaming ingest service
-//! behind `p4bid serve` / `p4bid watch` ([`serve`]), fuzzes the soundness
-//! theorem across cores ([`fuzz`]), injects deterministic faults for
-//! chaos testing ([`faults`]), renders diagnostics
+//! behind `p4bid serve` / `p4bid watch` ([`serve`]), composes per-switch
+//! verdicts into whole-network fixpoint reports ([`topo`]), fuzzes the
+//! soundness theorem across cores ([`fuzz`]), injects deterministic
+//! faults for chaos testing ([`faults`]), renders diagnostics
 //! ([`render_diagnostics`]), and produces the evaluation reports
 //! ([`report`]).
 //!
@@ -62,6 +63,7 @@ pub mod report;
 pub mod serve;
 pub mod strip;
 pub mod synth;
+pub mod topo;
 
 pub use p4bid_typeck::{
     check_source as check, render_chain, CheckOptions, CheckerSession, DiagCode, Diagnostic,

@@ -220,11 +220,11 @@ impl PolicyPack {
     }
 }
 
-fn unquote(s: &str) -> &str {
+pub(crate) fn unquote(s: &str) -> &str {
     s.strip_prefix('"').and_then(|s| s.strip_suffix('"')).unwrap_or(s)
 }
 
-fn parse_bool(s: &str, line: usize) -> Result<bool, PolicyError> {
+pub(crate) fn parse_bool(s: &str, line: usize) -> Result<bool, PolicyError> {
     match s {
         "true" => Ok(true),
         "false" => Ok(false),
@@ -233,8 +233,9 @@ fn parse_bool(s: &str, line: usize) -> Result<bool, PolicyError> {
 }
 
 /// Parses a lattice value: a named shorthand or a `lo < hi; …` order
-/// expression (element names in first-appearance order).
-fn parse_lattice(s: &str, line: usize) -> Result<Lattice, PolicyError> {
+/// expression (element names in first-appearance order). Shared with the
+/// topology manifest parser, which speaks the same flat format.
+pub(crate) fn parse_lattice(s: &str, line: usize) -> Result<Lattice, PolicyError> {
     match s {
         "two-point" => return Ok(Lattice::two_point()),
         "diamond" => return Ok(Lattice::diamond()),

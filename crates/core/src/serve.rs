@@ -46,7 +46,7 @@
 //! keyed by `(FNV-1a content hash, CheckOptions fingerprint)`: a
 //! resubmitted body is answered from the cache with a report
 //! byte-identical to a fresh check, and hit/miss/size counters surface
-//! in the `p4bid-stats/4` document ([`ServeOps`]).
+//! in the `p4bid-stats/5` document ([`ServeOps`]).
 //!
 //! # Examples
 //!
@@ -732,6 +732,7 @@ pub fn options_fingerprint(opts: &CheckOptions) -> u64 {
         allow_declassify,
         max_source_bytes,
         check_timeout_ms,
+        pc_floor,
     } = opts;
     let mut bytes = Vec::new();
     bytes.push(match mode {
@@ -768,6 +769,7 @@ pub fn options_fingerprint(opts: &CheckOptions) -> u64 {
     }
     bytes.push(u8::from(*record_lineage));
     bytes.push(u8::from(*allow_declassify));
+    bytes.push(u8::from(*pc_floor));
     // The resource guards change verdicts (E-OVERSIZED is content- and
     // cap-determined), so they partition the cache like any other option.
     bytes.extend_from_slice(&max_source_bytes.to_le_bytes());
@@ -872,7 +874,7 @@ impl VerdictCache {
     }
 }
 
-/// Front-door operational counters for the `p4bid-stats/4` schema:
+/// Front-door operational counters for the `p4bid-stats/5` schema:
 /// connection, queue, and verdict-cache behaviour of one serve run.
 /// Rendered on **stderr** only (`--stats`/`--stats-json`) — everything
 /// in here varies with arrival timing, so it is never part of the
@@ -897,7 +899,7 @@ pub struct ServeOps {
     pub cache_size: u64,
     /// Core refreshes performed by `--refresh-every`: each one re-freezes
     /// the shared core, folding the harvested per-worker overlay tables
-    /// into a fatter frozen root (the `p4bid-stats/4` addition).
+    /// into a fatter frozen root (the `p4bid-stats/5` addition).
     pub refreezes: u64,
 }
 
@@ -1097,7 +1099,7 @@ impl ServeEngine {
     }
 
     /// Front-door and verdict-cache counters so far (the serve-specific
-    /// half of the `p4bid-stats/4` document).
+    /// half of the `p4bid-stats/5` document).
     #[must_use]
     pub fn ops(&self) -> ServeOps {
         ServeOps {
@@ -1113,7 +1115,7 @@ impl ServeEngine {
     }
 
     /// Records `n` pending requests flushed by a graceful drain in the
-    /// cumulative `drained` counter (the `p4bid-stats/4` failure-domain
+    /// cumulative `drained` counter (the `p4bid-stats/5` failure-domain
     /// line). The requests still get checked — drained work is finished
     /// work, not dropped work; the counter says the final epoch(s) were
     /// cut by a shutdown request rather than by the normal triggers.
@@ -1387,7 +1389,7 @@ pub fn clear_drain() {
 
 /// Sleeps for `total`, in small slices so a drain request (which only
 /// sets a flag — nothing wakes the sleeper) is noticed within ~25 ms.
-fn drainable_sleep(total: Duration) {
+pub(crate) fn drainable_sleep(total: Duration) {
     let deadline = std::time::Instant::now() + total;
     while !drain_requested() {
         match deadline.checked_duration_since(std::time::Instant::now()) {

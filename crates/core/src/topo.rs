@@ -1,0 +1,1529 @@
+//! Topology-scale checking: fixpoint composition of per-switch verdicts.
+//!
+//! P4BID checks one program at a time, but the property a network operator
+//! cares about is end-to-end: data labeled `high` at one switch must not
+//! reach a port another switch exports as `low`. This module lifts the
+//! program checker to a *network* checker. A flat manifest (`p4bid.topo`
+//! by convention) declares switches (name → program path, plus optional
+//! per-switch option overrides), directed links (`sw1:p2 -> sw2:p1`), and
+//! per-link label *contracts* — the highest label the wire is allowed to
+//! carry.
+//!
+//! The driver computes, for every switch `s`, an **ingress label**
+//! `in(s)`: the join of its declared external seed with the egress labels
+//! of every upstream switch feeding it. Each switch's program is then
+//! checked with its ambient `pc` seeded to `in(s)` (and
+//! [`CheckOptions::pc_floor`] on, so a control cannot understate its own
+//! `@pc` below the real upstream influence). Because labels only ever
+//! move *up* the (finite) lattice via joins, the propagation is monotone
+//! and the fixpoint terminates in at most `|switches| · |lattice|`
+//! rounds. Egress labels default to `in(s)` — a switch accepted at
+//! ambient `pc = in(s)` cannot have written below that context, so the
+//! taint view is sound — and a manifest may declare a lower egress only
+//! when the switch is allowed to declassify; otherwise the downgrade is
+//! refused (the conservative `in(s)` propagates) and reported.
+//!
+//! Determinism is the same contract the batch layer pins: rounds are
+//! sequential barriers, within a round the dirty switches fan out over
+//! the work-stealing pool (grouped by distinct resolved option sets, in
+//! first-appearance order) and merge by switch index, and link
+//! propagation walks the manifest's link order. Reports are
+//! byte-identical across `--jobs` settings and repeated runs.
+//!
+//! # Examples
+//!
+//! ```
+//! use p4bid::topo::{check_topology, TopoManifest};
+//! use p4bid::CheckOptions;
+//!
+//! let manifest = TopoManifest::parse(
+//!     r#"
+//!     lattice = "low < high"
+//!
+//!     [switch edge]
+//!     program = "edge.p4"
+//!     ingress = "high"
+//!
+//!     [link edge:p1 -> core:p1]
+//!     contract = "low"
+//!
+//!     [switch core]
+//!     program = "core.p4"
+//!     "#,
+//! )
+//! .unwrap();
+//! let fwd = "control C(inout <bit<8>, high> x) { apply { x = x + 8w1; } }";
+//! let topo = manifest
+//!     .resolve_with(|path| Ok(format!("// {path}\n{fwd}")))
+//!     .unwrap();
+//! let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+//! // Both programs check, but the edge switch's `high` ingress crosses a
+//! // `low`-contracted wire: the topology is rejected.
+//! assert_eq!(report.accepted(), 2);
+//! assert_eq!(report.violations.len(), 1);
+//! assert!(!report.all_ok());
+//! ```
+
+use crate::batch::{
+    check_batch_with_core, BatchDiagnostic, BatchInput, BatchReport, BatchStats, ProgramReport,
+};
+use crate::policy;
+use crate::serve::options_fingerprint;
+use p4bid_lattice::{Label, Lattice};
+use p4bid_typeck::{CheckOptions, SharedSessionCore};
+use std::collections::HashMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::path::Path;
+
+/// A topology-manifest load error, pointing at the offending line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoError {
+    /// 1-based line in the manifest (0 for file-level errors).
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl TopoError {
+    fn at(line: usize, message: impl Into<String>) -> Self {
+        TopoError { line, message: message.into() }
+    }
+}
+
+impl fmt::Display for TopoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.line == 0 {
+            write!(f, "topology error: {}", self.message)
+        } else {
+            write!(f, "topology error at line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for TopoError {}
+
+/// One `[switch NAME]` section of a manifest, before program sources are
+/// loaded.
+#[derive(Debug, Clone)]
+pub struct SwitchDecl {
+    /// Switch name (unique within the topology).
+    pub name: String,
+    /// Program path, relative to the manifest file.
+    pub program: String,
+    /// External ingress seed label name (default: lattice bottom).
+    pub ingress: Option<String>,
+    /// Declared egress label name (default: the computed ingress label).
+    pub egress: Option<String>,
+    /// Extra ambient-`pc` floor joined into the seed.
+    pub pc: Option<String>,
+    /// Per-switch `declassify` override.
+    pub declassify: Option<bool>,
+    /// Per-switch program-check lattice override.
+    pub lattice: Option<Lattice>,
+    /// 1-based manifest line of the section header.
+    pub line: usize,
+}
+
+/// One `[link sw:port -> sw:port]` section of a manifest.
+#[derive(Debug, Clone)]
+pub struct LinkDecl {
+    /// Upstream endpoint (switch name, port name).
+    pub from: (String, String),
+    /// Downstream endpoint (switch name, port name).
+    pub to: (String, String),
+    /// Label-contract name for the wire (default: lattice top).
+    pub contract: Option<String>,
+    /// 1-based manifest line of the section header.
+    pub line: usize,
+}
+
+/// A parsed (but not yet resolved) topology manifest.
+///
+/// The format is the crate's usual flat, line-based style: section
+/// headers, `key = value` lines, `#` comments. Two section forms exist —
+/// `[switch NAME]` (keys `program`, `ingress`, `egress`, `pc`,
+/// `declassify`, `lattice`) and `[link sw:port -> sw:port]` (key
+/// `contract`) — plus one topology-level key, `lattice`, accepted before
+/// the first section: the *boundary* lattice that ingress/egress/contract
+/// labels resolve against (`"two-point"`, `"diamond"`, or a `lo < hi; …`
+/// order expression; default two-point). Loading is fail-fast with
+/// 1-based line numbers, exactly like [`crate::policy::PolicyPack`].
+#[derive(Debug, Clone, Default)]
+pub struct TopoManifest {
+    /// Boundary lattice, if the manifest sets one.
+    pub lattice: Option<Lattice>,
+    /// Switch sections, in file order.
+    pub switches: Vec<SwitchDecl>,
+    /// Link sections, in file order.
+    pub links: Vec<LinkDecl>,
+}
+
+/// Which section the manifest parser is currently filling.
+enum Section {
+    Preamble,
+    Switch(usize),
+    Link(usize),
+}
+
+impl TopoManifest {
+    /// Parses a manifest from its text form.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed line (fail-fast: a topology manifest is
+    /// a security boundary and never degrades to defaults silently).
+    pub fn parse(text: &str) -> Result<Self, TopoError> {
+        let mut m = TopoManifest::default();
+        let mut section = Section::Preamble;
+        for (ix, raw) in text.lines().enumerate() {
+            let lineno = ix + 1;
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let Some(header) = header.strip_suffix(']') else {
+                    return Err(TopoError::at(
+                        lineno,
+                        format!("unterminated section header `{line}`"),
+                    ));
+                };
+                let header = header.trim();
+                if let Some(name) = header.strip_prefix("switch ") {
+                    let name = name.trim();
+                    if name.is_empty() {
+                        return Err(TopoError::at(lineno, "empty switch name"));
+                    }
+                    m.switches.push(SwitchDecl {
+                        name: name.to_string(),
+                        program: String::new(),
+                        ingress: None,
+                        egress: None,
+                        pc: None,
+                        declassify: None,
+                        lattice: None,
+                        line: lineno,
+                    });
+                    section = Section::Switch(m.switches.len() - 1);
+                } else if let Some(spec) = header.strip_prefix("link ") {
+                    let Some((from, to)) = spec.split_once("->") else {
+                        return Err(TopoError::at(
+                            lineno,
+                            format!("expected `[link sw:port -> sw:port]`, found `[{header}]`"),
+                        ));
+                    };
+                    m.links.push(LinkDecl {
+                        from: parse_endpoint(from, lineno)?,
+                        to: parse_endpoint(to, lineno)?,
+                        contract: None,
+                        line: lineno,
+                    });
+                    section = Section::Link(m.links.len() - 1);
+                } else {
+                    return Err(TopoError::at(
+                        lineno,
+                        format!("unknown section `[{header}]` (expected `switch` or `link`)"),
+                    ));
+                }
+                continue;
+            }
+            let Some((key, value)) = line.split_once('=') else {
+                return Err(TopoError::at(
+                    lineno,
+                    format!("expected `key = value`, found `{line}`"),
+                ));
+            };
+            let key = key.trim();
+            let value = policy::unquote(value.trim());
+            match &section {
+                Section::Preamble => match key {
+                    "lattice" => m.lattice = Some(parse_lattice(value, lineno)?),
+                    other => {
+                        return Err(TopoError::at(
+                            lineno,
+                            format!(
+                                "unknown topology key `{other}` before the first section \
+                                 (expected `lattice`)"
+                            ),
+                        ));
+                    }
+                },
+                Section::Switch(i) => {
+                    let sw = &mut m.switches[*i];
+                    match key {
+                        "program" => sw.program = value.to_string(),
+                        "ingress" => sw.ingress = Some(value.to_string()),
+                        "egress" => sw.egress = Some(value.to_string()),
+                        "pc" => sw.pc = Some(value.to_string()),
+                        "declassify" => sw.declassify = Some(parse_bool(value, lineno)?),
+                        "lattice" => sw.lattice = Some(parse_lattice(value, lineno)?),
+                        other => {
+                            return Err(TopoError::at(
+                                lineno,
+                                format!(
+                                    "unknown switch key `{other}` (expected `program`, \
+                                     `ingress`, `egress`, `pc`, `declassify`, or `lattice`)"
+                                ),
+                            ));
+                        }
+                    }
+                }
+                Section::Link(i) => match key {
+                    "contract" => m.links[*i].contract = Some(value.to_string()),
+                    other => {
+                        return Err(TopoError::at(
+                            lineno,
+                            format!("unknown link key `{other}` (expected `contract`)"),
+                        ));
+                    }
+                },
+            }
+        }
+        for sw in &m.switches {
+            if sw.program.is_empty() {
+                return Err(TopoError::at(
+                    sw.line,
+                    format!("switch `{}` declares no `program`", sw.name),
+                ));
+            }
+        }
+        Ok(m)
+    }
+
+    /// Loads and parses a manifest file.
+    ///
+    /// # Errors
+    ///
+    /// I/O failures and parse errors both surface as [`TopoError`].
+    pub fn load(path: &Path) -> Result<Self, TopoError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| TopoError::at(0, format!("cannot read {}: {e}", path.display())))?;
+        Self::parse(&text)
+    }
+
+    /// Resolves the manifest into a checkable [`Topology`], reading each
+    /// switch's program from `base_dir` (normally the manifest's parent
+    /// directory).
+    ///
+    /// # Errors
+    ///
+    /// Unreadable program files and every structural/label validation
+    /// error of [`Topology::assemble`] surface as [`TopoError`].
+    pub fn resolve(&self, base_dir: &Path) -> Result<Topology, TopoError> {
+        self.resolve_with(|program| {
+            std::fs::read_to_string(base_dir.join(program))
+                .map_err(|e| format!("cannot read {}: {e}", base_dir.join(program).display()))
+        })
+    }
+
+    /// [`TopoManifest::resolve`] with a caller-supplied program loader —
+    /// the hook examples, tests, and property suites use to assemble
+    /// in-memory topologies without touching the filesystem.
+    ///
+    /// # Errors
+    ///
+    /// Loader failures are reported at the declaring switch's line; the
+    /// rest as for [`TopoManifest::resolve`].
+    pub fn resolve_with(
+        &self,
+        mut load: impl FnMut(&str) -> Result<String, String>,
+    ) -> Result<Topology, TopoError> {
+        let mut sources = Vec::with_capacity(self.switches.len());
+        for sw in &self.switches {
+            sources.push(load(&sw.program).map_err(|e| TopoError::at(sw.line, e))?);
+        }
+        Topology::assemble(self, sources)
+    }
+}
+
+/// Splits one `sw:port` endpoint.
+fn parse_endpoint(s: &str, line: usize) -> Result<(String, String), TopoError> {
+    let s = s.trim();
+    let Some((sw, port)) = s.split_once(':') else {
+        return Err(TopoError::at(line, format!("expected `switch:port`, found `{s}`")));
+    };
+    let (sw, port) = (sw.trim(), port.trim());
+    if sw.is_empty() || port.is_empty() {
+        return Err(TopoError::at(line, format!("expected `switch:port`, found `{s}`")));
+    }
+    Ok((sw.to_string(), port.to_string()))
+}
+
+fn parse_bool(s: &str, line: usize) -> Result<bool, TopoError> {
+    policy::parse_bool(s, line).map_err(|e| TopoError::at(e.line, e.message))
+}
+
+fn parse_lattice(s: &str, line: usize) -> Result<Lattice, TopoError> {
+    policy::parse_lattice(s, line).map_err(|e| TopoError::at(e.line, e.message))
+}
+
+/// One switch of a resolved [`Topology`]: the declaration plus its loaded
+/// program source and its boundary labels resolved against the boundary
+/// lattice.
+#[derive(Debug, Clone)]
+pub struct TopoSwitch {
+    /// Switch name.
+    pub name: String,
+    /// Program display path (the manifest's `program` value).
+    pub program: String,
+    /// Loaded program source.
+    pub source: String,
+    /// External ingress seed (lattice bottom unless declared).
+    pub ingress: Label,
+    /// Declared egress label, if any.
+    pub egress: Option<Label>,
+    /// Declared extra `pc` floor, if any.
+    pub pc: Option<Label>,
+    /// Per-switch `declassify` override, if any.
+    pub declassify: Option<bool>,
+    /// Per-switch program-check lattice override, if any.
+    pub lattice: Option<Lattice>,
+}
+
+/// One directed link of a resolved [`Topology`].
+#[derive(Debug, Clone)]
+pub struct TopoLink {
+    /// Upstream switch index.
+    pub from: usize,
+    /// Upstream port name.
+    pub from_port: String,
+    /// Downstream switch index.
+    pub to: usize,
+    /// Downstream port name.
+    pub to_port: String,
+    /// Wire contract (lattice top unless declared).
+    pub contract: Label,
+}
+
+/// A validated, checkable network: the boundary lattice, the switches
+/// (with program sources loaded), and the directed links between them.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    lattice: Lattice,
+    switches: Vec<TopoSwitch>,
+    links: Vec<TopoLink>,
+}
+
+impl Topology {
+    /// Loads, parses, and resolves a manifest file in one step, reading
+    /// program paths relative to the manifest's parent directory.
+    ///
+    /// # Errors
+    ///
+    /// As for [`TopoManifest::load`] and [`TopoManifest::resolve`].
+    pub fn load(path: &Path) -> Result<Self, TopoError> {
+        let manifest = TopoManifest::load(path)?;
+        manifest.resolve(path.parent().unwrap_or_else(|| Path::new(".")))
+    }
+
+    /// Validates a manifest against its loaded program sources (one per
+    /// switch, in declaration order) and builds the checkable topology.
+    ///
+    /// # Errors
+    ///
+    /// Rejects, with the declaring line: an empty topology, duplicate
+    /// switch names, links naming undeclared switches (dangling ports),
+    /// endpoints wired twice, and ingress/egress/pc/contract labels that
+    /// do not resolve in the boundary lattice.
+    pub fn assemble(manifest: &TopoManifest, sources: Vec<String>) -> Result<Self, TopoError> {
+        assert_eq!(manifest.switches.len(), sources.len(), "one source per switch");
+        if manifest.switches.is_empty() {
+            return Err(TopoError::at(0, "a topology needs at least one `[switch NAME]`"));
+        }
+        let lattice = manifest.lattice.clone().unwrap_or_else(Lattice::two_point);
+        let resolve = |name: &str, what: &str, line: usize| {
+            lattice.label(name).ok_or_else(|| {
+                TopoError::at(line, format!("{what} label `{name}` is not in the boundary lattice"))
+            })
+        };
+        let mut switches = Vec::with_capacity(manifest.switches.len());
+        for (sw, source) in manifest.switches.iter().zip(sources) {
+            if switches.iter().any(|s: &TopoSwitch| s.name == sw.name) {
+                return Err(TopoError::at(sw.line, format!("duplicate switch `{}`", sw.name)));
+            }
+            switches.push(TopoSwitch {
+                name: sw.name.clone(),
+                program: sw.program.clone(),
+                source,
+                ingress: match &sw.ingress {
+                    Some(n) => resolve(n, "ingress", sw.line)?,
+                    None => lattice.bottom(),
+                },
+                egress: match &sw.egress {
+                    Some(n) => Some(resolve(n, "egress", sw.line)?),
+                    None => None,
+                },
+                pc: match &sw.pc {
+                    Some(n) => Some(resolve(n, "pc", sw.line)?),
+                    None => None,
+                },
+                declassify: sw.declassify,
+                lattice: sw.lattice.clone(),
+            });
+        }
+        let index_of = |name: &str, line: usize| {
+            switches.iter().position(|s| s.name == name).ok_or_else(|| {
+                TopoError::at(line, format!("link references unknown switch `{name}`"))
+            })
+        };
+        let mut links: Vec<TopoLink> = Vec::with_capacity(manifest.links.len());
+        for l in &manifest.links {
+            let link = TopoLink {
+                from: index_of(&l.from.0, l.line)?,
+                from_port: l.from.1.clone(),
+                to: index_of(&l.to.0, l.line)?,
+                to_port: l.to.1.clone(),
+                contract: match &l.contract {
+                    Some(n) => resolve(n, "contract", l.line)?,
+                    None => lattice.top(),
+                },
+            };
+            for prior in &links {
+                if prior.from == link.from && prior.from_port == link.from_port {
+                    return Err(TopoError::at(
+                        l.line,
+                        format!("egress port `{}:{}` is already wired", l.from.0, l.from.1),
+                    ));
+                }
+                if prior.to == link.to && prior.to_port == link.to_port {
+                    return Err(TopoError::at(
+                        l.line,
+                        format!("ingress port `{}:{}` is already wired", l.to.0, l.to.1),
+                    ));
+                }
+            }
+            links.push(link);
+        }
+        Ok(Topology { lattice, switches, links })
+    }
+
+    /// The boundary lattice.
+    #[must_use]
+    pub fn lattice(&self) -> &Lattice {
+        &self.lattice
+    }
+
+    /// The switches, in manifest order.
+    #[must_use]
+    pub fn switches(&self) -> &[TopoSwitch] {
+        &self.switches
+    }
+
+    /// The links, in manifest order.
+    #[must_use]
+    pub fn links(&self) -> &[TopoLink] {
+        &self.links
+    }
+
+    /// The program paths the topology depends on (for watch-mode change
+    /// polling), in switch order.
+    #[must_use]
+    pub fn program_paths(&self) -> Vec<String> {
+        self.switches.iter().map(|s| s.program.clone()).collect()
+    }
+}
+
+/// What a [`TopoViolation`] violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// A link carrying a label above its declared contract.
+    Contract,
+    /// A switch declaring an egress below its computed ingress without a
+    /// declassify grant.
+    Downgrade,
+}
+
+impl ViolationKind {
+    /// Stable ident for reports (`contract` / `downgrade`).
+    #[must_use]
+    pub fn ident(self) -> &'static str {
+        match self {
+            ViolationKind::Contract => "contract",
+            ViolationKind::Downgrade => "downgrade",
+        }
+    }
+}
+
+/// One topology-level violation: a wire over its contract, or a refused
+/// egress downgrade. Carries a cross-switch lineage chain tracing where
+/// the offending label came from.
+#[derive(Debug, Clone)]
+pub struct TopoViolation {
+    /// What was violated.
+    pub kind: ViolationKind,
+    /// Where: `sw:port -> sw:port` for contracts, the switch name for
+    /// downgrades.
+    pub at: String,
+    /// The label actually carried.
+    pub label: String,
+    /// The bound it violated (the contract, or the declared egress).
+    pub bound: String,
+    /// The provenance chain, e.g. `` `edge` (high) --egress p1--> `core`
+    /// (contract low) ``.
+    pub chain: String,
+}
+
+/// The fixpoint verdict for one switch.
+#[derive(Debug, Clone)]
+pub struct SwitchReport {
+    /// The program verdict, exactly as the batch layer reports it
+    /// (`index` is the switch's manifest position, `name` the switch
+    /// name) — byte-compatible with `p4bid-batch-report/2`.
+    pub verdict: ProgramReport,
+    /// Program display path.
+    pub program: String,
+    /// Final computed ingress label name.
+    pub ingress: String,
+    /// Final computed egress label name.
+    pub egress: String,
+}
+
+/// A whole-topology fixpoint report.
+#[derive(Debug, Clone)]
+pub struct TopoReport {
+    /// Per-switch verdicts, in manifest order.
+    pub switches: Vec<SwitchReport>,
+    /// Topology-level violations: contract breaches in link order, then
+    /// refused downgrades in switch order.
+    pub violations: Vec<TopoViolation>,
+    /// Fixpoint rounds until stabilization.
+    pub rounds: u64,
+    /// Real (non-cache-hit) per-switch program checks across all rounds.
+    pub switch_rechecks: u64,
+    /// Worker count the fixpoint ran with (reporting only; excluded from
+    /// the JSON form).
+    pub jobs: usize,
+    /// Aggregated session statistics (reporting only; varies with
+    /// work-stealing order, so never part of the deterministic renderings).
+    pub stats: BatchStats,
+}
+
+impl TopoReport {
+    /// Number of switches whose program the checker accepted.
+    #[must_use]
+    pub fn accepted(&self) -> usize {
+        self.switches.iter().filter(|s| s.verdict.accepted).count()
+    }
+
+    /// Number of switches whose program was rejected.
+    #[must_use]
+    pub fn rejected(&self) -> usize {
+        self.switches.len() - self.accepted()
+    }
+
+    /// Whether every switch was accepted **and** no topology-level
+    /// violation was found.
+    #[must_use]
+    pub fn all_ok(&self) -> bool {
+        self.rejected() == 0 && self.violations.is_empty()
+    }
+
+    /// The per-switch verdicts repackaged as a [`BatchReport`] — for a
+    /// single-switch topology with trivial contracts, its JSON and table
+    /// renderings are byte-identical to `p4bid batch` on the same
+    /// program (the differential suite pins this).
+    #[must_use]
+    pub fn as_batch_report(&self) -> BatchReport {
+        BatchReport {
+            programs: self.switches.iter().map(|s| s.verdict.clone()).collect(),
+            jobs: self.jobs,
+            stats: self.stats,
+        }
+    }
+
+    /// Machine-readable JSON form (schema `p4bid-topo-report/1`).
+    ///
+    /// Deliberately timing-free: byte-identical across `--jobs` settings
+    /// and repeated runs. Each switch's `verdict` object is rendered by
+    /// the exact code path the batch schema uses, so the two can never
+    /// drift apart per program.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"p4bid-topo-report/1\",\n");
+        let _ = writeln!(out, "  \"rounds\": {},", self.rounds);
+        let _ = writeln!(out, "  \"switch_rechecks\": {},", self.switch_rechecks);
+        out.push_str("  \"switches\": [\n");
+        for (i, s) in self.switches.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"switch\": {}, \"program\": {}, \"ingress\": {}, \"egress\": {}, \
+                 \"verdict\": {}}}",
+                crate::batch::json_string(&s.verdict.name),
+                crate::batch::json_string(&s.program),
+                crate::batch::json_string(&s.ingress),
+                crate::batch::json_string(&s.egress),
+                crate::batch::program_json(&s.verdict),
+            );
+            out.push_str(if i + 1 == self.switches.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"violations\": [\n");
+        for (i, v) in self.violations.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"kind\": {}, \"at\": {}, \"label\": {}, \"bound\": {}, \"chain\": {}}}",
+                crate::batch::json_string(v.kind.ident()),
+                crate::batch::json_string(&v.at),
+                crate::batch::json_string(&v.label),
+                crate::batch::json_string(&v.bound),
+                crate::batch::json_string(&v.chain),
+            );
+            out.push_str(if i + 1 == self.violations.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  ],\n");
+        let _ = writeln!(
+            out,
+            "  \"summary\": {{\"switches\": {}, \"accepted\": {}, \"rejected\": {}, \
+             \"violations\": {}}}",
+            self.switches.len(),
+            self.accepted(),
+            self.rejected(),
+            self.violations.len(),
+        );
+        out.push_str("}\n");
+        out
+    }
+
+    /// Human-readable table: one row per switch, the violation list, and
+    /// a summary line. Deterministic, like [`TopoReport::to_json`].
+    #[must_use]
+    pub fn render_table(&self) -> String {
+        let name_w =
+            self.switches.iter().map(|s| s.verdict.name.len()).max().unwrap_or(6).clamp(6, 40);
+        let lab_w = self
+            .switches
+            .iter()
+            .map(|s| s.ingress.len() + s.egress.len() + 4)
+            .max()
+            .unwrap_or(6)
+            .clamp(6, 40);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>5}  {:<name_w$}  {:<8}  {:<lab_w$}  diagnostics",
+            "#", "switch", "status", "labels"
+        );
+        for s in &self.switches {
+            let diag = match s.verdict.diagnostics.first() {
+                None => String::new(),
+                Some(d) => {
+                    let more = s.verdict.diagnostics.len() - 1;
+                    let suffix = if more > 0 { format!(" (+{more} more)") } else { String::new() };
+                    format!("{} @ {}:{}{suffix}", d.code, d.line, d.col)
+                }
+            };
+            let status = if s.verdict.accepted { "accept" } else { "REJECT" };
+            let labels = format!("{} -> {}", s.ingress, s.egress);
+            let _ = writeln!(
+                out,
+                "{:>5}  {:<name_w$}  {:<8}  {:<lab_w$}  {diag}",
+                s.verdict.index, s.verdict.name, status, labels
+            );
+        }
+        for v in &self.violations {
+            let _ = writeln!(
+                out,
+                "{}: {} carries `{}` over `{}`",
+                v.kind.ident(),
+                v.at,
+                v.label,
+                v.bound
+            );
+            let _ = writeln!(out, "  flow: {}", v.chain);
+        }
+        let _ = writeln!(
+            out,
+            "{} switch(es): {} accepted, {} rejected; {} violation(s); \
+             fixpoint: {} round(s), {} recheck(s)",
+            self.switches.len(),
+            self.accepted(),
+            self.rejected(),
+            self.violations.len(),
+            self.rounds,
+            self.switch_rechecks,
+        );
+        out
+    }
+}
+
+/// A cached per-switch verdict, keyed by `(source hash, options
+/// fingerprint)`. The full body is kept so a hash collision degrades to a
+/// recheck, never a replayed wrong verdict, and transient verdicts
+/// (`E-INTERNAL`, `E-TIMEOUT`) are never inserted — the same soundness
+/// rules the serve front door follows.
+#[derive(Debug, Clone)]
+struct CachedVerdict {
+    body: String,
+    accepted: bool,
+    diagnostics: Vec<BatchDiagnostic>,
+}
+
+/// The reusable fixpoint driver: a topology plus the session state worth
+/// keeping across epochs — one [`SharedSessionCore`] per distinct resolved
+/// option set (so re-checks keep their frozen prelude *and* the
+/// incremental prefix cache), and the verdict cache that lets an epoch
+/// skip every `(source, ingress)` pair it has already decided. Watch mode
+/// holds one engine across edits: after a single-switch edit, only that
+/// switch and its downstream cone miss the cache.
+#[derive(Debug)]
+pub struct TopoEngine {
+    topo: Topology,
+    base: CheckOptions,
+    jobs: usize,
+    cores: Vec<(u64, SharedSessionCore)>,
+    cache: HashMap<(u64, u64), CachedVerdict>,
+    epochs: u64,
+    cumulative: BatchStats,
+}
+
+impl TopoEngine {
+    /// Builds an engine over a topology. `jobs == 0` means "one worker
+    /// per available core" (resolved here, so reports display the real
+    /// worker count).
+    #[must_use]
+    pub fn new(topo: Topology, base: CheckOptions, jobs: usize) -> Self {
+        let jobs = match jobs {
+            0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+            n => n,
+        };
+        TopoEngine {
+            topo,
+            base,
+            jobs,
+            cores: Vec::new(),
+            cache: HashMap::new(),
+            epochs: 0,
+            cumulative: BatchStats::default(),
+        }
+    }
+
+    /// The current topology.
+    #[must_use]
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Swaps in a re-resolved topology (a watch-mode reload), keeping the
+    /// session cores and the verdict cache — unchanged switches stay
+    /// cache hits.
+    pub fn set_topology(&mut self, topo: Topology) {
+        self.topo = topo;
+    }
+
+    /// Epochs run so far.
+    #[must_use]
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// Counters accumulated across every epoch (the shape `--stats`
+    /// reporting wants for a long-lived watch).
+    #[must_use]
+    pub fn cumulative_stats(&self) -> BatchStats {
+        self.cumulative
+    }
+
+    /// The effective check options for switch `i` at ingress label
+    /// `in_label`: the engine's base options with the ambient `pc` seeded
+    /// to `join(in_label, declared pc)` (left untouched at lattice bottom,
+    /// so a seed-free check is bit-for-bit a batch check), `pc_floor` on,
+    /// and the per-switch `declassify`/`lattice` overrides applied.
+    fn effective_options(&self, i: usize, in_label: Label) -> CheckOptions {
+        let sw = &self.topo.switches[i];
+        let lat = &self.topo.lattice;
+        let mut opts = self.base.clone();
+        opts.pc_floor = true;
+        if let Some(l) = &sw.lattice {
+            opts.lattice = Some(l.clone());
+        }
+        if let Some(d) = sw.declassify {
+            opts.allow_declassify = d;
+        }
+        let seed = match sw.pc {
+            Some(floor) => lat.join(in_label, floor),
+            None => in_label,
+        };
+        if !lat.is_bottom(seed) {
+            opts.pc = Some(lat.name(seed).to_string());
+        }
+        opts
+    }
+
+    /// Whether switch `i` may declassify (its override, else the base).
+    fn declassify_allowed(&self, i: usize) -> bool {
+        self.topo.switches[i].declassify.unwrap_or(self.base.allow_declassify)
+    }
+
+    /// The shared core for an option fingerprint, built on first use and
+    /// kept for the engine's lifetime (first-appearance order, so the
+    /// core list is deterministic).
+    fn core_for(&mut self, fp: u64, opts: &CheckOptions) -> SharedSessionCore {
+        if let Some((_, core)) = self.cores.iter().find(|(g, _)| *g == fp) {
+            return core.clone();
+        }
+        let core = SharedSessionCore::new(opts.clone());
+        self.cores.push((fp, core.clone()));
+        core
+    }
+
+    /// Runs the fixpoint to stabilization and reports.
+    ///
+    /// Every switch starts dirty at its declared seed; each round checks
+    /// the dirty set (grouped by distinct resolved options over the
+    /// work-stealing pool, merged by switch index), recomputes egress
+    /// labels, and propagates joins along the links in manifest order.
+    /// Labels only rise, so the loop ends — in at most
+    /// `|switches| · |lattice|` rounds — with every label stable.
+    pub fn run_epoch(&mut self) -> TopoReport {
+        let n = self.topo.switches.len();
+        let lat = self.topo.lattice.clone();
+        let mut inl: Vec<Label> = self.topo.switches.iter().map(|s| s.ingress).collect();
+        let mut outl: Vec<Label> = inl.clone();
+        // For each switch, the link whose propagation last *raised* its
+        // ingress label — the provenance edge violation chains walk.
+        let mut pred: Vec<Option<usize>> = vec![None; n];
+        let mut verdicts: Vec<Option<ProgramReport>> = vec![None; n];
+        let mut dirty: Vec<bool> = vec![true; n];
+        let mut rounds: u64 = 0;
+        let mut rechecks: u64 = 0;
+        let mut stats = BatchStats::default();
+        // Monotone joins over a finite lattice cannot climb forever; the
+        // cap is unreachable and exists purely as a correctness backstop.
+        let round_cap = (n as u64) * (lat.len() as u64) + 2;
+        while dirty.iter().any(|&d| d) && rounds < round_cap {
+            rounds += 1;
+            let work: Vec<usize> = (0..n).filter(|&i| dirty[i]).collect();
+            for &i in &work {
+                dirty[i] = false;
+            }
+            // Resolve options; split the dirty set into cache hits and
+            // misses, the misses grouped by options fingerprint in
+            // first-appearance order (the policy-pack grouping contract).
+            let mut groups: Vec<(u64, CheckOptions, Vec<usize>)> = Vec::new();
+            for &i in &work {
+                let opts = self.effective_options(i, inl[i]);
+                let fp = options_fingerprint(&opts);
+                let src = &self.topo.switches[i].source;
+                let key = (p4bid_ast::fnv::hash(src.as_bytes()), fp);
+                if let Some(hit) = self.cache.get(&key).filter(|c| c.body == *src) {
+                    verdicts[i] = Some(ProgramReport {
+                        index: i,
+                        name: self.topo.switches[i].name.clone(),
+                        accepted: hit.accepted,
+                        diagnostics: hit.diagnostics.clone(),
+                    });
+                    continue;
+                }
+                match groups.iter_mut().find(|(g, _, _)| *g == fp) {
+                    Some((_, _, ixs)) => ixs.push(i),
+                    None => groups.push((fp, opts, vec![i])),
+                }
+            }
+            for (fp, opts, ixs) in &groups {
+                let core = self.core_for(*fp, opts);
+                let inputs: Vec<BatchInput> = ixs
+                    .iter()
+                    .map(|&i| {
+                        let sw = &self.topo.switches[i];
+                        BatchInput::new(sw.name.clone(), sw.source.clone())
+                    })
+                    .collect();
+                rechecks += inputs.len() as u64;
+                let sub = check_batch_with_core(&inputs, &core, self.jobs);
+                stats.merge(&sub.stats);
+                for (slot, mut p) in ixs.iter().zip(sub.programs) {
+                    p.index = *slot;
+                    let transient = p
+                        .diagnostics
+                        .iter()
+                        .any(|d| d.code == "E-INTERNAL" || d.code == "E-TIMEOUT");
+                    if !transient {
+                        let src = &self.topo.switches[*slot].source;
+                        self.cache.insert(
+                            (p4bid_ast::fnv::hash(src.as_bytes()), *fp),
+                            CachedVerdict {
+                                body: src.clone(),
+                                accepted: p.accepted,
+                                diagnostics: p.diagnostics.clone(),
+                            },
+                        );
+                    }
+                    verdicts[*slot] = Some(p);
+                }
+            }
+            // Egress labels: the conservative taint `in(s)` unless the
+            // manifest declares one — raises are free, lowering needs the
+            // declassify grant (a refusal is reported post-fixpoint).
+            for &i in &work {
+                outl[i] = match self.topo.switches[i].egress {
+                    Some(eg) if lat.leq(inl[i], eg) || self.declassify_allowed(i) => eg,
+                    _ => inl[i],
+                };
+            }
+            // Propagate joins downstream, in manifest link order.
+            for (li, link) in self.topo.links.iter().enumerate() {
+                let joined = lat.join(inl[link.to], outl[link.from]);
+                if joined != inl[link.to] {
+                    inl[link.to] = joined;
+                    pred[link.to] = Some(li);
+                    dirty[link.to] = true;
+                }
+            }
+        }
+        // Topology-level violations, from the *final* labels only (round
+        // structure never leaks into the report): contract breaches in
+        // link order, refused downgrades in switch order.
+        let mut violations = Vec::new();
+        for (li, link) in self.topo.links.iter().enumerate() {
+            if !lat.leq(outl[link.from], link.contract) {
+                violations.push(TopoViolation {
+                    kind: ViolationKind::Contract,
+                    at: format!(
+                        "{}:{} -> {}:{}",
+                        self.topo.switches[link.from].name,
+                        link.from_port,
+                        self.topo.switches[link.to].name,
+                        link.to_port,
+                    ),
+                    label: lat.name(outl[link.from]).to_string(),
+                    bound: lat.name(link.contract).to_string(),
+                    chain: self.render_chain(&pred, &outl, li),
+                });
+            }
+        }
+        for (i, sw) in self.topo.switches.iter().enumerate() {
+            if let Some(eg) = sw.egress {
+                if !lat.leq(inl[i], eg) && !self.declassify_allowed(i) {
+                    violations.push(TopoViolation {
+                        kind: ViolationKind::Downgrade,
+                        at: sw.name.clone(),
+                        label: lat.name(inl[i]).to_string(),
+                        bound: lat.name(eg).to_string(),
+                        chain: self.render_downgrade_chain(&pred, &outl, i),
+                    });
+                }
+            }
+        }
+        let switches = verdicts
+            .into_iter()
+            .enumerate()
+            .map(|(i, v)| SwitchReport {
+                verdict: v.expect("every switch is checked in round 1"),
+                program: self.topo.switches[i].program.clone(),
+                ingress: lat.name(inl[i]).to_string(),
+                egress: lat.name(outl[i]).to_string(),
+            })
+            .collect();
+        self.epochs += 1;
+        stats.topo_rounds = rounds;
+        stats.switch_rechecks = rechecks;
+        self.cumulative.merge(&stats);
+        TopoReport {
+            switches,
+            violations,
+            rounds,
+            switch_rechecks: rechecks,
+            jobs: self.jobs,
+            stats,
+        }
+    }
+
+    /// The provenance hops into `start_switch`: the links (oldest first)
+    /// that successively raised its ingress label, capped at 8 hops.
+    fn provenance(&self, pred: &[Option<usize>], start_switch: usize) -> Vec<usize> {
+        let mut hops = Vec::new();
+        let mut cur = start_switch;
+        while let Some(li) = pred[cur] {
+            if hops.len() >= 8 {
+                break;
+            }
+            hops.push(li);
+            cur = self.topo.links[li].from;
+        }
+        hops.reverse();
+        hops
+    }
+
+    /// Renders a cross-switch lineage chain ending at link `last`: e.g.
+    /// `` `edge` (high) --egress p1--> `core` (contract low) ``, with the
+    /// provenance hops that raised the upstream label prepended.
+    fn render_chain(&self, pred: &[Option<usize>], outl: &[Label], last: usize) -> String {
+        let lat = &self.topo.lattice;
+        let mut hops = self.provenance(pred, self.topo.links[last].from);
+        hops.push(last);
+        let mut out = String::new();
+        for (k, &li) in hops.iter().enumerate() {
+            let link = &self.topo.links[li];
+            if k == 0 {
+                let _ = write!(
+                    out,
+                    "`{}` ({})",
+                    self.topo.switches[link.from].name,
+                    lat.name(outl[link.from]),
+                );
+            }
+            let _ = write!(out, " --egress {}--> ", link.from_port);
+            if li == last {
+                let _ = write!(
+                    out,
+                    "`{}` (contract {})",
+                    self.topo.switches[link.to].name,
+                    lat.name(link.contract),
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    "`{}` ({})",
+                    self.topo.switches[link.to].name,
+                    lat.name(outl[link.to]),
+                );
+            }
+        }
+        out
+    }
+
+    /// Renders the chain for a refused downgrade at switch `i`: the
+    /// provenance that raised its ingress, ending in the refused egress
+    /// declaration.
+    fn render_downgrade_chain(&self, pred: &[Option<usize>], outl: &[Label], i: usize) -> String {
+        let lat = &self.topo.lattice;
+        let sw = &self.topo.switches[i];
+        let mut out = String::new();
+        for (k, &li) in self.provenance(pred, i).iter().enumerate() {
+            let link = &self.topo.links[li];
+            if k == 0 {
+                let _ = write!(
+                    out,
+                    "`{}` ({})",
+                    self.topo.switches[link.from].name,
+                    lat.name(outl[link.from]),
+                );
+            }
+            let _ = write!(
+                out,
+                " --egress {}--> `{}` ({})",
+                link.from_port,
+                self.topo.switches[link.to].name,
+                lat.name(outl[link.to]),
+            );
+        }
+        if out.is_empty() {
+            let _ = write!(out, "`{}` ({})", sw.name, lat.name(outl[i]));
+        }
+        let _ = write!(
+            out,
+            " --declared egress--> `{}` (needs declassify)",
+            lat.name(sw.egress.expect("downgrade violations only at declared egresses")),
+        );
+        out
+    }
+}
+
+/// One-shot fixpoint check: builds a throwaway [`TopoEngine`] and runs a
+/// single epoch. `jobs == 0` means "one worker per available core".
+#[must_use]
+pub fn check_topology(topo: &Topology, base: &CheckOptions, jobs: usize) -> TopoReport {
+    TopoEngine::new(topo.clone(), base.clone(), jobs).run_epoch()
+}
+
+/// What a [`run_topo_watch`] loop did before it stopped.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TopoWatchSummary {
+    /// Fixpoint epochs actually run (the first on startup, then one per
+    /// observed change).
+    pub epochs: u64,
+    /// Whether any epoch had a rejected switch or a topology violation.
+    pub any_bad: bool,
+}
+
+/// A content fingerprint over the manifest and every program it names —
+/// mtimes lie across editors and filesystems, so watch mode re-reads and
+/// hashes, exactly like the serve-layer [`crate::serve::DirScanner`].
+/// Unreadable files hash as absent, so deletion (and reappearance) is a
+/// change.
+fn watch_fingerprint(manifest_path: &Path, base_dir: &Path, programs: &[String]) -> u64 {
+    let mut acc: u64 = 0;
+    let mut mix = |path: &Path| {
+        let h = std::fs::read(path).map_or(0, |b| p4bid_ast::fnv::hash(&b));
+        acc = acc
+            .rotate_left(7)
+            .wrapping_mul(0x100_0000_01b3)
+            .wrapping_add(h ^ p4bid_ast::fnv::hash(path.to_string_lossy().as_bytes()));
+    };
+    mix(manifest_path);
+    for p in programs {
+        mix(&base_dir.join(p));
+    }
+    acc
+}
+
+/// The `p4bid topo --watch` loop: run one epoch now, then poll the
+/// manifest and its program files every `interval` and re-run the
+/// fixpoint whenever any content changes. The engine persists across
+/// epochs, so after a single-switch edit only that switch and its
+/// downstream cone miss the verdict cache — `switch_rechecks` in each
+/// epoch's report counts exactly the re-checked cone.
+///
+/// A reload that fails (manifest syntax error, unreadable program) is
+/// logged and the previous topology stays live; SIGTERM/SIGINT (via
+/// [`crate::serve::install_drain_handler`]) and `--max-epochs` end the
+/// loop.
+///
+/// # Errors
+///
+/// Only `out` write failures abort the loop; everything else degrades to
+/// log lines.
+pub fn run_topo_watch(
+    engine: &mut TopoEngine,
+    manifest_path: &Path,
+    out: &mut dyn std::io::Write,
+    log: &mut dyn std::io::Write,
+    json: bool,
+    max_epochs: Option<u64>,
+    interval: std::time::Duration,
+) -> std::io::Result<TopoWatchSummary> {
+    let mut summary = TopoWatchSummary::default();
+    let base_dir = manifest_path.parent().unwrap_or_else(|| Path::new(".")).to_path_buf();
+    let mut fp = watch_fingerprint(manifest_path, &base_dir, &engine.topology().program_paths());
+    let mut pending = true; // the startup epoch
+    loop {
+        if pending {
+            pending = false;
+            let start = std::time::Instant::now();
+            let report = engine.run_epoch();
+            if json {
+                out.write_all(report.to_json().as_bytes())?;
+            } else {
+                out.write_all(report.render_table().as_bytes())?;
+            }
+            out.flush()?;
+            let _ = writeln!(
+                log,
+                "epoch {}: {} switch(es), {} round(s), {} recheck(s) in {:.1} ms on {} worker(s)",
+                engine.epochs(),
+                report.switches.len(),
+                report.rounds,
+                report.switch_rechecks,
+                start.elapsed().as_secs_f64() * 1e3,
+                report.jobs,
+            );
+            summary.epochs += 1;
+            summary.any_bad |= !report.all_ok();
+        }
+        if max_epochs.is_some_and(|m| summary.epochs >= m) || crate::serve::drain_requested() {
+            break;
+        }
+        crate::serve::drainable_sleep(interval);
+        if crate::serve::drain_requested() {
+            break;
+        }
+        let now = watch_fingerprint(manifest_path, &base_dir, &engine.topology().program_paths());
+        if now != fp {
+            fp = now;
+            match Topology::load(manifest_path) {
+                Ok(topo) => {
+                    engine.set_topology(topo);
+                    pending = true;
+                }
+                Err(e) => {
+                    // The security stance a live checker must take: a
+                    // broken edit never silently disables checking — the
+                    // last good topology stays live and the error is
+                    // surfaced every time the content changes.
+                    let _ = writeln!(log, "cannot reload {}: {e}", manifest_path.display());
+                }
+            }
+        }
+    }
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use p4bid_typeck::CheckOptions;
+
+    /// A pass-through program writing only its `high` field: accepted at
+    /// any two-point ambient pc.
+    const FWD: &str = "control F(inout <bit<8>, high> x) { apply { x = x + 8w1; } }";
+    /// A program writing a `low` field: accepted at ambient bottom,
+    /// rejected (implicit flow) once the seed climbs to `high`.
+    const LOW_WRITER: &str = "control L(inout <bit<8>, low> y) { apply { y = y + 8w1; } }";
+
+    fn topo_from(manifest: &str, progs: &[(&str, &str)]) -> Topology {
+        TopoManifest::parse(manifest)
+            .unwrap()
+            .resolve_with(|path| {
+                progs
+                    .iter()
+                    .find(|(p, _)| *p == path)
+                    .map(|(_, src)| (*src).to_string())
+                    .ok_or_else(|| format!("no such program {path}"))
+            })
+            .unwrap()
+    }
+
+    #[test]
+    fn manifest_parses_switches_links_and_labels() {
+        let m = TopoManifest::parse(
+            r#"
+            lattice = "low < high"
+
+            [switch a]
+            program = "a.p4"
+            ingress = "high"
+            declassify = true
+
+            [link a:p1 -> b:p1]
+            contract = "low"
+
+            [switch b]
+            program = "b.p4"
+            pc = "low"
+            "#,
+        )
+        .unwrap();
+        assert_eq!(m.switches.len(), 2);
+        assert_eq!(m.links.len(), 1);
+        assert_eq!(m.switches[0].ingress.as_deref(), Some("high"));
+        assert_eq!(m.switches[0].declassify, Some(true));
+        assert_eq!(m.links[0].from, ("a".to_string(), "p1".to_string()));
+        assert_eq!(m.links[0].contract.as_deref(), Some("low"));
+    }
+
+    #[test]
+    fn manifest_errors_carry_line_numbers() {
+        let e = TopoManifest::parse("[switch a\n").unwrap_err();
+        assert_eq!(e.line, 1);
+        assert!(e.message.contains("unterminated"), "{e}");
+        let e = TopoManifest::parse("[frob a]\n").unwrap_err();
+        assert!(e.message.contains("unknown section"), "{e}");
+        let e = TopoManifest::parse("[link a -> b]\n").unwrap_err();
+        assert!(e.message.contains("switch:port"), "{e}");
+        let e = TopoManifest::parse("[switch a]\nprogram = \"a.p4\"\nfrob = 1\n").unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("unknown switch key"), "{e}");
+        let e = TopoManifest::parse("pc = \"high\"\n").unwrap_err();
+        assert!(e.message.contains("before the first section"), "{e}");
+        let e = TopoManifest::parse("[switch a]\n").unwrap_err();
+        assert!(e.message.contains("no `program`"), "{e}");
+        let e =
+            TopoManifest::parse("[switch a]\nprogram = \"a.p4\"\ndeclassify = yes\n").unwrap_err();
+        assert!(e.message.contains("true"), "{e}");
+    }
+
+    #[test]
+    fn assembly_rejects_structural_mistakes() {
+        // Dangling port: the link names an undeclared switch.
+        let m = TopoManifest::parse("[switch a]\nprogram = \"a.p4\"\n[link a:p1 -> ghost:p1]\n")
+            .unwrap();
+        let e = m.resolve_with(|_| Ok(FWD.to_string())).unwrap_err();
+        assert!(e.message.contains("unknown switch `ghost`"), "{e}");
+        // Duplicate switch.
+        let m =
+            TopoManifest::parse("[switch a]\nprogram = \"a.p4\"\n[switch a]\nprogram = \"b.p4\"\n")
+                .unwrap();
+        let e = m.resolve_with(|_| Ok(FWD.to_string())).unwrap_err();
+        assert!(e.message.contains("duplicate switch"), "{e}");
+        // Unknown boundary label.
+        let m = TopoManifest::parse("[switch a]\nprogram = \"a.p4\"\ningress = \"mid\"\n").unwrap();
+        let e = m.resolve_with(|_| Ok(FWD.to_string())).unwrap_err();
+        assert!(e.message.contains("not in the boundary lattice"), "{e}");
+        // Double-wired ingress port.
+        let m = TopoManifest::parse(
+            "[switch a]\nprogram = \"a.p4\"\n[switch b]\nprogram = \"b.p4\"\n\
+             [link a:p1 -> b:p1]\n[link a:p2 -> b:p1]\n",
+        )
+        .unwrap();
+        let e = m.resolve_with(|_| Ok(FWD.to_string())).unwrap_err();
+        assert!(e.message.contains("already wired"), "{e}");
+    }
+
+    #[test]
+    fn labels_propagate_downstream_and_reject_low_writers() {
+        // a (ingress high) -> b: b's low write becomes an implicit flow
+        // under the seeded pc.
+        let topo = topo_from(
+            "[switch a]\nprogram = \"a.p4\"\ningress = \"high\"\n\
+             [switch b]\nprogram = \"b.p4\"\n[link a:p1 -> b:p1]\n",
+            &[("a.p4", FWD), ("b.p4", LOW_WRITER)],
+        );
+        let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+        assert!(report.switches[0].verdict.accepted);
+        assert!(!report.switches[1].verdict.accepted, "{}", report.render_table());
+        assert_eq!(report.switches[1].verdict.diagnostics[0].code, "E-IMPLICIT-FLOW");
+        assert_eq!(report.switches[1].ingress, "high");
+        assert_eq!(report.rounds, 2);
+        // Without the seed, the same program is fine.
+        let calm = topo_from(
+            "[switch a]\nprogram = \"a.p4\"\n\
+             [switch b]\nprogram = \"b.p4\"\n[link a:p1 -> b:p1]\n",
+            &[("a.p4", FWD), ("b.p4", LOW_WRITER)],
+        );
+        assert!(check_topology(&calm, &CheckOptions::ifc(), 2).all_ok());
+    }
+
+    #[test]
+    fn contract_breaches_carry_cross_switch_chains() {
+        let topo = topo_from(
+            "[switch a]\nprogram = \"a.p4\"\ningress = \"high\"\n\
+             [switch b]\nprogram = \"b.p4\"\n\
+             [switch c]\nprogram = \"c.p4\"\n\
+             [link a:p1 -> b:p1]\n[link b:p2 -> c:p1]\ncontract = \"low\"\n",
+            &[("a.p4", FWD), ("b.p4", FWD), ("c.p4", FWD)],
+        );
+        let report = check_topology(&topo, &CheckOptions::ifc(), 1);
+        assert_eq!(report.violations.len(), 1);
+        let v = &report.violations[0];
+        assert_eq!(v.kind, ViolationKind::Contract);
+        assert_eq!(v.at, "b:p2 -> c:p1");
+        assert_eq!(v.label, "high");
+        assert_eq!(v.bound, "low");
+        assert_eq!(
+            v.chain,
+            "`a` (high) --egress p1--> `b` (high) --egress p2--> `c` (contract low)"
+        );
+        assert!(!report.all_ok());
+    }
+
+    #[test]
+    fn egress_downgrades_need_the_declassify_grant() {
+        let manifest = |declassify: &str| {
+            format!(
+                "[switch a]\nprogram = \"a.p4\"\ningress = \"high\"\negress = \"low\"\n{declassify}\
+                 [switch b]\nprogram = \"b.p4\"\n[link a:p1 -> b:p1]\ncontract = \"low\"\n"
+            )
+        };
+        // Without the grant: refused downgrade, conservative label
+        // propagates, and both the downgrade and the contract report.
+        let topo = topo_from(&manifest(""), &[("a.p4", FWD), ("b.p4", LOW_WRITER)]);
+        let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+        assert_eq!(report.switches[0].egress, "high");
+        let kinds: Vec<_> = report.violations.iter().map(|v| v.kind).collect();
+        assert!(kinds.contains(&ViolationKind::Contract), "{kinds:?}");
+        assert!(kinds.contains(&ViolationKind::Downgrade), "{kinds:?}");
+        let down = report.violations.iter().find(|v| v.kind == ViolationKind::Downgrade).unwrap();
+        assert_eq!(down.chain, "`a` (high) --declared egress--> `low` (needs declassify)");
+        // With the grant: the declared egress holds and the wire is clean.
+        let topo =
+            topo_from(&manifest("declassify = true\n"), &[("a.p4", FWD), ("b.p4", LOW_WRITER)]);
+        let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+        assert_eq!(report.switches[0].egress, "low");
+        assert!(report.all_ok(), "{}", report.render_table());
+    }
+
+    #[test]
+    fn cycles_stabilize_within_the_round_bound() {
+        let topo = topo_from(
+            "[switch a]\nprogram = \"a.p4\"\ningress = \"high\"\n\
+             [switch b]\nprogram = \"b.p4\"\n\
+             [link a:p1 -> b:p1]\n[link b:p2 -> a:p1]\n",
+            &[("a.p4", FWD), ("b.p4", FWD)],
+        );
+        let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+        assert!(report.rounds <= 2 * topo.lattice().len() as u64 + 2);
+        assert_eq!(report.switches[0].ingress, "high");
+        assert_eq!(report.switches[1].ingress, "high");
+        assert!(report.all_ok());
+    }
+
+    #[test]
+    fn pc_floor_rejects_understated_annotations() {
+        let annotated = "@pc(low) control L(inout <bit<8>, low> y) { apply { y = y + 8w1; } }";
+        let topo = topo_from(
+            "[switch a]\nprogram = \"a.p4\"\ningress = \"high\"\n\
+             [switch b]\nprogram = \"b.p4\"\n[link a:p1 -> b:p1]\n",
+            &[("a.p4", FWD), ("b.p4", annotated)],
+        );
+        let report = check_topology(&topo, &CheckOptions::ifc(), 1);
+        assert!(!report.switches[1].verdict.accepted);
+        assert_eq!(report.switches[1].verdict.diagnostics[0].code, "E-PC-FLOOR");
+    }
+
+    #[test]
+    fn reports_are_byte_identical_across_jobs_and_runs() {
+        let topo = topo_from(
+            "[switch a]\nprogram = \"a.p4\"\ningress = \"high\"\negress = \"low\"\n\
+             [switch b]\nprogram = \"b.p4\"\n\
+             [switch c]\nprogram = \"c.p4\"\n\
+             [link a:p1 -> b:p1]\ncontract = \"low\"\n[link b:p2 -> c:p1]\n",
+            &[("a.p4", FWD), ("b.p4", LOW_WRITER), ("c.p4", LOW_WRITER)],
+        );
+        let baseline = check_topology(&topo, &CheckOptions::ifc(), 1);
+        for jobs in [1, 2, 8] {
+            let r = check_topology(&topo, &CheckOptions::ifc(), jobs);
+            assert_eq!(r.to_json(), baseline.to_json(), "jobs={jobs}");
+            assert_eq!(r.render_table(), baseline.render_table(), "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn second_epoch_is_all_cache_hits() {
+        let topo = topo_from(
+            "[switch a]\nprogram = \"a.p4\"\ningress = \"high\"\n\
+             [switch b]\nprogram = \"b.p4\"\n[link a:p1 -> b:p1]\n",
+            &[("a.p4", FWD), ("b.p4", FWD)],
+        );
+        let mut engine = TopoEngine::new(topo, CheckOptions::ifc(), 2);
+        let first = engine.run_epoch();
+        assert!(first.switch_rechecks > 0);
+        let second = engine.run_epoch();
+        assert_eq!(second.switch_rechecks, 0, "unchanged topology re-checks nothing");
+        assert_eq!(second.rounds, first.rounds);
+        // Verdicts and labels replay bit-for-bit; only the recheck
+        // counter records that the cache did the work.
+        assert_eq!(second.as_batch_report().to_json(), first.as_batch_report().to_json());
+        assert_eq!(engine.epochs(), 2);
+    }
+
+    #[test]
+    fn edited_switch_rechecks_only_its_downstream_cone() {
+        let manifest = "[switch a]\nprogram = \"a.p4\"\n\
+                        [switch b]\nprogram = \"b.p4\"\ningress = \"high\"\n\
+                        [switch c]\nprogram = \"c.p4\"\n\
+                        [link b:p1 -> c:p1]\n";
+        let progs = [("a.p4", FWD), ("b.p4", FWD), ("c.p4", FWD)];
+        let mut engine = TopoEngine::new(topo_from(manifest, &progs), CheckOptions::ifc(), 2);
+        engine.run_epoch();
+        // Edit only `a` (no downstream links): exactly one recheck.
+        let edited = [
+            ("a.p4", "control F(inout <bit<8>, high> x) { apply { x = x + 8w2; } }"),
+            ("b.p4", FWD),
+            ("c.p4", FWD),
+        ];
+        engine.set_topology(topo_from(manifest, &edited));
+        let report = engine.run_epoch();
+        assert_eq!(report.switch_rechecks, 1, "only the edited switch re-checks");
+    }
+
+    #[test]
+    fn single_switch_report_matches_batch_bytes() {
+        let topo = topo_from(
+            "[switch leak.p4]\nprogram = \"leak.p4\"\n",
+            &[(
+                "leak.p4",
+                "control C(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+            )],
+        );
+        let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+        let inputs = vec![BatchInput::new("leak.p4", topo.switches()[0].source.clone())];
+        let batch = crate::batch::check_batch(&inputs, &CheckOptions::ifc(), 2);
+        assert_eq!(report.as_batch_report().to_json(), batch.to_json());
+        assert_eq!(report.as_batch_report().render_table(), batch.render_table());
+    }
+
+    #[test]
+    fn doc_shapes_render() {
+        let topo = topo_from("[switch a]\nprogram = \"a.p4\"\n", &[("a.p4", FWD)]);
+        let report = check_topology(&topo, &CheckOptions::ifc(), 1);
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"p4bid-topo-report/1\""), "{json}");
+        assert!(json.contains("\"rounds\": 1"), "{json}");
+        assert!(json.contains("\"violations\""), "{json}");
+        let table = report.render_table();
+        assert!(table.contains("1 switch(es): 1 accepted, 0 rejected"), "{table}");
+        assert!(table.contains("fixpoint: 1 round(s), 1 recheck(s)"), "{table}");
+    }
+}

@@ -1,0 +1,7 @@
+// Lowers a secret into a public header. Only typechecks on switches
+// whose manifest grants `declassify = true`.
+control Release(inout <bit<8>, low> l, inout <bit<8>, high> h) {
+    apply {
+        l = declassify(h);
+    }
+}

@@ -1,0 +1,7 @@
+// A forwarder that only touches secret state: it typechecks at any
+// ambient pc up to `high`, so it can sit anywhere in a topology.
+control Fwd(inout <bit<8>, high> x) {
+    apply {
+        x = x + 8w1;
+    }
+}

@@ -1,0 +1,8 @@
+// Writes a public counter. Fine in a public context; under a `high`
+// ingress seed the write becomes an implicit flow and the switch is
+// rejected.
+control LowWriter(inout <bit<8>, low> y) {
+    apply {
+        y = y + 8w1;
+    }
+}

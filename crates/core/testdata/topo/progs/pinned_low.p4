@@ -1,0 +1,8 @@
+// Pins its own context to `low`. Standalone that is fine, but the
+// topology checker runs switches under a pc *floor*: a `high` ingress
+// seed makes this annotation an understatement and the switch rejects.
+@pc(low) control Pinned(inout <bit<8>, high> x) {
+    apply {
+        x = x + 8w1;
+    }
+}

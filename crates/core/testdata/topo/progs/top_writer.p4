@@ -1,0 +1,8 @@
+// Writes only at `top` of the diamond lattice, so it accepts under any
+// ambient pc. The labels resolve against the per-switch `lattice`
+// override in the manifest.
+control Sink(inout <bit<8>, top> x) {
+    apply {
+        x = x + 8w1;
+    }
+}

@@ -78,7 +78,7 @@ fn injected_panic_is_contained_and_deterministic_across_jobs() {
         assert!(leak_row.contains("REJECT") && !leak_row.contains("E-INTERNAL"), "{leak_row}");
         assert!(stdout.contains("3 program(s): 1 accepted, 2 rejected"), "{stdout}");
         let stderr = String::from_utf8_lossy(&out.stderr);
-        assert!(stderr.contains("\"schema\": \"p4bid-stats/4\""), "{stderr}");
+        assert!(stderr.contains("\"schema\": \"p4bid-stats/5\""), "{stderr}");
         assert!(stderr.contains("\"panics\": 1"), "{stderr}");
         outputs.push(stdout);
     }
@@ -303,7 +303,7 @@ fn sigterm_drains_pending_work_and_unlinks_the_socket() {
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("pending") && stdout.contains("accept"), "{stdout}");
     let log = stderr.contents();
-    assert!(log.contains("\"schema\": \"p4bid-stats/4\""), "final stats flushed: {log}");
+    assert!(log.contains("\"schema\": \"p4bid-stats/5\""), "final stats flushed: {log}");
     assert!(log.contains("\"drained\": 1"), "{log}");
     assert!(!socket.exists(), "socket file must be unlinked on drain");
     let _ = std::fs::remove_dir_all(dir);

@@ -208,14 +208,14 @@ fn batch_stats_flag_prints_tier_sizes_and_hit_rate() {
 
 #[test]
 fn batch_and_fuzz_stats_json_schema() {
-    // `--stats-json` emits one `p4bid-stats/4` document on stderr; the
+    // `--stats-json` emits one `p4bid-stats/5` document on stderr; the
     // deterministic report on stdout is untouched.
     let out = p4bid(&["batch", "--synthetic", "8", "--jobs", "2", "--stats-json"]);
     assert_eq!(out.status.code(), Some(0), "{}", String::from_utf8_lossy(&out.stderr));
     let stderr = String::from_utf8_lossy(&out.stderr);
     let stats_line = stderr
         .lines()
-        .find(|l| l.starts_with("{\"schema\": \"p4bid-stats/4\""))
+        .find(|l| l.starts_with("{\"schema\": \"p4bid-stats/5\""))
         .unwrap_or_else(|| panic!("no stats document on stderr: {stderr}"));
     for needle in [
         "\"command\": \"batch\"",
@@ -234,7 +234,7 @@ fn batch_and_fuzz_stats_json_schema() {
     let fuzz = p4bid(&["fuzz", "20", "--jobs", "2", "--stats-json"]);
     assert!(fuzz.status.success(), "{}", String::from_utf8_lossy(&fuzz.stderr));
     let stderr = String::from_utf8_lossy(&fuzz.stderr);
-    assert!(stderr.contains("{\"schema\": \"p4bid-stats/4\", \"command\": \"fuzz\", "), "{stderr}");
+    assert!(stderr.contains("{\"schema\": \"p4bid-stats/5\", \"command\": \"fuzz\", "), "{stderr}");
 }
 
 #[test]

@@ -150,7 +150,7 @@ fn serve_inline_sources_stats_and_refresh() {
     assert_eq!(epoch_summaries, 2, "two one-program epoch tables: {stdout}");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(
-        stderr.contains("{\"schema\": \"p4bid-stats/4\", \"command\": \"serve\", \"epochs\": 2, "),
+        stderr.contains("{\"schema\": \"p4bid-stats/5\", \"command\": \"serve\", \"epochs\": 2, "),
         "{stderr}"
     );
     assert!(!stdout.contains("p4bid-stats"), "stats stay off stdout: {stdout}");
@@ -571,7 +571,7 @@ fn four_concurrent_producers_yield_deterministic_epoch_output() {
 
 /// Resubmitting an epoch is answered from the verdict cache — and the
 /// report is byte-identical to the fresh check, with the hit/miss/size
-/// counters surfaced in the `p4bid-stats/4` document.
+/// counters surfaced in the `p4bid-stats/5` document.
 #[test]
 fn repeat_submissions_hit_the_verdict_cache_byte_identically() {
     let epoch = format!(

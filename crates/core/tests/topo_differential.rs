@@ -1,0 +1,95 @@
+//! Differential test: a single-switch topology is the degenerate case
+//! of batch checking, and the two layers must agree to the byte.
+//!
+//! For every probe program, a one-switch manifest run through the
+//! fixpoint driver must produce — via [`TopoReport::as_batch_report`] —
+//! exactly the bytes `check_batch` produces for the same source under
+//! the equivalent options, at `--jobs` 1, 2, and 8. Any divergence
+//! means the topology layer changed verdicts, diagnostics, or
+//! rendering on the way through, which would make whole-network
+//! reports unreliable as a substitute for per-program runs.
+//!
+//! [`TopoReport::as_batch_report`]: p4bid::topo::TopoReport::as_batch_report
+
+use p4bid::batch::{check_batch, BatchInput};
+use p4bid::topo::{check_topology, TopoManifest, Topology};
+use p4bid::CheckOptions;
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+/// Builds the one-switch topology for `src`, seeded with `ingress`.
+fn single(name: &str, src: &str, ingress: Option<&str>) -> Topology {
+    let seed = ingress.map_or(String::new(), |l| format!("ingress = \"{l}\"\n"));
+    let manifest = TopoManifest::parse(&format!(
+        "lattice = \"low < high\"\n\n[switch {name}]\nprogram = \"{name}.p4\"\n{seed}"
+    ))
+    .expect("manifest parses");
+    manifest.resolve_with(|_| Ok(src.to_string())).expect("topology assembles")
+}
+
+/// The core differential: topology bytes == batch bytes, across jobs
+/// settings and repeated runs.
+fn assert_differential(name: &str, src: &str, ingress: Option<&str>, batch_opts: &CheckOptions) {
+    let topo = single(name, src, ingress);
+    let input = [BatchInput::new(name, src)];
+    for jobs in JOBS {
+        let via_topo = check_topology(&topo, &CheckOptions::ifc(), jobs);
+        assert!(via_topo.violations.is_empty(), "{name}: single switch cannot violate wires");
+        let topo_json = via_topo.as_batch_report().to_json();
+        let batch_json = check_batch(&input, batch_opts, jobs).to_json();
+        assert_eq!(
+            topo_json, batch_json,
+            "{name}: topology and batch reports diverge at --jobs {jobs}"
+        );
+        let again = check_topology(&topo, &CheckOptions::ifc(), jobs);
+        assert_eq!(
+            again.to_json(),
+            via_topo.to_json(),
+            "{name}: topology report differs across runs at --jobs {jobs}"
+        );
+    }
+}
+
+#[test]
+fn accepting_program_matches_batch() {
+    assert_differential(
+        "fwd",
+        "control Fwd(inout <bit<8>, high> x) { apply { x = x + 8w1; } }",
+        None,
+        &CheckOptions::ifc(),
+    );
+}
+
+#[test]
+fn explicit_flow_rejection_matches_batch() {
+    assert_differential(
+        "leak",
+        "control Leak(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+        None,
+        &CheckOptions::ifc(),
+    );
+}
+
+#[test]
+fn parse_error_verdict_matches_batch() {
+    assert_differential("soup", "control { this is not p4", None, &CheckOptions::ifc());
+}
+
+/// A seeded ingress is the same as handing batch the equivalent
+/// `--pc` (with the pc floor the topology layer always enforces).
+#[test]
+fn seeded_ingress_matches_batch_with_pc() {
+    let opts = CheckOptions::ifc().with_pc("high").with_pc_floor(true);
+    assert_differential(
+        "seeded",
+        "control Ctr(inout <bit<8>, low> y) { apply { y = y + 8w1; } }",
+        Some("high"),
+        &opts,
+    );
+    assert_differential(
+        "tolerant",
+        "control Fwd(inout <bit<8>, high> x) { apply { x = x + 8w1; } }",
+        Some("high"),
+        &opts,
+    );
+}

@@ -1,0 +1,132 @@
+//! Topology conformance corpus with golden sidecars.
+//!
+//! Every manifest under `testdata/topo/{accept,reject}` has an
+//! `.expected` sidecar pinning the exact output the topology checker
+//! must produce: the human table, a `---` separator, then the
+//! `p4bid-topo-report/1` JSON (or a single `error:` line for manifests
+//! that fail to load). The harness checks every manifest at `--jobs`
+//! 1, 2, and 8 and requires the reports to be byte-identical across
+//! the three settings and across repeated runs — the determinism
+//! contract the fixpoint driver advertises.
+//!
+//! Regenerate the sidecars after an intentional output change with:
+//!
+//! ```console
+//! $ P4BID_BLESS=1 cargo test -p p4bid --test topo_golden
+//! ```
+
+use p4bid::topo::{check_topology, Topology};
+use p4bid::CheckOptions;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const JOBS: [usize; 3] = [1, 2, 8];
+
+fn corpus_dir(kind: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("testdata/topo").join(kind)
+}
+
+fn manifests(kind: &str) -> Vec<PathBuf> {
+    let mut out: Vec<PathBuf> = fs::read_dir(corpus_dir(kind))
+        .unwrap_or_else(|e| panic!("missing corpus dir {kind}: {e}"))
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "topo"))
+        .collect();
+    out.sort();
+    out
+}
+
+fn bless() -> bool {
+    std::env::var("P4BID_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// The golden rendering for one manifest: the table, a separator, and
+/// the JSON report — or the load error. Checks the report is
+/// byte-identical across jobs settings and repeated runs while it is
+/// at it.
+fn golden_for(path: &Path) -> (String, Option<bool>) {
+    let topo = match Topology::load(path) {
+        Ok(t) => t,
+        Err(e) => return (format!("error: {e}\n"), None),
+    };
+    let opts = CheckOptions::ifc();
+    let reports: Vec<_> = JOBS.iter().map(|&j| check_topology(&topo, &opts, j)).collect();
+    let json = reports[0].to_json();
+    for (r, j) in reports.iter().zip(JOBS) {
+        assert_eq!(r.to_json(), json, "{}: report differs at --jobs {j}", path.display());
+    }
+    let again = check_topology(&topo, &opts, 2);
+    assert_eq!(again.to_json(), json, "{}: report differs across runs", path.display());
+
+    let mut golden = reports[0].render_table();
+    if !golden.ends_with('\n') {
+        golden.push('\n');
+    }
+    golden.push_str("---\n");
+    golden.push_str(&json);
+    if !golden.ends_with('\n') {
+        golden.push('\n');
+    }
+    (golden, Some(reports[0].all_ok()))
+}
+
+fn run_corpus(kind: &str, want_ok: bool) {
+    let mut failures = Vec::new();
+    for path in manifests(kind) {
+        let (golden, all_ok) = golden_for(&path);
+        match all_ok {
+            Some(ok) if ok != want_ok => {
+                failures.push(format!(
+                    "{}: expected {} but the checker said {}",
+                    path.display(),
+                    if want_ok { "accept" } else { "reject" },
+                    if ok { "accept" } else { "reject" },
+                ));
+                continue;
+            }
+            // A manifest that fails to load only belongs in `reject`.
+            None if want_ok => {
+                failures.push(format!("{}: failed to load: {golden}", path.display()));
+                continue;
+            }
+            _ => {}
+        }
+
+        let sidecar = path.with_extension("expected");
+        if bless() {
+            fs::write(&sidecar, &golden).expect("write golden sidecar");
+            continue;
+        }
+        match fs::read_to_string(&sidecar) {
+            Ok(expected) if expected == golden => {}
+            Ok(expected) => failures.push(format!(
+                "{}: output drifted from golden sidecar\n--- expected\n{expected}--- actual\n{golden}",
+                path.display()
+            )),
+            Err(_) => failures.push(format!(
+                "{}: missing golden sidecar {} (run with P4BID_BLESS=1 to create it)",
+                path.display(),
+                sidecar.display()
+            )),
+        }
+    }
+    assert!(failures.is_empty(), "{}", failures.join("\n\n"));
+}
+
+#[test]
+fn accept_corpus_matches_golden_reports() {
+    run_corpus("accept", true);
+}
+
+#[test]
+fn reject_corpus_matches_golden_reports() {
+    run_corpus("reject", false);
+}
+
+/// The corpus floors from the issue: shrinking the corpus is a test
+/// regression even if every remaining manifest still passes.
+#[test]
+fn corpus_keeps_its_minimum_breadth() {
+    assert!(manifests("accept").len() >= 6, "accept corpus shrank");
+    assert!(manifests("reject").len() >= 8, "reject corpus shrank");
+}

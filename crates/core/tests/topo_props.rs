@@ -1,0 +1,143 @@
+//! Property-based tests for the topology fixpoint driver.
+//!
+//! Random topologies — DAGs, rings, self-loops, tangles — over a small
+//! program pool must uphold the driver's contract whatever shape they
+//! take: reports byte-identical across `--jobs` settings and repeated
+//! runs, round counts inside the derived `n * |lattice| + 2` bound,
+//! final ingress labels monotone over their declared seeds, and a
+//! second engine epoch that is pure cache hits producing the same
+//! verdicts.
+
+use p4bid::topo::{check_topology, TopoEngine, TopoManifest, Topology};
+use p4bid::CheckOptions;
+use proptest::prelude::*;
+
+/// The program pool: an accept-anywhere forwarder, a public writer that
+/// rejects under a secret seed, and an unconditional explicit flow.
+const POOL: [&str; 3] = [
+    "control Fwd(inout <bit<8>, high> x) { apply { x = x + 8w1; } }",
+    "control Ctr(inout <bit<8>, low> y) { apply { y = y + 8w1; } }",
+    "control Leak(inout <bit<8>, low> l, inout <bit<8>, high> h) { apply { l = h; } }",
+];
+
+/// Per-switch / per-link knobs, indexed modulo the drawn vectors so
+/// short vectors still configure every switch.
+const LABELS: [Option<&str>; 3] = [None, Some("low"), Some("high")];
+
+fn pick<T: Copy>(v: &[T], i: usize, default: T) -> T {
+    if v.is_empty() {
+        default
+    } else {
+        v[i % v.len()]
+    }
+}
+
+/// Renders the drawn shape as a manifest and assembles it against the
+/// in-memory pool. Every generated manifest is structurally valid by
+/// construction: names are distinct, ports are globally unique, labels
+/// come from the boundary lattice.
+#[allow(clippy::too_many_arguments)]
+fn build(
+    n: usize,
+    edges: &[(usize, usize)],
+    seeds: &[usize],
+    progs: &[usize],
+    egress: &[usize],
+    decl: &[usize],
+    contracts: &[usize],
+) -> Topology {
+    let mut m = String::from("lattice = \"low < high\"\n");
+    for i in 0..n {
+        m.push_str(&format!("\n[switch s{i}]\nprogram = \"p{}.p4\"\n", pick(progs, i, 0) % 3));
+        if let Some(l) = LABELS[pick(seeds, i, 0) % 3] {
+            m.push_str(&format!("ingress = \"{l}\"\n"));
+        }
+        if let Some(l) = LABELS[pick(egress, i, 0) % 3] {
+            m.push_str(&format!("egress = \"{l}\"\n"));
+        }
+        if pick(decl, i, 0) % 3 == 2 {
+            m.push_str("declassify = true\n");
+        }
+    }
+    for (k, &(a, b)) in edges.iter().enumerate() {
+        m.push_str(&format!("\n[link s{}:o{k} -> s{}:i{k}]\n", a % n, b % n));
+        if let Some(l) = LABELS[pick(contracts, k, 0) % 3] {
+            m.push_str(&format!("contract = \"{l}\"\n"));
+        }
+    }
+    let manifest = TopoManifest::parse(&m).expect("generated manifest parses");
+    manifest
+        .resolve_with(|path| {
+            let ix: usize = path[1..path.len() - 3].parse().expect("pool path");
+            Ok(POOL[ix].to_string())
+        })
+        .expect("generated topology assembles")
+}
+
+proptest! {
+    /// The determinism contract and the round bound, over arbitrary
+    /// topology shapes.
+    #[test]
+    fn fixpoint_is_deterministic_bounded_and_monotone(
+        n in 1usize..5,
+        edges in proptest::collection::vec((0usize..5, 0usize..5), 0..8),
+        seeds in proptest::collection::vec(0usize..3, 1..5),
+        progs in proptest::collection::vec(0usize..3, 1..5),
+        egress in proptest::collection::vec(0usize..3, 1..5),
+        decl in proptest::collection::vec(0usize..3, 1..5),
+        contracts in proptest::collection::vec(0usize..3, 1..8),
+    ) {
+        let topo = build(n, &edges, &seeds, &progs, &egress, &decl, &contracts);
+        let opts = CheckOptions::ifc();
+
+        let reference = check_topology(&topo, &opts, 1);
+        for jobs in [2usize, 8] {
+            let r = check_topology(&topo, &opts, jobs);
+            prop_assert_eq!(
+                r.to_json(), reference.to_json(),
+                "report differs at jobs={}", jobs
+            );
+        }
+        let again = check_topology(&topo, &opts, 2);
+        prop_assert_eq!(again.to_json(), reference.to_json(), "report differs across runs");
+
+        // Termination bound: every round past the first must raise at
+        // least one of the n labels, and each can only climb
+        // |lattice| - 1 times; n * |lattice| + 2 over-approximates that
+        // with slack for the seed and quiescence rounds.
+        let lat = topo.lattice();
+        let bound = (topo.switches().len() * lat.len() + 2) as u64;
+        prop_assert!(reference.rounds <= bound, "rounds {} > bound {}", reference.rounds, bound);
+
+        // Monotonicity: no switch's final ingress dropped below its
+        // declared seed.
+        for (sw, rep) in topo.switches().iter().zip(&reference.switches) {
+            let final_in = lat.label(&rep.ingress).expect("report label in lattice");
+            prop_assert!(
+                lat.leq(sw.ingress, final_in),
+                "switch {} final ingress `{}` below its seed", sw.name, rep.ingress
+            );
+        }
+    }
+
+    /// A second epoch over an unchanged topology re-runs the fixpoint
+    /// entirely from the verdict cache: zero rechecks, same verdicts.
+    #[test]
+    fn unchanged_second_epoch_is_all_cache_hits(
+        n in 1usize..4,
+        edges in proptest::collection::vec((0usize..4, 0usize..4), 0..6),
+        seeds in proptest::collection::vec(0usize..3, 1..4),
+        progs in proptest::collection::vec(0usize..3, 1..4),
+    ) {
+        let topo = build(n, &edges, &seeds, &progs, &[], &[], &[]);
+        let mut engine = TopoEngine::new(topo, CheckOptions::ifc(), 2);
+        let first = engine.run_epoch();
+        let second = engine.run_epoch();
+        prop_assert_eq!(second.switch_rechecks, 0, "cached epoch re-checked a switch");
+        prop_assert_eq!(
+            second.as_batch_report().to_json(),
+            first.as_batch_report().to_json(),
+            "cached epoch changed verdicts"
+        );
+    }
+}

@@ -87,6 +87,14 @@ pub struct CheckOptions {
     /// [`DiagCode::Timeout`] diagnostic instead of hanging its worker.
     /// `0` (the default) disables the guard.
     pub check_timeout_ms: u64,
+    /// Whether the ambient `pc` is a *floor*: a control whose `@pc(L)`
+    /// annotation sits below the ambient context is rejected with
+    /// [`DiagCode::PcBelowAmbient`] instead of silently lowering its
+    /// write bound. Off by default (a standalone check trusts the
+    /// annotation); the topology fixpoint driver turns it on, because
+    /// there the ambient pc models real upstream influence that a
+    /// single switch must not understate.
+    pub pc_floor: bool,
 }
 
 impl Default for CheckOptions {
@@ -99,6 +107,7 @@ impl Default for CheckOptions {
             allow_declassify: false,
             max_source_bytes: 0,
             check_timeout_ms: 0,
+            pc_floor: false,
         }
     }
 }
@@ -164,6 +173,14 @@ impl CheckOptions {
     #[must_use]
     pub fn with_check_timeout_ms(mut self, ms: u64) -> Self {
         self.check_timeout_ms = ms;
+        self
+    }
+
+    /// Makes the ambient `pc` a floor that `@pc(...)` annotations may not
+    /// dip below, builder-style (see [`CheckOptions::pc_floor`]).
+    #[must_use]
+    pub fn with_pc_floor(mut self, floor: bool) -> Self {
+        self.pc_floor = floor;
         self
     }
 
@@ -581,6 +598,7 @@ pub(crate) fn check_items_run<'a>(
         enforce: opts.mode == Mode::Ifc,
         record: opts.record_lineage && opts.mode != Mode::Base,
         allow_declassify: opts.allow_declassify,
+        pc_floor: opts.pc_floor,
         defs: state.defs,
         env: state.env,
         diags: Vec::new(),
@@ -925,6 +943,9 @@ struct Checker<'a> {
     record: bool,
     /// Whether `declassify(e)` is permitted.
     allow_declassify: bool,
+    /// Whether the ambient `pc` is a floor `@pc(...)` annotations may not
+    /// dip below ([`CheckOptions::pc_floor`]).
+    pc_floor: bool,
     defs: TypeDefs,
     env: ScopedEnv,
     diags: Vec<Diagnostic>,
@@ -2089,7 +2110,21 @@ impl<'a> Checker<'a> {
         let fn_mark = self.sig_functions.len();
         let pc = match (&c.pc, self.resolve_labels) {
             (Some(name), true) => match self.labels.resolve(&name.node, self.syms) {
-                Some(l) => l,
+                Some(l) => {
+                    if self.pc_floor && self.enforce && !self.lat.leq(default_pc, l) {
+                        self.error(
+                            DiagCode::PcBelowAmbient,
+                            format!(
+                                "control `{}` declares pc `{}` below the ambient context `{}`",
+                                c.name.node,
+                                self.lat.name(l),
+                                self.lat.name(default_pc),
+                            ),
+                            name.span,
+                        );
+                    }
+                    l
+                }
                 None => {
                     self.error(
                         DiagCode::UnknownLabel,

@@ -85,6 +85,12 @@ pub enum DiagCode {
     /// A `declassify(e)` site in a run whose options (or policy rule) do
     /// not permit declassification.
     DeclassifyForbidden,
+    /// A control whose `@pc(...)` annotation sits below the ambient
+    /// context when the options make the ambient pc a floor
+    /// (`CheckOptions::pc_floor`; the topology fixpoint driver's
+    /// ingress-label seeding). An understated pc would let the control
+    /// write below the real influence of the data reaching it.
+    PcBelowAmbient,
 }
 
 impl DiagCode {
@@ -104,6 +110,7 @@ impl DiagCode {
                 | DiagCode::InoutLabelMismatch
                 | DiagCode::IndexLeak
                 | DiagCode::DeclassifyForbidden
+                | DiagCode::PcBelowAmbient
         )
     }
 
@@ -147,6 +154,7 @@ impl DiagCode {
             DiagCode::InoutLabelMismatch => "E-INOUT-LABEL",
             DiagCode::IndexLeak => "E-INDEX-LEAK",
             DiagCode::DeclassifyForbidden => "E-DECLASSIFY-FORBIDDEN",
+            DiagCode::PcBelowAmbient => "E-PC-FLOOR",
         }
     }
 }

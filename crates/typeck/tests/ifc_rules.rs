@@ -842,3 +842,27 @@ fn multiple_errors_reported_together() {
     .unwrap_err();
     assert!(errs.len() >= 2, "both leaks reported: {errs:?}");
 }
+
+// ---------------------------------------------------------------------
+// pc-floor: `@pc(...)` may not dip below the ambient context
+// ---------------------------------------------------------------------
+
+#[test]
+fn pc_floor_rejects_understated_annotations() {
+    let src = "@pc(low) control C(inout <bit<8>, low> y) { apply { y = y + 8w1; } }";
+    // Without the floor, the annotation overrides the ambient pc (a
+    // standalone check trusts it).
+    check_source(src, &CheckOptions::ifc().with_pc("high")).expect("annotation wins by default");
+    // With the floor (the topology driver's seeding mode), an understated
+    // annotation is a security error.
+    let floored = CheckOptions::ifc().with_pc("high").with_pc_floor(true);
+    let errs = check_source(src, &floored).unwrap_err();
+    assert!(errs.iter().any(|d| d.code == DiagCode::PcBelowAmbient), "{errs:?}");
+    assert!(DiagCode::PcBelowAmbient.is_security());
+    // Annotations at or above the ambient context stay legal.
+    let at = "@pc(high) control C(inout <bit<8>, high> y) { apply { y = y + 8w1; } }";
+    check_source(at, &floored).expect("annotation at the floor is fine");
+    // And the floor is inert at ambient bottom: every label qualifies.
+    let bottom = CheckOptions::ifc().with_pc_floor(true);
+    check_source(src, &bottom).expect("floor at bottom never fires");
+}

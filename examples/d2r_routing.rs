@@ -12,6 +12,7 @@
 use p4bid::interp::{run_control, Value};
 use p4bid::ni::{check_non_interference, run_pair, NiConfig, NiOutcome};
 use p4bid::packet::{get_path, init_args, set_path};
+use p4bid::topo::{check_topology, TopoManifest};
 use p4bid::{check, render_diagnostics, CheckOptions};
 
 fn main() {
@@ -80,4 +81,46 @@ fn main() {
         NiOutcome::Holds { runs } => println!("non-interference held on {runs} pairs"),
         other => panic!("secure variant must hold: {other:?}"),
     }
+
+    // The BFS topology itself, as a topology manifest: the three nodes
+    // of the 1 → 2 → 3 walk become three switches, each running the D2R
+    // program, composed by the fixpoint driver instead of checked one
+    // file at a time.
+    println!("\n== The BFS nodes as a checked topology ==");
+    let chain = |node3: &str| {
+        let manifest = TopoManifest::parse(&format!(
+            r#"
+            [switch node1]
+            program = "d2r.p4"
+
+            [link node1:p1 -> node2:p1]
+
+            [switch node2]
+            program = "d2r.p4"
+
+            [link node2:p2 -> node3:p1]
+
+            [switch node3]
+            program = "{node3}"
+            "#,
+        ))
+        .expect("manifest parses");
+        manifest
+            .resolve_with(|path| {
+                Ok(if path == "d2r.p4" { cs.secure } else { cs.insecure }.to_string())
+            })
+            .expect("topology assembles")
+    };
+
+    let report = check_topology(&chain("d2r.p4"), &CheckOptions::ifc(), 2);
+    print!("{}", report.render_table());
+    assert!(report.all_ok(), "the all-secure chain must check");
+
+    // Swap the last hop for the priority-from-failures variant: the
+    // network report pinpoints the one switch that leaks.
+    println!("\nwith the insecure variant on node3:");
+    let report = check_topology(&chain("d2r_insecure.p4"), &CheckOptions::ifc(), 2);
+    print!("{}", report.render_table());
+    assert!(!report.all_ok(), "the leaking chain must be rejected");
+    assert_eq!(report.rejected(), 1, "exactly the swapped switch rejects");
 }

@@ -7,6 +7,7 @@
 
 use p4bid::interp::{run_control, Value};
 use p4bid::packet::{get_path, init_args, set_path};
+use p4bid::topo::{check_topology, TopoManifest};
 use p4bid::{check, CheckOptions};
 
 fn main() {
@@ -57,4 +58,60 @@ fn main() {
         "\nisolation held across the topology: Bob's field was untouched by \
          Alice's switch, and the ⊤-labeled telemetry counted both hops."
     );
+
+    // The same deployment, checked at network scale: both hops as real
+    // switches in a topology manifest, composed by the fixpoint driver.
+    // With no ingress seeds, each switch checks in a public context and
+    // the network accepts.
+    const DIAMOND: &str = "bot < A; bot < B; A < top; B < top";
+    let manifest = TopoManifest::parse(&format!(
+        r#"
+        lattice = "{DIAMOND}"
+
+        [switch alice]
+        program = "tenants.p4"
+        lattice = "{DIAMOND}"
+
+        [link alice:p1 -> bob:p1]
+
+        [switch bob]
+        program = "tenants.p4"
+        lattice = "{DIAMOND}"
+        "#,
+    ))
+    .expect("manifest parses");
+    let topo = manifest.resolve_with(|_| Ok(cs.secure.to_string())).expect("topology assembles");
+    let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+    println!("\nas a two-switch topology:");
+    print!("{}", report.render_table());
+    assert!(report.all_ok(), "the public deployment must check");
+
+    // Now drop Alice's switch inside her secret zone: the `A` ingress
+    // seed floors both controls at pc = A, and Bob's `@pc(B)` control
+    // cannot honestly run there — the fixpoint report pinpoints the
+    // switch, and the seeded traffic also breaches the public wire
+    // contract toward Bob.
+    let manifest = TopoManifest::parse(&format!(
+        r#"
+        lattice = "{DIAMOND}"
+
+        [switch alice]
+        program = "tenants.p4"
+        ingress = "A"
+        lattice = "{DIAMOND}"
+
+        [link alice:p1 -> bob:p1]
+        contract = "bot"
+
+        [switch bob]
+        program = "tenants.p4"
+        lattice = "{DIAMOND}"
+        "#,
+    ))
+    .expect("manifest parses");
+    let topo = manifest.resolve_with(|_| Ok(cs.secure.to_string())).expect("topology assembles");
+    let report = check_topology(&topo, &CheckOptions::ifc(), 2);
+    println!("\nseeding Alice's switch with her secret zone rejects the deployment:");
+    print!("{}", report.render_table());
+    assert!(!report.all_ok(), "the seeded deployment must be rejected");
 }
